@@ -1,0 +1,26 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one of the paper's tables/figures, asserts the
+*shape* claims the paper makes (who wins, where, by roughly how much), and
+writes the rendered table to ``results/`` so EXPERIMENTS.md can reference
+stable artifacts.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_table(results_dir, name: str, rendered: str) -> None:
+    path = results_dir / f"{name}.txt"
+    path.write_text(rendered + "\n")

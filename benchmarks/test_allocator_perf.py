@@ -1,0 +1,84 @@
+"""Microbenchmarks of the allocator's individual phases.
+
+Not a paper table — these measure the library itself (pytest-benchmark
+with real repetition), backing the paper's asymptotic claims: simplify and
+select are linear-time and far cheaper than build, and the Briggs and
+Chaitin phase costs are comparable (§3.3: "the costs involved ... are the
+same in both Chaitin's method and ours").
+"""
+
+import pytest
+
+from repro.analysis.cfg import CFG
+from repro.analysis.liveness import Liveness
+from repro.experiments.runner import EXPERIMENT_TARGET
+from repro.ir.values import RClass
+from repro.regalloc import (
+    BriggsAllocator,
+    ChaitinAllocator,
+    build_interference_graph,
+    compute_spill_costs,
+    select_colors,
+    simplify,
+)
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def gradnt():
+    """The compiled GRADNT routine (1,100+ live ranges)."""
+    module = get_workload("cedeta").compile()
+    return module.function("gradnt")
+
+
+@pytest.fixture(scope="module")
+def built(gradnt):
+    target = EXPERIMENT_TARGET
+    liveness = Liveness(gradnt, CFG(gradnt))
+    graph = build_interference_graph(gradnt, RClass.FLOAT, target, liveness)
+    costs = compute_spill_costs(gradnt)
+    return graph, costs
+
+
+def test_bench_liveness(benchmark, gradnt):
+    benchmark(lambda: Liveness(gradnt, CFG(gradnt)))
+
+
+def test_bench_build_graph(benchmark, gradnt):
+    target = EXPERIMENT_TARGET
+    liveness = Liveness(gradnt, CFG(gradnt))
+    benchmark(
+        lambda: build_interference_graph(
+            gradnt, RClass.FLOAT, target, liveness
+        )
+    )
+
+
+def test_bench_spill_costs(benchmark, gradnt):
+    benchmark(lambda: compute_spill_costs(gradnt))
+
+
+def test_bench_simplify_briggs(benchmark, built):
+    graph, costs = built
+    benchmark(lambda: simplify(graph, costs, optimistic=True))
+
+
+def test_bench_simplify_chaitin(benchmark, built):
+    graph, costs = built
+    benchmark(lambda: simplify(graph, costs, optimistic=False))
+
+
+def test_bench_select(benchmark, built):
+    graph, costs = built
+    stack = simplify(graph, costs, optimistic=True).stack
+    benchmark(lambda: select_colors(graph, stack))
+
+
+def test_bench_full_class_allocation_briggs(benchmark, built):
+    graph, costs = built
+    benchmark(lambda: BriggsAllocator().allocate_class(graph, costs))
+
+
+def test_bench_full_class_allocation_chaitin(benchmark, built):
+    graph, costs = built
+    benchmark(lambda: ChaitinAllocator().allocate_class(graph, costs))

@@ -1,0 +1,54 @@
+"""Regenerates Figure 7 (per-phase allocation CPU time, per pass).
+
+Shape assertions (paper section 3.3):
+
+* the build phase dominates total allocation time; simplification and
+  coloring are cheap by comparison;
+* later passes' simplification is cheaper than the first pass's (fewer
+  constrained cost/degree searches);
+* neither method needs more than three passes;
+* the two methods' total allocation times are comparable (within 2x);
+* on a spilling pass, Old (Chaitin) skips the coloring phase for the
+  spilling class while New always colors.
+"""
+
+from repro.experiments import run_figure7
+
+from benchmarks.conftest import save_table
+
+
+def _assert_figure7_shape(result):
+    for (routine, method), cell in result.cells.items():
+        stats = cell.stats
+        assert stats.pass_count <= 3, (routine, method, stats.pass_count)
+        build = sum(p.build_time for p in stats.passes)
+        simplify_color = sum(
+            p.simplify_time + p.select_time for p in stats.passes
+        )
+        assert build > simplify_color, (
+            f"{routine}/{method}: build must dominate "
+            f"(build={build:.4f}, simplify+color={simplify_color:.4f})"
+        )
+        if stats.pass_count >= 2:
+            assert (
+                stats.passes[1].simplify_time
+                <= stats.passes[0].simplify_time * 1.5
+            ), (routine, method)
+    for routine in result.routines:
+        old_total = result.cell(routine, "chaitin").stats.total_time
+        new_total = result.cell(routine, "briggs").stats.total_time
+        assert new_total < 2.0 * old_total + 0.01
+        assert old_total < 2.0 * new_total + 0.01
+        # New runs select on every pass; its spilling passes still color.
+        new_stats = result.cell(routine, "briggs").stats
+        for p in new_stats.passes:
+            assert p.ran_select
+
+
+def test_figure7_table(benchmark, results_dir):
+    result = benchmark.pedantic(run_figure7, rounds=1, iterations=1)
+    _assert_figure7_shape(result)
+    rendered = result.to_table().render()
+    save_table(results_dir, "figure7", rendered)
+    print()
+    print(rendered)

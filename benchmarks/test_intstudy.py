@@ -1,0 +1,40 @@
+"""Regenerates the integer-program study (our §3.2 extension).
+
+Shape assertions, mirroring Figure 6's conclusions over a more diverse
+integer suite:
+
+* both methods' spilling grows as registers shrink, for every program;
+* New never spills more nor runs slower than Old anywhere;
+* somewhere in the constrained region New strictly beats Old on at least
+  one program ("greater improvement ... in highly constrained
+  situations").
+"""
+
+from repro.experiments.intstudy import run_integer_study
+
+from benchmarks.conftest import save_table
+
+
+def test_integer_study(benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_integer_study,
+        kwargs={"quicksort_size": 256, "intsuite_size": 128},
+        rounds=1,
+        iterations=1,
+    )
+    strict_win = False
+    for program in ("quicksort", "intsuite"):
+        rows = result.rows_for(program)
+        for earlier, later in zip(rows, rows[1:]):
+            assert later.spilled_old >= earlier.spilled_old, program
+            assert later.spilled_new >= earlier.spilled_new, program
+        for row in rows:
+            assert row.spilled_new <= row.spilled_old
+            assert row.time_new <= row.time_old
+            if row.spilled_new < row.spilled_old:
+                strict_win = True
+    assert strict_win, "New must strictly beat Old somewhere in the sweep"
+    rendered = result.to_table().render()
+    save_table(results_dir, "intstudy", rendered)
+    print()
+    print(rendered)

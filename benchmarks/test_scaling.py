@@ -1,0 +1,69 @@
+"""Scaling benchmarks: allocation work vs. routine size.
+
+The paper argues both heuristics run "in time linear in the size of the
+interference graph" outside the cost/degree victim searches (§2.2, §3.3).
+These benchmarks allocate generated straight-line routines of increasing
+size and record the times; the assertion is deliberately loose (sub-
+quadratic growth of the simplify+select phases) since wall-clock noise
+and Python constant factors vary.
+"""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.machine import rt_pc
+from repro.regalloc import allocate_function
+from repro.workloads.cedeta import (
+    generate_fcn,
+    generate_gradnt,
+    generate_hssian,
+    generate_terms,
+)
+
+
+def _program(n_vars: int) -> str:
+    terms = generate_terms(n=n_vars, seed=7)
+    return "\n".join(
+        [
+            generate_fcn(terms, n_vars),
+            generate_gradnt(terms, n_vars),
+            generate_hssian(terms, n_vars),
+        ]
+    )
+
+
+@pytest.mark.parametrize("n_vars", [6, 10, 14])
+def test_bench_allocation_scaling(benchmark, n_vars):
+    module = compile_source(_program(n_vars))
+    function = module.function("hssian")
+    target = rt_pc()
+
+    def run():
+        # Allocation mutates; operate on a fresh copy each round.
+        fresh = compile_source(_program(n_vars)).function("hssian")
+        return allocate_function(fresh, target, "briggs")
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.stats.live_ranges > 0
+    del function
+
+
+def test_simplify_scaling_subquadratic(benchmark):
+    """Simplify+select on the largest graph must stay a small fraction of
+    build — the linearity claim in practice."""
+    module = compile_source(_program(14))
+    function = module.function("hssian")
+    target = rt_pc()
+
+    def run():
+        fresh = compile_source(_program(14)).function("hssian")
+        return allocate_function(fresh, target, "briggs")
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    stats = result.stats
+    build = sum(p.build_time for p in stats.passes)
+    simplify_select = sum(
+        p.simplify_time + p.select_time for p in stats.passes
+    )
+    assert simplify_select < build
+    del function, module

@@ -1,0 +1,78 @@
+"""A tour of the compiler substrate: source -> AST -> IR -> analyses.
+
+Shows each stage a program passes through before register allocation:
+the parsed AST (pretty-printed back to source), the lowered three-address
+IR, the CFG/loop structure, liveness, live-range webs, and the final
+interference graph sizes — i.e. everything Figure 4's "build" box does.
+"""
+
+from repro.analysis import CFG, Liveness, annotate_loop_depths, split_webs
+from repro.frontend import compile_source
+from repro.ir import RClass, print_function
+from repro.lang.parser import parse_program
+from repro.lang.pretty import format_program
+from repro.machine import rt_pc
+from repro.regalloc import build_interference_graph, compute_spill_costs
+
+SOURCE = """
+real function ssum(n, v)
+  integer n, i
+  real v(*), bias
+  bias = 0.5
+  ssum = 0.0
+  do i = 1, n
+    ssum = ssum + v(i) * bias
+  end do
+end
+"""
+
+
+def main():
+    print("=== source, round-tripped through the parser ===")
+    print(format_program(parse_program(SOURCE)))
+
+    module = compile_source(SOURCE)
+    function = module.function("ssum")
+
+    print("=== three-address IR ===")
+    print(print_function(function))
+
+    loop_info = annotate_loop_depths(function)
+    print("\n=== control flow ===")
+    for block in function.blocks:
+        succs = ", ".join(block.successor_labels()) or "(exit)"
+        print(
+            f"  {block.label:10s} depth={block.loop_depth}  -> {succs}"
+        )
+    print(f"  natural loops: {len(loop_info.loops)}")
+
+    created = split_webs(function)
+    print(f"\n=== webs: {created} live range(s) split ===")
+
+    liveness = Liveness(function, CFG(function))
+    print("=== liveness (live-in per block) ===")
+    for block in function.blocks:
+        live = ", ".join(
+            v.pretty() for v in liveness.live_vregs_in(block.label)
+        )
+        print(f"  {block.label:10s} {{{live}}}")
+
+    costs = compute_spill_costs(function, loop_info)
+    target = rt_pc()
+    print("\n=== interference graphs + spill costs ===")
+    for rclass in (RClass.INT, RClass.FLOAT):
+        graph = build_interference_graph(function, rclass, target)
+        print(
+            f"  class {rclass}: {graph.num_vreg_nodes} live ranges, "
+            f"{graph.edge_count()} edges, k={graph.k}"
+        )
+        for node in range(graph.k, graph.num_nodes):
+            vreg = graph.vreg_for(node)
+            print(
+                f"    {vreg.pretty():12s} degree={graph.degree(node):2d} "
+                f"cost={costs.cost(vreg):.0f}"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Optimizer tour: watch the scalar passes transform a routine.
+
+Shows the IR before and after each pass (constant folding, copy
+propagation, CSE, DCE), then measures how upstream optimization changes
+what the register allocator sees — live ranges, spills, code size, and
+simulated cycles on the SVD workload.
+"""
+
+from repro.frontend import compile_source
+from repro.ir import print_function
+from repro.machine import run_module, rt_pc
+from repro.machine.encoding import object_size
+from repro.opt import (
+    eliminate_common_subexpressions,
+    eliminate_dead_code,
+    fold_constants,
+    propagate_copies,
+)
+from repro.regalloc import allocate_module
+from repro.workloads import get_workload
+
+SOURCE = """
+subroutine demo(n, v)
+  integer n, i
+  real v(*), scale, unused
+  scale = 2.0 * 2.0
+  unused = scale * 100.0
+  do i = 1, n
+    v(i) = v(i) * scale + v(i) * scale
+  end do
+end
+"""
+
+
+def show_passes():
+    module = compile_source(SOURCE)
+    function = module.function("demo")
+    print("=== as lowered ===")
+    print(print_function(function))
+    for name, pass_fn in [
+        ("constant folding", fold_constants),
+        ("copy propagation", propagate_copies),
+        ("local CSE", eliminate_common_subexpressions),
+        ("dead-code elimination", eliminate_dead_code),
+    ]:
+        changed = pass_fn(function)
+        print(f"\n=== after {name} ({changed} change(s)) ===")
+        print(print_function(function))
+
+
+def measure_effect_on_allocation():
+    workload = get_workload("svd")
+    target = rt_pc().with_int_regs(12).with_float_regs(6)
+    print("\n=== effect on the allocator (SVD) ===")
+    print(f"{'variant':12s} {'live rng':>8s} {'spilled':>8s} "
+          f"{'size':>6s} {'cycles':>8s}")
+    for optimize in (False, True):
+        module = workload.compile()
+        if optimize:
+            from repro.opt import optimize_module
+
+            optimize_module(module)
+        allocation = allocate_module(module, target, "briggs")
+        result = run_module(
+            module,
+            entry=workload.entry,
+            target=target,
+            assignment=allocation.assignment,
+        )
+        workload.verify_outputs(result.outputs)
+        stats = allocation.result("svd").stats
+        size = object_size(
+            allocation.result("svd").function,
+            target,
+            allocation.result("svd").assignment,
+        )
+        label = "optimized" if optimize else "plain"
+        print(
+            f"{label:12s} {stats.live_ranges:8d} "
+            f"{stats.registers_spilled:8d} {size:6d} {result.cycles:8d}"
+        )
+
+
+if __name__ == "__main__":
+    show_passes()
+    measure_effect_on_allocation()

@@ -1,0 +1,90 @@
+"""The SVD case study — the paper's motivating problem (§1.2, Figure 1).
+
+SVD has ~a dozen long live ranges flowing from its initialization section,
+through a small array-copy loop, into three large loop nests.  Chaitin's
+cost/degree rule spills the *cheap* short ranges first — pointlessly,
+because the pressure lives in the big nests — and then has to spill the
+long ranges anyway.  The optimistic allocator defers the decision to the
+select phase, spills (a subset of) the long ranges, and then discovers the
+short ranges still have registers available.
+
+This script shows exactly that: which live ranges each method spills, how
+the spill bills compare, and the resulting simulated cycle counts.
+"""
+
+from collections import Counter
+
+from repro.experiments.runner import EXPERIMENT_TARGET
+from repro.machine import run_module
+from repro.regalloc import allocate_module
+from repro.workloads import get_workload
+
+
+def spilled_names(allocation, routine):
+    """Source-variable names of the spilled live ranges.
+
+    Spill code tags its temporaries with the spilled range's name hint,
+    so counting distinct spill-temp names recovers which variables paid
+    the price.
+    """
+    function = allocation.result(routine).function
+    return Counter(
+        vreg.name for vreg in function.vregs if vreg.is_spill_temp
+    )
+
+
+def main():
+    workload = get_workload("svd")
+    target = EXPERIMENT_TARGET
+    print(f"target: {target.name} "
+          f"({target.int_regs} int / {target.float_regs} float registers)\n")
+
+    runs = {}
+    for method in ("chaitin", "briggs"):
+        module = workload.compile()
+        allocation = allocate_module(module, target, method)
+        result = run_module(
+            module,
+            entry=workload.entry,
+            target=target,
+            assignment=allocation.assignment,
+        )
+        workload.verify_outputs(result.outputs)
+        runs[method] = (allocation, result)
+
+    print(f"{'':24s}  {'Old (Chaitin)':>14s}  {'New (Briggs)':>14s}")
+    old_stats = runs["chaitin"][0].result("svd").stats
+    new_stats = runs["briggs"][0].result("svd").stats
+    rows = [
+        ("live ranges", old_stats.live_ranges, new_stats.live_ranges),
+        ("registers spilled", old_stats.registers_spilled,
+         new_stats.registers_spilled),
+        ("estimated spill cost", f"{old_stats.spill_cost:.0f}",
+         f"{new_stats.spill_cost:.0f}"),
+        ("allocation passes", old_stats.pass_count, new_stats.pass_count),
+        ("simulated cycles", runs["chaitin"][1].cycles,
+         runs["briggs"][1].cycles),
+    ]
+    for label, old, new in rows:
+        print(f"{label:24s}  {old!s:>14s}  {new!s:>14s}")
+
+    print("\nspilled live ranges (by source variable):")
+    for method in ("chaitin", "briggs"):
+        counts = spilled_names(runs[method][0], "svd")
+        listing = ", ".join(
+            f"{name} x{count}" for name, count in sorted(counts.items())
+        )
+        print(f"  {method:8s}: {listing}")
+
+    reduction = 100.0 * (
+        old_stats.registers_spilled - new_stats.registers_spilled
+    ) / max(old_stats.registers_spilled, 1)
+    print(
+        f"\nthe optimistic allocator spills "
+        f"{reduction:.0f}% fewer live ranges on SVD "
+        "(the paper measured 51% on the original compiler)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""Setup shim so that ``pip install -e .`` works on environments whose
+setuptools predates PEP 660 editable wheels (no ``wheel`` package needed)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of Briggs et al., 'Coloring Heuristics for Register "
+        "Allocation' (PLDI 1989)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

@@ -1,0 +1,62 @@
+"""repro — a reproduction of Briggs, Cooper, Kennedy & Torczon,
+"Coloring Heuristics for Register Allocation" (PLDI 1989).
+
+The package is a complete, self-contained compiler substrate plus the
+paper's two allocators:
+
+* :mod:`repro.lang` — a mini-FORTRAN front end (lexer/parser/sema);
+* :mod:`repro.ir` — three-address IR with CFG, printer/parser, verifier;
+* :mod:`repro.frontend` — AST -> IR lowering;
+* :mod:`repro.analysis` — dominators, loops, liveness, live-range webs;
+* :mod:`repro.regalloc` — interference graphs, coalescing, spill costs,
+  Chaitin's allocator, the optimistic (Briggs) allocator, Matula–Beck
+  ordering, spill-code insertion, the Build–Simplify–Select driver;
+* :mod:`repro.machine` — an RT/PC-shaped target, object-size encoder,
+  and a cycle-counting simulator with physical-register execution;
+* :mod:`repro.workloads` — the paper's benchmark programs (SVD, LINPACK,
+  SIMPLEX, EULER, CEDETA, quicksort) ported to mini-FORTRAN;
+* :mod:`repro.experiments` — harnesses regenerating Figures 5, 6 and 7.
+
+Sixty-second tour::
+
+    from repro import compile_source, allocate_module, run_module, rt_pc
+
+    module = compile_source(FORTRAN_SOURCE)
+    target = rt_pc()
+    allocation = allocate_module(module, target, "briggs", validate=True)
+    result = run_module(module, target=target,
+                        assignment=allocation.assignment)
+"""
+
+from repro.frontend import compile_source
+from repro.machine import Target, rt_pc, run_module, Simulator
+from repro.regalloc import (
+    AllocationResult,
+    BriggsAllocator,
+    ChaitinAllocator,
+    ModuleAllocation,
+    allocate_function,
+    allocate_module,
+    check_allocation,
+)
+from repro.workloads import all_workloads, get_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "compile_source",
+    "Target",
+    "rt_pc",
+    "run_module",
+    "Simulator",
+    "AllocationResult",
+    "ModuleAllocation",
+    "BriggsAllocator",
+    "ChaitinAllocator",
+    "allocate_function",
+    "allocate_module",
+    "check_allocation",
+    "all_workloads",
+    "get_workload",
+    "__version__",
+]

@@ -1,0 +1,30 @@
+"""Dataflow and control-flow analyses feeding the register allocator.
+
+* :mod:`repro.analysis.cfg` — predecessor/successor maps, traversal orders;
+* :mod:`repro.analysis.dominance` — immediate dominators (Cooper–Harvey–
+  Kennedy iterative algorithm) and dominator-tree queries;
+* :mod:`repro.analysis.loops` — natural loops from back edges and the
+  per-block nesting depth used to weight spill costs;
+* :mod:`repro.analysis.liveness` — iterative backward liveness over int
+  bitsets;
+* :mod:`repro.analysis.defuse` — definition and use sites per register;
+* :mod:`repro.analysis.webs` — du-chain webs: "finding and renumbering
+  distinct live ranges" (paper §3.3's description of the build phase).
+"""
+
+from repro.analysis.cfg import CFG
+from repro.analysis.dominance import DominatorTree
+from repro.analysis.loops import LoopInfo, annotate_loop_depths
+from repro.analysis.liveness import Liveness
+from repro.analysis.defuse import DefUse
+from repro.analysis.webs import split_webs
+
+__all__ = [
+    "CFG",
+    "DominatorTree",
+    "LoopInfo",
+    "annotate_loop_depths",
+    "Liveness",
+    "DefUse",
+    "split_webs",
+]

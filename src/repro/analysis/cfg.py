@@ -1,0 +1,84 @@
+"""Control-flow graph queries over a :class:`~repro.ir.function.Function`.
+
+The IR stores control flow implicitly (branch targets are labels); this
+module materialises predecessor/successor maps and the traversal orders the
+dataflow analyses need.  A ``CFG`` is a snapshot: rebuild it after passes
+that add or remove blocks or edges.
+"""
+
+from __future__ import annotations
+
+from repro.ir.basicblock import Block
+from repro.ir.function import Function
+
+
+class CFG:
+    """Predecessors, successors and orders for one function."""
+
+    def __init__(self, function: Function):
+        self.function = function
+        self.succs: dict[str, list] = {}
+        self.preds: dict[str, list] = {}
+        for block in function.blocks:
+            self.succs[block.label] = block.successor_labels()
+            self.preds.setdefault(block.label, [])
+        for label, targets in self.succs.items():
+            for target in targets:
+                self.preds[target].append(label)
+        self._postorder: list | None = None
+
+    # ------------------------------------------------------------------
+
+    def successors(self, block: Block) -> list:
+        return [self.function.block(l) for l in self.succs[block.label]]
+
+    def predecessors(self, block: Block) -> list:
+        return [self.function.block(l) for l in self.preds[block.label]]
+
+    # ------------------------------------------------------------------
+
+    def postorder(self) -> list:
+        """Blocks in postorder from the entry (unreachable blocks excluded).
+
+        Iterative DFS; successor order follows the branch target order so
+        the traversal is deterministic.
+        """
+        if self._postorder is not None:
+            return self._postorder
+        visited: set = set()
+        order: list = []
+        # Stack holds (label, iterator-over-successors) pairs.
+        entry = self.function.entry.label
+        stack = [(entry, iter(self.succs[entry]))]
+        visited.add(entry)
+        while stack:
+            label, successors = stack[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in visited:
+                    visited.add(succ)
+                    stack.append((succ, iter(self.succs[succ])))
+                    advanced = True
+                    break
+            if not advanced:
+                stack.pop()
+                order.append(self.function.block(label))
+        self._postorder = order
+        return order
+
+    def reverse_postorder(self) -> list:
+        """Reverse postorder — the canonical forward-dataflow order."""
+        return list(reversed(self.postorder()))
+
+    def rpo_index(self) -> dict:
+        """Map block label -> its reverse-postorder position."""
+        return {
+            block.label: index
+            for index, block in enumerate(self.reverse_postorder())
+        }
+
+    def edge_count(self) -> int:
+        return sum(len(targets) for targets in self.succs.values())
+
+    def __repr__(self) -> str:
+        return f"CFG({self.function.name}, {len(self.succs)} blocks)"

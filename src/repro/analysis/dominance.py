@@ -1,0 +1,87 @@
+"""Dominator computation (Cooper–Harvey–Kennedy "engineered" iterative
+algorithm over reverse postorder).
+
+Loop detection needs dominance to recognise back edges; the dominator tree
+is also exposed for tests and for clients that want structural queries.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cfg import CFG
+from repro.ir.basicblock import Block
+
+
+class DominatorTree:
+    """Immediate dominators for every reachable block of a function."""
+
+    def __init__(self, cfg: CFG):
+        self.cfg = cfg
+        self.function = cfg.function
+        #: label -> label of immediate dominator (entry maps to itself).
+        self.idom: dict[str, str] = {}
+        self._rpo_number: dict[str, int] = {}
+        self._compute()
+        self._children: dict[str, list] = {}
+        for label, dom in self.idom.items():
+            if label != self.function.entry.label:
+                self._children.setdefault(dom, []).append(label)
+
+    def _compute(self) -> None:
+        rpo = self.cfg.reverse_postorder()
+        entry = self.function.entry.label
+        for index, block in enumerate(rpo):
+            self._rpo_number[block.label] = index
+        idom = {entry: entry}
+        changed = True
+        while changed:
+            changed = False
+            for block in rpo:
+                if block.label == entry:
+                    continue
+                new_idom = None
+                for pred in self.cfg.preds[block.label]:
+                    if pred not in idom:
+                        continue  # not yet processed / unreachable
+                    if new_idom is None:
+                        new_idom = pred
+                    else:
+                        new_idom = self._intersect(idom, pred, new_idom)
+                if new_idom is not None and idom.get(block.label) != new_idom:
+                    idom[block.label] = new_idom
+                    changed = True
+        self.idom = idom
+
+    def _intersect(self, idom: dict, a: str, b: str) -> str:
+        number = self._rpo_number
+        while a != b:
+            while number[a] > number[b]:
+                a = idom[a]
+            while number[b] > number[a]:
+                b = idom[b]
+        return a
+
+    # ------------------------------------------------------------------
+
+    def dominates(self, a: Block, b: Block) -> bool:
+        """True when ``a`` dominates ``b`` (every block dominates itself)."""
+        label_a, runner = a.label, b.label
+        entry = self.function.entry.label
+        while True:
+            if runner == label_a:
+                return True
+            if runner == entry:
+                return label_a == entry
+            runner = self.idom[runner]
+
+    def immediate_dominator(self, block: Block) -> Block | None:
+        if block.label == self.function.entry.label:
+            return None
+        return self.function.block(self.idom[block.label])
+
+    def children(self, block: Block) -> list:
+        return [
+            self.function.block(l) for l in self._children.get(block.label, [])
+        ]
+
+    def __repr__(self) -> str:
+        return f"DominatorTree({self.function.name})"

@@ -1,0 +1,203 @@
+"""Web construction: split each virtual register into its du-chain webs.
+
+The paper's build phase begins by "finding and renumbering distinct live
+ranges" (§3.3).  A FORTRAN variable reused in disjoint regions — the loop
+index ``i`` of two separate loops, say — is *one* variable but *several*
+independent live ranges; allocating them separately is what lets the copy
+loop's indices in SVD get registers even when an ``i`` elsewhere spills.
+
+A **web** is the transitive closure of def-use chains: a definition and a
+use belong together when the def reaches the use; two defs belong together
+when some use is reached by both.  We compute instruction-level reaching
+definitions (bitsets over def sites, forward union dataflow), union the
+sites with a union-find, and renumber: every web beyond a register's first
+gets a fresh virtual register, with defs and uses rewritten in place.
+
+Returns the number of extra webs created (0 means nothing was split).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cfg import CFG
+from repro.ir.function import Function
+
+
+class _UnionFind:
+    def __init__(self, size: int):
+        self.parent = list(range(size))
+
+    def find(self, x: int) -> int:
+        root = x
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[x] != root:  # path compression
+            self.parent[x], x = root, self.parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[max(ra, rb)] = min(ra, rb)
+
+
+class _WebAnalysis:
+    """Shared state for the two walks (union pass and rewrite pass)."""
+
+    def __init__(self, function: Function):
+        self.function = function
+        # Enumerate definition sites.  Params define at a synthetic entry
+        # site so every web has at least one definition.
+        self.sites: list = []  # site id -> (vreg, label, index)
+        self.site_id: dict = {}
+        self.vreg_mask: dict = {}  # vreg -> bitmask over its def sites
+        for param in function.params:
+            self._add_site(param, "<entry>", -1)
+        for block in function.blocks:
+            for index, instr in enumerate(block.instrs):
+                for d in instr.defs:
+                    self._add_site(d, block.label, index)
+        self.reach_in = self._solve_reaching()
+
+    def _add_site(self, vreg, label: str, index: int) -> int:
+        sid = len(self.sites)
+        self.sites.append((vreg, label, index))
+        self.site_id[(vreg, label, index)] = sid
+        self.vreg_mask[vreg] = self.vreg_mask.get(vreg, 0) | (1 << sid)
+        return sid
+
+    def _block_gen_kill(self, block) -> tuple:
+        gen = 0
+        kill = 0
+        for index, instr in enumerate(block.instrs):
+            for d in instr.defs:
+                mask = self.vreg_mask[d]
+                gen &= ~mask
+                gen |= 1 << self.site_id[(d, block.label, index)]
+                kill |= mask
+        return gen, kill
+
+    def _solve_reaching(self) -> dict:
+        function = self.function
+        cfg = CFG(function)
+        gen = {}
+        kill = {}
+        for block in function.blocks:
+            gen[block.label], kill[block.label] = self._block_gen_kill(block)
+        entry_mask = 0
+        for param in function.params:
+            entry_mask |= 1 << self.site_id[(param, "<entry>", -1)]
+        reach_in = {block.label: 0 for block in function.blocks}
+        reach_out = {block.label: 0 for block in function.blocks}
+        # Simple fixpoint in reverse postorder.
+        order = cfg.reverse_postorder()
+        changed = True
+        while changed:
+            changed = False
+            for block in order:
+                if block is function.entry:
+                    in_mask = entry_mask
+                else:
+                    in_mask = 0
+                    for pred in cfg.preds[block.label]:
+                        in_mask |= reach_out[pred]
+                out_mask = gen[block.label] | (in_mask & ~kill[block.label])
+                if (
+                    in_mask != reach_in[block.label]
+                    or out_mask != reach_out[block.label]
+                ):
+                    reach_in[block.label] = in_mask
+                    reach_out[block.label] = out_mask
+                    changed = True
+        return reach_in
+
+    # ------------------------------------------------------------------
+
+    def walk(self, on_use, on_def) -> None:
+        """Forward walk; ``on_use(instr, pos, vreg, reaching_mask)`` fires
+        for each use occurrence with the defs of ``vreg`` reaching it, and
+        ``on_def(instr, pos, vreg, site_id)`` for each definition."""
+        for block in self.function.blocks:
+            current = self.reach_in[block.label]
+            for index, instr in enumerate(block.instrs):
+                for pos, u in enumerate(instr.uses):
+                    mask = self.vreg_mask.get(u, 0)
+                    on_use(instr, pos, u, current & mask)
+                for pos, d in enumerate(instr.defs):
+                    sid = self.site_id[(d, block.label, index)]
+                    current &= ~self.vreg_mask[d]
+                    current |= 1 << sid
+                    on_def(instr, pos, d, sid)
+
+
+def _mask_bits(mask: int):
+    index = 0
+    while mask:
+        if mask & 1:
+            yield index
+        mask >>= 1
+        index += 1
+
+
+def split_webs(function: Function) -> int:
+    """Split every virtual register into webs, in place.
+
+    Returns the number of new registers created.  Running it twice is a
+    no-op the second time (the property tests rely on idempotence).
+    """
+    analysis = _WebAnalysis(function)
+    if not analysis.sites:
+        return 0
+    uf = _UnionFind(len(analysis.sites))
+
+    def union_pass_use(_instr, _pos, _vreg, reaching_mask):
+        first = None
+        for sid in _mask_bits(reaching_mask):
+            if first is None:
+                first = sid
+            else:
+                uf.union(first, sid)
+
+    analysis.walk(union_pass_use, lambda *args: None)
+
+    # Group def sites per register by web root.
+    webs_of: dict = {}  # vreg -> {root}
+    for sid, (vreg, _label, _index) in enumerate(analysis.sites):
+        webs_of.setdefault(vreg, set()).add(uf.find(sid))
+
+    replacement: dict = {}  # root -> VReg
+    created = 0
+    for vreg, roots in webs_of.items():
+        if len(roots) == 1:
+            continue
+        ordered = sorted(roots)
+        keep_root = ordered[0]
+        if vreg in function.params:
+            # The web fed by the incoming argument keeps the param register.
+            entry_sid = analysis.site_id[(vreg, "<entry>", -1)]
+            keep_root = uf.find(entry_sid)
+        for root in ordered:
+            if root == keep_root:
+                replacement[root] = vreg
+            else:
+                replacement[root] = function.new_vreg(vreg.rclass, vreg.name)
+                created += 1
+
+    if not created:
+        return 0
+
+    def rewrite_use(instr, pos, vreg, reaching_mask):
+        if not reaching_mask:
+            return  # no reaching def (dead path); leave untouched
+        root = uf.find(next(_mask_bits(reaching_mask)))
+        new = replacement.get(root)
+        if new is not None and new is not vreg:
+            instr.uses[pos] = new
+
+    def rewrite_def(instr, pos, vreg, sid):
+        root = uf.find(sid)
+        new = replacement.get(root)
+        if new is not None and new is not vreg:
+            instr.defs[pos] = new
+
+    analysis.walk(rewrite_use, rewrite_def)
+    return created

@@ -1,0 +1,271 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``compile FILE``
+    Compile mini-FORTRAN and print the textual IR.
+``run FILE``
+    Compile and execute; prints outputs and cycle counts.  With
+    ``--allocate`` the program runs on physical registers after register
+    allocation (the default is virtual-register execution).
+``allocate FILE``
+    Allocate registers and print per-routine statistics.
+``figures [NAMES...]``
+    Regenerate the paper's tables (figure5 figure6 figure7 ablations
+    intstudy, or ``all``) into ``--out`` (default ``results/``).
+``report``
+    Regenerate every experiment into one markdown document
+    (``results/REPORT.md``).
+``workloads``
+    List the bundled benchmark programs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.errors import ReproError
+from repro.frontend import compile_source
+from repro.ir import print_module
+from repro.machine import rt_pc, run_module
+from repro.machine.encoding import object_size
+from repro.regalloc import allocate_module
+
+
+def _target_from(args) -> object:
+    target = rt_pc()
+    if args.int_regs != 16:
+        target = target.with_int_regs(args.int_regs)
+    if args.float_regs != 8:
+        target = target.with_float_regs(args.float_regs)
+    return target
+
+
+def _compile_file(args):
+    source = pathlib.Path(args.file).read_text()
+    return compile_source(source, pathlib.Path(args.file).stem,
+                          optimize=args.optimize)
+
+
+def cmd_compile(args) -> int:
+    print(print_module(_compile_file(args)), end="")
+    return 0
+
+
+def _alloc_kwargs(args) -> dict:
+    return {
+        "coalesce": args.coalesce,
+        "rematerialize": args.rematerialize,
+        "split_ranges": args.split_ranges,
+    }
+
+
+def cmd_run(args) -> int:
+    module = _compile_file(args)
+    target = _target_from(args)
+    assignment = None
+    if args.allocate:
+        allocation = allocate_module(
+            module, target, args.allocate, validate=True, **_alloc_kwargs(args)
+        )
+        assignment = allocation.assignment
+    result = run_module(
+        module, entry=args.entry, target=target, assignment=assignment
+    )
+    for value in result.outputs:
+        print(value)
+    mode = f"allocated ({args.allocate})" if args.allocate else "virtual"
+    print(
+        f"# {mode}: {result.instructions} instructions, "
+        f"{result.cycles} cycles, {result.calls} calls",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_allocate(args) -> int:
+    from repro.experiments.tables import Table
+
+    module = _compile_file(args)
+    target = _target_from(args)
+    allocation = allocate_module(
+        module, target, args.method, validate=True, **_alloc_kwargs(args)
+    )
+    table = Table(
+        f"register allocation ({args.method}, target {target.name})",
+        ["Routine", "Live Ranges", "Spilled", "Spill Cost", "Passes",
+         "Object Size"],
+    )
+    for name, result in allocation.results.items():
+        table.add_row(
+            name,
+            result.stats.live_ranges,
+            result.stats.registers_spilled,
+            result.stats.spill_cost,
+            result.stats.pass_count,
+            object_size(result.function, target, result.assignment),
+        )
+    print(table.render())
+    return 0
+
+
+_FIGURES = ("figure5", "figure6", "figure7", "ablations", "intstudy")
+
+
+def cmd_figures(args) -> int:
+    from repro.experiments import (
+        run_ablations,
+        run_figure5,
+        run_figure6,
+        run_figure7,
+    )
+    from repro.experiments.intstudy import run_integer_study
+
+    wanted = list(args.names) or ["all"]
+    if "all" in wanted:
+        wanted = list(_FIGURES)
+    unknown = [n for n in wanted if n not in _FIGURES]
+    if unknown:
+        print(f"unknown figure(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    out = pathlib.Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    runners = {
+        "figure5": lambda: run_figure5().to_table().render(),
+        "figure6": lambda: run_figure6(array_size=args.array_size)
+        .to_table()
+        .render(),
+        "figure7": lambda: run_figure7().to_table().render(),
+        "ablations": lambda: run_ablations().to_table().render(),
+        "intstudy": lambda: run_integer_study(
+            quicksort_size=args.array_size
+        ).to_table().render(),
+    }
+    for name in wanted:
+        rendered = runners[name]()
+        (out / f"{name}.txt").write_text(rendered + "\n")
+        print(rendered)
+        print()
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.experiments.report import build_report
+
+    report = build_report(array_size=args.array_size)
+    out = pathlib.Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(report)
+    print(f"wrote {out}")
+    return 0
+
+
+def cmd_workloads(_args) -> int:
+    from repro.workloads import all_workloads
+
+    for name, workload in sorted(all_workloads().items()):
+        routines = ", ".join(workload.routines)
+        print(f"{name:10s} {workload.description}")
+        print(f"{'':10s}   routines: {routines}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Briggs et al. 1989 reproduction: mini-FORTRAN compiler with "
+            "Chaitin and optimistic register allocation"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_target_flags(p):
+        p.add_argument("--int-regs", type=int, default=16,
+                       help="general-purpose registers (default 16)")
+        p.add_argument("--float-regs", type=int, default=8,
+                       help="floating-point registers (default 8)")
+
+    def add_alloc_flags(p):
+        p.add_argument(
+            "--coalesce",
+            choices=["aggressive", "conservative"],
+            default="aggressive",
+            help="copy-coalescing strategy (default aggressive)",
+        )
+        p.add_argument(
+            "--rematerialize",
+            action="store_true",
+            help="recompute spilled constants instead of reloading",
+        )
+        p.add_argument(
+            "--split-ranges",
+            action="store_true",
+            help="split loop-transparent live ranges around pressured loops",
+        )
+
+    p = sub.add_parser("compile", help="print the compiled IR")
+    p.add_argument("file")
+    p.add_argument("--optimize", action="store_true")
+    p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser("run", help="compile and execute")
+    p.add_argument("file")
+    p.add_argument("--entry", default=None)
+    p.add_argument("--optimize", action="store_true")
+    p.add_argument(
+        "--allocate",
+        choices=["chaitin", "briggs", "briggs-degree", "spill-all"],
+        default=None,
+        help="allocate registers and run on the physical machine",
+    )
+    add_target_flags(p)
+    add_alloc_flags(p)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("allocate", help="report allocation statistics")
+    p.add_argument("file")
+    p.add_argument("--method", default="briggs",
+                   choices=["chaitin", "briggs", "briggs-degree", "spill-all"])
+    p.add_argument("--optimize", action="store_true")
+    add_target_flags(p)
+    add_alloc_flags(p)
+    p.set_defaults(func=cmd_allocate)
+
+    p = sub.add_parser("figures", help="regenerate the paper's tables")
+    p.add_argument("names", nargs="*", help="figure5 figure6 figure7 ablations | all")
+    p.add_argument("--out", default="results")
+    p.add_argument("--array-size", type=int, default=256)
+    p.set_defaults(func=cmd_figures)
+
+    p = sub.add_parser(
+        "report", help="regenerate every experiment into one markdown report"
+    )
+    p.add_argument("--out", default="results/REPORT.md")
+    p.add_argument("--array-size", type=int, default=256)
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("workloads", help="list bundled benchmarks")
+    p.set_defaults(func=cmd_workloads)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,83 @@
+"""Exception hierarchy shared by every subsystem of the reproduction.
+
+Each compilation stage raises its own subclass of :class:`ReproError` so that
+callers (tests, the experiment harness, user code) can react to a lexing
+problem differently from, say, a register-allocation invariant violation.
+All errors carry an optional source location so diagnostics point at the
+offending line of mini-FORTRAN or textual IR.
+"""
+
+from __future__ import annotations
+
+
+class SourceLocation:
+    """A (line, column) position in a named source buffer."""
+
+    __slots__ = ("filename", "line", "column")
+
+    def __init__(self, filename: str = "<source>", line: int = 0, column: int = 0):
+        self.filename = filename
+        self.line = line
+        self.column = column
+
+    def __str__(self) -> str:
+        return f"{self.filename}:{self.line}:{self.column}"
+
+    def __repr__(self) -> str:
+        return f"SourceLocation({self.filename!r}, {self.line}, {self.column})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SourceLocation):
+            return NotImplemented
+        return (self.filename, self.line, self.column) == (
+            other.filename,
+            other.line,
+            other.column,
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.filename, self.line, self.column))
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro package."""
+
+    def __init__(self, message: str, location: SourceLocation | None = None):
+        self.message = message
+        self.location = location
+        if location is not None:
+            super().__init__(f"{location}: {message}")
+        else:
+            super().__init__(message)
+
+
+class LexError(ReproError):
+    """Raised when the mini-FORTRAN lexer meets an invalid character or token."""
+
+
+class ParseError(ReproError):
+    """Raised when the mini-FORTRAN parser cannot derive a statement."""
+
+
+class SemanticError(ReproError):
+    """Raised by semantic analysis: type errors, arity errors, unknown names."""
+
+
+class IRError(ReproError):
+    """Raised when IR is constructed or parsed inconsistently."""
+
+
+class VerificationError(IRError):
+    """Raised by the IR verifier when an invariant does not hold."""
+
+
+class LoweringError(ReproError):
+    """Raised when the front end cannot lower an AST construct to IR."""
+
+
+class AllocationError(ReproError):
+    """Raised when register allocation violates one of its invariants."""
+
+
+class SimulationError(ReproError):
+    """Raised by the machine simulator (bad memory access, missing routine...)."""

@@ -1,0 +1,45 @@
+"""Experiment harnesses regenerating every table and figure of the paper.
+
+* :mod:`repro.experiments.figure5` — static spill improvements across the
+  five floating-point programs plus the dynamic improvement column;
+* :mod:`repro.experiments.figure6` — the quicksort restricted-register
+  study (16/14/12/10/8 registers);
+* :mod:`repro.experiments.figure7` — per-phase CPU times per pass for the
+  four largest routines;
+* :mod:`repro.experiments.ablations` — our additions: the §2.3
+  cost-ordering refinement vs pure smallest-last, and coalescing on/off;
+* :mod:`repro.experiments.tables` — plain-text table rendering in the
+  paper's layout;
+* :mod:`repro.experiments.runner` — the shared compile/allocate/simulate
+  machinery.
+
+Absolute numbers differ from the paper (the substrate is our simulator,
+not the authors' RT/PC compiler); EXPERIMENTS.md records the shape checks
+each harness asserts.
+"""
+
+from repro.experiments.runner import (
+    RoutineComparison,
+    compare_workload,
+    dynamic_cycles,
+    EXPERIMENT_TARGET,
+)
+from repro.experiments.figure5 import run_figure5, Figure5Row
+from repro.experiments.figure6 import run_figure6, Figure6Row
+from repro.experiments.figure7 import run_figure7
+from repro.experiments.ablations import run_ablations
+from repro.experiments.tables import Table
+
+__all__ = [
+    "RoutineComparison",
+    "compare_workload",
+    "dynamic_cycles",
+    "EXPERIMENT_TARGET",
+    "run_figure5",
+    "Figure5Row",
+    "run_figure6",
+    "Figure6Row",
+    "run_figure7",
+    "run_ablations",
+    "Table",
+]

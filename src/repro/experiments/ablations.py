@@ -1,0 +1,139 @@
+"""Ablation studies for the design choices the paper argues for.
+
+Two knobs:
+
+* **ordering** — §2.3's "final refinement": Briggs with Chaitin's
+  cost/degree ordering for constrained nodes (``briggs``) versus pure
+  smallest-last ordering with no cost information (``briggs-degree``, the
+  §2.2 strawman the paper warns "would produce arbitrary allocations —
+  possibly terrible allocations").  The interesting metric is the *cost*
+  of what gets spilled, not the count: degree ordering may spill as few
+  ranges, but expensive ones.
+* **coalescing** — Chaitin's aggressive copy coalescing on/off, measuring
+  its effect on live-range counts and object size.
+* **rematerialization** — Chaitin's constant-recompute refinement
+  (footnote 3): spilled constant ranges reload their immediate instead of
+  memory; never worse, often smaller.
+* **upstream optimization** — running the scalar optimizer
+  (:mod:`repro.opt`) before allocation, which changes the pressure the
+  allocator sees.
+* **live-range splitting** — the paper's §4 future work
+  (:mod:`repro.regalloc.splitting`): loop-transparent ranges are parked
+  in memory around pressured loops.
+* **spill-all** — the pre-Chaitin baseline (no coloring at all), the
+  measuring stick for everything above.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import EXPERIMENT_TARGET
+from repro.experiments.tables import Table
+from repro.machine.encoding import object_size
+from repro.regalloc import allocate_module
+from repro.workloads import all_workloads
+
+#: Routines with real spill pressure, where ordering matters.
+ABLATION_PROGRAMS = ["svd", "cedeta", "simplex"]
+
+
+class AblationRow:
+    __slots__ = (
+        "program",
+        "routine",
+        "variant",
+        "spilled",
+        "spill_cost",
+        "object_size",
+        "live_ranges",
+        "passes",
+    )
+
+    def __init__(self, program, routine, variant, stats, size):
+        self.program = program
+        self.routine = routine
+        self.variant = variant
+        self.spilled = stats.registers_spilled
+        self.spill_cost = stats.spill_cost
+        self.object_size = size
+        self.live_ranges = stats.live_ranges
+        self.passes = stats.pass_count
+
+
+class AblationResult:
+    def __init__(self, rows):
+        self.rows = rows
+
+    def rows_for(self, routine: str) -> dict:
+        return {
+            row.variant: row for row in self.rows if row.routine == routine
+        }
+
+    def to_table(self) -> Table:
+        table = Table(
+            "Ablations - cost ordering (2.3) and coalescing",
+            [
+                "Routine",
+                "Variant",
+                "Live Ranges",
+                "Spilled",
+                "Spill Cost",
+                "Object Size",
+                "Passes",
+            ],
+        )
+        for row in self.rows:
+            table.add_row(
+                row.routine.upper(),
+                row.variant,
+                row.live_ranges,
+                row.spilled,
+                row.spill_cost,
+                row.object_size,
+                row.passes,
+            )
+        return table
+
+
+#: variant name -> (method, coalesce, rematerialize, optimize-first, split)
+VARIANTS = {
+    "briggs": ("briggs", True, False, False, False),
+    "briggs-degree": ("briggs-degree", True, False, False, False),
+    "briggs/no-coalesce": ("briggs", False, False, False, False),
+    "briggs/cons-coalesce": ("briggs", "conservative", False, False, False),
+    "briggs+remat": ("briggs", True, True, False, False),
+    "briggs+opt": ("briggs", True, False, True, False),
+    "briggs+split": ("briggs", True, False, False, True),
+    "chaitin": ("chaitin", True, False, False, False),
+    "spill-all": ("spill-all", True, False, False, False),
+}
+
+
+def run_ablations(target=None, programs=None, variants=None) -> AblationResult:
+    target = target or EXPERIMENT_TARGET
+    workloads = all_workloads()
+    rows = []
+    for program in programs or ABLATION_PROGRAMS:
+        workload = workloads[program]
+        items = (variants or VARIANTS).items()
+        for variant, (method, coalesce, rematerialize, optimize, split) in items:
+            module = workload.compile()
+            if optimize:
+                from repro.opt import optimize_module
+
+                optimize_module(module)
+            allocation = allocate_module(
+                module, target, method, coalesce=coalesce,
+                rematerialize=rematerialize, split_ranges=split,
+            )
+            for routine in workload.routines:
+                result = allocation.result(routine)
+                rows.append(
+                    AblationRow(
+                        program,
+                        routine,
+                        variant,
+                        result.stats,
+                        object_size(result.function, target, result.assignment),
+                    )
+                )
+    return AblationResult(rows)

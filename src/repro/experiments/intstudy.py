@@ -1,0 +1,118 @@
+"""Integer-program study — the experiment §3.2 says the authors wanted.
+
+    "We intend to collect more data on the effectiveness of our allocator
+     for smaller register sets.  Additionally, we would like to
+     experiment with a more diverse set of non-floating point programs."
+
+This harness does both: the quicksort of Figure 6 plus the five-routine
+integer suite (:mod:`repro.workloads.intsuite`), swept over shrinking
+general-purpose register files, reporting spills and simulated running
+time for Old and New.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import allocate_workload, dynamic_cycles
+from repro.experiments.tables import Table, percent_improvement
+from repro.machine.target import rt_pc
+from repro.workloads import intsuite, quicksort
+
+DEFAULT_COUNTS = (16, 12, 10, 8, 6)
+
+
+class IntStudyRow:
+    __slots__ = (
+        "program",
+        "registers",
+        "spilled_old",
+        "spilled_new",
+        "spilled_pct",
+        "time_old",
+        "time_new",
+        "time_pct",
+    )
+
+    def __init__(self, program, registers, spilled_old, spilled_new,
+                 time_old, time_new):
+        self.program = program
+        self.registers = registers
+        self.spilled_old = spilled_old
+        self.spilled_new = spilled_new
+        self.spilled_pct = percent_improvement(spilled_old, spilled_new)
+        self.time_old = time_old
+        self.time_new = time_new
+        self.time_pct = percent_improvement(time_old, time_new)
+
+
+class IntStudyResult:
+    def __init__(self, rows):
+        self.rows = rows
+
+    def rows_for(self, program: str) -> list:
+        return [r for r in self.rows if r.program == program]
+
+    def to_table(self) -> Table:
+        table = Table(
+            "Integer-program study (3.2 extension): spills and simulated "
+            "cycles vs register-file size",
+            [
+                "Program",
+                "Registers",
+                "Spill Old",
+                "Spill New",
+                "Pct",
+                "Time Old",
+                "Time New",
+                "Pct",
+            ],
+        )
+        last_program = None
+        for row in self.rows:
+            if last_program not in (None, row.program):
+                table.add_separator()
+            last_program = row.program
+            table.add_row(
+                row.program,
+                row.registers,
+                row.spilled_old,
+                row.spilled_new,
+                row.spilled_pct,
+                row.time_old,
+                row.time_new,
+                row.time_pct,
+            )
+        return table
+
+
+def _totals(workload, target, method):
+    module, allocation = allocate_workload(workload, target, method)
+    spilled = sum(
+        allocation.result(r).stats.registers_spilled
+        for r in workload.routines
+    )
+    cycles = dynamic_cycles(workload, module, allocation, target)
+    return spilled, cycles
+
+
+def run_integer_study(
+    register_counts=DEFAULT_COUNTS,
+    quicksort_size: int = 256,
+    intsuite_size: int = 128,
+) -> IntStudyResult:
+    """Sweep both integer programs over the register counts."""
+    programs = [
+        quicksort.workload(quicksort_size),
+        intsuite.workload(intsuite_size),
+    ]
+    rows = []
+    for workload in programs:
+        for count in register_counts:
+            target = rt_pc().with_int_regs(count)
+            old = _totals(workload, target, "chaitin")
+            new = _totals(workload, target, "briggs")
+            rows.append(
+                IntStudyRow(
+                    workload.name, count, old[0], new[0], old[1], new[1]
+                )
+            )
+    return IntStudyResult(rows)

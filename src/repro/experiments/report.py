@@ -1,0 +1,89 @@
+"""One-shot report: every experiment, one markdown document.
+
+``build_report`` regenerates Figures 5/6/7, the ablations and the integer
+study, computes the headline comparisons, and renders a self-contained
+``REPORT.md`` — the artifact a reader checks against EXPERIMENTS.md.
+Exposed on the CLI as ``python -m repro report``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments.ablations import run_ablations
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.figure6 import run_figure6
+from repro.experiments.figure7 import run_figure7
+from repro.experiments.intstudy import run_integer_study
+from repro.experiments.runner import EXPERIMENT_TARGET
+
+
+def _fence(text: str) -> str:
+    return f"```\n{text}\n```"
+
+
+def build_report(array_size: int = 256, intsuite_size: int = 128) -> str:
+    """Run everything and return the report as markdown text."""
+    started = time.perf_counter()
+    figure5 = run_figure5()
+    figure6 = run_figure6(array_size=array_size)
+    figure7 = run_figure7()
+    ablations = run_ablations()
+    intstudy = run_integer_study(
+        quicksort_size=array_size, intsuite_size=intsuite_size
+    )
+    elapsed = time.perf_counter() - started
+
+    (svd_row,) = [r for r in figure5.rows if r.routine == "svd"]
+    improved = [r for r in figure5.rows if r.spilled_new < r.spilled_old]
+    ties = [r for r in figure5.rows if r.spilled_new == r.spilled_old]
+    constrained = figure6.rows[-1]
+
+    lines = [
+        "# Reproduction report — Briggs et al., PLDI 1989",
+        "",
+        f"Target for Figures 5/7: `{EXPERIMENT_TARGET.name}` "
+        f"({EXPERIMENT_TARGET.int_regs} int / "
+        f"{EXPERIMENT_TARGET.float_regs} float registers); "
+        f"Figure 6 restricts the full 16-register machine.",
+        f"Generated in {elapsed:.1f}s of allocator+simulator work.",
+        "",
+        "## Headlines",
+        "",
+        f"* SVD (the paper's motivating routine): {svd_row.spilled_old} -> "
+        f"{svd_row.spilled_new} live ranges spilled "
+        f"({svd_row.spilled_pct}% fewer; the paper measured 51%), "
+        f"estimated cost {svd_row.cost_old:.0f} -> {svd_row.cost_new:.0f}.",
+        f"* {len(improved)} routines improve, {len(ties)} tie, none regress "
+        f"(the paper: improvements concentrate on large routines, more "
+        f"than half tie).",
+        f"* Quicksort at {constrained.registers} registers: "
+        f"{constrained.spilled_old} -> {constrained.spilled_new} spills "
+        f"({constrained.spilled_pct}%; the paper measured 35% at its most "
+        f"constrained point).",
+        "",
+        "## Figure 5 — static improvements",
+        "",
+        _fence(figure5.to_table().render()),
+        "",
+        "## Figure 6 — quicksort register study",
+        "",
+        _fence(figure6.to_table().render()),
+        "",
+        "## Figure 7 — allocator phase times",
+        "",
+        _fence(figure7.to_table().render()),
+        "",
+        "## Ablations",
+        "",
+        _fence(ablations.to_table().render()),
+        "",
+        "## Integer study (3.2 extension)",
+        "",
+        _fence(intstudy.to_table().render()),
+        "",
+        "See EXPERIMENTS.md for the paper-vs-measured discussion of every "
+        "row.",
+        "",
+    ]
+    return "\n".join(lines)

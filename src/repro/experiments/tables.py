@@ -1,0 +1,74 @@
+"""Plain-text table rendering in the paper's layout."""
+
+from __future__ import annotations
+
+
+class Table:
+    """A simple aligned-column text table."""
+
+    def __init__(self, title: str, columns: list):
+        self.title = title
+        self.columns = columns
+        self.rows: list = []
+
+    def add_row(self, *values) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells, table has "
+                f"{len(self.columns)} columns"
+            )
+        self.rows.append([_render(v) for v in values])
+
+    def add_separator(self) -> None:
+        self.rows.append(None)
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            if row is None:
+                continue
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        lines = [self.title]
+        header = "  ".join(
+            name.rjust(width) for name, width in zip(self.columns, widths)
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            if row is None:
+                lines.append("-" * len(header))
+                continue
+            lines.append(
+                "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _render(value) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        if value == float("inf"):
+            # A cost-blind ordering can spill an "unspillable" range —
+            # the paper's "possibly terrible allocations".
+            return "inf"
+        if value == int(value) and abs(value) < 1e15:
+            return f"{int(value):,}"
+        return f"{value:.2f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def percent_improvement(old, new) -> int:
+    """The paper's "Pct." column: percentage reduction, floored to int.
+
+    Zero when there is nothing to improve (old == 0).
+    """
+    if old == 0:
+        return 0
+    return int(round(100.0 * (old - new) / old))

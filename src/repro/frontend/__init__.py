@@ -1,0 +1,10 @@
+"""Front end: lowering of analysed mini-FORTRAN ASTs to three-address IR.
+
+The one-call entry point for most users is :func:`compile_source`, which
+runs lex → parse → semantic analysis → lowering → verification and returns
+a ready :class:`repro.ir.Module`.
+"""
+
+from repro.frontend.lower import Lowering, compile_source, lower_program
+
+__all__ = ["Lowering", "compile_source", "lower_program"]

@@ -1,0 +1,530 @@
+"""Lowering: analysed mini-FORTRAN AST -> three-address IR.
+
+Conventions produced by this front end (and assumed by the allocator,
+simulator and encoder):
+
+* every scalar variable lives in one virtual register per routine (webs are
+  split later by :mod:`repro.analysis.webs`, the paper's "finding and
+  renumbering distinct live ranges");
+* scalar arguments are passed by value; array arguments as base addresses
+  in INT registers (a documented deviation from FORTRAN's by-reference
+  scalars — the workloads are written against these semantics);
+* array elements are word-sized, column-major, 1-based:
+  ``addr(a(i,j)) = base + (i-1) + (j-1)*dim1``;
+* counted DO loops with compile-time-constant step lower to a test-at-top
+  compare loop; a runtime step lowers to the FORTRAN 77 trip-count form;
+* ``stop`` lowers to a return from the current routine (the workloads only
+  use it at the end of the main program);
+* conditions lower with short-circuit evaluation into branch chains.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LoweringError
+from repro.lang import ast
+from repro.lang.parser import parse_program
+from repro.lang.sema import analyze
+from repro.lang.types import ArrayType, ScalarType
+from repro.ir import Function, IRBuilder, Instr, Module, RClass
+from repro.ir.module import FunctionSignature
+from repro.ir.verifier import verify_module
+
+_RELOP_NAME = {
+    "<": "lt",
+    "<=": "le",
+    ">": "gt",
+    ">=": "ge",
+    "==": "eq",
+    "!=": "ne",
+}
+
+_INT_BINOP = {"+": "iadd", "-": "isub", "*": "imul", "/": "idiv"}
+_FLOAT_BINOP = {"+": "fadd", "-": "fsub", "*": "fmul", "/": "fdiv"}
+
+#: Intrinsics that map to one IR instruction per class: name -> (int, float).
+_INTRINSIC_OPS = {
+    "abs": ("iabs", "fabs"),
+    "mod": ("imod", "fmod"),
+    "max": ("imax", "fmax"),
+    "min": ("imin", "fmin"),
+    "sign": ("isign", "fsign"),
+}
+
+#: Intrinsics that are float-only unary instructions.
+_FLOAT_UNARY = {
+    "sqrt": "fsqrt",
+    "exp": "fexp",
+    "log": "flog",
+    "sin": "fsin",
+    "cos": "fcos",
+}
+
+
+def _rclass(scalar: ScalarType) -> RClass:
+    return RClass.INT if scalar == ScalarType.INTEGER else RClass.FLOAT
+
+
+def _signature_classes(param_types: list) -> list:
+    classes = []
+    for t in param_types:
+        if isinstance(t, ArrayType):
+            classes.append(RClass.INT)
+        else:
+            classes.append(_rclass(t))
+    return classes
+
+
+class Lowering:
+    """Lowers one analysed program unit into a :class:`~repro.ir.Function`."""
+
+    def __init__(self, unit: ast.Subprogram, signatures: dict):
+        self.unit = unit
+        self.signatures = signatures
+        result = None
+        if isinstance(unit, ast.Function):
+            result = _rclass(signatures[unit.name].result_type)
+        self.function = Function(unit.name, result)
+        self.builder = IRBuilder(self.function)
+        self.vars: dict[str, object] = {}  # name -> VReg
+        self.result_vreg = None
+
+    # ------------------------------------------------------------------
+    # Driver
+    # ------------------------------------------------------------------
+
+    def run(self) -> Function:
+        self._set_up_symbols()
+        self.builder.start_block("entry")
+        self._initialise_result()
+        self._lower_stmts(self.unit.body)
+        if not self.builder.block.is_terminated:
+            self._emit_return()
+        self.function.remove_unreachable_blocks()
+        return self.function
+
+    def _set_up_symbols(self) -> None:
+        symtab = self.unit.symtab
+        # Parameters first, in declared order.
+        for name in self.unit.params:
+            symbol = symtab.lookup(name)
+            if symbol.is_array:
+                self.vars[name] = self.function.add_param(RClass.INT, name)
+            else:
+                self.vars[name] = self.function.add_param(
+                    _rclass(symbol.type), name
+                )
+        for symbol in symtab:
+            if symbol.is_param:
+                continue
+            if symbol.is_array:
+                self.function.add_frame_array(
+                    symbol.name, symbol.type.element_count()
+                )
+            elif symbol.is_result:
+                self.result_vreg = self.function.new_vreg(
+                    _rclass(symbol.type), symbol.name
+                )
+                self.vars[symbol.name] = self.result_vreg
+            else:
+                self.vars[symbol.name] = self.function.new_vreg(
+                    _rclass(symbol.type), symbol.name
+                )
+
+    def _initialise_result(self) -> None:
+        """Give a FUNCTION's result register a defined value on entry, so
+        an early RETURN before any assignment is still verifiable (FORTRAN
+        leaves it undefined; we define it as zero)."""
+        if self.result_vreg is None:
+            return
+        if self.result_vreg.rclass == RClass.INT:
+            self.builder.emit(Instr("li", [self.result_vreg], imm=0))
+        else:
+            self.builder.emit(Instr("lf", [self.result_vreg], imm=0.0))
+
+    def _emit_return(self) -> None:
+        if self.result_vreg is not None:
+            self.builder.ret(self.result_vreg)
+        else:
+            self.builder.ret()
+
+    def _fresh_dead_block(self) -> None:
+        """After a mid-list terminator, park remaining (dead) statements in
+        an unreachable block; it is deleted after lowering."""
+        self.builder.start_block("dead")
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def _lower_stmts(self, stmts: list) -> None:
+        for stmt in stmts:
+            if self.builder.block.is_terminated:
+                self._fresh_dead_block()
+            self._lower_stmt(stmt)
+
+    def _lower_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            self._lower_assign(stmt)
+        elif isinstance(stmt, ast.If):
+            self._lower_if(stmt)
+        elif isinstance(stmt, ast.DoLoop):
+            self._lower_do(stmt)
+        elif isinstance(stmt, ast.DoWhile):
+            self._lower_while(stmt)
+        elif isinstance(stmt, ast.CallStmt):
+            self._lower_call_args_and_emit(stmt.name, stmt.args, result=None)
+        elif isinstance(stmt, ast.Print):
+            for arg in stmt.args:
+                value = self._lower_expr(arg)
+                op = "print" if value.rclass == RClass.INT else "fprint"
+                self.builder.emit(Instr(op, uses=[value]))
+        elif isinstance(stmt, (ast.Return, ast.Stop)):
+            self._emit_return()
+        elif isinstance(stmt, ast.Continue):
+            pass
+        else:  # pragma: no cover
+            raise LoweringError(f"cannot lower {stmt!r}", stmt.location)
+
+    def _lower_assign(self, stmt: ast.Assign) -> None:
+        target = stmt.target
+        if isinstance(target, ast.VarRef):
+            dest = self.vars[target.name]
+            value = self._lower_expr(stmt.value)
+            value = self._coerce(value, dest.rclass)
+            self.builder.copy(dest, value)
+        else:  # ArrayRef element store
+            value = self._lower_expr(stmt.value)
+            value = self._coerce(value, _rclass(target.symbol.type.element))
+            address = self._element_address(target)
+            self.builder.store(value, address)
+
+    def _lower_if(self, stmt: ast.If) -> None:
+        join = self.builder.new_block("join")
+        for cond, body in stmt.arms:
+            then_block = self.builder.new_block("then")
+            else_block = self.builder.new_block("else")
+            self._lower_condition(cond, then_block, else_block)
+            self.builder.set_block(then_block)
+            self._lower_stmts(body)
+            if not self.builder.block.is_terminated:
+                self.builder.jump(join)
+            self.builder.set_block(else_block)
+        self._lower_stmts(stmt.else_body)
+        if not self.builder.block.is_terminated:
+            self.builder.jump(join)
+        # If every arm returned, the join is unreachable; it still gets
+        # lowered into (dead code) and is swept by unreachable-removal.
+        self.builder.set_block(join)
+
+    def _constant_step_sign(self, step) -> int | None:
+        """Sign of a compile-time-constant step expression, else None."""
+        if step is None:
+            return 1
+        if isinstance(step, ast.IntLit):
+            return 1 if step.value > 0 else (-1 if step.value < 0 else 0)
+        if isinstance(step, ast.UnOp) and step.op == "-":
+            inner = self._constant_step_sign(step.operand)
+            if inner is None:
+                return None
+            return -inner
+        return None
+
+    def _lower_do(self, stmt: ast.DoLoop) -> None:
+        var = self.vars[stmt.var]
+        start = self._coerce(self._lower_expr(stmt.start), RClass.INT)
+        limit = self._coerce(self._lower_expr(stmt.limit), RClass.INT)
+        sign = self._constant_step_sign(stmt.step)
+        if sign == 0:
+            raise LoweringError("do-loop step must not be zero", stmt.location)
+        if stmt.step is None:
+            step = self.builder.iconst(1, "step")
+        else:
+            step = self._coerce(self._lower_expr(stmt.step), RClass.INT)
+
+        if sign is not None:
+            # Compare-form loop: while (var <= limit) for positive step.
+            self.builder.copy(var, start)
+            check = self.builder.new_block("docheck")
+            body = self.builder.new_block("dobody")
+            exit_block = self.builder.new_block("doexit")
+            self.builder.jump(check)
+            self.builder.set_block(check)
+            relop = "le" if sign > 0 else "ge"
+            self.builder.branch(relop, var, limit, body, exit_block)
+            self.builder.set_block(body)
+            self._lower_stmts(stmt.body)
+            if not self.builder.block.is_terminated:
+                bumped = self.builder.binary("iadd", var, step, stmt.var)
+                self.builder.copy(var, bumped)
+                self.builder.jump(check)
+            self.builder.set_block(exit_block)
+            return
+
+        # Runtime step: FORTRAN 77 trip-count form,
+        # count = max(0, (limit - start + step) / step).
+        span = self.builder.binary("isub", limit, start)
+        biased = self.builder.binary("iadd", span, step)
+        quotient = self.builder.binary("idiv", biased, step)
+        zero = self.builder.iconst(0)
+        count = self.builder.binary("imax", quotient, zero, "trip")
+        self.builder.copy(var, start)
+        check = self.builder.new_block("docheck")
+        body = self.builder.new_block("dobody")
+        exit_block = self.builder.new_block("doexit")
+        self.builder.jump(check)
+        self.builder.set_block(check)
+        self.builder.branch("gt", count, zero, body, exit_block)
+        self.builder.set_block(body)
+        self._lower_stmts(stmt.body)
+        if not self.builder.block.is_terminated:
+            bumped = self.builder.binary("iadd", var, step, stmt.var)
+            self.builder.copy(var, bumped)
+            one = self.builder.iconst(1)
+            decremented = self.builder.binary("isub", count, one)
+            self.builder.copy(count, decremented)
+            self.builder.jump(check)
+        self.builder.set_block(exit_block)
+
+    def _lower_while(self, stmt: ast.DoWhile) -> None:
+        check = self.builder.new_block("whcheck")
+        body = self.builder.new_block("whbody")
+        exit_block = self.builder.new_block("whexit")
+        self.builder.jump(check)
+        self.builder.set_block(check)
+        self._lower_condition(stmt.cond, body, exit_block)
+        self.builder.set_block(body)
+        self._lower_stmts(stmt.body)
+        if not self.builder.block.is_terminated:
+            self.builder.jump(check)
+        self.builder.set_block(exit_block)
+
+    # ------------------------------------------------------------------
+    # Conditions (short-circuit lowering)
+    # ------------------------------------------------------------------
+
+    def _lower_condition(self, expr: ast.Expr, if_true, if_false) -> None:
+        if isinstance(expr, ast.UnOp) and expr.op == "not":
+            self._lower_condition(expr.operand, if_false, if_true)
+            return
+        if isinstance(expr, ast.BinOp) and expr.op == "and":
+            middle = self.builder.new_block("and")
+            self._lower_condition(expr.lhs, middle, if_false)
+            self.builder.set_block(middle)
+            self._lower_condition(expr.rhs, if_true, if_false)
+            return
+        if isinstance(expr, ast.BinOp) and expr.op == "or":
+            middle = self.builder.new_block("or")
+            self._lower_condition(expr.lhs, if_true, middle)
+            self.builder.set_block(middle)
+            self._lower_condition(expr.rhs, if_true, if_false)
+            return
+        if isinstance(expr, ast.BinOp) and expr.op in _RELOP_NAME:
+            lhs = self._lower_expr(expr.lhs)
+            rhs = self._lower_expr(expr.rhs)
+            if RClass.FLOAT in (lhs.rclass, rhs.rclass):
+                lhs = self._coerce(lhs, RClass.FLOAT)
+                rhs = self._coerce(rhs, RClass.FLOAT)
+            self.builder.branch(_RELOP_NAME[expr.op], lhs, rhs, if_true, if_false)
+            return
+        raise LoweringError(
+            f"expression {expr!r} is not a condition", expr.location
+        )
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def _coerce(self, value, rclass: RClass):
+        if value.rclass == rclass:
+            return value
+        if rclass == RClass.FLOAT:
+            return self.builder.i2f(value)
+        return self.builder.f2i(value)
+
+    def _lower_expr(self, expr: ast.Expr):
+        if isinstance(expr, ast.IntLit):
+            return self.builder.iconst(expr.value)
+        if isinstance(expr, ast.RealLit):
+            return self.builder.fconst(expr.value)
+        if isinstance(expr, ast.VarRef):
+            return self.vars[expr.name]
+        if isinstance(expr, ast.ArrayRef):
+            address = self._element_address(expr)
+            return self.builder.load(
+                address, _rclass(expr.symbol.type.element), expr.name
+            )
+        if isinstance(expr, ast.UnOp):
+            return self._lower_unop(expr)
+        if isinstance(expr, ast.BinOp):
+            return self._lower_binop(expr)
+        if isinstance(expr, ast.FuncCall):
+            if expr.intrinsic is not None:
+                return self._lower_intrinsic(expr)
+            sig = self.signatures[expr.name]
+            result = self.function.new_vreg(_rclass(sig.result_type), expr.name)
+            self._lower_call_args_and_emit(expr.name, expr.args, result)
+            return result
+        raise LoweringError(f"cannot lower expression {expr!r}", expr.location)
+
+    def _lower_unop(self, expr: ast.UnOp):
+        operand = self._lower_expr(expr.operand)
+        op = "ineg" if operand.rclass == RClass.INT else "fneg"
+        return self.builder.unary(op, operand)
+
+    def _lower_binop(self, expr: ast.BinOp):
+        if expr.op == "**":
+            return self._lower_power(expr)
+        lhs = self._lower_expr(expr.lhs)
+        rhs = self._lower_expr(expr.rhs)
+        if RClass.FLOAT in (lhs.rclass, rhs.rclass):
+            lhs = self._coerce(lhs, RClass.FLOAT)
+            rhs = self._coerce(rhs, RClass.FLOAT)
+            return self.builder.binary(_FLOAT_BINOP[expr.op], lhs, rhs)
+        return self.builder.binary(_INT_BINOP[expr.op], lhs, rhs)
+
+    def _lower_power(self, expr: ast.BinOp):
+        base = self._lower_expr(expr.lhs)
+        # x ** k for small constant k expands to multiplies (a classic
+        # FORTRAN strength reduction; keeps the FPU's pow off hot paths).
+        if isinstance(expr.rhs, ast.IntLit) and 1 <= expr.rhs.value <= 4:
+            result = base
+            for _ in range(expr.rhs.value - 1):
+                op = "imul" if base.rclass == RClass.INT else "fmul"
+                result = self.builder.binary(op, result, base)
+            return result
+        exponent = self._lower_expr(expr.rhs)
+        if base.rclass == RClass.INT and exponent.rclass == RClass.INT:
+            return self.builder.binary("ipow", base, exponent)
+        base = self._coerce(base, RClass.FLOAT)
+        exponent = self._coerce(exponent, RClass.FLOAT)
+        return self.builder.binary("fpow", base, exponent)
+
+    def _lower_intrinsic(self, expr: ast.FuncCall):
+        name = expr.intrinsic.name
+        if name in ("real", "float"):
+            return self._coerce(self._lower_expr(expr.args[0]), RClass.FLOAT)
+        if name == "int":
+            return self._coerce(self._lower_expr(expr.args[0]), RClass.INT)
+        if name == "iabs":
+            value = self._coerce(self._lower_expr(expr.args[0]), RClass.INT)
+            return self.builder.unary("iabs", value)
+        if name in _FLOAT_UNARY:
+            value = self._coerce(self._lower_expr(expr.args[0]), RClass.FLOAT)
+            return self.builder.unary(_FLOAT_UNARY[name], value)
+        if name == "abs":
+            value = self._lower_expr(expr.args[0])
+            op = "iabs" if value.rclass == RClass.INT else "fabs"
+            return self.builder.unary(op, value)
+        if name in _INTRINSIC_OPS:
+            int_op, float_op = _INTRINSIC_OPS[name]
+            values = [self._lower_expr(a) for a in expr.args]
+            target = (
+                RClass.FLOAT
+                if any(v.rclass == RClass.FLOAT for v in values)
+                else RClass.INT
+            )
+            values = [self._coerce(v, target) for v in values]
+            op = int_op if target == RClass.INT else float_op
+            result = values[0]
+            for value in values[1:]:
+                result = self.builder.binary(op, result, value)
+            return result
+        raise LoweringError(
+            f"intrinsic {name!r} not lowerable", expr.location
+        )  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # Arrays and calls
+    # ------------------------------------------------------------------
+
+    def _array_base(self, symbol):
+        """Base address of an array: parameter register or frame address."""
+        if symbol.is_param:
+            return self.vars[symbol.name]
+        return self.builder.frame_address(symbol.name, symbol.name)
+
+    def _extent_value(self, extent):
+        """An extent as an INT vreg: constant or adjustable variable."""
+        if isinstance(extent, int):
+            return self.builder.iconst(extent)
+        return self.vars[extent]  # adjustable: integer dummy argument
+
+    def _element_address(self, ref: ast.ArrayRef):
+        """Column-major, 1-based:
+        ``base + (i1-1) + (i2-1)*d1 + (i3-1)*d1*d2 ...``"""
+        symbol = ref.symbol
+        base = self._array_base(symbol)
+        one = self.builder.iconst(1)
+        offset = None
+        stride = None
+        for dim, index_expr in enumerate(ref.indices):
+            index = self._coerce(self._lower_expr(index_expr), RClass.INT)
+            term = self.builder.binary("isub", index, one)
+            if dim > 0:
+                term = self.builder.binary("imul", term, stride)
+            offset = (
+                term if offset is None else self.builder.binary("iadd", offset, term)
+            )
+            if dim + 1 < len(ref.indices):
+                extent = self._extent_value(symbol.type.dims[dim])
+                stride = (
+                    extent
+                    if stride is None
+                    else self.builder.binary("imul", stride, extent)
+                )
+        return self.builder.binary("iadd", base, offset, "addr")
+
+    def _lower_call_args_and_emit(self, name: str, args: list, result) -> None:
+        sig = self.signatures[name]
+        values = []
+        for arg, param_type in zip(args, sig.param_types):
+            if isinstance(param_type, ArrayType):
+                values.append(self._lower_array_argument(arg))
+            else:
+                value = self._lower_expr(arg)
+                values.append(self._coerce(value, _rclass(param_type)))
+        self.builder.call(name, values, result)
+
+    def _lower_array_argument(self, arg):
+        """Whole array -> base address; element reference -> the element's
+        address (FORTRAN sequence association)."""
+        if isinstance(arg, ast.VarRef):
+            return self._array_base(arg.symbol)
+        if isinstance(arg, ast.ArrayRef):
+            return self._element_address(arg)
+        raise LoweringError(
+            f"cannot pass {arg!r} as an array argument", arg.location
+        )  # pragma: no cover - sema rejects earlier
+
+
+def lower_program(program: ast.Program, name: str = "module") -> Module:
+    """Lower an *analysed* program to an IR module (with verification)."""
+    module = Module(name)
+    ir_signatures = {}
+    for unit_name, sig in program.signatures.items():
+        ir_signatures[unit_name] = FunctionSignature(
+            unit_name,
+            _signature_classes(sig.param_types),
+            None if sig.result_type is None else _rclass(sig.result_type),
+        )
+    for unit in program.units:
+        function = Lowering(unit, program.signatures).run()
+        module.add_function(function, ir_signatures[unit.name])
+        if isinstance(unit, ast.MainProgram):
+            module.entry = unit.name
+    verify_module(module)
+    return module
+
+
+def compile_source(source: str, name: str = "module", optimize: bool = False) -> Module:
+    """Compile mini-FORTRAN source text all the way to a verified module.
+
+    With ``optimize=True`` the scalar optimizer (:mod:`repro.opt`) runs
+    over every function before the module is returned.
+    """
+    module = lower_program(analyze(parse_program(source, name)), name)
+    if optimize:
+        from repro.opt import optimize_module
+
+        optimize_module(module)
+    return module

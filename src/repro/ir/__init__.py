@@ -1,0 +1,46 @@
+"""Three-address intermediate representation.
+
+The IR is a conventional non-SSA, virtual-register, load/store form — the
+"intermediate text" of a Chaitin-style compiler.  Values live in typed
+virtual registers (integer class ``i`` or floating class ``f``); memory is
+reached only through explicit ``load``/``store`` instructions; control flow
+is a graph of basic blocks ended by exactly one terminator.
+
+Modules of interest:
+
+* :mod:`repro.ir.values` — virtual registers.
+* :mod:`repro.ir.instructions` — opcode table and the ``Instr`` class.
+* :mod:`repro.ir.basicblock` / :mod:`repro.ir.function` /
+  :mod:`repro.ir.module` — containers.
+* :mod:`repro.ir.builder` — convenience construction API.
+* :mod:`repro.ir.printer` / :mod:`repro.ir.parser` — textual round trip.
+* :mod:`repro.ir.verifier` — structural and dataflow invariants.
+"""
+
+from repro.ir.values import RClass, VReg
+from repro.ir.instructions import Instr, OPCODES, OpSpec
+from repro.ir.basicblock import Block
+from repro.ir.function import Function, FrameArray
+from repro.ir.module import Module
+from repro.ir.builder import IRBuilder
+from repro.ir.printer import print_function, print_module
+from repro.ir.parser import parse_module
+from repro.ir.verifier import verify_function, verify_module
+
+__all__ = [
+    "RClass",
+    "VReg",
+    "Instr",
+    "OPCODES",
+    "OpSpec",
+    "Block",
+    "Function",
+    "FrameArray",
+    "Module",
+    "IRBuilder",
+    "print_function",
+    "print_module",
+    "parse_module",
+    "verify_function",
+    "verify_module",
+]

@@ -1,0 +1,52 @@
+"""Basic blocks: straight-line instruction sequences ending in a terminator."""
+
+from __future__ import annotations
+
+from repro.errors import IRError
+from repro.ir.instructions import Instr
+
+
+class Block:
+    """A labelled basic block.
+
+    ``instrs`` holds the instruction list; the last instruction must be the
+    block's only terminator once the function is complete (the verifier
+    enforces this).  ``loop_depth`` is annotated by loop analysis and read by
+    the spill-cost estimator.
+    """
+
+    __slots__ = ("label", "instrs", "loop_depth")
+
+    def __init__(self, label: str):
+        self.label = label
+        self.instrs: list[Instr] = []
+        self.loop_depth = 0
+
+    # ------------------------------------------------------------------
+
+    def append(self, instr: Instr) -> Instr:
+        self.instrs.append(instr)
+        return instr
+
+    @property
+    def terminator(self) -> Instr:
+        if not self.instrs or not self.instrs[-1].is_terminator:
+            raise IRError(f"block {self.label!r} lacks a terminator")
+        return self.instrs[-1]
+
+    @property
+    def is_terminated(self) -> bool:
+        return bool(self.instrs) and self.instrs[-1].is_terminator
+
+    def successor_labels(self) -> list:
+        """Labels of CFG successors (empty for ``ret``)."""
+        return list(self.terminator.targets)
+
+    def __iter__(self):
+        return iter(self.instrs)
+
+    def __len__(self) -> int:
+        return len(self.instrs)
+
+    def __repr__(self) -> str:
+        return f"Block({self.label}, {len(self.instrs)} instrs)"

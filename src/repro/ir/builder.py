@@ -1,0 +1,141 @@
+"""IRBuilder: ergonomic construction of IR, used by the front end and tests.
+
+The builder tracks a *current block* and appends instructions to it.  It
+never lets two terminators land in one block: emitting into a terminated
+block raises, which catches front-end control-flow bugs early.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IRError
+from repro.ir.basicblock import Block
+from repro.ir.function import Function
+from repro.ir.instructions import Instr, make_copy
+from repro.ir.values import RClass, VReg
+
+
+class IRBuilder:
+    """Builds instructions into a :class:`~repro.ir.function.Function`."""
+
+    def __init__(self, function: Function):
+        self.function = function
+        self.block: Block | None = None
+
+    # ------------------------------------------------------------------
+    # Position management
+    # ------------------------------------------------------------------
+
+    def set_block(self, block: Block) -> Block:
+        self.block = block
+        return block
+
+    def new_block(self, hint: str = "L") -> Block:
+        """Create a block (does not change the insertion point)."""
+        return self.function.new_block(hint)
+
+    def start_block(self, hint: str = "L") -> Block:
+        """Create a block and make it the insertion point."""
+        return self.set_block(self.new_block(hint))
+
+    # ------------------------------------------------------------------
+    # Emission primitives
+    # ------------------------------------------------------------------
+
+    def emit(self, instr: Instr) -> Instr:
+        if self.block is None:
+            raise IRError("builder has no current block")
+        if self.block.is_terminated:
+            raise IRError(
+                f"emitting {instr.op!r} into terminated block "
+                f"{self.block.label!r}"
+            )
+        return self.block.append(instr)
+
+    def vreg(self, rclass: RClass, name: str = "t") -> VReg:
+        return self.function.new_vreg(rclass, name)
+
+    # ------------------------------------------------------------------
+    # Typed conveniences
+    # ------------------------------------------------------------------
+
+    def iconst(self, value: int, name: str = "t") -> VReg:
+        dst = self.vreg(RClass.INT, name)
+        self.emit(Instr("li", [dst], imm=int(value)))
+        return dst
+
+    def fconst(self, value: float, name: str = "t") -> VReg:
+        dst = self.vreg(RClass.FLOAT, name)
+        self.emit(Instr("lf", [dst], imm=float(value)))
+        return dst
+
+    def binary(self, op: str, lhs: VReg, rhs: VReg, name: str = "t") -> VReg:
+        spec_class = lhs.rclass
+        dst = self.vreg(spec_class, name)
+        self.emit(Instr(op, [dst], [lhs, rhs]))
+        return dst
+
+    def unary(self, op: str, operand: VReg, name: str = "t") -> VReg:
+        from repro.ir.instructions import OPCODES
+
+        dst = self.vreg(OPCODES[op].def_classes[0], name)
+        self.emit(Instr(op, [dst], [operand]))
+        return dst
+
+    def copy(self, dst: VReg, src: VReg) -> Instr:
+        return self.emit(make_copy(dst, src))
+
+    def copy_to_new(self, src: VReg, name: str = "t") -> VReg:
+        dst = self.vreg(src.rclass, name)
+        self.copy(dst, src)
+        return dst
+
+    def i2f(self, src: VReg, name: str = "t") -> VReg:
+        dst = self.vreg(RClass.FLOAT, name)
+        self.emit(Instr("i2f", [dst], [src]))
+        return dst
+
+    def f2i(self, src: VReg, name: str = "t") -> VReg:
+        dst = self.vreg(RClass.INT, name)
+        self.emit(Instr("f2i", [dst], [src]))
+        return dst
+
+    def load(self, address: VReg, rclass: RClass, name: str = "t") -> VReg:
+        op = "load" if rclass == RClass.INT else "fload"
+        dst = self.vreg(rclass, name)
+        self.emit(Instr(op, [dst], [address]))
+        return dst
+
+    def store(self, value: VReg, address: VReg) -> Instr:
+        op = "store" if value.rclass == RClass.INT else "fstore"
+        return self.emit(Instr(op, uses=[value, address]))
+
+    def frame_address(self, symbol: str, name: str = "addr") -> VReg:
+        dst = self.vreg(RClass.INT, name)
+        self.emit(Instr("la", [dst], imm=symbol))
+        return dst
+
+    # ------------------------------------------------------------------
+    # Control flow
+    # ------------------------------------------------------------------
+
+    def jump(self, target: Block) -> Instr:
+        return self.emit(Instr("jmp", targets=[target.label]))
+
+    def branch(self, relop: str, lhs: VReg, rhs: VReg, if_true: Block, if_false: Block) -> Instr:
+        op = "cbr" if lhs.rclass == RClass.INT else "fcbr"
+        return self.emit(
+            Instr(
+                op,
+                uses=[lhs, rhs],
+                relop=relop,
+                targets=[if_true.label, if_false.label],
+            )
+        )
+
+    def ret(self, value: VReg | None = None) -> Instr:
+        uses = [value] if value is not None else []
+        return self.emit(Instr("ret", uses=uses))
+
+    def call(self, callee: str, args: list, result: VReg | None = None) -> Instr:
+        defs = [result] if result is not None else []
+        return self.emit(Instr("call", defs, list(args), callee=callee))

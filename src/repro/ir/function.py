@@ -1,0 +1,155 @@
+"""Functions: CFG + virtual-register file + stack frame."""
+
+from __future__ import annotations
+
+from repro.errors import IRError
+from repro.ir.basicblock import Block
+from repro.ir.values import RClass, VReg
+
+
+class FrameArray:
+    """A local array carved out of the function's frame.
+
+    ``offset`` is in words from the frame base; ``size`` is the element
+    count (mini-FORTRAN works in word-sized elements for both INTEGER and
+    REAL, like the RT/PC's 4-byte words).
+    """
+
+    __slots__ = ("name", "offset", "size")
+
+    def __init__(self, name: str, offset: int, size: int):
+        self.name = name
+        self.offset = offset
+        self.size = size
+
+    def __repr__(self) -> str:
+        return f"FrameArray({self.name}@{self.offset}+{self.size})"
+
+
+class Function:
+    """One compiled routine.
+
+    * ``params`` — virtual registers carrying the incoming arguments
+      (scalars by value, arrays as base addresses in INT registers);
+    * ``blocks`` — ordered list, entry first;
+    * ``frame_arrays`` — local arrays (word offsets into the frame);
+    * ``spill_slots`` — number of spill slots allocated so far (they sit
+      after the arrays in the frame);
+    * ``result_class`` — register class of the return value, or ``None``.
+    """
+
+    def __init__(self, name: str, result_class: RClass | None = None):
+        self.name = name
+        self.result_class = result_class
+        self.params: list[VReg] = []
+        self.blocks: list[Block] = []
+        self._blocks_by_label: dict[str, Block] = {}
+        self.vregs: list[VReg] = []
+        self.frame_arrays: dict[str, FrameArray] = {}
+        self._frame_words = 0
+        self.spill_slots = 0
+        self._next_label = 0
+
+    # ------------------------------------------------------------------
+    # Virtual registers
+    # ------------------------------------------------------------------
+
+    def new_vreg(self, rclass: RClass, name: str = "t", is_spill_temp: bool = False) -> VReg:
+        vreg = VReg(len(self.vregs), rclass, name, is_spill_temp)
+        self.vregs.append(vreg)
+        return vreg
+
+    def add_param(self, rclass: RClass, name: str) -> VReg:
+        vreg = self.new_vreg(rclass, name)
+        self.params.append(vreg)
+        return vreg
+
+    # ------------------------------------------------------------------
+    # Blocks
+    # ------------------------------------------------------------------
+
+    def new_block(self, hint: str = "L") -> Block:
+        label = f"{hint}{self._next_label}"
+        self._next_label += 1
+        return self.add_block(Block(label))
+
+    def add_block(self, block: Block) -> Block:
+        if block.label in self._blocks_by_label:
+            raise IRError(f"duplicate block label {block.label!r}")
+        self.blocks.append(block)
+        self._blocks_by_label[block.label] = block
+        return block
+
+    def block(self, label: str) -> Block:
+        block = self._blocks_by_label.get(label)
+        if block is None:
+            raise IRError(f"no block labelled {label!r} in {self.name}")
+        return block
+
+    @property
+    def entry(self) -> Block:
+        if not self.blocks:
+            raise IRError(f"function {self.name} has no blocks")
+        return self.blocks[0]
+
+    def remove_unreachable_blocks(self) -> int:
+        """Drop blocks not reachable from entry; returns how many went."""
+        reachable = set()
+        stack = [self.entry.label]
+        while stack:
+            label = stack.pop()
+            if label in reachable:
+                continue
+            reachable.add(label)
+            stack.extend(self.block(label).successor_labels())
+        removed = [b for b in self.blocks if b.label not in reachable]
+        if removed:
+            self.blocks = [b for b in self.blocks if b.label in reachable]
+            self._blocks_by_label = {b.label: b for b in self.blocks}
+        return len(removed)
+
+    # ------------------------------------------------------------------
+    # Frame
+    # ------------------------------------------------------------------
+
+    def add_frame_array(self, name: str, size: int) -> FrameArray:
+        if name in self.frame_arrays:
+            raise IRError(f"duplicate frame array {name!r}")
+        array = FrameArray(name, self._frame_words, size)
+        self.frame_arrays[name] = array
+        self._frame_words += size
+        return array
+
+    def new_spill_slot(self) -> int:
+        """Allocate one spill slot; returns its index."""
+        slot = self.spill_slots
+        self.spill_slots += 1
+        return slot
+
+    @property
+    def frame_words(self) -> int:
+        """Total frame size in words: arrays then spill slots."""
+        return self._frame_words + self.spill_slots
+
+    def spill_slot_offset(self, slot: int) -> int:
+        """Word offset of a spill slot within the frame."""
+        return self._frame_words + slot
+
+    # ------------------------------------------------------------------
+    # Iteration helpers
+    # ------------------------------------------------------------------
+
+    def instructions(self):
+        """Yield (block, index, instr) over the whole function."""
+        for block in self.blocks:
+            for index, instr in enumerate(block.instrs):
+                yield block, index, instr
+
+    def instruction_count(self) -> int:
+        return sum(len(block) for block in self.blocks)
+
+    def __repr__(self) -> str:
+        return (
+            f"Function({self.name}, {len(self.blocks)} blocks, "
+            f"{len(self.vregs)} vregs)"
+        )

@@ -1,0 +1,269 @@
+"""The IR instruction set and its static operand signatures.
+
+Every opcode has an :class:`OpSpec` describing how many values it defines
+and uses and in which register classes.  Machine-dependent properties
+(encoded size, cycle cost) live in :mod:`repro.machine`; this module is the
+machine-independent core the analyses and the allocator work from.
+
+Instruction categories:
+
+==============  =====================================================
+constants       ``li`` (int immediate), ``lf`` (float immediate)
+int arith       ``iadd isub imul idiv imod ineg iabs imin imax isign ipow``
+float arith     ``fadd fsub fmul fdiv fneg fabs fmin fmax fsign fmod``
+                ``fsqrt fexp flog fsin fcos fpow``
+copies          ``mov`` (int), ``fmov`` (float) — coalescing candidates
+conversions     ``i2f``, ``f2i`` (truncation)
+memory          ``load fload store fstore`` (address in an int register),
+                ``la`` (address of a frame array)
+spill code      ``spill fspill reload freload`` (frame slot in ``imm``)
+control         ``jmp``, ``cbr``/``fcbr`` (relop + two targets), ``ret``
+calls           ``call`` (arbitrary argument registers, optional result)
+misc            ``print`` / ``fprint`` (simulator output), ``nop``
+==============  =====================================================
+"""
+
+from __future__ import annotations
+
+from repro.errors import IRError
+from repro.ir.values import RClass, VReg
+
+I = RClass.INT
+F = RClass.FLOAT
+
+#: Relational operators usable in ``cbr``/``fcbr``.
+RELOPS = ("lt", "le", "gt", "ge", "eq", "ne")
+
+
+class OpSpec:
+    """Static signature of one opcode."""
+
+    __slots__ = (
+        "name",
+        "def_classes",
+        "use_classes",
+        "imm_kind",
+        "is_copy",
+        "is_terminator",
+        "is_call",
+        "is_mem",
+        "variadic",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        def_classes: tuple = (),
+        use_classes: tuple = (),
+        imm_kind: str | None = None,
+        is_copy: bool = False,
+        is_terminator: bool = False,
+        is_call: bool = False,
+        is_mem: bool = False,
+        variadic: bool = False,
+    ):
+        self.name = name
+        self.def_classes = def_classes
+        self.use_classes = use_classes
+        self.imm_kind = imm_kind  # None | "int" | "float" | "symbol" | "slot"
+        self.is_copy = is_copy
+        self.is_terminator = is_terminator
+        self.is_call = is_call
+        self.is_mem = is_mem
+        self.variadic = variadic
+
+    def __repr__(self) -> str:
+        return f"OpSpec({self.name})"
+
+
+def _binary(name: str, cls: RClass) -> OpSpec:
+    return OpSpec(name, (cls,), (cls, cls))
+
+
+def _unary(name: str, cls: RClass) -> OpSpec:
+    return OpSpec(name, (cls,), (cls,))
+
+
+OPCODES: dict[str, OpSpec] = {
+    spec.name: spec
+    for spec in [
+        # Constants.
+        OpSpec("li", (I,), (), imm_kind="int"),
+        OpSpec("lf", (F,), (), imm_kind="float"),
+        # Integer arithmetic.
+        _binary("iadd", I),
+        _binary("isub", I),
+        _binary("imul", I),
+        _binary("idiv", I),
+        _binary("imod", I),
+        _binary("imin", I),
+        _binary("imax", I),
+        _binary("isign", I),
+        _binary("ipow", I),
+        _unary("ineg", I),
+        _unary("iabs", I),
+        # Floating-point arithmetic.
+        _binary("fadd", F),
+        _binary("fsub", F),
+        _binary("fmul", F),
+        _binary("fdiv", F),
+        _binary("fmin", F),
+        _binary("fmax", F),
+        _binary("fsign", F),
+        _binary("fmod", F),
+        _binary("fpow", F),
+        _unary("fneg", F),
+        _unary("fabs", F),
+        _unary("fsqrt", F),
+        _unary("fexp", F),
+        _unary("flog", F),
+        _unary("fsin", F),
+        _unary("fcos", F),
+        # Copies.
+        OpSpec("mov", (I,), (I,), is_copy=True),
+        OpSpec("fmov", (F,), (F,), is_copy=True),
+        # Conversions.
+        OpSpec("i2f", (F,), (I,)),
+        OpSpec("f2i", (I,), (F,)),
+        # Memory.
+        OpSpec("load", (I,), (I,), is_mem=True),
+        OpSpec("fload", (F,), (I,), is_mem=True),
+        OpSpec("store", (), (I, I), is_mem=True),  # value, address
+        OpSpec("fstore", (), (F, I), is_mem=True),  # value, address
+        OpSpec("la", (I,), (), imm_kind="symbol"),
+        # Spill code (frame slot in imm).
+        OpSpec("spill", (), (I,), imm_kind="slot", is_mem=True),
+        OpSpec("fspill", (), (F,), imm_kind="slot", is_mem=True),
+        OpSpec("reload", (I,), (), imm_kind="slot", is_mem=True),
+        OpSpec("freload", (F,), (), imm_kind="slot", is_mem=True),
+        # Control flow.
+        OpSpec("jmp", (), (), is_terminator=True),
+        OpSpec("cbr", (), (I, I), is_terminator=True),
+        OpSpec("fcbr", (), (F, F), is_terminator=True),
+        OpSpec("ret", (), (), is_terminator=True, variadic=True),
+        # Calls.
+        OpSpec("call", (), (), is_call=True, variadic=True),
+        # Miscellaneous.
+        OpSpec("print", (), (I,)),
+        OpSpec("fprint", (), (F,)),
+        OpSpec("nop", (), ()),
+    ]
+}
+
+
+class Instr:
+    """One three-address instruction.
+
+    Fields beyond ``defs``/``uses``:
+
+    * ``imm`` — immediate (int/float constant, frame symbol, or spill slot);
+    * ``targets`` — branch target labels (``jmp``: 1, ``cbr``/``fcbr``: 2,
+      taken-if-true first);
+    * ``relop`` — comparison for conditional branches;
+    * ``callee`` — called function name for ``call``.
+    """
+
+    __slots__ = ("op", "defs", "uses", "imm", "targets", "relop", "callee")
+
+    def __init__(
+        self,
+        op: str,
+        defs: list | None = None,
+        uses: list | None = None,
+        imm=None,
+        targets: list | None = None,
+        relop: str | None = None,
+        callee: str | None = None,
+    ):
+        spec = OPCODES.get(op)
+        if spec is None:
+            raise IRError(f"unknown opcode {op!r}")
+        self.op = op
+        self.defs = defs or []
+        self.uses = uses or []
+        self.imm = imm
+        self.targets = targets or []
+        self.relop = relop
+        self.callee = callee
+        self._check(spec)
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+
+    def _check(self, spec: OpSpec) -> None:
+        if not spec.variadic and not spec.is_call:
+            if len(self.defs) != len(spec.def_classes):
+                raise IRError(
+                    f"{self.op}: expected {len(spec.def_classes)} defs, "
+                    f"got {len(self.defs)}"
+                )
+            if len(self.uses) != len(spec.use_classes):
+                raise IRError(
+                    f"{self.op}: expected {len(spec.use_classes)} uses, "
+                    f"got {len(self.uses)}"
+                )
+            for vreg, cls in zip(self.defs, spec.def_classes):
+                if vreg.rclass != cls:
+                    raise IRError(
+                        f"{self.op}: def {vreg!r} must be class {cls}"
+                    )
+            for vreg, cls in zip(self.uses, spec.use_classes):
+                if vreg.rclass != cls:
+                    raise IRError(
+                        f"{self.op}: use {vreg!r} must be class {cls}"
+                    )
+        if self.op in ("cbr", "fcbr"):
+            if self.relop not in RELOPS:
+                raise IRError(f"{self.op}: bad relop {self.relop!r}")
+            if len(self.targets) != 2:
+                raise IRError(f"{self.op}: needs two targets")
+        if self.op == "jmp" and len(self.targets) != 1:
+            raise IRError("jmp: needs exactly one target")
+        if self.op == "call" and not self.callee:
+            raise IRError("call: missing callee")
+        if self.op == "ret" and len(self.uses) > 1:
+            raise IRError("ret: at most one value")
+        if self.op == "call" and len(self.defs) > 1:
+            raise IRError("call: at most one result")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def spec(self) -> OpSpec:
+        return OPCODES[self.op]
+
+    @property
+    def is_copy(self) -> bool:
+        return self.spec.is_copy
+
+    @property
+    def is_terminator(self) -> bool:
+        return self.spec.is_terminator
+
+    @property
+    def is_call(self) -> bool:
+        return self.spec.is_call
+
+    def replace_uses(self, mapping: dict) -> None:
+        """Rewrite use operands through ``mapping`` (identity when absent)."""
+        self.uses = [mapping.get(u, u) for u in self.uses]
+
+    def replace_defs(self, mapping: dict) -> None:
+        """Rewrite def operands through ``mapping`` (identity when absent)."""
+        self.defs = [mapping.get(d, d) for d in self.defs]
+
+    def __repr__(self) -> str:
+        from repro.ir.printer import format_instr
+
+        return f"<{format_instr(self)}>"
+
+
+def make_copy(dst: VReg, src: VReg) -> Instr:
+    """Build a register-to-register copy of the right class."""
+    if dst.rclass != src.rclass:
+        raise IRError(f"copy between classes: {dst!r} <- {src!r}")
+    op = "mov" if dst.rclass == RClass.INT else "fmov"
+    return Instr(op, [dst], [src])

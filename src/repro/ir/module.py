@@ -1,0 +1,66 @@
+"""Modules: a set of functions compiled together, plus call signatures."""
+
+from __future__ import annotations
+
+from repro.errors import IRError
+from repro.ir.function import Function
+from repro.ir.values import RClass
+
+
+class FunctionSignature:
+    """Calling interface of a function as seen by the IR.
+
+    ``param_classes`` holds the register class of each argument (array
+    arguments travel as addresses in INT registers); ``result_class`` is
+    ``None`` for subroutines.
+    """
+
+    __slots__ = ("name", "param_classes", "result_class")
+
+    def __init__(self, name: str, param_classes: list, result_class: RClass | None):
+        self.name = name
+        self.param_classes = list(param_classes)
+        self.result_class = result_class
+
+    def __repr__(self) -> str:
+        params = "".join(str(c) for c in self.param_classes)
+        result = str(self.result_class) if self.result_class else "void"
+        return f"Signature({self.name}({params}) -> {result})"
+
+
+class Module:
+    """A compiled program: functions by name, with an optional entry point."""
+
+    def __init__(self, name: str = "module"):
+        self.name = name
+        self.functions: dict[str, Function] = {}
+        self.signatures: dict[str, FunctionSignature] = {}
+        self.entry: str | None = None
+
+    def add_function(self, function: Function, signature: FunctionSignature) -> Function:
+        if function.name in self.functions:
+            raise IRError(f"duplicate function {function.name!r}")
+        self.functions[function.name] = function
+        self.signatures[function.name] = signature
+        return function
+
+    def function(self, name: str) -> Function:
+        function = self.functions.get(name)
+        if function is None:
+            raise IRError(f"no function named {name!r} in module {self.name}")
+        return function
+
+    def signature(self, name: str) -> FunctionSignature:
+        signature = self.signatures.get(name)
+        if signature is None:
+            raise IRError(f"no signature for {name!r} in module {self.name}")
+        return signature
+
+    def __iter__(self):
+        return iter(self.functions.values())
+
+    def __len__(self) -> int:
+        return len(self.functions)
+
+    def __repr__(self) -> str:
+        return f"Module({self.name}, {len(self.functions)} functions)"

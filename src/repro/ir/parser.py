@@ -1,0 +1,172 @@
+"""Parser for the textual IR emitted by :mod:`repro.ir.printer`.
+
+Used by tests (round-trip property) and handy for writing IR fixtures by
+hand.  The parser is line-oriented and regex-based; it reconstructs virtual
+registers with their printed ids so a parse→print cycle is the identity.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import IRError
+from repro.ir.basicblock import Block
+from repro.ir.function import Function
+from repro.ir.instructions import Instr, OPCODES
+from repro.ir.module import FunctionSignature, Module
+from repro.ir.values import RClass, VReg
+
+_FUNC_RE = re.compile(
+    r"^func @(?P<name>\w+)\((?P<params>[^)]*)\)"
+    r"(?:\s*->\s*(?P<result>[if]))?"
+    r"\s*frame=\[(?P<frame>.*)\]\s*\{$"
+)
+_LABEL_RE = re.compile(r"^(?P<label>\w+):$")
+_VREG_RE = re.compile(r"^%(?P<cls>[if])(?P<id>\d+)(?::(?P<name>\w+))?$")
+_CALL_RE = re.compile(
+    r"^(?:(?P<def>%\S+)\s*=\s*)?call @(?P<callee>\w+)\((?P<args>[^)]*)\)$"
+)
+_SLOT_RE = re.compile(r"^slot\((?P<slot>\d+)\)$")
+_FRAME_ITEM_RE = re.compile(r"^(?P<name>\w+)\[(?P<size>\d+)\]$")
+
+
+class _FunctionParser:
+    """Parses one ``func`` body; owns the vreg interning table."""
+
+    def __init__(self, name: str, result_class):
+        self.function = Function(name, result_class)
+        self.vregs: dict[int, VReg] = {}
+        self.block: Block | None = None
+
+    def intern(self, text: str) -> VReg:
+        match = _VREG_RE.match(text.strip())
+        if match is None:
+            raise IRError(f"bad operand {text!r}")
+        vid = int(match.group("id"))
+        rclass = RClass.INT if match.group("cls") == "i" else RClass.FLOAT
+        vreg = self.vregs.get(vid)
+        if vreg is None:
+            vreg = VReg(vid, rclass, match.group("name") or "t")
+            self.vregs[vid] = vreg
+        elif vreg.rclass != rclass:
+            raise IRError(f"vreg %{vid} used with two classes")
+        return vreg
+
+    def finish(self) -> Function:
+        self.function.vregs = [
+            self.vregs[i] for i in sorted(self.vregs)
+        ]
+        return self.function
+
+
+def _split_operands(text: str) -> list:
+    text = text.strip()
+    if not text:
+        return []
+    return [part.strip() for part in text.split(",")]
+
+
+def _parse_instr(parser: _FunctionParser, line: str) -> Instr:
+    call = _CALL_RE.match(line)
+    if call is not None:
+        defs = [parser.intern(call.group("def"))] if call.group("def") else []
+        uses = [parser.intern(a) for a in _split_operands(call.group("args"))]
+        return Instr("call", defs, uses, callee=call.group("callee"))
+
+    defs: list[VReg] = []
+    rest = line
+    if " = " in line:
+        lhs, rest = line.split(" = ", 1)
+        defs = [parser.intern(part) for part in _split_operands(lhs)]
+    tokens = rest.split(None, 1)
+    op = tokens[0]
+    spec = OPCODES.get(op)
+    if spec is None:
+        raise IRError(f"unknown opcode in line {line!r}")
+    operand_text = tokens[1] if len(tokens) > 1 else ""
+
+    if op in ("cbr", "fcbr"):
+        relop, operand_text = operand_text.split(None, 1)
+        parts = _split_operands(operand_text)
+        if len(parts) != 4:
+            raise IRError(f"malformed branch {line!r}")
+        uses = [parser.intern(parts[0]), parser.intern(parts[1])]
+        return Instr(op, uses=uses, relop=relop, targets=[parts[2], parts[3]])
+    if op == "jmp":
+        return Instr("jmp", targets=[operand_text.strip()])
+
+    uses: list[VReg] = []
+    imm = None
+    for part in _split_operands(operand_text):
+        if part.startswith("%"):
+            uses.append(parser.intern(part))
+            continue
+        slot = _SLOT_RE.match(part)
+        if slot is not None:
+            imm = int(slot.group("slot"))
+        elif part.startswith("@"):
+            imm = part[1:]
+        elif spec.imm_kind == "float":
+            imm = float(part)
+        elif spec.imm_kind == "int":
+            imm = int(part)
+        else:
+            raise IRError(f"unexpected operand {part!r} in {line!r}")
+    return Instr(op, defs, uses, imm=imm)
+
+
+def parse_module(text: str, name: str = "module") -> Module:
+    """Parse the printer's output back into a :class:`Module`."""
+    module = Module(name)
+    parser: _FunctionParser | None = None
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line == "}":
+            if parser is None:
+                raise IRError("unmatched '}'")
+            function = parser.finish()
+            classes = [p.rclass for p in function.params]
+            module.add_function(
+                function,
+                FunctionSignature(function.name, classes, function.result_class),
+            )
+            parser = None
+            continue
+        header = _FUNC_RE.match(line)
+        if header is not None:
+            if parser is not None:
+                raise IRError("nested func")
+            result = header.group("result")
+            result_class = (
+                None
+                if result is None
+                else (RClass.INT if result == "i" else RClass.FLOAT)
+            )
+            parser = _FunctionParser(header.group("name"), result_class)
+            for text_param in _split_operands(header.group("params")):
+                vreg = parser.intern(text_param)
+                parser.function.params.append(vreg)
+            for item in _split_operands(header.group("frame")):
+                m = _FRAME_ITEM_RE.match(item)
+                if m is None:
+                    raise IRError(f"bad frame item {item!r}")
+                parser.function.add_frame_array(
+                    m.group("name"), int(m.group("size"))
+                )
+            continue
+        if parser is None:
+            raise IRError(f"instruction outside function: {line!r}")
+        label = _LABEL_RE.match(line)
+        if label is not None:
+            block = Block(label.group("label"))
+            parser.function.add_block(block)
+            parser.block = block
+            continue
+        if parser.block is None:
+            raise IRError(f"instruction before first label: {line!r}")
+        parser.block.append(_parse_instr(parser, line))
+    if parser is not None:
+        raise IRError("unterminated func")
+    return module

@@ -1,0 +1,77 @@
+"""Textual form of the IR.
+
+Format example::
+
+    func @daxpy(%i0:n, %f1:da, %i2:dx, %i3:dy) frame=[] {
+    entry0:
+      li %i4, 1
+      cbr le %i0, %i4, ret1, loop2
+    loop2:
+      ...
+    }
+
+The grammar is intentionally regular so :mod:`repro.ir.parser` can read it
+back; the round trip is covered by the test suite.
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+from repro.ir.instructions import Instr
+from repro.ir.module import Module
+
+
+def format_operand(vreg) -> str:
+    return vreg.pretty()
+
+
+def format_instr(instr: Instr) -> str:
+    """Render a single instruction (no indentation)."""
+    parts: list[str] = []
+    if instr.op in ("cbr", "fcbr"):
+        ops = ", ".join(format_operand(u) for u in instr.uses)
+        return f"{instr.op} {instr.relop} {ops}, {instr.targets[0]}, {instr.targets[1]}"
+    if instr.op == "jmp":
+        return f"jmp {instr.targets[0]}"
+    if instr.op == "call":
+        args = ", ".join(format_operand(u) for u in instr.uses)
+        call = f"call @{instr.callee}({args})"
+        if instr.defs:
+            return f"{format_operand(instr.defs[0])} = {call}"
+        return call
+    for d in instr.defs:
+        parts.append(format_operand(d))
+    head = f"{', '.join(parts)} = {instr.op}" if parts else instr.op
+    tail: list[str] = [format_operand(u) for u in instr.uses]
+    if instr.imm is not None:
+        if instr.spec.imm_kind == "symbol":
+            tail.append(f"@{instr.imm}")
+        elif instr.spec.imm_kind == "slot":
+            tail.append(f"slot({instr.imm})")
+        else:
+            tail.append(repr(instr.imm))
+    if tail:
+        return f"{head} {', '.join(tail)}"
+    return head
+
+
+def print_function(function: Function) -> str:
+    """Render a whole function."""
+    params = ", ".join(p.pretty() for p in function.params)
+    frame = ", ".join(
+        f"{a.name}[{a.size}]" for a in function.frame_arrays.values()
+    )
+    result = f" -> {function.result_class}" if function.result_class else ""
+    lines = [f"func @{function.name}({params}){result} frame=[{frame}] {{"]
+    for block in function.blocks:
+        lines.append(f"{block.label}:")
+        for instr in block.instrs:
+            lines.append(f"  {format_instr(instr)}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_module(module: Module) -> str:
+    """Render every function in the module."""
+    chunks = [print_function(f) for f in module]
+    return "\n\n".join(chunks) + "\n"

@@ -1,0 +1,60 @@
+"""Virtual registers: the values of the IR.
+
+A virtual register belongs to one of two register classes, mirroring the
+RT/PC's separate general-purpose and floating-point files:
+
+* ``RClass.INT`` (``i``) — integers *and addresses*;
+* ``RClass.FLOAT`` (``f``) — floating-point values.
+
+Register allocation colors each class against its own physical file, exactly
+as the paper's allocator treats the sixteen GPRs and eight FPRs.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class RClass(enum.Enum):
+    """Register class of a virtual register."""
+
+    INT = "i"
+    FLOAT = "f"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class VReg:
+    """A virtual register.
+
+    ``name`` is a human-readable hint (the FORTRAN variable it came from, or
+    ``t`` for compiler temporaries).  ``is_spill_temp`` marks the short-lived
+    registers introduced by spill code; the cost model makes them effectively
+    unspillable so the Build–Simplify–Select cycle terminates (paper §3.3:
+    "spilling a live range ... divides that live range into several shorter
+    live ranges").
+    """
+
+    __slots__ = ("id", "rclass", "name", "is_spill_temp")
+
+    def __init__(self, id: int, rclass: RClass, name: str = "t", is_spill_temp: bool = False):
+        self.id = id
+        self.rclass = rclass
+        self.name = name
+        self.is_spill_temp = is_spill_temp
+
+    def __repr__(self) -> str:
+        return f"%{self.rclass}{self.id}"
+
+    def pretty(self) -> str:
+        """Printer form, including the name hint: ``%i3:n``."""
+        if self.name and self.name != "t":
+            return f"%{self.rclass}{self.id}:{self.name}"
+        return f"%{self.rclass}{self.id}"
+
+    def __hash__(self) -> int:
+        return self.id
+
+    def __eq__(self, other: object) -> bool:
+        return self is other

@@ -1,0 +1,195 @@
+"""IR verifier: structural and dataflow invariants.
+
+Checks, per function:
+
+* every block is non-empty and ends in exactly one terminator, which is the
+  only terminator in the block;
+* every branch target names an existing block;
+* operand register classes match the opcode signature (re-checked here even
+  though :class:`~repro.ir.instructions.Instr` checks on construction,
+  because passes mutate operand lists in place);
+* ``la`` symbols name frame arrays; spill slots are within range;
+* the function's ``ret`` instructions carry a value iff the function has a
+  result class, of that class;
+* *definite assignment*: no path from entry reaches a use of a virtual
+  register before a definition of it (parameters count as defined on
+  entry).  This is a forward may-be-undefined dataflow over bitsets.
+"""
+
+from __future__ import annotations
+
+from repro.errors import VerificationError
+from repro.ir.function import Function
+from repro.ir.module import Module
+
+
+def _fail(function: Function, message: str) -> None:
+    raise VerificationError(f"{function.name}: {message}")
+
+
+def _check_structure(function: Function) -> None:
+    if not function.blocks:
+        _fail(function, "function has no blocks")
+    labels = {block.label for block in function.blocks}
+    if len(labels) != len(function.blocks):
+        _fail(function, "duplicate block labels")
+    for block in function.blocks:
+        if not block.instrs:
+            _fail(function, f"block {block.label} is empty")
+        for index, instr in enumerate(block.instrs):
+            last = index == len(block.instrs) - 1
+            if instr.is_terminator and not last:
+                _fail(
+                    function,
+                    f"terminator {instr.op} in the middle of {block.label}",
+                )
+            if last and not instr.is_terminator:
+                _fail(function, f"block {block.label} does not end in a terminator")
+            for target in instr.targets:
+                if target not in labels:
+                    _fail(function, f"branch to unknown block {target!r}")
+
+
+def _check_operands(function: Function) -> None:
+    for block, _index, instr in function.instructions():
+        spec = instr.spec
+        if not spec.variadic and not spec.is_call:
+            if len(instr.defs) != len(spec.def_classes) or len(instr.uses) != len(
+                spec.use_classes
+            ):
+                _fail(
+                    function,
+                    f"{block.label}: {instr.op} has wrong operand count",
+                )
+            for vreg, cls in zip(instr.defs, spec.def_classes):
+                if vreg.rclass != cls:
+                    _fail(
+                        function,
+                        f"{block.label}: {instr.op} def {vreg!r} "
+                        f"should be class {cls}",
+                    )
+            for vreg, cls in zip(instr.uses, spec.use_classes):
+                if vreg.rclass != cls:
+                    _fail(
+                        function,
+                        f"{block.label}: {instr.op} use {vreg!r} "
+                        f"should be class {cls}",
+                    )
+        if instr.op == "la":
+            if instr.imm not in function.frame_arrays:
+                _fail(function, f"la of unknown frame array {instr.imm!r}")
+        if spec.imm_kind == "slot":
+            if not isinstance(instr.imm, int) or not (
+                0 <= instr.imm < function.spill_slots
+            ):
+                _fail(function, f"{instr.op} uses invalid spill slot {instr.imm!r}")
+        if instr.op == "ret":
+            if function.result_class is None:
+                if instr.uses:
+                    _fail(function, "ret with a value in a subroutine")
+            else:
+                if not instr.uses:
+                    _fail(function, "ret without a value in a function")
+                if instr.uses[0].rclass != function.result_class:
+                    _fail(function, "ret value has the wrong register class")
+
+
+def _check_definite_assignment(function: Function) -> None:
+    max_id = max((v.id for v in function.vregs), default=-1)
+    if max_id < 0:
+        return
+    all_mask = (1 << (max_id + 1)) - 1
+
+    entry_defined = 0
+    for param in function.params:
+        entry_defined |= 1 << param.id
+
+    # defined_out[label]: set of vregs definitely assigned when the block
+    # exits.  Initialised to "everything" (top) and refined by intersection.
+    defined_in: dict[str, int] = {}
+    order = function.blocks
+    preds: dict[str, list] = {block.label: [] for block in order}
+    for block in order:
+        for target in block.successor_labels():
+            preds[target].append(block.label)
+
+    defined_out = {block.label: all_mask for block in order}
+    defined_out[function.entry.label] = 0  # recomputed below
+    changed = True
+    while changed:
+        changed = False
+        for block in order:
+            if block is function.entry:
+                live_in = entry_defined
+            else:
+                live_in = all_mask
+                for pred in preds[block.label]:
+                    live_in &= defined_out[pred]
+                if not preds[block.label]:
+                    live_in = entry_defined  # unreachable; be conservative
+            defined_in[block.label] = live_in
+            defined = live_in
+            for instr in block.instrs:
+                for d in instr.defs:
+                    defined |= 1 << d.id
+            if defined != defined_out[block.label]:
+                defined_out[block.label] = defined
+                changed = True
+
+    for block in order:
+        defined = defined_in[block.label]
+        for instr in block.instrs:
+            for use in instr.uses:
+                if not (defined >> use.id) & 1:
+                    _fail(
+                        function,
+                        f"{block.label}: {use!r} may be used before "
+                        f"definition (in {instr.op})",
+                    )
+            for d in instr.defs:
+                defined |= 1 << d.id
+
+
+def verify_function(function: Function) -> None:
+    """Raise :class:`VerificationError` if any invariant fails."""
+    _check_structure(function)
+    _check_operands(function)
+    _check_definite_assignment(function)
+
+
+def verify_module(module: Module) -> None:
+    """Verify every function, then cross-check call sites vs signatures."""
+    for function in module:
+        verify_function(function)
+    for function in module:
+        for _block, _index, instr in function.instructions():
+            if not instr.is_call:
+                continue
+            signature = module.signatures.get(instr.callee)
+            if signature is None:
+                raise VerificationError(
+                    f"{function.name}: call to unknown function "
+                    f"{instr.callee!r}"
+                )
+            if len(instr.uses) != len(signature.param_classes):
+                raise VerificationError(
+                    f"{function.name}: call to {instr.callee} passes "
+                    f"{len(instr.uses)} arguments, expected "
+                    f"{len(signature.param_classes)}"
+                )
+            for arg, cls in zip(instr.uses, signature.param_classes):
+                if arg.rclass != cls:
+                    raise VerificationError(
+                        f"{function.name}: argument {arg!r} to "
+                        f"{instr.callee} should be class {cls}"
+                    )
+            if signature.result_class is None and instr.defs:
+                raise VerificationError(
+                    f"{function.name}: call to subroutine {instr.callee} "
+                    "cannot produce a result"
+                )
+            if instr.defs and instr.defs[0].rclass != signature.result_class:
+                raise VerificationError(
+                    f"{function.name}: result of {instr.callee} has the "
+                    "wrong register class"
+                )

@@ -1,0 +1,391 @@
+"""Abstract syntax tree for mini-FORTRAN.
+
+Nodes are deliberately plain: slots-based classes with a ``location`` and —
+after semantic analysis — a ``ty`` annotation on expressions and a ``symbol``
+annotation on name references.  The tree is shaped close to FORTRAN 77:
+program units (PROGRAM / SUBROUTINE / FUNCTION), declarations, and a small
+statement and expression language.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SourceLocation
+from repro.lang.types import ScalarType
+
+
+class Node:
+    """Base class for all AST nodes."""
+
+    __slots__ = ("location",)
+
+    def __init__(self, location: SourceLocation | None = None):
+        self.location = location or SourceLocation()
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+
+
+class Expr(Node):
+    """Base class for expressions; ``ty`` is filled in by semantic analysis."""
+
+    __slots__ = ("ty",)
+
+    def __init__(self, location=None):
+        super().__init__(location)
+        self.ty = None
+
+
+class IntLit(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value: int, location=None):
+        super().__init__(location)
+        self.value = value
+
+    def __repr__(self):
+        return f"IntLit({self.value})"
+
+
+class RealLit(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value: float, location=None):
+        super().__init__(location)
+        self.value = value
+
+    def __repr__(self):
+        return f"RealLit({self.value})"
+
+
+class VarRef(Expr):
+    """A bare name: scalar variable (or the function-result variable)."""
+
+    __slots__ = ("name", "symbol")
+
+    def __init__(self, name: str, location=None):
+        super().__init__(location)
+        self.name = name
+        self.symbol = None
+
+    def __repr__(self):
+        return f"VarRef({self.name})"
+
+
+class ArrayRef(Expr):
+    """``a(i)`` or ``a(i, j)`` — an element of a declared array."""
+
+    __slots__ = ("name", "indices", "symbol")
+
+    def __init__(self, name: str, indices: list, location=None):
+        super().__init__(location)
+        self.name = name
+        self.indices = indices
+        self.symbol = None
+
+    def __repr__(self):
+        return f"ArrayRef({self.name}, {self.indices!r})"
+
+
+class BinOp(Expr):
+    """Binary operation.  ``op`` is one of:
+
+    arithmetic ``+ - * / **``, relational ``< <= > >= == !=``,
+    logical ``and or``.
+    """
+
+    __slots__ = ("op", "lhs", "rhs")
+
+    def __init__(self, op: str, lhs: Expr, rhs: Expr, location=None):
+        super().__init__(location)
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+
+    def __repr__(self):
+        return f"BinOp({self.op!r}, {self.lhs!r}, {self.rhs!r})"
+
+
+class UnOp(Expr):
+    """Unary operation: ``-`` (negate) or ``not``."""
+
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: Expr, location=None):
+        super().__init__(location)
+        self.op = op
+        self.operand = operand
+
+    def __repr__(self):
+        return f"UnOp({self.op!r}, {self.operand!r})"
+
+
+class FuncCall(Expr):
+    """A call in expression position: intrinsic or user FUNCTION.
+
+    The parser cannot distinguish ``x(i)`` array indexing from a call; it
+    produces :class:`ArrayRef` for declared arrays and :class:`FuncCall`
+    otherwise, a decision finalised by semantic analysis.
+    """
+
+    __slots__ = ("name", "args", "intrinsic")
+
+    def __init__(self, name: str, args: list, location=None):
+        super().__init__(location)
+        self.name = name
+        self.args = args
+        self.intrinsic = None  # filled by sema for intrinsic functions
+
+    def __repr__(self):
+        return f"FuncCall({self.name}, {self.args!r})"
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+
+
+class Stmt(Node):
+    __slots__ = ()
+
+
+class Assign(Stmt):
+    __slots__ = ("target", "value")
+
+    def __init__(self, target: Expr, value: Expr, location=None):
+        super().__init__(location)
+        self.target = target
+        self.value = value
+
+    def __repr__(self):
+        return f"Assign({self.target!r}, {self.value!r})"
+
+
+class If(Stmt):
+    """IF/THEN/ELSEIF/ELSE/ENDIF.  ``arms`` is a list of (cond, body) pairs;
+    ``else_body`` may be empty."""
+
+    __slots__ = ("arms", "else_body")
+
+    def __init__(self, arms: list, else_body: list, location=None):
+        super().__init__(location)
+        self.arms = arms
+        self.else_body = else_body
+
+    def __repr__(self):
+        return f"If({len(self.arms)} arms, else={len(self.else_body)})"
+
+
+class DoLoop(Stmt):
+    """``do var = start, limit [, step]`` counted loop (step may be negative).
+
+    FORTRAN 77 semantics: the trip count is computed once on entry as
+    ``max(0, floor((limit - start + step) / step))``; the loop variable holds
+    its final incremented value after the loop.
+    """
+
+    __slots__ = ("var", "start", "limit", "step", "body")
+
+    def __init__(self, var: str, start: Expr, limit: Expr, step, body: list, location=None):
+        super().__init__(location)
+        self.var = var
+        self.start = start
+        self.limit = limit
+        self.step = step  # Expr or None (defaults to 1)
+        self.body = body
+
+    def __repr__(self):
+        return f"DoLoop({self.var})"
+
+
+class DoWhile(Stmt):
+    __slots__ = ("cond", "body")
+
+    def __init__(self, cond: Expr, body: list, location=None):
+        super().__init__(location)
+        self.cond = cond
+        self.body = body
+
+    def __repr__(self):
+        return "DoWhile(...)"
+
+
+class CallStmt(Stmt):
+    __slots__ = ("name", "args")
+
+    def __init__(self, name: str, args: list, location=None):
+        super().__init__(location)
+        self.name = name
+        self.args = args
+
+    def __repr__(self):
+        return f"CallStmt({self.name})"
+
+
+class Return(Stmt):
+    __slots__ = ()
+
+    def __repr__(self):
+        return "Return()"
+
+
+class Continue(Stmt):
+    """``continue`` — a no-op statement (FORTRAN's classic loop anchor)."""
+
+    __slots__ = ()
+
+    def __repr__(self):
+        return "Continue()"
+
+
+class Stop(Stmt):
+    __slots__ = ()
+
+    def __repr__(self):
+        return "Stop()"
+
+
+class Print(Stmt):
+    """``print expr, expr, ...`` — emits values to the simulator's output
+    channel; used by workload drivers to expose results for verification."""
+
+    __slots__ = ("args",)
+
+    def __init__(self, args: list, location=None):
+        super().__init__(location)
+        self.args = args
+
+    def __repr__(self):
+        return f"Print({len(self.args)} args)"
+
+
+# ----------------------------------------------------------------------
+# Declarations and program units
+# ----------------------------------------------------------------------
+
+
+class DeclItem(Node):
+    """One declared entity: a scalar name or an array with its dimensions.
+
+    ``dims`` is ``None`` for scalars, else a tuple whose entries are positive
+    integers or ``None`` for an assumed-size ``*`` extent.
+    """
+
+    __slots__ = ("name", "dims")
+
+    def __init__(self, name: str, dims, location=None):
+        super().__init__(location)
+        self.name = name
+        self.dims = dims
+
+    def __repr__(self):
+        return f"DeclItem({self.name}, dims={self.dims})"
+
+
+class Decl(Node):
+    """A type declaration statement: ``integer i, v(100)``."""
+
+    __slots__ = ("scalar", "items")
+
+    def __init__(self, scalar: ScalarType, items: list, location=None):
+        super().__init__(location)
+        self.scalar = scalar
+        self.items = items
+
+    def __repr__(self):
+        return f"Decl({self.scalar}, {self.items!r})"
+
+
+class Subprogram(Node):
+    """Common base of PROGRAM / SUBROUTINE / FUNCTION units."""
+
+    __slots__ = ("name", "params", "decls", "body", "symtab")
+
+    def __init__(self, name: str, params: list, decls: list, body: list, location=None):
+        super().__init__(location)
+        self.name = name
+        self.params = params
+        self.decls = decls
+        self.body = body
+        self.symtab = None  # filled by sema
+
+
+class Subroutine(Subprogram):
+    __slots__ = ()
+
+    def __repr__(self):
+        return f"Subroutine({self.name})"
+
+
+class Function(Subprogram):
+    """A FUNCTION unit; ``result_type`` is the declared prefix type or None
+    (implicit typing from the function name applies)."""
+
+    __slots__ = ("result_type",)
+
+    def __init__(self, name, params, decls, body, result_type, location=None):
+        super().__init__(name, params, decls, body, location)
+        self.result_type = result_type
+
+    def __repr__(self):
+        return f"Function({self.name})"
+
+
+class MainProgram(Subprogram):
+    __slots__ = ()
+
+    def __repr__(self):
+        return f"MainProgram({self.name})"
+
+
+class Program(Node):
+    """A whole compilation: an ordered list of program units.
+
+    ``signatures`` (name -> :class:`repro.lang.sema.Signature`) is attached
+    by semantic analysis.
+    """
+
+    __slots__ = ("units", "signatures")
+
+    def __init__(self, units: list, location=None):
+        super().__init__(location)
+        self.units = units
+        self.signatures = None
+
+    def unit(self, name: str) -> Subprogram:
+        """Look up a unit by (case-insensitive) name."""
+        wanted = name.lower()
+        for u in self.units:
+            if u.name == wanted:
+                return u
+        raise KeyError(name)
+
+    def __repr__(self):
+        return f"Program({[u.name for u in self.units]})"
+
+
+def walk_expr(expr: Expr):
+    """Yield ``expr`` and every sub-expression, depth first."""
+    yield expr
+    if isinstance(expr, BinOp):
+        yield from walk_expr(expr.lhs)
+        yield from walk_expr(expr.rhs)
+    elif isinstance(expr, UnOp):
+        yield from walk_expr(expr.operand)
+    elif isinstance(expr, (FuncCall, ArrayRef)):
+        children = expr.args if isinstance(expr, FuncCall) else expr.indices
+        for child in children:
+            yield from walk_expr(child)
+
+
+def walk_stmts(stmts: list):
+    """Yield every statement in ``stmts``, recursing into compound bodies."""
+    for stmt in stmts:
+        yield stmt
+        if isinstance(stmt, If):
+            for _, body in stmt.arms:
+                yield from walk_stmts(body)
+            yield from walk_stmts(stmt.else_body)
+        elif isinstance(stmt, (DoLoop, DoWhile)):
+            yield from walk_stmts(stmt.body)

@@ -1,0 +1,575 @@
+"""Semantic analysis for mini-FORTRAN.
+
+Responsibilities:
+
+* build a symbol table per program unit (explicit declarations first,
+  FORTRAN implicit typing — I..N integer, otherwise real — as fallback);
+* resolve the parse-time ambiguity between array references and calls;
+* type-check every expression, annotating ``Expr.ty`` with a
+  :class:`~repro.lang.types.ScalarType` or the :data:`LOGICAL` sentinel;
+* check call arity and argument shapes against unit signatures
+  (arrays are passed by base address, scalars by value);
+* validate loops, assignments and function-result usage.
+
+Mixed-mode arithmetic is allowed and annotated; the front end inserts the
+actual ``i2f``/``f2i`` conversion instructions during lowering.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SemanticError
+from repro.lang import ast
+from repro.lang.types import ArrayType, ScalarType, implicit_type, unify_arithmetic
+
+#: Sentinel type of relational/logical expressions (no logical variables).
+LOGICAL = "logical"
+
+_ARITH_OPS = {"+", "-", "*", "/", "**"}
+_REL_OPS = {"<", "<=", ">", ">=", "==", "!="}
+_LOGIC_OPS = {"and", "or"}
+
+
+class Intrinsic:
+    """Signature of an intrinsic function."""
+
+    __slots__ = ("name", "min_args", "max_args", "result")
+
+    def __init__(self, name: str, min_args: int, max_args: int, result: str):
+        self.name = name
+        self.min_args = min_args
+        self.max_args = max_args
+        # ``result`` is "same" (argument type), "real", "int" or "unify".
+        self.result = result
+
+
+INTRINSICS = {
+    i.name: i
+    for i in [
+        Intrinsic("abs", 1, 1, "same"),
+        Intrinsic("iabs", 1, 1, "int"),
+        Intrinsic("sqrt", 1, 1, "real"),
+        Intrinsic("exp", 1, 1, "real"),
+        Intrinsic("log", 1, 1, "real"),
+        Intrinsic("sin", 1, 1, "real"),
+        Intrinsic("cos", 1, 1, "real"),
+        Intrinsic("mod", 2, 2, "unify"),
+        Intrinsic("max", 2, 8, "unify"),
+        Intrinsic("min", 2, 8, "unify"),
+        Intrinsic("sign", 2, 2, "unify"),
+        Intrinsic("real", 1, 1, "real"),
+        Intrinsic("float", 1, 1, "real"),
+        Intrinsic("int", 1, 1, "int"),
+    ]
+}
+
+
+class Symbol:
+    """A named entity within one program unit."""
+
+    __slots__ = ("name", "type", "is_param", "param_index", "is_result")
+
+    def __init__(self, name, type_, is_param=False, param_index=-1, is_result=False):
+        self.name = name
+        self.type = type_
+        self.is_param = is_param
+        self.param_index = param_index
+        self.is_result = is_result
+
+    @property
+    def is_array(self) -> bool:
+        return isinstance(self.type, ArrayType)
+
+    def __repr__(self):
+        flags = []
+        if self.is_param:
+            flags.append(f"param#{self.param_index}")
+        if self.is_result:
+            flags.append("result")
+        suffix = f" [{' '.join(flags)}]" if flags else ""
+        return f"Symbol({self.name}: {self.type}{suffix})"
+
+
+class SymbolTable:
+    """Per-unit mapping from names to :class:`Symbol`."""
+
+    def __init__(self):
+        self._symbols: dict[str, Symbol] = {}
+
+    def define(self, symbol: Symbol) -> None:
+        self._symbols[symbol.name] = symbol
+
+    def lookup(self, name: str) -> Symbol | None:
+        return self._symbols.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._symbols
+
+    def __iter__(self):
+        return iter(self._symbols.values())
+
+    def __len__(self) -> int:
+        return len(self._symbols)
+
+
+class Signature:
+    """The externally-visible interface of a program unit."""
+
+    __slots__ = ("name", "kind", "param_types", "result_type")
+
+    def __init__(self, name, kind, param_types, result_type):
+        self.name = name
+        self.kind = kind  # "subroutine" | "function" | "program"
+        self.param_types = param_types
+        self.result_type = result_type
+
+    def __repr__(self):
+        return f"Signature({self.kind} {self.name}/{len(self.param_types)})"
+
+
+class SemanticAnalyzer:
+    """Runs all semantic checks over a parsed :class:`~repro.lang.ast.Program`.
+
+    On success, every unit's ``symtab`` is populated, every expression
+    carries a ``ty``, array/call ambiguities are resolved in-place, and the
+    program gains a ``signatures`` attribute mapping unit names to
+    :class:`Signature`.
+    """
+
+    def __init__(self, program: ast.Program):
+        self.program = program
+        self.signatures: dict[str, Signature] = {}
+        self._current: ast.Subprogram | None = None
+        self._symtab: SymbolTable | None = None
+
+    # ------------------------------------------------------------------
+    # Driver
+    # ------------------------------------------------------------------
+
+    def run(self) -> ast.Program:
+        seen = set()
+        for unit in self.program.units:
+            if unit.name in seen:
+                raise SemanticError(
+                    f"duplicate program unit {unit.name!r}", unit.location
+                )
+            seen.add(unit.name)
+        for unit in self.program.units:
+            self.signatures[unit.name] = self._build_signature(unit)
+        for unit in self.program.units:
+            self._analyze_unit(unit)
+        self.program.signatures = self.signatures
+        return self.program
+
+    # ------------------------------------------------------------------
+    # Signatures and symbol tables
+    # ------------------------------------------------------------------
+
+    def _declared_types(self, unit: ast.Subprogram) -> dict:
+        """Collect explicit declarations, checking for duplicates."""
+        declared: dict[str, object] = {}
+        for decl in unit.decls:
+            for item in decl.items:
+                if item.name in declared:
+                    raise SemanticError(
+                        f"{item.name!r} declared twice", item.location
+                    )
+                if item.dims is None:
+                    declared[item.name] = decl.scalar
+                else:
+                    if item.dims[-1] is None and item.name not in unit.params:
+                        raise SemanticError(
+                            f"assumed-size array {item.name!r} must be a dummy "
+                            "argument",
+                            item.location,
+                        )
+                    array = ArrayType(decl.scalar, item.dims)
+                    if array.is_adjustable:
+                        self._check_adjustable(unit, item, array)
+                    declared[item.name] = array
+        return declared
+
+    @staticmethod
+    def _check_adjustable(unit, item, array: ArrayType) -> None:
+        """Adjustable arrays (named extents) are dummy-argument-only, and
+        each named extent must be an integer dummy argument."""
+        if item.name not in unit.params:
+            raise SemanticError(
+                f"adjustable array {item.name!r} must be a dummy argument",
+                item.location,
+            )
+        declared_scalars = {}
+        for decl in unit.decls:
+            for other in decl.items:
+                if other.dims is None:
+                    declared_scalars[other.name] = decl.scalar
+        for extent in array.dims:
+            if not isinstance(extent, str):
+                continue
+            if extent not in unit.params:
+                raise SemanticError(
+                    f"adjustable extent {extent!r} of {item.name!r} must be "
+                    "a dummy argument",
+                    item.location,
+                )
+            extent_type = declared_scalars.get(extent, implicit_type(extent))
+            if extent_type != ScalarType.INTEGER:
+                raise SemanticError(
+                    f"adjustable extent {extent!r} must be INTEGER",
+                    item.location,
+                )
+
+    def _build_signature(self, unit: ast.Subprogram) -> Signature:
+        declared = self._declared_types(unit)
+        param_types = []
+        for name in unit.params:
+            param_types.append(declared.get(name, implicit_type(name)))
+        if isinstance(unit, ast.Function):
+            result = unit.result_type or declared.get(unit.name)
+            if isinstance(result, ArrayType):
+                raise SemanticError(
+                    f"function {unit.name!r} cannot return an array", unit.location
+                )
+            if result is None:
+                result = implicit_type(unit.name)
+            kind = "function"
+        elif isinstance(unit, ast.MainProgram):
+            result, kind = None, "program"
+        else:
+            result, kind = None, "subroutine"
+        return Signature(unit.name, kind, param_types, result)
+
+    def _build_symtab(self, unit: ast.Subprogram) -> SymbolTable:
+        declared = self._declared_types(unit)
+        table = SymbolTable()
+        for index, name in enumerate(unit.params):
+            type_ = declared.pop(name, None) or implicit_type(name)
+            table.define(Symbol(name, type_, is_param=True, param_index=index))
+        if isinstance(unit, ast.Function):
+            sig = self.signatures[unit.name]
+            declared.pop(unit.name, None)
+            table.define(Symbol(unit.name, sig.result_type, is_result=True))
+        for name, type_ in declared.items():
+            table.define(Symbol(name, type_))
+        return table
+
+    def _implicit_local(self, name: str, location) -> Symbol:
+        """Create (and record) an implicitly-typed local scalar."""
+        if name in INTRINSICS or name in self.signatures:
+            raise SemanticError(
+                f"{name!r} names a routine and cannot be used as a variable",
+                location,
+            )
+        symbol = Symbol(name, implicit_type(name))
+        self._symtab.define(symbol)
+        return symbol
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def _analyze_unit(self, unit: ast.Subprogram) -> None:
+        self._current = unit
+        self._symtab = self._build_symtab(unit)
+        unit.symtab = self._symtab
+        self._analyze_stmts(unit.body)
+        self._current = None
+        self._symtab = None
+
+    def _analyze_stmts(self, stmts: list) -> None:
+        for stmt in stmts:
+            self._analyze_stmt(stmt)
+
+    def _analyze_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            self._analyze_assign(stmt)
+        elif isinstance(stmt, ast.If):
+            for index, (cond, body) in enumerate(stmt.arms):
+                stmt.arms[index] = (self._condition(cond), body)
+                self._analyze_stmts(body)
+            self._analyze_stmts(stmt.else_body)
+        elif isinstance(stmt, ast.DoLoop):
+            self._analyze_do(stmt)
+        elif isinstance(stmt, ast.DoWhile):
+            stmt.cond = self._condition(stmt.cond)
+            self._analyze_stmts(stmt.body)
+        elif isinstance(stmt, ast.CallStmt):
+            self._analyze_call_stmt(stmt)
+        elif isinstance(stmt, ast.Print):
+            stmt.args = [self._expr(a) for a in stmt.args]
+            for arg in stmt.args:
+                if arg.ty == LOGICAL:
+                    raise SemanticError("cannot print a logical value", arg.location)
+        elif isinstance(stmt, (ast.Return, ast.Continue, ast.Stop)):
+            pass
+        else:  # pragma: no cover - parser produces no other statements
+            raise SemanticError(f"unknown statement {stmt!r}", stmt.location)
+
+    def _analyze_assign(self, stmt: ast.Assign) -> None:
+        stmt.value = self._expr(stmt.value)
+        if stmt.value.ty == LOGICAL:
+            raise SemanticError(
+                "cannot assign a logical value to a variable", stmt.location
+            )
+        target = stmt.target
+        if isinstance(target, ast.VarRef):
+            symbol = self._symtab.lookup(target.name)
+            if symbol is None:
+                symbol = self._implicit_local(target.name, target.location)
+            if symbol.is_array:
+                raise SemanticError(
+                    f"cannot assign to whole array {target.name!r}", target.location
+                )
+            target.symbol = symbol
+            target.ty = symbol.type
+        elif isinstance(target, ast.ArrayRef):
+            self._analyze_array_ref(target)
+        else:  # pragma: no cover - parser guarantees designators
+            raise SemanticError("invalid assignment target", stmt.location)
+
+    def _analyze_do(self, stmt: ast.DoLoop) -> None:
+        symbol = self._symtab.lookup(stmt.var)
+        if symbol is None:
+            symbol = self._implicit_local(stmt.var, stmt.location)
+        if symbol.is_array or symbol.type != ScalarType.INTEGER:
+            raise SemanticError(
+                f"do-variable {stmt.var!r} must be an integer scalar", stmt.location
+            )
+        stmt.start = self._int_expr(stmt.start, "do-loop start")
+        stmt.limit = self._int_expr(stmt.limit, "do-loop limit")
+        if stmt.step is not None:
+            stmt.step = self._int_expr(stmt.step, "do-loop step")
+        self._analyze_stmts(stmt.body)
+
+    def _analyze_call_stmt(self, stmt: ast.CallStmt) -> None:
+        sig = self.signatures.get(stmt.name)
+        if sig is None:
+            raise SemanticError(f"unknown subroutine {stmt.name!r}", stmt.location)
+        if sig.kind != "subroutine":
+            raise SemanticError(
+                f"{stmt.name!r} is a {sig.kind}, not a subroutine", stmt.location
+            )
+        stmt.args = self._check_arguments(sig, stmt.args, stmt.location)
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def _condition(self, expr: ast.Expr) -> ast.Expr:
+        expr = self._expr(expr)
+        if expr.ty != LOGICAL:
+            raise SemanticError(
+                "condition must be a logical expression", expr.location
+            )
+        return expr
+
+    def _int_expr(self, expr: ast.Expr, what: str) -> ast.Expr:
+        expr = self._expr(expr)
+        if expr.ty != ScalarType.INTEGER:
+            raise SemanticError(f"{what} must be an integer expression", expr.location)
+        return expr
+
+    def _expr(self, expr: ast.Expr) -> ast.Expr:
+        """Type-check ``expr``; may replace the node (call -> array ref)."""
+        if isinstance(expr, ast.IntLit):
+            expr.ty = ScalarType.INTEGER
+            return expr
+        if isinstance(expr, ast.RealLit):
+            expr.ty = ScalarType.REAL
+            return expr
+        if isinstance(expr, ast.VarRef):
+            return self._analyze_var_ref(expr)
+        if isinstance(expr, ast.ArrayRef):
+            self._analyze_array_ref(expr)
+            return expr
+        if isinstance(expr, ast.FuncCall):
+            return self._analyze_call_expr(expr)
+        if isinstance(expr, ast.UnOp):
+            return self._analyze_unop(expr)
+        if isinstance(expr, ast.BinOp):
+            return self._analyze_binop(expr)
+        raise SemanticError(f"unknown expression {expr!r}", expr.location)
+
+    def _analyze_var_ref(self, expr: ast.VarRef) -> ast.Expr:
+        symbol = self._symtab.lookup(expr.name)
+        if symbol is None:
+            symbol = self._implicit_local(expr.name, expr.location)
+        if symbol.is_array:
+            raise SemanticError(
+                f"array {expr.name!r} used without indices", expr.location
+            )
+        expr.symbol = symbol
+        expr.ty = symbol.type
+        return expr
+
+    def _analyze_array_ref(self, expr: ast.ArrayRef) -> None:
+        symbol = self._symtab.lookup(expr.name)
+        if symbol is None or not symbol.is_array:
+            raise SemanticError(f"{expr.name!r} is not an array", expr.location)
+        if len(expr.indices) != symbol.type.rank:
+            raise SemanticError(
+                f"array {expr.name!r} has rank {symbol.type.rank}, "
+                f"indexed with {len(expr.indices)} subscripts",
+                expr.location,
+            )
+        expr.indices = [
+            self._int_expr(index, "array subscript") for index in expr.indices
+        ]
+        expr.symbol = symbol
+        expr.ty = symbol.type.element
+
+    def _analyze_call_expr(self, expr: ast.FuncCall) -> ast.Expr:
+        # Declared array?  Rewrite to an ArrayRef.
+        symbol = self._symtab.lookup(expr.name)
+        if symbol is not None and symbol.is_array:
+            ref = ast.ArrayRef(expr.name, expr.args, expr.location)
+            self._analyze_array_ref(ref)
+            return ref
+        intrinsic = INTRINSICS.get(expr.name)
+        if intrinsic is not None:
+            return self._analyze_intrinsic(expr, intrinsic)
+        sig = self.signatures.get(expr.name)
+        if sig is None:
+            raise SemanticError(
+                f"unknown function or array {expr.name!r}", expr.location
+            )
+        if sig.kind != "function":
+            raise SemanticError(
+                f"{expr.name!r} is a {sig.kind}; it cannot be called in an "
+                "expression",
+                expr.location,
+            )
+        expr.args = self._check_arguments(sig, expr.args, expr.location)
+        expr.ty = sig.result_type
+        return expr
+
+    def _analyze_intrinsic(self, expr: ast.FuncCall, intrinsic: Intrinsic) -> ast.Expr:
+        if not intrinsic.min_args <= len(expr.args) <= intrinsic.max_args:
+            raise SemanticError(
+                f"intrinsic {intrinsic.name!r} takes between "
+                f"{intrinsic.min_args} and {intrinsic.max_args} arguments",
+                expr.location,
+            )
+        expr.args = [self._expr(arg) for arg in expr.args]
+        for arg in expr.args:
+            if arg.ty == LOGICAL:
+                raise SemanticError(
+                    f"intrinsic {intrinsic.name!r} takes numeric arguments",
+                    arg.location,
+                )
+        expr.intrinsic = intrinsic
+        if intrinsic.result == "same":
+            expr.ty = expr.args[0].ty
+        elif intrinsic.result == "real":
+            expr.ty = ScalarType.REAL
+        elif intrinsic.result == "int":
+            expr.ty = ScalarType.INTEGER
+        else:  # unify
+            ty = expr.args[0].ty
+            for arg in expr.args[1:]:
+                ty = unify_arithmetic(ty, arg.ty)
+            expr.ty = ty
+        return expr
+
+    def _analyze_unop(self, expr: ast.UnOp) -> ast.Expr:
+        expr.operand = self._expr(expr.operand)
+        if expr.op == "not":
+            if expr.operand.ty != LOGICAL:
+                raise SemanticError(
+                    "'.not.' needs a logical operand", expr.location
+                )
+            expr.ty = LOGICAL
+        else:  # unary minus
+            if expr.operand.ty == LOGICAL:
+                raise SemanticError(
+                    "cannot negate a logical value", expr.location
+                )
+            expr.ty = expr.operand.ty
+        return expr
+
+    def _analyze_binop(self, expr: ast.BinOp) -> ast.Expr:
+        expr.lhs = self._expr(expr.lhs)
+        expr.rhs = self._expr(expr.rhs)
+        lty, rty = expr.lhs.ty, expr.rhs.ty
+        if expr.op in _ARITH_OPS:
+            if LOGICAL in (lty, rty):
+                raise SemanticError(
+                    f"arithmetic {expr.op!r} on a logical value", expr.location
+                )
+            expr.ty = unify_arithmetic(lty, rty)
+        elif expr.op in _REL_OPS:
+            if LOGICAL in (lty, rty):
+                raise SemanticError(
+                    f"comparison {expr.op!r} on a logical value", expr.location
+                )
+            expr.ty = LOGICAL
+        elif expr.op in _LOGIC_OPS:
+            if lty != LOGICAL or rty != LOGICAL:
+                raise SemanticError(
+                    f"'.{expr.op}.' needs logical operands", expr.location
+                )
+            expr.ty = LOGICAL
+        else:  # pragma: no cover
+            raise SemanticError(f"unknown operator {expr.op!r}", expr.location)
+        return expr
+
+    # ------------------------------------------------------------------
+    # Arguments
+    # ------------------------------------------------------------------
+
+    def _check_arguments(self, sig: Signature, args: list, location) -> list:
+        if len(args) != len(sig.param_types):
+            raise SemanticError(
+                f"{sig.name!r} expects {len(sig.param_types)} arguments, "
+                f"got {len(args)}",
+                location,
+            )
+        checked = []
+        for arg, param_type in zip(args, sig.param_types):
+            if isinstance(param_type, ArrayType):
+                checked.append(self._check_array_argument(sig, arg, param_type))
+            else:
+                arg = self._expr(arg)
+                if arg.ty == LOGICAL:
+                    raise SemanticError(
+                        "cannot pass a logical value as an argument", arg.location
+                    )
+                checked.append(arg)
+        return checked
+
+    def _check_array_argument(self, sig, arg, param_type: ArrayType):
+        """An array dummy accepts a whole array or an element reference
+        (FORTRAN sequence association: the address of that element is
+        passed, as LINPACK's ``daxpy(n, t, a(k+1, k), ...)`` relies on)."""
+        if isinstance(arg, (ast.VarRef, ast.FuncCall, ast.ArrayRef)):
+            name = arg.name
+            symbol = self._symtab.lookup(name)
+            if symbol is not None and symbol.is_array:
+                if symbol.type.element != param_type.element:
+                    raise SemanticError(
+                        f"array argument {name!r} has element type "
+                        f"{symbol.type.element}, {sig.name!r} expects "
+                        f"{param_type.element}",
+                        arg.location,
+                    )
+                if isinstance(arg, ast.VarRef):
+                    arg.symbol = symbol
+                    arg.ty = symbol.type
+                    return arg
+                # Element reference: analyze indices, keep as ArrayRef but
+                # mark that its *address* is the argument.
+                ref = (
+                    arg
+                    if isinstance(arg, ast.ArrayRef)
+                    else ast.ArrayRef(name, arg.args, arg.location)
+                )
+                self._analyze_array_ref(ref)
+                ref.ty = symbol.type  # the argument is the array, not the element
+                return ref
+        raise SemanticError(
+            f"{sig.name!r} expects an array argument here", arg.location
+        )
+
+
+def analyze(program: ast.Program) -> ast.Program:
+    """Run semantic analysis in place and return the annotated program."""
+    return SemanticAnalyzer(program).run()

@@ -1,0 +1,109 @@
+"""The mini-FORTRAN type system: INTEGER and REAL scalars, plus arrays.
+
+Arrays are column-major (FORTRAN order) with 1-based indices.  A dimension
+may be a literal extent or ``*`` (assumed size — legal only for dummy
+arguments, and only in the last dimension, as in FORTRAN 77).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class ScalarType(enum.Enum):
+    """The two scalar types of the language."""
+
+    INTEGER = "integer"
+    REAL = "real"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class ArrayType:
+    """An array of a scalar element type with one or more dimensions.
+
+    ``dims`` holds the declared extent of each dimension:
+
+    * a positive ``int`` — a constant extent;
+    * a ``str`` — an *adjustable* extent named by an integer dummy argument
+      (FORTRAN 77 adjustable arrays, e.g. LINPACK's ``a(lda, *)``);
+    * ``None`` — an assumed-size ``*`` extent, legal only in the last
+      dimension.
+
+    FORTRAN arrays are stored column-major, so the *leading* dimensions
+    determine the address stride and must be known (constant or adjustable).
+    """
+
+    __slots__ = ("element", "dims")
+
+    def __init__(self, element: ScalarType, dims: tuple):
+        if not dims:
+            raise ValueError("an array needs at least one dimension")
+        for extent in dims[:-1]:
+            if extent is None:
+                raise ValueError("only the last dimension may be assumed-size")
+        self.element = element
+        self.dims = tuple(dims)
+
+    @property
+    def is_adjustable(self) -> bool:
+        """True when any extent is a variable name."""
+        return any(isinstance(d, str) for d in self.dims)
+
+    @property
+    def rank(self) -> int:
+        return len(self.dims)
+
+    @property
+    def is_assumed_size(self) -> bool:
+        return self.dims[-1] is None
+
+    def element_count(self) -> int:
+        """Total declared elements; raises unless every extent is constant."""
+        if self.is_assumed_size or self.is_adjustable:
+            raise ValueError(
+                "array with assumed-size or adjustable extents has no "
+                "static element count"
+            )
+        total = 1
+        for extent in self.dims:
+            total *= extent
+        return total
+
+    def __str__(self) -> str:
+        dims = ",".join("*" if d is None else str(d) for d in self.dims)
+        return f"{self.element}({dims})"
+
+    def __repr__(self) -> str:
+        return f"ArrayType({self.element!r}, {self.dims!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ArrayType):
+            return NotImplemented
+        return self.element == other.element and self.dims == other.dims
+
+    def __hash__(self) -> int:
+        return hash((self.element, self.dims))
+
+
+#: A value type is either a scalar or an array.
+Type = object
+
+INTEGER = ScalarType.INTEGER
+REAL = ScalarType.REAL
+
+
+def implicit_type(name: str) -> ScalarType:
+    """Classic FORTRAN implicit typing: I..N => INTEGER, otherwise REAL."""
+    first = name[0].lower()
+    if "i" <= first <= "n":
+        return ScalarType.INTEGER
+    return ScalarType.REAL
+
+
+def unify_arithmetic(lhs: ScalarType, rhs: ScalarType) -> ScalarType:
+    """Result type of a mixed-mode arithmetic expression (INTEGER promotes)."""
+    if ScalarType.REAL in (lhs, rhs):
+        return ScalarType.REAL
+    return ScalarType.INTEGER

@@ -1,0 +1,32 @@
+"""Machine model: an RT/PC-flavoured RISC target, encoder, and simulator.
+
+The paper's numbers come from an IBM RT/PC (16 general-purpose registers,
+8 floating-point registers in a coprocessor).  We substitute a deterministic
+model of the same shape:
+
+* :mod:`repro.machine.target` — register files, calling convention, and the
+  restricted-register variants used by the paper's quicksort study;
+* :mod:`repro.machine.costs` — per-opcode cycle latencies;
+* :mod:`repro.machine.encoding` — per-opcode encoded sizes and object-size
+  estimation (the "Object Size" columns of Figures 5 and 6);
+* :mod:`repro.machine.simulator` — an IR interpreter that executes either
+  virtual-register IR or fully-allocated code, counting cycles (the
+  "Dynamic"/"Running Time" columns).
+"""
+
+from repro.machine.target import Target, rt_pc
+from repro.machine.costs import cycles_for, DEFAULT_CYCLES
+from repro.machine.encoding import instruction_size, object_size
+from repro.machine.simulator import SimulationResult, Simulator, run_module
+
+__all__ = [
+    "Target",
+    "rt_pc",
+    "cycles_for",
+    "DEFAULT_CYCLES",
+    "instruction_size",
+    "object_size",
+    "SimulationResult",
+    "Simulator",
+    "run_module",
+]

@@ -1,0 +1,84 @@
+"""Object-code size estimation (the "Object Size" columns of the paper).
+
+Instructions encode to 4 bytes on the model machine; the operations our IR
+writes as single pseudo-ops but a real code generator would expand (min,
+max, sign, mod, pow, address-of-frame) are charged the size of their
+expansion.  Functions additionally pay a prologue/epilogue: frame setup plus
+one store and one load per callee-saved register the allocation actually
+uses.
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+from repro.ir.values import RClass
+from repro.machine.target import Target
+
+WORD = 4
+
+#: Encoded size in bytes per opcode; anything missing encodes to one word.
+INSTRUCTION_SIZES = {
+    # Two-instruction expansions.
+    "imin": 2 * WORD,
+    "imax": 2 * WORD,
+    "isign": 3 * WORD,
+    "fmin": 2 * WORD,
+    "fmax": 2 * WORD,
+    "fsign": 3 * WORD,
+    "imod": 2 * WORD,
+    "fmod": 2 * WORD,
+    "la": 2 * WORD,  # frame-pointer add with a wide immediate
+    "ipow": 4 * WORD,  # call-out stub
+    "fpow": 4 * WORD,
+    # Wide constants need a second word.
+    "lf": 2 * WORD,
+}
+
+#: Frame setup / teardown instructions (always present).
+PROLOGUE_BASE_BYTES = 2 * WORD
+
+
+def instruction_size(op: str) -> int:
+    """Encoded size of one instruction, in bytes."""
+    return INSTRUCTION_SIZES.get(op, WORD)
+
+
+def code_bytes(function: Function) -> int:
+    """Size of the straight-line code, without prologue/epilogue."""
+    return sum(
+        instruction_size(instr.op)
+        for _block, _index, instr in function.instructions()
+    )
+
+
+def used_callee_saved(function: Function, target: Target, assignment: dict) -> dict:
+    """Which callee-saved registers an allocation writes, per class.
+
+    ``assignment`` maps virtual registers to colors (per class).  Only
+    registers that are *defined* somewhere need saving.
+    """
+    written = {RClass.INT: set(), RClass.FLOAT: set()}
+    for _block, _index, instr in function.instructions():
+        for d in instr.defs:
+            color = assignment.get(d)
+            if color is not None:
+                written[d.rclass].add(color)
+    return {
+        rclass: written[rclass] & target.callee_saved(rclass)
+        for rclass in (RClass.INT, RClass.FLOAT)
+    }
+
+
+def object_size(function: Function, target: Target, assignment: dict | None = None) -> int:
+    """Total object bytes: code + prologue/epilogue.
+
+    Without an assignment (virtual code), only the base prologue is
+    charged; with one, each used callee-saved register adds a store in the
+    prologue and a load in the epilogue.
+    """
+    size = code_bytes(function) + PROLOGUE_BASE_BYTES
+    if assignment is not None:
+        used = used_callee_saved(function, target, assignment)
+        saved = len(used[RClass.INT]) + len(used[RClass.FLOAT])
+        size += 2 * WORD * saved
+    return size

@@ -1,0 +1,462 @@
+"""IR interpreter with deterministic cycle accounting.
+
+Two execution modes share one dispatch loop:
+
+* **virtual mode** (no assignment): each invocation gets a fresh
+  virtual-register environment.  Used to establish a semantic baseline for
+  a program before allocation.
+* **physical mode** (with a register assignment): both classes execute on
+  *shared, global* register files of the target's size.  Calls behave like
+  a real calling convention — the simulator restores callee-saved registers
+  on return and **poisons caller-saved registers**, so an allocation that
+  wrongly keeps a value in a caller-saved register across a call is caught
+  as a poisoned read rather than silently working.
+
+The run returns a :class:`SimulationResult` with the program's printed
+outputs, total cycles (per the :mod:`repro.machine.costs` model, including
+taken-branch penalties and callee-save traffic), and the dynamic
+instruction count.  Identical outputs across modes is the system's main
+end-to-end correctness check.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import SimulationError
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.values import RClass
+from repro.machine.costs import (
+    CALLEE_SAVE_CYCLES,
+    DEFAULT_CYCLES,
+    TAKEN_BRANCH_PENALTY,
+)
+from repro.machine.target import Target, rt_pc
+
+
+class _Poison:
+    """Sentinel stored in caller-saved registers after a call."""
+
+    def __repr__(self) -> str:
+        return "<poison>"
+
+
+POISON = _Poison()
+
+
+class SimulationResult:
+    """Outcome of one program run."""
+
+    __slots__ = ("outputs", "cycles", "instructions", "calls")
+
+    def __init__(self, outputs, cycles, instructions, calls):
+        self.outputs = outputs
+        self.cycles = cycles
+        self.instructions = instructions
+        self.calls = calls
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulationResult({len(self.outputs)} outputs, "
+            f"{self.cycles} cycles, {self.instructions} instructions)"
+        )
+
+
+def _trunc_div(a: int, b: int) -> int:
+    """FORTRAN integer division: truncate toward zero."""
+    if b == 0:
+        raise SimulationError("integer division by zero")
+    q = abs(a) // abs(b)
+    return q if (a < 0) == (b < 0) else -q
+
+
+def _int_pow(a: int, b: int) -> int:
+    if b >= 0:
+        return a ** b
+    if a == 1:
+        return 1
+    if a == -1:
+        return 1 if b % 2 == 0 else -1
+    return 0  # FORTRAN: 1 / a**|b| truncates to zero
+
+
+_RELOP_FUNCS = {
+    "lt": lambda a, b: a < b,
+    "le": lambda a, b: a <= b,
+    "gt": lambda a, b: a > b,
+    "ge": lambda a, b: a >= b,
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+}
+
+
+def _sign_transfer(a, b):
+    magnitude = abs(a)
+    return -magnitude if b < 0 else magnitude
+
+
+_INT_BINARY = {
+    "iadd": lambda a, b: a + b,
+    "isub": lambda a, b: a - b,
+    "imul": lambda a, b: a * b,
+    "idiv": _trunc_div,
+    "imod": lambda a, b: a - _trunc_div(a, b) * b,
+    "imin": min,
+    "imax": max,
+    "isign": _sign_transfer,
+    "ipow": _int_pow,
+}
+
+def _float_div(a, b):
+    if b == 0.0:
+        raise SimulationError("floating divide by zero")
+    return a / b
+
+
+def _float_mod(a, b):
+    if b == 0.0:
+        raise SimulationError("floating modulo by zero")
+    return math.fmod(a, b)
+
+
+_FLOAT_BINARY = {
+    "fadd": lambda a, b: a + b,
+    "fsub": lambda a, b: a - b,
+    "fmul": lambda a, b: a * b,
+    "fdiv": _float_div,
+    "fmod": _float_mod,
+    "fmin": min,
+    "fmax": max,
+    "fsign": _sign_transfer,
+    "fpow": lambda a, b: a ** b,
+}
+
+_UNARY = {
+    "ineg": lambda a: -a,
+    "iabs": abs,
+    "fneg": lambda a: -a,
+    "fabs": abs,
+    "fsqrt": lambda a: math.sqrt(a),
+    "fexp": math.exp,
+    "flog": math.log,
+    "fsin": math.sin,
+    "fcos": math.cos,
+}
+
+
+class _Frame:
+    """Per-invocation state: memory frame base plus the value environment
+    (virtual mode) or nothing extra (physical mode uses global files)."""
+
+    __slots__ = ("function", "base", "env")
+
+    def __init__(self, function: Function, base: int, env):
+        self.function = function
+        self.base = base
+        self.env = env
+
+
+class Simulator:
+    """Executes a module; see the module docstring for the two modes."""
+
+    def __init__(
+        self,
+        module: Module,
+        target: Target | None = None,
+        assignment: dict | None = None,
+        max_instructions: int = 200_000_000,
+        trace=None,
+    ):
+        self.module = module
+        self.target = target or rt_pc()
+        self.assignment = assignment  # VReg -> color, covering all functions
+        self.max_instructions = max_instructions
+        #: optional callable(function_name, block_label, index, instr)
+        #: invoked before each instruction executes — a debugging hook
+        #: (see :class:`Tracer` for a ready-made collector).
+        self.trace = trace
+
+        self.memory: list = []
+        self.sp = 0
+        self.outputs: list = []
+        self.cycles = 0
+        self.instructions = 0
+        self.calls = 0
+
+        self.physical = assignment is not None
+        if self.physical:
+            self.iregs = [POISON] * self.target.int_regs
+            self.fregs = [POISON] * self.target.float_regs
+        self._prologue_regs: dict = {}  # function name -> saved-reg count
+
+    # ------------------------------------------------------------------
+    # Register access
+    # ------------------------------------------------------------------
+
+    def _read(self, frame: _Frame, vreg):
+        if not self.physical:
+            try:
+                return frame.env[vreg]
+            except KeyError:
+                raise SimulationError(
+                    f"{frame.function.name}: read of undefined {vreg!r}"
+                ) from None
+        color = self.assignment.get(vreg)
+        if color is None:
+            raise SimulationError(
+                f"{frame.function.name}: {vreg!r} has no assigned register"
+            )
+        regfile = self.iregs if vreg.rclass == RClass.INT else self.fregs
+        value = regfile[color]
+        if value is POISON:
+            raise SimulationError(
+                f"{frame.function.name}: read of poisoned register "
+                f"{vreg.rclass}{color} through {vreg!r} "
+                "(value not preserved across a call?)"
+            )
+        return value
+
+    def _write(self, frame: _Frame, vreg, value) -> None:
+        if not self.physical:
+            frame.env[vreg] = value
+            return
+        color = self.assignment.get(vreg)
+        if color is None:
+            raise SimulationError(
+                f"{frame.function.name}: {vreg!r} has no assigned register"
+            )
+        if vreg.rclass == RClass.INT:
+            self.iregs[color] = value
+        else:
+            self.fregs[color] = value
+
+    # ------------------------------------------------------------------
+    # Memory
+    # ------------------------------------------------------------------
+
+    def _push_frame(self, function: Function) -> int:
+        base = self.sp
+        self.sp += function.frame_words
+        if self.sp > len(self.memory):
+            self.memory.extend([0] * (self.sp - len(self.memory)))
+        else:
+            for index in range(base, self.sp):
+                self.memory[index] = 0
+        return base
+
+    def _pop_frame(self, base: int) -> None:
+        self.sp = base
+
+    def _check_address(self, frame: _Frame, address) -> int:
+        if not isinstance(address, int):
+            raise SimulationError(
+                f"{frame.function.name}: non-integer address {address!r}"
+            )
+        if not 0 <= address < self.sp:
+            raise SimulationError(
+                f"{frame.function.name}: address {address} outside the "
+                f"stack (sp={self.sp})"
+            )
+        return address
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(self, entry: str | None = None, args: list | None = None) -> SimulationResult:
+        name = entry or self.module.entry
+        if name is None:
+            raise SimulationError("module has no entry point; pass entry=")
+        function = self.module.function(name)
+        result = self._call_function(function, args or [])
+        del result  # entry's return value, if any, is discarded
+        return SimulationResult(
+            self.outputs, self.cycles, self.instructions, self.calls
+        )
+
+    def _call_function(self, function: Function, args: list):
+        if len(args) != len(function.params):
+            raise SimulationError(
+                f"{function.name} expects {len(function.params)} arguments, "
+                f"got {len(args)}"
+            )
+        self.calls += 1
+        base = self._push_frame(function)
+        frame = _Frame(function, base, None if self.physical else {})
+        if self.physical:
+            # A real prologue saves every callee-saved register the routine
+            # colors, on every invocation; charge that statically.
+            self.cycles += CALLEE_SAVE_CYCLES * self._prologue_count(function)
+        for param, value in zip(function.params, args):
+            self._write(frame, param, value)
+        try:
+            return self._execute(frame)
+        finally:
+            self._pop_frame(base)
+
+    def _prologue_count(self, function: Function) -> int:
+        count = self._prologue_regs.get(function.name)
+        if count is None:
+            from repro.machine.encoding import used_callee_saved
+
+            used = used_callee_saved(function, self.target, self.assignment)
+            count = len(used[RClass.INT]) + len(used[RClass.FLOAT])
+            self._prologue_regs[function.name] = count
+        return count
+
+    def _execute(self, frame: _Frame):
+        function = frame.function
+        block = function.entry
+        index = 0
+        cycles_table = DEFAULT_CYCLES
+        while True:
+            if index >= len(block.instrs):
+                raise SimulationError(
+                    f"{function.name}: fell off the end of block {block.label}"
+                )
+            instr = block.instrs[index]
+            if self.trace is not None:
+                self.trace(function.name, block.label, index, instr)
+            index += 1
+            self.instructions += 1
+            if self.instructions > self.max_instructions:
+                raise SimulationError(
+                    f"instruction budget exhausted ({self.max_instructions})"
+                )
+            op = instr.op
+            self.cycles += cycles_table[op]
+
+            if op == "li" or op == "lf":
+                self._write(frame, instr.defs[0], instr.imm)
+            elif op in _INT_BINARY or op in _FLOAT_BINARY:
+                table = _INT_BINARY if op in _INT_BINARY else _FLOAT_BINARY
+                a = self._read(frame, instr.uses[0])
+                b = self._read(frame, instr.uses[1])
+                self._write(frame, instr.defs[0], table[op](a, b))
+            elif op in _UNARY:
+                value = self._read(frame, instr.uses[0])
+                self._write(frame, instr.defs[0], _UNARY[op](value))
+            elif op == "mov" or op == "fmov":
+                self._write(frame, instr.defs[0], self._read(frame, instr.uses[0]))
+            elif op == "i2f":
+                self._write(frame, instr.defs[0], float(self._read(frame, instr.uses[0])))
+            elif op == "f2i":
+                self._write(frame, instr.defs[0], math.trunc(self._read(frame, instr.uses[0])))
+            elif op == "load" or op == "fload":
+                address = self._check_address(frame, self._read(frame, instr.uses[0]))
+                self._write(frame, instr.defs[0], self.memory[address])
+            elif op == "store" or op == "fstore":
+                value = self._read(frame, instr.uses[0])
+                address = self._check_address(frame, self._read(frame, instr.uses[1]))
+                self.memory[address] = value
+            elif op == "la":
+                array = frame.function.frame_arrays[instr.imm]
+                self._write(frame, instr.defs[0], frame.base + array.offset)
+            elif op == "spill" or op == "fspill":
+                offset = frame.base + function.spill_slot_offset(instr.imm)
+                self.memory[offset] = self._read(frame, instr.uses[0])
+            elif op == "reload" or op == "freload":
+                offset = frame.base + function.spill_slot_offset(instr.imm)
+                self._write(frame, instr.defs[0], self.memory[offset])
+            elif op == "jmp":
+                block = function.block(instr.targets[0])
+                index = 0
+                self.cycles += TAKEN_BRANCH_PENALTY
+            elif op == "cbr" or op == "fcbr":
+                a = self._read(frame, instr.uses[0])
+                b = self._read(frame, instr.uses[1])
+                taken = _RELOP_FUNCS[instr.relop](a, b)
+                label = instr.targets[0] if taken else instr.targets[1]
+                block = function.block(label)
+                index = 0
+                if taken:
+                    self.cycles += TAKEN_BRANCH_PENALTY
+            elif op == "ret":
+                if instr.uses:
+                    return self._read(frame, instr.uses[0])
+                return None
+            elif op == "call":
+                self._do_call(frame, instr)
+            elif op == "print" or op == "fprint":
+                self.outputs.append(self._read(frame, instr.uses[0]))
+            elif op == "nop":
+                pass
+            else:  # pragma: no cover
+                raise SimulationError(f"cannot simulate opcode {op!r}")
+
+    def _do_call(self, frame: _Frame, instr) -> None:
+        callee = self.module.function(instr.callee)
+        args = [self._read(frame, use) for use in instr.uses]
+        if not self.physical:
+            result = self._call_function(callee, args)
+        else:
+            # Convention: the callee preserves callee-saved registers and
+            # may destroy caller-saved ones.
+            isaved = {
+                color: self.iregs[color]
+                for color in self.target.callee_saved(RClass.INT)
+            }
+            fsaved = {
+                color: self.fregs[color]
+                for color in self.target.callee_saved(RClass.FLOAT)
+            }
+            result = self._call_function(callee, args)
+            for color, value in isaved.items():
+                self.iregs[color] = value
+            for color, value in fsaved.items():
+                self.fregs[color] = value
+            for color in self.target.caller_saved(RClass.INT):
+                self.iregs[color] = POISON
+            for color in self.target.caller_saved(RClass.FLOAT):
+                self.fregs[color] = POISON
+        if instr.defs:
+            if result is None:
+                raise SimulationError(
+                    f"{instr.callee} returned no value but one was expected"
+                )
+            self._write(frame, instr.defs[0], result)
+
+class Tracer:
+    """A bounded instruction trace collector for the ``trace`` hook.
+
+    Records up to ``limit`` formatted lines (function, block, index,
+    instruction text) and counts the rest, so tracing a long run cannot
+    exhaust memory.  Optionally filters to one function.
+    """
+
+    def __init__(self, limit: int = 1000, only_function: str | None = None):
+        self.limit = limit
+        self.only_function = only_function
+        self.lines: list = []
+        self.dropped = 0
+
+    def __call__(self, function_name, block_label, index, instr) -> None:
+        if self.only_function and function_name != self.only_function:
+            return
+        if len(self.lines) >= self.limit:
+            self.dropped += 1
+            return
+        from repro.ir.printer import format_instr
+
+        self.lines.append(
+            f"{function_name}:{block_label}[{index}]  {format_instr(instr)}"
+        )
+
+    def render(self) -> str:
+        tail = f"\n... {self.dropped} more" if self.dropped else ""
+        return "\n".join(self.lines) + tail
+
+
+def run_module(
+    module: Module,
+    entry: str | None = None,
+    target: Target | None = None,
+    assignment: dict | None = None,
+    max_instructions: int = 200_000_000,
+    args: list | None = None,
+    trace=None,
+) -> SimulationResult:
+    """One-shot convenience: build a :class:`Simulator` and run it."""
+    simulator = Simulator(module, target, assignment, max_instructions, trace)
+    return simulator.run(entry, args)

@@ -1,0 +1,126 @@
+"""Target machine descriptions.
+
+A :class:`Target` fixes, per register class, how many registers exist and
+which are caller-saved (clobbered by calls) versus callee-saved (preserved;
+a routine that colors one pays a save/restore in its prologue/epilogue).
+
+:func:`rt_pc` builds the paper's machine: sixteen general-purpose registers
+and eight floating-point registers.  ``with_int_regs`` produces the
+restricted variants of the quicksort study (Figure 6), which the paper made
+by "modifying both register allocators to use a subset of the machine's
+sixteen general purpose registers".
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.ir.values import RClass
+
+
+class Target:
+    """An allocation target: two register files plus a calling convention.
+
+    ``int_caller_saved`` / ``float_caller_saved`` are sets of register
+    indices (colors) destroyed by a ``call``; the rest of each file is
+    callee-saved.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        int_regs: int,
+        float_regs: int,
+        int_caller_saved,
+        float_caller_saved,
+    ):
+        if int_regs <= 0 or float_regs <= 0:
+            raise ReproError("a target needs at least one register per class")
+        self.name = name
+        self.int_regs = int_regs
+        self.float_regs = float_regs
+        self.int_caller_saved = frozenset(int_caller_saved)
+        self.float_caller_saved = frozenset(float_caller_saved)
+        for index in self.int_caller_saved:
+            if not 0 <= index < int_regs:
+                raise ReproError(f"caller-saved int register {index} out of range")
+        for index in self.float_caller_saved:
+            if not 0 <= index < float_regs:
+                raise ReproError(f"caller-saved float register {index} out of range")
+
+    # ------------------------------------------------------------------
+
+    def regs(self, rclass: RClass) -> int:
+        """k for the given class."""
+        return self.int_regs if rclass == RClass.INT else self.float_regs
+
+    def caller_saved(self, rclass: RClass) -> frozenset:
+        if rclass == RClass.INT:
+            return self.int_caller_saved
+        return self.float_caller_saved
+
+    def callee_saved(self, rclass: RClass) -> frozenset:
+        total = self.regs(rclass)
+        return frozenset(range(total)) - self.caller_saved(rclass)
+
+    def color_order(self, rclass: RClass) -> list:
+        """Preferred color order for select: caller-saved registers first,
+        so values that do not cross calls avoid occupying callee-saved
+        registers (which cost prologue save/restore code)."""
+        caller = sorted(self.caller_saved(rclass))
+        callee = sorted(self.callee_saved(rclass))
+        return caller + callee
+
+    # ------------------------------------------------------------------
+
+    def with_int_regs(self, n: int) -> Target:
+        """The Figure 6 restriction: keep only ``n`` general-purpose
+        registers, dropping the highest-numbered ones first (caller-saved
+        registers sit at the top of the file, so heavy restriction trims
+        scratch registers before preserved ones)."""
+        if not 1 <= n <= self.int_regs:
+            raise ReproError(
+                f"cannot restrict {self.name} to {n} int registers"
+            )
+        caller = frozenset(i for i in self.int_caller_saved if i < n)
+        if n > 1 and not caller:
+            # Keep at least one caller-saved register so leaf scratch
+            # values do not force prologue traffic.
+            caller = frozenset({n - 1})
+        return Target(
+            f"{self.name}/i{n}", n, self.float_regs, caller, self.float_caller_saved
+        )
+
+    def with_float_regs(self, n: int) -> Target:
+        """Symmetric restriction of the floating-point file."""
+        if not 1 <= n <= self.float_regs:
+            raise ReproError(
+                f"cannot restrict {self.name} to {n} float registers"
+            )
+        caller = frozenset(i for i in self.float_caller_saved if i < n)
+        if n > 1 and not caller:
+            caller = frozenset({n - 1})
+        return Target(
+            f"{self.name}/f{n}", self.int_regs, n, self.int_caller_saved, caller
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Target({self.name}: {self.int_regs} int / "
+            f"{self.float_regs} float)"
+        )
+
+
+def rt_pc() -> Target:
+    """The paper's IBM RT/PC shape: 16 GPRs, 8 FPRs.
+
+    Convention (ours, RISC-typical): the top six GPRs (r10..r15) and the
+    top four FPRs (f4..f7) are caller-saved scratch; the remainder are
+    callee-saved.
+    """
+    return Target(
+        "rt_pc",
+        int_regs=16,
+        float_regs=8,
+        int_caller_saved=range(10, 16),
+        float_caller_saved=range(4, 8),
+    )

@@ -1,0 +1,64 @@
+"""Global dead-code elimination, driven by liveness.
+
+An instruction is removable when it is *pure* (no store, call, print,
+spill, or control effect) and none of the registers it defines is live
+immediately after it.  One liveness solve per sweep; sweeps repeat until
+nothing changes (removing an instruction can make its operands' producers
+dead in turn).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cfg import CFG
+from repro.analysis.liveness import Liveness
+from repro.ir.function import Function
+
+#: Opcodes whose execution matters even when the result is unused.
+_EFFECTFUL = {
+    "store",
+    "fstore",
+    "spill",
+    "fspill",
+    "call",
+    "print",
+    "fprint",
+}
+
+
+def _sweep(function: Function) -> int:
+    liveness = Liveness(function, CFG(function))
+    removed = 0
+    for block in function.blocks:
+        keep = []
+        live = liveness.live_out[block.label]
+        # Walk backward, tracking liveness precisely within the block.
+        for instr in reversed(block.instrs):
+            defines_live = any((live >> d.id) & 1 for d in instr.defs)
+            removable = (
+                instr.defs
+                and not defines_live
+                and not instr.is_terminator
+                and instr.op not in _EFFECTFUL
+            )
+            if removable:
+                removed += 1
+                continue
+            keep.append(instr)
+            for d in instr.defs:
+                live &= ~(1 << d.id)
+            for u in instr.uses:
+                live |= 1 << u.id
+        keep.reverse()
+        block.instrs = keep
+    return removed
+
+
+def eliminate_dead_code(function: Function, max_sweeps: int = 20) -> int:
+    """Remove dead pure instructions; returns the total removed."""
+    total = 0
+    for _ in range(max_sweeps):
+        removed = _sweep(function)
+        if removed == 0:
+            break
+        total += removed
+    return total

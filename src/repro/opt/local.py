@@ -1,0 +1,149 @@
+"""Block-local scalar optimizations.
+
+Each pass makes one forward walk per basic block, maintaining facts that
+are killed on redefinition — sound without any global analysis:
+
+* **constant folding**: evaluates pure instructions whose operands are
+  known constants (semantics borrowed from the simulator's op tables, so
+  the folder can never disagree with execution), and resolves
+  conditional branches with constant operands into unconditional jumps;
+* **copy propagation**: after ``mov d, s``, uses of ``d`` read ``s``
+  until either is redefined (the dead ``mov`` is left for DCE);
+* **local CSE**: identical pure computations on identical operands reuse
+  the first result through a copy (which the coalescer later merges).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import SimulationError
+from repro.ir.function import Function
+from repro.ir.instructions import Instr
+from repro.ir.values import RClass
+from repro.machine.simulator import _FLOAT_BINARY, _INT_BINARY, _RELOP_FUNCS, _UNARY
+
+#: Opcodes that compute a pure function of their operands.
+_PURE_BINARY = set(_INT_BINARY) | set(_FLOAT_BINARY)
+_PURE_UNARY = set(_UNARY) | {"i2f", "f2i"}
+_PURE = _PURE_BINARY | _PURE_UNARY | {"li", "lf", "la"}
+
+
+def _evaluate(instr: Instr, values: list):
+    """Value of a pure instruction on constant operands, or None when the
+    evaluation would trap (leave those for runtime)."""
+    try:
+        if instr.op in _INT_BINARY:
+            return _INT_BINARY[instr.op](values[0], values[1])
+        if instr.op in _FLOAT_BINARY:
+            return _FLOAT_BINARY[instr.op](values[0], values[1])
+        if instr.op in _UNARY:
+            return _UNARY[instr.op](values[0])
+        if instr.op == "i2f":
+            return float(values[0])
+        if instr.op == "f2i":
+            return math.trunc(values[0])
+    except (ArithmeticError, ValueError, SimulationError):
+        # Trapping evaluations (division by zero, sqrt of a negative)
+        # stay in the code and trap at runtime, as they should.
+        return None
+    return None
+
+
+def fold_constants(function: Function) -> int:
+    """Fold constant computations; returns the number of changes."""
+    changed = 0
+    for block in function.blocks:
+        constants: dict = {}
+        for index, instr in enumerate(block.instrs):
+            if instr.op in ("li", "lf"):
+                constants[instr.defs[0]] = instr.imm
+                continue
+
+            if (
+                instr.op in ("cbr", "fcbr")
+                and instr.uses[0] in constants
+                and instr.uses[1] in constants
+            ):
+                taken = _RELOP_FUNCS[instr.relop](
+                    constants[instr.uses[0]], constants[instr.uses[1]]
+                )
+                target = instr.targets[0] if taken else instr.targets[1]
+                block.instrs[index] = Instr("jmp", targets=[target])
+                changed += 1
+                continue
+
+            if (
+                instr.op in _PURE_BINARY | _PURE_UNARY
+                and instr.uses
+                and all(u in constants for u in instr.uses)
+            ):
+                value = _evaluate(instr, [constants[u] for u in instr.uses])
+                if value is not None:
+                    dst = instr.defs[0]
+                    op = "li" if dst.rclass == RClass.INT else "lf"
+                    imm = int(value) if op == "li" else float(value)
+                    block.instrs[index] = Instr(op, [dst], imm=imm)
+                    constants[dst] = imm
+                    changed += 1
+                    continue
+
+            for d in instr.defs:
+                constants.pop(d, None)
+    if changed:
+        function.remove_unreachable_blocks()
+    return changed
+
+
+def propagate_copies(function: Function) -> int:
+    """Forward uses through copies within each block; returns changes."""
+    changed = 0
+    for block in function.blocks:
+        copy_of: dict = {}
+        for instr in block.instrs:
+            replacement = {}
+            for u in instr.uses:
+                source = copy_of.get(u)
+                if source is not None:
+                    replacement[u] = source
+            if replacement:
+                instr.replace_uses(replacement)
+                changed += len(replacement)
+            for d in instr.defs:
+                copy_of.pop(d, None)
+                for key in [k for k, v in copy_of.items() if v is d]:
+                    del copy_of[key]
+            if instr.is_copy and instr.defs[0] is not instr.uses[0]:
+                copy_of[instr.defs[0]] = instr.uses[0]
+    return changed
+
+
+def eliminate_common_subexpressions(function: Function) -> int:
+    """Local CSE over pure computations; returns changes."""
+    changed = 0
+    for block in function.blocks:
+        available: dict = {}  # key -> defining vreg
+        by_operand: dict = {}  # vreg -> keys mentioning it
+        for index, instr in enumerate(block.instrs):
+            key = None
+            if instr.op in _PURE and not instr.is_copy and instr.defs:
+                key = (instr.op, tuple(id(u) for u in instr.uses), instr.imm)
+                existing = available.get(key)
+                if existing is not None:
+                    dst = instr.defs[0]
+                    op = "mov" if dst.rclass == RClass.INT else "fmov"
+                    block.instrs[index] = Instr(op, [dst], [existing])
+                    changed += 1
+                    key = None  # the replacement defines dst via a copy
+            for d in instr.defs:
+                # Redefinition kills every expression mentioning d and any
+                # expression whose result lived in d.
+                for stale in by_operand.pop(d, []):
+                    available.pop(stale, None)
+                for k in [k for k, v in available.items() if v is d]:
+                    del available[k]
+            if key is not None:
+                available[key] = instr.defs[0]
+                for u in instr.uses:
+                    by_operand.setdefault(u, []).append(key)
+    return changed

@@ -1,0 +1,72 @@
+"""The optimization pipeline: run the scalar passes to a fixed point."""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.verifier import verify_function
+from repro.opt.dce import eliminate_dead_code
+from repro.opt.local import (
+    eliminate_common_subexpressions,
+    fold_constants,
+    propagate_copies,
+)
+
+
+class OptimizationReport:
+    """What one pipeline run changed."""
+
+    __slots__ = ("function_name", "iterations", "folded", "propagated",
+                 "cse_hits", "dead_removed")
+
+    def __init__(self, function_name: str):
+        self.function_name = function_name
+        self.iterations = 0
+        self.folded = 0
+        self.propagated = 0
+        self.cse_hits = 0
+        self.dead_removed = 0
+
+    @property
+    def total_changes(self) -> int:
+        return self.folded + self.propagated + self.cse_hits + self.dead_removed
+
+    def __repr__(self) -> str:
+        return (
+            f"OptimizationReport({self.function_name}: "
+            f"fold={self.folded}, copy={self.propagated}, "
+            f"cse={self.cse_hits}, dce={self.dead_removed} "
+            f"in {self.iterations} iteration(s))"
+        )
+
+
+def optimize_function(
+    function: Function, max_iterations: int = 10, verify: bool = True
+) -> OptimizationReport:
+    """Run fold -> copy-prop -> CSE -> DCE until nothing changes."""
+    report = OptimizationReport(function.name)
+    for _ in range(max_iterations):
+        report.iterations += 1
+        changes = 0
+        folded = fold_constants(function)
+        propagated = propagate_copies(function)
+        cse = eliminate_common_subexpressions(function)
+        dead = eliminate_dead_code(function)
+        report.folded += folded
+        report.propagated += propagated
+        report.cse_hits += cse
+        report.dead_removed += dead
+        changes = folded + propagated + cse + dead
+        if changes == 0:
+            break
+    if verify:
+        verify_function(function)
+    return report
+
+
+def optimize_module(module: Module, verify: bool = True) -> dict:
+    """Optimize every function; returns name -> OptimizationReport."""
+    return {
+        function.name: optimize_function(function, verify=verify)
+        for function in module
+    }

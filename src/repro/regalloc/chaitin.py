@@ -1,0 +1,84 @@
+"""Chaitin's allocator — the paper's baseline ("Old").
+
+Simplification marks spill victims immediately; when any node is marked,
+the phase ends with spill decisions made and **select never runs** for
+that pass (paper Figure 7 leaves Old's first-pass Color row empty for
+exactly this reason: "our method will run through the coloring phase,
+where Chaitin's will not").  Only a pass with no marks proceeds to select,
+which then cannot fail.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.errors import AllocationError
+from repro.regalloc.interference import InterferenceGraph
+from repro.regalloc.select import select_colors
+from repro.regalloc.simplify import simplify
+from repro.regalloc.spill_costs import SpillCosts
+
+
+class ClassAllocation:
+    """Outcome of allocating one register class in one pass."""
+
+    __slots__ = (
+        "colors",
+        "spilled_vregs",
+        "ran_select",
+        "simplify_time",
+        "select_time",
+    )
+
+    def __init__(self, colors, spilled_vregs, ran_select,
+                 simplify_time=0.0, select_time=0.0):
+        #: VReg -> color (empty when the pass ended in spills, Chaitin).
+        self.colors = colors
+        #: live ranges to spill before the next pass.
+        self.spilled_vregs = spilled_vregs
+        #: whether the select phase executed (Figure 7's Color row).
+        self.ran_select = ran_select
+        self.simplify_time = simplify_time
+        self.select_time = select_time
+
+
+class ChaitinAllocator:
+    """Strategy object for the baseline heuristic."""
+
+    name = "chaitin"
+    optimistic = False
+
+    def allocate_class(
+        self,
+        graph: InterferenceGraph,
+        costs: SpillCosts,
+        color_order: list | None = None,
+    ) -> ClassAllocation:
+        started = time.perf_counter()
+        outcome = simplify(graph, costs, optimistic=False)
+        simplify_time = time.perf_counter() - started
+        if outcome.marked_for_spill:
+            spilled = [graph.vreg_for(n) for n in outcome.marked_for_spill]
+            return ClassAllocation(
+                {}, spilled, ran_select=False, simplify_time=simplify_time
+            )
+        started = time.perf_counter()
+        selection = select_colors(graph, outcome.stack, color_order)
+        select_time = time.perf_counter() - started
+        if not selection.succeeded:  # pragma: no cover - guaranteed by phase 2
+            raise AllocationError(
+                "Chaitin select failed on a simplified graph; this cannot "
+                "happen unless the simplification invariant was broken"
+            )
+        colors = {
+            graph.vreg_for(node): color
+            for node, color in selection.colors.items()
+            if not graph.is_precolored(node)
+        }
+        return ClassAllocation(
+            colors,
+            [],
+            ran_select=True,
+            simplify_time=simplify_time,
+            select_time=select_time,
+        )

@@ -1,0 +1,274 @@
+"""The allocation driver: Chaitin's Figure-4 loop.
+
+::
+
+    renumber -> build -> coalesce -> spill costs -> simplify -> select
+         ^                                             |          |
+         |                 spill code  <---------------+----------+
+         +--------------------------------------------(if any spills)
+
+Each pass times its phases (Figure 7) and records what spilled (Figures
+5/6).  Both register classes are allocated in the same pass — the RT/PC's
+GPRs and FPRs interfere only within their own file — and a pass that
+spills in either class re-runs the cycle for the whole function.
+
+``check_allocation`` independently re-derives interference on the final
+code and verifies the coloring — the allocator's acceptance test.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.cfg import CFG
+from repro.analysis.liveness import Liveness
+from repro.analysis.loops import annotate_loop_depths
+from repro.analysis.webs import split_webs
+from repro.errors import AllocationError
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.values import RClass
+from repro.machine.target import Target
+from repro.regalloc.briggs import BriggsAllocator
+from repro.regalloc.chaitin import ChaitinAllocator
+from repro.regalloc.coalesce import coalesce_copies
+from repro.regalloc.interference import build_interference_graph
+from repro.regalloc.spill import insert_spill_code
+from repro.regalloc.spill_costs import compute_spill_costs
+from repro.regalloc.stats import AllocationStats, PassStats
+
+_CLASSES = (RClass.INT, RClass.FLOAT)
+
+
+def _method_for(name_or_method):
+    if isinstance(name_or_method, str):
+        if name_or_method == "chaitin":
+            return ChaitinAllocator()
+        if name_or_method == "briggs":
+            return BriggsAllocator()
+        if name_or_method == "briggs-degree":
+            return BriggsAllocator(order="degree")
+        if name_or_method == "spill-all":
+            from repro.regalloc.naive import SpillAllAllocator
+
+            return SpillAllAllocator()
+        raise AllocationError(f"unknown allocation method {name_or_method!r}")
+    return name_or_method
+
+
+class AllocationResult:
+    """Final coloring of one function plus its statistics."""
+
+    __slots__ = ("function", "target", "method", "assignment", "stats")
+
+    def __init__(self, function, target, method, assignment, stats):
+        self.function = function
+        self.target = target
+        self.method = method
+        #: VReg -> color for every register occurring in the final code.
+        self.assignment = assignment
+        self.stats = stats
+
+    def __repr__(self) -> str:
+        return (
+            f"AllocationResult({self.method} on {self.function.name}: "
+            f"{self.stats.pass_count} passes, "
+            f"{self.stats.registers_spilled} spilled)"
+        )
+
+
+def allocate_function(
+    function: Function,
+    target: Target,
+    method="briggs",
+    coalesce=True,
+    renumber: bool = True,
+    rematerialize: bool = False,
+    split_ranges: bool = False,
+    max_passes: int = 30,
+    validate: bool = False,
+) -> AllocationResult:
+    """Allocate registers for ``function`` in place (spill code may be
+    inserted).  ``method`` is ``"chaitin"``, ``"briggs"``,
+    ``"briggs-degree"`` or a strategy object.  ``rematerialize`` enables
+    Chaitin's constant-rematerialization refinement for spilled ranges."""
+    strategy = _method_for(method)
+    stats = AllocationStats(strategy.name, function.name)
+    assignment: dict = {}
+
+    if split_ranges:
+        from repro.regalloc.splitting import split_live_ranges
+
+        split_live_ranges(function, target)
+
+    for pass_index in range(1, max_passes + 1):
+        pass_stats = PassStats(pass_index)
+        stats.passes.append(pass_stats)
+
+        # ---- build ---------------------------------------------------
+        started = time.perf_counter()
+        if renumber:
+            split_webs(function)
+        if coalesce:
+            coalesce_strategy = (
+                coalesce if isinstance(coalesce, str) else "aggressive"
+            )
+            pass_stats.coalesced = coalesce_copies(
+                function, target, strategy=coalesce_strategy
+            )
+        liveness = Liveness(function, CFG(function))
+        loop_info = annotate_loop_depths(function)
+        graphs = {
+            rclass: build_interference_graph(function, rclass, target, liveness)
+            for rclass in _CLASSES
+        }
+        costs = compute_spill_costs(function, loop_info)
+        pass_stats.live_ranges = sum(
+            g.num_vreg_nodes for g in graphs.values()
+        )
+        pass_stats.edges = sum(g.edge_count() for g in graphs.values())
+        pass_stats.build_time = time.perf_counter() - started
+
+        # ---- simplify + select ----------------------------------------
+        spilled_vregs: list = []
+        class_colors: dict = {}
+        for rclass in _CLASSES:
+            graph = graphs[rclass]
+            if graph.num_vreg_nodes == 0:
+                continue  # nothing of this class occurs in the function
+            outcome = strategy.allocate_class(
+                graph, costs, target.color_order(rclass)
+            )
+            pass_stats.simplify_time += outcome.simplify_time
+            pass_stats.select_time += outcome.select_time
+            if outcome.ran_select:
+                pass_stats.ran_select = True
+            spilled_vregs.extend(outcome.spilled_vregs)
+            class_colors.update(outcome.colors)
+
+        if not spilled_vregs:
+            assignment = class_colors
+            break
+
+        # ---- spill ----------------------------------------------------
+        pass_stats.spilled_count = len(spilled_vregs)
+        pass_stats.spilled_cost = sum(
+            costs.cost(v) for v in spilled_vregs
+        )
+        started = time.perf_counter()
+        insert_spill_code(function, spilled_vregs, rematerialize=rematerialize)
+        pass_stats.spill_time = time.perf_counter() - started
+    else:
+        raise AllocationError(
+            f"{function.name}: no coloring after {max_passes} passes "
+            f"({strategy.name}, target {target.name})"
+        )
+
+    result = AllocationResult(
+        function, target, strategy.name, assignment, stats
+    )
+    if validate:
+        check_allocation(result)
+    return result
+
+
+def check_allocation(result: AllocationResult) -> None:
+    """Independently verify the final coloring.
+
+    Rebuilds liveness and interference on the final code and asserts:
+    every occurring register has a color within its class's file; no two
+    interfering registers share a color; nothing live across a call holds
+    a caller-saved register.
+    """
+    function = result.function
+    target = result.target
+    assignment = result.assignment
+    liveness = Liveness(function, CFG(function))
+
+    occurring = set()
+    for _block, _index, instr in function.instructions():
+        occurring.update(instr.defs)
+        occurring.update(instr.uses)
+    for vreg in occurring:
+        color = assignment.get(vreg)
+        if color is None:
+            raise AllocationError(f"{vreg!r} occurs but has no color")
+        if not 0 <= color < target.regs(vreg.rclass):
+            raise AllocationError(
+                f"{vreg!r} colored {color}, outside the "
+                f"{target.regs(vreg.rclass)}-register file"
+            )
+
+    for rclass in _CLASSES:
+        graph = build_interference_graph(function, rclass, target, liveness)
+        for node in range(graph.k, graph.num_nodes):
+            vreg = graph.vreg_for(node)
+            for neighbor in graph.neighbors(node):
+                if neighbor < graph.k:
+                    if assignment[vreg] == neighbor:
+                        raise AllocationError(
+                            f"{vreg!r} colored {assignment[vreg]} but "
+                            f"interferes with that physical register"
+                        )
+                elif neighbor > node:
+                    other = graph.vreg_for(neighbor)
+                    if assignment[vreg] == assignment[other]:
+                        raise AllocationError(
+                            f"{vreg!r} and {other!r} interfere but share "
+                            f"color {assignment[vreg]}"
+                        )
+
+
+class ModuleAllocation:
+    """Per-function results plus the merged assignment the simulator and
+    encoder consume."""
+
+    __slots__ = ("module", "target", "method", "results", "assignment")
+
+    def __init__(self, module, target, method, results):
+        self.module = module
+        self.target = target
+        self.method = method
+        self.results = results  # name -> AllocationResult
+        self.assignment = {}
+        for result in results.values():
+            self.assignment.update(result.assignment)
+
+    def result(self, name: str) -> AllocationResult:
+        return self.results[name]
+
+    def total_spilled(self) -> int:
+        return sum(r.stats.registers_spilled for r in self.results.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"ModuleAllocation({self.method}, {len(self.results)} functions, "
+            f"{self.total_spilled()} spilled)"
+        )
+
+
+def allocate_module(
+    module: Module,
+    target: Target,
+    method="briggs",
+    coalesce=True,
+    renumber: bool = True,
+    rematerialize: bool = False,
+    split_ranges: bool = False,
+    validate: bool = False,
+) -> ModuleAllocation:
+    """Allocate every function of a module (in place)."""
+    results = {}
+    for function in module:
+        results[function.name] = allocate_function(
+            function,
+            target,
+            method,
+            coalesce=coalesce,
+            renumber=renumber,
+            rematerialize=rematerialize,
+            split_ranges=split_ranges,
+            validate=validate,
+        )
+    name = _method_for(method).name
+    return ModuleAllocation(module, target, name, results)

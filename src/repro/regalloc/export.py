@@ -1,0 +1,87 @@
+"""Graphviz export of interference graphs (a debugging/teaching aid).
+
+``to_dot`` renders an :class:`~repro.regalloc.interference.InterferenceGraph`
+as an undirected DOT graph: precolored nodes are boxes, live ranges are
+ellipses labelled with their name/degree/spill cost, and — when a coloring
+is supplied — nodes are filled from a qualitative palette so a proper
+coloring is visible at a glance.
+"""
+
+from __future__ import annotations
+
+from repro.regalloc.interference import InterferenceGraph
+
+#: A small qualitative palette, cycled when k exceeds its size.
+_PALETTE = [
+    "#66c2a5",
+    "#fc8d62",
+    "#8da0cb",
+    "#e78ac3",
+    "#a6d854",
+    "#ffd92f",
+    "#e5c494",
+    "#b3b3b3",
+]
+
+
+def _fill(color_index: int) -> str:
+    return _PALETTE[color_index % len(_PALETTE)]
+
+
+def to_dot(
+    graph: InterferenceGraph,
+    costs=None,
+    colors: dict | None = None,
+    spilled=None,
+    include_precolored: bool = False,
+    name: str = "interference",
+) -> str:
+    """Render ``graph`` as DOT text.
+
+    ``colors`` maps VReg -> color index; ``spilled`` is an iterable of
+    spilled VRegs drawn in red.  Precolored (physical-register) nodes are
+    omitted by default — with them, every picture contains the k-clique.
+    """
+    spilled_set = set(spilled or [])
+    lines = [f"graph {name} {{", "  node [style=filled];"]
+
+    def node_id(node: int) -> str:
+        if graph.is_precolored(node):
+            return f"r{node}"
+        return f"v{graph.vreg_for(node).id}"
+
+    if include_precolored:
+        for node in range(graph.k):
+            lines.append(
+                f'  {node_id(node)} [shape=box, label="r{node}", '
+                f'fillcolor="{_fill(node)}"];'
+            )
+    for node in range(graph.k, graph.num_nodes):
+        vreg = graph.vreg_for(node)
+        label_parts = [vreg.pretty(), f"deg {graph.degree(node)}"]
+        if costs is not None:
+            cost = costs.cost(vreg)
+            label_parts.append(
+                "cost inf" if cost == float("inf") else f"cost {cost:.0f}"
+            )
+        label = "\\n".join(label_parts)
+        attributes = [f'label="{label}"']
+        if vreg in spilled_set:
+            attributes.append('fillcolor="#ff6b6b"')
+        elif colors is not None and vreg in colors:
+            attributes.append(f'fillcolor="{_fill(colors[vreg])}"')
+        else:
+            attributes.append('fillcolor="white"')
+        lines.append(f"  {node_id(node)} [{', '.join(attributes)}];")
+
+    for node in range(graph.num_nodes):
+        if not include_precolored and graph.is_precolored(node):
+            continue
+        for neighbor in graph.neighbors(node):
+            if neighbor <= node:
+                continue
+            if not include_precolored and graph.is_precolored(neighbor):
+                continue
+            lines.append(f"  {node_id(node)} -- {node_id(neighbor)};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,222 @@
+"""Interference graph construction (Chaitin's build phase).
+
+One graph per register class.  Node numbering:
+
+* nodes ``0 .. k-1`` are **precolored**: the physical registers of the
+  class (color ``i`` = register ``i``).  They are never simplified and
+  never spilled;
+* nodes ``k ..`` are the virtual registers of the class that occur in the
+  function, in first-occurrence order.
+
+Edges come from the classic rule: at every definition point, the defined
+register interferes with everything live *after* the instruction — minus
+the source of a copy (``mov d, s`` does not make ``d`` and ``s``
+interfere, which is what lets the coalescer merge them).  At a ``call``,
+every value live across the call gains an edge to each **caller-saved**
+physical register, so such values can only be colored with callee-saved
+registers — Chaitin's way of encoding the calling convention in the graph.
+
+The graph keeps both representations Chaitin recommends: a bit matrix for
+O(1) membership (``interferes``) and adjacency lists for neighbor walks.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cfg import CFG
+from repro.analysis.liveness import Liveness
+from repro.errors import AllocationError
+from repro.ir.function import Function
+from repro.ir.values import RClass
+from repro.machine.target import Target
+
+
+class InterferenceGraph:
+    """Undirected graph over precolored + virtual nodes of one class."""
+
+    def __init__(self, rclass: RClass, k: int):
+        self.rclass = rclass
+        self.k = k
+        self.vregs: list = []  # node index - k  ->  VReg
+        self.node_of: dict = {}  # VReg -> node index
+        self.adj_mask: list = [0] * k  # bit matrix rows (grows with nodes)
+        self.adj_list: list | None = None  # built by freeze()
+        # Precolored nodes mutually interfere (distinct physical registers).
+        for a in range(k):
+            for b in range(a + 1, k):
+                self.adj_mask[a] |= 1 << b
+                self.adj_mask[b] |= 1 << a
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def ensure_node(self, vreg) -> int:
+        if vreg.rclass != self.rclass:
+            raise AllocationError(
+                f"{vreg!r} is not class {self.rclass}"
+            )
+        node = self.node_of.get(vreg)
+        if node is None:
+            node = self.k + len(self.vregs)
+            self.node_of[vreg] = node
+            self.vregs.append(vreg)
+            self.adj_mask.append(0)
+        return node
+
+    def add_edge(self, a: int, b: int) -> None:
+        if a == b:
+            return
+        self.adj_mask[a] |= 1 << b
+        self.adj_mask[b] |= 1 << a
+
+    def freeze(self) -> None:
+        """Materialise adjacency lists once construction is done."""
+        self.adj_list = []
+        for node in range(self.num_nodes):
+            mask = self.adj_mask[node]
+            neighbors = []
+            index = 0
+            while mask:
+                if mask & 1:
+                    neighbors.append(index)
+                mask >>= 1
+                index += 1
+            self.adj_list.append(neighbors)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return self.k + len(self.vregs)
+
+    @property
+    def num_vreg_nodes(self) -> int:
+        return len(self.vregs)
+
+    def is_precolored(self, node: int) -> bool:
+        return node < self.k
+
+    def vreg_for(self, node: int):
+        return self.vregs[node - self.k]
+
+    def interferes(self, a: int, b: int) -> bool:
+        return bool((self.adj_mask[a] >> b) & 1)
+
+    def neighbors(self, node: int) -> list:
+        if self.adj_list is None:
+            raise AllocationError("freeze() the graph before neighbor walks")
+        return self.adj_list[node]
+
+    def degree(self, node: int) -> int:
+        return len(self.neighbors(node))
+
+    def edge_count(self) -> int:
+        """Number of undirected edges (including precolored clique)."""
+        total = sum(bin(mask).count("1") for mask in self.adj_mask)
+        return total // 2
+
+    def __repr__(self) -> str:
+        return (
+            f"InterferenceGraph({self.rclass}, k={self.k}, "
+            f"{self.num_vreg_nodes} vregs, {self.edge_count()} edges)"
+        )
+
+
+def _class_mask(function: Function, rclass: RClass) -> int:
+    mask = 0
+    for vreg in function.vregs:
+        if vreg.rclass == rclass:
+            mask |= 1 << vreg.id
+    return mask
+
+
+def build_interference_graph(
+    function: Function,
+    rclass: RClass,
+    target: Target,
+    liveness: Liveness | None = None,
+) -> InterferenceGraph:
+    """Build the interference graph of one register class.
+
+    ``liveness`` may be passed in to share a computation between the two
+    classes of one build phase.
+    """
+    k = target.regs(rclass)
+    graph = InterferenceGraph(rclass, k)
+    liveness = liveness or Liveness(function, CFG(function))
+    class_mask = _class_mask(function, rclass)
+    by_id = {v.id: v for v in function.vregs}
+    caller_saved = sorted(target.caller_saved(rclass))
+
+    # Make sure every occurring vreg has a node even if it never interferes.
+    # Parameters are all defined simultaneously by the (implicit) prologue,
+    # so they mutually interfere — without this, two arguments could share
+    # a register and the later write would destroy the earlier value.
+    class_params = [p for p in function.params if p.rclass == rclass]
+    for param in class_params:
+        graph.ensure_node(param)
+    for index, first in enumerate(class_params):
+        for second in class_params[index + 1 :]:
+            graph.add_edge(graph.ensure_node(first), graph.ensure_node(second))
+    # Anything else live at function entry (only possible for parameters in
+    # verified IR, but kept general) interferes with every parameter.
+    entry_live = liveness.live_in[function.entry.label] & class_mask
+    masked = entry_live
+    while masked:
+        low = masked & -masked
+        masked ^= low
+        vreg = by_id[low.bit_length() - 1]
+        node = graph.ensure_node(vreg)
+        for param in class_params:
+            graph.add_edge(node, graph.ensure_node(param))
+    for _block, _index, instr in function.instructions():
+        for vreg in instr.defs:
+            if vreg.rclass == rclass:
+                graph.ensure_node(vreg)
+        for vreg in instr.uses:
+            if vreg.rclass == rclass:
+                graph.ensure_node(vreg)
+
+    def live_nodes(mask: int):
+        masked = mask & class_mask
+        while masked:
+            low = masked & -masked
+            masked ^= low
+            yield graph.ensure_node(by_id[low.bit_length() - 1])
+
+    for block in function.blocks:
+        live = liveness.live_out[block.label]
+        for instr in reversed(block.instrs):
+            defs_mask = 0
+            for d in instr.defs:
+                defs_mask |= 1 << d.id
+
+            if instr.is_call:
+                # Values live across the call cannot sit in caller-saved
+                # registers.  (The call's own result is defined after the
+                # clobber point, so it is exempt.)
+                across = live & ~defs_mask
+                for node in live_nodes(across):
+                    for color in caller_saved:
+                        graph.add_edge(node, color)
+
+            copy_source_mask = 0
+            if instr.is_copy:
+                copy_source_mask = 1 << instr.uses[0].id
+
+            for d in instr.defs:
+                if d.rclass != rclass:
+                    continue
+                d_node = graph.ensure_node(d)
+                interfering = live & ~(1 << d.id) & ~copy_source_mask
+                for node in live_nodes(interfering):
+                    graph.add_edge(d_node, node)
+
+            live = (live & ~defs_mask)
+            for u in instr.uses:
+                live |= 1 << u.id
+
+    graph.freeze()
+    return graph

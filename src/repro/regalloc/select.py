@@ -1,0 +1,67 @@
+"""The select (coloring) phase.
+
+Nodes come back in reverse removal order; each is given the first color in
+``color_order`` that no already-colored neighbor holds.  Two facts give
+the optimistic allocator its power here (paper §2.2):
+
+* neighbors with **the same color** consume one slot, not several — a node
+  of degree >= k still colors whenever its neighbors use < k colors;
+* neighbors left **uncolored** (deferred spills) consume no slot at all.
+
+A node with no free color is left uncolored and reported; the driver
+spills those live ranges and re-runs the whole cycle.  For a Chaitin-mode
+run the phase is only entered with a stack guaranteed to color, so an
+uncolored node indicates a bug (the driver asserts this).
+"""
+
+from __future__ import annotations
+
+from repro.regalloc.interference import InterferenceGraph
+
+
+class SelectOutcome:
+    """Colors per node plus the nodes that could not be colored."""
+
+    __slots__ = ("colors", "uncolored")
+
+    def __init__(self, colors: dict, uncolored: list):
+        self.colors = colors
+        self.uncolored = uncolored
+
+    @property
+    def succeeded(self) -> bool:
+        return not self.uncolored
+
+
+def select_colors(
+    graph: InterferenceGraph,
+    stack: list,
+    color_order: list | None = None,
+) -> SelectOutcome:
+    """Rebuild the graph from ``stack``, assigning colors optimistically.
+
+    ``color_order`` defaults to ``0..k-1``; targets pass caller-saved
+    registers first so call-free values prefer scratch registers.
+    """
+    k = graph.k
+    order = list(color_order) if color_order is not None else list(range(k))
+    colors: dict = {node: node for node in range(k)}  # precolored
+    uncolored: list = []
+
+    for node in reversed(stack):
+        taken = 0
+        for neighbor in graph.neighbors(node):
+            color = colors.get(neighbor)
+            if color is not None:
+                taken |= 1 << color
+        chosen = -1
+        for color in order:
+            if not (taken >> color) & 1:
+                chosen = color
+                break
+        if chosen < 0:
+            uncolored.append(node)
+        else:
+            colors[node] = chosen
+
+    return SelectOutcome(colors, uncolored)

@@ -1,0 +1,118 @@
+"""The simplification phase, shared by the Chaitin and Briggs allocators.
+
+Both methods remove unconstrained nodes (degree < k) in the same order and
+fall back to Chaitin's min-(cost/degree) rule when every remaining node has
+degree >= k.  They differ in *one line* — what happens to the constrained
+victim:
+
+* **Chaitin** (``optimistic=False``): the victim is *marked for spilling*
+  and removed; it never reaches the stack (paper §2.1, step 2);
+* **Briggs** (``optimistic=True``): the victim is removed but *pushed on
+  the stack anyway*; whether it actually spills is decided in select
+  (paper §2.2/§2.3).
+
+Because the two methods share the removal order and the tie-breaking rule
+(lowest node index on equal cost/degree ratios — the paper's footnote 4
+notes the choice is "often something as trivial as a symbol table index"),
+Briggs's uncolored set is always a subset of Chaitin's spill set on the
+same graph — the property §2.3 argues and our property tests check.
+
+Precolored nodes are never removed; they count toward their neighbors'
+degrees throughout.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AllocationError
+from repro.regalloc.interference import InterferenceGraph
+from repro.regalloc.spill_costs import INFINITE_COST, SpillCosts
+from repro.regalloc.worklists import DegreeBuckets
+
+
+class SimplifyOutcome:
+    """Result of one simplification: the coloring stack and (for Chaitin)
+    the set of nodes marked for spilling during the phase."""
+
+    __slots__ = ("stack", "marked_for_spill", "constrained_choices")
+
+    def __init__(self, stack, marked_for_spill, constrained_choices):
+        self.stack = stack
+        self.marked_for_spill = marked_for_spill
+        #: nodes chosen by the cost/degree rule (== marked_for_spill for
+        #: Chaitin; for Briggs these were pushed optimistically).
+        self.constrained_choices = constrained_choices
+
+
+def simplify(
+    graph: InterferenceGraph,
+    costs: SpillCosts,
+    optimistic: bool,
+) -> SimplifyOutcome:
+    """Run the simplification phase over ``graph``.
+
+    Returns the stack (node indices, removal order; color in reverse) and
+    the spill marks.  ``costs`` provides the numerator of Chaitin's
+    cost/degree victim metric.
+    """
+    k = graph.k
+    n = graph.num_nodes
+    buckets = DegreeBuckets(n, max_degree=max(1, n))
+    removed = [False] * n
+
+    for node in range(k, n):
+        buckets.add(node, graph.degree(node))
+
+    stack: list = []
+    marked: list = []
+    constrained: list = []
+
+    def remove_node(node: int) -> None:
+        removed[node] = True
+        for neighbor in graph.neighbors(node):
+            if neighbor >= k and not removed[neighbor]:
+                buckets.decrement(neighbor)
+
+    while len(buckets):
+        if buckets.min_degree() < k:
+            node = buckets.pop_min()
+            stack.append(node)
+            remove_node(node)
+            continue
+        # Every remaining node is constrained: fall back on Chaitin's
+        # estimator — minimum spill cost / current degree.
+        victim = _choose_spill_victim(graph, buckets, costs)
+        buckets.remove(victim)
+        constrained.append(victim)
+        if optimistic:
+            stack.append(victim)  # the paper's change: defer the decision
+        else:
+            marked.append(victim)
+        remove_node(victim)
+
+    return SimplifyOutcome(stack, marked, constrained)
+
+
+def _choose_spill_victim(
+    graph: InterferenceGraph, buckets: DegreeBuckets, costs: SpillCosts
+) -> int:
+    """Minimum cost/degree among remaining nodes; ties break toward the
+    lowest node index so both allocators pick identically."""
+    best_node = -1
+    best_ratio = None
+    for node in buckets.nodes():
+        degree = buckets.degree[node]
+        cost = costs.cost(graph.vreg_for(node))
+        if cost == INFINITE_COST:
+            continue
+        ratio = cost / max(degree, 1)
+        if best_ratio is None or ratio < best_ratio or (
+            ratio == best_ratio and node < best_node
+        ):
+            best_ratio = ratio
+            best_node = node
+    if best_node < 0:
+        raise AllocationError(
+            "every remaining live range is unspillable; the target has too "
+            "few registers for this function"
+        )
+    return best_node

@@ -1,0 +1,162 @@
+"""Spill-code insertion.
+
+Spilling a live range gives it a frame slot and rewrites every occurrence
+(paper §2.1): "the value is stored to memory after each definition and
+restored before each use".  Each occurrence gets a fresh *spill temporary*
+— a tiny live range spanning one instruction — marked ``is_spill_temp`` so
+the cost model makes it unspillable.  This is precisely why the allocation
+loop converges: "spilling a live range does not entirely remove it; it
+simply divides that live range into several shorter live ranges" (§3.3).
+
+A spilled *parameter* additionally gets a store at function entry, since
+its value arrives in a register.
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+from repro.ir.instructions import Instr
+from repro.ir.values import RClass
+
+
+def _spill_op(vreg) -> str:
+    return "spill" if vreg.rclass == RClass.INT else "fspill"
+
+
+def _reload_op(vreg) -> str:
+    return "reload" if vreg.rclass == RClass.INT else "freload"
+
+
+def _rematerializable(function: Function, spilled: list) -> dict:
+    """Spilled ranges whose every definition loads the same constant.
+
+    Chaitin's refinement (referenced by the paper's footnote 3): such a
+    value needs no frame slot — each use just reloads the immediate.
+    Returns vreg -> (opcode, immediate).
+    """
+    candidates: dict = {}
+    blocked = set(function.params)
+    for _block, _index, instr in function.instructions():
+        for d in instr.defs:
+            if d in blocked:
+                continue
+            if instr.op in ("li", "lf"):
+                seen = candidates.get(d)
+                if seen is None:
+                    candidates[d] = (instr.op, instr.imm)
+                elif seen != (instr.op, instr.imm):
+                    blocked.add(d)
+            else:
+                blocked.add(d)
+    return {
+        vreg: candidates[vreg]
+        for vreg in spilled
+        if vreg in candidates and vreg not in blocked
+    }
+
+
+def insert_spill_code(
+    function: Function, spilled: list, rematerialize: bool = False
+) -> int:
+    """Spill every live range in ``spilled``; returns instructions added.
+
+    After this runs the spilled virtual registers no longer occur in the
+    instruction stream (except spilled parameters, which keep exactly one
+    occurrence: the entry store of the incoming value).
+
+    With ``rematerialize=True``, constant-valued ranges are recomputed at
+    each use (an ``li``/``lf`` instead of a reload) and their defining
+    loads are deleted — no frame slot, no stores.
+    """
+    if not spilled:
+        return 0
+    remat = _rematerializable(function, spilled) if rematerialize else {}
+    slots = {
+        vreg: function.new_spill_slot()
+        for vreg in spilled
+        if vreg not in remat
+    }
+    spilled_set = set(slots)
+    added = 0
+
+    if remat:
+        added += _apply_rematerialization(function, remat)
+
+    for block in function.blocks:
+        rewritten: list = []
+        for instr in block.instrs:
+            # Restore before each use.
+            use_temps: dict = {}
+            for u in instr.uses:
+                if u in spilled_set and u not in use_temps:
+                    temp = function.new_vreg(u.rclass, u.name, is_spill_temp=True)
+                    rewritten.append(
+                        Instr(_reload_op(u), [temp], imm=slots[u])
+                    )
+                    added += 1
+                    use_temps[u] = temp
+            if use_temps:
+                instr.replace_uses(use_temps)
+            rewritten.append(instr)
+            # Store after each definition.
+            def_temps: dict = {}
+            for d in instr.defs:
+                if d in spilled_set and d not in def_temps:
+                    temp = function.new_vreg(d.rclass, d.name, is_spill_temp=True)
+                    def_temps[d] = temp
+            if def_temps:
+                instr.replace_defs(def_temps)
+                for original, temp in def_temps.items():
+                    rewritten.append(
+                        Instr(_spill_op(original), uses=[temp], imm=slots[original])
+                    )
+                    added += 1
+        block.instrs = rewritten
+
+    # Parameters never rematerialize, so the entry-store logic below only
+    # deals with slot-based spills.
+    # Spilled parameters: store the incoming value at entry.  The live
+    # range left behind (argument register -> entry store) is already
+    # minimal, so mark it unspillable — without this, a function with more
+    # arguments than registers would re-spill the same parameter forever
+    # instead of failing with a clear diagnostic.
+    entry = function.entry
+    position = 0
+    for param in function.params:
+        if param in spilled_set:
+            entry.instrs.insert(
+                position,
+                Instr(_spill_op(param), uses=[param], imm=slots[param]),
+            )
+            param.is_spill_temp = True
+            position += 1
+            added += 1
+    return added
+
+
+def _apply_rematerialization(function: Function, remat: dict) -> int:
+    """Rewrite uses of rematerializable ranges to fresh constant loads and
+    delete their (now-dead) defining instructions."""
+    added = 0
+    for block in function.blocks:
+        rewritten: list = []
+        for instr in block.instrs:
+            if (
+                instr.op in ("li", "lf")
+                and instr.defs
+                and instr.defs[0] in remat
+            ):
+                continue  # the definition is recomputed at each use
+            use_temps: dict = {}
+            for u in instr.uses:
+                if u in remat and u not in use_temps:
+                    op, imm = remat[u]
+                    temp = function.new_vreg(u.rclass, u.name, is_spill_temp=True)
+                    rewritten.append(Instr(op, [temp], imm=imm))
+                    added += 1
+                    use_temps[u] = temp
+            if use_temps:
+                instr.replace_uses(use_temps)
+            rewritten.append(instr)
+        block.instrs = rewritten
+    return added

@@ -1,0 +1,83 @@
+"""Spill-cost estimation (paper §2.1).
+
+    "We estimate the spill cost as the number of loads and stores that
+     would have to be inserted, weighted by the loop nesting depth of
+     each insertion point.  These costs are precomputed."
+
+Cost of spilling a live range = Σ over its definitions of
+``STORE_COST * 10**depth`` plus Σ over its uses of ``LOAD_COST * 10**depth``
+(depth = loop nesting of the block holding the occurrence).
+
+Spill temporaries — the short ranges created by earlier spill code — get
+:data:`INFINITE_COST` so they are never chosen again; this is what makes
+the Build–Simplify–Select cycle converge (§3.3).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.loops import LoopInfo, annotate_loop_depths
+from repro.ir.function import Function
+
+#: Effectively-infinite cost for unspillable ranges.
+INFINITE_COST = float("inf")
+
+#: Cycles charged per inserted store / load.
+STORE_COST = 2
+LOAD_COST = 2
+
+#: Loop-depth weight base (Chaitin used powers of ten).
+DEPTH_WEIGHT = 10
+
+
+class SpillCosts:
+    """Precomputed per-vreg spill costs for one function."""
+
+    def __init__(self, costs: dict):
+        self._costs = costs
+
+    def cost(self, vreg) -> float:
+        return self._costs.get(vreg, 0.0)
+
+    def __getitem__(self, vreg) -> float:
+        return self.cost(vreg)
+
+    def __contains__(self, vreg) -> bool:
+        return vreg in self._costs
+
+    def __repr__(self) -> str:
+        finite = sum(1 for c in self._costs.values() if c != INFINITE_COST)
+        return f"SpillCosts({finite} finite of {len(self._costs)})"
+
+
+def compute_spill_costs(
+    function: Function, loop_info: LoopInfo | None = None
+) -> SpillCosts:
+    """Estimate the cost of spilling each virtual register."""
+    if loop_info is None:
+        loop_info = annotate_loop_depths(function)
+    costs: dict = {}
+
+    def weight(label: str) -> int:
+        return DEPTH_WEIGHT ** loop_info.depth[label]
+
+    for vreg in function.vregs:
+        if vreg.is_spill_temp:
+            costs[vreg] = INFINITE_COST
+
+    for block in function.blocks:
+        block_weight = weight(block.label)
+        for instr in block.instrs:
+            for d in instr.defs:
+                if not d.is_spill_temp:
+                    costs[d] = costs.get(d, 0.0) + STORE_COST * block_weight
+            for u in instr.uses:
+                if not u.is_spill_temp:
+                    costs[u] = costs.get(u, 0.0) + LOAD_COST * block_weight
+
+    # Parameters arrive in a register: spilling one inserts a store at
+    # entry (depth 0).
+    for param in function.params:
+        if not param.is_spill_temp:
+            costs[param] = costs.get(param, 0.0) + STORE_COST
+
+    return SpillCosts(costs)

@@ -1,0 +1,187 @@
+"""Live-range splitting around loops (the paper's §4 future work).
+
+    "We may also explore live range splitting as a means for improving
+     the overall allocation."
+
+The classic case the paper's SVD exposes: a value defined before a loop
+nest and used only after it is *live through* the loop, occupying a
+register for the whole nest even though the loop never touches it.
+Splitting stores such a value into a frame slot on every loop entry edge
+and reloads it on every exit edge where it is still live — so inside the
+loop it is simply dead.  One store plus one reload per loop execution is
+far cheaper than the inner-loop spill traffic the untouched range can
+force.
+
+The transformation:
+
+1. for each **outermost** natural loop (depth 1 — deeper headers would
+   put the store/reload traffic inside an enclosing loop, turning the
+   split into a pessimisation), find registers live into the header with
+   **no occurrence anywhere in the loop body** (and not already spill
+   machinery);
+2. apply only where the loop is genuinely *pressured*: MAXLIVE of the
+   candidate's class inside the body reaches the register-file size
+   (otherwise the range rides through harmlessly);
+3. insert ``spill`` before the loop on each entry edge and ``reload`` on
+   each exit edge that the value survives, splitting critical edges as
+   needed.
+
+Safety: every path through the loop hits a reload before any later use;
+paths bypassing the loop never see the slot.  Liveness afterwards shows
+the value dead throughout the body, which is what lowers the interference
+degree inside the nest.  (No web surgery is required — the interference
+builder works from liveness, not from names.)
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cfg import CFG
+from repro.analysis.liveness import Liveness
+from repro.analysis.loops import LoopInfo
+from repro.ir.basicblock import Block
+from repro.ir.function import Function
+from repro.ir.instructions import Instr
+from repro.ir.values import RClass
+from repro.machine.target import Target
+
+_SPILL_OP = {RClass.INT: "spill", RClass.FLOAT: "fspill"}
+_RELOAD_OP = {RClass.INT: "reload", RClass.FLOAT: "freload"}
+
+
+def _split_edge(function: Function, pred: Block, target_label: str) -> Block:
+    """Insert a fresh block on the edge pred -> target; returns it."""
+    middle = function.new_block("split")
+    middle.append(Instr("jmp", targets=[target_label]))
+    terminator = pred.terminator
+    terminator.targets = [
+        middle.label if t == target_label else t for t in terminator.targets
+    ]
+    return middle
+
+
+def _insert_before_terminator(block: Block, instr: Instr) -> None:
+    block.instrs.insert(len(block.instrs) - 1, instr)
+
+
+def split_live_ranges(function: Function, target: Target) -> int:
+    """Split loop-transparent live ranges; returns how many were split.
+
+    Should run before allocation (the driver's ``split_ranges`` flag).
+    """
+    loop_info = LoopInfo(function)
+    if not loop_info.loops:
+        return 0
+    split_count = 0
+    by_id = {v.id: v for v in function.vregs}
+    class_of = {v.id: v.rclass for v in function.vregs}
+
+    outermost = [
+        loop for loop in loop_info.loops if loop_info.depth[loop.header] == 1
+    ]
+
+    # Work loop-by-loop; recompute CFG/liveness after each mutation batch.
+    for loop in sorted(outermost, key=lambda l: len(l.body)):
+        cfg = CFG(function)
+        liveness = Liveness(function, cfg)
+        body_blocks = [function.block(label) for label in loop.body]
+
+        occurs_in_body: set = set()
+        for block in body_blocks:
+            for instr in block.instrs:
+                for vreg in list(instr.defs) + list(instr.uses):
+                    occurs_in_body.add(vreg)
+
+        # MAXLIVE per class inside the body: the real pressure signal.
+        maxlive = {RClass.INT: 0, RClass.FLOAT: 0}
+        for block in body_blocks:
+            for _index, _instr, live_mask in liveness.live_after(block):
+                counts = {RClass.INT: 0, RClass.FLOAT: 0}
+                mask = live_mask
+                while mask:
+                    low = mask & -mask
+                    mask ^= low
+                    rclass = class_of.get(low.bit_length() - 1)
+                    if rclass is not None:
+                        counts[rclass] += 1
+                for rclass, count in counts.items():
+                    maxlive[rclass] = max(maxlive[rclass], count)
+
+        header = function.block(loop.header)
+        live_at_header = liveness.live_in[header.label]
+        candidates = []
+        mask = live_at_header
+        while mask:
+            low = mask & -mask
+            mask ^= low
+            vreg = by_id.get(low.bit_length() - 1)
+            if vreg is None or vreg in occurs_in_body:
+                continue
+            if vreg.is_spill_temp:
+                continue
+            # Pressure gate: split only when the class's live pressure in
+            # the body actually reaches the register file.
+            if maxlive[vreg.rclass] < target.regs(vreg.rclass):
+                continue
+            candidates.append(vreg)
+        if not candidates:
+            continue
+
+        entry_preds = [
+            function.block(p)
+            for p in cfg.preds[loop.header]
+            if p not in loop.body
+        ]
+        exit_edges = sorted(
+            {
+                (block.label, succ)
+                for block in body_blocks
+                for succ in block.successor_labels()
+                if succ not in loop.body
+            }
+        )
+
+        slots = {vreg: function.new_spill_slot() for vreg in candidates}
+
+        # Stores on every entry edge (one split block per edge at most,
+        # shared by all candidates).
+        for pred in entry_preds:
+            if pred.successor_labels() == [loop.header]:
+                store_block = pred
+            else:
+                store_block = _split_edge(function, pred, loop.header)
+            for vreg in candidates:
+                _insert_before_terminator(
+                    store_block,
+                    Instr(_SPILL_OP[vreg.rclass], uses=[vreg], imm=slots[vreg]),
+                )
+
+        # Reloads on every exit edge the value survives.
+        for block_label, succ_label in exit_edges:
+            live_candidates = [
+                vreg
+                for vreg in candidates
+                if liveness.is_live_in(succ_label, vreg)
+            ]
+            if not live_candidates:
+                continue
+            succ = function.block(succ_label)
+            external_preds = [
+                p for p in cfg.preds[succ_label] if p not in loop.body
+            ]
+            if external_preds:
+                middle = _split_edge(
+                    function, function.block(block_label), succ_label
+                )
+                for vreg in live_candidates:
+                    _insert_before_terminator(
+                        middle,
+                        Instr(_RELOAD_OP[vreg.rclass], [vreg], imm=slots[vreg]),
+                    )
+            else:
+                for vreg in live_candidates:
+                    succ.instrs.insert(
+                        0,
+                        Instr(_RELOAD_OP[vreg.rclass], [vreg], imm=slots[vreg]),
+                    )
+        split_count += len(candidates)
+    return split_count

@@ -1,0 +1,124 @@
+"""Statistics containers for the allocation driver.
+
+The fields mirror what the paper reports:
+
+* Figure 5's static columns — live ranges, registers (live ranges)
+  spilled, estimated spill cost;
+* Figure 7's per-pass phase times — build / simplify / color / spill,
+  with the per-pass spill counts in parentheses.
+"""
+
+from __future__ import annotations
+
+
+class PassStats:
+    """One trip around the Build–Simplify–Select(–Spill) cycle."""
+
+    __slots__ = (
+        "index",
+        "build_time",
+        "simplify_time",
+        "select_time",
+        "spill_time",
+        "ran_select",
+        "spilled_count",
+        "spilled_cost",
+        "live_ranges",
+        "edges",
+        "coalesced",
+    )
+
+    def __init__(self, index: int):
+        self.index = index
+        self.build_time = 0.0
+        self.simplify_time = 0.0
+        self.select_time = 0.0
+        self.spill_time = 0.0
+        self.ran_select = False
+        self.spilled_count = 0
+        self.spilled_cost = 0.0
+        self.live_ranges = 0
+        self.edges = 0
+        self.coalesced = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"PassStats(#{self.index}, spilled={self.spilled_count}, "
+            f"build={self.build_time:.4f}s)"
+        )
+
+
+class AllocationStats:
+    """Whole-allocation summary across passes."""
+
+    __slots__ = ("method", "function_name", "passes")
+
+    def __init__(self, method: str, function_name: str):
+        self.method = method
+        self.function_name = function_name
+        self.passes: list = []
+
+    # ------------------------------------------------------------------
+    # Figure 5 quantities
+    # ------------------------------------------------------------------
+
+    @property
+    def live_ranges(self) -> int:
+        """Live ranges seen by the first build (the paper's column)."""
+        return self.passes[0].live_ranges if self.passes else 0
+
+    @property
+    def registers_spilled(self) -> int:
+        """First-pass spill count — the paper's "Registers Spilled"
+        (Figure 7 shows later passes' counts separately and Figure 5
+        matches the first-pass numbers)."""
+        return self.passes[0].spilled_count if self.passes else 0
+
+    @property
+    def total_registers_spilled(self) -> int:
+        return sum(p.spilled_count for p in self.passes)
+
+    @property
+    def spill_cost(self) -> float:
+        """Estimated cost of everything spilled, over all passes."""
+        return sum(p.spilled_cost for p in self.passes)
+
+    @property
+    def pass_count(self) -> int:
+        return len(self.passes)
+
+    # ------------------------------------------------------------------
+    # Figure 7 quantities
+    # ------------------------------------------------------------------
+
+    @property
+    def total_time(self) -> float:
+        return sum(
+            p.build_time + p.simplify_time + p.select_time + p.spill_time
+            for p in self.passes
+        )
+
+    def phase_rows(self) -> list:
+        """Rows shaped like Figure 7: per pass, the four phase times and
+        the parenthesised spill count."""
+        rows = []
+        for p in self.passes:
+            rows.append(
+                {
+                    "pass": p.index,
+                    "build": p.build_time,
+                    "simplify": p.simplify_time,
+                    "color": p.select_time if p.ran_select else None,
+                    "spill": p.spill_time if p.spilled_count else None,
+                    "spilled": p.spilled_count,
+                }
+            )
+        return rows
+
+    def __repr__(self) -> str:
+        return (
+            f"AllocationStats({self.method} on {self.function_name}: "
+            f"{self.pass_count} passes, "
+            f"{self.registers_spilled} spilled, "
+            f"cost {self.spill_cost:.0f})"
+        )

@@ -1,0 +1,144 @@
+"""Matula–Beck degree buckets (paper §2.2).
+
+    "Let N be an array, such that N[i] is the first element of a linked
+     list of nodes that have i neighbors."
+
+The structure supports the three operations the simplification phase
+needs, each O(1) except the bounded bucket scan:
+
+* ``pop_min()`` — remove and return a node of globally minimal degree;
+* ``remove(node)`` — remove a specific node (the spill victim);
+* ``decrement(node)`` — a neighbor was deleted; move down one bucket.
+
+The scan that finds the lowest non-empty bucket restarts at ``i - 1``
+after removing a node of degree ``i`` — the paper's refinement: deleting
+a node can create degree ``i-1`` nodes but nothing lower, so buckets
+``0..i-2`` stay empty.  Total scanning over a whole simplification is
+therefore O(V + E).
+"""
+
+from __future__ import annotations
+
+from repro.errors import AllocationError
+
+
+class DegreeBuckets:
+    """Bucketed doubly-linked lists of nodes keyed by current degree.
+
+    Nodes are integers ``0..n-1``.  Only nodes passed to ``add`` are
+    tracked (the allocator keeps precolored nodes out).
+    """
+
+    _NIL = -1
+
+    def __init__(self, n: int, max_degree: int):
+        self.max_degree = max_degree
+        self.head = [self._NIL] * (max_degree + 1)
+        self.next = [self._NIL] * n
+        self.prev = [self._NIL] * n
+        self.degree = [0] * n
+        self.present = [False] * n
+        self.scan_from = 0
+        self.count = 0
+
+    # ------------------------------------------------------------------
+    # Linked-list plumbing
+    # ------------------------------------------------------------------
+
+    def _link(self, node: int, degree: int) -> None:
+        old_head = self.head[degree]
+        self.next[node] = old_head
+        self.prev[node] = self._NIL
+        if old_head != self._NIL:
+            self.prev[old_head] = node
+        self.head[degree] = node
+
+    def _unlink(self, node: int) -> None:
+        degree = self.degree[node]
+        nxt, prv = self.next[node], self.prev[node]
+        if prv != self._NIL:
+            self.next[prv] = nxt
+        else:
+            self.head[degree] = nxt
+        if nxt != self._NIL:
+            self.prev[nxt] = prv
+
+    # ------------------------------------------------------------------
+    # Public operations
+    # ------------------------------------------------------------------
+
+    def add(self, node: int, degree: int) -> None:
+        if self.present[node]:
+            raise AllocationError(f"node {node} already in buckets")
+        if degree > self.max_degree:
+            raise AllocationError(
+                f"degree {degree} exceeds bucket bound {self.max_degree}"
+            )
+        self.degree[node] = degree
+        self.present[node] = True
+        self._link(node, degree)
+        self.count += 1
+        if degree < self.scan_from:
+            self.scan_from = degree
+
+    def __contains__(self, node: int) -> bool:
+        return self.present[node]
+
+    def __len__(self) -> int:
+        return self.count
+
+    def min_degree(self) -> int:
+        """Degree of the lowest non-empty bucket (advances the scan pointer)."""
+        if self.count == 0:
+            raise AllocationError("buckets are empty")
+        index = self.scan_from
+        while self.head[index] == self._NIL:
+            index += 1
+        self.scan_from = index
+        return index
+
+    def pop_min(self) -> int:
+        """Remove and return a node of minimal degree.
+
+        Afterwards the scan restarts at ``degree - 1`` (Matula–Beck's
+        shortening of the search).
+        """
+        degree = self.min_degree()
+        node = self.head[degree]
+        self._unlink(node)
+        self.present[node] = False
+        self.count -= 1
+        self.scan_from = max(0, degree - 1)
+        return node
+
+    def remove(self, node: int) -> None:
+        """Remove a specific node (used for spill victims)."""
+        if not self.present[node]:
+            raise AllocationError(f"node {node} not in buckets")
+        self._unlink(node)
+        self.present[node] = False
+        self.count -= 1
+        self.scan_from = max(0, self.degree[node] - 1)
+
+    def decrement(self, node: int) -> None:
+        """A neighbor of ``node`` was removed from the graph."""
+        if not self.present[node]:
+            return
+        degree = self.degree[node]
+        if degree == 0:
+            raise AllocationError(f"cannot decrement degree-0 node {node}")
+        self._unlink(node)
+        self.degree[node] = degree - 1
+        self._link(node, degree - 1)
+        if degree - 1 < self.scan_from:
+            self.scan_from = degree - 1
+
+    def nodes(self) -> list:
+        """All tracked nodes, ascending by current degree (for tests)."""
+        result = []
+        for degree in range(self.max_degree + 1):
+            node = self.head[degree]
+            while node != self._NIL:
+                result.append(node)
+                node = self.next[node]
+        return result

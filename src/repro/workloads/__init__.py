@@ -1,0 +1,16 @@
+"""The paper's benchmark programs, ported to mini-FORTRAN.
+
+Figure 5 evaluates five floating-point programs (SVD, LINPACK, SIMPLEX,
+EULER, CEDETA); Figure 6 studies an integer quicksort.  Each module here
+provides the program source, the list of routines the paper reports on,
+and a driver whose printed outputs let the test suite verify semantics
+before and after allocation.
+
+:mod:`repro.workloads.synth` additionally provides a seeded random
+structured-program generator used by the property tests and to synthesise
+the CEDETA-scale routines.
+"""
+
+from repro.workloads.registry import Workload, all_workloads, get_workload
+
+__all__ = ["Workload", "all_workloads", "get_workload"]

@@ -1,0 +1,347 @@
+"""CEDETA — the Celis–Dennis–Tapia equality-constrained minimisation code
+(Figure 5 lists DQRDC, GRADNT and HSSIAN).
+
+* **DQRDC** is LINPACK's Householder QR decomposition, ported directly
+  (without column pivoting — mini-FORTRAN deviation, noted in DESIGN.md);
+  verified through the Gram identity ``R'R == A'A``.
+* **GRADNT** and **HSSIAN** evaluate the gradient and Hessian of the
+  model objective.  The paper's versions are enormous generated
+  straight-line routines (14,672 and 16,376 object bytes; 1,274 and 1,552
+  live ranges).  We reproduce them the same way the originals were
+  produced: *generated code*.  A seeded generator builds a random
+  polynomial objective (quadratic + cubic terms over n variables); FCN,
+  GRADNT and HSSIAN are emitted as consistent straight-line evaluations.
+  Every routine begins by loading all n variables into scalars that stay
+  live to the end — the long-live-range pressure that makes these
+  routines the allocator's hardest cases.
+
+The driver checks the generated derivatives against central finite
+differences of FCN and the Householder factorisation against the Gram
+identity, all inside mini-FORTRAN.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.workloads.registry import Workload
+
+#: Problem size of the generated objective.
+N_VARS = 12
+#: Seed fixed so the workload is deterministic across runs and machines.
+SEED = 1989
+
+DQRDC = """
+subroutine dqrdc(ldx, n, p, x, qraux)
+  integer ldx, n, p, i, j, l
+  real x(ldx, *), qraux(*), nrmxl, t
+  do l = 1, p
+    if (l .le. n - 1) then
+      nrmxl = 0.0
+      do i = l, n
+        nrmxl = nrmxl + x(i, l) * x(i, l)
+      end do
+      nrmxl = sqrt(nrmxl)
+      if (nrmxl .ne. 0.0) then
+        if (x(l, l) .ne. 0.0) nrmxl = sign(nrmxl, x(l, l))
+        do i = l, n
+          x(i, l) = x(i, l) / nrmxl
+        end do
+        x(l, l) = 1.0 + x(l, l)
+        do j = l + 1, p
+          t = 0.0
+          do i = l, n
+            t = t + x(i, l) * x(i, j)
+          end do
+          t = -t / x(l, l)
+          do i = l, n
+            x(i, j) = x(i, j) + t * x(i, l)
+          end do
+        end do
+        qraux(l) = x(l, l)
+        x(l, l) = -nrmxl
+      else
+        qraux(l) = 0.0
+      end if
+    else
+      qraux(l) = 0.0
+    end if
+  end do
+end
+"""
+
+
+class _Term:
+    """One monomial of the generated objective: coef * prod(x_i)."""
+
+    __slots__ = ("coef", "vars")
+
+    def __init__(self, coef: float, vars: tuple):
+        self.coef = coef
+        self.vars = tuple(sorted(vars))
+
+    def value_expr(self) -> str:
+        factors = " * ".join(f"x{v}" for v in self.vars)
+        return f"{self.coef} * {factors}"
+
+    def grad_expr(self, wrt: int) -> str | None:
+        """d(term)/d x_wrt as source text, or None when zero."""
+        count = self.vars.count(wrt)
+        if count == 0:
+            return None
+        remaining = list(self.vars)
+        remaining.remove(wrt)
+        coef = self.coef * count
+        if not remaining:
+            return repr(coef)
+        factors = " * ".join(f"x{v}" for v in remaining)
+        return f"{coef} * {factors}"
+
+    def hess_expr(self, i: int, j: int) -> str | None:
+        """d2(term)/(dx_i dx_j) as source text, or None when zero."""
+        first = self.grad_vars(i)
+        if first is None:
+            return None
+        coef, remaining = first
+        count = remaining.count(j)
+        if count == 0:
+            return None
+        rest = list(remaining)
+        rest.remove(j)
+        coef = coef * count
+        if not rest:
+            return repr(coef)
+        factors = " * ".join(f"x{v}" for v in rest)
+        return f"{coef} * {factors}"
+
+    def grad_vars(self, wrt: int):
+        count = self.vars.count(wrt)
+        if count == 0:
+            return None
+        remaining = list(self.vars)
+        remaining.remove(wrt)
+        return self.coef * count, remaining
+
+
+def generate_terms(n: int = N_VARS, seed: int = SEED) -> list:
+    """The objective's monomials: a dense quadratic plus cubic couplings."""
+    rng = random.Random(seed)
+    terms = []
+    for _ in range(70):
+        a, b = rng.randrange(1, n + 1), rng.randrange(1, n + 1)
+        terms.append(_Term(round(rng.uniform(-2.0, 2.0), 3), (a, b)))
+    for _ in range(45):
+        a = rng.randrange(1, n + 1)
+        b = rng.randrange(1, n + 1)
+        c = rng.randrange(1, n + 1)
+        terms.append(_Term(round(rng.uniform(-1.0, 1.0), 3), (a, b, c)))
+    return terms
+
+
+def _preload(n: int) -> str:
+    """Load every variable into a scalar that stays live to the end."""
+    lines = [f"  x{i} = x({i})" for i in range(1, n + 1)]
+    return "\n".join(lines)
+
+
+def _scalar_decls(n: int) -> str:
+    names = ", ".join(f"x{i}" for i in range(1, n + 1))
+    return f"  real {names}"
+
+
+def _sum_statements(target: str, exprs: list, accumulate_into: str) -> list:
+    """Emit ``target = e1 + e2 + ...`` as a chain of shorter additions."""
+    lines = [f"  {target} = 0.0"]
+    chunk: list = []
+    for expr in exprs:
+        chunk.append(expr)
+        if len(chunk) == 4:
+            joined = " + ".join(chunk)
+            lines.append(f"  {target} = {target} + {joined}")
+            chunk = []
+    if chunk:
+        joined = " + ".join(chunk)
+        lines.append(f"  {target} = {target} + {joined}")
+    del accumulate_into
+    return lines
+
+
+def generate_fcn(terms: list, n: int = N_VARS) -> str:
+    exprs = [t.value_expr() for t in terms]
+    body = "\n".join(_sum_statements("fcn", exprs, "fcn"))
+    return (
+        f"real function fcn(n, x)\n"
+        f"  integer n\n"
+        f"  real x(*)\n"
+        f"{_scalar_decls(n)}\n"
+        f"{_preload(n)}\n"
+        f"{body}\n"
+        f"end\n"
+    )
+
+
+def generate_gradnt(terms: list, n: int = N_VARS) -> str:
+    lines = [
+        "subroutine gradnt(n, x, g)",
+        "  integer n",
+        "  real x(*), g(*)",
+        _scalar_decls(n),
+        _preload(n),
+    ]
+    for i in range(1, n + 1):
+        exprs = [e for e in (t.grad_expr(i) for t in terms) if e is not None]
+        if not exprs:
+            lines.append(f"  g({i}) = 0.0")
+            continue
+        lines.extend(
+            line.replace("  gtmp", "  gtmp")
+            for line in _sum_statements("gtmp", exprs, "gtmp")
+        )
+        lines.append(f"  g({i}) = gtmp")
+    lines.append("end")
+    return "\n".join(lines) + "\n"
+
+
+def generate_hssian(terms: list, n: int = N_VARS) -> str:
+    lines = [
+        "subroutine hssian(n, ldh, x, h)",
+        "  integer n, ldh",
+        "  real x(*), h(ldh, *)",
+        _scalar_decls(n),
+        _preload(n),
+    ]
+    for i in range(1, n + 1):
+        for j in range(i, n + 1):
+            exprs = [
+                e for e in (t.hess_expr(i, j) for t in terms) if e is not None
+            ]
+            if not exprs:
+                lines.append(f"  h({i}, {j}) = 0.0")
+            else:
+                lines.extend(_sum_statements("htmp", exprs, "htmp"))
+                lines.append(f"  h({i}, {j}) = htmp")
+            if i != j:
+                lines.append(f"  h({j}, {i}) = h({i}, {j})")
+    lines.append("end")
+    return "\n".join(lines) + "\n"
+
+
+def generate_driver(n: int = N_VARS) -> str:
+    return f"""
+program cdmain
+  integer n, i, j, state
+  real x(16), g(16), gp(16), gm(16), h(16, 16)
+  real a(16, 16), gram(16, 16), qraux(16)
+  real step, f0, fp, fm, fd, gerr, herr, qerr, t
+  n = {n}
+  state = 4242
+  do i = 1, n
+    state = mod(state * 1103 + 12345, 65536)
+    x(i) = (real(state) - 32768.0) / 32768.0
+  end do
+  step = 0.0001
+  ! gradient vs central differences of fcn
+  call gradnt(n, x, g)
+  gerr = 0.0
+  do i = 1, n
+    t = x(i)
+    x(i) = t + step
+    fp = fcn(n, x)
+    x(i) = t - step
+    fm = fcn(n, x)
+    x(i) = t
+    fd = (fp - fm) / (2.0 * step)
+    gerr = max(gerr, abs(fd - g(i)))
+  end do
+  print gerr
+  ! hessian column vs central differences of the gradient
+  call hssian(n, 16, x, h)
+  herr = 0.0
+  do j = 1, 3
+    t = x(j)
+    x(j) = t + step
+    call gradnt(n, x, gp)
+    x(j) = t - step
+    call gradnt(n, x, gm)
+    x(j) = t
+    do i = 1, n
+      fd = (gp(i) - gm(i)) / (2.0 * step)
+      herr = max(herr, abs(fd - h(i, j)))
+    end do
+  end do
+  print herr
+  ! symmetry of the generated hessian (exact)
+  t = 0.0
+  do i = 1, n
+    do j = 1, n
+      t = max(t, abs(h(i, j) - h(j, i)))
+    end do
+  end do
+  print t
+  ! dqrdc: R'R must equal A'A (Q orthogonal)
+  do j = 1, n
+    do i = 1, n
+      state = mod(state * 1103 + 12345, 65536)
+      a(i, j) = (real(state) - 32768.0) / 16384.0
+    end do
+  end do
+  do i = 1, n
+    do j = 1, n
+      gram(i, j) = 0.0
+      do state = 1, n
+        gram(i, j) = gram(i, j) + a(state, i) * a(state, j)
+      end do
+    end do
+  end do
+  call dqrdc(16, n, n, a, qraux)
+  qerr = 0.0
+  do i = 1, n
+    do j = 1, n
+      t = 0.0
+      do state = 1, min(i, j)
+        t = t + a(state, i) * a(state, j)
+      end do
+      qerr = max(qerr, abs(t - gram(i, j)))
+    end do
+  end do
+  print qerr
+  print fcn(n, x)
+end
+"""
+
+
+def build_source(n: int = N_VARS, seed: int = SEED) -> str:
+    terms = generate_terms(n, seed)
+    return "\n".join(
+        [
+            DQRDC,
+            generate_fcn(terms, n),
+            generate_gradnt(terms, n),
+            generate_hssian(terms, n),
+            generate_driver(n),
+        ]
+    )
+
+
+ROUTINES = ["dqrdc", "gradnt", "hssian"]
+
+
+def check_outputs(outputs) -> None:
+    assert len(outputs) == 5, outputs
+    gerr, herr, symmetry, qerr, fvalue = outputs
+    assert gerr < 1e-4, f"gradient disagrees with finite differences: {gerr}"
+    assert herr < 1e-4, f"hessian disagrees with gradient differences: {herr}"
+    assert symmetry == 0.0, "generated hessian is not symmetric"
+    assert qerr < 1e-8, f"QR Gram identity violated: {qerr}"
+    assert isinstance(fvalue, float)
+
+
+def workload() -> Workload:
+    return Workload(
+        name="cedeta",
+        source=build_source(),
+        routines=ROUTINES,
+        entry="cdmain",
+        check=check_outputs,
+        description="Celis-Dennis-Tapia: QR + generated gradient/Hessian",
+    )

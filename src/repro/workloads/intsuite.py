@@ -1,0 +1,261 @@
+"""Integer suite — the diversity the paper asked for in §3.2.
+
+    "Additionally, we would like to experiment with a more diverse set of
+     non-floating point programs."
+
+Five purely-integer routines with different control/pressure shapes:
+
+* **heapsort** — sift-down heapsort (loop-carried index juggling);
+* **sieve** — Eratosthenes over a flag array (dense stores);
+* **bsearch** — iterative binary search (short, branchy);
+* **gcdsum** — Euclid's algorithm in a double loop (division-heavy);
+* **digest** — an LCG/rotate mixing loop (long dependence chains, the
+  highest scalar pressure of the suite).
+
+The driver fills arrays deterministically, runs every routine, and
+prints checksums that the module verifies against a Python oracle.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.registry import Workload
+
+HEAPSORT = """
+subroutine heapsort(n, a)
+  integer n, a(*)
+  integer i, j, k, t, child
+  if (n .le. 1) return
+  ! build the heap
+  do k = n / 2, 1, -1
+    i = k
+    t = a(i)
+    j = 2 * i
+    do while (j .le. n)
+      child = j
+      if (child .lt. n) then
+        if (a(child + 1) .gt. a(child)) child = child + 1
+      end if
+      if (a(child) .gt. t) then
+        a(i) = a(child)
+        i = child
+        j = 2 * i
+      else
+        j = n + 1
+      end if
+    end do
+    a(i) = t
+  end do
+  ! pop the heap
+  do k = n, 2, -1
+    t = a(k)
+    a(k) = a(1)
+    i = 1
+    j = 2
+    do while (j .le. k - 1)
+      child = j
+      if (child .lt. k - 1) then
+        if (a(child + 1) .gt. a(child)) child = child + 1
+      end if
+      if (a(child) .gt. t) then
+        a(i) = a(child)
+        i = child
+        j = 2 * i
+      else
+        j = k
+      end if
+    end do
+    a(i) = t
+  end do
+end
+"""
+
+SIEVE = """
+integer function sieve(n, flags)
+  integer n, flags(*), i, j, count
+  do i = 1, n
+    flags(i) = 1
+  end do
+  flags(1) = 0
+  i = 2
+  do while (i * i .le. n)
+    if (flags(i) .eq. 1) then
+      j = i * i
+      do while (j .le. n)
+        flags(j) = 0
+        j = j + i
+      end do
+    end if
+    i = i + 1
+  end do
+  count = 0
+  do i = 1, n
+    count = count + flags(i)
+  end do
+  sieve = count
+end
+"""
+
+BSEARCH = """
+integer function bsearch(n, a, key)
+  integer n, a(*), key, lo, hi, mid
+  bsearch = 0
+  lo = 1
+  hi = n
+  do while (lo .le. hi)
+    mid = (lo + hi) / 2
+    if (a(mid) .eq. key) then
+      bsearch = mid
+      return
+    else if (a(mid) .lt. key) then
+      lo = mid + 1
+    else
+      hi = mid - 1
+    end if
+  end do
+end
+"""
+
+GCDSUM = """
+integer function gcdsum(n)
+  integer n, i, j, a, b, t, total
+  total = 0
+  do i = 1, n
+    do j = 1, n
+      a = i
+      b = j
+      do while (b .ne. 0)
+        t = mod(a, b)
+        a = b
+        b = t
+      end do
+      total = total + a
+    end do
+  end do
+  gcdsum = total
+end
+"""
+
+DIGEST = """
+integer function digest(n, a)
+  integer n, a(*)
+  integer i, h1, h2, h3, h4, mixed, carry
+  h1 = 17
+  h2 = 31
+  h3 = 101
+  h4 = 257
+  do i = 1, n
+    mixed = a(i) + h1 * 3 + h2 * 5
+    carry = mod(mixed, 8191)
+    h1 = mod(h2 + carry * 7, 65521)
+    h2 = mod(h3 + mixed, 65521)
+    h3 = mod(h4 * 3 + carry, 65521)
+    h4 = mod(h1 + h2 + h3 + mixed, 65521)
+  end do
+  digest = mod(h1 + 2 * h2 + 3 * h3 + 5 * h4, 1000003)
+end
+"""
+
+DRIVER_TEMPLATE = """
+program intsuite
+  integer n, i, state
+  integer a({size}), flags({size})
+  n = {size}
+  state = 777
+  do i = 1, n
+    state = mod(state * 1103 + 12345, 65536)
+    a(i) = state
+  end do
+  call heapsort(n, a)
+  i = 1
+  state = 1
+  do while (i .lt. n)
+    if (a(i) .gt. a(i + 1)) state = 0
+    i = i + 1
+  end do
+  print state
+  print a(1) + a(n)
+  print sieve(n, flags)
+  print bsearch(n, a, a(n / 2))
+  print gcdsum(24)
+  print digest(n, a)
+end
+"""
+
+ROUTINES = ["heapsort", "sieve", "bsearch", "gcdsum", "digest"]
+
+
+def _oracle(size: int) -> list:
+    state = 777
+    values = []
+    for _ in range(size):
+        state = (state * 1103 + 12345) % 65536
+        values.append(state)
+    values.sort()
+
+    flags = [True] * (size + 1)
+    flags[1] = False
+    i = 2
+    while i * i <= size:
+        if flags[i]:
+            for j in range(i * i, size + 1, i):
+                flags[j] = False
+        i += 1
+    primes = sum(1 for i in range(1, size + 1) if flags[i])
+
+    key = values[size // 2 - 1]
+    # Binary search (same algorithm: returns a matching index, 1-based).
+    lo, hi, found = 1, size, 0
+    while lo <= hi:
+        mid = (lo + hi) // 2
+        if values[mid - 1] == key:
+            found = mid
+            break
+        if values[mid - 1] < key:
+            lo = mid + 1
+        else:
+            hi = mid - 1
+
+    import math
+
+    gcd_total = sum(
+        math.gcd(i, j) for i in range(1, 25) for j in range(1, 25)
+    )
+
+    h1, h2, h3, h4 = 17, 31, 101, 257
+    for value in values:
+        mixed = value + h1 * 3 + h2 * 5
+        carry = mixed % 8191
+        h1, h2, h3, h4 = (
+            (h2 + carry * 7) % 65521,
+            (h3 + mixed) % 65521,
+            (h4 * 3 + carry) % 65521,
+            0,
+        )
+        h4 = (h1 + h2 + h3 + mixed) % 65521
+    digest = (h1 + 2 * h2 + 3 * h3 + 5 * h4) % 1000003
+
+    return [1, values[0] + values[-1], primes, found, gcd_total, digest]
+
+
+def make_check(size: int):
+    def check(outputs) -> None:
+        assert outputs == _oracle(size), (outputs, _oracle(size))
+
+    return check
+
+
+def source(size: int = 128) -> str:
+    return "\n".join(
+        [HEAPSORT, SIEVE, BSEARCH, GCDSUM, DIGEST, DRIVER_TEMPLATE.format(size=size)]
+    )
+
+
+def workload(size: int = 128) -> Workload:
+    return Workload(
+        name="intsuite",
+        source=source(size),
+        routines=ROUTINES,
+        entry="intsuite",
+        check=make_check(size),
+        description="Integer diversity suite (heapsort/sieve/bsearch/gcd/digest)",
+    )

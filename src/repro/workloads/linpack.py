@@ -1,0 +1,330 @@
+"""LINPACK (Dongarra's double-precision benchmark) in mini-FORTRAN.
+
+The routines of Figure 5: EPSLON, DSCAL, IDAMAX, DDOT, DAXPY, MATGEN,
+DGEFA, DGESL and DMXPY, ported from the published BLAS/LINPACK sources
+(unit-increment variants; mini-FORTRAN has no GOTO, so early exits use
+structured control flow).  DMXPY keeps the paper's defining feature: the
+J loop unrolled sixteen deep into one enormous assignment, which the paper
+uses to explain why no coloring heuristic can rescue a routine after
+aggressive unrolling (§3.1).
+
+The driver factors a 10x10 MATGEN system, solves it (exact solution: all
+ones), runs DMXPY, and prints: DGEFA's info flag, the solution error, the
+DMXPY checksum, a DDOT value and EPSLON.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.registry import Workload
+
+EPSLON = """
+real function epslon(x)
+  real x, a, b, c, eps
+  a = 4.0 / 3.0
+  eps = 0.0
+  do while (eps .eq. 0.0)
+    b = a - 1.0
+    c = b + b + b
+    eps = abs(c - 1.0)
+  end do
+  epslon = eps * abs(x)
+end
+"""
+
+DSCAL = """
+subroutine dscal(n, da, dx)
+  integer n, i, m
+  real da, dx(*)
+  if (n .le. 0) return
+  m = mod(n, 5)
+  if (m .ne. 0) then
+    do i = 1, m
+      dx(i) = da * dx(i)
+    end do
+    if (n .lt. 5) return
+  end if
+  do i = m + 1, n, 5
+    dx(i) = da * dx(i)
+    dx(i + 1) = da * dx(i + 1)
+    dx(i + 2) = da * dx(i + 2)
+    dx(i + 3) = da * dx(i + 3)
+    dx(i + 4) = da * dx(i + 4)
+  end do
+end
+"""
+
+IDAMAX = """
+integer function idamax(n, dx)
+  integer n, i
+  real dx(*), dmax
+  idamax = 0
+  if (n .lt. 1) return
+  idamax = 1
+  if (n .eq. 1) return
+  dmax = abs(dx(1))
+  do i = 2, n
+    if (abs(dx(i)) .gt. dmax) then
+      idamax = i
+      dmax = abs(dx(i))
+    end if
+  end do
+end
+"""
+
+DDOT = """
+real function ddot(n, dx, dy)
+  integer n, i, m
+  real dx(*), dy(*), dtemp
+  ddot = 0.0
+  dtemp = 0.0
+  if (n .le. 0) return
+  m = mod(n, 5)
+  if (m .ne. 0) then
+    do i = 1, m
+      dtemp = dtemp + dx(i) * dy(i)
+    end do
+    if (n .lt. 5) then
+      ddot = dtemp
+      return
+    end if
+  end if
+  do i = m + 1, n, 5
+    dtemp = dtemp + dx(i) * dy(i) + dx(i + 1) * dy(i + 1) + &
+      dx(i + 2) * dy(i + 2) + dx(i + 3) * dy(i + 3) + dx(i + 4) * dy(i + 4)
+  end do
+  ddot = dtemp
+end
+"""
+
+DAXPY = """
+subroutine daxpy(n, da, dx, dy)
+  integer n, i, m
+  real da, dx(*), dy(*)
+  if (n .le. 0) return
+  if (da .eq. 0.0) return
+  m = mod(n, 4)
+  if (m .ne. 0) then
+    do i = 1, m
+      dy(i) = dy(i) + da * dx(i)
+    end do
+    if (n .lt. 4) return
+  end if
+  do i = m + 1, n, 4
+    dy(i) = dy(i) + da * dx(i)
+    dy(i + 1) = dy(i + 1) + da * dx(i + 1)
+    dy(i + 2) = dy(i + 2) + da * dx(i + 2)
+    dy(i + 3) = dy(i + 3) + da * dx(i + 3)
+  end do
+end
+"""
+
+MATGEN = """
+real function matgen(lda, n, a, b)
+  integer lda, n, i, j, init
+  real a(lda, *), b(*), norma
+  init = 1325
+  norma = 0.0
+  do j = 1, n
+    do i = 1, n
+      init = mod(3125 * init, 65536)
+      a(i, j) = (real(init) - 32768.0) / 16384.0
+      norma = max(abs(a(i, j)), norma)
+    end do
+  end do
+  do i = 1, n
+    b(i) = 0.0
+  end do
+  do j = 1, n
+    do i = 1, n
+      b(i) = b(i) + a(i, j)
+    end do
+  end do
+  matgen = norma
+end
+"""
+
+DGEFA = """
+integer function dgefa(lda, n, a, ipvt)
+  integer lda, n, ipvt(*), j, k, l, nm1, kp1
+  real a(lda, *), t
+  dgefa = 0
+  nm1 = n - 1
+  if (nm1 .ge. 1) then
+    do k = 1, nm1
+      kp1 = k + 1
+      l = idamax(n - k + 1, a(k, k)) + k - 1
+      ipvt(k) = l
+      if (a(l, k) .ne. 0.0) then
+        if (l .ne. k) then
+          t = a(l, k)
+          a(l, k) = a(k, k)
+          a(k, k) = t
+        end if
+        t = -1.0 / a(k, k)
+        call dscal(n - k, t, a(k + 1, k))
+        do j = kp1, n
+          t = a(l, j)
+          if (l .ne. k) then
+            a(l, j) = a(k, j)
+            a(k, j) = t
+          end if
+          call daxpy(n - k, t, a(k + 1, k), a(k + 1, j))
+        end do
+      else
+        dgefa = k
+      end if
+    end do
+  end if
+  ipvt(n) = n
+  if (a(n, n) .eq. 0.0) dgefa = n
+end
+"""
+
+DGESL = """
+subroutine dgesl(lda, n, a, ipvt, b)
+  integer lda, n, ipvt(*), k, kb, l, nm1
+  real a(lda, *), b(*), t
+  nm1 = n - 1
+  if (nm1 .ge. 1) then
+    do k = 1, nm1
+      l = ipvt(k)
+      t = b(l)
+      if (l .ne. k) then
+        b(l) = b(k)
+        b(k) = t
+      end if
+      call daxpy(n - k, t, a(k + 1, k), b(k + 1))
+    end do
+  end if
+  do kb = 1, n
+    k = n + 1 - kb
+    b(k) = b(k) / a(k, k)
+    t = -b(k)
+    call daxpy(k - 1, t, a(1, k), b(1))
+  end do
+end
+"""
+
+
+def _dmxpy_unrolled_statement() -> str:
+    """The paper's sixteen-way unrolled DMXPY assignment (§3.1)."""
+    terms = []
+    for offset in range(15, -1, -1):
+        index = "j" if offset == 0 else f"j - {offset}"
+        terms.append(f"x({index}) * m(i, {index})")
+    # y(i) = ((...((y(i) + t15) + t14) ... ) + t0), folded left.
+    expression = "y(i)"
+    for term in terms:
+        expression = f"({expression} + {term})"
+    # Break into continuation lines to stay readable.
+    parts = expression.split(" + ")
+    lines = []
+    current = "      y(i) = " + parts[0]
+    for part in parts[1:]:
+        candidate = current + " + " + part
+        if len(candidate) > 68:
+            lines.append(current + " + &")
+            current = "        " + part
+        else:
+            current = candidate
+    lines.append(current)
+    return "\n".join(lines)
+
+
+DMXPY = f"""
+subroutine dmxpy(n1, y, n2, ldm, x, m)
+  integer n1, n2, ldm, i, j, jmin
+  real y(*), x(*), m(ldm, *)
+  jmin = mod(n2, 16)
+  if (jmin .gt. 0) then
+    do j = 1, jmin
+      do i = 1, n1
+        y(i) = y(i) + x(j) * m(i, j)
+      end do
+    end do
+  end if
+  do j = jmin + 16, n2, 16
+    do i = 1, n1
+{_dmxpy_unrolled_statement()}
+    end do
+  end do
+end
+"""
+
+DRIVER = """
+program linpack
+  integer lda, n, info, i, ipvt(12)
+  real a(12, 12), b(12), x(20), y(20), mm(20, 20)
+  real norma, err, eps, dsum
+  lda = 12
+  n = 10
+  norma = matgen(lda, n, a, b)
+  info = dgefa(lda, n, a, ipvt)
+  call dgesl(lda, n, a, ipvt, b)
+  err = 0.0
+  do i = 1, n
+    err = err + abs(b(i) - 1.0)
+  end do
+  print info
+  print err
+  do i = 1, 20
+    x(i) = real(i) * 0.5
+    y(i) = 1.0
+    do info = 1, 20
+      mm(info, i) = real(info - i) * 0.25
+    end do
+  end do
+  call dmxpy(20, y, 20, 20, x, mm)
+  dsum = 0.0
+  do i = 1, 20
+    dsum = dsum + y(i)
+  end do
+  print dsum
+  print ddot(4, x, x)
+  eps = epslon(1.0)
+  print eps * 1.0e15
+end
+"""
+
+SOURCE = "\n".join(
+    [EPSLON, DSCAL, IDAMAX, DDOT, DAXPY, MATGEN, DGEFA, DGESL, DMXPY, DRIVER]
+)
+
+ROUTINES = [
+    "epslon",
+    "dscal",
+    "idamax",
+    "ddot",
+    "daxpy",
+    "matgen",
+    "dgefa",
+    "dgesl",
+    "dmxpy",
+]
+
+
+def check_outputs(outputs) -> None:
+    """The solve must be exact (solution of ones) to ~1e-12."""
+    assert len(outputs) == 5, outputs
+    info, err, dsum, dot, eps_scaled = outputs
+    assert info == 0, f"DGEFA reported a singular pivot: {info}"
+    assert abs(err) < 1e-10, f"solution error too large: {err}"
+    # dmxpy checksum: y_i = 1 + 0.25*0.5*sum_j j*(i-j); deterministic.
+    expected = sum(
+        1.0 + sum(0.5 * j * 0.25 * (i - j) for j in range(1, 21))
+        for i in range(1, 21)
+    )
+    assert abs(dsum - expected) < 1e-6, (dsum, expected)
+    assert abs(dot - sum((0.5 * i) ** 2 for i in range(1, 5))) < 1e-9
+    assert eps_scaled > 0.0
+
+
+def workload() -> Workload:
+    return Workload(
+        name="linpack",
+        source=SOURCE,
+        routines=ROUTINES,
+        entry="linpack",
+        check=check_outputs,
+        description="Dongarra's LINPACK benchmark: LU factor/solve + DMXPY",
+    )

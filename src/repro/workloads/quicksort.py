@@ -1,0 +1,183 @@
+"""Non-recursive quicksort (Wirth's algorithm), the Figure 6 workload.
+
+The paper: "Quicksort is an implementation of the non-recursive algorithm
+given by Wirth [Wirt 76]" — median pivot, an explicit segment stack, and
+the smaller-segment-first rule that bounds the stack at log2(n).  Purely
+integer code: exactly what the paper picked to expose spill cost without
+floating-point dominance.
+
+The driver fills an array from a multiplicative LCG, sorts it, then prints
+a sortedness flag, a permutation checksum, and two probe elements.  The
+default size is kept simulator-friendly (the experiment harness scales it).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.registry import Workload
+
+QSORT = """
+subroutine qsort(n, a, stats)
+  integer n, a(*), stats(*)
+  integer stl(64), str(64), sp
+  integer l, r, i, j, pv, t
+  integer p1, p2, p3, mid, nswap, npart, maxsp, span
+  nswap = 0
+  npart = 0
+  maxsp = 0
+  if (n .le. 1) then
+    stats(1) = 0
+    stats(2) = 0
+    stats(3) = 0
+    return
+  end if
+  sp = 1
+  stl(1) = 1
+  str(1) = n
+  do while (sp .gt. 0)
+    maxsp = max(maxsp, sp)
+    l = stl(sp)
+    r = str(sp)
+    sp = sp - 1
+    do while (l .lt. r)
+      ! median-of-three pivot selection
+      mid = (l + r) / 2
+      p1 = a(l)
+      p2 = a(mid)
+      p3 = a(r)
+      if (p1 .gt. p2) then
+        t = p1
+        p1 = p2
+        p2 = t
+      end if
+      if (p2 .gt. p3) then
+        p2 = p3
+      end if
+      if (p1 .gt. p2) then
+        p2 = p1
+      end if
+      pv = p2
+      npart = npart + 1
+      span = r - l
+      i = l
+      j = r
+      do while (i .le. j)
+        do while (a(i) .lt. pv)
+          i = i + 1
+        end do
+        do while (pv .lt. a(j))
+          j = j - 1
+        end do
+        if (i .le. j) then
+          t = a(i)
+          a(i) = a(j)
+          a(j) = t
+          nswap = nswap + 1
+          i = i + 1
+          j = j - 1
+        end if
+      end do
+      if (j - l .lt. r - i) then
+        if (i .lt. r) then
+          sp = sp + 1
+          stl(sp) = i
+          str(sp) = r
+        end if
+        r = j
+      else
+        if (l .lt. j) then
+          sp = sp + 1
+          stl(sp) = l
+          str(sp) = j
+        end if
+        l = i
+      end if
+    end do
+  end do
+  stats(1) = nswap
+  stats(2) = npart
+  stats(3) = maxsp
+end
+"""
+
+FILL = """
+subroutine fill(n, seed, a)
+  integer n, seed, a(*), i, state
+  state = seed
+  do i = 1, n
+    state = mod(state * 1103 + 12345, 65536)
+    a(i) = state
+  end do
+end
+"""
+
+CHECKSORT = """
+integer function checksort(n, a)
+  integer n, a(*), i
+  checksort = 1
+  if (n .le. 1) return
+  do i = 2, n
+    if (a(i - 1) .gt. a(i)) checksort = 0
+  end do
+end
+"""
+
+
+def driver(size: int) -> str:
+    return f"""
+program qsmain
+  integer n, a({size}), seed, i, total, stats(3)
+  n = {size}
+  seed = 12345
+  call fill(n, seed, a)
+  call qsort(n, a, stats)
+  print checksort(n, a)
+  total = 0
+  do i = 1, n
+    total = total + a(i)
+  end do
+  print total
+  print a(1)
+  print a(n)
+  if (stats(2) .gt. 0 .and. stats(3) .gt. 0) then
+    print 1
+  else
+    print 0
+  end if
+end
+"""
+
+
+def source(size: int = 512) -> str:
+    return "\n".join([QSORT, FILL, CHECKSORT, driver(size)])
+
+
+ROUTINES = ["qsort", "fill", "checksort"]
+
+
+def expected_outputs(size: int = 512):
+    """Reference results computed in Python (same LCG)."""
+    state = 12345
+    values = []
+    for _ in range(size):
+        state = (state * 1103 + 12345) % 65536
+        values.append(state)
+    values.sort()
+    return [1, sum(values), values[0], values[-1], 1]
+
+
+def make_check(size: int):
+    def check(outputs) -> None:
+        assert outputs == expected_outputs(size), outputs
+
+    return check
+
+
+def workload(size: int = 512) -> Workload:
+    return Workload(
+        name="quicksort",
+        source=source(size),
+        routines=ROUTINES,
+        entry="qsmain",
+        check=make_check(size),
+        description="Wirth's non-recursive quicksort (Figure 6 study)",
+    )

@@ -1,0 +1,67 @@
+"""Workload registry: one entry per benchmark program."""
+
+from __future__ import annotations
+
+from repro.frontend import compile_source
+
+
+class Workload:
+    """A benchmark program.
+
+    * ``name`` — registry key ("linpack", "svd", ...);
+    * ``source`` — the full mini-FORTRAN text, including the driver;
+    * ``routines`` — the subroutines/functions Figure 5 reports on, in
+      the paper's order (the driver itself is excluded, as in the paper:
+      "the driver routines for each program are not listed");
+    * ``entry`` — driver unit name for simulation;
+    * ``check`` — optional callable(outputs) -> None that asserts the
+      printed outputs are correct (raises AssertionError otherwise).
+    """
+
+    def __init__(self, name, source, routines, entry, check=None, description=""):
+        self.name = name
+        self.source = source
+        self.routines = list(routines)
+        self.entry = entry
+        self.check = check
+        self.description = description
+
+    def compile(self):
+        """A fresh IR module (allocation mutates IR, so callers recompile
+        per allocator)."""
+        return compile_source(self.source, self.name)
+
+    def verify_outputs(self, outputs) -> None:
+        if self.check is not None:
+            self.check(outputs)
+
+    def __repr__(self) -> str:
+        return f"Workload({self.name}, {len(self.routines)} routines)"
+
+
+def all_workloads() -> dict:
+    """name -> Workload for the full Figure 5 suite plus quicksort."""
+    from repro.workloads import (
+        cedeta,
+        euler,
+        intsuite,
+        linpack,
+        quicksort,
+        simplexw,
+        svd,
+    )
+
+    workloads = [
+        svd.workload(),
+        linpack.workload(),
+        simplexw.workload(),
+        euler.workload(),
+        cedeta.workload(),
+        quicksort.workload(),
+        intsuite.workload(),
+    ]
+    return {w.name: w for w in workloads}
+
+
+def get_workload(name: str) -> Workload:
+    return all_workloads()[name]

@@ -1,0 +1,210 @@
+"""SIMPLEX — "a parallel optimization code that executes a
+multi-directional search along simplex edges" (Torczon's thesis, Figure 5).
+
+Multi-directional search maintains a simplex of n+1 vertices; each
+iteration reflects every vertex through the best one, optionally expands
+or contracts, and keeps the move whose best vertex improves.  The paper's
+four routines:
+
+* VALUE      — objective function evaluation (leaf);
+* CONVERGE   — simplex-diameter convergence test;
+* CONSTRUCT  — build the initial right-angle simplex;
+* SIMPLEX    — the search itself (reflection/expansion/contraction loops
+  over the vertex matrix: the big routine that spills).
+
+The objective is a shifted convex quadratic with a known minimum of 0 at
+x = (1, 2, ..., n); the driver asserts the search drives the value to
+(near) zero and lands near the known minimiser.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.registry import Workload
+
+VALUE = """
+real function value(n, x)
+  integer n, i
+  real x(*), diff
+  value = 0.0
+  do i = 1, n
+    diff = x(i) - real(i)
+    value = value + diff * diff * (1.0 + 0.1 * real(i))
+  end do
+end
+"""
+
+CONVERGE = """
+integer function converge(n, ldv, v, tol)
+  integer n, ldv, i, j
+  real v(ldv, *), tol, span, diff
+  span = 0.0
+  do j = 2, n + 1
+    do i = 1, n
+      diff = abs(v(i, j) - v(i, 1))
+      span = max(span, diff)
+    end do
+  end do
+  converge = 0
+  if (span .lt. tol) converge = 1
+end
+"""
+
+CONSTRUCT = """
+subroutine construct(n, ldv, v, x0, edge)
+  integer n, ldv, i, j
+  real v(ldv, *), x0(*), edge
+  do i = 1, n
+    v(i, 1) = x0(i)
+  end do
+  do j = 2, n + 1
+    do i = 1, n
+      v(i, j) = x0(i)
+    end do
+    v(j - 1, j) = x0(j - 1) + edge
+  end do
+end
+"""
+
+SIMPLEX = """
+subroutine simplex(n, ldv, v, fv, maxit, tol, best)
+  integer n, ldv, maxit, i, j, it, done, ibest
+  real v(ldv, *), fv(*), tol, best
+  real r(8, 9), e(8, 9), c(8, 9)
+  real fr(9), fe(9), fc(9)
+  real frbest, febest, fcbest, t
+  !
+  do j = 1, n + 1
+    fv(j) = value(n, v(1, j))
+  end do
+  do it = 1, maxit
+    ! move the best vertex to column 1
+    ibest = 1
+    do j = 2, n + 1
+      if (fv(j) .lt. fv(ibest)) ibest = j
+    end do
+    if (ibest .ne. 1) then
+      do i = 1, n
+        t = v(i, 1)
+        v(i, 1) = v(i, ibest)
+        v(i, ibest) = t
+      end do
+      t = fv(1)
+      fv(1) = fv(ibest)
+      fv(ibest) = t
+    end if
+    done = converge(n, ldv, v, tol)
+    if (done .eq. 1) then
+      best = fv(1)
+      return
+    end if
+    ! reflect all non-best vertices through the best
+    frbest = fv(1)
+    do j = 2, n + 1
+      do i = 1, n
+        r(i, j) = 2.0 * v(i, 1) - v(i, j)
+      end do
+      fr(j) = value(n, r(1, j))
+      frbest = min(frbest, fr(j))
+    end do
+    if (frbest .lt. fv(1)) then
+      ! try expansion
+      febest = fv(1)
+      do j = 2, n + 1
+        do i = 1, n
+          e(i, j) = 3.0 * v(i, 1) - 2.0 * v(i, j)
+        end do
+        fe(j) = value(n, e(1, j))
+        febest = min(febest, fe(j))
+      end do
+      if (febest .lt. frbest) then
+        do j = 2, n + 1
+          do i = 1, n
+            v(i, j) = e(i, j)
+          end do
+          fv(j) = fe(j)
+        end do
+      else
+        do j = 2, n + 1
+          do i = 1, n
+            v(i, j) = r(i, j)
+          end do
+          fv(j) = fr(j)
+        end do
+      end if
+    else
+      ! contract toward the best vertex
+      fcbest = fv(1)
+      do j = 2, n + 1
+        do i = 1, n
+          c(i, j) = 0.5 * (v(i, 1) + v(i, j))
+        end do
+        fc(j) = value(n, c(1, j))
+        fcbest = min(fcbest, fc(j))
+      end do
+      do j = 2, n + 1
+        do i = 1, n
+          v(i, j) = c(i, j)
+        end do
+        fv(j) = fc(j)
+      end do
+    end if
+  end do
+  ibest = 1
+  do j = 2, n + 1
+    if (fv(j) .lt. fv(ibest)) ibest = j
+  end do
+  best = fv(ibest)
+end
+"""
+
+DRIVER = """
+program sxmain
+  integer n, ldv, i, maxit
+  real v(8, 9), fv(9), x0(8)
+  real tol, best, dist
+  n = 4
+  ldv = 8
+  maxit = 200
+  tol = 1.0e-6
+  do i = 1, n
+    x0(i) = 0.0
+  end do
+  call construct(n, ldv, v, x0, 1.0)
+  best = 1.0e30
+  call simplex(n, ldv, v, fv, maxit, tol, best)
+  ! best is by-value out in mini-FORTRAN; recompute from the simplex
+  best = value(n, v(1, 1))
+  print best
+  dist = 0.0
+  do i = 1, n
+    dist = dist + abs(v(i, 1) - real(i))
+  end do
+  print dist
+  print converge(n, ldv, v, tol)
+  print value(n, x0)
+end
+"""
+
+SOURCE = "\n".join([VALUE, CONVERGE, CONSTRUCT, SIMPLEX, DRIVER])
+
+ROUTINES = ["value", "converge", "construct", "simplex"]
+
+
+def check_outputs(outputs) -> None:
+    assert len(outputs) == 4, outputs
+    best, distance, converged, initial = outputs
+    assert initial > 1.0  # f(0) = sum i^2 (1 + .1i) > 0
+    assert best < 1e-8, f"search did not reach the minimum: {best}"
+    assert distance < 1e-2, f"minimiser off target: {distance}"
+    assert converged == 1
+
+
+def workload() -> Workload:
+    return Workload(
+        name="simplex",
+        source=SOURCE,
+        routines=ROUTINES,
+        entry="sxmain",
+        check=check_outputs,
+        description="Multi-directional simplex search (Torczon)",
+    )

@@ -1,0 +1,147 @@
+"""Tests for CFG construction, dominators, and loop analysis."""
+
+from repro.analysis import CFG, DominatorTree, LoopInfo, annotate_loop_depths
+from repro.frontend import compile_source
+
+
+def compiled(body, header="subroutine s(n, m, i, j, k, x, y)", decls=""):
+    module = compile_source(f"{header}\n{decls}\n{body}\nend\n")
+    return module.function("s")
+
+
+class TestCFG:
+    def test_straightline(self):
+        f = compiled("m = n")
+        cfg = CFG(f)
+        assert cfg.edge_count() == 0
+        assert len(cfg.postorder()) == 1
+
+    def test_if_diamond(self):
+        f = compiled("if (n .gt. 0) then\nm = 1\nelse\nm = 2\nend if\nk = m")
+        cfg = CFG(f)
+        join_preds = [
+            label for label, preds in cfg.preds.items() if len(preds) == 2
+        ]
+        assert join_preds  # the join block
+
+    def test_rpo_starts_at_entry(self):
+        f = compiled("do i = 1, n\nm = m + 1\nend do")
+        cfg = CFG(f)
+        assert cfg.reverse_postorder()[0] is f.entry
+
+    def test_postorder_covers_reachable(self):
+        f = compiled("do i = 1, n\nif (m .gt. 0) then\nk = 1\nend if\nend do")
+        cfg = CFG(f)
+        assert len(cfg.postorder()) == len(f.blocks)
+
+    def test_rpo_index_is_bijection(self):
+        f = compiled("do i = 1, n\nm = m + 1\nend do")
+        cfg = CFG(f)
+        index = cfg.rpo_index()
+        assert sorted(index.values()) == list(range(len(f.blocks)))
+
+
+class TestDominators:
+    def test_entry_dominates_everything(self):
+        f = compiled("do i = 1, n\nif (m .gt. 0) then\nk = 1\nend if\nend do")
+        dom = DominatorTree(CFG(f))
+        for block in f.blocks:
+            assert dom.dominates(f.entry, block)
+
+    def test_every_block_self_dominates(self):
+        f = compiled("if (n .gt. 0) then\nm = 1\nend if")
+        dom = DominatorTree(CFG(f))
+        for block in f.blocks:
+            assert dom.dominates(block, block)
+
+    def test_branch_arm_does_not_dominate_join(self):
+        f = compiled("if (n .gt. 0) then\nm = 1\nelse\nm = 2\nend if\nk = m")
+        cfg = CFG(f)
+        dom = DominatorTree(cfg)
+        join_label = next(
+            label for label, preds in cfg.preds.items() if len(preds) == 2
+        )
+        join = f.block(join_label)
+        for pred_label in cfg.preds[join_label]:
+            assert not dom.dominates(f.block(pred_label), join)
+
+    def test_idom_of_entry_is_none(self):
+        f = compiled("m = n")
+        dom = DominatorTree(CFG(f))
+        assert dom.immediate_dominator(f.entry) is None
+
+    def test_children_partition(self):
+        f = compiled("do i = 1, n\nm = m + 1\nend do")
+        dom = DominatorTree(CFG(f))
+        seen = set()
+        stack = [f.entry]
+        while stack:
+            block = stack.pop()
+            assert block.label not in seen
+            seen.add(block.label)
+            stack.extend(dom.children(block))
+        assert seen == {b.label for b in f.blocks}
+
+
+class TestLoops:
+    def test_single_loop_detected(self):
+        f = compiled("do i = 1, n\nm = m + 1\nend do")
+        info = LoopInfo(f)
+        assert len(info.loops) == 1
+
+    def test_loop_body_depth_one(self):
+        f = compiled("do i = 1, n\nm = m + 1\nend do")
+        info = annotate_loop_depths(f)
+        assert info.max_depth() == 1
+        depths = {b.label: b.loop_depth for b in f.blocks}
+        assert f.entry.label in depths
+        assert depths[f.entry.label] == 0
+
+    def test_nested_loops_depth_two(self):
+        f = compiled(
+            "do i = 1, n\ndo j = 1, n\nm = m + 1\nend do\nend do"
+        )
+        info = annotate_loop_depths(f)
+        assert info.max_depth() == 2
+        assert len(info.loops) == 2
+
+    def test_triple_nest(self):
+        f = compiled(
+            "do i = 1, n\ndo j = 1, n\ndo k = 1, n\nm = m + 1\nend do\nend do\nend do"
+        )
+        assert annotate_loop_depths(f).max_depth() == 3
+
+    def test_sequential_loops_are_disjoint(self):
+        f = compiled(
+            "do i = 1, n\nm = m + 1\nend do\ndo j = 1, n\nk = k + 1\nend do"
+        )
+        info = LoopInfo(f)
+        assert len(info.loops) == 2
+        bodies = [loop.body for loop in info.loops]
+        assert not (bodies[0] & bodies[1])
+
+    def test_while_loop_detected(self):
+        f = compiled("do while (m .lt. 10)\nm = m + 1\nend do")
+        assert len(LoopInfo(f).loops) == 1
+
+    def test_inner_loop_blocks_in_outer_body(self):
+        f = compiled(
+            "do i = 1, n\ndo j = 1, n\nm = m + 1\nend do\nend do"
+        )
+        info = LoopInfo(f)
+        outer = max(info.loops, key=len)
+        inner = min(info.loops, key=len)
+        assert inner.body < outer.body
+
+    def test_straightline_has_no_loops(self):
+        f = compiled("m = n\nk = m")
+        info = LoopInfo(f)
+        assert info.loops == []
+        assert info.max_depth() == 0
+
+    def test_loops_containing(self):
+        f = compiled("do i = 1, n\nm = m + 1\nend do")
+        info = LoopInfo(f)
+        header = info.loops[0].header
+        assert info.loops_containing(header) == info.loops
+        assert info.loops_containing(f.entry.label) == []

@@ -1,0 +1,114 @@
+"""Tests for web construction (live-range renumbering)."""
+
+from repro.analysis import split_webs
+from repro.frontend import compile_source
+from repro.ir import verify_function
+from repro.machine import run_module
+
+
+def compiled(body, header="subroutine s(n)", decls=""):
+    module = compile_source(f"{header}\n{decls}\n{body}\nend\n")
+    return module.function("s")
+
+
+class TestSplitting:
+    def test_straightline_reuse_splits(self):
+        # m is two independent webs: m=n ... k=m, then m=k*2 ... j=m.
+        f = compiled("m = n\nk = m\nm = k * 2\nj = m")
+        count = split_webs(f)
+        assert count >= 1
+        verify_function(f)
+
+    def test_disjoint_loop_indices_split(self):
+        # The same i in two separate loops: two webs.
+        f = compiled(
+            "do i = 1, n\nm = i\nend do\n"
+            "do i = 1, n\nk = i\nend do"
+        )
+        before = {v.name for v in f.vregs if v.name == "i"}
+        assert before
+        count = split_webs(f)
+        assert count >= 1
+        verify_function(f)
+
+    def test_loop_carried_web_not_split(self):
+        # i within one loop is a single web (def in entry + def in body both
+        # reach the use in the check block).
+        f = compiled("m = 0\ndo i = 1, n\nm = m + i\nend do")
+        i_regs_before = [v for v in f.vregs if v.name == "i"]
+        split_webs(f)
+        i_regs_after = [v for v in f.vregs if v.name == "i"]
+        # The loop-carried i stays one register (other temps may split).
+        assert len(i_regs_after) == len(i_regs_before)
+
+    def test_diamond_defs_merge_at_join(self):
+        # m defined on both arms and used after: one web.
+        f = compiled(
+            "if (n .gt. 0) then\nm = 1\nelse\nm = 2\nend if\nk = m"
+        )
+        m_before = len([v for v in f.vregs if v.name == "m"])
+        split_webs(f)
+        m_after = len([v for v in f.vregs if v.name == "m"])
+        assert m_after == m_before
+
+    def test_param_keeps_its_register(self):
+        # n reassigned after last read: the incoming-argument web must stay
+        # on the parameter register.
+        f = compiled("m = n\nn = 5\nk = n")
+        params_before = list(f.params)
+        split_webs(f)
+        assert f.params == params_before
+        verify_function(f)
+
+    def test_idempotent(self):
+        f = compiled("m = n\nk = m\nm = k * 2\nj = m")
+        split_webs(f)
+        assert split_webs(f) == 0
+
+    def test_no_split_needed(self):
+        f = compiled("m = n\nk = m")
+        assert split_webs(f) == 0
+
+
+class TestSemanticsPreserved:
+    PROGRAM = (
+        "program p\n"
+        "integer total\n"
+        "total = 0\n"
+        "do i = 1, 5\n"
+        "total = total + i\n"
+        "end do\n"
+        "do i = 1, 3\n"
+        "total = total * 2\n"
+        "end do\n"
+        "print total\n"
+        "end\n"
+    )
+
+    def test_outputs_identical_after_split(self):
+        module = compile_source(self.PROGRAM)
+        baseline = run_module(module).outputs
+        for function in module:
+            split_webs(function)
+            verify_function(function)
+        assert run_module(module).outputs == baseline
+
+    def test_split_then_run_complex(self):
+        source = (
+            "program p\n"
+            "real a(6), s\n"
+            "do i = 1, 6\n"
+            "a(i) = real(i)\n"
+            "end do\n"
+            "s = 0.0\n"
+            "do i = 6, 1, -1\n"
+            "s = s + a(i) * 2.0\n"
+            "end do\n"
+            "print s\n"
+            "end\n"
+        )
+        module = compile_source(source)
+        baseline = run_module(module).outputs
+        for function in module:
+            split_webs(function)
+        assert run_module(module).outputs == baseline

@@ -1,0 +1,101 @@
+"""Unit tests for the experiment harnesses (small configurations)."""
+
+import pytest
+
+from repro.experiments import (
+    EXPERIMENT_TARGET,
+    Table,
+    compare_workload,
+    run_figure5,
+    run_figure6,
+    run_figure7,
+)
+from repro.experiments.tables import percent_improvement
+from repro.workloads import get_workload
+
+
+class TestTables:
+    def test_render_alignment(self):
+        table = Table("T", ["A", "Long Column"])
+        table.add_row(1, 2)
+        table.add_row(100000, "x")
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert len(lines) == 5
+        assert all(len(line) == len(lines[1]) for line in lines[2:])
+
+    def test_row_arity_checked(self):
+        table = Table("T", ["A"])
+        with pytest.raises(ValueError, match="cells"):
+            table.add_row(1, 2)
+
+    def test_separator(self):
+        table = Table("T", ["Alpha"])
+        table.add_row(1)
+        table.add_separator()
+        last = table.render().splitlines()[-1]
+        assert set(last) == {"-"}
+
+    def test_float_rendering(self):
+        table = Table("T", ["A"])
+        table.add_row(3.25)
+        table.add_row(4.0)
+        table.add_row(float("inf"))
+        rendered = table.render()
+        assert "3.25" in rendered
+        assert "4" in rendered
+        assert "inf" in rendered
+
+    def test_percent_improvement(self):
+        assert percent_improvement(100, 49) == 51
+        assert percent_improvement(0, 0) == 0
+        assert percent_improvement(10, 10) == 0
+        assert percent_improvement(3, 0) == 100
+
+
+class TestCompareWorkload:
+    @pytest.fixture(scope="class")
+    def svd_comparison(self):
+        return compare_workload(get_workload("svd"), simulate=True)
+
+    def test_routines_reported(self, svd_comparison):
+        assert [r.routine for r in svd_comparison.routines] == ["svd"]
+
+    def test_new_never_worse(self, svd_comparison):
+        for r in svd_comparison.routines:
+            assert r.spilled_new <= r.spilled_old
+            assert r.cost_new <= r.cost_old
+
+    def test_dynamic_pct_sign(self, svd_comparison):
+        assert svd_comparison.cycles_new <= svd_comparison.cycles_old
+        assert svd_comparison.dynamic_pct >= 0.0
+
+    def test_object_size_positive(self, svd_comparison):
+        assert all(r.object_size > 0 for r in svd_comparison.routines)
+
+
+class TestFigureHarnesses:
+    def test_figure5_single_program(self):
+        result = run_figure5(programs=["svd"], simulate=False)
+        assert len(result.rows) == 1
+        table = result.to_table().render()
+        assert "SVD" in table
+
+    def test_figure6_two_points(self):
+        result = run_figure6(register_counts=(16, 8), array_size=64)
+        assert [r.registers for r in result.rows] == [16, 8]
+        assert result.row_for(8).spilled_old >= result.row_for(16).spilled_old
+        assert "quicksort" in result.to_table().render()
+
+    def test_figure7_one_routine(self):
+        result = run_figure7(routines=[("cedeta", "dqrdc")])
+        assert ("dqrdc", "chaitin") in result.cells
+        assert ("dqrdc", "briggs") in result.cells
+        rendered = result.to_table().render()
+        assert "DQRDC Old" in rendered
+        assert "Total" in rendered
+
+    def test_experiment_target_shape(self):
+        assert EXPERIMENT_TARGET.int_regs == 12
+        assert EXPERIMENT_TARGET.float_regs == 6

@@ -1,0 +1,43 @@
+"""Tests for the combined report generator (small configurations)."""
+
+import pytest
+
+from repro.experiments.report import _fence, build_report
+
+
+class TestFence:
+    def test_wraps_in_code_block(self):
+        fenced = _fence("a\nb")
+        assert fenced.startswith("```\n")
+        assert fenced.endswith("\n```")
+
+
+@pytest.mark.slow
+class TestBuildReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        # Small sizes keep the full regeneration quick enough for CI.
+        return build_report(array_size=64, intsuite_size=64)
+
+    def test_contains_every_section(self, report):
+        for heading in (
+            "# Reproduction report",
+            "## Headlines",
+            "## Figure 5",
+            "## Figure 6",
+            "## Figure 7",
+            "## Ablations",
+            "## Integer study",
+        ):
+            assert heading in report
+
+    def test_headlines_mention_svd(self, report):
+        assert "SVD" in report
+        assert "the paper measured 51%" in report
+
+    def test_tables_fenced(self, report):
+        assert report.count("```") >= 10  # five fenced tables
+
+    def test_markdown_is_selfcontained(self, report):
+        assert "EXPERIMENTS.md" in report
+        assert report.endswith("\n")

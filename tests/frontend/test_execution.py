@@ -1,0 +1,247 @@
+"""End-to-end semantic tests: compile mini-FORTRAN, simulate, check output."""
+
+import math
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.frontend import compile_source
+from repro.machine import run_module
+
+
+def run(source, entry=None):
+    return run_module(compile_source(source), entry=entry).outputs
+
+
+class TestScalars:
+    def test_integer_arithmetic(self):
+        out = run("program p\ni = (7 + 3) * 2 - 5\nprint i\nend\n")
+        assert out == [15]
+
+    def test_integer_division_truncates_toward_zero(self):
+        out = run(
+            "program p\nprint 7 / 2\nprint (0 - 7) / 2\nend\n"
+        )
+        assert out == [3, -3]
+
+    def test_mod_sign_follows_dividend(self):
+        out = run("program p\nprint mod(7, 3)\nprint mod(0 - 7, 3)\nend\n")
+        assert out == [1, -1]
+
+    def test_real_arithmetic(self):
+        out = run("program p\nx = 1.5 * 4.0 - 1.0\nprint x\nend\n")
+        assert out == [5.0]
+
+    def test_mixed_mode(self):
+        out = run("program p\ni = 3\nx = i / 2.0\nprint x\nend\n")
+        assert out == [1.5]
+
+    def test_power(self):
+        out = run("program p\nprint 2 ** 10\nx = 2.0 ** 0.5\nprint x\nend\n")
+        assert out[0] == 1024
+        assert abs(out[1] - math.sqrt(2)) < 1e-12
+
+    def test_intrinsics(self):
+        out = run(
+            "program p\n"
+            "print abs(0 - 5)\n"
+            "print max(3, 9, 4)\n"
+            "print min(3, 9, 4)\n"
+            "print sign(5, 0 - 2)\n"
+            "x = sqrt(16.0)\nprint x\n"
+            "end\n"
+        )
+        assert out == [5, 9, 3, -5, 4.0]
+
+    def test_transcendentals(self):
+        out = run("program p\nprint exp(0.0)\nprint cos(0.0)\nend\n")
+        assert out == [1.0, 1.0]
+
+
+class TestControlFlow:
+    def test_if_else_chain(self):
+        src = (
+            "program p\n"
+            "n = 5\n"
+            "if (n .lt. 0) then\nprint 1\n"
+            "else if (n .eq. 5) then\nprint 2\n"
+            "else\nprint 3\nend if\n"
+            "end\n"
+        )
+        assert run(src) == [2]
+
+    def test_logical_operators_short_circuit(self):
+        # The .and. right operand would divide by zero if evaluated.
+        src = (
+            "program p\n"
+            "n = 0\n"
+            "if (n .gt. 0 .and. 10 / n .gt. 1) then\n"
+            "print 1\n"
+            "else\n"
+            "print 2\n"
+            "end if\n"
+            "end\n"
+        )
+        assert run(src) == [2]
+
+    def test_do_loop_sum(self):
+        assert run(
+            "program p\nk = 0\ndo i = 1, 10\nk = k + i\nend do\nprint k\nend\n"
+        ) == [55]
+
+    def test_do_loop_zero_trips(self):
+        assert run(
+            "program p\nk = 0\ndo i = 5, 1\nk = k + 1\nend do\nprint k\nend\n"
+        ) == [0]
+
+    def test_do_loop_step(self):
+        assert run(
+            "program p\nk = 0\ndo i = 1, 10, 3\nk = k + i\nend do\nprint k\nend\n"
+        ) == [1 + 4 + 7 + 10]
+
+    def test_do_loop_negative_step(self):
+        assert run(
+            "program p\nk = 0\ndo i = 5, 1, -2\nk = k + i\nend do\nprint k\nend\n"
+        ) == [5 + 3 + 1]
+
+    def test_do_loop_runtime_step(self):
+        src = (
+            "program p\n"
+            "m = 3\nk = 0\n"
+            "do i = 1, 10, m\nk = k + i\nend do\n"
+            "print k\nend\n"
+        )
+        assert run(src) == [1 + 4 + 7 + 10]
+
+    def test_do_variable_after_loop(self):
+        # FORTRAN 77: the do-variable holds its incremented value.
+        assert run(
+            "program p\ndo i = 1, 3\nk = i\nend do\nprint i\nend\n"
+        ) == [4]
+
+    def test_nested_loops(self):
+        src = (
+            "program p\nk = 0\n"
+            "do i = 1, 4\ndo j = 1, 3\nk = k + 1\nend do\nend do\n"
+            "print k\nend\n"
+        )
+        assert run(src) == [12]
+
+    def test_while_loop(self):
+        src = (
+            "program p\nn = 1\n"
+            "do while (n .lt. 100)\nn = n * 2\nend do\n"
+            "print n\nend\n"
+        )
+        assert run(src) == [128]
+
+
+class TestArrays:
+    def test_1d_store_load(self):
+        src = (
+            "program p\ninteger v(5)\n"
+            "do i = 1, 5\nv(i) = i * i\nend do\n"
+            "print v(4)\nend\n"
+        )
+        assert run(src) == [16]
+
+    def test_2d_column_major(self):
+        src = (
+            "program p\nreal a(3, 2)\n"
+            "do j = 1, 2\ndo i = 1, 3\na(i, j) = real(10 * i + j)\nend do\nend do\n"
+            "print a(2, 2)\nprint a(3, 1)\nend\n"
+        )
+        assert run(src) == [22.0, 31.0]
+
+    def test_arrays_independent(self):
+        src = (
+            "program p\ninteger u(4), v(4)\n"
+            "do i = 1, 4\nu(i) = 1\nv(i) = 2\nend do\n"
+            "print u(1)\nprint v(4)\nend\n"
+        )
+        assert run(src) == [1, 2]
+
+
+class TestCalls:
+    def test_subroutine_writes_caller_array(self):
+        src = (
+            "subroutine fill(n, v)\n"
+            "integer n, i\nreal v(*)\n"
+            "do i = 1, n\nv(i) = real(i)\nend do\n"
+            "end\n"
+            "program p\nreal v(6)\n"
+            "call fill(6, v)\nprint v(6)\nend\n"
+        )
+        assert run(src) == [6.0]
+
+    def test_function_result(self):
+        src = (
+            "integer function square(n)\n"
+            "square = n * n\n"
+            "end\n"
+            "program p\nprint square(7)\nend\n"
+        )
+        assert run(src) == [49]
+
+    def test_sequence_association(self):
+        # Pass a(2,1): the callee sees the column-major tail.
+        src = (
+            "real function first(w)\n"
+            "real w(*)\n"
+            "first = w(1)\n"
+            "end\n"
+            "program p\nreal a(3, 2)\n"
+            "do j = 1, 2\ndo i = 1, 3\na(i, j) = real(10 * i + j)\nend do\nend do\n"
+            "print first(a(2, 1))\n"
+            "end\n"
+        )
+        assert run(src) == [21.0]
+
+    def test_adjustable_array_in_callee(self):
+        src = (
+            "real function corner(lda, n, a)\n"
+            "integer lda, n\nreal a(lda, *)\n"
+            "corner = a(n, n)\n"
+            "end\n"
+            "program p\nreal a(4, 4)\n"
+            "do j = 1, 4\ndo i = 1, 4\na(i, j) = real(10 * i + j)\nend do\nend do\n"
+            "print corner(4, 3, a)\n"
+            "end\n"
+        )
+        assert run(src) == [33.0]
+
+    def test_early_return(self):
+        src = (
+            "integer function guard(n)\n"
+            "guard = 0\n"
+            "if (n .le. 0) return\n"
+            "guard = n\n"
+            "end\n"
+            "program p\nprint guard(0 - 3)\nprint guard(3)\nend\n"
+        )
+        assert run(src) == [0, 3]
+
+    def test_recursion_depth_is_bounded_by_budget(self):
+        src = (
+            "program p\nn = 1\n"
+            "do while (n .gt. 0)\nn = n + 1\nend do\n"
+            "end\n"
+        )
+        module = compile_source(src)
+        with pytest.raises(SimulationError, match="budget"):
+            run_module(module, max_instructions=10_000)
+
+
+class TestErrors:
+    def test_out_of_bounds_store(self):
+        src = "program p\ninteger v(3)\ni = 1000\nv(i) = 1\nend\n"
+        with pytest.raises(SimulationError, match="address"):
+            run(src)
+
+    def test_division_by_zero(self):
+        with pytest.raises(SimulationError, match="zero"):
+            run("program p\nn = 0\nprint 1 / n\nend\n")
+
+    def test_float_division_by_zero(self):
+        with pytest.raises(SimulationError, match="zero"):
+            run("program p\nx = 0.0\nprint 1.0 / x\nend\n")

@@ -1,0 +1,269 @@
+"""Frontend tests: structure of lowered IR."""
+
+import pytest
+
+from repro.errors import LoweringError
+from repro.frontend import compile_source
+from repro.ir import RClass, verify_module
+
+
+def lower_unit(body, header="subroutine s(n, m, i, j, k, x, y)", decls="", name="s", body_has=None):
+    module = compile_source(f"{header}\n{decls}\n{body}\nend\n")
+    return module.function(name)
+
+
+def opcodes(function):
+    return [instr.op for _b, _i, instr in function.instructions()]
+
+
+class TestBasics:
+    def test_empty_subroutine(self):
+        f = lower_unit("")
+        assert opcodes(f) == ["ret"]
+
+    def test_assignment_produces_copy(self):
+        f = lower_unit("i = 1")
+        assert opcodes(f) == ["li", "mov", "ret"]
+
+    def test_mixed_mode_inserts_conversion(self):
+        f = lower_unit("x = i + 1.5", decls="integer i\nreal x")
+        ops = opcodes(f)
+        assert "i2f" in ops
+        assert "fadd" in ops
+
+    def test_float_to_int_assignment_truncates(self):
+        f = lower_unit("i = x", decls="integer i\nreal x")
+        assert "f2i" in opcodes(f)
+
+    def test_param_classes(self):
+        f = lower_unit(
+            "", header="subroutine s(n, x, v)", decls="real x, v(*)", name="s"
+        )
+        assert [p.rclass for p in f.params] == [
+            RClass.INT,
+            RClass.FLOAT,
+            RClass.INT,  # array base address
+        ]
+
+    def test_local_array_becomes_frame(self):
+        f = lower_unit("", decls="real buffer(40)")
+        assert f.frame_arrays["buffer"].size == 40
+
+    def test_2d_array_frame_size(self):
+        f = lower_unit("", decls="real a(8, 4)")
+        assert f.frame_arrays["a"].size == 32
+
+    def test_module_entry_is_main(self):
+        module = compile_source("program top\nn = 1\nend\n")
+        assert module.entry == "top"
+
+    def test_verified_module(self):
+        module = compile_source(
+            "subroutine s(n)\nif (n .gt. 0) then\nm = n\nend if\nend\n"
+        )
+        verify_module(module)  # must not raise
+
+
+class TestControlFlow:
+    def test_if_produces_branch(self):
+        f = lower_unit("if (n .gt. 0) then\nm = n\nend if")
+        assert "cbr" in opcodes(f)
+
+    def test_float_compare_uses_fcbr(self):
+        f = lower_unit("if (x .gt. 0.0) then\ny = x\nend if")
+        assert "fcbr" in opcodes(f)
+
+    def test_mixed_compare_promotes(self):
+        f = lower_unit("if (n .gt. 0.5) then\nm = n\nend if")
+        ops = opcodes(f)
+        assert "fcbr" in ops
+        assert "i2f" in ops
+
+    def test_early_return_prunes_dead_code(self):
+        f = lower_unit("return\nm = 1")
+        # The dead assignment must have been swept with its block.
+        assert "mov" not in opcodes(f)
+
+    def test_if_all_arms_return(self):
+        f = lower_unit(
+            "if (n .gt. 0) then\nreturn\nelse\nreturn\nend if"
+        )
+        assert opcodes(f).count("ret") >= 2
+
+    def test_do_loop_shape(self):
+        f = lower_unit("do i = 1, n\nm = m + i\nend do\nm = m")
+        ops = opcodes(f)
+        assert "cbr" in ops
+        assert "iadd" in ops
+
+    def test_do_loop_negative_constant_step_uses_ge(self):
+        f = lower_unit("do i = n, 1, -1\nm = m + i\nend do")
+        branches = [
+            instr
+            for _b, _i, instr in f.instructions()
+            if instr.op == "cbr" and instr.relop == "ge"
+        ]
+        assert branches
+
+    def test_do_loop_runtime_step_uses_trip_count(self):
+        f = lower_unit("do i = 1, n, k\nm = m + i\nend do")
+        assert "imax" in opcodes(f)  # trip count clamp
+
+    def test_zero_step_rejected(self):
+        with pytest.raises(LoweringError, match="step"):
+            lower_unit("do i = 1, n, 0\nend do")
+
+    def test_while_loop(self):
+        f = lower_unit("do while (m .lt. 10)\nm = m + 1\nend do")
+        assert "cbr" in opcodes(f)
+
+    def test_short_circuit_and_produces_two_branches(self):
+        f = lower_unit(
+            "if (n .gt. 0 .and. m .gt. 0) then\nk = 1\nend if"
+        )
+        assert opcodes(f).count("cbr") == 2
+
+    def test_not_swaps_targets(self):
+        f = lower_unit("if (.not. n .gt. 0) then\nk = 1\nend if")
+        branch = next(
+            instr for _b, _i, instr in f.instructions() if instr.op == "cbr"
+        )
+        # The "true" target of the gt comparison is the else path.
+        assert branch.relop == "gt"
+
+
+class TestExpressions:
+    def test_power_small_constant_expands_to_multiplies(self):
+        f = lower_unit("x = y ** 3")
+        ops = opcodes(f)
+        assert ops.count("fmul") == 2
+        assert "fpow" not in ops
+
+    def test_power_large_constant_uses_pow(self):
+        f = lower_unit("x = y ** 9")
+        assert "fpow" in opcodes(f)
+
+    def test_integer_power(self):
+        f = lower_unit("i = j ** k")
+        assert "ipow" in opcodes(f)
+
+    def test_intrinsic_sqrt(self):
+        f = lower_unit("x = sqrt(y)")
+        assert "fsqrt" in opcodes(f)
+
+    def test_intrinsic_abs_class_dispatch(self):
+        assert "iabs" in opcodes(lower_unit("i = abs(j)"))
+        assert "fabs" in opcodes(lower_unit("x = abs(y)"))
+
+    def test_intrinsic_max_chain(self):
+        f = lower_unit("i = max(j, k, m)")
+        assert opcodes(f).count("imax") == 2
+
+    def test_intrinsic_mixed_max_promotes(self):
+        f = lower_unit("x = max(i, y)")
+        ops = opcodes(f)
+        assert "fmax" in ops
+        assert "i2f" in ops
+
+    def test_real_conversion(self):
+        f = lower_unit("x = real(i)")
+        assert "i2f" in opcodes(f)
+
+    def test_int_conversion(self):
+        f = lower_unit("i = int(x)")
+        assert "f2i" in opcodes(f)
+
+
+class TestArrays:
+    def test_1d_address_arithmetic(self):
+        f = lower_unit("v(i) = 0.0", decls="real v(10)\ninteger i\ni = 1")
+        ops = opcodes(f)
+        assert "la" in ops
+        assert "fstore" in ops
+
+    def test_2d_column_major_stride(self):
+        f = lower_unit(
+            "a(i, j) = 0.0", decls="real a(8, 4)\ninteger i, j\ni = 1\nj = 1"
+        )
+        assert "imul" in opcodes(f)  # (j-1)*8
+
+    def test_param_array_uses_param_base(self):
+        f = lower_unit(
+            "v(1) = 0.0", header="subroutine s(v)", decls="real v(*)"
+        )
+        assert "la" not in opcodes(f)
+
+    def test_adjustable_extent_stride_from_param(self):
+        f = lower_unit(
+            "a(i, j) = 0.0",
+            header="subroutine s(lda, a, i, j)",
+            decls="integer lda, i, j\nreal a(lda, *)",
+        )
+        # The stride multiply uses the lda parameter register.
+        lda = f.params[0]
+        muls = [
+            instr
+            for _b, _i, instr in f.instructions()
+            if instr.op == "imul" and lda in instr.uses
+        ]
+        assert muls
+
+
+class TestCallsAndFunctions:
+    SOURCE = (
+        "subroutine caller(n)\n"
+        "real v(10), r\n"
+        "call helper(n, v)\n"
+        "r = total(n, v)\n"
+        "end\n"
+        "subroutine helper(n, w)\n"
+        "real w(*)\n"
+        "w(1) = 1.0\n"
+        "end\n"
+        "real function total(n, w)\n"
+        "real w(*)\n"
+        "total = w(1)\n"
+        "end\n"
+    )
+
+    def test_call_arguments(self):
+        module = compile_source(self.SOURCE)
+        caller = module.function("caller")
+        calls = [
+            instr
+            for _b, _i, instr in caller.instructions()
+            if instr.op == "call"
+        ]
+        assert [c.callee for c in calls] == ["helper", "total"]
+        assert len(calls[0].uses) == 2
+
+    def test_function_result_register(self):
+        module = compile_source(self.SOURCE)
+        total = module.function("total")
+        assert total.result_class == RClass.FLOAT
+        rets = [
+            instr
+            for _b, _i, instr in total.instructions()
+            if instr.op == "ret"
+        ]
+        assert all(len(r.uses) == 1 for r in rets)
+
+    def test_scalar_arg_coercion(self):
+        module = compile_source(
+            "subroutine a()\ncall b(1)\nend\nsubroutine b(x)\nreal x\nend\n"
+        )
+        a = module.function("a")
+        assert "i2f" in opcodes(a)
+
+    def test_element_offset_argument(self):
+        module = compile_source(
+            "subroutine a(k)\nreal v(10)\ncall b(v(k))\nend\n"
+            "subroutine b(w)\nreal w(*)\nend\n"
+        )
+        a = module.function("a")
+        call = next(
+            instr for _b, _i, instr in a.instructions() if instr.op == "call"
+        )
+        # The argument is an address computation, not a load.
+        assert call.uses[0].rclass == RClass.INT
+        assert "fload" not in opcodes(a)

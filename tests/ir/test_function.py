@@ -1,0 +1,155 @@
+"""Unit tests for Function/Block/Module containers and the IRBuilder."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import Block, Function, IRBuilder, Instr, Module, RClass
+from repro.ir.module import FunctionSignature
+
+
+class TestFunction:
+    def test_vreg_ids_sequential(self):
+        f = Function("f")
+        regs = [f.new_vreg(RClass.INT) for _ in range(5)]
+        assert [r.id for r in regs] == [0, 1, 2, 3, 4]
+
+    def test_params_are_vregs(self):
+        f = Function("f")
+        p = f.add_param(RClass.FLOAT, "x")
+        assert p in f.params
+        assert p in f.vregs
+
+    def test_blocks_by_label(self):
+        f = Function("f")
+        b = f.new_block("entry")
+        assert f.block(b.label) is b
+
+    def test_duplicate_label_rejected(self):
+        f = Function("f")
+        f.add_block(Block("a"))
+        with pytest.raises(IRError, match="duplicate"):
+            f.add_block(Block("a"))
+
+    def test_entry_is_first_block(self):
+        f = Function("f")
+        first = f.new_block()
+        f.new_block()
+        assert f.entry is first
+
+    def test_frame_array_offsets(self):
+        f = Function("f")
+        a = f.add_frame_array("a", 10)
+        b = f.add_frame_array("b", 5)
+        assert a.offset == 0
+        assert b.offset == 10
+        assert f.frame_words == 15
+
+    def test_spill_slots_after_arrays(self):
+        f = Function("f")
+        f.add_frame_array("a", 10)
+        slot = f.new_spill_slot()
+        assert slot == 0
+        assert f.spill_slot_offset(slot) == 10
+        assert f.frame_words == 11
+
+    def test_remove_unreachable(self):
+        f = Function("f")
+        builder = IRBuilder(f)
+        entry = builder.start_block("entry")
+        builder.ret()
+        orphan = f.new_block("orphan")
+        orphan.append(Instr("ret"))
+        assert f.remove_unreachable_blocks() == 1
+        assert f.blocks == [entry]
+
+
+class TestBuilder:
+    def test_emit_into_terminated_block_raises(self):
+        f = Function("f")
+        builder = IRBuilder(f)
+        builder.start_block()
+        builder.ret()
+        with pytest.raises(IRError, match="terminated"):
+            builder.iconst(1)
+
+    def test_builds_simple_loop(self):
+        f = Function("count")
+        builder = IRBuilder(f)
+        entry = builder.start_block("entry")
+        i = builder.iconst(0, "i")
+        limit = builder.iconst(10)
+        body = builder.new_block("body")
+        done = builder.new_block("done")
+        builder.jump(body)
+        builder.set_block(body)
+        one = builder.iconst(1)
+        i2 = builder.binary("iadd", i, one)
+        builder.branch("lt", i2, limit, body, done)
+        builder.set_block(done)
+        builder.ret()
+        assert entry.is_terminated
+        assert body.successor_labels() == [body.label, done.label]
+        assert done.successor_labels() == []
+
+    def test_branch_class_dispatch(self):
+        f = Function("f")
+        builder = IRBuilder(f)
+        builder.start_block()
+        x = builder.fconst(1.0)
+        y = builder.fconst(2.0)
+        t = builder.new_block()
+        e = builder.new_block()
+        instr = builder.branch("lt", x, y, t, e)
+        assert instr.op == "fcbr"
+
+    def test_load_store_helpers(self):
+        f = Function("f")
+        f.add_frame_array("arr", 4)
+        builder = IRBuilder(f)
+        builder.start_block()
+        addr = builder.frame_address("arr")
+        value = builder.load(addr, RClass.FLOAT)
+        assert value.rclass == RClass.FLOAT
+        store = builder.store(value, addr)
+        assert store.op == "fstore"
+
+    def test_call_helper(self):
+        f = Function("f")
+        builder = IRBuilder(f)
+        builder.start_block()
+        a = builder.iconst(1)
+        r = builder.vreg(RClass.FLOAT)
+        instr = builder.call("g", [a], r)
+        assert instr.callee == "g"
+        assert instr.defs == [r]
+
+
+class TestModule:
+    def make_module(self):
+        m = Module("test")
+        f = Function("f")
+        builder = IRBuilder(f)
+        builder.start_block()
+        builder.ret()
+        m.add_function(f, FunctionSignature("f", [], None))
+        return m, f
+
+    def test_lookup(self):
+        m, f = self.make_module()
+        assert m.function("f") is f
+        assert m.signature("f").name == "f"
+
+    def test_duplicate_function_rejected(self):
+        m, f = self.make_module()
+        with pytest.raises(IRError, match="duplicate"):
+            m.add_function(f, FunctionSignature("f", [], None))
+
+    def test_missing_function(self):
+        m, _ = self.make_module()
+        with pytest.raises(IRError, match="no function"):
+            m.function("g")
+
+    def test_iteration(self):
+        m, f = self.make_module()
+        assert list(m) == [f]
+        assert len(m) == 1

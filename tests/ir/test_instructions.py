@@ -1,0 +1,96 @@
+"""Unit tests for IR instructions and operand checking."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import Function, Instr, OPCODES, RClass
+from repro.ir.instructions import make_copy
+
+
+@pytest.fixture
+def func():
+    return Function("f")
+
+
+class TestOpcodeTable:
+    def test_all_specs_named_consistently(self):
+        for name, spec in OPCODES.items():
+            assert spec.name == name
+
+    def test_copy_flags(self):
+        assert OPCODES["mov"].is_copy
+        assert OPCODES["fmov"].is_copy
+        assert not OPCODES["iadd"].is_copy
+
+    def test_terminator_flags(self):
+        for op in ("jmp", "cbr", "fcbr", "ret"):
+            assert OPCODES[op].is_terminator
+        assert not OPCODES["mov"].is_terminator
+
+    def test_mem_flags(self):
+        for op in ("load", "store", "spill", "reload", "fload", "fstore"):
+            assert OPCODES[op].is_mem
+
+
+class TestConstruction:
+    def test_simple_add(self, func):
+        a = func.new_vreg(RClass.INT)
+        b = func.new_vreg(RClass.INT)
+        c = func.new_vreg(RClass.INT)
+        instr = Instr("iadd", [c], [a, b])
+        assert instr.defs == [c]
+        assert instr.uses == [a, b]
+
+    def test_class_mismatch_rejected(self, func):
+        a = func.new_vreg(RClass.INT)
+        f = func.new_vreg(RClass.FLOAT)
+        with pytest.raises(IRError, match="class"):
+            Instr("iadd", [a], [a, f])
+
+    def test_wrong_arity_rejected(self, func):
+        a = func.new_vreg(RClass.INT)
+        with pytest.raises(IRError, match="expected"):
+            Instr("iadd", [a], [a])
+
+    def test_unknown_opcode(self):
+        with pytest.raises(IRError, match="unknown opcode"):
+            Instr("bogus")
+
+    def test_branch_needs_relop(self, func):
+        a = func.new_vreg(RClass.INT)
+        with pytest.raises(IRError, match="relop"):
+            Instr("cbr", uses=[a, a], relop="??", targets=["x", "y"])
+
+    def test_branch_needs_two_targets(self, func):
+        a = func.new_vreg(RClass.INT)
+        with pytest.raises(IRError, match="two targets"):
+            Instr("cbr", uses=[a, a], relop="lt", targets=["x"])
+
+    def test_call_needs_callee(self, func):
+        with pytest.raises(IRError, match="callee"):
+            Instr("call")
+
+    def test_make_copy_picks_class(self, func):
+        a = func.new_vreg(RClass.FLOAT)
+        b = func.new_vreg(RClass.FLOAT)
+        assert make_copy(a, b).op == "fmov"
+
+    def test_make_copy_rejects_cross_class(self, func):
+        a = func.new_vreg(RClass.INT)
+        b = func.new_vreg(RClass.FLOAT)
+        with pytest.raises(IRError):
+            make_copy(a, b)
+
+
+class TestMutation:
+    def test_replace_uses(self, func):
+        a, b, c = (func.new_vreg(RClass.INT) for _ in range(3))
+        instr = Instr("iadd", [c], [a, b])
+        instr.replace_uses({a: b})
+        assert instr.uses == [b, b]
+
+    def test_replace_defs(self, func):
+        a, b, c = (func.new_vreg(RClass.INT) for _ in range(3))
+        instr = Instr("iadd", [c], [a, b])
+        instr.replace_defs({c: a})
+        assert instr.defs == [a]

@@ -1,0 +1,123 @@
+"""Round-trip tests: printer -> parser -> printer is the identity."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import (
+    Function,
+    IRBuilder,
+    Module,
+    RClass,
+    parse_module,
+    print_function,
+    print_module,
+)
+from repro.ir.module import FunctionSignature
+
+
+def build_sample_module():
+    m = Module("sample")
+
+    f = Function("axpy", result_class=RClass.FLOAT)
+    n = f.add_param(RClass.INT, "n")
+    da = f.add_param(RClass.FLOAT, "da")
+    dx = f.add_param(RClass.INT, "dx")
+    f.add_frame_array("buf", 16)
+    builder = IRBuilder(f)
+    builder.start_block("entry")
+    zero = builder.iconst(0)
+    loop = builder.new_block("loop")
+    done = builder.new_block("done")
+    builder.branch("le", n, zero, done, loop)
+    builder.set_block(loop)
+    addr = builder.frame_address("buf")
+    value = builder.load(addr, RClass.FLOAT, "v")
+    product = builder.binary("fmul", value, da)
+    builder.store(product, addr)
+    step = builder.iconst(1)
+    counter = builder.binary("iadd", zero, step)
+    builder.branch("lt", counter, n, loop, done)
+    builder.set_block(done)
+    builder.ret(da)
+    m.add_function(
+        f, FunctionSignature("axpy", [RClass.INT, RClass.FLOAT, RClass.INT], RClass.FLOAT)
+    )
+
+    g = Function("driver")
+    builder = IRBuilder(g)
+    builder.start_block("entry")
+    count = builder.iconst(4, "n")
+    scale = builder.fconst(2.5)
+    base = builder.iconst(0)
+    result = builder.vreg(RClass.FLOAT, "r")
+    builder.call("axpy", [count, scale, base], result)
+    builder.emit_print = None
+    from repro.ir import Instr
+
+    builder.emit(Instr("fprint", uses=[result]))
+    builder.ret()
+    m.add_function(g, FunctionSignature("driver", [], None))
+    return m
+
+
+def test_round_trip_is_identity():
+    module = build_sample_module()
+    text = print_module(module)
+    reparsed = parse_module(text)
+    assert print_module(reparsed) == text
+
+
+def test_round_trip_twice_stable():
+    text = print_module(build_sample_module())
+    once = print_module(parse_module(text))
+    twice = print_module(parse_module(once))
+    assert once == twice
+
+
+def test_parse_preserves_vreg_identity():
+    module = build_sample_module()
+    reparsed = parse_module(print_module(module))
+    axpy = reparsed.function("axpy")
+    assert [p.id for p in axpy.params] == [0, 1, 2]
+    assert axpy.params[1].rclass == RClass.FLOAT
+    assert axpy.params[1].name == "da"
+
+
+def test_parse_frame_arrays():
+    module = parse_module(print_module(build_sample_module()))
+    axpy = module.function("axpy")
+    assert axpy.frame_arrays["buf"].size == 16
+
+
+def test_parse_rejects_garbage():
+    with pytest.raises(IRError):
+        parse_module("func @f() frame=[] {\nentry:\n  zork %i0\n}\n")
+
+
+def test_parse_rejects_unterminated():
+    with pytest.raises(IRError, match="unterminated"):
+        parse_module("func @f() frame=[] {\nentry:\n  ret\n")
+
+
+def test_parse_rejects_instruction_outside_function():
+    with pytest.raises(IRError, match="outside"):
+        parse_module("ret\n")
+
+
+def test_parse_rejects_class_conflict():
+    text = (
+        "func @f(%i0:n) frame=[] {\n"
+        "entry:\n"
+        "  %f0 = lf 1.0\n"
+        "  ret\n"
+        "}\n"
+    )
+    with pytest.raises(IRError, match="two classes"):
+        parse_module(text)
+
+
+def test_print_function_header_contains_result_class():
+    module = build_sample_module()
+    text = print_function(module.function("axpy"))
+    assert "-> f" in text
+    assert "frame=[buf[16]]" in text

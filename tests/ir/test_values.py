@@ -1,0 +1,48 @@
+"""Unit tests for virtual registers (identity, classes, printing)."""
+
+from repro.ir import Function, RClass
+from repro.ir.values import VReg
+
+
+class TestVReg:
+    def test_repr_carries_class_and_id(self):
+        f = Function("f")
+        v = f.new_vreg(RClass.FLOAT, "x")
+        assert repr(v) == f"%f{v.id}"
+
+    def test_pretty_includes_name_hint(self):
+        f = Function("f")
+        named = f.new_vreg(RClass.INT, "count")
+        anonymous = f.new_vreg(RClass.INT)
+        assert named.pretty().endswith(":count")
+        assert ":" not in anonymous.pretty()
+
+    def test_identity_equality(self):
+        f = Function("f")
+        a = f.new_vreg(RClass.INT, "same")
+        b = f.new_vreg(RClass.INT, "same")
+        assert a == a
+        assert a != b  # equality is identity, never structural
+        assert len({a, b}) == 2
+
+    def test_hash_is_id(self):
+        f = Function("f")
+        v = f.new_vreg(RClass.INT)
+        assert hash(v) == v.id
+
+    def test_spill_temp_flag(self):
+        f = Function("f")
+        ordinary = f.new_vreg(RClass.INT)
+        temp = f.new_vreg(RClass.INT, is_spill_temp=True)
+        assert not ordinary.is_spill_temp
+        assert temp.is_spill_temp
+
+    def test_rclass_str(self):
+        assert str(RClass.INT) == "i"
+        assert str(RClass.FLOAT) == "f"
+
+    def test_direct_construction(self):
+        v = VReg(7, RClass.FLOAT, "z")
+        assert v.id == 7
+        assert v.rclass == RClass.FLOAT
+        assert v.name == "z"

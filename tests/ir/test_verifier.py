@@ -1,0 +1,264 @@
+"""Unit tests for the IR verifier."""
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.ir import (
+    Block,
+    Function,
+    IRBuilder,
+    Instr,
+    Module,
+    RClass,
+    verify_function,
+    verify_module,
+)
+from repro.ir.module import FunctionSignature
+
+
+def trivial_function(name="f"):
+    f = Function(name)
+    builder = IRBuilder(f)
+    builder.start_block("entry")
+    builder.ret()
+    return f
+
+
+class TestStructure:
+    def test_ok(self):
+        verify_function(trivial_function())
+
+    def test_no_blocks(self):
+        with pytest.raises(VerificationError, match="no blocks"):
+            verify_function(Function("f"))
+
+    def test_empty_block(self):
+        f = Function("f")
+        f.add_block(Block("entry"))
+        with pytest.raises(VerificationError, match="empty"):
+            verify_function(f)
+
+    def test_missing_terminator(self):
+        f = Function("f")
+        b = f.new_block()
+        b.append(Instr("nop"))
+        with pytest.raises(VerificationError, match="terminator"):
+            verify_function(f)
+
+    def test_terminator_in_middle(self):
+        f = Function("f")
+        b = f.new_block()
+        b.append(Instr("ret"))
+        b.append(Instr("ret"))
+        with pytest.raises(VerificationError, match="middle"):
+            verify_function(f)
+
+    def test_branch_to_unknown_block(self):
+        f = Function("f")
+        b = f.new_block()
+        b.append(Instr("jmp", targets=["nowhere"]))
+        with pytest.raises(VerificationError, match="unknown block"):
+            verify_function(f)
+
+
+class TestOperands:
+    def test_class_mismatch_after_mutation(self):
+        f = Function("f")
+        builder = IRBuilder(f)
+        builder.start_block()
+        a = builder.iconst(1)
+        b = builder.iconst(2)
+        add = builder.binary("iadd", a, b)
+        builder.ret()
+        # Simulate a buggy pass: swap a use for a float register.
+        bad = f.new_vreg(RClass.FLOAT)
+        f.entry.instrs[2].uses[0] = bad
+        with pytest.raises(VerificationError, match="class"):
+            verify_function(f)
+        assert add  # silence linters
+
+    def test_la_unknown_symbol(self):
+        f = Function("f")
+        builder = IRBuilder(f)
+        builder.start_block()
+        dst = builder.vreg(RClass.INT)
+        builder.emit(Instr("la", [dst], imm="ghost"))
+        builder.ret()
+        with pytest.raises(VerificationError, match="unknown frame array"):
+            verify_function(f)
+
+    def test_bad_spill_slot(self):
+        f = Function("f")
+        builder = IRBuilder(f)
+        builder.start_block()
+        dst = builder.vreg(RClass.INT)
+        builder.emit(Instr("reload", [dst], imm=3))
+        builder.ret()
+        with pytest.raises(VerificationError, match="spill slot"):
+            verify_function(f)
+
+    def test_good_spill_slot(self):
+        f = Function("f")
+        slot = f.new_spill_slot()
+        builder = IRBuilder(f)
+        builder.start_block()
+        dst = builder.vreg(RClass.INT)
+        builder.emit(Instr("reload", [dst], imm=slot))
+        builder.emit(Instr("spill", uses=[dst], imm=slot))
+        builder.ret()
+        verify_function(f)
+
+    def test_ret_value_in_subroutine(self):
+        f = Function("f")
+        builder = IRBuilder(f)
+        builder.start_block()
+        v = builder.iconst(1)
+        builder.emit(Instr("ret", uses=[v]))
+        with pytest.raises(VerificationError, match="subroutine"):
+            verify_function(f)
+
+    def test_ret_missing_value_in_function(self):
+        f = Function("f", result_class=RClass.INT)
+        builder = IRBuilder(f)
+        builder.start_block()
+        builder.ret()
+        with pytest.raises(VerificationError, match="without a value"):
+            verify_function(f)
+
+
+class TestDefiniteAssignment:
+    def test_use_before_def_straightline(self):
+        f = Function("f")
+        builder = IRBuilder(f)
+        builder.start_block()
+        ghost = f.new_vreg(RClass.INT)
+        dst = builder.vreg(RClass.INT)
+        builder.emit(Instr("iadd", [dst], [ghost, ghost]))
+        builder.ret()
+        with pytest.raises(VerificationError, match="before"):
+            verify_function(f)
+
+    def test_param_counts_as_defined(self):
+        f = Function("f")
+        p = f.add_param(RClass.INT, "n")
+        builder = IRBuilder(f)
+        builder.start_block()
+        dst = builder.vreg(RClass.INT)
+        builder.emit(Instr("iadd", [dst], [p, p]))
+        builder.ret()
+        verify_function(f)
+
+    def test_defined_on_only_one_path(self):
+        f = Function("f")
+        p = f.add_param(RClass.INT, "n")
+        builder = IRBuilder(f)
+        builder.start_block("entry")
+        then = builder.new_block("then")
+        join = builder.new_block("join")
+        builder.branch("lt", p, p, then, join)
+        builder.set_block(then)
+        v = builder.iconst(1, "v")
+        builder.jump(join)
+        builder.set_block(join)
+        dst = builder.vreg(RClass.INT)
+        builder.emit(Instr("iadd", [dst], [v, v]))  # v undefined via entry->join
+        builder.ret()
+        with pytest.raises(VerificationError, match="before"):
+            verify_function(f)
+
+    def test_defined_on_both_paths_ok(self):
+        f = Function("f")
+        p = f.add_param(RClass.INT, "n")
+        builder = IRBuilder(f)
+        builder.start_block("entry")
+        v = f.new_vreg(RClass.INT, "v")
+        then = builder.new_block("then")
+        other = builder.new_block("other")
+        join = builder.new_block("join")
+        builder.branch("lt", p, p, then, other)
+        builder.set_block(then)
+        builder.emit(Instr("li", [v], imm=1))
+        builder.jump(join)
+        builder.set_block(other)
+        builder.emit(Instr("li", [v], imm=2))
+        builder.jump(join)
+        builder.set_block(join)
+        dst = builder.vreg(RClass.INT)
+        builder.emit(Instr("iadd", [dst], [v, v]))
+        builder.ret()
+        verify_function(f)
+
+    def test_loop_carried_definition_ok(self):
+        f = Function("f")
+        p = f.add_param(RClass.INT, "n")
+        builder = IRBuilder(f)
+        builder.start_block("entry")
+        i = builder.iconst(0, "i")
+        loop = builder.new_block("loop")
+        done = builder.new_block("done")
+        builder.jump(loop)
+        builder.set_block(loop)
+        one = builder.iconst(1)
+        i2 = builder.vreg(RClass.INT)
+        builder.emit(Instr("iadd", [i2], [i, one]))
+        builder.emit(Instr("mov", [i], [i2]))
+        builder.branch("lt", i, p, loop, done)
+        builder.set_block(done)
+        builder.ret()
+        verify_function(f)
+
+
+class TestModuleVerification:
+    def build(self, arg_classes, pass_classes, result=None, want_result=False):
+        m = Module()
+        callee = Function("callee", result_class=result)
+        for index, cls in enumerate(arg_classes):
+            callee.add_param(cls, f"p{index}")
+        builder = IRBuilder(callee)
+        builder.start_block()
+        if result is not None:
+            builder.ret(builder.iconst(0) if result == RClass.INT else builder.fconst(0.0))
+        else:
+            builder.ret()
+        m.add_function(callee, FunctionSignature("callee", arg_classes, result))
+
+        caller = Function("caller")
+        builder = IRBuilder(caller)
+        builder.start_block()
+        args = [
+            builder.iconst(0) if cls == RClass.INT else builder.fconst(0.0)
+            for cls in pass_classes
+        ]
+        res = None
+        if want_result:
+            res = builder.vreg(RClass.INT)
+        builder.call("callee", args, res)
+        builder.ret()
+        m.add_function(caller, FunctionSignature("caller", [], None))
+        return m
+
+    def test_ok(self):
+        verify_module(self.build([RClass.INT], [RClass.INT]))
+
+    def test_arity_mismatch(self):
+        with pytest.raises(VerificationError, match="arguments"):
+            verify_module(self.build([RClass.INT], []))
+
+    def test_class_mismatch(self):
+        with pytest.raises(VerificationError, match="class"):
+            verify_module(self.build([RClass.INT], [RClass.FLOAT]))
+
+    def test_result_from_subroutine(self):
+        with pytest.raises(VerificationError, match="result"):
+            verify_module(self.build([], [], result=None, want_result=True))
+
+    def test_unknown_callee(self):
+        m = Module()
+        caller = Function("caller")
+        builder = IRBuilder(caller)
+        builder.start_block()
+        builder.call("ghost", [])
+        builder.ret()
+        m.add_function(caller, FunctionSignature("caller", [], None))
+        with pytest.raises(VerificationError, match="unknown function"):
+            verify_module(m)

@@ -1,0 +1,161 @@
+"""Unit tests for the mini-FORTRAN lexer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import TokenKind
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def values(source):
+    return [t.value for t in tokenize(source) if t.value is not None]
+
+
+class TestBasicTokens:
+    def test_identifier(self):
+        assert kinds("x") == [TokenKind.IDENT, TokenKind.NEWLINE, TokenKind.EOF]
+
+    def test_identifiers_fold_case(self):
+        assert values("Foo BAR baz") == ["foo", "bar", "baz"]
+
+    def test_integer_literal(self):
+        toks = tokenize("42")
+        assert toks[0].kind == TokenKind.INT
+        assert toks[0].value == 42
+
+    def test_real_literal(self):
+        toks = tokenize("3.25")
+        assert toks[0].kind == TokenKind.REAL
+        assert toks[0].value == 3.25
+
+    def test_real_with_exponent(self):
+        assert tokenize("1.5e3")[0].value == 1500.0
+        assert tokenize("2e-2")[0].value == 0.02
+        assert tokenize("1.0d0")[0].value == 1.0
+
+    def test_leading_dot_real(self):
+        toks = tokenize(".5")
+        assert toks[0].kind == TokenKind.REAL
+        assert toks[0].value == 0.5
+
+    def test_trailing_dot_real(self):
+        toks = tokenize("4.")
+        assert toks[0].kind == TokenKind.REAL
+        assert toks[0].value == 4.0
+
+    def test_keywords(self):
+        assert kinds("do")[0] == TokenKind.KW_DO
+        assert kinds("SUBROUTINE")[0] == TokenKind.KW_SUBROUTINE
+        assert kinds("While")[0] == TokenKind.KW_WHILE
+
+    def test_operators(self):
+        expected = [
+            TokenKind.PLUS,
+            TokenKind.MINUS,
+            TokenKind.STAR,
+            TokenKind.SLASH,
+            TokenKind.POWER,
+            TokenKind.ASSIGN,
+        ]
+        assert kinds("+ - * / ** =")[: len(expected)] == expected
+
+    def test_unknown_character_raises(self):
+        with pytest.raises(LexError):
+            tokenize("x @ y")
+
+
+class TestDottedOperators:
+    @pytest.mark.parametrize(
+        "text,kind",
+        [
+            (".lt.", TokenKind.OP_LT),
+            (".le.", TokenKind.OP_LE),
+            (".gt.", TokenKind.OP_GT),
+            (".ge.", TokenKind.OP_GE),
+            (".eq.", TokenKind.OP_EQ),
+            (".ne.", TokenKind.OP_NE),
+            (".and.", TokenKind.OP_AND),
+            (".or.", TokenKind.OP_OR),
+            (".not.", TokenKind.OP_NOT),
+        ],
+    )
+    def test_each_dotted_operator(self, text, kind):
+        assert kinds(f"a {text} b")[1] == kind
+
+    def test_dotted_operator_case_insensitive(self):
+        assert kinds("a .LT. b")[1] == TokenKind.OP_LT
+
+    def test_symbolic_relational_synonyms(self):
+        assert kinds("a < b")[1] == TokenKind.OP_LT
+        assert kinds("a <= b")[1] == TokenKind.OP_LE
+        assert kinds("a == b")[1] == TokenKind.OP_EQ
+
+    def test_int_adjacent_to_dotted_op(self):
+        # "1.lt.2" must lex as INT OP_LT INT, not as reals.
+        toks = tokenize("1.lt.2")
+        assert [t.kind for t in toks[:3]] == [
+            TokenKind.INT,
+            TokenKind.OP_LT,
+            TokenKind.INT,
+        ]
+
+
+class TestLayout:
+    def test_newlines_collapse(self):
+        toks = kinds("a\n\n\nb")
+        assert toks == [
+            TokenKind.IDENT,
+            TokenKind.NEWLINE,
+            TokenKind.IDENT,
+            TokenKind.NEWLINE,
+            TokenKind.EOF,
+        ]
+
+    def test_semicolon_acts_as_newline(self):
+        assert kinds("a; b")[1] == TokenKind.NEWLINE
+
+    def test_comment_ignored(self):
+        assert values("x ! this is a comment\ny") == ["x", "y"]
+
+    def test_continuation(self):
+        toks = kinds("a + &\n  b")
+        assert TokenKind.NEWLINE not in toks[:3]
+
+    def test_final_newline_synthesised(self):
+        assert kinds("a")[-2] == TokenKind.NEWLINE
+
+
+class TestCompoundKeywords:
+    def test_end_if_fuses(self):
+        assert kinds("end if")[0] == TokenKind.KW_ENDIF
+
+    def test_end_do_fuses(self):
+        assert kinds("end do")[0] == TokenKind.KW_ENDDO
+
+    def test_else_if_fuses(self):
+        assert kinds("else if")[0] == TokenKind.KW_ELSEIF
+
+    def test_endif_single_word(self):
+        assert kinds("endif")[0] == TokenKind.KW_ENDIF
+
+    def test_plain_end_survives(self):
+        assert kinds("end")[0] == TokenKind.KW_END
+
+    def test_end_then_newline_then_if(self):
+        # "end" and "if" on different lines must NOT fuse.
+        toks = kinds("end\nif")
+        assert toks[0] == TokenKind.KW_END
+        assert TokenKind.KW_IF in toks
+
+
+class TestLocations:
+    def test_line_and_column_tracking(self):
+        toks = tokenize("a\n  b")
+        assert toks[0].location.line == 1
+        b = [t for t in toks if t.value == "b"][0]
+        assert b.location.line == 2
+        assert b.location.column == 3

@@ -1,0 +1,247 @@
+"""Unit tests for the mini-FORTRAN parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import ast
+from repro.lang.parser import parse_program
+from repro.lang.types import ScalarType
+
+
+def parse_unit(body, header="subroutine s()", decls=""):
+    source = f"{header}\n{decls}\n{body}\nend\n"
+    program = parse_program(source)
+    assert len(program.units) == 1
+    return program.units[0]
+
+
+def first_stmt(body, **kw):
+    return parse_unit(body, **kw).body[0]
+
+
+class TestUnits:
+    def test_empty_subroutine(self):
+        unit = parse_unit("")
+        assert isinstance(unit, ast.Subroutine)
+        assert unit.name == "s"
+        assert unit.params == []
+
+    def test_subroutine_with_params(self):
+        unit = parse_unit("", header="subroutine f(a, b, c)")
+        assert unit.params == ["a", "b", "c"]
+
+    def test_function_with_result_type(self):
+        unit = parse_unit("", header="integer function idamax(n, dx)")
+        assert isinstance(unit, ast.Function)
+        assert unit.result_type == ScalarType.INTEGER
+
+    def test_function_implicit_result_type(self):
+        unit = parse_unit("", header="function ddot(n)")
+        assert isinstance(unit, ast.Function)
+        assert unit.result_type is None
+
+    def test_main_program(self):
+        unit = parse_unit("", header="program main")
+        assert isinstance(unit, ast.MainProgram)
+
+    def test_multiple_units(self):
+        program = parse_program(
+            "subroutine a()\nend\n\nsubroutine b()\nend\n"
+        )
+        assert [u.name for u in program.units] == ["a", "b"]
+
+    def test_unit_lookup(self):
+        program = parse_program("subroutine a()\nend\n")
+        assert program.unit("A").name == "a"
+        with pytest.raises(KeyError):
+            program.unit("zz")
+
+    def test_missing_end_raises(self):
+        with pytest.raises(ParseError):
+            parse_program("subroutine s()\nx = 1\n")
+
+
+class TestDeclarations:
+    def test_scalar_declaration(self):
+        unit = parse_unit("", decls="integer i, j\nreal x")
+        assert len(unit.decls) == 2
+        assert unit.decls[0].scalar == ScalarType.INTEGER
+        assert [i.name for i in unit.decls[0].items] == ["i", "j"]
+
+    def test_array_declaration(self):
+        unit = parse_unit("", decls="real a(10), b(5, 8)")
+        items = unit.decls[0].items
+        assert items[0].dims == (10,)
+        assert items[1].dims == (5, 8)
+
+    def test_assumed_size_declaration(self):
+        unit = parse_unit("", header="subroutine s(dx)", decls="real dx(*)")
+        assert unit.decls[0].items[0].dims == (None,)
+
+    def test_leading_dim_with_assumed_size(self):
+        unit = parse_unit("", header="subroutine s(a)", decls="real a(10, *)")
+        assert unit.decls[0].items[0].dims == (10, None)
+
+    def test_zero_extent_rejected(self):
+        with pytest.raises(ParseError):
+            parse_unit("", decls="real a(0)")
+
+
+class TestStatements:
+    def test_assignment(self):
+        stmt = first_stmt("x = 1")
+        assert isinstance(stmt, ast.Assign)
+        assert isinstance(stmt.target, ast.VarRef)
+        assert isinstance(stmt.value, ast.IntLit)
+
+    def test_array_assignment(self):
+        stmt = first_stmt("a(i, j) = 0.0")
+        assert isinstance(stmt.target, ast.ArrayRef)
+        assert len(stmt.target.indices) == 2
+
+    def test_call_statement(self):
+        stmt = first_stmt("call daxpy(n, da, dx, dy)")
+        assert isinstance(stmt, ast.CallStmt)
+        assert stmt.name == "daxpy"
+        assert len(stmt.args) == 4
+
+    def test_call_without_arguments(self):
+        stmt = first_stmt("call init()")
+        assert stmt.args == []
+
+    def test_return_continue_stop(self):
+        unit = parse_unit("return\ncontinue\nstop")
+        assert isinstance(unit.body[0], ast.Return)
+        assert isinstance(unit.body[1], ast.Continue)
+        assert isinstance(unit.body[2], ast.Stop)
+
+    def test_print(self):
+        stmt = first_stmt("print x, y + 1")
+        assert isinstance(stmt, ast.Print)
+        assert len(stmt.args) == 2
+
+    def test_goto_rejected_with_message(self):
+        with pytest.raises(ParseError, match="goto"):
+            parse_unit("goto 10")
+
+
+class TestIf:
+    def test_block_if(self):
+        stmt = first_stmt("if (x .lt. 1) then\ny = 2\nend if")
+        assert isinstance(stmt, ast.If)
+        assert len(stmt.arms) == 1
+        assert stmt.else_body == []
+
+    def test_if_else(self):
+        stmt = first_stmt("if (x .lt. 1) then\ny = 2\nelse\ny = 3\nend if")
+        assert len(stmt.else_body) == 1
+
+    def test_elseif_chain(self):
+        stmt = first_stmt(
+            "if (x .lt. 1) then\n"
+            "y = 1\n"
+            "else if (x .lt. 2) then\n"
+            "y = 2\n"
+            "else\n"
+            "y = 3\n"
+            "end if"
+        )
+        assert len(stmt.arms) == 2
+        assert len(stmt.else_body) == 1
+
+    def test_logical_if_one_liner(self):
+        stmt = first_stmt("if (n .le. 0) return")
+        assert isinstance(stmt, ast.If)
+        assert isinstance(stmt.arms[0][1][0], ast.Return)
+
+    def test_nested_if(self):
+        stmt = first_stmt(
+            "if (a .lt. b) then\n"
+            "if (c .lt. d) then\n"
+            "x = 1\n"
+            "end if\n"
+            "end if"
+        )
+        inner = stmt.arms[0][1][0]
+        assert isinstance(inner, ast.If)
+
+
+class TestLoops:
+    def test_do_loop(self):
+        stmt = first_stmt("do i = 1, n\nx = x + 1\nend do")
+        assert isinstance(stmt, ast.DoLoop)
+        assert stmt.var == "i"
+        assert stmt.step is None
+
+    def test_do_loop_with_step(self):
+        stmt = first_stmt("do i = n, 1, -1\nx = x + 1\nend do")
+        assert isinstance(stmt.step, ast.UnOp)
+
+    def test_do_while(self):
+        stmt = first_stmt("do while (x .lt. 10)\nx = x + 1\nend do")
+        assert isinstance(stmt, ast.DoWhile)
+
+    def test_nested_loops(self):
+        stmt = first_stmt(
+            "do j = 1, n\ndo i = 1, m\na(i, j) = 0\nend do\nend do"
+        )
+        assert isinstance(stmt.body[0], ast.DoLoop)
+
+
+class TestExpressions:
+    def expr(self, text):
+        return first_stmt(f"x = {text}").value
+
+    def test_precedence_mul_over_add(self):
+        e = self.expr("a + b * c")
+        assert e.op == "+"
+        assert e.rhs.op == "*"
+
+    def test_precedence_paren_override(self):
+        e = self.expr("(a + b) * c")
+        assert e.op == "*"
+        assert e.lhs.op == "+"
+
+    def test_left_associativity(self):
+        e = self.expr("a - b - c")
+        assert e.op == "-"
+        assert e.lhs.op == "-"
+
+    def test_power_right_associative(self):
+        e = self.expr("a ** b ** c")
+        assert e.op == "**"
+        assert e.rhs.op == "**"
+
+    def test_unary_minus(self):
+        e = self.expr("-a + b")
+        assert e.op == "+"
+        assert isinstance(e.lhs, ast.UnOp)
+
+    def test_relational_in_logical(self):
+        e = self.expr("a .lt. b .and. c .ge. d")
+        assert e.op == "and"
+        assert e.lhs.op == "<"
+        assert e.rhs.op == ">="
+
+    def test_not_binds_tighter_than_and(self):
+        e = self.expr(".not. p .and. q")
+        assert e.op == "and"
+        assert isinstance(e.lhs, ast.UnOp)
+
+    def test_or_binds_loosest(self):
+        e = self.expr("a .lt. b .and. c .lt. d .or. e .lt. f")
+        assert e.op == "or"
+
+    def test_call_like_parse(self):
+        e = self.expr("foo(1, 2)")
+        assert isinstance(e, ast.FuncCall)
+        assert len(e.args) == 2
+
+    def test_walk_expr_counts_nodes(self):
+        e = self.expr("a + b * c")
+        assert len(list(ast.walk_expr(e))) == 5
+
+    def test_walk_stmts_recurses(self):
+        unit = parse_unit("do i = 1, 3\nif (x .lt. 1) then\ny = 1\nend if\nend do")
+        stmts = list(ast.walk_stmts(unit.body))
+        assert len(stmts) == 3  # do, if, assign

@@ -1,0 +1,76 @@
+"""Round-trip tests for the mini-FORTRAN pretty-printer."""
+
+from repro.lang.parser import parse_program
+from repro.lang.pretty import format_expr, format_program
+
+DAXPY = """
+subroutine daxpy(n, da, dx, dy)
+  integer n, i
+  real da, dx(*), dy(*)
+  if (n .le. 0) return
+  do i = 1, n
+    dy(i) = dy(i) + da * dx(i)
+  end do
+end
+"""
+
+COMPLEX = """
+program main
+  integer i, n
+  real a(8, 8), s
+  n = 8
+  s = 0.0
+  do i = 1, n
+    if (i .gt. 1 .and. i .lt. n) then
+      a(i, i) = 2.0
+    else if (i .eq. 1) then
+      a(i, i) = 1.0
+    else
+      a(i, i) = -1.0
+    end if
+  end do
+  do while (s .lt. 10.0)
+    s = s + a(1, 1) ** 2
+  end do
+  print s
+  stop
+end
+"""
+
+
+def normalize(program):
+    return format_program(program)
+
+
+def test_daxpy_round_trips():
+    once = normalize(parse_program(DAXPY))
+    twice = normalize(parse_program(once))
+    assert once == twice
+
+
+def test_complex_round_trips():
+    once = normalize(parse_program(COMPLEX))
+    twice = normalize(parse_program(once))
+    assert once == twice
+
+
+def test_precedence_preserved():
+    source = "subroutine s()\nx = (a + b) * c - d / (e - f)\nend\n"
+    once = normalize(parse_program(source))
+    assert "(a + b) * c" in once
+    twice = normalize(parse_program(once))
+    assert once == twice
+
+
+def test_right_assoc_subtraction_parenthesised():
+    source = "subroutine s()\nx = a - (b - c)\nend\n"
+    once = normalize(parse_program(source))
+    assert "a - (b - c)" in once
+
+
+def test_format_expr_simple():
+    program = parse_program("subroutine s()\nx = a .lt. b .and. c .ge. d\nend\n")
+    # Grab the condition-shaped expression from the assignment before sema
+    # would reject it; format_expr is a pure syntax renderer.
+    expr = program.units[0].body[0].value
+    assert format_expr(expr) == "a .lt. b .and. c .ge. d"

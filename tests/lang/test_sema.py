@@ -1,0 +1,261 @@
+"""Unit tests for mini-FORTRAN semantic analysis."""
+
+import pytest
+
+from repro.errors import SemanticError
+from repro.lang import ast
+from repro.lang.parser import parse_program
+from repro.lang.sema import LOGICAL, analyze
+from repro.lang.types import ArrayType, ScalarType
+
+
+def analyzed(source):
+    return analyze(parse_program(source))
+
+
+def analyzed_unit(body, header="subroutine s()", decls=""):
+    program = analyzed(f"{header}\n{decls}\n{body}\nend\n")
+    return program.units[0]
+
+
+class TestImplicitTyping:
+    def test_i_through_n_integer(self):
+        unit = analyzed_unit("i = 1\nn = 2\nm = 3")
+        for name in ("i", "n", "m"):
+            assert unit.symtab.lookup(name).type == ScalarType.INTEGER
+
+    def test_other_names_real(self):
+        unit = analyzed_unit("x = 1.0\nalpha = 2.0\nzz = 0.0")
+        for name in ("x", "alpha", "zz"):
+            assert unit.symtab.lookup(name).type == ScalarType.REAL
+
+    def test_explicit_overrides_implicit(self):
+        unit = analyzed_unit("i = 1.0", decls="real i")
+        assert unit.symtab.lookup("i").type == ScalarType.REAL
+
+
+class TestDeclarations:
+    def test_array_symbol(self):
+        unit = analyzed_unit("a(1) = 0.0", decls="real a(10)")
+        symbol = unit.symtab.lookup("a")
+        assert symbol.is_array
+        assert symbol.type == ArrayType(ScalarType.REAL, (10,))
+
+    def test_duplicate_declaration_rejected(self):
+        with pytest.raises(SemanticError, match="twice"):
+            analyzed_unit("", decls="integer i\nreal i")
+
+    def test_assumed_size_local_rejected(self):
+        with pytest.raises(SemanticError, match="dummy"):
+            analyzed_unit("", decls="real a(*)")
+
+    def test_assumed_size_param_ok(self):
+        unit = analyzed_unit(
+            "dx(1) = 0.0", header="subroutine s(dx)", decls="real dx(*)"
+        )
+        assert unit.symtab.lookup("dx").type.is_assumed_size
+
+    def test_param_types_in_signature(self):
+        program = analyzed(
+            "subroutine s(n, x, a)\nreal a(*)\nend\n"
+        )
+        sig = program.signatures["s"]
+        assert sig.param_types[0] == ScalarType.INTEGER
+        assert sig.param_types[1] == ScalarType.REAL
+        assert isinstance(sig.param_types[2], ArrayType)
+
+
+class TestExpressionTypes:
+    def value_type(self, body, decls=""):
+        unit = analyzed_unit(body, decls=decls)
+        return unit.body[-1].value.ty
+
+    def test_integer_arithmetic(self):
+        assert self.value_type("k = i + j * 2") == ScalarType.INTEGER
+
+    def test_mixed_mode_promotes(self):
+        assert self.value_type("x = i + 1.0") == ScalarType.REAL
+
+    def test_relational_is_logical(self):
+        unit = analyzed_unit("if (x .lt. y) then\nz = 1.0\nend if")
+        cond = unit.body[0].arms[0][0]
+        assert cond.ty == LOGICAL
+
+    def test_array_element_type(self):
+        assert (
+            self.value_type("x = a(3)", decls="real a(10)") == ScalarType.REAL
+        )
+
+    def test_cannot_assign_logical(self):
+        with pytest.raises(SemanticError, match="logical"):
+            analyzed_unit("x = a .lt. b")
+
+    def test_arith_on_logical_rejected(self):
+        with pytest.raises(SemanticError):
+            analyzed_unit("if ((a .lt. b) + 1 .gt. 0) then\nend if")
+
+    def test_condition_must_be_logical(self):
+        with pytest.raises(SemanticError, match="logical"):
+            analyzed_unit("if (x + 1) then\nend if")
+
+    def test_and_needs_logical_operands(self):
+        with pytest.raises(SemanticError):
+            analyzed_unit("if (x .and. y) then\nend if")
+
+
+class TestArrayResolution:
+    def test_call_syntax_resolves_to_array(self):
+        unit = analyzed_unit("x = a(i)", decls="real a(10)")
+        assert isinstance(unit.body[0].value, ast.ArrayRef)
+
+    def test_rank_mismatch(self):
+        with pytest.raises(SemanticError, match="rank"):
+            analyzed_unit("x = a(1, 2)", decls="real a(10)")
+
+    def test_non_integer_subscript(self):
+        with pytest.raises(SemanticError, match="subscript"):
+            analyzed_unit("x = a(1.5)", decls="real a(10)")
+
+    def test_whole_array_in_expression_rejected(self):
+        with pytest.raises(SemanticError, match="without indices"):
+            analyzed_unit("x = a + 1.0", decls="real a(10)")
+
+    def test_assign_whole_array_rejected(self):
+        with pytest.raises(SemanticError, match="whole array"):
+            analyzed_unit("a = 1.0", decls="real a(10)")
+
+
+class TestIntrinsics:
+    def test_abs_preserves_type(self):
+        unit = analyzed_unit("i = abs(j)\nx = abs(y)")
+        assert unit.body[0].value.ty == ScalarType.INTEGER
+        assert unit.body[1].value.ty == ScalarType.REAL
+
+    def test_sqrt_returns_real(self):
+        unit = analyzed_unit("x = sqrt(2.0)")
+        assert unit.body[0].value.ty == ScalarType.REAL
+
+    def test_max_unifies(self):
+        unit = analyzed_unit("x = max(i, y)")
+        assert unit.body[0].value.ty == ScalarType.REAL
+
+    def test_max_many_args(self):
+        unit = analyzed_unit("i = max(1, 2, 3, 4)")
+        assert unit.body[0].value.ty == ScalarType.INTEGER
+
+    def test_int_conversion(self):
+        unit = analyzed_unit("i = int(x)")
+        assert unit.body[0].value.ty == ScalarType.INTEGER
+
+    def test_wrong_arity(self):
+        with pytest.raises(SemanticError, match="between"):
+            analyzed_unit("x = sqrt(1.0, 2.0)")
+
+    def test_intrinsic_marked(self):
+        unit = analyzed_unit("x = sqrt(2.0)")
+        assert unit.body[0].value.intrinsic.name == "sqrt"
+
+
+class TestCallsAndFunctions:
+    TWO_UNITS = (
+        "subroutine caller(n)\n"
+        "real x\n"
+        "x = f(n) + 1.0\n"
+        "end\n"
+        "real function f(n)\n"
+        "f = n * 2.0\n"
+        "end\n"
+    )
+
+    def test_function_call_type(self):
+        program = analyzed(self.TWO_UNITS)
+        caller = program.unit("caller")
+        call = caller.body[0].value.lhs
+        assert isinstance(call, ast.FuncCall)
+        assert call.ty == ScalarType.REAL
+
+    def test_function_result_variable(self):
+        program = analyzed(self.TWO_UNITS)
+        f = program.unit("f")
+        target = f.body[0].target
+        assert target.symbol.is_result
+
+    def test_unknown_function(self):
+        with pytest.raises(SemanticError, match="unknown"):
+            analyzed_unit("x = nosuch(1)")
+
+    def test_call_arity_checked(self):
+        with pytest.raises(SemanticError, match="expects"):
+            analyzed(
+                "subroutine a()\ncall b(1)\nend\nsubroutine b(x, y)\nend\n"
+            )
+
+    def test_calling_subroutine_as_function(self):
+        with pytest.raises(SemanticError, match="subroutine"):
+            analyzed(
+                "subroutine a()\nx = b(1.0)\nend\nsubroutine b(x)\nend\n"
+            )
+
+    def test_calling_function_as_subroutine(self):
+        with pytest.raises(SemanticError, match="function"):
+            analyzed(
+                "subroutine a()\ncall f(1.0)\nend\nreal function f(x)\nf = x\nend\n"
+            )
+
+    def test_array_argument_whole(self):
+        program = analyzed(
+            "subroutine a()\nreal v(10)\ncall b(v)\nend\n"
+            "subroutine b(w)\nreal w(*)\nend\n"
+        )
+        arg = program.unit("a").body[0].args[0]
+        assert isinstance(arg, ast.VarRef)
+        assert arg.symbol.is_array
+
+    def test_array_argument_element_offset(self):
+        # LINPACK-style sequence association: pass a(k, j) where an array
+        # is expected.
+        program = analyzed(
+            "subroutine a(k, j)\nreal v(10, 10)\ncall b(v(k, j))\nend\n"
+            "subroutine b(w)\nreal w(*)\nend\n"
+        )
+        arg = program.unit("a").body[0].args[0]
+        assert isinstance(arg, ast.ArrayRef)
+        assert isinstance(arg.ty, ArrayType)
+
+    def test_scalar_where_array_expected(self):
+        with pytest.raises(SemanticError, match="array argument"):
+            analyzed(
+                "subroutine a(x)\ncall b(x)\nend\n"
+                "subroutine b(w)\nreal w(*)\nend\n"
+            )
+
+    def test_element_type_mismatch_in_array_arg(self):
+        with pytest.raises(SemanticError, match="element type"):
+            analyzed(
+                "subroutine a()\ninteger v(4)\ncall b(v)\nend\n"
+                "subroutine b(w)\nreal w(*)\nend\n"
+            )
+
+    def test_duplicate_unit_names(self):
+        with pytest.raises(SemanticError, match="duplicate"):
+            analyzed("subroutine a()\nend\nsubroutine a()\nend\n")
+
+
+class TestLoops:
+    def test_do_var_must_be_integer(self):
+        with pytest.raises(SemanticError, match="integer"):
+            analyzed_unit("do x = 1, 10\nend do")
+
+    def test_do_bounds_must_be_integer(self):
+        with pytest.raises(SemanticError, match="integer"):
+            analyzed_unit("do i = 1.5, 10\nend do")
+
+    def test_do_loop_ok(self):
+        unit = analyzed_unit("do i = 1, 10, 2\nk = k + i\nend do")
+        assert isinstance(unit.body[0], ast.DoLoop)
+
+    def test_variable_cannot_shadow_routine(self):
+        with pytest.raises(SemanticError, match="routine"):
+            analyzed(
+                "subroutine a()\nb = 1.0\nend\nsubroutine b()\nend\n"
+            )

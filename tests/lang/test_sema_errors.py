@@ -1,0 +1,87 @@
+"""Negative tests: semantic-analysis diagnostics not covered elsewhere."""
+
+import pytest
+
+from repro.errors import SemanticError
+from repro.lang.parser import parse_program
+from repro.lang.sema import analyze
+
+
+def expect_error(source, pattern):
+    with pytest.raises(SemanticError, match=pattern):
+        analyze(parse_program(source))
+
+
+class TestFunctionErrors:
+    def test_function_cannot_return_array(self):
+        expect_error(
+            "function f(n)\nreal f(10)\nf(1) = 0.0\nend\n",
+            "cannot return an array",
+        )
+
+    def test_print_logical_rejected(self):
+        expect_error(
+            "subroutine s(n)\nprint n .lt. 1\nend\n", "logical"
+        )
+
+    def test_intrinsic_logical_argument(self):
+        expect_error(
+            "subroutine s(n)\nx = abs(n .lt. 1)\nend\n", "numeric"
+        )
+
+    def test_not_on_numeric(self):
+        expect_error(
+            "subroutine s(n)\nif (.not. n) then\nend if\nend\n", "logical"
+        )
+
+    def test_negate_logical(self):
+        expect_error(
+            "subroutine s(n)\nif (-(n .lt. 1) .gt. 0) then\nend if\nend\n",
+            "negate",
+        )
+
+
+class TestAdjustableArrayErrors:
+    def test_adjustable_local_rejected(self):
+        expect_error(
+            "subroutine s(lda)\nreal a(lda, 4)\na(1, 1) = 0.0\nend\n",
+            "dummy argument",
+        )
+
+    def test_extent_must_be_dummy(self):
+        expect_error(
+            "subroutine s(a)\ninteger lda\nreal a(lda, *)\nlda = 4\nend\n",
+            "dummy argument",
+        )
+
+    def test_extent_must_be_integer(self):
+        expect_error(
+            "subroutine s(scale, a)\nreal a(scale, *)\nend\n",
+            "INTEGER",
+        )
+
+    def test_valid_adjustable_accepted(self):
+        program = analyze(
+            parse_program(
+                "subroutine s(lda, a)\nreal a(lda, *)\na(1, 1) = 0.0\nend\n"
+            )
+        )
+        symbol = program.unit("s").symtab.lookup("a")
+        assert symbol.type.is_adjustable
+
+
+class TestShadowingAndScope:
+    def test_do_variable_shadowing_function_name(self):
+        expect_error(
+            "subroutine s(n)\ndo f = 1, n\nend do\nend\n"
+            "integer function f(k)\nf = k\nend\n",
+            "routine",
+        )
+
+    def test_assigning_to_other_function_result(self):
+        # Only the function's own name is its result variable.
+        expect_error(
+            "integer function f(n)\nf = n\ng = 2\nend\n"
+            "integer function g(n)\ng = n\nend\n",
+            "routine",
+        )

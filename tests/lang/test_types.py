@@ -1,0 +1,77 @@
+"""Unit tests for the type-system module."""
+
+import pytest
+
+from repro.lang.types import (
+    ArrayType,
+    ScalarType,
+    implicit_type,
+    unify_arithmetic,
+)
+
+
+class TestScalars:
+    def test_str(self):
+        assert str(ScalarType.INTEGER) == "integer"
+        assert str(ScalarType.REAL) == "real"
+
+    @pytest.mark.parametrize("name", ["i", "j", "k", "l", "m", "n", "idx", "norm2"])
+    def test_implicit_integer(self, name):
+        assert implicit_type(name) == ScalarType.INTEGER
+
+    @pytest.mark.parametrize("name", ["a", "h", "o", "x", "z", "alpha", "Q"])
+    def test_implicit_real(self, name):
+        assert implicit_type(name) == ScalarType.REAL
+
+    def test_unify(self):
+        I, R = ScalarType.INTEGER, ScalarType.REAL
+        assert unify_arithmetic(I, I) == I
+        assert unify_arithmetic(I, R) == R
+        assert unify_arithmetic(R, I) == R
+        assert unify_arithmetic(R, R) == R
+
+
+class TestArrays:
+    def test_basic(self):
+        t = ArrayType(ScalarType.REAL, (10,))
+        assert t.rank == 1
+        assert not t.is_assumed_size
+        assert not t.is_adjustable
+        assert t.element_count() == 10
+
+    def test_multidim_count(self):
+        t = ArrayType(ScalarType.INTEGER, (3, 4, 5))
+        assert t.rank == 3
+        assert t.element_count() == 60
+
+    def test_assumed_size(self):
+        t = ArrayType(ScalarType.REAL, (10, None))
+        assert t.is_assumed_size
+        with pytest.raises(ValueError):
+            t.element_count()
+
+    def test_adjustable(self):
+        t = ArrayType(ScalarType.REAL, ("lda", None))
+        assert t.is_adjustable
+        with pytest.raises(ValueError):
+            t.element_count()
+
+    def test_assumed_size_only_last(self):
+        with pytest.raises(ValueError, match="last"):
+            ArrayType(ScalarType.REAL, (None, 5))
+
+    def test_empty_dims_rejected(self):
+        with pytest.raises(ValueError):
+            ArrayType(ScalarType.REAL, ())
+
+    def test_equality_and_hash(self):
+        a = ArrayType(ScalarType.REAL, (10,))
+        b = ArrayType(ScalarType.REAL, (10,))
+        c = ArrayType(ScalarType.INTEGER, (10,))
+        assert a == b
+        assert a != c
+        assert hash(a) == hash(b)
+
+    def test_str(self):
+        assert str(ArrayType(ScalarType.REAL, (10, None))) == "real(10,*)"
+        assert "lda" in str(ArrayType(ScalarType.REAL, ("lda", None)))

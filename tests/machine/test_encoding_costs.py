@@ -1,0 +1,76 @@
+"""Unit tests for cycle costs and object-size encoding."""
+
+from repro.frontend import compile_source
+from repro.ir import OPCODES
+from repro.machine import DEFAULT_CYCLES, cycles_for, instruction_size, rt_pc
+from repro.machine.encoding import (
+    PROLOGUE_BASE_BYTES,
+    WORD,
+    code_bytes,
+    object_size,
+    used_callee_saved,
+)
+from repro.ir.values import RClass
+from repro.regalloc import allocate_function
+
+
+class TestCycleTable:
+    def test_every_opcode_has_a_cost(self):
+        for op in OPCODES:
+            assert cycles_for(op) >= 1, op
+
+    def test_fp_long_ops_dominate(self):
+        assert DEFAULT_CYCLES["fsqrt"] > DEFAULT_CYCLES["fmul"] > DEFAULT_CYCLES["fadd"]
+        assert DEFAULT_CYCLES["fdiv"] > DEFAULT_CYCLES["fmul"]
+
+    def test_memory_slower_than_alu(self):
+        assert DEFAULT_CYCLES["load"] > DEFAULT_CYCLES["iadd"]
+        assert DEFAULT_CYCLES["spill"] == DEFAULT_CYCLES["store"]
+
+
+class TestSizes:
+    def test_default_word(self):
+        assert instruction_size("iadd") == WORD
+        assert instruction_size("mov") == WORD
+
+    def test_pseudo_expansions_bigger(self):
+        assert instruction_size("imax") > WORD
+        assert instruction_size("isign") > WORD
+        assert instruction_size("la") > WORD
+
+    def test_code_bytes_counts_all_blocks(self):
+        module = compile_source(
+            "subroutine s(n)\nif (n .gt. 0) then\nm = n\nend if\nend\n"
+        )
+        f = module.function("s")
+        assert code_bytes(f) == sum(
+            instruction_size(i.op) for _b, _x, i in f.instructions()
+        )
+
+    def test_object_size_includes_prologue(self):
+        module = compile_source("subroutine s(n)\nend\n")
+        f = module.function("s")
+        assert object_size(f, rt_pc()) == code_bytes(f) + PROLOGUE_BASE_BYTES
+
+
+class TestCalleeSavedAccounting:
+    def test_callee_saved_usage_detected(self):
+        source = (
+            "subroutine s(n)\n"
+            "m = n * 2\n"
+            "call leaf(n)\n"
+            "k = m + 1\n"
+            "call leaf(k)\n"
+            "end\n"
+            "subroutine leaf(n)\nend\n"
+        )
+        module = compile_source(source)
+        f = module.function("s")
+        target = rt_pc()
+        result = allocate_function(f, target, "briggs", validate=True)
+        used = used_callee_saved(f, target, result.assignment)
+        # m lives across a call: it must sit in a callee-saved register.
+        assert used[RClass.INT]
+        with_saves = object_size(f, target, result.assignment)
+        without = object_size(f, target)
+        assert with_saves > without

@@ -1,0 +1,216 @@
+"""Every opcode in the instruction set executes correctly in the simulator.
+
+One hand-built function per class of operations, with exact expected
+values — this pins the semantics of each handler and proves no opcode is
+missing from the dispatch loop.
+"""
+
+import math
+
+import pytest
+
+from repro.ir import Function, IRBuilder, Instr, Module, OPCODES, RClass
+from repro.ir.module import FunctionSignature
+from repro.machine import run_module
+
+
+def fresh_module():
+    module = Module("ops")
+    function = Function("main")
+    module.add_function(function, FunctionSignature("main", [], None))
+    module.entry = "main"
+    builder = IRBuilder(function)
+    builder.start_block("entry")
+    return module, function, builder
+
+
+def run_and_outputs(module):
+    return run_module(module).outputs
+
+
+class TestIntegerOps:
+    CASES = [
+        ("iadd", 7, 3, 10),
+        ("isub", 7, 3, 4),
+        ("imul", 7, 3, 21),
+        ("idiv", 7, 3, 2),
+        ("imod", 7, 3, 1),
+        ("imin", 7, 3, 3),
+        ("imax", 7, 3, 7),
+        ("isign", 7, -3, -7),
+        ("ipow", 7, 3, 343),
+    ]
+
+    @pytest.mark.parametrize("op,a,b,expected", CASES)
+    def test_binary(self, op, a, b, expected):
+        module, _f, b_ = fresh_module()
+        lhs = b_.iconst(a)
+        rhs = b_.iconst(b)
+        result = b_.binary(op, lhs, rhs)
+        b_.emit(Instr("print", uses=[result]))
+        b_.ret()
+        assert run_and_outputs(module) == [expected]
+
+    @pytest.mark.parametrize(
+        "op,a,expected", [("ineg", 5, -5), ("iabs", -5, 5)]
+    )
+    def test_unary(self, op, a, expected):
+        module, _f, b_ = fresh_module()
+        value = b_.iconst(a)
+        result = b_.unary(op, value)
+        b_.emit(Instr("print", uses=[result]))
+        b_.ret()
+        assert run_and_outputs(module) == [expected]
+
+
+class TestFloatOps:
+    CASES = [
+        ("fadd", 2.5, 1.5, 4.0),
+        ("fsub", 2.5, 1.5, 1.0),
+        ("fmul", 2.5, 1.5, 3.75),
+        ("fdiv", 3.0, 1.5, 2.0),
+        ("fmin", 2.5, 1.5, 1.5),
+        ("fmax", 2.5, 1.5, 2.5),
+        ("fsign", 2.5, -1.0, -2.5),
+        ("fmod", 5.5, 2.0, 1.5),
+        ("fpow", 2.0, 3.0, 8.0),
+    ]
+
+    @pytest.mark.parametrize("op,a,b,expected", CASES)
+    def test_binary(self, op, a, b, expected):
+        module, _f, b_ = fresh_module()
+        lhs = b_.fconst(a)
+        rhs = b_.fconst(b)
+        result = b_.binary(op, lhs, rhs)
+        b_.emit(Instr("fprint", uses=[result]))
+        b_.ret()
+        assert run_and_outputs(module) == [expected]
+
+    UNARY = [
+        ("fneg", 2.5, -2.5),
+        ("fabs", -2.5, 2.5),
+        ("fsqrt", 9.0, 3.0),
+        ("fexp", 0.0, 1.0),
+        ("flog", 1.0, 0.0),
+        ("fsin", 0.0, 0.0),
+        ("fcos", 0.0, 1.0),
+    ]
+
+    @pytest.mark.parametrize("op,a,expected", UNARY)
+    def test_unary(self, op, a, expected):
+        module, _f, b_ = fresh_module()
+        value = b_.fconst(a)
+        result = b_.unary(op, value)
+        b_.emit(Instr("fprint", uses=[result]))
+        b_.ret()
+        out = run_and_outputs(module)
+        assert math.isclose(out[0], expected, abs_tol=1e-12)
+
+
+class TestDataMovement:
+    def test_moves_and_conversions(self):
+        module, _f, b_ = fresh_module()
+        i = b_.iconst(3)
+        i2 = b_.copy_to_new(i)
+        f = b_.i2f(i2)
+        f2 = b_.copy_to_new(f)
+        back = b_.f2i(b_.binary("fmul", f2, b_.fconst(2.5)))
+        b_.emit(Instr("print", uses=[back]))
+        b_.ret()
+        assert run_and_outputs(module) == [7]  # trunc(7.5)
+
+    def test_memory_and_la(self):
+        module, function, b_ = fresh_module()
+        function.add_frame_array("buf", 4)
+        addr = b_.frame_address("buf")
+        one = b_.iconst(1)
+        addr2 = b_.binary("iadd", addr, one)
+        b_.store(b_.fconst(6.5), addr2)
+        value = b_.load(addr2, RClass.FLOAT)
+        b_.emit(Instr("fprint", uses=[value]))
+        b_.ret()
+        assert run_and_outputs(module) == [6.5]
+
+    def test_spill_reload_ops(self):
+        module, function, b_ = fresh_module()
+        islot = function.new_spill_slot()
+        fslot = function.new_spill_slot()
+        iv = b_.iconst(42)
+        fv = b_.fconst(2.25)
+        b_.emit(Instr("spill", uses=[iv], imm=islot))
+        b_.emit(Instr("fspill", uses=[fv], imm=fslot))
+        ir = function.new_vreg(RClass.INT)
+        fr = function.new_vreg(RClass.FLOAT)
+        b_.emit(Instr("reload", [ir], imm=islot))
+        b_.emit(Instr("freload", [fr], imm=fslot))
+        b_.emit(Instr("print", uses=[ir]))
+        b_.emit(Instr("fprint", uses=[fr]))
+        b_.ret()
+        assert run_and_outputs(module) == [42, 2.25]
+
+    def test_nop(self):
+        module, _f, b_ = fresh_module()
+        b_.emit(Instr("nop"))
+        b_.emit(Instr("print", uses=[b_.iconst(1)]))
+        b_.ret()
+        assert run_and_outputs(module) == [1]
+
+
+class TestControlOps:
+    @pytest.mark.parametrize(
+        "relop,a,b,expected", [("lt", 1, 2, 1), ("ge", 1, 2, 0), ("eq", 2, 2, 1)]
+    )
+    def test_cbr(self, relop, a, b, expected):
+        module, _f, b_ = fresh_module()
+        lhs = b_.iconst(a)
+        rhs = b_.iconst(b)
+        then = b_.new_block("then")
+        other = b_.new_block("other")
+        b_.branch(relop, lhs, rhs, then, other)
+        b_.set_block(then)
+        b_.emit(Instr("print", uses=[b_.iconst(1)]))
+        b_.ret()
+        b_.set_block(other)
+        b_.emit(Instr("print", uses=[b_.iconst(0)]))
+        b_.ret()
+        assert run_and_outputs(module) == [expected]
+
+    def test_fcbr(self):
+        module, _f, b_ = fresh_module()
+        lhs = b_.fconst(1.5)
+        rhs = b_.fconst(2.5)
+        then = b_.new_block("then")
+        other = b_.new_block("other")
+        b_.branch("lt", lhs, rhs, then, other)
+        b_.set_block(then)
+        b_.emit(Instr("print", uses=[b_.iconst(7)]))
+        b_.ret()
+        b_.set_block(other)
+        b_.ret()
+        assert run_and_outputs(module) == [7]
+
+    def test_jmp(self):
+        module, _f, b_ = fresh_module()
+        target = b_.new_block("target")
+        b_.jump(target)
+        b_.set_block(target)
+        b_.emit(Instr("print", uses=[b_.iconst(9)]))
+        b_.ret()
+        assert run_and_outputs(module) == [9]
+
+
+class TestCoverage:
+    def test_every_opcode_exercised_somewhere(self):
+        """This module's cases, plus call/ret/li/lf used by the plumbing,
+        must between them name every opcode in the table."""
+        covered = {
+            "li", "lf", "mov", "fmov", "i2f", "f2i", "load", "fload",
+            "store", "fstore", "la", "spill", "fspill", "reload",
+            "freload", "jmp", "cbr", "fcbr", "ret", "call", "print",
+            "fprint", "nop",
+        }
+        covered.update(op for op, *_ in TestIntegerOps.CASES)
+        covered.update(op for op, *_ in [("ineg",), ("iabs",)])
+        covered.update(op for op, *_ in TestFloatOps.CASES)
+        covered.update(op for op, *_ in TestFloatOps.UNARY)
+        assert covered == set(OPCODES)

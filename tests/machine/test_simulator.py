@@ -1,0 +1,167 @@
+"""Unit tests for the simulator: modes, accounting, and the poison check."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.frontend import compile_source
+from repro.ir import Function, IRBuilder, Instr, Module, RClass
+from repro.ir.module import FunctionSignature
+from repro.machine import Simulator, rt_pc, run_module
+from repro.machine.costs import DEFAULT_CYCLES, TAKEN_BRANCH_PENALTY
+from repro.machine.simulator import POISON, _int_pow, _trunc_div
+from repro.regalloc import allocate_module
+
+
+class TestArithmeticHelpers:
+    @pytest.mark.parametrize(
+        "a,b,q",
+        [(7, 2, 3), (-7, 2, -3), (7, -2, -3), (-7, -2, 3), (6, 3, 2)],
+    )
+    def test_trunc_div(self, a, b, q):
+        assert _trunc_div(a, b) == q
+
+    def test_trunc_div_by_zero(self):
+        with pytest.raises(SimulationError):
+            _trunc_div(1, 0)
+
+    def test_int_pow(self):
+        assert _int_pow(2, 10) == 1024
+        assert _int_pow(2, -1) == 0
+        assert _int_pow(1, -5) == 1
+        assert _int_pow(-1, -3) == -1
+
+
+class TestCycleAccounting:
+    def test_straightline_cycles_sum(self):
+        module = compile_source("program p\nn = 1\nm = n\nend\n")
+        result = run_module(module)
+        f = module.function("p")
+        expected = sum(
+            DEFAULT_CYCLES[i.op] for _b, _x, i in f.instructions()
+        )
+        assert result.cycles == expected
+
+    def test_taken_branch_penalty(self):
+        # A loop body executes jmp + taken cbr: penalties accumulate.
+        module = compile_source(
+            "program p\nk = 0\ndo i = 1, 5\nk = k + 1\nend do\nend\n"
+        )
+        result = run_module(module)
+        assert result.cycles > result.instructions  # penalties add up
+        assert TAKEN_BRANCH_PENALTY > 0
+
+    def test_instruction_count(self):
+        module = compile_source("program p\nn = 1\nend\n")
+        result = run_module(module)
+        assert result.instructions == module.function("p").instruction_count()
+
+    def test_call_count(self):
+        module = compile_source(
+            "subroutine s(n)\nend\nprogram p\ncall s(1)\ncall s(2)\nend\n"
+        )
+        assert run_module(module).calls == 3  # main + two calls
+
+
+class TestErrors:
+    def test_missing_entry(self):
+        module = compile_source("subroutine s(n)\nend\n")
+        with pytest.raises(SimulationError, match="entry"):
+            run_module(module)
+
+    def test_explicit_entry(self):
+        module = compile_source("subroutine s(n)\nend\n")
+        result = run_module(module, entry="s", args=[1])
+        assert result.instructions == 1
+
+    def test_wrong_arity(self):
+        module = compile_source("subroutine s(n)\nend\n")
+        with pytest.raises(SimulationError, match="arguments"):
+            run_module(module, entry="s", args=[])
+
+    def test_budget(self):
+        module = compile_source(
+            "program p\nn = 0\ndo while (n .lt. 100)\nn = n + 1\nend do\nend\n"
+        )
+        with pytest.raises(SimulationError, match="budget"):
+            run_module(module, max_instructions=10)
+
+
+class TestPhysicalMode:
+    def test_poison_catches_clobber_violations(self):
+        """Hand-build an allocation that wrongly keeps a value in a
+        caller-saved register across a call: the simulator must refuse."""
+        target = rt_pc()
+        module = Module()
+
+        leaf = Function("leaf")
+        builder = IRBuilder(leaf)
+        builder.start_block()
+        builder.ret()
+        module.add_function(leaf, FunctionSignature("leaf", [], None))
+
+        main = Function("main")
+        builder = IRBuilder(main)
+        builder.start_block()
+        value = builder.iconst(42, "v")
+        builder.call("leaf", [])
+        builder.emit(Instr("print", uses=[value]))
+        builder.ret()
+        module.add_function(main, FunctionSignature("main", [], None))
+        module.entry = "main"
+
+        bad_color = min(target.caller_saved(RClass.INT))
+        assignment = {value: bad_color}
+        with pytest.raises(SimulationError, match="poisoned"):
+            run_module(module, target=target, assignment=assignment)
+
+    def test_correct_allocation_passes_poison_check(self):
+        source = (
+            "subroutine leaf(n)\nend\n"
+            "program p\n"
+            "m = 42\n"
+            "call leaf(m)\n"
+            "print m\n"
+            "end\n"
+        )
+        module = compile_source(source)
+        target = rt_pc()
+        allocation = allocate_module(module, target, "briggs", validate=True)
+        result = run_module(
+            module, target=target, assignment=allocation.assignment
+        )
+        assert result.outputs == [42]
+
+    def test_missing_assignment_detected(self):
+        module = compile_source("program p\nn = 1\nprint n\nend\n")
+        with pytest.raises(SimulationError, match="no assigned register"):
+            run_module(module, target=rt_pc(), assignment={})
+
+    def test_physical_cycles_include_prologue_saves(self):
+        source = (
+            "subroutine leaf(n)\nend\n"
+            "program p\n"
+            "m = 1\n"
+            "call leaf(m)\n"
+            "k = m + 1\n"
+            "call leaf(k)\n"
+            "print k\n"
+            "end\n"
+        )
+        module = compile_source(source)
+        target = rt_pc()
+        allocation = allocate_module(module, target, "briggs")
+        physical = run_module(
+            module, target=target, assignment=allocation.assignment
+        )
+        virtual = run_module(compile_source(source))
+        assert physical.outputs == virtual.outputs
+        assert physical.cycles >= virtual.cycles
+
+    def test_poison_repr(self):
+        assert "poison" in repr(POISON)
+
+    def test_simulator_object_reusable_state(self):
+        module = compile_source("program p\nprint 7\nend\n")
+        sim = Simulator(module)
+        result = sim.run()
+        assert result.outputs == [7]

@@ -1,0 +1,65 @@
+"""Unit tests for the target machine description."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.ir import RClass
+from repro.machine import rt_pc
+from repro.machine.target import Target
+
+
+class TestRtPc:
+    def test_paper_shape(self):
+        target = rt_pc()
+        assert target.int_regs == 16
+        assert target.float_regs == 8
+
+    def test_caller_callee_partition(self):
+        target = rt_pc()
+        for rclass in (RClass.INT, RClass.FLOAT):
+            caller = target.caller_saved(rclass)
+            callee = target.callee_saved(rclass)
+            assert not (caller & callee)
+            assert caller | callee == frozenset(range(target.regs(rclass)))
+
+    def test_color_order_prefers_caller_saved(self):
+        target = rt_pc()
+        order = target.color_order(RClass.INT)
+        assert sorted(order) == list(range(16))
+        split = len(target.caller_saved(RClass.INT))
+        assert set(order[:split]) == target.caller_saved(RClass.INT)
+
+    def test_regs_by_class(self):
+        target = rt_pc()
+        assert target.regs(RClass.INT) == 16
+        assert target.regs(RClass.FLOAT) == 8
+
+
+class TestRestriction:
+    @pytest.mark.parametrize("n", [14, 12, 10, 8])
+    def test_with_int_regs(self, n):
+        target = rt_pc().with_int_regs(n)
+        assert target.int_regs == n
+        assert target.float_regs == 8
+        # Some caller-saved register survives for leaf scratch values.
+        assert target.caller_saved(RClass.INT)
+
+    def test_with_float_regs(self):
+        target = rt_pc().with_float_regs(4)
+        assert target.float_regs == 4
+        assert target.int_regs == 16
+
+    def test_restriction_bounds(self):
+        with pytest.raises(ReproError):
+            rt_pc().with_int_regs(0)
+        with pytest.raises(ReproError):
+            rt_pc().with_int_regs(17)
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(ReproError):
+            Target("bad", 0, 8, [], [])
+        with pytest.raises(ReproError):
+            Target("bad", 4, 4, [9], [])  # caller-saved out of range
+
+    def test_restricted_name_traceable(self):
+        assert "i8" in rt_pc().with_int_regs(8).name

@@ -1,0 +1,76 @@
+"""Tests for the simulator's instruction-trace hook."""
+
+from repro.frontend import compile_source
+from repro.machine import run_module
+from repro.machine.simulator import Tracer
+
+SOURCE = (
+    "subroutine helper(n)\n"
+    "m = n + 1\n"
+    "end\n"
+    "program p\n"
+    "k = 2\n"
+    "call helper(k)\n"
+    "print k\n"
+    "end\n"
+)
+
+
+class TestTracer:
+    def test_every_instruction_visits_hook(self):
+        module = compile_source(SOURCE)
+        count = {"n": 0}
+
+        def hook(_fn, _block, _index, _instr):
+            count["n"] += 1
+
+        result = run_module(module, trace=hook)
+        assert count["n"] == result.instructions
+
+    def test_tracer_lines_format(self):
+        module = compile_source(SOURCE)
+        tracer = Tracer(limit=100)
+        run_module(module, trace=tracer)
+        assert tracer.dropped == 0
+        assert any("call @helper" in line for line in tracer.lines)
+        assert all(":" in line and "[" in line for line in tracer.lines)
+
+    def test_limit_bounds_memory(self):
+        module = compile_source(
+            "program p\nk = 0\ndo i = 1, 50\nk = k + i\nend do\nprint k\nend\n"
+        )
+        tracer = Tracer(limit=5)
+        run_module(module, trace=tracer)
+        assert len(tracer.lines) == 5
+        assert tracer.dropped > 0
+        assert "more" in tracer.render()
+
+    def test_function_filter(self):
+        module = compile_source(SOURCE)
+        tracer = Tracer(limit=1000, only_function="helper")
+        run_module(module, trace=tracer)
+        assert tracer.lines
+        assert all(line.startswith("helper:") for line in tracer.lines)
+
+    def test_trace_does_not_change_results(self):
+        module = compile_source(SOURCE)
+        plain = run_module(compile_source(SOURCE))
+        traced = run_module(module, trace=Tracer())
+        assert traced.outputs == plain.outputs
+        assert traced.cycles == plain.cycles
+        assert traced.instructions == plain.instructions
+
+    def test_trace_in_physical_mode(self):
+        from repro.machine import rt_pc
+        from repro.regalloc import allocate_module
+
+        module = compile_source(SOURCE)
+        target = rt_pc()
+        allocation = allocate_module(module, target, "briggs")
+        tracer = Tracer(limit=500)
+        result = run_module(
+            module, target=target, assignment=allocation.assignment,
+            trace=tracer,
+        )
+        assert result.outputs == [2]
+        assert tracer.lines

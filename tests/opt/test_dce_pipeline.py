@@ -1,0 +1,144 @@
+"""Unit tests for dead-code elimination and the pipeline driver."""
+
+from repro.frontend import compile_source
+from repro.ir import verify_function
+from repro.machine import run_module
+from repro.opt import eliminate_dead_code, optimize_function, optimize_module
+
+
+def compiled(body, header="subroutine s(n, x)", decls=""):
+    module = compile_source(f"{header}\n{decls}\n{body}\nend\n")
+    return module.function("s")
+
+
+def ops(function):
+    return [instr.op for _b, _i, instr in function.instructions()]
+
+
+class TestDCE:
+    def test_unused_computation_removed(self):
+        f = compiled("m = n * 2\nk = n + 1\nprint k")
+        removed = eliminate_dead_code(f)
+        assert removed >= 2  # the multiply and its constant
+        assert "imul" not in ops(f)
+        verify_function(f)
+
+    def test_cascading_removal(self):
+        f = compiled("m = n * 2\nk = m + 1\nj = k - 1")
+        removed = eliminate_dead_code(f)
+        assert "imul" not in ops(f)
+        assert "iadd" not in ops(f)
+        assert "isub" not in ops(f)
+        assert removed >= 3
+
+    def test_stores_survive(self):
+        f = compiled(
+            "v(1) = x", header="subroutine s(n, x)", decls="real v(4)"
+        )
+        eliminate_dead_code(f)
+        assert "fstore" in ops(f)
+
+    def test_calls_survive(self):
+        module = compile_source(
+            "subroutine leaf(n)\nend\n"
+            "subroutine s(n)\ncall leaf(n)\nend\n"
+        )
+        f = module.function("s")
+        eliminate_dead_code(f)
+        assert "call" in ops(f)
+
+    def test_prints_survive(self):
+        f = compiled("m = n\nprint m")
+        eliminate_dead_code(f)
+        assert "print" in ops(f)
+
+    def test_loop_carried_values_survive(self):
+        f = compiled("m = 0\ndo i = 1, n\nm = m + i\nend do\nprint m")
+        eliminate_dead_code(f)
+        assert "iadd" in ops(f)
+
+    def test_dead_loop_body_value_removed(self):
+        src = (
+            "program p\n"
+            "k = 0\n"
+            "do i = 1, 5\n"
+            "m = i * 7\n"  # dead: m never read
+            "k = k + 1\n"
+            "end do\n"
+            "print k\nend\n"
+        )
+        module = compile_source(src)
+        f = module.function("p")
+        eliminate_dead_code(f)
+        assert "imul" not in ops(f)
+        assert run_module(module).outputs == [5]
+
+
+class TestPipeline:
+    def test_fixpoint_reached(self):
+        f = compiled("m = 2 + 3\nk = m * 4\nprint k")
+        report = optimize_function(f)
+        assert report.total_changes > 0
+        again = optimize_function(f)
+        assert again.total_changes == 0
+
+    def test_fold_feeds_dce(self):
+        f = compiled("m = 2 + 3\nk = m * 4\nprint k")
+        optimize_function(f)
+        # Everything folds down to one constant + print + ret.
+        assert "iadd" not in ops(f)
+        assert "imul" not in ops(f)
+
+    def test_report_fields(self):
+        f = compiled("m = 1 + 1\nk = m\nj = k\nprint j")
+        report = optimize_function(f)
+        assert report.function_name == "s"
+        assert report.iterations >= 1
+        assert "OptimizationReport" in repr(report)
+
+    def test_optimize_module(self):
+        module = compile_source(
+            "subroutine a(n)\nm = 1 + 2\nprint m\nend\n"
+            "subroutine b(n)\nend\n"
+        )
+        reports = optimize_module(module)
+        assert set(reports) == {"a", "b"}
+
+    def test_workload_semantics_preserved(self):
+        from repro.workloads import get_workload
+
+        workload = get_workload("linpack")
+        baseline = run_module(workload.compile(), entry=workload.entry).outputs
+        module = workload.compile()
+        optimize_module(module)
+        assert run_module(module, entry=workload.entry).outputs == baseline
+
+    def test_optimized_then_allocated(self):
+        from repro.machine import rt_pc
+        from repro.regalloc import allocate_module
+
+        source = (
+            "program p\n"
+            "k = 0\n"
+            "do i = 1, 10\n"
+            "k = k + i * (2 + 1)\n"
+            "end do\n"
+            "print k\nend\n"
+        )
+        baseline = run_module(compile_source(source)).outputs
+        module = compile_source(source, optimize=True)
+        target = rt_pc().with_int_regs(6)
+        allocation = allocate_module(module, target, "briggs", validate=True)
+        result = run_module(
+            module, target=target, assignment=allocation.assignment
+        )
+        assert result.outputs == baseline
+
+    def test_optimization_reduces_instruction_count(self):
+        plain = compile_source(
+            "program p\nm = (1 + 2) * 3\nprint m\nend\n"
+        ).function("p")
+        optimized = compile_source(
+            "program p\nm = (1 + 2) * 3\nprint m\nend\n", optimize=True
+        ).function("p")
+        assert optimized.instruction_count() < plain.instruction_count()

@@ -1,0 +1,136 @@
+"""Unit tests for the block-local optimizations."""
+
+from repro.frontend import compile_source
+from repro.ir import verify_function
+from repro.machine import run_module
+from repro.opt import (
+    eliminate_common_subexpressions,
+    fold_constants,
+    propagate_copies,
+)
+
+
+def compiled(body, header="subroutine s(n, x)", decls=""):
+    module = compile_source(f"{header}\n{decls}\n{body}\nend\n")
+    return module.function("s")
+
+
+def ops(function):
+    return [instr.op for _b, _i, instr in function.instructions()]
+
+
+class TestConstantFolding:
+    def test_folds_integer_arithmetic(self):
+        f = compiled("m = 3 + 4 * 2")
+        assert fold_constants(f) > 0
+        li_values = [
+            i.imm for _b, _x, i in f.instructions() if i.op == "li"
+        ]
+        assert 11 in li_values
+        assert "iadd" not in ops(f)
+        verify_function(f)
+
+    def test_folds_float_arithmetic(self):
+        f = compiled("y = 2.0 * 3.5")
+        fold_constants(f)
+        lf_values = [
+            i.imm for _b, _x, i in f.instructions() if i.op == "lf"
+        ]
+        assert 7.0 in lf_values
+
+    def test_folds_conversions(self):
+        f = compiled("y = real(3)")
+        fold_constants(f)
+        assert "i2f" not in ops(f)
+
+    def test_folds_intrinsics(self):
+        f = compiled("m = max(3, 7)")
+        fold_constants(f)
+        assert "imax" not in ops(f)
+
+    def test_division_by_zero_not_folded(self):
+        f = compiled("m = n\nif (m .gt. 0) then\nk = 1 / 0\nend if")
+        fold_constants(f)
+        assert "idiv" in ops(f)  # left for runtime
+
+    def test_constant_branch_becomes_jump(self):
+        f = compiled("if (1 .lt. 2) then\nm = n\nelse\nm = 0\nend if")
+        before_blocks = len(f.blocks)
+        assert fold_constants(f) > 0
+        assert len(f.blocks) < before_blocks  # dead arm swept
+        verify_function(f)
+
+    def test_does_not_fold_across_redefinition(self):
+        # n is a parameter; m = n + 1 must not fold.
+        f = compiled("m = n + 1")
+        folded = fold_constants(f)
+        assert "iadd" in ops(f)
+        assert folded == 0
+
+    def test_semantics_preserved(self):
+        src = "program p\nm = (3 + 4) * (10 - 8)\nprint m\nend\n"
+        module = compile_source(src)
+        expected = run_module(module).outputs
+        fold_constants(module.function("p"))
+        assert run_module(module).outputs == expected
+
+
+class TestCopyPropagation:
+    def test_simple_chain(self):
+        f = compiled("m = n\nk = m + m")
+        assert propagate_copies(f) > 0
+        add = next(i for _b, _x, i in f.instructions() if i.op == "iadd")
+        assert add.uses[0] is f.params[0]
+        verify_function(f)
+
+    def test_killed_by_source_redefinition(self):
+        # After n changes, uses of m must NOT read n.
+        src = (
+            "program p\nn = 1\nm = n\nn = 99\nk = m\nprint k\nend\n"
+        )
+        module = compile_source(src)
+        expected = run_module(module).outputs
+        propagate_copies(module.function("p"))
+        verify_function(module.function("p"))
+        assert run_module(module).outputs == expected == [1]
+
+    def test_killed_by_dest_redefinition(self):
+        src = "program p\nn = 1\nm = n\nm = 5\nprint m\nend\n"
+        module = compile_source(src)
+        propagate_copies(module.function("p"))
+        assert run_module(module).outputs == [5]
+
+
+class TestCSE:
+    def test_repeated_expression_reused(self):
+        f = compiled("m = n * n\nk = n * n")
+        assert eliminate_common_subexpressions(f) >= 1
+        muls = [i for _b, _x, i in f.instructions() if i.op == "imul"]
+        assert len(muls) == 1
+        verify_function(f)
+
+    def test_not_reused_after_operand_redefined(self):
+        src = (
+            "program p\nn = 3\nm = n * n\nn = 4\nk = n * n\n"
+            "print m\nprint k\nend\n"
+        )
+        module = compile_source(src)
+        expected = run_module(module).outputs
+        eliminate_common_subexpressions(module.function("p"))
+        assert run_module(module).outputs == expected == [9, 16]
+
+    def test_loads_never_cse(self):
+        f = compiled(
+            "y = v(1) + v(1)", header="subroutine s(v)", decls="real v(*)"
+        )
+        eliminate_common_subexpressions(f)
+        loads = [i for _b, _x, i in f.instructions() if i.op == "fload"]
+        assert len(loads) == 2  # memory may change; loads are not pure
+
+    def test_address_computation_cse(self):
+        # The two identical la+arithmetic chains collapse.
+        f = compiled(
+            "v(2) = 1.0\nv(2) = 2.0", header="subroutine s()", decls="real v(8)"
+        )
+        hits = eliminate_common_subexpressions(f)
+        assert hits >= 1

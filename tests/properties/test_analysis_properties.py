@@ -1,0 +1,146 @@
+"""Property tests for the dataflow analyses, against independent oracles.
+
+The liveness oracle is a from-scratch, per-program-point reachability
+search (a register is live at a point iff some path reaches a use before
+any def) — deliberately *not* the bitset fixpoint the library uses, so a
+shared bug cannot hide.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import CFG, Liveness, split_webs
+from repro.frontend import compile_source
+from repro.ir import verify_function
+from repro.machine import run_module
+from repro.workloads.synth import generate_program
+
+
+def _naive_live_in(function):
+    """Oracle: live-in per block via backward reachability on program
+    points (no bitsets, no fixpoint over block summaries)."""
+    cfg = CFG(function)
+    live_in = {block.label: set() for block in function.blocks}
+    # Backward BFS from each use: the register is live-in at a block when
+    # the use is reachable from the block's entry without crossing a def.
+    preds = cfg.preds
+    for block in function.blocks:
+        for index, instr in enumerate(block.instrs):
+            for use in instr.uses:
+                # vreg is live at every point backward from here until a
+                # def (exclusive) — walk backward within the block first.
+                cursor = index - 1
+                blocked = False
+                while cursor >= 0:
+                    if use in block.instrs[cursor].defs:
+                        blocked = True
+                        break
+                    cursor -= 1
+                if blocked:
+                    continue
+                live_in[block.label].add(use)
+                # Propagate to predecessors whose tail has no def.
+                work = list(preds[block.label])
+                seen = set()
+                while work:
+                    label = work.pop()
+                    if label in seen:
+                        continue
+                    seen.add(label)
+                    pred = function.block(label)
+                    has_def = any(
+                        use in i.defs for i in pred.instrs
+                    )
+                    if has_def:
+                        continue
+                    if use not in live_in[label]:
+                        live_in[label].add(use)
+                    work.extend(preds[label])
+    return live_in
+
+
+class TestLivenessAgainstOracle:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_live_in_matches_naive(self, seed):
+        source = generate_program(seed, statements=6, calls=False)
+        function = compile_source(source).function("synth")
+        liveness = Liveness(function)
+        oracle = _naive_live_in(function)
+        for block in function.blocks:
+            computed = {
+                v
+                for v in function.vregs
+                if liveness.is_live_in(block.label, v)
+            }
+            assert computed == oracle[block.label], block.label
+
+
+class TestWebProperties:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_split_webs_idempotent(self, seed):
+        source = generate_program(seed, statements=8)
+        module = compile_source(source)
+        for function in module:
+            split_webs(function)
+            verify_function(function)
+            assert split_webs(function) == 0
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_split_webs_preserves_semantics(self, seed):
+        source = generate_program(seed, statements=8)
+        baseline = run_module(
+            compile_source(source), max_instructions=2_000_000
+        ).outputs
+        module = compile_source(source)
+        for function in module:
+            split_webs(function)
+        assert (
+            run_module(module, max_instructions=2_000_000).outputs == baseline
+        )
+
+
+class TestRoundTripProperties:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_ir_print_parse_roundtrip(self, seed):
+        from repro.ir import parse_module, print_module
+
+        source = generate_program(seed, statements=8)
+        module = compile_source(source)
+        text = print_module(module)
+        assert print_module(parse_module(text)) == text
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_source_pretty_roundtrip(self, seed):
+        from repro.lang.parser import parse_program
+        from repro.lang.pretty import format_program
+
+        source = generate_program(seed, statements=8)
+        once = format_program(parse_program(source))
+        twice = format_program(parse_program(once))
+        assert once == twice
+
+
+class TestDeterminism:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=8, deadline=None)
+    def test_allocation_is_deterministic(self, seed):
+        from repro.machine import rt_pc
+        from repro.regalloc import allocate_module
+
+        source = generate_program(seed, statements=8)
+        target = rt_pc().with_int_regs(8).with_float_regs(4)
+
+        def colors():
+            module = compile_source(source)
+            allocation = allocate_module(module, target, "briggs")
+            return {
+                (f, v.id): c
+                for f, result in allocation.results.items()
+                for v, c in result.assignment.items()
+            }
+
+        assert colors() == colors()

@@ -1,0 +1,151 @@
+"""Fault injection: break things on purpose, prove a guard catches it.
+
+A reproduction whose checks never fire is indistinguishable from one with
+no checks.  Each test here takes a *correct* compile/allocate/run pipeline,
+injects one specific class of bug an allocator or spiller could have, and
+asserts that the corresponding defence trips:
+
+* interfering ranges sharing a color       -> ``check_allocation``
+* color outside the register file          -> ``check_allocation``
+* value parked in a caller-saved register  -> simulator poison fault
+* deleted reload (use of undefined temp)   -> IR verifier
+* wrong spill slot                         -> wrong output vs baseline
+"""
+
+import pytest
+
+from repro.errors import AllocationError, SimulationError, VerificationError
+from repro.frontend import compile_source
+from repro.ir import verify_function
+from repro.machine import rt_pc, run_module
+from repro.regalloc import allocate_module, check_allocation, insert_spill_code
+
+PRESSURE = (
+    "program p\n"
+    "integer a1, a2, a3, a4, a5, total\n"
+    "a1 = 1\n"
+    "a2 = 2\n"
+    "a3 = 3\n"
+    "a4 = 4\n"
+    "a5 = 5\n"
+    "total = a1 + a2 + a3 + a4 + a5\n"
+    "print total\n"
+    "end\n"
+)
+
+ACROSS_CALL = (
+    "subroutine leaf(n)\n"
+    "end\n"
+    "program p\n"
+    "m = 41\n"
+    "call leaf(m)\n"
+    "k = m + 1\n"
+    "print k\n"
+    "end\n"
+)
+
+
+def correct_allocation(source, target=None):
+    target = target or rt_pc()
+    module = compile_source(source)
+    allocation = allocate_module(module, target, "briggs", validate=True)
+    return module, target, allocation
+
+
+class TestColoringFaults:
+    def test_shared_color_between_interfering_ranges(self):
+        module, _target, allocation = correct_allocation(PRESSURE)
+        result = allocation.result("p")
+        f = module.function("p")
+        live = [v for v in f.vregs if v.name in ("a1", "a2")]
+        assert len(live) == 2
+        result.assignment[live[0]] = result.assignment[live[1]]
+        with pytest.raises(AllocationError, match="share|interfere"):
+            check_allocation(result)
+
+    def test_color_out_of_range(self):
+        module, _target, allocation = correct_allocation(PRESSURE)
+        result = allocation.result("p")
+        victim = next(iter(result.assignment))
+        result.assignment[victim] = 99
+        with pytest.raises(AllocationError, match="file"):
+            check_allocation(result)
+
+    def test_missing_color(self):
+        module, _target, allocation = correct_allocation(PRESSURE)
+        result = allocation.result("p")
+        victim = next(iter(result.assignment))
+        del result.assignment[victim]
+        with pytest.raises(AllocationError, match="no color"):
+            check_allocation(result)
+
+
+class TestConventionFaults:
+    def test_caller_saved_across_call_poisons(self):
+        module, target, allocation = correct_allocation(ACROSS_CALL)
+        f = module.function("p")
+        m = next(v for v in f.vregs if v.name == "m")
+        bad = min(target.caller_saved(m.rclass))
+        # ModuleAllocation.assignment is a merged copy; corrupt both it
+        # and the per-function result the static checker reads.
+        allocation.assignment[m] = bad
+        allocation.result("p").assignment[m] = bad
+        # check_allocation catches it statically...
+        with pytest.raises(AllocationError):
+            check_allocation(allocation.result("p"))
+        # ...and even if the check were skipped, execution cannot silently
+        # succeed: either the poisoned read faults, or another value was
+        # legitimately colored into that register and the clobbered read
+        # produces wrong output.
+        try:
+            result = run_module(
+                module, target=target, assignment=allocation.assignment
+            )
+        except SimulationError as error:
+            assert "poisoned" in str(error)
+        else:
+            assert result.outputs != [42], (
+                "a convention-violating allocation must not produce the "
+                "correct answer"
+            )
+
+
+class TestSpillerFaults:
+    def test_deleted_reload_caught_by_verifier(self):
+        module = compile_source(PRESSURE)
+        f = module.function("p")
+        a1 = next(v for v in f.vregs if v.name == "a1")
+        insert_spill_code(f, [a1])
+        verify_function(f)  # correct so far
+        for block in f.blocks:
+            block.instrs = [i for i in block.instrs if i.op != "reload"]
+        with pytest.raises(VerificationError, match="before"):
+            verify_function(f)
+
+    def test_wrong_slot_changes_output(self):
+        baseline = run_module(compile_source(PRESSURE)).outputs
+        module = compile_source(PRESSURE)
+        f = module.function("p")
+        a1 = next(v for v in f.vregs if v.name == "a1")
+        a2 = next(v for v in f.vregs if v.name == "a2")
+        insert_spill_code(f, [a1, a2])
+        # Corrupt: make a1's reloads read a2's slot.
+        slots = sorted(
+            {i.imm for _b, _x, i in f.instructions() if i.op == "reload"}
+        )
+        assert len(slots) == 2
+        for _b, _x, instr in f.instructions():
+            if instr.op == "reload" and instr.imm == slots[0]:
+                instr.imm = slots[1]
+        corrupted = run_module(module).outputs
+        assert corrupted != baseline  # the bug is observable, not silent
+
+    def test_swapped_spill_store_value_detected_dynamically(self):
+        module, target, allocation = correct_allocation(
+            PRESSURE, rt_pc().with_int_regs(3)
+        )
+        baseline = run_module(compile_source(PRESSURE)).outputs
+        result = run_module(
+            module, target=target, assignment=allocation.assignment
+        )
+        assert result.outputs == baseline  # sanity: unbroken run matches

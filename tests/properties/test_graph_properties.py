@@ -1,0 +1,131 @@
+"""Property-based tests over random interference graphs (hypothesis).
+
+These check the paper's central claims on arbitrary graphs, not just the
+worked examples:
+
+1. any coloring either allocator returns is proper and within k colors;
+2. if Chaitin colors without spilling, Briggs produces the same coloring;
+3. Briggs's spill set is a subset of Chaitin's (same costs, same
+   tie-breaking) — §2.3's "either we spill a subset of the live ranges
+   that Chaitin would spill or the same set";
+4. smallest-last greedy coloring is proper and within degeneracy+1 colors.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.regalloc import BriggsAllocator, ChaitinAllocator
+from repro.regalloc.matula import degeneracy, greedy_color, smallest_last_order
+
+from tests.regalloc.conftest import make_graph
+
+
+@st.composite
+def random_graph_spec(draw):
+    n = draw(st.integers(min_value=2, max_value=14))
+    names = [f"v{i}" for i in range(n)]
+    possible = [
+        (names[a], names[b]) for a in range(n) for b in range(a + 1, n)
+    ]
+    edges = [
+        pair for pair in possible if draw(st.booleans())
+    ]
+    k = draw(st.integers(min_value=2, max_value=6))
+    costs = {
+        name: float(draw(st.integers(min_value=1, max_value=40)))
+        for name in names
+    }
+    return names, edges, k, costs
+
+
+def proper(graph, colors):
+    for node in range(graph.k, graph.num_nodes):
+        vreg = graph.vreg_for(node)
+        if vreg not in colors:
+            continue
+        for neighbor in graph.neighbors(node):
+            if neighbor < graph.k:
+                continue
+            other = graph.vreg_for(neighbor)
+            if other in colors:
+                assert colors[vreg] != colors[other]
+        assert 0 <= colors[vreg] < graph.k
+
+
+class TestColoringProperties:
+    @given(random_graph_spec())
+    @settings(max_examples=120, deadline=None)
+    def test_briggs_coloring_proper(self, spec):
+        names, edges, k, costs = spec
+        graph, _vregs, cost_obj = make_graph(names, edges, k, costs)
+        outcome = BriggsAllocator().allocate_class(graph, cost_obj)
+        proper(graph, outcome.colors)
+        spilled = set(outcome.spilled_vregs)
+        for vreg in spilled:
+            assert vreg not in outcome.colors
+
+    @given(random_graph_spec())
+    @settings(max_examples=120, deadline=None)
+    def test_chaitin_coloring_proper_when_no_spill(self, spec):
+        names, edges, k, costs = spec
+        graph, _vregs, cost_obj = make_graph(names, edges, k, costs)
+        outcome = ChaitinAllocator().allocate_class(graph, cost_obj)
+        if not outcome.spilled_vregs:
+            proper(graph, outcome.colors)
+            assert len(outcome.colors) == len(names)
+
+    @given(random_graph_spec())
+    @settings(max_examples=120, deadline=None)
+    def test_briggs_spills_subset_of_chaitin(self, spec):
+        names, edges, k, costs = spec
+        graph, _vregs, cost_obj = make_graph(names, edges, k, costs)
+        chaitin = ChaitinAllocator().allocate_class(graph, cost_obj)
+        briggs = BriggsAllocator().allocate_class(graph, cost_obj)
+        assert set(briggs.spilled_vregs) <= set(chaitin.spilled_vregs)
+
+    @given(random_graph_spec())
+    @settings(max_examples=120, deadline=None)
+    def test_identical_when_chaitin_colors(self, spec):
+        names, edges, k, costs = spec
+        graph, _vregs, cost_obj = make_graph(names, edges, k, costs)
+        chaitin = ChaitinAllocator().allocate_class(graph, cost_obj)
+        if chaitin.spilled_vregs:
+            return
+        briggs = BriggsAllocator().allocate_class(graph, cost_obj)
+        assert briggs.spilled_vregs == []
+        assert briggs.colors == chaitin.colors
+
+
+@st.composite
+def plain_adjacency(draw):
+    n = draw(st.integers(min_value=1, max_value=20))
+    adjacency = [set() for _ in range(n)]
+    for a in range(n):
+        for b in range(a + 1, n):
+            if draw(st.booleans()):
+                adjacency[a].add(b)
+                adjacency[b].add(a)
+    return [sorted(s) for s in adjacency]
+
+
+class TestMatulaProperties:
+    @given(plain_adjacency())
+    @settings(max_examples=120, deadline=None)
+    def test_order_is_permutation(self, adjacency):
+        order = smallest_last_order(adjacency)
+        assert sorted(order) == list(range(len(adjacency)))
+
+    @given(plain_adjacency())
+    @settings(max_examples=120, deadline=None)
+    def test_greedy_coloring_proper(self, adjacency):
+        colors = greedy_color(adjacency)
+        for node, neighbors in enumerate(adjacency):
+            for other in neighbors:
+                assert colors[node] != colors[other]
+
+    @given(plain_adjacency())
+    @settings(max_examples=120, deadline=None)
+    def test_color_count_within_degeneracy_bound(self, adjacency):
+        if not adjacency:
+            return
+        colors = greedy_color(adjacency)
+        assert max(colors) + 1 <= degeneracy(adjacency) + 1

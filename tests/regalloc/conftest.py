@@ -1,0 +1,31 @@
+"""Shared fixtures for register-allocator tests."""
+
+import pytest
+
+from repro.ir import Function, RClass
+from repro.regalloc import InterferenceGraph, SpillCosts
+
+
+def make_graph(names, edges, k, costs=None, rclass=RClass.INT):
+    """Build a standalone interference graph from symbolic node names.
+
+    ``edges`` are pairs of names; ``costs`` maps name -> spill cost
+    (default 1.0 each).  Returns (graph, {name: vreg}, SpillCosts).
+    """
+    function = Function("g")
+    vregs = {name: function.new_vreg(rclass, name) for name in names}
+    graph = InterferenceGraph(rclass, k)
+    for name in names:
+        graph.ensure_node(vregs[name])
+    for a, b in edges:
+        graph.add_edge(graph.ensure_node(vregs[a]), graph.ensure_node(vregs[b]))
+    graph.freeze()
+    cost_map = {
+        vregs[name]: (costs or {}).get(name, 1.0) for name in names
+    }
+    return graph, vregs, SpillCosts(cost_map)
+
+
+@pytest.fixture
+def graph_factory():
+    return make_graph

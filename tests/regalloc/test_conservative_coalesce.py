@@ -1,0 +1,104 @@
+"""Tests for the conservative coalescing strategy (Briggs's later test)."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.machine import rt_pc, run_module
+from repro.regalloc import allocate_module, coalesce_copies
+
+
+def compiled(body, header="subroutine s(n)", decls=""):
+    module = compile_source(f"{header}\n{decls}\n{body}\nend\n")
+    return module.function("s")
+
+
+def copy_count(function):
+    return sum(1 for _b, _i, instr in function.instructions() if instr.is_copy)
+
+
+class TestStrategy:
+    def test_unknown_strategy_rejected(self):
+        f = compiled("m = n")
+        with pytest.raises(ValueError, match="strategy"):
+            coalesce_copies(f, rt_pc(), strategy="bogus")
+
+    def test_conservative_merges_in_low_pressure_code(self):
+        # With no register pressure the conservative test always passes,
+        # so simple chains still coalesce away completely.
+        f = compiled("m = n\nk = m\nj = k")
+        removed = coalesce_copies(f, rt_pc(), strategy="conservative")
+        assert removed >= 3
+        assert copy_count(f) == 0
+
+    def test_conservative_never_merges_more_than_aggressive(self):
+        for body in (
+            "m = n\nk = m\nj = k",
+            "m = 0\ndo i = 1, n\nm = m + i\nend do\nk = m",
+        ):
+            aggressive = compiled(body)
+            conservative = compiled(body)
+            removed_a = coalesce_copies(aggressive, rt_pc())
+            removed_c = coalesce_copies(
+                conservative, rt_pc(), strategy="conservative"
+            )
+            assert removed_c <= removed_a
+
+    def test_conservative_blocks_high_pressure_merges(self):
+        # Build heavy pressure on a tiny register file: the conservative
+        # test must refuse at least one merge the aggressive one makes.
+        body = "\n".join(
+            [f"i{n} = n + {n}" for n in range(1, 9)]
+            + ["m = n"]
+            + [f"k{n} = i{n} + m" for n in range(1, 9)]
+            + ["j = k1 + k2 + k3 + k4 + k5 + k6 + k7 + k8"]
+        )
+        tiny = rt_pc().with_int_regs(4)
+        aggressive = compiled(body)
+        conservative = compiled(body)
+        removed_a = coalesce_copies(aggressive, tiny)
+        removed_c = coalesce_copies(conservative, tiny, strategy="conservative")
+        assert removed_c < removed_a
+
+
+class TestEndToEnd:
+    SOURCE = (
+        "program p\n"
+        "integer t\n"
+        "t = 0\n"
+        "do i = 1, 6\n"
+        "m = i * 2\n"
+        "k = m + 1\n"
+        "t = t + k\n"
+        "end do\n"
+        "print t\n"
+        "end\n"
+    )
+
+    def test_semantics_preserved(self):
+        baseline = run_module(compile_source(self.SOURCE)).outputs
+        target = rt_pc().with_int_regs(5)
+        module = compile_source(self.SOURCE)
+        allocation = allocate_module(
+            module, target, "briggs", coalesce="conservative", validate=True
+        )
+        result = run_module(
+            module, target=target, assignment=allocation.assignment
+        )
+        assert result.outputs == baseline
+
+    def test_conservative_spills_no_more_than_aggressive(self):
+        # The point of the conservative test: coalescing never creates
+        # spills.  (Aggressive may or may not spill more; conservative
+        # must never exceed it.)
+        target = rt_pc().with_int_regs(5)
+        results = {}
+        for strategy in ("aggressive", "conservative"):
+            module = compile_source(self.SOURCE)
+            allocation = allocate_module(
+                module, target, "briggs", coalesce=strategy
+            )
+            results[strategy] = sum(
+                r.stats.registers_spilled
+                for r in allocation.results.values()
+            )
+        assert results["conservative"] <= results["aggressive"]

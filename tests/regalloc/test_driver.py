@@ -1,0 +1,202 @@
+"""Tests for the allocation driver (the Figure 4 loop)."""
+
+import pytest
+
+from repro.errors import AllocationError
+from repro.frontend import compile_source
+from repro.machine import rt_pc, run_module
+from repro.regalloc import allocate_function, allocate_module, check_allocation
+
+PRESSURE = """
+program p
+  integer a1, a2, a3, a4, a5, a6, a7, a8, a9, a10
+  integer b1, b2, b3, b4, b5, total
+  a1 = 1
+  a2 = 2
+  a3 = 3
+  a4 = 4
+  a5 = 5
+  a6 = 6
+  a7 = 7
+  a8 = 8
+  a9 = 9
+  a10 = 10
+  b1 = a1 + a10
+  b2 = a2 + a9
+  b3 = a3 + a8
+  b4 = a4 + a7
+  b5 = a5 + a6
+  total = b1 + b2 + b3 + b4 + b5 + a1 + a2 + a3 + a4 + a5 + a6 + a7 + a8 + a9 + a10
+  print total
+end
+"""
+
+
+def fresh(source=PRESSURE):
+    return compile_source(source)
+
+
+class TestBasicAllocation:
+    def test_briggs_allocates_and_validates(self):
+        module = fresh()
+        allocation = allocate_module(module, rt_pc(), "briggs", validate=True)
+        assert allocation.assignment
+
+    def test_chaitin_allocates_and_validates(self):
+        module = fresh()
+        allocate_module(module, rt_pc(), "chaitin", validate=True)
+
+    def test_unknown_method_rejected(self):
+        module = fresh()
+        with pytest.raises(AllocationError, match="unknown"):
+            allocate_module(module, rt_pc(), "mystery")
+
+    def test_strategy_object_accepted(self):
+        from repro.regalloc import BriggsAllocator
+
+        module = fresh()
+        allocation = allocate_module(module, rt_pc(), BriggsAllocator())
+        assert allocation.method == "briggs"
+
+    def test_stats_pass_count(self):
+        module = fresh()
+        allocation = allocate_module(module, rt_pc(), "briggs")
+        stats = allocation.result("p").stats
+        assert stats.pass_count >= 1
+        assert stats.live_ranges > 0
+
+
+class TestSpillingUnderPressure:
+    def test_small_k_forces_spills(self):
+        module = fresh()
+        target = rt_pc().with_int_regs(6)
+        allocation = allocate_module(module, target, "briggs", validate=True)
+        stats = allocation.result("p").stats
+        assert stats.registers_spilled > 0
+        assert stats.pass_count >= 2
+
+    def test_semantics_preserved_under_spilling(self):
+        expected = run_module(fresh()).outputs
+        for k in (12, 8, 6, 5):
+            for method in ("briggs", "chaitin"):
+                module = fresh()
+                target = rt_pc().with_int_regs(k)
+                allocation = allocate_module(module, target, method, validate=True)
+                result = run_module(
+                    module, target=target, assignment=allocation.assignment
+                )
+                assert result.outputs == expected, (k, method)
+
+    def test_briggs_never_spills_more_than_chaitin(self):
+        for k in (10, 8, 6, 5):
+            target = rt_pc().with_int_regs(k)
+            briggs = allocate_module(fresh(), target, "briggs")
+            chaitin = allocate_module(fresh(), target, "chaitin")
+            assert (
+                briggs.result("p").stats.registers_spilled
+                <= chaitin.result("p").stats.registers_spilled
+            ), k
+
+    def test_spill_cost_accumulates(self):
+        module = fresh()
+        target = rt_pc().with_int_regs(5)
+        allocation = allocate_module(module, target, "briggs")
+        stats = allocation.result("p").stats
+        if stats.registers_spilled:
+            assert stats.spill_cost > 0
+
+    def test_two_registers_still_allocate_via_spilling(self):
+        # Spill temps span a single instruction, so two integer registers
+        # suffice for three-address code: everything spills, nothing breaks.
+        expected = run_module(fresh()).outputs
+        module = fresh()
+        target = rt_pc().with_int_regs(2)
+        allocation = allocate_module(module, target, "briggs", validate=True)
+        result = run_module(module, target=target, assignment=allocation.assignment)
+        assert result.outputs == expected
+
+    def test_too_few_registers_raises(self):
+        # One integer register cannot hold both operands of an add.
+        module = fresh()
+        target = rt_pc().with_int_regs(1)
+        with pytest.raises(AllocationError):
+            allocate_module(module, target, "briggs")
+
+
+class TestPhaseBookkeeping:
+    def test_chaitin_skips_select_on_spilling_pass(self):
+        module = fresh()
+        target = rt_pc().with_int_regs(6)
+        allocation = allocate_module(module, target, "chaitin")
+        passes = allocation.result("p").stats.passes
+        spilling = [p for p in passes if p.spilled_count]
+        assert spilling
+        for p in spilling:
+            assert not p.ran_select  # Figure 7: Old has no Color row
+
+    def test_briggs_runs_select_every_pass(self):
+        module = fresh()
+        target = rt_pc().with_int_regs(6)
+        allocation = allocate_module(module, target, "briggs")
+        passes = allocation.result("p").stats.passes
+        assert all(p.ran_select for p in passes)
+
+    def test_phase_rows_shape(self):
+        module = fresh()
+        allocation = allocate_module(module, rt_pc(), "briggs")
+        rows = allocation.result("p").stats.phase_rows()
+        assert rows[0]["pass"] == 1
+        assert rows[0]["build"] >= 0
+
+    def test_last_pass_never_spills(self):
+        module = fresh()
+        target = rt_pc().with_int_regs(6)
+        for method in ("briggs", "chaitin"):
+            allocation = allocate_module(fresh(), target, method)
+            passes = allocation.result("p").stats.passes
+            assert passes[-1].spilled_count == 0
+
+
+class TestValidation:
+    def test_check_allocation_catches_corruption(self):
+        module = fresh()
+        allocation = allocate_module(module, rt_pc(), "briggs")
+        result = allocation.result("p")
+        # Corrupt: force two interfering registers onto one color.
+        from repro.analysis import Liveness
+        from repro.analysis.cfg import CFG
+        from repro.ir import RClass
+        from repro.regalloc import build_interference_graph
+
+        graph = build_interference_graph(
+            result.function, RClass.INT, rt_pc(), Liveness(result.function, CFG(result.function))
+        )
+        # Find an interfering vreg pair and give them the same color.
+        found = False
+        for node in range(graph.k, graph.num_nodes):
+            for neighbor in graph.neighbors(node):
+                if neighbor >= graph.k:
+                    a = graph.vreg_for(node)
+                    b = graph.vreg_for(neighbor)
+                    result.assignment[a] = result.assignment[b]
+                    found = True
+                    break
+            if found:
+                break
+        assert found
+        with pytest.raises(AllocationError):
+            check_allocation(result)
+
+    def test_ablation_flags(self):
+        # Allocation works with renumbering and coalescing turned off.
+        for coalesce in (True, False):
+            for renumber in (True, False):
+                module = fresh()
+                allocate_module(
+                    module,
+                    rt_pc(),
+                    "briggs",
+                    coalesce=coalesce,
+                    renumber=renumber,
+                    validate=True,
+                )

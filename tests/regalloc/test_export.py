@@ -1,0 +1,60 @@
+"""Tests for the DOT export of interference graphs."""
+
+from repro.regalloc import BriggsAllocator
+from repro.regalloc.export import to_dot
+
+from tests.regalloc.conftest import make_graph
+
+
+def figure3():
+    names = "wxyz"
+    edges = [("w", "x"), ("x", "y"), ("y", "z"), ("z", "w")]
+    return make_graph(names, edges, k=2)
+
+
+class TestDotExport:
+    def test_basic_structure(self):
+        graph, vregs, costs = figure3()
+        dot = to_dot(graph, costs)
+        assert dot.startswith("graph interference {")
+        assert dot.rstrip().endswith("}")
+        for vreg in vregs.values():
+            assert f"v{vreg.id}" in dot
+        # C4 has exactly four vreg-vreg edges.
+        assert dot.count(" -- ") == 4
+
+    def test_costs_in_labels(self):
+        graph, _vregs, costs = figure3()
+        dot = to_dot(graph, costs)
+        assert "cost 1" in dot
+        assert "deg 2" in dot
+
+    def test_coloring_fills(self):
+        graph, _vregs, costs = figure3()
+        outcome = BriggsAllocator().allocate_class(graph, costs)
+        dot = to_dot(graph, costs, colors=outcome.colors)
+        assert "fillcolor=\"#" in dot
+        assert 'fillcolor="white"' not in dot  # everything colored
+
+    def test_spilled_marked_red(self):
+        graph, vregs, costs = figure3()
+        dot = to_dot(graph, costs, spilled=[vregs["w"]])
+        assert "#ff6b6b" in dot
+
+    def test_precolored_optional(self):
+        graph, _vregs, costs = figure3()
+        without = to_dot(graph, costs)
+        with_pre = to_dot(graph, costs, include_precolored=True)
+        assert "r0" not in without
+        assert "r0" in with_pre
+        assert "shape=box" in with_pre
+        # Precolored clique edge present only in the inclusive render.
+        assert with_pre.count(" -- ") > without.count(" -- ")
+
+    def test_infinite_cost_label(self):
+        from repro.regalloc import SpillCosts
+
+        graph, vregs, _ = figure3()
+        costs = SpillCosts({v: float("inf") for v in vregs.values()})
+        dot = to_dot(graph, costs)
+        assert "cost inf" in dot

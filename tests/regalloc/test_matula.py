@@ -1,0 +1,92 @@
+"""Tests for the standalone Matula–Beck smallest-last ordering."""
+
+import random
+
+from repro.regalloc import greedy_color, smallest_last_order
+from repro.regalloc.matula import degeneracy
+
+
+def random_graph(n, m, seed):
+    rng = random.Random(seed)
+    adjacency = [set() for _ in range(n)]
+    count = 0
+    while count < m:
+        a, b = rng.randrange(n), rng.randrange(n)
+        if a != b and b not in adjacency[a]:
+            adjacency[a].add(b)
+            adjacency[b].add(a)
+            count += 1
+    return [sorted(s) for s in adjacency]
+
+
+def cycle(n):
+    return [[(i - 1) % n, (i + 1) % n] for i in range(n)]
+
+
+def complete(n):
+    return [[j for j in range(n) if j != i] for i in range(n)]
+
+
+class TestOrdering:
+    def test_order_is_permutation(self):
+        adjacency = random_graph(30, 60, seed=1)
+        order = smallest_last_order(adjacency)
+        assert sorted(order) == list(range(30))
+
+    def test_each_removed_node_has_min_degree(self):
+        adjacency = random_graph(25, 70, seed=2)
+        order = smallest_last_order(adjacency)
+        alive = set(range(25))
+        for node in order:
+            degrees = {v: len([u for u in adjacency[v] if u in alive]) for v in alive}
+            assert degrees[node] == min(degrees.values())
+            alive.discard(node)
+
+    def test_empty_graph(self):
+        assert smallest_last_order([]) == []
+
+    def test_singleton(self):
+        assert smallest_last_order([[]]) == [0]
+
+
+class TestColoring:
+    def test_coloring_is_proper(self):
+        adjacency = random_graph(40, 120, seed=3)
+        colors = greedy_color(adjacency)
+        for node, neighbors in enumerate(adjacency):
+            for other in neighbors:
+                assert colors[node] != colors[other]
+
+    def test_even_cycle_two_colors(self):
+        colors = greedy_color(cycle(8))
+        assert max(colors) + 1 == 2
+
+    def test_odd_cycle_three_colors(self):
+        colors = greedy_color(cycle(9))
+        assert max(colors) + 1 == 3
+
+    def test_complete_graph_n_colors(self):
+        colors = greedy_color(complete(6))
+        assert sorted(colors) == list(range(6))
+
+    def test_color_count_bounded_by_degeneracy(self):
+        for seed in range(5):
+            adjacency = random_graph(35, 100, seed=seed)
+            colors = greedy_color(adjacency)
+            assert max(colors) + 1 <= degeneracy(adjacency) + 1
+
+
+class TestDegeneracy:
+    def test_tree_degeneracy_one(self):
+        # A path is 1-degenerate.
+        path = [[1], [0, 2], [1, 3], [2]]
+        assert degeneracy(path) == 1
+
+    def test_cycle_degeneracy_two(self):
+        assert degeneracy(cycle(10)) == 2
+
+    def test_complete_graph(self):
+        assert degeneracy(complete(5)) == 4
+
+    def test_empty(self):
+        assert degeneracy([]) == 0

@@ -1,0 +1,137 @@
+"""Tests for constant rematerialization (the footnote-3 refinement)."""
+
+from repro.frontend import compile_source
+from repro.ir import verify_function
+from repro.machine import rt_pc, run_module
+from repro.regalloc import allocate_module, insert_spill_code
+from repro.regalloc.spill import _rematerializable
+
+
+def compiled(body, header="subroutine s(n)", decls=""):
+    """Compile and run the build-phase cleanups (webs + coalescing), as
+    the driver does before any spill decision — coalescing is what folds
+    ``li t, 7; mov m, t`` into a directly-constant-defined range."""
+    from repro.analysis import split_webs
+    from repro.regalloc import coalesce_copies
+
+    module = compile_source(f"{header}\n{decls}\n{body}\nend\n")
+    function = module.function("s")
+    split_webs(function)
+    coalesce_copies(function, rt_pc())
+    return function
+
+
+def named(function, name):
+    return next(v for v in function.vregs if v.name == name)
+
+
+def ops(function):
+    return [instr.op for _b, _i, instr in function.instructions()]
+
+
+class TestDetection:
+    def test_constant_range_detected(self):
+        f = compiled("m = 7\nk = m + n\nj = m + k")
+        m = named(f, "m")
+        remat = _rematerializable(f, [m])
+        assert remat == {m: ("li", 7)}
+
+    def test_computed_range_not_detected(self):
+        f = compiled("m = n + 1\nk = m + m")
+        m = named(f, "m")
+        assert _rematerializable(f, [m]) == {}
+
+    def test_param_never_detected(self):
+        f = compiled("m = n + 1")
+        assert _rematerializable(f, [f.params[0]]) == {}
+
+    def test_conflicting_constants_not_detected(self):
+        f = compiled(
+            "if (n .gt. 0) then\nm = 1\nelse\nm = 2\nend if\nk = m + n"
+        )
+        m = named(f, "m")
+        assert _rematerializable(f, [m]) == {}
+
+    def test_same_constant_on_both_arms_detected(self):
+        f = compiled(
+            "if (n .gt. 0) then\nm = 5\nk = n\nelse\nm = 5\nk = 0\nend if\nj = m + k"
+        )
+        m = named(f, "m")
+        assert _rematerializable(f, [m]) == {m: ("li", 5)}
+
+    def test_float_constants(self):
+        f = compiled("x = 2.5\ny = x * x", header="subroutine s(n)")
+        x = named(f, "x")
+        assert _rematerializable(f, [x]) == {x: ("lf", 2.5)}
+
+
+class TestRewriting:
+    def test_no_slot_no_store(self):
+        f = compiled("m = 7\nk = m + n\nj = m + k")
+        m = named(f, "m")
+        insert_spill_code(f, [m], rematerialize=True)
+        verify_function(f)
+        assert f.spill_slots == 0
+        assert "spill" not in ops(f)
+        assert "reload" not in ops(f)
+        # Each use got its own constant load.
+        li_sevens = [
+            i for _b, _x, i in f.instructions() if i.op == "li" and i.imm == 7
+        ]
+        assert len(li_sevens) == 2
+
+    def test_mixed_remat_and_slot_spill(self):
+        f = compiled(
+            "m = 7\nq = n * 3\nk = m + q\nj = q + k + m",
+            decls="integer q",
+        )
+        m, q = named(f, "m"), named(f, "q")
+        insert_spill_code(f, [m, q], rematerialize=True)
+        verify_function(f)
+        assert f.spill_slots == 1  # only q needs memory
+        assert "reload" in ops(f)
+
+    def test_without_flag_uses_slots(self):
+        f = compiled("m = 7\nk = m + n\nj = m + k")
+        m = named(f, "m")
+        insert_spill_code(f, [m], rematerialize=False)
+        assert f.spill_slots == 1
+        assert "spill" in ops(f)
+
+
+class TestEndToEnd:
+    SOURCE = (
+        "program p\n"
+        "integer total\n"
+        "total = 0\n"
+        "do i = 1, 8\n"
+        "total = total + i * 3 + 100\n"
+        "end do\n"
+        "print total\n"
+        "end\n"
+    )
+
+    def test_semantics_preserved_under_remat(self):
+        baseline = run_module(compile_source(self.SOURCE)).outputs
+        target = rt_pc().with_int_regs(4)
+        module = compile_source(self.SOURCE)
+        allocation = allocate_module(
+            module, target, "briggs", rematerialize=True, validate=True
+        )
+        result = run_module(
+            module, target=target, assignment=allocation.assignment
+        )
+        assert result.outputs == baseline
+
+    def test_remat_never_slower(self):
+        target = rt_pc().with_int_regs(4)
+        cycles = {}
+        for remat in (False, True):
+            module = compile_source(self.SOURCE)
+            allocation = allocate_module(
+                module, target, "briggs", rematerialize=remat
+            )
+            cycles[remat] = run_module(
+                module, target=target, assignment=allocation.assignment
+            ).cycles
+        assert cycles[True] <= cycles[False]

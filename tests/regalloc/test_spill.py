@@ -1,0 +1,131 @@
+"""Tests for spill-code insertion."""
+
+from repro.frontend import compile_source
+from repro.ir import verify_function
+from repro.machine import run_module
+from repro.regalloc import insert_spill_code
+
+
+def compiled_module(source):
+    return compile_source(source)
+
+
+def named(function, name):
+    return next(v for v in function.vregs if v.name == name)
+
+
+def ops(function):
+    return [instr.op for _b, _i, instr in function.instructions()]
+
+
+class TestRewriting:
+    def test_def_gets_store_after(self):
+        module = compiled_module("subroutine s(n)\nm = n\nk = m + 1\nend\n")
+        f = module.function("s")
+        m = named(f, "m")
+        insert_spill_code(f, [m])
+        verify_function(f)
+        assert "spill" in ops(f)
+        assert "reload" in ops(f)
+
+    def test_spilled_vreg_vanishes_from_code(self):
+        module = compiled_module("subroutine s(n)\nm = n\nk = m + m\nend\n")
+        f = module.function("s")
+        m = named(f, "m")
+        insert_spill_code(f, [m])
+        for _b, _i, instr in f.instructions():
+            assert m not in instr.defs
+            assert m not in instr.uses
+
+    def test_double_use_single_reload(self):
+        module = compiled_module("subroutine s(n)\nm = n\nk = m + m\nend\n")
+        f = module.function("s")
+        m = named(f, "m")
+        before = f.instruction_count()
+        added = insert_spill_code(f, [m])
+        # One reload serves both uses in "m + m": 1 store + 1 reload.
+        assert added == 2
+        assert f.instruction_count() == before + 2
+
+    def test_temps_marked(self):
+        module = compiled_module("subroutine s(n)\nm = n\nk = m + 1\nend\n")
+        f = module.function("s")
+        insert_spill_code(f, [named(f, "m")])
+        temps = [v for v in f.vregs if v.is_spill_temp]
+        assert len(temps) == 2  # one def temp, one use temp
+
+    def test_float_spill_ops(self):
+        module = compiled_module("subroutine s(y)\nx = y\nz = x * x\nend\n")
+        f = module.function("s")
+        insert_spill_code(f, [named(f, "x")])
+        verify_function(f)
+        assert "fspill" in ops(f)
+        assert "freload" in ops(f)
+
+    def test_spilled_param_stored_at_entry(self):
+        module = compiled_module("subroutine s(n)\nm = n + 1\nk = m + n\nend\n")
+        f = module.function("s")
+        n = f.params[0]
+        insert_spill_code(f, [n])
+        verify_function(f)
+        first = f.entry.instrs[0]
+        assert first.op == "spill"
+        assert first.uses == [n]
+
+    def test_slots_allocated_per_range(self):
+        module = compiled_module(
+            "subroutine s(n)\nm = n\nk = n + 1\nj = m + k\nend\n"
+        )
+        f = module.function("s")
+        m, k = named(f, "m"), named(f, "k")
+        assert f.spill_slots == 0
+        insert_spill_code(f, [m, k])
+        assert f.spill_slots == 2
+
+    def test_empty_spill_list_noop(self):
+        module = compiled_module("subroutine s(n)\nm = n\nend\n")
+        f = module.function("s")
+        before = f.instruction_count()
+        assert insert_spill_code(f, []) == 0
+        assert f.instruction_count() == before
+
+
+class TestSemantics:
+    PROGRAM = (
+        "program p\n"
+        "integer total\n"
+        "total = 0\n"
+        "do i = 1, 8\n"
+        "total = total + i * i\n"
+        "end do\n"
+        "print total\n"
+        "end\n"
+    )
+
+    def test_spilling_everything_preserves_output(self):
+        module = compiled_module(self.PROGRAM)
+        expected = run_module(module).outputs
+        f = module.function("p")
+        # Spill every non-temp register that occurs.
+        occurring = set()
+        for _b, _i, instr in f.instructions():
+            occurring.update(instr.defs)
+            occurring.update(instr.uses)
+        insert_spill_code(f, sorted(occurring, key=lambda v: v.id))
+        verify_function(f)
+        assert run_module(module).outputs == expected
+
+    def test_repeated_spilling_terminates_structurally(self):
+        module = compiled_module(self.PROGRAM)
+        f = module.function("p")
+        occurring = set()
+        for _b, _i, instr in f.instructions():
+            occurring.update(instr.defs)
+            occurring.update(instr.uses)
+        insert_spill_code(f, sorted(occurring, key=lambda v: v.id))
+        # Second round: only temps remain; spilling nothing changes nothing.
+        remaining = set()
+        for _b, _i, instr in f.instructions():
+            remaining.update(v for v in instr.defs if not v.is_spill_temp)
+            remaining.update(v for v in instr.uses if not v.is_spill_temp)
+        assert not remaining or all(v in f.params for v in remaining)

@@ -1,0 +1,73 @@
+"""Tests for the spill-cost estimator."""
+
+from repro.frontend import compile_source
+from repro.regalloc import INFINITE_COST, compute_spill_costs, insert_spill_code
+from repro.regalloc.spill_costs import DEPTH_WEIGHT, LOAD_COST, STORE_COST
+
+
+def compiled(body, header="subroutine s(n)", decls=""):
+    module = compile_source(f"{header}\n{decls}\n{body}\nend\n")
+    return module.function("s")
+
+
+def named(function, name):
+    return next(v for v in function.vregs if v.name == name)
+
+
+class TestWeights:
+    def test_flat_code_costs_count_occurrences(self):
+        f = compiled("m = n\nk = m + m")
+        costs = compute_spill_costs(f)
+        m = named(f, "m")
+        # m: 1 def + 2 uses at depth 0.
+        assert costs.cost(m) == STORE_COST + 2 * LOAD_COST
+
+    def test_loop_body_weighted(self):
+        f = compiled("m = 0\ndo i = 1, n\nm = m + 1\nend do")
+        costs = compute_spill_costs(f)
+        m = named(f, "m")
+        # m has occurrences at depth 0 (init) and inside the loop.
+        assert costs.cost(m) > DEPTH_WEIGHT
+
+    def test_nested_loop_weighted_quadratically(self):
+        outer_only = compiled("m = 0\ndo i = 1, n\nm = m + 1\nend do")
+        nested = compiled(
+            "m = 0\ndo i = 1, n\ndo j = 1, n\nm = m + 1\nend do\nend do"
+        )
+        outer_cost = compute_spill_costs(outer_only).cost(named(outer_only, "m"))
+        nested_cost = compute_spill_costs(nested).cost(named(nested, "m"))
+        assert nested_cost > outer_cost * (DEPTH_WEIGHT / 2)
+
+    def test_param_gets_entry_store_cost(self):
+        f = compiled("")
+        costs = compute_spill_costs(f)
+        assert costs.cost(f.params[0]) == STORE_COST
+
+    def test_unused_vreg_zero_cost(self):
+        f = compiled("m = n")
+        costs = compute_spill_costs(f)
+        ghost = f.new_vreg(f.params[0].rclass, "ghost")
+        assert costs.cost(ghost) == 0.0
+
+
+class TestSpillTemps:
+    def test_spill_temps_are_infinite(self):
+        f = compiled("m = n\nk = m + m")
+        m = named(f, "m")
+        insert_spill_code(f, [m])
+        costs = compute_spill_costs(f)
+        temps = [v for v in f.vregs if v.is_spill_temp]
+        assert temps
+        for temp in temps:
+            assert costs.cost(temp) == INFINITE_COST
+
+    def test_contains_protocol(self):
+        f = compiled("m = n")
+        costs = compute_spill_costs(f)
+        assert named(f, "m") in costs
+
+    def test_getitem(self):
+        f = compiled("m = n")
+        costs = compute_spill_costs(f)
+        m = named(f, "m")
+        assert costs[m] == costs.cost(m)

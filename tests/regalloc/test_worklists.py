@@ -1,0 +1,140 @@
+"""Tests for the Matula–Beck degree buckets."""
+
+import pytest
+
+from repro.errors import AllocationError
+from repro.regalloc import DegreeBuckets
+
+
+class TestBasics:
+    def test_add_and_len(self):
+        b = DegreeBuckets(4, max_degree=3)
+        b.add(0, 2)
+        b.add(1, 0)
+        assert len(b) == 2
+        assert 0 in b
+        assert 2 not in b
+
+    def test_duplicate_add_rejected(self):
+        b = DegreeBuckets(2, max_degree=1)
+        b.add(0, 0)
+        with pytest.raises(AllocationError, match="already"):
+            b.add(0, 1)
+
+    def test_degree_bound_enforced(self):
+        b = DegreeBuckets(2, max_degree=1)
+        with pytest.raises(AllocationError, match="exceeds"):
+            b.add(0, 5)
+
+    def test_pop_min_returns_lowest_degree(self):
+        b = DegreeBuckets(3, max_degree=5)
+        b.add(0, 5)
+        b.add(1, 2)
+        b.add(2, 4)
+        assert b.pop_min() == 1
+        assert b.pop_min() == 2
+        assert b.pop_min() == 0
+        assert len(b) == 0
+
+    def test_pop_empty_raises(self):
+        b = DegreeBuckets(1, max_degree=1)
+        with pytest.raises(AllocationError, match="empty"):
+            b.pop_min()
+
+    def test_remove_specific_node(self):
+        b = DegreeBuckets(3, max_degree=3)
+        b.add(0, 1)
+        b.add(1, 1)
+        b.add(2, 1)
+        b.remove(1)
+        assert 1 not in b
+        assert sorted([b.pop_min(), b.pop_min()]) == [0, 2]
+
+    def test_remove_absent_raises(self):
+        b = DegreeBuckets(2, max_degree=1)
+        with pytest.raises(AllocationError, match="not in"):
+            b.remove(0)
+
+
+class TestDecrement:
+    def test_decrement_moves_bucket(self):
+        b = DegreeBuckets(2, max_degree=3)
+        b.add(0, 3)
+        b.add(1, 1)
+        b.decrement(0)
+        b.decrement(0)
+        # 0 now has degree 1 like node 1; pop order by bucket then list.
+        popped = {b.pop_min(), b.pop_min()}
+        assert popped == {0, 1}
+        assert b.degree[0] == 1
+
+    def test_decrement_absent_is_noop(self):
+        b = DegreeBuckets(2, max_degree=2)
+        b.add(0, 2)
+        b.decrement(1)  # must not raise
+        assert len(b) == 1
+
+    def test_decrement_zero_raises(self):
+        b = DegreeBuckets(1, max_degree=1)
+        b.add(0, 0)
+        with pytest.raises(AllocationError, match="degree-0"):
+            b.decrement(0)
+
+
+class TestScanPointer:
+    def test_scan_restarts_below_after_pop(self):
+        # Removing a node of degree i may only create degree i-1 nodes.
+        b = DegreeBuckets(4, max_degree=5)
+        b.add(0, 3)
+        b.add(1, 4)
+        b.add(2, 5)
+        assert b.pop_min() == 0
+        assert b.scan_from == 2  # 3 - 1
+        b.decrement(1)  # 1 drops to degree 3
+        assert b.pop_min() == 1
+
+    def test_add_lower_degree_rewinds_scan(self):
+        b = DegreeBuckets(3, max_degree=5)
+        b.add(0, 5)
+        assert b.min_degree() == 5
+        b.add(1, 1)
+        assert b.min_degree() == 1
+
+    def test_nodes_sorted_by_degree(self):
+        b = DegreeBuckets(4, max_degree=9)
+        b.add(0, 9)
+        b.add(1, 0)
+        b.add(2, 4)
+        b.add(3, 4)
+        nodes = b.nodes()
+        assert nodes[0] == 1
+        assert set(nodes[1:3]) == {2, 3}
+        assert nodes[3] == 0
+
+
+class TestLinearWork:
+    def test_full_simplification_matches_naive(self):
+        # Simulate removing nodes from a random graph and confirm the
+        # buckets always yield a node of globally minimal degree.
+        import random
+
+        rng = random.Random(7)
+        n = 60
+        adjacency = [set() for _ in range(n)]
+        for _ in range(250):
+            a, b = rng.randrange(n), rng.randrange(n)
+            if a != b:
+                adjacency[a].add(b)
+                adjacency[b].add(a)
+        buckets = DegreeBuckets(n, max_degree=n)
+        for node in range(n):
+            buckets.add(node, len(adjacency[node]))
+        alive = set(range(n))
+        while len(buckets):
+            node = buckets.pop_min()
+            naive_min = min(len(adjacency[v] & alive) for v in alive)
+            assert len(adjacency[node] & alive) == naive_min
+            alive.discard(node)
+            for neighbor in adjacency[node]:
+                if neighbor in alive:
+                    buckets.decrement(neighbor)

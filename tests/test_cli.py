@@ -1,0 +1,111 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+SOURCE = """
+program p
+  k = 0
+  do i = 1, 5
+    k = k + i
+  end do
+  print k
+end
+"""
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "sum.f"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+class TestCompile:
+    def test_prints_ir(self, source_file, capsys):
+        assert main(["compile", source_file]) == 0
+        out = capsys.readouterr().out
+        assert "func @p()" in out
+        assert "cbr" in out
+
+    def test_optimize_flag(self, source_file, capsys):
+        main(["compile", source_file])
+        plain = capsys.readouterr().out
+        main(["compile", source_file, "--optimize"])
+        optimized = capsys.readouterr().out
+        assert len(optimized.splitlines()) <= len(plain.splitlines())
+
+    def test_missing_file(self, capsys):
+        assert main(["compile", "/nonexistent.f"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_parse_error_reported(self, tmp_path, capsys):
+        path = tmp_path / "bad.f"
+        path.write_text("program p\ngoto 10\nend\n")
+        assert main(["compile", str(path)]) == 1
+        assert "goto" in capsys.readouterr().err
+
+
+class TestRun:
+    def test_virtual_run(self, source_file, capsys):
+        assert main(["run", source_file]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.strip() == "15"
+        assert "virtual" in captured.err
+
+    def test_allocated_run(self, source_file, capsys):
+        assert main(
+            ["run", source_file, "--allocate", "briggs", "--int-regs", "6"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert captured.out.strip() == "15"
+        assert "allocated (briggs)" in captured.err
+
+    def test_chaitin_allocated_run(self, source_file, capsys):
+        assert main(["run", source_file, "--allocate", "chaitin"]) == 0
+        assert capsys.readouterr().out.strip() == "15"
+
+
+class TestAllocate:
+    def test_stats_table(self, source_file, capsys):
+        assert main(["allocate", source_file]) == 0
+        out = capsys.readouterr().out
+        assert "Routine" in out
+        assert "p" in out
+        assert "briggs" in out
+
+    def test_restricted_target_in_title(self, source_file, capsys):
+        main(["allocate", source_file, "--int-regs", "8"])
+        assert "i8" in capsys.readouterr().out
+
+
+class TestFigures:
+    def test_unknown_figure_rejected(self, tmp_path, capsys):
+        assert main(["figures", "figure99", "--out", str(tmp_path)]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_figure6_generated(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "figures",
+                    "figure6",
+                    "--out",
+                    str(tmp_path),
+                    "--array-size",
+                    "64",
+                ]
+            )
+            == 0
+        )
+        assert (tmp_path / "figure6.txt").exists()
+        assert "Registers" in capsys.readouterr().out
+
+
+class TestWorkloads:
+    def test_listing(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in ("svd", "linpack", "quicksort"):
+            assert name in out

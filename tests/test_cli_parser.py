@@ -1,0 +1,66 @@
+"""Tests for the CLI argument parser itself (fast; no experiments run)."""
+
+import pytest
+
+from repro.cli import build_parser
+
+
+@pytest.fixture(scope="module")
+def parser():
+    return build_parser()
+
+
+class TestParser:
+    def test_all_subcommands_registered(self, parser):
+        args = parser.parse_args(["workloads"])
+        assert args.command == "workloads"
+        for command, extra in [
+            ("compile", ["x.f"]),
+            ("run", ["x.f"]),
+            ("allocate", ["x.f"]),
+            ("figures", []),
+            ("report", []),
+        ]:
+            parsed = parser.parse_args([command] + extra)
+            assert parsed.command == command
+
+    def test_run_flags(self, parser):
+        args = parser.parse_args(
+            [
+                "run",
+                "x.f",
+                "--allocate",
+                "spill-all",
+                "--int-regs",
+                "8",
+                "--float-regs",
+                "4",
+                "--rematerialize",
+                "--split-ranges",
+                "--coalesce",
+                "conservative",
+            ]
+        )
+        assert args.allocate == "spill-all"
+        assert args.int_regs == 8
+        assert args.float_regs == 4
+        assert args.rematerialize
+        assert args.split_ranges
+        assert args.coalesce == "conservative"
+
+    def test_allocate_method_choices(self, parser):
+        with pytest.raises(SystemExit):
+            parser.parse_args(["allocate", "x.f", "--method", "magic"])
+
+    def test_report_defaults(self, parser):
+        args = parser.parse_args(["report"])
+        assert args.out == "results/REPORT.md"
+        assert args.array_size == 256
+
+    def test_figures_accepts_names(self, parser):
+        args = parser.parse_args(["figures", "figure6", "intstudy"])
+        assert args.names == ["figure6", "intstudy"]
+
+    def test_missing_command_exits(self, parser):
+        with pytest.raises(SystemExit):
+            parser.parse_args([])

@@ -1,0 +1,98 @@
+"""Tests for the error hierarchy and source locations."""
+
+import pytest
+
+from repro.errors import (
+    AllocationError,
+    IRError,
+    LexError,
+    ParseError,
+    ReproError,
+    SemanticError,
+    SimulationError,
+    SourceLocation,
+    VerificationError,
+)
+
+
+class TestSourceLocation:
+    def test_str(self):
+        loc = SourceLocation("prog.f", 12, 5)
+        assert str(loc) == "prog.f:12:5"
+
+    def test_repr(self):
+        assert "12" in repr(SourceLocation("f", 12, 5))
+
+    def test_equality_and_hash(self):
+        a = SourceLocation("f", 1, 2)
+        b = SourceLocation("f", 1, 2)
+        c = SourceLocation("f", 1, 3)
+        assert a == b
+        assert a != c
+        assert hash(a) == hash(b)
+        assert len({a, b, c}) == 2
+
+    def test_defaults(self):
+        loc = SourceLocation()
+        assert loc.filename == "<source>"
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "error_class",
+        [
+            LexError,
+            ParseError,
+            SemanticError,
+            IRError,
+            VerificationError,
+            AllocationError,
+            SimulationError,
+        ],
+    )
+    def test_all_subclass_repro_error(self, error_class):
+        assert issubclass(error_class, ReproError)
+
+    def test_verification_is_ir_error(self):
+        assert issubclass(VerificationError, IRError)
+
+    def test_message_with_location(self):
+        error = ParseError("bad token", SourceLocation("x.f", 3, 7))
+        assert "x.f:3:7" in str(error)
+        assert error.message == "bad token"
+        assert error.location.line == 3
+
+    def test_message_without_location(self):
+        error = AllocationError("too few registers")
+        assert str(error) == "too few registers"
+        assert error.location is None
+
+    def test_catchable_as_base(self):
+        with pytest.raises(ReproError):
+            raise SimulationError("boom")
+
+
+class TestErrorsCarryLocations:
+    def test_lex_error_location(self):
+        from repro.lang.lexer import tokenize
+
+        with pytest.raises(LexError) as info:
+            tokenize("x = 1\ny = @\n", filename="t.f")
+        assert info.value.location.filename == "t.f"
+        assert info.value.location.line == 2
+
+    def test_parse_error_location(self):
+        from repro.lang.parser import parse_program
+
+        with pytest.raises(ParseError) as info:
+            parse_program("subroutine s()\nx = \nend\n", filename="t.f")
+        assert info.value.location.line == 2
+
+    def test_semantic_error_location(self):
+        from repro.lang.parser import parse_program
+        from repro.lang.sema import analyze
+
+        source = "subroutine s()\nreal a(3)\nx = a(1, 2)\nend\n"
+        with pytest.raises(SemanticError) as info:
+            analyze(parse_program(source, filename="t.f"))
+        assert info.value.location.line == 3

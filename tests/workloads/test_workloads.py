@@ -1,0 +1,120 @@
+"""Every benchmark program compiles, runs, and verifies its outputs."""
+
+import pytest
+
+from repro.machine import run_module, rt_pc
+from repro.regalloc import allocate_module
+from repro.workloads import all_workloads, get_workload
+
+WORKLOAD_NAMES = [
+    "svd",
+    "linpack",
+    "simplex",
+    "euler",
+    "cedeta",
+    "quicksort",
+    "intsuite",
+]
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    return all_workloads()
+
+
+class TestRegistry:
+    def test_all_present(self, workloads):
+        assert sorted(workloads) == sorted(WORKLOAD_NAMES)
+
+    def test_get_workload(self):
+        assert get_workload("svd").name == "svd"
+
+    def test_routines_nonempty(self, workloads):
+        for workload in workloads.values():
+            assert workload.routines
+
+    def test_paper_routine_counts(self, workloads):
+        # Figure 5 lists: SVD 1, LINPACK 9, SIMPLEX 4, EULER 11, CEDETA 3.
+        assert len(workloads["svd"].routines) == 1
+        assert len(workloads["linpack"].routines) == 9
+        assert len(workloads["simplex"].routines) == 4
+        assert len(workloads["euler"].routines) == 11
+        assert len(workloads["cedeta"].routines) == 3
+        assert len(workloads["intsuite"].routines) == 5
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+class TestCompileAndRun:
+    def test_compiles(self, workloads, name):
+        module = workloads[name].compile()
+        assert len(module) >= 1
+
+    def test_routines_exist_in_module(self, workloads, name):
+        module = workloads[name].compile()
+        for routine in workloads[name].routines:
+            assert routine in module.functions
+
+    def test_virtual_run_verifies(self, workloads, name):
+        workload = workloads[name]
+        result = run_module(workload.compile(), entry=workload.entry)
+        workload.verify_outputs(result.outputs)
+
+    def test_deterministic(self, workloads, name):
+        workload = workloads[name]
+        first = run_module(workload.compile(), entry=workload.entry)
+        second = run_module(workload.compile(), entry=workload.entry)
+        assert first.outputs == second.outputs
+        assert first.cycles == second.cycles
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+@pytest.mark.parametrize("method", ["chaitin", "briggs"])
+class TestAllocatedRun:
+    def test_allocated_outputs_match_virtual(self, workloads, name, method):
+        workload = workloads[name]
+        target = rt_pc()
+        baseline = run_module(workload.compile(), entry=workload.entry).outputs
+        module = workload.compile()
+        allocation = allocate_module(module, target, method, validate=True)
+        result = run_module(
+            module,
+            entry=workload.entry,
+            target=target,
+            assignment=allocation.assignment,
+        )
+        assert result.outputs == baseline
+        workload.verify_outputs(result.outputs)
+
+
+class TestRestrictedRegisters:
+    """The Figure 6 situation: fewer registers, same answers."""
+
+    @pytest.mark.parametrize("k", [12, 8])
+    def test_quicksort_small_k(self, workloads, k):
+        workload = workloads["quicksort"]
+        target = rt_pc().with_int_regs(k)
+        baseline = run_module(workload.compile(), entry=workload.entry).outputs
+        for method in ("chaitin", "briggs"):
+            module = workload.compile()
+            allocation = allocate_module(module, target, method, validate=True)
+            result = run_module(
+                module,
+                entry=workload.entry,
+                target=target,
+                assignment=allocation.assignment,
+            )
+            assert result.outputs == baseline
+
+    def test_svd_small_float_file(self, workloads):
+        workload = workloads["svd"]
+        target = rt_pc().with_float_regs(5)
+        baseline = run_module(workload.compile(), entry=workload.entry).outputs
+        module = workload.compile()
+        allocation = allocate_module(module, target, "briggs", validate=True)
+        result = run_module(
+            module,
+            entry=workload.entry,
+            target=target,
+            assignment=allocation.assignment,
+        )
+        assert result.outputs == baseline
