@@ -1,0 +1,19 @@
+# Convenience targets for the repro repo.
+#
+#   make test       — the tier-1 verify command (everything, fail-fast)
+#   make test-fast  — sub-minute inner loop (skips @slow experiment
+#                     regenerations, workload simulations, differentials)
+#   make bench      — time the allocator hot path and write BENCH_PR1.json
+
+PYTHON ?= python
+
+.PHONY: test test-fast bench
+
+test:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+test-fast:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q -m "not slow"
+
+bench:
+	PYTHONPATH=src $(PYTHON) benchmarks/run_bench.py --jobs 2

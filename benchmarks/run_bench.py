@@ -1,0 +1,283 @@
+#!/usr/bin/env python
+"""Allocator hot-path benchmark harness.
+
+Times the Build–Simplify–Select phases and full module allocation on the
+two workloads the paper leans on hardest — CEDETA's generated GRADNT
+routine (the long-live-range stress case) and SVD (the motivating
+example) — and writes the results to a ``BENCH_*.json`` file so future
+PRs can track the perf trajectory::
+
+    PYTHONPATH=src python benchmarks/run_bench.py            # -> BENCH_PR1.json
+    PYTHONPATH=src python benchmarks/run_bench.py --runs 9 --out BENCH_PR2.json
+
+Schema: ``{phase: {"median_s": float, "runs": int}}``.
+
+Phases
+------
+
+``build_<wl>``
+    Fused dual-class interference-graph build (one backward walk for both
+    register classes, O(popcount) kernels).
+``build_seed_<wl>``
+    Reference reimplementation of the *seed* build for comparison: one
+    walk per register class, per-bit ``live_nodes`` iteration at every
+    definition point, and the O(nodes x max_id) bit-by-bit ``freeze``.
+    The speedup claim of PR 1 is ``build_seed_X / build_X``.
+``simplify_<wl>`` / ``select_<wl>``
+    The Briggs phases over the prebuilt first-pass graphs.
+``alloc_<wl>``
+    Full serial ``allocate_module`` (fresh compile each run).
+``alloc_<wl>_jobs<N>``
+    Same, fanned out over a process pool (only emitted with ``--jobs``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import statistics
+import sys
+import time
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+from repro.analysis.cfg import CFG  # noqa: E402
+from repro.analysis.liveness import Liveness  # noqa: E402
+from repro.regalloc import allocate_module  # noqa: E402
+from repro.regalloc.interference import (  # noqa: E402
+    InterferenceGraph,
+    build_interference_graphs,
+)
+from repro.regalloc.simplify import simplify  # noqa: E402
+from repro.regalloc.select import select_colors  # noqa: E402
+from repro.regalloc.spill_costs import compute_spill_costs  # noqa: E402
+from repro.ir.values import RClass  # noqa: E402
+from repro.machine.target import rt_pc  # noqa: E402
+
+#: (workload module, routine used for the phase benchmarks)
+WORKLOADS = (
+    ("cedeta", "gradnt"),
+    ("svd", "svd"),
+)
+
+_CLASSES = (RClass.INT, RClass.FLOAT)
+
+
+# ----------------------------------------------------------------------
+# Seed-reference build (the pre-PR-1 algorithm, kept for the trajectory)
+# ----------------------------------------------------------------------
+
+
+def _seed_freeze(graph: InterferenceGraph) -> None:
+    """The seed's bit-by-bit freeze: O(num_nodes * max_node_id)."""
+    graph.adj_list = []
+    for node in range(graph.num_nodes):
+        mask = graph.adj_mask[node]
+        neighbors = []
+        index = 0
+        while mask:
+            if mask & 1:
+                neighbors.append(index)
+            mask >>= 1
+            index += 1
+        graph.adj_list.append(neighbors)
+
+
+def seed_build_interference_graph(function, rclass, target, liveness):
+    """The seed implementation of the build phase, one register class per
+    backward walk, with per-bit live-set iteration at every def point."""
+    k = target.regs(rclass)
+    graph = InterferenceGraph(rclass, k)
+    class_mask = 0
+    for vreg in function.vregs:
+        if vreg.rclass == rclass:
+            class_mask |= 1 << vreg.id
+    by_id = {v.id: v for v in function.vregs}
+    caller_saved = sorted(target.caller_saved(rclass))
+
+    class_params = [p for p in function.params if p.rclass == rclass]
+    for param in class_params:
+        graph.ensure_node(param)
+    for index, first in enumerate(class_params):
+        for second in class_params[index + 1 :]:
+            graph.add_edge(graph.ensure_node(first), graph.ensure_node(second))
+    entry_live = liveness.live_in[function.entry.label] & class_mask
+    masked = entry_live
+    while masked:
+        low = masked & -masked
+        masked ^= low
+        vreg = by_id[low.bit_length() - 1]
+        node = graph.ensure_node(vreg)
+        for param in class_params:
+            graph.add_edge(node, graph.ensure_node(param))
+    for _block, _index, instr in function.instructions():
+        for vreg in instr.defs:
+            if vreg.rclass == rclass:
+                graph.ensure_node(vreg)
+        for vreg in instr.uses:
+            if vreg.rclass == rclass:
+                graph.ensure_node(vreg)
+
+    def live_nodes(mask):
+        masked = mask & class_mask
+        while masked:
+            low = masked & -masked
+            masked ^= low
+            yield graph.ensure_node(by_id[low.bit_length() - 1])
+
+    for block in function.blocks:
+        live = liveness.live_out[block.label]
+        for instr in reversed(block.instrs):
+            defs_mask = 0
+            for d in instr.defs:
+                defs_mask |= 1 << d.id
+            if instr.is_call:
+                across = live & ~defs_mask
+                for node in live_nodes(across):
+                    for color in caller_saved:
+                        graph.add_edge(node, color)
+            copy_source_mask = 0
+            if instr.is_copy:
+                copy_source_mask = 1 << instr.uses[0].id
+            for d in instr.defs:
+                if d.rclass != rclass:
+                    continue
+                d_node = graph.ensure_node(d)
+                interfering = live & ~(1 << d.id) & ~copy_source_mask
+                for node in live_nodes(interfering):
+                    graph.add_edge(d_node, node)
+            live = live & ~defs_mask
+            for u in instr.uses:
+                live |= 1 << u.id
+
+    _seed_freeze(graph)
+    return graph
+
+
+# ----------------------------------------------------------------------
+# Harness
+# ----------------------------------------------------------------------
+
+
+def _median_time(fn, runs: int) -> float:
+    samples = []
+    for _ in range(runs):
+        started = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - started)
+    return statistics.median(samples)
+
+
+def _load(workload_name: str):
+    import importlib
+
+    module = importlib.import_module(f"repro.workloads.{workload_name}")
+    return module.workload()
+
+
+def bench_workload(workload_name: str, routine: str, runs: int, jobs: int,
+                   results: dict) -> None:
+    target = rt_pc()
+    workload = _load(workload_name)
+    module = workload.compile()
+    function = module.function(routine)
+
+    liveness = Liveness(function, CFG(function))
+
+    def fused_build():
+        return build_interference_graphs(function, target, liveness)
+
+    def seed_build():
+        for rclass in _CLASSES:
+            seed_build_interference_graph(function, rclass, target, liveness)
+
+    results[f"build_{workload_name}"] = {
+        "median_s": _median_time(fused_build, runs),
+        "runs": runs,
+    }
+    results[f"build_seed_{workload_name}"] = {
+        "median_s": _median_time(seed_build, runs),
+        "runs": runs,
+    }
+
+    graphs = build_interference_graphs(function, target, liveness)
+    costs = compute_spill_costs(function)
+
+    def run_simplify():
+        for graph in graphs.values():
+            simplify(graph, costs, optimistic=True)
+
+    stacks = {
+        rclass: simplify(graph, costs, optimistic=True).stack
+        for rclass, graph in graphs.items()
+    }
+
+    def run_select():
+        for rclass, graph in graphs.items():
+            select_colors(graph, stacks[rclass], target.color_order(rclass))
+
+    results[f"simplify_{workload_name}"] = {
+        "median_s": _median_time(run_simplify, runs),
+        "runs": runs,
+    }
+    results[f"select_{workload_name}"] = {
+        "median_s": _median_time(run_select, runs),
+        "runs": runs,
+    }
+
+    def full_alloc():
+        allocate_module(workload.compile(), target, "briggs")
+
+    results[f"alloc_{workload_name}"] = {
+        "median_s": _median_time(full_alloc, runs),
+        "runs": runs,
+    }
+
+    if jobs > 1:
+        def parallel_alloc():
+            allocate_module(workload.compile(), target, "briggs", jobs=jobs)
+
+        results[f"alloc_{workload_name}_jobs{jobs}"] = {
+            "median_s": _median_time(parallel_alloc, runs),
+            "runs": runs,
+        }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default=str(pathlib.Path(__file__).resolve().parent.parent
+                    / "BENCH_PR1.json"),
+        help="output JSON path (default BENCH_PR1.json at the repo root)",
+    )
+    parser.add_argument("--runs", type=int, default=5,
+                        help="samples per phase; the median is reported")
+    parser.add_argument("--jobs", type=int, default=0,
+                        help="also time allocate_module with this many "
+                             "processes (0 = skip)")
+    args = parser.parse_args(argv)
+
+    results: dict = {}
+    for workload_name, routine in WORKLOADS:
+        bench_workload(workload_name, routine, args.runs, args.jobs, results)
+
+    out = pathlib.Path(args.out)
+    out.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+
+    width = max(len(name) for name in results)
+    for name in sorted(results):
+        print(f"{name:<{width}}  {results[name]['median_s'] * 1e3:9.3f} ms")
+    for workload_name, _routine in WORKLOADS:
+        seed = results[f"build_seed_{workload_name}"]["median_s"]
+        new = results[f"build_{workload_name}"]["median_s"]
+        print(f"build speedup vs seed ({workload_name}): {seed / new:.2f}x")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

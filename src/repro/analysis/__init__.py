@@ -5,6 +5,8 @@
   Kennedy iterative algorithm) and dominator-tree queries;
 * :mod:`repro.analysis.loops` — natural loops from back edges and the
   per-block nesting depth used to weight spill costs;
+* :mod:`repro.analysis.bitset` — the shared O(popcount) mask-iteration
+  and population-count kernels every bitset walk uses;
 * :mod:`repro.analysis.liveness` — iterative backward liveness over int
   bitsets;
 * :mod:`repro.analysis.defuse` — definition and use sites per register;
@@ -12,6 +14,7 @@
   distinct live ranges" (paper §3.3's description of the build phase).
 """
 
+from repro.analysis.bitset import bits_list, iter_bits, popcount
 from repro.analysis.cfg import CFG
 from repro.analysis.dominance import DominatorTree
 from repro.analysis.loops import LoopInfo, annotate_loop_depths
@@ -20,6 +23,9 @@ from repro.analysis.defuse import DefUse
 from repro.analysis.webs import split_webs
 
 __all__ = [
+    "iter_bits",
+    "bits_list",
+    "popcount",
     "CFG",
     "DominatorTree",
     "LoopInfo",

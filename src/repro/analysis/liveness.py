@@ -12,24 +12,14 @@ instruction — exactly the traversal the interference-graph builder needs.
 
 from __future__ import annotations
 
+from repro.analysis.bitset import iter_bits, popcount
 from repro.analysis.cfg import CFG
 from repro.ir.function import Function
 
-
-def bits(mask: int):
-    """Yield the indices of the set bits of ``mask`` (ascending)."""
-    index = 0
-    while mask:
-        if mask & 1:
-            yield index
-        mask >>= 1
-        index += 1
-
-
-def bit_count(mask: int) -> int:
-    """Population count (int.bit_count exists only on 3.10+... and this
-    also documents intent)."""
-    return bin(mask).count("1")
+#: Re-exported kernels (historical home of these helpers; the
+#: implementations live in :mod:`repro.analysis.bitset`).
+bits = iter_bits
+bit_count = popcount
 
 
 class Liveness:
@@ -38,6 +28,9 @@ class Liveness:
     def __init__(self, function: Function, cfg: CFG | None = None):
         self.function = function
         self.cfg = cfg or CFG(function)
+        #: id -> VReg for every register of the function, computed once and
+        #: shared with the interference-graph builder.
+        self.vreg_by_id: dict[int, object] = {v.id: v for v in function.vregs}
         #: upward-exposed uses per block.
         self.use: dict[str, int] = {}
         #: registers defined per block.
@@ -105,8 +98,8 @@ class Liveness:
 
     def live_vregs_in(self, label: str) -> list:
         """Live-in registers of a block as VReg objects."""
-        by_id = {v.id: v for v in self.function.vregs}
-        return [by_id[i] for i in bits(self.live_in[label])]
+        by_id = self.vreg_by_id
+        return [by_id[i] for i in iter_bits(self.live_in[label])]
 
     def is_live_in(self, label: str, vreg) -> bool:
         return bool((self.live_in[label] >> vreg.id) & 1)

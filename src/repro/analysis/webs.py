@@ -18,6 +18,7 @@ Returns the number of extra webs created (0 means nothing was split).
 
 from __future__ import annotations
 
+from repro.analysis.bitset import iter_bits
 from repro.analysis.cfg import CFG
 from repro.ir.function import Function
 
@@ -129,13 +130,8 @@ class _WebAnalysis:
                     on_def(instr, pos, d, sid)
 
 
-def _mask_bits(mask: int):
-    index = 0
-    while mask:
-        if mask & 1:
-            yield index
-        mask >>= 1
-        index += 1
+#: O(popcount) set-bit walk, shared with the rest of the analyses.
+_mask_bits = iter_bits
 
 
 def split_webs(function: Function) -> int:

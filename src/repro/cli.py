@@ -60,6 +60,7 @@ def _alloc_kwargs(args) -> dict:
         "coalesce": args.coalesce,
         "rematerialize": args.rematerialize,
         "split_ranges": args.split_ranges,
+        "jobs": args.jobs,
     }
 
 
@@ -205,6 +206,15 @@ def build_parser() -> argparse.ArgumentParser:
             "--split-ranges",
             action="store_true",
             help="split loop-transparent live ranges around pressured loops",
+        )
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            help=(
+                "allocate functions in parallel over N processes "
+                "(0 = one per CPU; default 1 = serial)"
+            ),
         )
 
     p = sub.add_parser("compile", help="print the compiled IR")

@@ -20,7 +20,11 @@ The package decomposes the allocator the way the paper does (Figure 4):
 smallest-last ordering the paper credits as the inspiration (§2.2).
 """
 
-from repro.regalloc.interference import InterferenceGraph, build_interference_graph
+from repro.regalloc.interference import (
+    InterferenceGraph,
+    build_interference_graph,
+    build_interference_graphs,
+)
 from repro.regalloc.worklists import DegreeBuckets
 from repro.regalloc.spill_costs import SpillCosts, compute_spill_costs, INFINITE_COST
 from repro.regalloc.coalesce import coalesce_copies
@@ -43,6 +47,7 @@ from repro.regalloc.stats import AllocationStats, PassStats
 __all__ = [
     "InterferenceGraph",
     "build_interference_graph",
+    "build_interference_graphs",
     "DegreeBuckets",
     "SpillCosts",
     "compute_spill_costs",

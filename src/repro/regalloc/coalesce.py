@@ -30,12 +30,13 @@ colorable graph into an uncolorable one.  Kept as an ablation knob; the
 
 from __future__ import annotations
 
+from repro.analysis.bitset import iter_bits, popcount
 from repro.analysis.cfg import CFG
 from repro.analysis.liveness import Liveness
 from repro.ir.function import Function
 from repro.ir.values import RClass
 from repro.machine.target import Target
-from repro.regalloc.interference import build_interference_graph
+from repro.regalloc.interference import build_interference_graphs
 
 
 def _conservative_ok(graph, state, k, root_a, root_b, find) -> bool:
@@ -46,11 +47,7 @@ def _conservative_ok(graph, state, k, root_a, root_b, find) -> bool:
     neighbor_mask = (state["adj"][root_a] | state["adj"][root_b]) & ~combined_members
     significant = 0
     seen_roots = set()
-    mask = neighbor_mask
-    while mask:
-        low = mask & -mask
-        mask ^= low
-        node = low.bit_length() - 1
+    for node in iter_bits(neighbor_mask):
         if node < k:
             root = node  # precolored: always significant
             degree = k  # a precolored node's degree is effectively >= k
@@ -58,7 +55,7 @@ def _conservative_ok(graph, state, k, root_a, root_b, find) -> bool:
             root = find(state["parent"], node)
             if root in seen_roots:
                 continue
-            degree = bin(state["adj"][root] & ~state["members"][root]).count("1")
+            degree = popcount(state["adj"][root] & ~state["members"][root])
         if root in seen_roots:
             continue
         seen_roots.add(root)
@@ -73,10 +70,9 @@ def _coalesce_round(function: Function, target: Target,
                     strategy: str = "aggressive") -> int:
     """One build-and-merge round; returns the number of copies removed."""
     liveness = Liveness(function, CFG(function))
-    graphs = {
-        rclass: build_interference_graph(function, rclass, target, liveness)
-        for rclass in (RClass.INT, RClass.FLOAT)
-    }
+    graphs = build_interference_graphs(
+        function, target, liveness, rclasses=(RClass.INT, RClass.FLOAT)
+    )
 
     # Union-find over graph nodes, per class, with merged adjacency masks.
     state = {}

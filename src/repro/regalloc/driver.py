@@ -12,12 +12,26 @@ Each pass times its phases (Figure 7) and records what spilled (Figures
 GPRs and FPRs interfere only within their own file — and a pass that
 spills in either class re-runs the cycle for the whole function.
 
+The loop reuses what later passes cannot change: spill code only inserts
+instructions *inside* existing blocks, so the CFG and the loop nesting of
+every block are computed once, in the first pass, and carried across
+passes.  Renumbering and coalescing are skipped once a pass finds nothing
+to split or merge — spill temporaries are excluded from both transforms,
+so a fixed point stays a fixed point (aggressive coalescing only; the
+conservative variant's degree test can change after a spill, so it always
+re-runs).  ``PassStats.reused`` records exactly what was carried over.
+
 ``check_allocation`` independently re-derives interference on the final
 code and verifies the coloring — the allocator's acceptance test.
+
+``allocate_module`` fans independent functions out over a process pool
+when ``jobs > 1``; results are deterministic and bit-identical to the
+serial path.
 """
 
 from __future__ import annotations
 
+import pickle
 import time
 
 from repro.analysis.cfg import CFG
@@ -32,7 +46,10 @@ from repro.machine.target import Target
 from repro.regalloc.briggs import BriggsAllocator
 from repro.regalloc.chaitin import ChaitinAllocator
 from repro.regalloc.coalesce import coalesce_copies
-from repro.regalloc.interference import build_interference_graph
+from repro.regalloc.interference import (
+    build_interference_graph,
+    build_interference_graphs,
+)
 from repro.regalloc.spill import insert_spill_code
 from repro.regalloc.spill_costs import compute_spill_costs
 from repro.regalloc.stats import AllocationStats, PassStats
@@ -101,27 +118,59 @@ def allocate_function(
 
         split_live_ranges(function, target)
 
+    coalesce_strategy = coalesce if isinstance(coalesce, str) else "aggressive"
+    # Cross-pass caches.  Spill code never adds or removes blocks and never
+    # rewrites terminators, so the CFG and loop nesting computed in the
+    # first pass hold for every later one.
+    cfg = None
+    loop_info = None
+    # Renumber/coalesce fixed point (see module docstring).  The two feed
+    # each other — a split can expose a merge and vice versa — so both are
+    # skipped only once a single pass observed *neither* doing anything.
+    # Spill code cannot disturb that state (spill temporaries are excluded
+    # from both transforms), except through the conservative coalescer's
+    # degree test, which is why only the aggressive strategy settles.
+    build_settled = False
+
     for pass_index in range(1, max_passes + 1):
         pass_stats = PassStats(pass_index)
         stats.passes.append(pass_stats)
+        reused: list = []
 
         # ---- build ---------------------------------------------------
         started = time.perf_counter()
         if renumber:
-            split_webs(function)
+            if build_settled:
+                reused.append("renumber")
+            else:
+                pass_stats.webs_split = split_webs(function)
         if coalesce:
-            coalesce_strategy = (
-                coalesce if isinstance(coalesce, str) else "aggressive"
+            if build_settled:
+                reused.append("coalesce")
+            else:
+                pass_stats.coalesced = coalesce_copies(
+                    function, target, strategy=coalesce_strategy
+                )
+        if not build_settled:
+            coalesce_quiet = not coalesce or (
+                pass_stats.coalesced == 0
+                and coalesce_strategy == "aggressive"
             )
-            pass_stats.coalesced = coalesce_copies(
-                function, target, strategy=coalesce_strategy
-            )
-        liveness = Liveness(function, CFG(function))
-        loop_info = annotate_loop_depths(function)
-        graphs = {
-            rclass: build_interference_graph(function, rclass, target, liveness)
-            for rclass in _CLASSES
-        }
+            if pass_stats.webs_split == 0 and coalesce_quiet:
+                build_settled = True
+        if cfg is None:
+            cfg = CFG(function)
+        else:
+            reused.append("cfg")
+        liveness = Liveness(function, cfg)
+        if loop_info is None:
+            loop_info = annotate_loop_depths(function, cfg)
+        else:
+            reused.append("loops")
+        pass_stats.reused = tuple(reused)
+        graphs = build_interference_graphs(
+            function, target, liveness, rclasses=_CLASSES
+        )
         costs = compute_spill_costs(function, loop_info)
         pass_stats.live_ranges = sum(
             g.num_vreg_nodes for g in graphs.values()
@@ -247,6 +296,42 @@ class ModuleAllocation:
         )
 
 
+def _allocate_worker(function, target, method, kwargs):
+    """Process-pool entry point: allocate one pickled function copy."""
+    return allocate_function(function, target, method, **kwargs)
+
+
+def _parallel_results(module, functions, target, method, kwargs, jobs):
+    """Allocate ``functions`` over a process pool.
+
+    Each worker receives a pickled copy of its function and returns the
+    allocated copy (spill code inserted) together with the assignment over
+    that copy's registers; the parent swaps the copies into the module so
+    every downstream consumer (simulator, encoder) sees one consistent
+    object graph.  Returns ``None`` when the strategy or target cannot
+    cross a process boundary — the caller falls back to the serial path.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+
+    try:
+        pickle.dumps((method, target))
+    except Exception:
+        return None  # non-picklable strategy object: run serial
+
+    results: dict = {}
+    workers = max(1, min(jobs, len(functions)))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [
+            pool.submit(_allocate_worker, function, target, method, kwargs)
+            for function in functions
+        ]
+        for future in futures:
+            result = future.result()
+            module.functions[result.function.name] = result.function
+            results[result.function.name] = result
+    return results
+
+
 def allocate_module(
     module: Module,
     target: Target,
@@ -256,19 +341,39 @@ def allocate_module(
     rematerialize: bool = False,
     split_ranges: bool = False,
     validate: bool = False,
+    jobs: int = 1,
 ) -> ModuleAllocation:
-    """Allocate every function of a module (in place)."""
-    results = {}
-    for function in module:
-        results[function.name] = allocate_function(
-            function,
-            target,
-            method,
-            coalesce=coalesce,
-            renumber=renumber,
-            rematerialize=rematerialize,
-            split_ranges=split_ranges,
-            validate=validate,
+    """Allocate every function of a module (in place).
+
+    ``jobs`` > 1 allocates functions concurrently in a process pool —
+    functions are independent, so the outcome is identical to the serial
+    path (``jobs=1``), just faster on multi-function modules.  ``jobs=0``
+    uses one worker per CPU.  Non-picklable strategy objects fall back to
+    serial allocation.
+    """
+    kwargs = {
+        "coalesce": coalesce,
+        "renumber": renumber,
+        "rematerialize": rematerialize,
+        "split_ranges": split_ranges,
+        "validate": validate,
+    }
+    if jobs == 0:
+        import os
+
+        jobs = os.cpu_count() or 1
+    functions = list(module)
+    results = None
+    if jobs > 1 and len(functions) > 1:
+        results = _parallel_results(
+            module, functions, target, method, kwargs, jobs
         )
+    if results is None:
+        results = {
+            function.name: allocate_function(
+                function, target, method, **kwargs
+            )
+            for function in functions
+        }
     name = _method_for(method).name
     return ModuleAllocation(module, target, name, results)

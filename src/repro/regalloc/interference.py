@@ -18,16 +18,27 @@ registers — Chaitin's way of encoding the calling convention in the graph.
 
 The graph keeps both representations Chaitin recommends: a bit matrix for
 O(1) membership (``interferes``) and adjacency lists for neighbor walks.
+
+Both register classes are built by **one** backward walk over the
+instructions (:func:`build_interference_graphs`): the live set is a single
+bitset over all virtual registers, and each definition point updates only
+the graph of its own class.  The per-class :func:`build_interference_graph`
+is a thin wrapper kept for callers that want one class.  All mask walks
+use the O(popcount) kernels from :mod:`repro.analysis.bitset`.
 """
 
 from __future__ import annotations
 
+from repro.analysis.bitset import bits_list, iter_bits, popcount
 from repro.analysis.cfg import CFG
 from repro.analysis.liveness import Liveness
 from repro.errors import AllocationError
 from repro.ir.function import Function
 from repro.ir.values import RClass
 from repro.machine.target import Target
+
+#: The register classes of the target machine, in allocation order.
+DEFAULT_CLASSES = (RClass.INT, RClass.FLOAT)
 
 
 class InterferenceGraph:
@@ -40,11 +51,11 @@ class InterferenceGraph:
         self.node_of: dict = {}  # VReg -> node index
         self.adj_mask: list = [0] * k  # bit matrix rows (grows with nodes)
         self.adj_list: list | None = None  # built by freeze()
+        self._edge_count: int | None = None  # cached by freeze()/edge_count()
         # Precolored nodes mutually interfere (distinct physical registers).
+        full = (1 << k) - 1
         for a in range(k):
-            for b in range(a + 1, k):
-                self.adj_mask[a] |= 1 << b
-                self.adj_mask[b] |= 1 << a
+            self.adj_mask[a] = full & ~(1 << a)
 
     # ------------------------------------------------------------------
     # Construction
@@ -68,20 +79,23 @@ class InterferenceGraph:
             return
         self.adj_mask[a] |= 1 << b
         self.adj_mask[b] |= 1 << a
+        self._edge_count = None
 
     def freeze(self) -> None:
-        """Materialise adjacency lists once construction is done."""
-        self.adj_list = []
-        for node in range(self.num_nodes):
-            mask = self.adj_mask[node]
-            neighbors = []
-            index = 0
-            while mask:
-                if mask & 1:
-                    neighbors.append(index)
-                mask >>= 1
-                index += 1
-            self.adj_list.append(neighbors)
+        """Materialise adjacency lists once construction is done.
+
+        Each row is decoded with the lowest-set-bit kernel, so the cost is
+        the number of *edges*, not nodes², and the edge count falls out of
+        the decoding for free (cached for ``edge_count``).
+        """
+        adj_list = []
+        endpoint_total = 0
+        for mask in self.adj_mask:
+            neighbors = bits_list(mask)
+            endpoint_total += len(neighbors)
+            adj_list.append(neighbors)
+        self.adj_list = adj_list
+        self._edge_count = endpoint_total // 2
 
     # ------------------------------------------------------------------
     # Queries
@@ -113,9 +127,15 @@ class InterferenceGraph:
         return len(self.neighbors(node))
 
     def edge_count(self) -> int:
-        """Number of undirected edges (including precolored clique)."""
-        total = sum(bin(mask).count("1") for mask in self.adj_mask)
-        return total // 2
+        """Number of undirected edges (including precolored clique).
+
+        Cached: ``freeze()`` computes it as a by-product and ``add_edge``
+        invalidates it, so repeated stats queries cost O(1).
+        """
+        if self._edge_count is None:
+            total = sum(popcount(mask) for mask in self.adj_mask)
+            self._edge_count = total // 2
+        return self._edge_count
 
     def __repr__(self) -> str:
         return (
@@ -124,68 +144,84 @@ class InterferenceGraph:
         )
 
 
-def _class_mask(function: Function, rclass: RClass) -> int:
-    mask = 0
+def _class_masks(function: Function, rclasses) -> dict:
+    masks = {rclass: 0 for rclass in rclasses}
     for vreg in function.vregs:
-        if vreg.rclass == rclass:
-            mask |= 1 << vreg.id
-    return mask
+        if vreg.rclass in masks:
+            masks[vreg.rclass] |= 1 << vreg.id
+    return masks
 
 
-def build_interference_graph(
+def _vregs_by_id(function: Function, liveness: Liveness) -> dict:
+    by_id = getattr(liveness, "vreg_by_id", None)
+    if by_id is None or len(by_id) != len(function.vregs):
+        by_id = {v.id: v for v in function.vregs}
+    return by_id
+
+
+def build_interference_graphs(
     function: Function,
-    rclass: RClass,
     target: Target,
     liveness: Liveness | None = None,
-) -> InterferenceGraph:
-    """Build the interference graph of one register class.
+    rclasses=DEFAULT_CLASSES,
+) -> dict:
+    """Build the interference graphs of every register class at once.
 
-    ``liveness`` may be passed in to share a computation between the two
-    classes of one build phase.
+    One backward walk over the instructions serves all classes: the live
+    set is a single bitset over the whole register file, and every
+    definition point filters it through the class mask of the defined
+    register.  Returns ``{rclass: InterferenceGraph}``.
     """
-    k = target.regs(rclass)
-    graph = InterferenceGraph(rclass, k)
     liveness = liveness or Liveness(function, CFG(function))
-    class_mask = _class_mask(function, rclass)
-    by_id = {v.id: v for v in function.vregs}
-    caller_saved = sorted(target.caller_saved(rclass))
+    by_id = _vregs_by_id(function, liveness)
+    class_mask = _class_masks(function, rclasses)
+    graphs = {
+        rclass: InterferenceGraph(rclass, target.regs(rclass))
+        for rclass in rclasses
+    }
+    caller_saved_mask = {}
+    for rclass in rclasses:
+        mask = 0
+        for color in target.caller_saved(rclass):
+            mask |= 1 << color
+        caller_saved_mask[rclass] = mask
 
     # Make sure every occurring vreg has a node even if it never interferes.
     # Parameters are all defined simultaneously by the (implicit) prologue,
     # so they mutually interfere — without this, two arguments could share
     # a register and the later write would destroy the earlier value.
-    class_params = [p for p in function.params if p.rclass == rclass]
-    for param in class_params:
-        graph.ensure_node(param)
-    for index, first in enumerate(class_params):
-        for second in class_params[index + 1 :]:
-            graph.add_edge(graph.ensure_node(first), graph.ensure_node(second))
-    # Anything else live at function entry (only possible for parameters in
-    # verified IR, but kept general) interferes with every parameter.
-    entry_live = liveness.live_in[function.entry.label] & class_mask
-    masked = entry_live
-    while masked:
-        low = masked & -masked
-        masked ^= low
-        vreg = by_id[low.bit_length() - 1]
-        node = graph.ensure_node(vreg)
+    entry_live = liveness.live_in[function.entry.label]
+    for rclass, graph in graphs.items():
+        class_params = [p for p in function.params if p.rclass == rclass]
         for param in class_params:
-            graph.add_edge(node, graph.ensure_node(param))
+            graph.ensure_node(param)
+        for index, first in enumerate(class_params):
+            for second in class_params[index + 1 :]:
+                graph.add_edge(graph.node_of[first], graph.node_of[second])
+        # Anything else live at function entry (only possible for parameters
+        # in verified IR, but kept general) interferes with every parameter.
+        for vid in iter_bits(entry_live & class_mask[rclass]):
+            node = graph.ensure_node(by_id[vid])
+            for param in class_params:
+                graph.add_edge(node, graph.node_of[param])
     for _block, _index, instr in function.instructions():
         for vreg in instr.defs:
-            if vreg.rclass == rclass:
+            graph = graphs.get(vreg.rclass)
+            if graph is not None:
                 graph.ensure_node(vreg)
         for vreg in instr.uses:
-            if vreg.rclass == rclass:
+            graph = graphs.get(vreg.rclass)
+            if graph is not None:
                 graph.ensure_node(vreg)
 
-    def live_nodes(mask: int):
-        masked = mask & class_mask
-        while masked:
-            low = masked & -masked
-            masked ^= low
-            yield graph.ensure_node(by_id[low.bit_length() - 1])
-
+    # The single backward walk.  The live set is one bitset over every
+    # virtual register, so each definition point records its interference
+    # as a *single OR* into a per-register row in id space — no per-bit
+    # work at all.  Id-space rows merge the (heavily duplicated) live sets
+    # of a register's many definition points for free; they are translated
+    # into node space and symmetrised afterwards, in O(edges).
+    raw: list = [0] * len(function.vregs)  # vreg id -> interfering-id mask
+    across_calls = 0  # ids ever live across a call (all classes)
     for block in function.blocks:
         live = liveness.live_out[block.label]
         for instr in reversed(block.instrs):
@@ -197,26 +233,60 @@ def build_interference_graph(
                 # Values live across the call cannot sit in caller-saved
                 # registers.  (The call's own result is defined after the
                 # clobber point, so it is exempt.)
-                across = live & ~defs_mask
-                for node in live_nodes(across):
-                    for color in caller_saved:
-                        graph.add_edge(node, color)
+                across_calls |= live & ~defs_mask
 
-            copy_source_mask = 0
+            interfering = live
             if instr.is_copy:
-                copy_source_mask = 1 << instr.uses[0].id
-
+                interfering = live & ~(1 << instr.uses[0].id)
             for d in instr.defs:
-                if d.rclass != rclass:
-                    continue
-                d_node = graph.ensure_node(d)
-                interfering = live & ~(1 << d.id) & ~copy_source_mask
-                for node in live_nodes(interfering):
-                    graph.add_edge(d_node, node)
+                raw[d.id] |= interfering
 
-            live = (live & ~defs_mask)
+            live = live & ~defs_mask
             for u in instr.uses:
                 live |= 1 << u.id
 
-    graph.freeze()
-    return graph
+    for rclass, graph in graphs.items():
+        cmask = class_mask[rclass]
+        adj = graph.adj_mask
+        node_of_id = {vreg.id: node for vreg, node in graph.node_of.items()}
+        # Caller-saved clobbers: one accumulated mask serves every call
+        # site, since the clobbered color set is the same at each.
+        clobber = caller_saved_mask[rclass]
+        if clobber:
+            for vid in iter_bits(across_calls & cmask):
+                adj[node_of_id[vid]] |= clobber
+        # Translate each register's id-space row into its node-space row.
+        for vid, node in node_of_id.items():
+            row_ids = raw[vid] & cmask & ~(1 << vid)
+            if row_ids:
+                row = 0
+                for other in iter_bits(row_ids):
+                    row |= 1 << node_of_id[other]
+                adj[node] |= row
+        # Symmetrise: def-point rows are directed (defined -> live), and
+        # the clobber rows only set the virtual side.
+        for node in range(graph.num_nodes):
+            bit = 1 << node
+            for neighbor in iter_bits(adj[node]):
+                adj[neighbor] |= bit
+        graph._edge_count = None
+        graph.freeze()
+    return graphs
+
+
+def build_interference_graph(
+    function: Function,
+    rclass: RClass,
+    target: Target,
+    liveness: Liveness | None = None,
+) -> InterferenceGraph:
+    """Build the interference graph of one register class.
+
+    ``liveness`` may be passed in to share a computation between the two
+    classes of one build phase; callers that need both classes should use
+    :func:`build_interference_graphs`, which walks the instructions once
+    for all of them.
+    """
+    return build_interference_graphs(
+        function, target, liveness, rclasses=(rclass,)
+    )[rclass]

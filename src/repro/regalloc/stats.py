@@ -26,6 +26,8 @@ class PassStats:
         "live_ranges",
         "edges",
         "coalesced",
+        "webs_split",
+        "reused",
     )
 
     def __init__(self, index: int):
@@ -40,6 +42,10 @@ class PassStats:
         self.live_ranges = 0
         self.edges = 0
         self.coalesced = 0
+        self.webs_split = 0
+        #: analyses/transforms carried over from an earlier pass instead of
+        #: recomputed — e.g. ``("loops", "renumber", "coalesce")``.
+        self.reused: tuple = ()
 
     def __repr__(self) -> str:
         return (

@@ -2,6 +2,10 @@
 
 import pytest
 
+# Regenerates whole experiments; `pytest -m "not slow"` skips for a quick
+# inner loop, while the tier-1 command (no marker filter) runs everything.
+pytestmark = pytest.mark.slow
+
 from repro.experiments import (
     EXPERIMENT_TARGET,
     Table,

@@ -1,0 +1,151 @@
+"""Properties of the fused dual-class build and parallel module allocation.
+
+PR 1 rebuilt the hot path: one backward walk now populates both register
+classes' interference graphs (instead of one walk per class), and
+``allocate_module`` can fan functions out over a process pool.  Neither is
+allowed to change a single observable bit:
+
+1. the fused build must produce graphs identical — nodes, edges, degrees —
+   to the seed's independent single-class builds (the reference
+   implementation is kept in ``benchmarks/run_bench.py`` for exactly this
+   role, plus the perf trajectory);
+2. ``jobs=2`` module allocation must yield the same assignment, spill
+   counts, and pass counts as serial allocation.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from benchmarks.run_bench import seed_build_interference_graph
+from repro.analysis.cfg import CFG
+from repro.analysis.liveness import Liveness
+from repro.frontend import compile_source
+from repro.ir.values import RClass
+from repro.machine import rt_pc
+from repro.regalloc import (
+    BriggsAllocator,
+    allocate_module,
+    build_interference_graphs,
+)
+from repro.workloads.synth import generate_program
+
+_CLASSES = (RClass.INT, RClass.FLOAT)
+
+
+def _flat_assignment(result):
+    """Assignment keyed by stable (id, class) pairs instead of VReg
+    identity, so copies that crossed a process boundary compare equal."""
+    return {
+        (vreg.id, vreg.rclass.value): color
+        for vreg, color in result.assignment.items()
+    }
+
+
+class TestFusedBuild:
+    @given(seed=st.integers(min_value=0, max_value=100_000))
+    @settings(max_examples=40, deadline=None)
+    def test_fused_build_matches_seed_single_class_builds(self, seed):
+        source = generate_program(seed, statements=10)
+        module = compile_source(source)
+        target = rt_pc()
+        for function in module:
+            liveness = Liveness(function, CFG(function))
+            fused = build_interference_graphs(
+                function, target, liveness, rclasses=_CLASSES
+            )
+            for rclass in _CLASSES:
+                reference = seed_build_interference_graph(
+                    function, rclass, target, liveness
+                )
+                graph = fused[rclass]
+                assert graph.k == reference.k
+                assert graph.vregs == reference.vregs  # nodes, same order
+                assert graph.adj_mask == reference.adj_mask  # edges
+                assert [  # degrees
+                    len(row) for row in graph.adj_list
+                ] == [len(row) for row in reference.adj_list]
+                assert graph.edge_count() == reference.edge_count()
+
+    def test_fused_build_on_the_svd_workload(self):
+        from repro.workloads.svd import workload
+
+        module = workload().compile()
+        target = rt_pc()
+        for function in module:
+            liveness = Liveness(function, CFG(function))
+            fused = build_interference_graphs(function, target, liveness)
+            for rclass in _CLASSES:
+                reference = seed_build_interference_graph(
+                    function, rclass, target, liveness
+                )
+                assert fused[rclass].adj_mask == reference.adj_mask
+                assert fused[rclass].vregs == reference.vregs
+
+
+class TestParallelModuleAllocation:
+    @given(
+        seed=st.integers(min_value=0, max_value=100_000),
+        method=st.sampled_from(["briggs", "chaitin"]),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_jobs2_matches_serial(self, seed, method):
+        source = generate_program(seed)
+        target = rt_pc()
+        serial = allocate_module(compile_source(source), target, method)
+        parallel = allocate_module(
+            compile_source(source), target, method, jobs=2
+        )
+        assert serial.results.keys() == parallel.results.keys()
+        for name in serial.results:
+            left = serial.results[name]
+            right = parallel.results[name]
+            assert _flat_assignment(left) == _flat_assignment(right)
+            assert (
+                left.stats.registers_spilled == right.stats.registers_spilled
+            )
+            assert (
+                left.stats.total_registers_spilled
+                == right.stats.total_registers_spilled
+            )
+            assert left.stats.pass_count == right.stats.pass_count
+
+    def test_jobs2_matches_serial_on_svd(self):
+        from repro.workloads.svd import workload
+
+        target = rt_pc()
+        serial = allocate_module(workload().compile(), target, "briggs")
+        parallel = allocate_module(
+            workload().compile(), target, "briggs", jobs=2, validate=True
+        )
+        for name in serial.results:
+            assert _flat_assignment(serial.results[name]) == _flat_assignment(
+                parallel.results[name]
+            )
+        assert serial.total_spilled() == parallel.total_spilled()
+
+    def test_parallel_swaps_allocated_functions_into_module(self):
+        from repro.workloads.svd import workload
+
+        module = workload().compile()
+        allocation = allocate_module(module, rt_pc(), "briggs", jobs=2)
+        for name, result in allocation.results.items():
+            assert module.functions[name] is result.function
+        # The merged assignment covers the swapped-in functions' registers.
+        for function in module:
+            for _block, _index, instr in function.instructions():
+                for vreg in list(instr.defs) + list(instr.uses):
+                    assert vreg in allocation.assignment
+
+    def test_non_picklable_strategy_falls_back_to_serial(self):
+        class LocalBriggs(BriggsAllocator):  # local class: not picklable
+            pass
+
+        from repro.workloads.svd import workload
+
+        reference = allocate_module(workload().compile(), rt_pc(), "briggs")
+        allocation = allocate_module(
+            workload().compile(), rt_pc(), LocalBriggs(), jobs=2
+        )
+        for name in reference.results:
+            assert _flat_assignment(reference.results[name]) == (
+                _flat_assignment(allocation.results[name])
+            )

@@ -15,6 +15,10 @@ from hypothesis import given, settings, strategies as st
 
 import pytest
 
+# Full-pipeline differential runs take tens of seconds; skip with
+# `pytest -m "not slow"` for a quick inner loop.
+pytestmark = pytest.mark.slow
+
 from repro.errors import AllocationError
 from repro.frontend import compile_source
 from repro.machine import rt_pc, run_module

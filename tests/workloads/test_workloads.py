@@ -2,6 +2,10 @@
 
 import pytest
 
+# Compiles, allocates, and simulates every bundled workload; skip with
+# `pytest -m "not slow"` for a quick inner loop.
+pytestmark = pytest.mark.slow
+
 from repro.machine import run_module, rt_pc
 from repro.regalloc import allocate_module
 from repro.workloads import all_workloads, get_workload
