@@ -1,19 +1,27 @@
 # Convenience targets for the repro repo.
 #
-#   make test       — the tier-1 verify command (everything, fail-fast)
-#   make test-fast  — sub-minute inner loop (skips @slow experiment
-#                     regenerations, workload simulations, differentials)
-#   make bench      — time the allocator hot path and write BENCH_PR1.json
+#   make test          — the tier-1 verify command (everything, fail-fast)
+#   make test-fast     — sub-minute inner loop (skips @slow experiment
+#                        regenerations, workload simulations, differentials)
+#   make verify-faults — sweep the fault-injection registry (every fault
+#                        must be detected or visibly degraded) and run
+#                        the robustness + fault-injection suites
+#   make bench         — time the allocator hot path, write BENCH_PR1.json
 
 PYTHON ?= python
 
-.PHONY: test test-fast bench
+.PHONY: test test-fast verify-faults bench
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 
 test-fast:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q -m "not slow"
+
+verify-faults:
+	PYTHONPATH=src $(PYTHON) -m repro verify --inject all
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q \
+		tests/robustness tests/properties/test_fault_injection.py
 
 bench:
 	PYTHONPATH=src $(PYTHON) benchmarks/run_bench.py --jobs 2

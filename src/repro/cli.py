@@ -11,6 +11,12 @@ Commands
     allocation (the default is virtual-register execution).
 ``allocate FILE``
     Allocate registers and print per-routine statistics.
+``verify [FILE]``
+    Defense-in-depth smoke checks: translation validation (differential
+    execution of pre- vs post-allocation code) over a file or the
+    workload registry, or — with ``--inject FAULT --seed N`` — a seeded
+    fault-injection probe asserting the fault is detected by a defense
+    layer or degrades gracefully.  ``--list-faults`` shows the registry.
 ``figures [NAMES...]``
     Regenerate the paper's tables (figure5 figure6 figure7 ablations
     intstudy, or ``all``) into ``--out`` (default ``results/``).
@@ -61,6 +67,10 @@ def _alloc_kwargs(args) -> dict:
         "rematerialize": args.rematerialize,
         "split_ranges": args.split_ranges,
         "jobs": args.jobs,
+        "policy": args.policy,
+        "timeout": args.timeout,
+        "retries": args.retries,
+        "bundle_dir": args.bundle_dir,
     }
 
 
@@ -110,6 +120,93 @@ def cmd_allocate(args) -> int:
             object_size(result.function, target, result.assignment),
         )
     print(table.render())
+    return 0
+
+
+def cmd_verify(args) -> int:
+    from repro.robustness import (
+        FAULTS,
+        probe_fault,
+        validate_workload,
+        verify_allocation,
+    )
+
+    if args.list_faults:
+        for name, fault in sorted(FAULTS.items()):
+            print(f"{name:22s} [{fault.kind}, expect {fault.expect}]  "
+                  f"{fault.description}")
+        return 0
+
+    methods = ["briggs", "chaitin"] if args.method == "all" else [args.method]
+    target = rt_pc().with_int_regs(args.int_regs).with_float_regs(
+        args.float_regs
+    )
+
+    if args.inject:
+        source = (
+            pathlib.Path(args.file).read_text() if args.file else None
+        )
+        fault_names = (
+            sorted(FAULTS) if args.inject == "all" else [args.inject]
+        )
+        all_ok = True
+        for fault_name in fault_names:
+            for method in methods:
+                probe = probe_fault(
+                    fault_name, seed=args.seed, source=source, method=method
+                )
+                if probe.injected is None:
+                    verdict = (
+                        "INAPPLICABLE (injector found nothing to corrupt)"
+                    )
+                elif probe.detected_by:
+                    verdict = f"DETECTED by {', '.join(probe.detected_by)}"
+                elif probe.degraded:
+                    verdict = (
+                        f"DEGRADED gracefully ({probe.failures} recorded)"
+                    )
+                else:
+                    verdict = "SILENT PASS-THROUGH"
+                print(f"{fault_name} (seed {args.seed}, {method}): {verdict}")
+                if probe.injected:
+                    print(f"  injected: {probe.injected}")
+                if probe.detail:
+                    print(f"  evidence: {probe.detail}")
+                all_ok = all_ok and probe.ok
+        return 0 if all_ok else 1
+
+    if args.file:
+        stem = pathlib.Path(args.file).stem
+        source = pathlib.Path(args.file).read_text()
+        for method in methods:
+            baseline = compile_source(source, stem)
+            module = compile_source(source, stem)
+            allocation = allocate_module(
+                module, target, method,
+                jobs=args.jobs, policy=args.policy, timeout=args.timeout,
+                retries=args.retries, bundle_dir=args.bundle_dir,
+            )
+            report = verify_allocation(
+                module, allocation, entry=args.entry, baseline=baseline
+            )
+            print(
+                f"{stem}/{method}: OK — {report.functions_checked} "
+                f"functions, {len(report.outputs)} outputs match the "
+                f"pre-allocation run"
+            )
+        return 0
+
+    from repro.workloads import all_workloads
+
+    names = args.workload or sorted(all_workloads())
+    for name in names:
+        workload = all_workloads()[name]
+        for method in methods:
+            report = validate_workload(workload, method, target)
+            print(
+                f"{name}/{method}: OK — {report.functions_checked} "
+                f"functions, {len(report.outputs)} outputs match"
+            )
     return 0
 
 
@@ -216,6 +313,35 @@ def build_parser() -> argparse.ArgumentParser:
                 "(0 = one per CPU; default 1 = serial)"
             ),
         )
+        p.add_argument(
+            "--policy",
+            choices=["raise", "degrade-to-naive", "skip"],
+            default="raise",
+            help=(
+                "what to do when one function's allocation fails "
+                "(default raise)"
+            ),
+        )
+        p.add_argument(
+            "--timeout",
+            type=float,
+            default=None,
+            help="per-function timeout in seconds for parallel workers",
+        )
+        p.add_argument(
+            "--retries",
+            type=int,
+            default=1,
+            help="in-process re-attempts after a worker crash (default 1)",
+        )
+        p.add_argument(
+            "--bundle-dir",
+            default=None,
+            help=(
+                "write deterministic crash bundles "
+                "(<dir>/crash-<function>/) for recorded failures"
+            ),
+        )
 
     p = sub.add_parser("compile", help="print the compiled IR")
     p.add_argument("file")
@@ -244,6 +370,41 @@ def build_parser() -> argparse.ArgumentParser:
     add_target_flags(p)
     add_alloc_flags(p)
     p.set_defaults(func=cmd_allocate)
+
+    p = sub.add_parser(
+        "verify",
+        help="translation validation and fault-injection smoke checks",
+    )
+    p.add_argument("file", nargs="?", default=None,
+                   help="mini-FORTRAN file (default: registry workloads)")
+    p.add_argument("--workload", action="append", default=None,
+                   metavar="NAME", help="validate one registry workload "
+                   "(repeatable; default all)")
+    p.add_argument("--method", default="all",
+                   choices=["briggs", "chaitin", "briggs-degree",
+                            "spill-all", "all"],
+                   help="allocator(s) to validate (default: briggs+chaitin)")
+    p.add_argument("--inject", default=None, metavar="FAULT",
+                   help="inject one registered fault ('all' sweeps the "
+                   "registry) and report which defense layer catches it")
+    p.add_argument("--seed", type=int, default=0,
+                   help="fault-injection seed (default 0)")
+    p.add_argument("--list-faults", action="store_true",
+                   help="list the fault registry and exit")
+    p.add_argument("--entry", default=None)
+    p.add_argument("--int-regs", type=int, default=12,
+                   help="validation target GPRs (default 12: pressured, "
+                   "so spill code is exercised)")
+    p.add_argument("--float-regs", type=int, default=6,
+                   help="validation target FPRs (default 6)")
+    p.add_argument("--jobs", type=int, default=1)
+    p.add_argument("--policy",
+                   choices=["raise", "degrade-to-naive", "skip"],
+                   default="raise")
+    p.add_argument("--timeout", type=float, default=None)
+    p.add_argument("--retries", type=int, default=1)
+    p.add_argument("--bundle-dir", default=None)
+    p.set_defaults(func=cmd_verify)
 
     p = sub.add_parser("figures", help="regenerate the paper's tables")
     p.add_argument("names", nargs="*", help="figure5 figure6 figure7 ablations | all")

@@ -4,7 +4,9 @@ Each compilation stage raises its own subclass of :class:`ReproError` so that
 callers (tests, the experiment harness, user code) can react to a lexing
 problem differently from, say, a register-allocation invariant violation.
 All errors carry an optional source location so diagnostics point at the
-offending line of mini-FORTRAN or textual IR.
+offending line of mini-FORTRAN or textual IR, plus a structured ``context``
+dict (function name, pass index, phase, ...) that enclosing layers attach
+with :meth:`ReproError.with_context` as the error propagates outward.
 """
 
 from __future__ import annotations
@@ -40,15 +42,54 @@ class SourceLocation:
 
 
 class ReproError(Exception):
-    """Base class for every error raised by the repro package."""
+    """Base class for every error raised by the repro package.
 
-    def __init__(self, message: str, location: SourceLocation | None = None):
+    ``context`` is a free-form diagnostics dict.  Code close to the fault
+    states *what* went wrong; enclosing layers (the allocation driver, the
+    experiment harness) add *where* — function name, pass index, phase —
+    via :meth:`with_context` without re-wrapping the exception.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        location: SourceLocation | None = None,
+        context: dict | None = None,
+    ):
         self.message = message
         self.location = location
+        self.context: dict = dict(context) if context else {}
         if location is not None:
             super().__init__(f"{location}: {message}")
         else:
             super().__init__(message)
+
+    def with_context(self, **entries) -> "ReproError":
+        """Merge ``entries`` into :attr:`context` (existing keys win, so
+        the innermost — most precise — layer's values survive) and return
+        ``self``, ready to re-raise."""
+        for key, value in entries.items():
+            self.context.setdefault(key, value)
+        return self
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        if not self.context:
+            return base
+        detail = ", ".join(
+            f"{key}={value}" for key, value in self.context.items()
+        )
+        return f"{base} [{detail}]"
+
+    def __reduce__(self):
+        # Keep location and context across process boundaries (the
+        # parallel driver re-raises worker exceptions in the parent).
+        return (_rebuild_error, (type(self), self.message, self.location,
+                                 self.context))
+
+
+def _rebuild_error(cls, message, location, context):
+    return cls(message, location, context)
 
 
 class LexError(ReproError):
@@ -79,5 +120,22 @@ class AllocationError(ReproError):
     """Raised when register allocation violates one of its invariants."""
 
 
+class TranslationValidationError(AllocationError):
+    """Raised by differential validation when allocated code observably
+    diverges from the pre-allocation semantics (wrong outputs, a runtime
+    fault the baseline did not have, ...)."""
+
+
+class DriverTimeoutError(AllocationError):
+    """Raised (or recorded, depending on the failure policy) when a
+    parallel allocation worker exceeds its per-function timeout."""
+
+
 class SimulationError(ReproError):
     """Raised by the machine simulator (bad memory access, missing routine...)."""
+
+
+class SimulationBudgetError(SimulationError):
+    """Raised when a run exhausts its instruction budget — distinguishes a
+    (possibly injected) non-terminating program from a genuine machine
+    fault, so validators can report hangs separately."""

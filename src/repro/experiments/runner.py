@@ -12,6 +12,7 @@ an explicit target, and the full 16/8 machine is exercised in the tests.
 
 from __future__ import annotations
 
+from repro.errors import TranslationValidationError
 from repro.machine.encoding import object_size
 from repro.machine.simulator import run_module
 from repro.machine.target import Target, rt_pc
@@ -105,14 +106,31 @@ def allocate_workload(
 
 
 def dynamic_cycles(workload: Workload, module, allocation: ModuleAllocation,
-                   target: Target, verify: bool = True) -> int:
-    """Simulate the allocated program, verify outputs, return cycles."""
+                   target: Target, verify: bool = True,
+                   baseline=None) -> int:
+    """Simulate the allocated program, verify outputs, return cycles.
+
+    ``baseline`` (a pre-allocation output stream) additionally turns the
+    run into a translation validation: any divergence raises
+    :class:`TranslationValidationError` instead of silently reporting the
+    cycles of a wrong answer.
+    """
     result = run_module(
         module,
         entry=workload.entry,
         target=target,
         assignment=allocation.assignment,
     )
+    if baseline is not None and result.outputs != baseline:
+        raise TranslationValidationError(
+            f"{workload.name}: allocated outputs diverge from the "
+            f"pre-allocation run",
+            context={
+                "workload": workload.name,
+                "method": allocation.method,
+                "entry": workload.entry,
+            },
+        )
     if verify:
         workload.verify_outputs(result.outputs)
     return result.cycles
@@ -123,8 +141,15 @@ def compare_workload(
     target: Target | None = None,
     simulate: bool = True,
     validate: bool = False,
+    differential: bool = False,
 ) -> WorkloadComparison:
-    """Run Old (Chaitin) and New (Briggs) over one workload."""
+    """Run Old (Chaitin) and New (Briggs) over one workload.
+
+    ``validate`` re-checks each coloring statically; ``differential``
+    additionally validates both allocations' dynamic outputs against a
+    pristine pre-allocation run (layer-1 translation validation), so a
+    spill-code bug cannot leak into the paper's tables.
+    """
     target = target or EXPERIMENT_TARGET
     module_old, alloc_old = allocate_workload(workload, target, OLD, validate)
     module_new, alloc_new = allocate_workload(workload, target, NEW, validate)
@@ -148,8 +173,17 @@ def compare_workload(
 
     cycles_old = cycles_new = 0
     if simulate:
-        cycles_old = dynamic_cycles(workload, module_old, alloc_old, target)
-        cycles_new = dynamic_cycles(workload, module_new, alloc_new, target)
+        baseline = None
+        if differential:
+            baseline = run_module(
+                workload.compile(), entry=workload.entry
+            ).outputs
+        cycles_old = dynamic_cycles(
+            workload, module_old, alloc_old, target, baseline=baseline
+        )
+        cycles_new = dynamic_cycles(
+            workload, module_new, alloc_new, target, baseline=baseline
+        )
     return WorkloadComparison(
         workload, comparisons, cycles_old, cycles_new, alloc_old, alloc_new
     )

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import math
 
-from repro.errors import SimulationError
+from repro.errors import SimulationBudgetError, SimulationError
 from repro.ir.function import Function
 from repro.ir.module import Module
 from repro.ir.values import RClass
@@ -208,12 +208,19 @@ class Simulator:
                 f"{frame.function.name}: {vreg!r} has no assigned register"
             )
         regfile = self.iregs if vreg.rclass == RClass.INT else self.fregs
+        if not 0 <= color < len(regfile):
+            raise SimulationError(
+                f"{frame.function.name}: {vreg!r} colored {color}, outside "
+                f"the {len(regfile)}-register {vreg.rclass} file",
+                context={"function": frame.function.name, "color": color},
+            )
         value = regfile[color]
         if value is POISON:
             raise SimulationError(
                 f"{frame.function.name}: read of poisoned register "
                 f"{vreg.rclass}{color} through {vreg!r} "
-                "(value not preserved across a call?)"
+                "(value not preserved across a call?)",
+                context={"function": frame.function.name, "color": color},
             )
         return value
 
@@ -226,10 +233,14 @@ class Simulator:
             raise SimulationError(
                 f"{frame.function.name}: {vreg!r} has no assigned register"
             )
-        if vreg.rclass == RClass.INT:
-            self.iregs[color] = value
-        else:
-            self.fregs[color] = value
+        regfile = self.iregs if vreg.rclass == RClass.INT else self.fregs
+        if not 0 <= color < len(regfile):
+            raise SimulationError(
+                f"{frame.function.name}: {vreg!r} colored {color}, outside "
+                f"the {len(regfile)}-register {vreg.rclass} file",
+                context={"function": frame.function.name, "color": color},
+            )
+        regfile[color] = value
 
     # ------------------------------------------------------------------
     # Memory
@@ -321,8 +332,9 @@ class Simulator:
             index += 1
             self.instructions += 1
             if self.instructions > self.max_instructions:
-                raise SimulationError(
-                    f"instruction budget exhausted ({self.max_instructions})"
+                raise SimulationBudgetError(
+                    f"instruction budget exhausted ({self.max_instructions})",
+                    context={"function": function.name, "block": block.label},
                 )
             op = instr.op
             self.cycles += cycles_table[op]

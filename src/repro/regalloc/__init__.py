@@ -36,7 +36,9 @@ from repro.regalloc.naive import SpillAllAllocator
 from repro.regalloc.matula import smallest_last_order, greedy_color
 from repro.regalloc.spill import insert_spill_code
 from repro.regalloc.driver import (
+    AllocationFailure,
     AllocationResult,
+    FailurePolicy,
     ModuleAllocation,
     allocate_function,
     allocate_module,
@@ -61,7 +63,9 @@ __all__ = [
     "smallest_last_order",
     "greedy_color",
     "insert_spill_code",
+    "AllocationFailure",
     "AllocationResult",
+    "FailurePolicy",
     "ModuleAllocation",
     "allocate_function",
     "allocate_module",

@@ -23,22 +23,32 @@ re-runs).  ``PassStats.reused`` records exactly what was carried over.
 
 ``check_allocation`` independently re-derives interference on the final
 code and verifies the coloring — the allocator's acceptance test.
+Deeper, *dynamic* checking (differential execution of allocated against
+pre-allocation code) lives in :mod:`repro.robustness.validate`.
 
 ``allocate_module`` fans independent functions out over a process pool
 when ``jobs > 1``; results are deterministic and bit-identical to the
-serial path.
+serial path.  The parallel driver is hardened: workers get a per-function
+``timeout``, a crashed worker is retried in-process a bounded number of
+times (``retries``) on a fresh copy of its function, and a function whose
+allocation still fails is handled per :class:`FailurePolicy` — re-raise,
+degrade to the spill-all baseline, or skip — with structured diagnostics
+recorded on :attr:`ModuleAllocation.failures` and an optional
+deterministic crash bundle written under ``bundle_dir``.
 """
 
 from __future__ import annotations
 
+import enum
 import pickle
 import time
+import warnings
 
 from repro.analysis.cfg import CFG
 from repro.analysis.liveness import Liveness
 from repro.analysis.loops import annotate_loop_depths
 from repro.analysis.webs import split_webs
-from repro.errors import AllocationError
+from repro.errors import AllocationError, DriverTimeoutError, ReproError
 from repro.ir.function import Function
 from repro.ir.module import Module
 from repro.ir.values import RClass
@@ -71,6 +81,82 @@ def _method_for(name_or_method):
             return SpillAllAllocator()
         raise AllocationError(f"unknown allocation method {name_or_method!r}")
     return name_or_method
+
+
+class FailurePolicy(enum.Enum):
+    """What :func:`allocate_module` does when one function's allocation
+    fails (an :class:`AllocationError`, a crashed worker, or a worker
+    exceeding its timeout).
+
+    * ``RAISE`` — propagate the error (the historical behavior).
+    * ``DEGRADE`` — re-allocate the function with the spill-all baseline,
+      which needs almost no registers, and record the downgrade.
+    * ``SKIP`` — leave the function out of the results and record why.
+    """
+
+    RAISE = "raise"
+    DEGRADE = "degrade-to-naive"
+    SKIP = "skip"
+
+    @classmethod
+    def coerce(cls, value) -> "FailurePolicy":
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value)
+        except ValueError:
+            choices = ", ".join(repr(p.value) for p in cls)
+            raise AllocationError(
+                f"unknown failure policy {value!r} (choose from {choices})"
+            ) from None
+
+
+class AllocationFailure:
+    """Structured diagnostics for one function whose allocation failed.
+
+    Collected on :attr:`ModuleAllocation.failures` whenever a non-raising
+    :class:`FailurePolicy` absorbs a failure (and, transiently, before a
+    ``RAISE`` policy propagates it).
+    """
+
+    __slots__ = (
+        "function",
+        "method",
+        "phase",
+        "pass_index",
+        "error",
+        "error_type",
+        "elapsed",
+        "retries",
+        "action",
+        "bundle",
+    )
+
+    def __init__(self, function, method, phase, pass_index, error, elapsed,
+                 retries, action, bundle=None):
+        self.function = function
+        self.method = method
+        #: where the failure happened: "build", "color", "spill",
+        #: "validate", "worker-crash", "worker-timeout", ...
+        self.phase = phase
+        self.pass_index = pass_index
+        self.error = str(error)
+        self.error_type = type(error).__name__
+        self.elapsed = elapsed
+        self.retries = retries
+        #: what the policy did: "raised", "degraded-to-naive", "skipped".
+        self.action = action
+        #: path of the crash bundle, when one was written.
+        self.bundle = bundle
+
+    def as_dict(self) -> dict:
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    def __repr__(self) -> str:
+        return (
+            f"AllocationFailure({self.function}: {self.error_type} in "
+            f"{self.phase}, {self.action})"
+        )
 
 
 class AllocationResult:
@@ -108,116 +194,140 @@ def allocate_function(
     """Allocate registers for ``function`` in place (spill code may be
     inserted).  ``method`` is ``"chaitin"``, ``"briggs"``,
     ``"briggs-degree"`` or a strategy object.  ``rematerialize`` enables
-    Chaitin's constant-rematerialization refinement for spilled ranges."""
+    Chaitin's constant-rematerialization refinement for spilled ranges.
+
+    Any :class:`AllocationError` escaping the cycle carries structured
+    ``context``: the function name, the allocation method, the pass index
+    and the phase ("build", "color", "spill", "validate") it tripped in.
+    """
     strategy = _method_for(method)
     stats = AllocationStats(strategy.name, function.name)
     assignment: dict = {}
 
-    if split_ranges:
-        from repro.regalloc.splitting import split_live_ranges
+    phase = "setup"
+    pass_index = 0
+    try:
+        if split_ranges:
+            from repro.regalloc.splitting import split_live_ranges
 
-        split_live_ranges(function, target)
+            phase = "split"
+            split_live_ranges(function, target)
 
-    coalesce_strategy = coalesce if isinstance(coalesce, str) else "aggressive"
-    # Cross-pass caches.  Spill code never adds or removes blocks and never
-    # rewrites terminators, so the CFG and loop nesting computed in the
-    # first pass hold for every later one.
-    cfg = None
-    loop_info = None
-    # Renumber/coalesce fixed point (see module docstring).  The two feed
-    # each other — a split can expose a merge and vice versa — so both are
-    # skipped only once a single pass observed *neither* doing anything.
-    # Spill code cannot disturb that state (spill temporaries are excluded
-    # from both transforms), except through the conservative coalescer's
-    # degree test, which is why only the aggressive strategy settles.
-    build_settled = False
+        coalesce_strategy = coalesce if isinstance(coalesce, str) else "aggressive"
+        # Cross-pass caches.  Spill code never adds or removes blocks and
+        # never rewrites terminators, so the CFG and loop nesting computed
+        # in the first pass hold for every later one.
+        cfg = None
+        loop_info = None
+        # Renumber/coalesce fixed point (see module docstring).  The two
+        # feed each other — a split can expose a merge and vice versa — so
+        # both are skipped only once a single pass observed *neither*
+        # doing anything.  Spill code cannot disturb that state (spill
+        # temporaries are excluded from both transforms), except through
+        # the conservative coalescer's degree test, which is why only the
+        # aggressive strategy settles.
+        build_settled = False
 
-    for pass_index in range(1, max_passes + 1):
-        pass_stats = PassStats(pass_index)
-        stats.passes.append(pass_stats)
-        reused: list = []
+        for pass_index in range(1, max_passes + 1):
+            pass_stats = PassStats(pass_index)
+            stats.passes.append(pass_stats)
+            reused: list = []
 
-        # ---- build ---------------------------------------------------
-        started = time.perf_counter()
-        if renumber:
-            if build_settled:
-                reused.append("renumber")
-            else:
-                pass_stats.webs_split = split_webs(function)
-        if coalesce:
-            if build_settled:
-                reused.append("coalesce")
-            else:
-                pass_stats.coalesced = coalesce_copies(
-                    function, target, strategy=coalesce_strategy
+            # ---- build ---------------------------------------------------
+            phase = "build"
+            started = time.perf_counter()
+            if renumber:
+                if build_settled:
+                    reused.append("renumber")
+                else:
+                    pass_stats.webs_split = split_webs(function)
+            if coalesce:
+                if build_settled:
+                    reused.append("coalesce")
+                else:
+                    pass_stats.coalesced = coalesce_copies(
+                        function, target, strategy=coalesce_strategy
+                    )
+            if not build_settled:
+                coalesce_quiet = not coalesce or (
+                    pass_stats.coalesced == 0
+                    and coalesce_strategy == "aggressive"
                 )
-        if not build_settled:
-            coalesce_quiet = not coalesce or (
-                pass_stats.coalesced == 0
-                and coalesce_strategy == "aggressive"
+                if pass_stats.webs_split == 0 and coalesce_quiet:
+                    build_settled = True
+            if cfg is None:
+                cfg = CFG(function)
+            else:
+                reused.append("cfg")
+            liveness = Liveness(function, cfg)
+            if loop_info is None:
+                loop_info = annotate_loop_depths(function, cfg)
+            else:
+                reused.append("loops")
+            pass_stats.reused = tuple(reused)
+            graphs = build_interference_graphs(
+                function, target, liveness, rclasses=_CLASSES
             )
-            if pass_stats.webs_split == 0 and coalesce_quiet:
-                build_settled = True
-        if cfg is None:
-            cfg = CFG(function)
-        else:
-            reused.append("cfg")
-        liveness = Liveness(function, cfg)
-        if loop_info is None:
-            loop_info = annotate_loop_depths(function, cfg)
-        else:
-            reused.append("loops")
-        pass_stats.reused = tuple(reused)
-        graphs = build_interference_graphs(
-            function, target, liveness, rclasses=_CLASSES
-        )
-        costs = compute_spill_costs(function, loop_info)
-        pass_stats.live_ranges = sum(
-            g.num_vreg_nodes for g in graphs.values()
-        )
-        pass_stats.edges = sum(g.edge_count() for g in graphs.values())
-        pass_stats.build_time = time.perf_counter() - started
-
-        # ---- simplify + select ----------------------------------------
-        spilled_vregs: list = []
-        class_colors: dict = {}
-        for rclass in _CLASSES:
-            graph = graphs[rclass]
-            if graph.num_vreg_nodes == 0:
-                continue  # nothing of this class occurs in the function
-            outcome = strategy.allocate_class(
-                graph, costs, target.color_order(rclass)
+            costs = compute_spill_costs(function, loop_info)
+            pass_stats.live_ranges = sum(
+                g.num_vreg_nodes for g in graphs.values()
             )
-            pass_stats.simplify_time += outcome.simplify_time
-            pass_stats.select_time += outcome.select_time
-            if outcome.ran_select:
-                pass_stats.ran_select = True
-            spilled_vregs.extend(outcome.spilled_vregs)
-            class_colors.update(outcome.colors)
+            pass_stats.edges = sum(g.edge_count() for g in graphs.values())
+            pass_stats.build_time = time.perf_counter() - started
 
-        if not spilled_vregs:
-            assignment = class_colors
-            break
+            # ---- simplify + select ----------------------------------------
+            phase = "color"
+            spilled_vregs: list = []
+            class_colors: dict = {}
+            for rclass in _CLASSES:
+                graph = graphs[rclass]
+                if graph.num_vreg_nodes == 0:
+                    continue  # nothing of this class occurs in the function
+                outcome = strategy.allocate_class(
+                    graph, costs, target.color_order(rclass)
+                )
+                pass_stats.simplify_time += outcome.simplify_time
+                pass_stats.select_time += outcome.select_time
+                if outcome.ran_select:
+                    pass_stats.ran_select = True
+                spilled_vregs.extend(outcome.spilled_vregs)
+                class_colors.update(outcome.colors)
 
-        # ---- spill ----------------------------------------------------
-        pass_stats.spilled_count = len(spilled_vregs)
-        pass_stats.spilled_cost = sum(
-            costs.cost(v) for v in spilled_vregs
+            if not spilled_vregs:
+                assignment = class_colors
+                break
+
+            # ---- spill ----------------------------------------------------
+            phase = "spill"
+            pass_stats.spilled_count = len(spilled_vregs)
+            pass_stats.spilled_cost = sum(
+                costs.cost(v) for v in spilled_vregs
+            )
+            started = time.perf_counter()
+            insert_spill_code(
+                function, spilled_vregs, rematerialize=rematerialize
+            )
+            pass_stats.spill_time = time.perf_counter() - started
+        else:
+            raise AllocationError(
+                f"{function.name}: no coloring after {max_passes} passes "
+                f"({strategy.name}, target {target.name})",
+                context={"phase": "driver"},
+            )
+
+        result = AllocationResult(
+            function, target, strategy.name, assignment, stats
         )
-        started = time.perf_counter()
-        insert_spill_code(function, spilled_vregs, rematerialize=rematerialize)
-        pass_stats.spill_time = time.perf_counter() - started
-    else:
-        raise AllocationError(
-            f"{function.name}: no coloring after {max_passes} passes "
-            f"({strategy.name}, target {target.name})"
+        if validate:
+            phase = "validate"
+            check_allocation(result)
+    except AllocationError as error:
+        raise error.with_context(
+            function=function.name,
+            method=strategy.name,
+            phase=phase,
+            pass_index=pass_index,
         )
-
-    result = AllocationResult(
-        function, target, strategy.name, assignment, stats
-    )
-    if validate:
-        check_allocation(result)
     return result
 
 
@@ -232,53 +342,78 @@ def check_allocation(result: AllocationResult) -> None:
     function = result.function
     target = result.target
     assignment = result.assignment
-    liveness = Liveness(function, CFG(function))
+    try:
+        liveness = Liveness(function, CFG(function))
 
-    occurring = set()
-    for _block, _index, instr in function.instructions():
-        occurring.update(instr.defs)
-        occurring.update(instr.uses)
-    for vreg in occurring:
-        color = assignment.get(vreg)
-        if color is None:
-            raise AllocationError(f"{vreg!r} occurs but has no color")
-        if not 0 <= color < target.regs(vreg.rclass):
-            raise AllocationError(
-                f"{vreg!r} colored {color}, outside the "
-                f"{target.regs(vreg.rclass)}-register file"
+        occurring = set()
+        for _block, _index, instr in function.instructions():
+            occurring.update(instr.defs)
+            occurring.update(instr.uses)
+        for vreg in occurring:
+            color = assignment.get(vreg)
+            if color is None:
+                raise AllocationError(f"{vreg!r} occurs but has no color")
+            if not 0 <= color < target.regs(vreg.rclass):
+                raise AllocationError(
+                    f"{vreg!r} colored {color}, outside the "
+                    f"{target.regs(vreg.rclass)}-register file"
+                )
+
+        for rclass in _CLASSES:
+            graph = build_interference_graph(
+                function, rclass, target, liveness
             )
-
-    for rclass in _CLASSES:
-        graph = build_interference_graph(function, rclass, target, liveness)
-        for node in range(graph.k, graph.num_nodes):
-            vreg = graph.vreg_for(node)
-            for neighbor in graph.neighbors(node):
-                if neighbor < graph.k:
-                    if assignment[vreg] == neighbor:
-                        raise AllocationError(
-                            f"{vreg!r} colored {assignment[vreg]} but "
-                            f"interferes with that physical register"
-                        )
-                elif neighbor > node:
-                    other = graph.vreg_for(neighbor)
-                    if assignment[vreg] == assignment[other]:
-                        raise AllocationError(
-                            f"{vreg!r} and {other!r} interfere but share "
-                            f"color {assignment[vreg]}"
-                        )
+            for node in range(graph.k, graph.num_nodes):
+                vreg = graph.vreg_for(node)
+                for neighbor in graph.neighbors(node):
+                    if neighbor < graph.k:
+                        if assignment[vreg] == neighbor:
+                            raise AllocationError(
+                                f"{vreg!r} colored {assignment[vreg]} but "
+                                f"interferes with that physical register"
+                            )
+                    elif neighbor > node:
+                        other = graph.vreg_for(neighbor)
+                        if assignment[vreg] == assignment[other]:
+                            raise AllocationError(
+                                f"{vreg!r} and {other!r} interfere but "
+                                f"share color {assignment[vreg]}"
+                            )
+    except AllocationError as error:
+        raise error.with_context(
+            function=function.name, method=result.method, phase="validate"
+        )
 
 
 class ModuleAllocation:
     """Per-function results plus the merged assignment the simulator and
-    encoder consume."""
+    encoder consume.
 
-    __slots__ = ("module", "target", "method", "results", "assignment")
+    ``failures`` holds one :class:`AllocationFailure` per function whose
+    allocation did not complete normally (only possible under a
+    non-raising :class:`FailurePolicy`); ``parallel_fallback`` records
+    why a requested parallel allocation ran serially instead (``None``
+    when it ran as requested).
+    """
 
-    def __init__(self, module, target, method, results):
+    __slots__ = (
+        "module",
+        "target",
+        "method",
+        "results",
+        "assignment",
+        "failures",
+        "parallel_fallback",
+    )
+
+    def __init__(self, module, target, method, results, failures=None,
+                 parallel_fallback=None):
         self.module = module
         self.target = target
         self.method = method
         self.results = results  # name -> AllocationResult
+        self.failures = list(failures or [])
+        self.parallel_fallback = parallel_fallback
         self.assignment = {}
         for result in results.values():
             self.assignment.update(result.assignment)
@@ -289,10 +424,14 @@ class ModuleAllocation:
     def total_spilled(self) -> int:
         return sum(r.stats.registers_spilled for r in self.results.values())
 
+    def failed_functions(self) -> list:
+        return [failure.function for failure in self.failures]
+
     def __repr__(self) -> str:
+        failed = f", {len(self.failures)} failed" if self.failures else ""
         return (
             f"ModuleAllocation({self.method}, {len(self.results)} functions, "
-            f"{self.total_spilled()} spilled)"
+            f"{self.total_spilled()} spilled{failed})"
         )
 
 
@@ -301,35 +440,218 @@ def _allocate_worker(function, target, method, kwargs):
     return allocate_function(function, target, method, **kwargs)
 
 
-def _parallel_results(module, functions, target, method, kwargs, jobs):
+def _fresh_copy(function: Function) -> Function:
+    """An independent deep copy (pickle round trip, the same mechanism
+    that ships functions to workers) so retries start from pristine IR."""
+    return pickle.loads(pickle.dumps(function))
+
+
+def _write_bundle(function, target, method_name, error, bundle_dir):
+    """Best-effort crash-bundle dump; never masks the original failure."""
+    if bundle_dir is None:
+        return None
+    try:
+        from repro.robustness.bundles import write_crash_bundle
+
+        return str(
+            write_crash_bundle(
+                function, target, error, out_dir=bundle_dir,
+                method=method_name,
+            )
+        )
+    except Exception as bundle_error:
+        warnings.warn(
+            f"could not write crash bundle for {function.name}: "
+            f"{bundle_error!r}",
+            RuntimeWarning,
+        )
+        return None
+
+
+def _handle_failure(function, target, method_name, error, policy, failures,
+                    bundle_dir, elapsed, retries, phase):
+    """Record one function's failure and apply ``policy``.
+
+    Returns the substitute :class:`AllocationResult` under ``DEGRADE``,
+    ``None`` under ``SKIP``; re-raises under ``RAISE``.
+    """
+    if isinstance(error, ReproError):
+        error.with_context(function=function.name, method=method_name,
+                           phase=phase)
+        pass_index = error.context.get("pass_index")
+    else:
+        pass_index = None
+    bundle = _write_bundle(function, target, method_name, error, bundle_dir)
+    action = {
+        FailurePolicy.RAISE: "raised",
+        FailurePolicy.DEGRADE: "degraded-to-naive",
+        FailurePolicy.SKIP: "skipped",
+    }[policy]
+    failures.append(
+        AllocationFailure(
+            function=function.name,
+            method=method_name,
+            phase=phase,
+            pass_index=pass_index,
+            error=error,
+            elapsed=elapsed,
+            retries=retries,
+            action=action,
+            bundle=bundle,
+        )
+    )
+    if policy is FailurePolicy.RAISE:
+        raise error
+    warnings.warn(
+        f"allocation of {function.name} ({method_name}) failed in {phase}: "
+        f"{error!r}; {action}",
+        RuntimeWarning,
+    )
+    if policy is FailurePolicy.DEGRADE:
+        # Spill-all needs almost no registers, so it succeeds wherever a
+        # coloring allocator can fail; validate=True proves the downgrade
+        # itself is sound.  A partially spill-rewritten function is fine
+        # as input — spill code preserves semantics.
+        try:
+            return allocate_function(
+                function, target, "spill-all", validate=True
+            )
+        except AllocationError as degrade_error:
+            # The target is too small even for the no-coloring baseline
+            # (e.g. fewer registers than one instruction's operands need).
+            # The only non-raising floor left is skip — on record, twice:
+            # the original failure's action is corrected and the failed
+            # downgrade gets its own entry.
+            failures[-1].action = "skipped"
+            failures.append(
+                AllocationFailure(
+                    function=function.name,
+                    method="spill-all",
+                    phase=degrade_error.context.get("phase", "degrade"),
+                    pass_index=degrade_error.context.get("pass_index"),
+                    error=degrade_error,
+                    elapsed=0.0,
+                    retries=0,
+                    action="skipped",
+                    bundle=bundle,
+                )
+            )
+            warnings.warn(
+                f"degrade-to-naive for {function.name} also failed: "
+                f"{degrade_error!r}; skipped",
+                RuntimeWarning,
+            )
+            return None
+    return None
+
+
+def _serial_retry(function, target, method, kwargs, retries):
+    """Re-attempt a crashed worker's function in-process, each time on a
+    fresh copy so earlier partial spill rewrites cannot compound.
+
+    Returns ``(result, attempts, last_error)`` — ``result`` is ``None``
+    when every attempt failed.
+    """
+    last_error = None
+    for attempt in range(1, retries + 1):
+        copy = _fresh_copy(function)
+        try:
+            return allocate_function(copy, target, method, **kwargs), attempt, None
+        except Exception as error:  # KeyboardInterrupt deliberately flows
+            last_error = error
+    return None, retries, last_error
+
+
+def _parallel_results(module, functions, target, method, kwargs, jobs,
+                      timeout, retries, policy, bundle_dir, failures):
     """Allocate ``functions`` over a process pool.
 
     Each worker receives a pickled copy of its function and returns the
     allocated copy (spill code inserted) together with the assignment over
     that copy's registers; the parent swaps the copies into the module so
     every downstream consumer (simulator, encoder) sees one consistent
-    object graph.  Returns ``None`` when the strategy or target cannot
-    cross a process boundary — the caller falls back to the serial path.
+    object graph.
+
+    Failure handling is *per function*: a crashed worker is retried
+    in-process up to ``retries`` times; a worker exceeding ``timeout``
+    seconds is abandoned (the pool is terminated once all collectable
+    results are in, so a wedged process cannot outlive the call); whatever
+    still fails goes through ``policy``.  Returns ``(results, reason)``
+    where ``results`` is ``None`` only when the pool cannot be used at all
+    (non-picklable strategy or target) — that reason is recorded, warned
+    about, and the caller runs the whole module serially.
     """
-    from concurrent.futures import ProcessPoolExecutor
+    import multiprocessing
 
     try:
         pickle.dumps((method, target))
-    except Exception:
-        return None  # non-picklable strategy object: run serial
+    except Exception as error:
+        reason = (
+            f"parallel allocation (jobs={jobs}) fell back to serial: "
+            f"method/target not picklable ({error!r})"
+        )
+        warnings.warn(reason, RuntimeWarning)
+        return None, reason
 
+    method_name = _method_for(method).name
     results: dict = {}
     workers = max(1, min(jobs, len(functions)))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = [
-            pool.submit(_allocate_worker, function, target, method, kwargs)
+    pool = multiprocessing.get_context().Pool(processes=workers)
+    terminate = False
+    try:
+        pending = [
+            (function,
+             pool.apply_async(_allocate_worker,
+                              (function, target, method, kwargs)))
             for function in functions
         ]
-        for future in futures:
-            result = future.result()
-            module.functions[result.function.name] = result.function
-            results[result.function.name] = result
-    return results
+        for function, async_result in pending:
+            started = time.perf_counter()
+            try:
+                result = async_result.get(timeout)
+            except KeyboardInterrupt:
+                terminate = True
+                raise
+            except multiprocessing.TimeoutError:
+                # The worker may be wedged in a non-terminating allocation;
+                # do not retry in-process (it would wedge the parent) and
+                # make sure the pool is killed, not joined, on the way out.
+                terminate = True
+                error = DriverTimeoutError(
+                    f"allocation of {function.name} exceeded "
+                    f"{timeout:g}s in a worker",
+                    context={"function": function.name, "timeout": timeout},
+                )
+                result = _handle_failure(
+                    function, target, method_name, error, policy, failures,
+                    bundle_dir, elapsed=time.perf_counter() - started,
+                    retries=0, phase="worker-timeout",
+                )
+            except Exception as error:
+                # The worker crashed (or raised a clean AllocationError).
+                # Transient failures heal on an in-process retry;
+                # deterministic ones fail identically and reach the policy
+                # with the retry error's full context.
+                result, attempts, retry_error = _serial_retry(
+                    function, target, method, kwargs, retries
+                )
+                if result is None:
+                    result = _handle_failure(
+                        function, target, method_name, retry_error or error,
+                        policy, failures, bundle_dir,
+                        elapsed=time.perf_counter() - started,
+                        retries=attempts, phase="worker-crash",
+                    )
+            if result is not None:
+                module.functions[result.function.name] = result.function
+                results[result.function.name] = result
+    finally:
+        if terminate:
+            pool.terminate()
+        else:
+            pool.close()
+        pool.join()
+    return results, None
 
 
 def allocate_module(
@@ -342,6 +664,10 @@ def allocate_module(
     split_ranges: bool = False,
     validate: bool = False,
     jobs: int = 1,
+    policy="raise",
+    timeout: float | None = None,
+    retries: int = 1,
+    bundle_dir=None,
 ) -> ModuleAllocation:
     """Allocate every function of a module (in place).
 
@@ -349,8 +675,17 @@ def allocate_module(
     functions are independent, so the outcome is identical to the serial
     path (``jobs=1``), just faster on multi-function modules.  ``jobs=0``
     uses one worker per CPU.  Non-picklable strategy objects fall back to
-    serial allocation.
+    serial allocation, with the reason recorded on
+    :attr:`ModuleAllocation.parallel_fallback`.
+
+    ``policy`` (a :class:`FailurePolicy` or its string value) decides what
+    happens when one function's allocation fails; the default ``"raise"``
+    propagates.  ``timeout`` bounds each parallel worker (seconds);
+    ``retries`` bounds in-process re-attempts after a worker crash.
+    ``bundle_dir`` enables deterministic crash bundles
+    (``<bundle_dir>/crash-<function>/``) for every recorded failure.
     """
+    policy = FailurePolicy.coerce(policy)
     kwargs = {
         "coalesce": coalesce,
         "renumber": renumber,
@@ -362,18 +697,32 @@ def allocate_module(
         import os
 
         jobs = os.cpu_count() or 1
+    method_name = _method_for(method).name
     functions = list(module)
+    failures: list = []
     results = None
+    fallback_reason = None
     if jobs > 1 and len(functions) > 1:
-        results = _parallel_results(
-            module, functions, target, method, kwargs, jobs
+        results, fallback_reason = _parallel_results(
+            module, functions, target, method, kwargs, jobs,
+            timeout, retries, policy, bundle_dir, failures,
         )
     if results is None:
-        results = {
-            function.name: allocate_function(
-                function, target, method, **kwargs
-            )
-            for function in functions
-        }
-    name = _method_for(method).name
-    return ModuleAllocation(module, target, name, results)
+        results = {}
+        for function in functions:
+            started = time.perf_counter()
+            try:
+                result = allocate_function(function, target, method, **kwargs)
+            except AllocationError as error:
+                result = _handle_failure(
+                    function, target, method_name, error, policy, failures,
+                    bundle_dir, elapsed=time.perf_counter() - started,
+                    retries=0,
+                    phase=error.context.get("phase", "allocate"),
+                )
+            if result is not None:
+                results[function.name] = result
+    return ModuleAllocation(
+        module, target, method_name, results,
+        failures=failures, parallel_fallback=fallback_reason,
+    )

@@ -44,6 +44,11 @@ class SpillCosts:
     def __contains__(self, vreg) -> bool:
         return vreg in self._costs
 
+    def items(self):
+        """(vreg, cost) pairs — lets wrappers (e.g. fault injection's
+        cost perturbation) rebuild a transformed table."""
+        return self._costs.items()
+
     def __repr__(self) -> str:
         finite = sum(1 for c in self._costs.values() if c != INFINITE_COST)
         return f"SpillCosts({finite} finite of {len(self._costs)})"

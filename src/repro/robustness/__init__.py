@@ -1,0 +1,62 @@
+"""Defense-in-depth for the register allocator.
+
+The paper's whole argument rests on the allocator being *correct while
+spilling less*; this package makes the correctness half load-bearing with
+three layers, each catching what the previous one cannot:
+
+* **Layer 0/1 — validation** (:mod:`repro.robustness.validate`): the
+  driver's static coloring check plus *translation validation* —
+  differential execution of pre- vs post-allocation code on the
+  simulator, catching spill-placement and caller-save-clobber bugs no
+  graph check can see.
+* **Layer 2 — fault injection** (:mod:`repro.robustness.faults`): a
+  registry of seeded injectors modeling real allocator bugs; every
+  registered fault must be detected by a layer or degrade gracefully on
+  record — tests and ``repro verify --inject`` iterate the registry.
+* **Layer 3 — the hardened driver** (:class:`repro.regalloc.FailurePolicy`
+  and the parallel machinery in :mod:`repro.regalloc.driver`): per-function
+  timeouts, bounded retries, per-function fallback, structured failure
+  diagnostics, and deterministic crash bundles
+  (:mod:`repro.robustness.bundles`).
+
+See ``docs/ROBUSTNESS.md`` for the full story.
+"""
+
+from repro.regalloc.driver import AllocationFailure, FailurePolicy
+from repro.robustness.bundles import write_crash_bundle
+from repro.robustness.faults import (
+    FAULTS,
+    CrashingAllocator,
+    Fault,
+    FaultProbe,
+    FlakyAllocator,
+    HangingAllocator,
+    probe_fault,
+    register_fault,
+)
+from repro.robustness.validate import (
+    ValidationReport,
+    default_validation_target,
+    validate_registry,
+    validate_workload,
+    verify_allocation,
+)
+
+__all__ = [
+    "AllocationFailure",
+    "FailurePolicy",
+    "write_crash_bundle",
+    "FAULTS",
+    "Fault",
+    "FaultProbe",
+    "CrashingAllocator",
+    "FlakyAllocator",
+    "HangingAllocator",
+    "probe_fault",
+    "register_fault",
+    "ValidationReport",
+    "default_validation_target",
+    "validate_registry",
+    "validate_workload",
+    "verify_allocation",
+]

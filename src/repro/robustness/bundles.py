@@ -1,0 +1,91 @@
+"""Deterministic crash bundles: everything needed to replay a failure.
+
+When the hardened driver absorbs (or is about to raise) an allocation
+failure, it dumps the evidence under ``<out_dir>/crash-<function>/``:
+
+* ``function.ir`` — the function's textual IR at the moment of failure
+  (spill rewrites from earlier passes included), re-parseable with
+  :func:`repro.ir.parse_module`;
+* ``interference-int.dot`` / ``interference-float.dot`` — the class
+  interference graphs rebuilt on that IR, rendered for Graphviz;
+* ``meta.json`` — function, method, target shape, seed, and the error
+  with its structured context, with sorted keys and no timestamps so the
+  same failure always produces byte-identical metadata.
+
+The bundle path is deterministic (keyed by function name, not by time or
+pid) so repeated failures overwrite rather than accumulate, and a test
+can assert the exact layout.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.analysis.cfg import CFG
+from repro.analysis.liveness import Liveness
+from repro.ir.printer import print_function
+from repro.ir.values import RClass
+from repro.regalloc.export import to_dot
+from repro.regalloc.interference import build_interference_graphs
+
+_CLASS_NAMES = {RClass.INT: "int", RClass.FLOAT: "float"}
+
+
+def write_crash_bundle(
+    function,
+    target,
+    error,
+    out_dir="results",
+    method: str | None = None,
+    seed: int | None = None,
+) -> pathlib.Path:
+    """Write the crash bundle for ``function``; returns its directory.
+
+    Graph reconstruction is itself best-effort — if the IR is too broken
+    to analyze, the bundle still carries the IR text plus the analysis
+    error in ``interference-error.txt``.
+    """
+    directory = pathlib.Path(out_dir) / f"crash-{function.name}"
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / "function.ir").write_text(print_function(function))
+
+    graphs_meta: dict = {}
+    try:
+        liveness = Liveness(function, CFG(function))
+        graphs = build_interference_graphs(function, target, liveness)
+        for rclass, graph in graphs.items():
+            class_name = _CLASS_NAMES[rclass]
+            (directory / f"interference-{class_name}.dot").write_text(
+                to_dot(graph, name=f"crash_{function.name}_{class_name}")
+            )
+            graphs_meta[class_name] = {
+                "live_ranges": graph.num_vreg_nodes,
+                "edges": graph.edge_count(),
+            }
+    except Exception as analysis_error:
+        (directory / "interference-error.txt").write_text(
+            f"{type(analysis_error).__name__}: {analysis_error}\n"
+        )
+
+    meta = {
+        "format": 1,
+        "function": function.name,
+        "method": method,
+        "seed": seed,
+        "target": {
+            "name": target.name,
+            "int_regs": target.int_regs,
+            "float_regs": target.float_regs,
+        },
+        "error": {
+            "type": type(error).__name__,
+            "message": str(error),
+            "context": getattr(error, "context", {}) or {},
+        },
+        "graphs": graphs_meta,
+    }
+    (directory / "meta.json").write_text(
+        json.dumps(meta, indent=2, sort_keys=True, default=str) + "\n"
+    )
+    return directory

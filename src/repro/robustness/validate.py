@@ -1,0 +1,203 @@
+"""Layer 1 of the defense stack: translation validation.
+
+``check_allocation`` (layer 0, in the driver) proves the *coloring* is
+consistent with the interference graph it re-derives — but it cannot see
+bugs that live outside the graph: a reload from the wrong frame slot, a
+deleted reload, a value parked in a caller-saved register whose clobber
+never manifests as an edge.  This module closes that gap the way
+translation validators do — by *running* the code:
+
+* the **reference** run interprets a module on virtual registers (the
+  pre-allocation semantics);
+* the **candidate** run executes the allocated module on the target's
+  physical register files under the allocation's assignment, with the
+  simulator poisoning caller-saved registers at calls;
+* the two print streams must match exactly.
+
+Pass the pristine pre-allocation module as ``baseline`` to also catch
+spill-*rewrite* bugs (wrong slot, lost store): the allocated module's own
+virtual-mode semantics already include the spill code, so validating it
+against itself would miss corruption that changed the IR's meaning.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError, TranslationValidationError
+from repro.machine.simulator import run_module
+from repro.machine.target import rt_pc
+from repro.regalloc.driver import ModuleAllocation, allocate_module, check_allocation
+
+#: Default workload-validation target: the experiment harness's trimmed
+#: RT/PC (12 int / 6 float, see ``experiments.runner.EXPERIMENT_TARGET``'s
+#: calibration note) so the medium and large routines actually spill and
+#: the spill-code path is exercised, not just the coloring.
+def default_validation_target():
+    return rt_pc().with_int_regs(12).with_float_regs(6)
+
+
+class ValidationReport:
+    """Evidence from one successful differential validation.
+
+    Construction implies success — a divergence raises
+    :class:`TranslationValidationError` instead.
+    """
+
+    __slots__ = (
+        "name",
+        "method",
+        "entry",
+        "outputs",
+        "baseline_outputs",
+        "cycles",
+        "instructions",
+        "functions_checked",
+    )
+
+    def __init__(self, name, method, entry, outputs, baseline_outputs,
+                 cycles, instructions, functions_checked):
+        self.name = name
+        self.method = method
+        self.entry = entry
+        self.outputs = outputs
+        self.baseline_outputs = baseline_outputs
+        self.cycles = cycles
+        self.instructions = instructions
+        self.functions_checked = functions_checked
+
+    def __repr__(self) -> str:
+        return (
+            f"ValidationReport({self.name}/{self.method}: "
+            f"{self.functions_checked} functions, "
+            f"{len(self.outputs)} outputs matched)"
+        )
+
+
+def _first_divergence(reference: list, candidate: list) -> dict:
+    for index, (want, got) in enumerate(zip(reference, candidate)):
+        if want != got:
+            return {"output_index": index, "expected": want, "actual": got}
+    return {
+        "output_index": min(len(reference), len(candidate)),
+        "expected_length": len(reference),
+        "actual_length": len(candidate),
+    }
+
+
+def verify_allocation(
+    module,
+    allocation: ModuleAllocation,
+    entry: str | None = None,
+    inputs=None,
+    baseline=None,
+    max_instructions: int = 200_000_000,
+    static: bool = True,
+) -> ValidationReport:
+    """Differentially validate ``allocation`` over ``module``.
+
+    Statically re-checks every per-function coloring first (``static=
+    False`` skips that, for callers who already ran ``validate=True``),
+    then compares the reference run of ``baseline`` (default: ``module``
+    itself, on virtual registers) against the physical-register run of
+    ``module`` under ``allocation.assignment``.  ``inputs`` are passed as
+    the entry routine's arguments in both runs.
+
+    Raises :class:`TranslationValidationError` — with the divergence's
+    structured context — on any mismatch; returns a
+    :class:`ValidationReport` when every check passes.
+    """
+    if static:
+        for result in allocation.results.values():
+            check_allocation(result)
+
+    reference_module = module if baseline is None else baseline
+    args = list(inputs) if inputs else None
+    try:
+        reference = run_module(
+            reference_module, entry=entry,
+            max_instructions=max_instructions, args=args,
+        )
+    except SimulationError as error:
+        raise TranslationValidationError(
+            f"reference (virtual-register) run failed: {error}",
+            context={"entry": entry, "run": "reference"},
+        ) from error
+
+    try:
+        candidate = run_module(
+            module, entry=entry, target=allocation.target,
+            assignment=allocation.assignment,
+            max_instructions=max_instructions, args=args,
+        )
+    except SimulationError as error:
+        raise TranslationValidationError(
+            f"allocated code faulted where the reference ran: {error}",
+            context={
+                "entry": entry,
+                "run": "candidate",
+                "method": allocation.method,
+            },
+        ) from error
+
+    if candidate.outputs != reference.outputs:
+        raise TranslationValidationError(
+            f"allocated outputs diverge from the pre-allocation "
+            f"semantics ({allocation.method})",
+            context=dict(
+                _first_divergence(reference.outputs, candidate.outputs),
+                entry=entry,
+                method=allocation.method,
+            ),
+        )
+
+    return ValidationReport(
+        name=module.name,
+        method=allocation.method,
+        entry=entry,
+        outputs=candidate.outputs,
+        baseline_outputs=reference.outputs,
+        cycles=candidate.cycles,
+        instructions=candidate.instructions,
+        functions_checked=len(allocation.results),
+    )
+
+
+def validate_workload(
+    workload,
+    method: str = "briggs",
+    target=None,
+    **alloc_kwargs,
+) -> ValidationReport:
+    """End-to-end translation validation of one registry workload.
+
+    Compiles the workload twice — a pristine reference and a candidate
+    that gets allocated — so spill rewrites in the candidate are validated
+    against genuinely pre-allocation code; also runs the workload's own
+    output oracle against the reference stream.
+    """
+    target = target or default_validation_target()
+    baseline = workload.compile()
+    module = workload.compile()
+    allocation = allocate_module(module, target, method, **alloc_kwargs)
+    report = verify_allocation(
+        module, allocation, entry=workload.entry, baseline=baseline,
+    )
+    workload.verify_outputs(report.baseline_outputs)
+    return report
+
+
+def validate_registry(
+    methods=("briggs", "chaitin"),
+    target=None,
+    names=None,
+) -> list:
+    """Validate every registry workload under every method; returns the
+    reports (raising on the first divergence)."""
+    from repro.workloads import all_workloads
+
+    reports = []
+    for name, workload in sorted(all_workloads().items()):
+        if names is not None and name not in names:
+            continue
+        for method in methods:
+            reports.append(validate_workload(workload, method, target))
+    return reports

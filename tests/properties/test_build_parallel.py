@@ -13,6 +13,7 @@ allowed to change a single observable bit:
    counts, and pass counts as serial allocation.
 """
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from benchmarks.run_bench import seed_build_interference_graph
@@ -142,9 +143,13 @@ class TestParallelModuleAllocation:
         from repro.workloads.svd import workload
 
         reference = allocate_module(workload().compile(), rt_pc(), "briggs")
-        allocation = allocate_module(
-            workload().compile(), rt_pc(), LocalBriggs(), jobs=2
-        )
+        # The fallback is never silent: the reason is warned about and
+        # recorded on the allocation.
+        with pytest.warns(RuntimeWarning, match="fell back to serial"):
+            allocation = allocate_module(
+                workload().compile(), rt_pc(), LocalBriggs(), jobs=2
+            )
+        assert "not picklable" in allocation.parallel_fallback
         for name in reference.results:
             assert _flat_assignment(reference.results[name]) == (
                 _flat_assignment(allocation.results[name])

@@ -1,0 +1,125 @@
+"""Translation validation: the differential layer of the defense stack.
+
+``verify_allocation`` runs the pre-allocation semantics (virtual
+registers) and the allocated code (physical registers under the
+assignment) and demands identical print streams.  The tests prove the
+three properties that matter: a correct allocation passes, a corrupted
+one raises with the first divergence in context, and spill-*rewrite*
+bugs are only visible against a pristine baseline — which is why
+``validate_workload`` compiles every workload twice.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import AllocationError, TranslationValidationError
+from repro.frontend import compile_source
+from repro.regalloc import allocate_module
+from repro.robustness import (
+    ValidationReport,
+    default_validation_target,
+    validate_registry,
+    validate_workload,
+    verify_allocation,
+)
+from repro.robustness.faults import DEFAULT_FAULT_SOURCE, FAULTS, default_fault_target
+from repro.workloads import all_workloads
+
+slow = pytest.mark.slow
+
+
+def allocated(source=DEFAULT_FAULT_SOURCE, target=None, method="briggs"):
+    target = target or default_fault_target()
+    module = compile_source(source)
+    allocation = allocate_module(module, target, method)
+    return module, allocation
+
+
+class TestVerifyAllocation:
+    @pytest.mark.parametrize("method", ["briggs", "chaitin"])
+    def test_correct_allocation_validates(self, method):
+        module, allocation = allocated(method=method)
+        report = verify_allocation(module, allocation)
+        assert isinstance(report, ValidationReport)
+        assert report.outputs == report.baseline_outputs
+        assert report.functions_checked == len(allocation.results)
+        assert report.cycles > 0
+        assert report.method == method
+
+    def test_static_layer_rejects_corrupted_coloring(self):
+        module, allocation = allocated()
+        injected = FAULTS["drop_edge"].inject(
+            module, allocation, random.Random(0)
+        )
+        assert injected is not None
+        with pytest.raises(AllocationError) as info:
+            verify_allocation(module, allocation)
+        assert info.value.context.get("phase") == "validate"
+
+    def test_dynamic_layer_rejects_wrong_spill_slot(self):
+        baseline = compile_source(DEFAULT_FAULT_SOURCE)
+        module, allocation = allocated()
+        injected = FAULTS["corrupt_spill_slot"].inject(
+            module, allocation, random.Random(0)
+        )
+        assert injected is not None
+        with pytest.raises(TranslationValidationError) as info:
+            verify_allocation(module, allocation, baseline=baseline)
+        # The first divergence is recorded as structured context.
+        context = info.value.context
+        assert "output_index" in context
+        assert context.get("method") == "briggs"
+
+    def test_spill_rewrite_bug_is_invisible_without_a_baseline(self):
+        """The allocated module's own virtual-mode semantics include the
+        corrupted reload, so self-validation cannot see the bug — the
+        reason ``validate_workload`` compiles a pristine reference."""
+        module, allocation = allocated()
+        injected = FAULTS["corrupt_spill_slot"].inject(
+            module, allocation, random.Random(0)
+        )
+        assert injected is not None
+        # Coloring untouched, both runs share the wrong reload: passes.
+        verify_allocation(module, allocation)
+        # Against genuinely pre-allocation code: caught.
+        with pytest.raises(TranslationValidationError):
+            verify_allocation(
+                module, allocation,
+                baseline=compile_source(DEFAULT_FAULT_SOURCE),
+            )
+
+    def test_static_check_can_be_skipped(self):
+        module, allocation = allocated()
+        report = verify_allocation(module, allocation, static=False)
+        assert report.outputs == report.baseline_outputs
+
+
+class TestValidateWorkload:
+    def test_quicksort_validates_under_both_methods(self):
+        workload = all_workloads()["quicksort"]
+        for method in ("briggs", "chaitin"):
+            report = validate_workload(workload, method)
+            assert report.method == method
+            assert report.functions_checked >= 1
+            assert report.outputs == report.baseline_outputs
+
+    def test_validation_target_forces_spills(self):
+        # The default target is the trimmed experiment machine, so the
+        # differential run exercises spill code, not just the coloring.
+        target = default_validation_target()
+        assert target.int_regs == 12
+        assert target.float_regs == 6
+
+
+@slow
+class TestRegistryDifferential:
+    """ISSUE acceptance criterion: differential validation passes for
+    both briggs and chaitin on every registry workload."""
+
+    def test_all_workloads_both_methods(self):
+        reports = validate_registry(("briggs", "chaitin"))
+        assert len(reports) == 2 * len(all_workloads())
+        assert {report.method for report in reports} == {"briggs", "chaitin"}
+        for report in reports:
+            assert report.outputs == report.baseline_outputs

@@ -96,3 +96,63 @@ class TestErrorsCarryLocations:
         with pytest.raises(SemanticError) as info:
             analyze(parse_program(source, filename="t.f"))
         assert info.value.location.line == 3
+
+
+class TestErrorContext:
+    """Structured context: every error can carry (and accumulate) the
+    function/phase/pass diagnostics the hardened driver attaches."""
+
+    def test_context_defaults_to_empty_dict(self):
+        error = AllocationError("boom")
+        assert error.context == {}
+
+    def test_with_context_returns_self_and_sets_entries(self):
+        error = AllocationError("boom")
+        assert error.with_context(function="p", phase="color") is error
+        assert error.context == {"function": "p", "phase": "color"}
+
+    def test_innermost_context_wins(self):
+        # Re-raising frames call with_context again; the first (deepest)
+        # value for a key must survive.
+        error = AllocationError("boom").with_context(phase="spill")
+        error.with_context(phase="driver", function="p")
+        assert error.context == {"phase": "spill", "function": "p"}
+
+    def test_str_appends_context_but_message_is_preserved(self):
+        error = AllocationError("too few registers", context={"phase": "color"})
+        assert error.message == "too few registers"
+        assert "too few registers" in str(error)
+        assert "phase=color" in str(error)
+
+    def test_str_without_context_is_unchanged(self):
+        assert str(AllocationError("plain")) == "plain"
+
+    def test_context_survives_pickling(self):
+        import pickle
+
+        error = AllocationError(
+            "boom", location=SourceLocation("x.f", 3, 7),
+            context={"function": "p", "pass_index": 2},
+        )
+        clone = pickle.loads(pickle.dumps(error))
+        assert type(clone) is AllocationError
+        assert clone.message == "boom"
+        assert clone.location == error.location
+        assert clone.context == {"function": "p", "pass_index": 2}
+
+
+class TestRobustnessErrorTypes:
+    def test_translation_validation_is_an_allocation_error(self):
+        from repro.errors import TranslationValidationError
+
+        assert issubclass(TranslationValidationError, AllocationError)
+
+    def test_driver_timeout_is_an_allocation_error(self):
+        from repro.errors import DriverTimeoutError
+
+        assert issubclass(DriverTimeoutError, AllocationError)
+
+    def test_simulation_budget_is_a_simulation_error(self):
+        from repro.errors import SimulationBudgetError
+
+        assert issubclass(SimulationBudgetError, SimulationError)
