@@ -6,11 +6,16 @@
 #   make verify-faults — sweep the fault-injection registry (every fault
 #                        must be detected or visibly degraded) and run
 #                        the robustness + fault-injection suites
+#   make fuzz          — bounded smoke-fuzz campaign: fixed seed, both
+#                        allocators under full paranoia, exact oracles,
+#                        minimizing shrinker; bundles in results/fuzz/
 #   make bench         — time the allocator hot path, write BENCH_PR1.json
 
 PYTHON ?= python
+FUZZ_SEED ?= 0
+FUZZ_ITERS ?= 150
 
-.PHONY: test test-fast verify-faults bench
+.PHONY: test test-fast verify-faults fuzz bench
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -22,6 +27,10 @@ verify-faults:
 	PYTHONPATH=src $(PYTHON) -m repro verify --inject all
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q \
 		tests/robustness tests/properties/test_fault_injection.py
+
+fuzz:
+	PYTHONPATH=src $(PYTHON) -m repro fuzz --seed $(FUZZ_SEED) \
+		--iters $(FUZZ_ITERS) --bundle-dir results/fuzz
 
 bench:
 	PYTHONPATH=src $(PYTHON) benchmarks/run_bench.py --jobs 2

@@ -17,6 +17,12 @@ Commands
     workload registry, or — with ``--inject FAULT --seed N`` — a seeded
     fault-injection probe asserting the fault is detected by a defense
     layer or degrades gracefully.  ``--list-faults`` shows the registry.
+``fuzz``
+    Closed-loop correctness fuzzing (defense layer 4): seeded random
+    interference graphs and random programs driven through both
+    allocators under full paranoia, the exact small-graph oracle, the
+    §2.3 subset guarantee, and differential execution; failures are
+    minimized by a deterministic shrinker and written as crash bundles.
 ``figures [NAMES...]``
     Regenerate the paper's tables (figure5 figure6 figure7 ablations
     intstudy, or ``all``) into ``--out`` (default ``results/``).
@@ -71,6 +77,7 @@ def _alloc_kwargs(args) -> dict:
         "timeout": args.timeout,
         "retries": args.retries,
         "bundle_dir": args.bundle_dir,
+        "paranoia": args.paranoia,
     }
 
 
@@ -185,6 +192,7 @@ def cmd_verify(args) -> int:
                 module, target, method,
                 jobs=args.jobs, policy=args.policy, timeout=args.timeout,
                 retries=args.retries, bundle_dir=args.bundle_dir,
+                paranoia=args.paranoia,
             )
             report = verify_allocation(
                 module, allocation, entry=args.entry, baseline=baseline
@@ -202,12 +210,30 @@ def cmd_verify(args) -> int:
     for name in names:
         workload = all_workloads()[name]
         for method in methods:
-            report = validate_workload(workload, method, target)
+            report = validate_workload(workload, method, target,
+                                       paranoia=args.paranoia)
             print(
                 f"{name}/{method}: OK — {report.functions_checked} "
                 f"functions, {len(report.outputs)} outputs match"
             )
     return 0
+
+
+def cmd_fuzz(args) -> int:
+    from repro.robustness import run_fuzz
+
+    modes = ("graph", "ir") if args.mode == "both" else (args.mode,)
+    report = run_fuzz(
+        seed=args.seed,
+        iters=args.iters,
+        max_nodes=args.max_nodes,
+        bundle_dir=args.bundle_dir,
+        modes=modes,
+        paranoia=args.paranoia,
+        log=print,
+    )
+    print(report.summary())
+    return 0 if report.ok else 1
 
 
 _FIGURES = ("figure5", "figure6", "figure7", "ablations", "intstudy")
@@ -342,6 +368,16 @@ def build_parser() -> argparse.ArgumentParser:
                 "(<dir>/crash-<function>/) for recorded failures"
             ),
         )
+        p.add_argument(
+            "--paranoia",
+            choices=["off", "cheap", "full"],
+            default="off",
+            help=(
+                "phase-boundary invariant checking inside the allocation "
+                "cycle (default off; 'cheap' is O(V+E) outcome checks, "
+                "'full' adds stack and select-replay verification)"
+            ),
+        )
 
     p = sub.add_parser("compile", help="print the compiled IR")
     p.add_argument("file")
@@ -404,7 +440,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--timeout", type=float, default=None)
     p.add_argument("--retries", type=int, default=1)
     p.add_argument("--bundle-dir", default=None)
+    p.add_argument("--paranoia", choices=["off", "cheap", "full"],
+                   default="cheap",
+                   help="phase-boundary invariant checking during the "
+                   "validation allocations (default cheap)")
     p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="closed-loop correctness fuzzing with a minimizing shrinker",
+    )
+    p.add_argument("--seed", type=int, default=0,
+                   help="master seed; the whole campaign replays "
+                   "bit-identically from it (default 0)")
+    p.add_argument("--iters", type=int, default=200,
+                   help="fuzz iterations (default 200)")
+    p.add_argument("--max-nodes", type=int, default=16,
+                   help="max virtual nodes per random graph (default 16)")
+    p.add_argument("--mode", choices=["graph", "ir", "both"],
+                   default="both",
+                   help="case mix: random interference graphs, random "
+                   "programs, or alternating (default both)")
+    p.add_argument("--paranoia", choices=["cheap", "full"], default="full",
+                   help="invariant-checking level inside fuzzed "
+                   "allocations (default full; 'off' is not offered — "
+                   "the fuzz loop never runs unchecked)")
+    p.add_argument("--bundle-dir", default="results/fuzz",
+                   help="directory for shrunken crash bundles "
+                   "(<dir>/fuzz-<kind>-<case_seed>/; default results/fuzz)")
+    p.set_defaults(func=cmd_fuzz)
 
     p = sub.add_parser("figures", help="regenerate the paper's tables")
     p.add_argument("names", nargs="*", help="figure5 figure6 figure7 ablations | all")

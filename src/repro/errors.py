@@ -120,6 +120,13 @@ class AllocationError(ReproError):
     """Raised when register allocation violates one of its invariants."""
 
 
+class InvariantError(AllocationError):
+    """Raised by the paranoia layer (:mod:`repro.regalloc.invariants`)
+    when a Build–Simplify–Select phase-boundary invariant does not hold:
+    degree/adjacency disagreement, an incomplete coloring stack, an
+    infeasible select decision, a negative spill cost, ..."""
+
+
 class TranslationValidationError(AllocationError):
     """Raised by differential validation when allocated code observably
     diverges from the pre-allocation semantics (wrong outputs, a runtime

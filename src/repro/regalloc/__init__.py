@@ -44,6 +44,14 @@ from repro.regalloc.driver import (
     allocate_module,
     check_allocation,
 )
+from repro.regalloc.invariants import (
+    PARANOIA_LEVELS,
+    check_class_invariants,
+    check_cost_invariants,
+    check_graph_invariants,
+    coerce_paranoia,
+    recheck_assignment,
+)
 from repro.regalloc.stats import AllocationStats, PassStats
 
 __all__ = [
@@ -70,6 +78,12 @@ __all__ = [
     "allocate_function",
     "allocate_module",
     "check_allocation",
+    "PARANOIA_LEVELS",
+    "check_class_invariants",
+    "check_cost_invariants",
+    "check_graph_invariants",
+    "coerce_paranoia",
+    "recheck_assignment",
     "AllocationStats",
     "PassStats",
 ]

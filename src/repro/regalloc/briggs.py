@@ -75,6 +75,9 @@ class BriggsAllocator:
             ran_select=True,
             simplify_time=simplify_time,
             select_time=select_time,
+            stack=stack,
+            marked=[],
+            selection=selection,
         )
 
 

@@ -28,10 +28,14 @@ class ClassAllocation:
         "ran_select",
         "simplify_time",
         "select_time",
+        "stack",
+        "marked",
+        "selection",
     )
 
     def __init__(self, colors, spilled_vregs, ran_select,
-                 simplify_time=0.0, select_time=0.0):
+                 simplify_time=0.0, select_time=0.0,
+                 stack=None, marked=None, selection=None):
         #: VReg -> color (empty when the pass ended in spills, Chaitin).
         self.colors = colors
         #: live ranges to spill before the next pass.
@@ -40,6 +44,14 @@ class ClassAllocation:
         self.ran_select = ran_select
         self.simplify_time = simplify_time
         self.select_time = select_time
+        #: simplification stack (node indices, removal order) — evidence
+        #: for the paranoia layer's stack-completeness check.
+        self.stack = stack
+        #: nodes marked for spilling during simplify (Chaitin only).
+        self.marked = marked
+        #: the raw :class:`repro.regalloc.select.SelectOutcome`, so the
+        #: paranoia layer can replay select-order color feasibility.
+        self.selection = selection
 
 
 class ChaitinAllocator:
@@ -60,7 +72,8 @@ class ChaitinAllocator:
         if outcome.marked_for_spill:
             spilled = [graph.vreg_for(n) for n in outcome.marked_for_spill]
             return ClassAllocation(
-                {}, spilled, ran_select=False, simplify_time=simplify_time
+                {}, spilled, ran_select=False, simplify_time=simplify_time,
+                stack=outcome.stack, marked=outcome.marked_for_spill,
             )
         started = time.perf_counter()
         selection = select_colors(graph, outcome.stack, color_order)
@@ -81,4 +94,7 @@ class ChaitinAllocator:
             ran_select=True,
             simplify_time=simplify_time,
             select_time=select_time,
+            stack=outcome.stack,
+            marked=outcome.marked_for_spill,
+            selection=selection,
         )

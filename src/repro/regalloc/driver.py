@@ -60,6 +60,12 @@ from repro.regalloc.interference import (
     build_interference_graph,
     build_interference_graphs,
 )
+from repro.regalloc.invariants import (
+    check_class_invariants,
+    check_cost_invariants,
+    check_graph_invariants,
+    coerce_paranoia,
+)
 from repro.regalloc.spill import insert_spill_code
 from repro.regalloc.spill_costs import compute_spill_costs
 from repro.regalloc.stats import AllocationStats, PassStats
@@ -162,15 +168,22 @@ class AllocationFailure:
 class AllocationResult:
     """Final coloring of one function plus its statistics."""
 
-    __slots__ = ("function", "target", "method", "assignment", "stats")
+    __slots__ = ("function", "target", "method", "assignment", "stats",
+                 "graphs")
 
-    def __init__(self, function, target, method, assignment, stats):
+    def __init__(self, function, target, method, assignment, stats,
+                 graphs=None):
         self.function = function
         self.target = target
         self.method = method
         #: VReg -> color for every register occurring in the final code.
         self.assignment = assignment
         self.stats = stats
+        #: final pass's {rclass: InterferenceGraph}, kept when the
+        #: allocation ran with ``paranoia`` enabled so
+        #: :func:`repro.regalloc.invariants.recheck_assignment` can replay
+        #: the assignment without rebuilding liveness; ``None`` otherwise.
+        self.graphs = graphs
 
     def __repr__(self) -> str:
         return (
@@ -190,17 +203,24 @@ def allocate_function(
     split_ranges: bool = False,
     max_passes: int = 30,
     validate: bool = False,
+    paranoia: str = "off",
 ) -> AllocationResult:
     """Allocate registers for ``function`` in place (spill code may be
     inserted).  ``method`` is ``"chaitin"``, ``"briggs"``,
     ``"briggs-degree"`` or a strategy object.  ``rematerialize`` enables
     Chaitin's constant-rematerialization refinement for spilled ranges.
 
+    ``paranoia`` (``"off"``/``"cheap"``/``"full"``, see
+    :mod:`repro.regalloc.invariants`) turns on phase-boundary invariant
+    checking inside the cycle; any violation raises
+    :class:`repro.errors.InvariantError` in the phase that committed it.
+
     Any :class:`AllocationError` escaping the cycle carries structured
     ``context``: the function name, the allocation method, the pass index
     and the phase ("build", "color", "spill", "validate") it tripped in.
     """
     strategy = _method_for(method)
+    paranoia = coerce_paranoia(paranoia)
     stats = AllocationStats(strategy.name, function.name)
     assignment: dict = {}
 
@@ -274,6 +294,10 @@ def allocate_function(
             )
             pass_stats.edges = sum(g.edge_count() for g in graphs.values())
             pass_stats.build_time = time.perf_counter() - started
+            if paranoia != "off":
+                for graph in graphs.values():
+                    check_graph_invariants(graph, paranoia)
+                    check_cost_invariants(graph, costs)
 
             # ---- simplify + select ----------------------------------------
             phase = "color"
@@ -286,6 +310,10 @@ def allocate_function(
                 outcome = strategy.allocate_class(
                     graph, costs, target.color_order(rclass)
                 )
+                if paranoia != "off":
+                    check_class_invariants(
+                        graph, outcome, target.color_order(rclass), paranoia
+                    )
                 pass_stats.simplify_time += outcome.simplify_time
                 pass_stats.select_time += outcome.select_time
                 if outcome.ran_select:
@@ -316,7 +344,8 @@ def allocate_function(
             )
 
         result = AllocationResult(
-            function, target, strategy.name, assignment, stats
+            function, target, strategy.name, assignment, stats,
+            graphs=graphs if paranoia != "off" else None,
         )
         if validate:
             phase = "validate"
@@ -663,6 +692,7 @@ def allocate_module(
     rematerialize: bool = False,
     split_ranges: bool = False,
     validate: bool = False,
+    paranoia: str = "off",
     jobs: int = 1,
     policy="raise",
     timeout: float | None = None,
@@ -678,6 +708,9 @@ def allocate_module(
     serial allocation, with the reason recorded on
     :attr:`ModuleAllocation.parallel_fallback`.
 
+    ``paranoia`` enables phase-boundary invariant checking in every
+    function's cycle (see :mod:`repro.regalloc.invariants`).
+
     ``policy`` (a :class:`FailurePolicy` or its string value) decides what
     happens when one function's allocation fails; the default ``"raise"``
     propagates.  ``timeout`` bounds each parallel worker (seconds);
@@ -692,6 +725,7 @@ def allocate_module(
         "rematerialize": rematerialize,
         "split_ranges": split_ranges,
         "validate": validate,
+        "paranoia": coerce_paranoia(paranoia),
     }
     if jobs == 0:
         import os

@@ -1,0 +1,342 @@
+"""The paranoia layer: phase-boundary invariants for Build–Simplify–Select.
+
+Every other defense in the repository checks the allocator's *final*
+answer (the static coloring check, the differential run).  This module
+checks the allocator's *intermediate state* at each phase boundary of the
+Figure-4 cycle, so a bug is caught in the pass and phase that committed
+it, not three layers downstream where the evidence is gone:
+
+* **after build** — the interference graph is internally consistent:
+  frozen, self-loop free, adjacency lists in exact agreement with the bit
+  matrix, symmetric, precolored clique intact; every spill cost is
+  non-negative and spill temporaries are priced unspillable;
+* **after simplify** — the coloring stack is *complete*: stack plus
+  spill marks form a permutation of the virtual nodes (nothing dropped,
+  nothing pushed twice, no precolored node ever removed);
+* **after select** — the recorded decisions replay exactly: walking the
+  stack in reverse, every colored node got the first free color in the
+  target's color order and every uncolored node genuinely had no free
+  color; colors are proper and within the register file, and the spill
+  report matches the uncolored set.
+
+Checks run inside :func:`repro.regalloc.driver.allocate_function` behind
+``paranoia``:
+
+* ``"off"`` (default) — no checking, the production hot path;
+* ``"cheap"`` — O(V + E) outcome checks (graph consistency, cost sanity,
+  proper coloring, spill/color disjointness and coverage);
+* ``"full"`` — everything in ``cheap`` plus the stack-completeness and
+  select-replay checks, which need the per-phase evidence the strategy
+  objects record on :class:`repro.regalloc.chaitin.ClassAllocation`.
+
+A violation raises :class:`repro.errors.InvariantError` (an
+:class:`AllocationError`, so the hardened driver's policies, bundles and
+context attachment all apply unchanged).  The fuzz loop
+(:mod:`repro.robustness.fuzz`) runs with ``paranoia="full"``.
+
+:func:`recheck_assignment` reuses the after-select logic as a standalone
+defense layer over a *finished* allocation: the driver (under paranoia)
+keeps the final pass's interference graphs on
+:attr:`AllocationResult.graphs`, and the fault-injection probe replays a
+corrupted assignment against them — catching graph-level corruption
+(dropped edge, merged colors, out-of-file color) without rebuilding
+liveness the way ``check_allocation`` must.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.bitset import iter_bits, popcount
+from repro.errors import InvariantError
+from repro.regalloc.spill_costs import INFINITE_COST
+
+#: Recognised paranoia levels, in increasing strictness.
+PARANOIA_LEVELS = ("off", "cheap", "full")
+
+
+def coerce_paranoia(level) -> str:
+    """Validate a paranoia level (``None`` means ``"off"``)."""
+    if level is None or level is False:
+        return "off"
+    if level is True:
+        return "full"
+    if level in PARANOIA_LEVELS:
+        return level
+    choices = ", ".join(repr(name) for name in PARANOIA_LEVELS)
+    raise InvariantError(
+        f"unknown paranoia level {level!r} (choose from {choices})"
+    )
+
+
+# ----------------------------------------------------------------------
+# After build: graph and cost consistency.
+# ----------------------------------------------------------------------
+
+
+def check_graph_invariants(graph, level: str = "cheap") -> None:
+    """Degree counts versus adjacency, symmetry, precolored clique.
+
+    ``cheap`` proves each node's adjacency list agrees with its bit-matrix
+    row and that no node interferes with itself; ``full`` additionally
+    proves exact list/mask membership, matrix symmetry and the precolored
+    clique.
+    """
+    if graph.adj_list is None:
+        raise InvariantError(
+            f"{graph!r}: build handed simplify an unfrozen graph"
+        )
+    k = graph.k
+    n = graph.num_nodes
+    if len(graph.adj_mask) != n or len(graph.adj_list) != n:
+        raise InvariantError(
+            f"{graph!r}: {n} nodes but {len(graph.adj_mask)} matrix rows "
+            f"and {len(graph.adj_list)} adjacency lists"
+        )
+    for node in range(n):
+        mask = graph.adj_mask[node]
+        if (mask >> node) & 1:
+            raise InvariantError(
+                f"{graph!r}: node {node} interferes with itself"
+            )
+        if len(graph.adj_list[node]) != popcount(mask):
+            raise InvariantError(
+                f"{graph!r}: node {node} has {len(graph.adj_list[node])} "
+                f"list neighbors but degree {popcount(mask)} in the bit "
+                f"matrix — the two representations disagree"
+            )
+    if level != "full":
+        return
+    for node in range(n):
+        mask = graph.adj_mask[node]
+        if set(graph.adj_list[node]) != set(iter_bits(mask)):
+            raise InvariantError(
+                f"{graph!r}: node {node}'s adjacency list names different "
+                f"neighbors than its bit-matrix row"
+            )
+        for neighbor in iter_bits(mask):
+            if neighbor >= n:
+                raise InvariantError(
+                    f"{graph!r}: node {node} adjacent to nonexistent "
+                    f"node {neighbor}"
+                )
+            if not (graph.adj_mask[neighbor] >> node) & 1:
+                raise InvariantError(
+                    f"{graph!r}: edge {node}–{neighbor} is directed "
+                    f"(missing its reverse half)"
+                )
+    for a in range(k):
+        for b in range(a + 1, k):
+            if not graph.interferes(a, b):
+                raise InvariantError(
+                    f"{graph!r}: precolored registers {a} and {b} do not "
+                    f"interfere — the physical clique was lost"
+                )
+
+
+def check_cost_invariants(graph, costs) -> None:
+    """Spill costs: non-negative, not NaN, spill temps unspillable."""
+    for node in range(graph.k, graph.num_nodes):
+        vreg = graph.vreg_for(node)
+        cost = costs.cost(vreg)
+        if not cost >= 0.0:  # catches negatives and NaN in one comparison
+            raise InvariantError(
+                f"{vreg.pretty()} has spill cost {cost!r}; costs must be "
+                f"non-negative"
+            )
+        if vreg.is_spill_temp and cost != INFINITE_COST:
+            raise InvariantError(
+                f"spill temporary {vreg.pretty()} has finite cost {cost!r} "
+                f"and could be chosen for spilling again — the "
+                f"Build–Simplify–Select cycle may not terminate"
+            )
+
+
+# ----------------------------------------------------------------------
+# After simplify + select: the per-class outcome.
+# ----------------------------------------------------------------------
+
+
+def _check_stack_completeness(graph, outcome) -> None:
+    stack = list(outcome.stack)
+    marked = list(outcome.marked or [])
+    removed = stack + marked
+    for node in removed:
+        if graph.is_precolored(node):
+            raise InvariantError(
+                f"{graph!r}: precolored node {node} was simplified"
+            )
+    expected = set(range(graph.k, graph.num_nodes))
+    seen = set(removed)
+    if len(removed) != len(seen):
+        duplicates = sorted(
+            node for node in seen if removed.count(node) > 1
+        )
+        raise InvariantError(
+            f"{graph!r}: node(s) {duplicates} simplified more than once"
+        )
+    if seen != expected:
+        missing = sorted(expected - seen)
+        raise InvariantError(
+            f"{graph!r}: simplify dropped node(s) {missing} — the stack "
+            f"plus spill marks must cover every virtual node exactly once"
+        )
+
+
+def _check_select_replay(graph, outcome, color_order) -> None:
+    selection = outcome.selection
+    k = graph.k
+    order = list(color_order) if color_order is not None else list(range(k))
+    replay = {node: node for node in range(k)}
+    uncolored = set(selection.uncolored)
+    for node in reversed(outcome.stack):
+        taken = 0
+        for neighbor in graph.neighbors(node):
+            color = replay.get(neighbor)
+            if color is not None:
+                taken |= 1 << color
+        first_free = next(
+            (color for color in order if not (taken >> color) & 1), None
+        )
+        recorded = selection.colors.get(node)
+        if node in uncolored:
+            if first_free is not None:
+                raise InvariantError(
+                    f"{graph!r}: select left node {node} uncolored although "
+                    f"color {first_free} was free at its turn"
+                )
+            continue
+        if recorded is None:
+            raise InvariantError(
+                f"{graph!r}: node {node} is neither colored nor reported "
+                f"uncolored"
+            )
+        if recorded != first_free:
+            raise InvariantError(
+                f"{graph!r}: node {node} took color {recorded} but the "
+                f"color order dictates {first_free} at its turn"
+            )
+        replay[node] = recorded
+
+
+def check_class_invariants(
+    graph, outcome, color_order=None, level: str = "cheap"
+) -> None:
+    """Validate one class's :class:`ClassAllocation` against its graph.
+
+    ``cheap``: colors in range, coloring proper on the bit matrix, the
+    colored and spilled sets disjoint, and — when select ran — together
+    covering every virtual node.  ``full`` additionally replays the
+    recorded stack and select decisions (skipped transparently for
+    strategies that record no evidence, e.g. spill-all).
+    """
+    k = graph.k
+    colored_nodes = {}
+    for vreg, color in outcome.colors.items():
+        node = graph.node_of.get(vreg)
+        if node is None:
+            raise InvariantError(
+                f"{vreg.pretty()} was colored but is not a node of "
+                f"{graph!r}"
+            )
+        if not 0 <= color < k:
+            raise InvariantError(
+                f"{vreg.pretty()} colored {color}, outside the "
+                f"{k}-register file"
+            )
+        colored_nodes[node] = color
+    for node, color in colored_nodes.items():
+        row = graph.adj_mask[node]
+        if (row >> color) & 1:
+            raise InvariantError(
+                f"{graph.vreg_for(node).pretty()} colored {color} but "
+                f"interferes with that physical register"
+            )
+        for neighbor in graph.neighbors(node):
+            other = colored_nodes.get(neighbor)
+            if other == color:
+                raise InvariantError(
+                    f"{graph.vreg_for(node).pretty()} and "
+                    f"{graph.vreg_for(neighbor).pretty()} interfere but "
+                    f"share color {color}"
+                )
+    spilled_nodes = set()
+    for vreg in outcome.spilled_vregs:
+        node = graph.node_of.get(vreg)
+        if node is None:
+            raise InvariantError(
+                f"{vreg.pretty()} was spilled but is not a node of "
+                f"{graph!r}"
+            )
+        spilled_nodes.add(node)
+    overlap = spilled_nodes & set(colored_nodes)
+    if overlap:
+        names = [graph.vreg_for(node).pretty() for node in sorted(overlap)]
+        raise InvariantError(
+            f"{graph!r}: {names} both colored and marked for spilling"
+        )
+    if outcome.ran_select:
+        covered = spilled_nodes | set(colored_nodes)
+        expected = set(range(k, graph.num_nodes))
+        if covered != expected:
+            missing = [
+                graph.vreg_for(node).pretty()
+                for node in sorted(expected - covered)
+            ]
+            raise InvariantError(
+                f"{graph!r}: select decided nothing for {missing}"
+            )
+    if level != "full":
+        return
+    if outcome.stack is not None:
+        _check_stack_completeness(graph, outcome)
+    if outcome.selection is not None and outcome.stack is not None:
+        _check_select_replay(graph, outcome, color_order)
+
+
+# ----------------------------------------------------------------------
+# Standalone re-check of a finished allocation (fault-probe layer).
+# ----------------------------------------------------------------------
+
+
+def recheck_assignment(result) -> None:
+    """Replay ``result.assignment`` against the final pass's interference
+    graphs kept on :attr:`AllocationResult.graphs` (populated whenever the
+    allocation ran with ``paranoia`` enabled).
+
+    This is the cheapest post-hoc defense layer: no liveness or
+    interference rebuild, just the stored graphs — enough to catch a
+    dropped edge, merged register files, or an out-of-file color the
+    moment an assignment is corrupted.  Raises :class:`InvariantError`;
+    silently returns when no graphs were stored (paranoia was off).
+    """
+    graphs = getattr(result, "graphs", None)
+    if not graphs:
+        return
+    assignment = result.assignment
+    for graph in graphs.values():
+        k = graph.k
+        for node in range(k, graph.num_nodes):
+            vreg = graph.vreg_for(node)
+            color = assignment.get(vreg)
+            if color is None:
+                continue  # spilled ranges legitimately have no color
+            if not 0 <= color < k:
+                raise InvariantError(
+                    f"{vreg.pretty()} colored {color}, outside the "
+                    f"{k}-register file"
+                )
+            row = graph.adj_mask[node]
+            if (row >> color) & 1:
+                raise InvariantError(
+                    f"{vreg.pretty()} colored {color} but interferes with "
+                    f"that physical register"
+                )
+            for neighbor in graph.neighbors(node):
+                if neighbor < k:
+                    continue
+                other = assignment.get(graph.vreg_for(neighbor))
+                if other is not None and other == color and neighbor > node:
+                    raise InvariantError(
+                        f"{vreg.pretty()} and "
+                        f"{graph.vreg_for(neighbor).pretty()} interfere "
+                        f"but share color {color}"
+                    )

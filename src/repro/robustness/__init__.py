@@ -2,7 +2,7 @@
 
 The paper's whole argument rests on the allocator being *correct while
 spilling less*; this package makes the correctness half load-bearing with
-three layers, each catching what the previous one cannot:
+layered defenses, each catching what the previous one cannot:
 
 * **Layer 0/1 — validation** (:mod:`repro.robustness.validate`): the
   driver's static coloring check plus *translation validation* —
@@ -18,12 +18,19 @@ three layers, each catching what the previous one cannot:
   timeouts, bounded retries, per-function fallback, structured failure
   diagnostics, and deterministic crash bundles
   (:mod:`repro.robustness.bundles`).
+* **Layer 4 — oracles and fuzzing** (:mod:`repro.robustness.oracle` and
+  :mod:`repro.robustness.fuzz`): exact backtracking k-colorability for
+  small graphs, the paper's §2.3 subset guarantee as an executable
+  assertion, and a seeded closed-loop fuzzer over random graphs and
+  random programs with a deterministic minimizing shrinker — run it with
+  ``repro fuzz``.  The phase-boundary invariant checks it leans on live
+  in :mod:`repro.regalloc.invariants` (``--paranoia``).
 
 See ``docs/ROBUSTNESS.md`` for the full story.
 """
 
 from repro.regalloc.driver import AllocationFailure, FailurePolicy
-from repro.robustness.bundles import write_crash_bundle
+from repro.robustness.bundles import write_crash_bundle, write_fuzz_bundle
 from repro.robustness.faults import (
     FAULTS,
     CrashingAllocator,
@@ -33,6 +40,29 @@ from repro.robustness.faults import (
     HangingAllocator,
     probe_fault,
     register_fault,
+)
+from repro.robustness.fuzz import (
+    FuzzFailure,
+    FuzzReport,
+    GraphSpec,
+    IRSpec,
+    build_graph,
+    ddmin,
+    generate_graph_spec,
+    generate_ir_spec,
+    run_fuzz,
+    shrink_graph_spec,
+    shrink_ir_spec,
+)
+from repro.robustness.oracle import (
+    MAX_ORACLE_NODES,
+    OracleVerdict,
+    SubsetGuaranteeReport,
+    check_function_subset_guarantee,
+    check_subset_guarantee,
+    check_workload_subset_guarantee,
+    exact_color,
+    oracle_verdict,
 )
 from repro.robustness.validate import (
     ValidationReport,
@@ -46,6 +76,7 @@ __all__ = [
     "AllocationFailure",
     "FailurePolicy",
     "write_crash_bundle",
+    "write_fuzz_bundle",
     "FAULTS",
     "Fault",
     "FaultProbe",
@@ -54,6 +85,25 @@ __all__ = [
     "HangingAllocator",
     "probe_fault",
     "register_fault",
+    "FuzzFailure",
+    "FuzzReport",
+    "GraphSpec",
+    "IRSpec",
+    "build_graph",
+    "ddmin",
+    "generate_graph_spec",
+    "generate_ir_spec",
+    "run_fuzz",
+    "shrink_graph_spec",
+    "shrink_ir_spec",
+    "MAX_ORACLE_NODES",
+    "OracleVerdict",
+    "SubsetGuaranteeReport",
+    "check_function_subset_guarantee",
+    "check_subset_guarantee",
+    "check_workload_subset_guarantee",
+    "exact_color",
+    "oracle_verdict",
     "ValidationReport",
     "default_validation_target",
     "validate_registry",

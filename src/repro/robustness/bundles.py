@@ -15,6 +15,13 @@ failure, it dumps the evidence under ``<out_dir>/crash-<function>/``:
 The bundle path is deterministic (keyed by function name, not by time or
 pid) so repeated failures overwrite rather than accumulate, and a test
 can assert the exact layout.
+
+:func:`write_fuzz_bundle` does the same for fuzz failures
+(:mod:`repro.robustness.fuzz`): the *minimized* witness — ``graph.json``
+plus a rendered ``interference.dot`` for graph cases, ``program.f`` for
+IR cases — under ``fuzz-<kind>-<case_seed>/``, with the same
+sorted-keys / no-timestamps discipline so a replayed campaign rewrites
+byte-identical bundles.
 """
 
 from __future__ import annotations
@@ -85,6 +92,69 @@ def write_crash_bundle(
         },
         "graphs": graphs_meta,
     }
+    (directory / "meta.json").write_text(
+        json.dumps(meta, indent=2, sort_keys=True, default=str) + "\n"
+    )
+    return directory
+
+
+def write_fuzz_bundle(
+    failure,
+    master_seed: int | None = None,
+    out_dir="results/fuzz",
+) -> pathlib.Path:
+    """Write the bundle for one :class:`repro.robustness.fuzz.FuzzFailure`
+    (its ``spec`` is already minimized); returns its directory.
+
+    Graph cases get ``graph.json`` (the exact shrunken
+    :class:`~repro.robustness.fuzz.GraphSpec`, enough to rebuild the
+    failing graph with ``build_graph``) and ``interference.dot``; IR
+    cases get ``program.f`` (re-runnable through ``repro verify``).
+    """
+    directory = (
+        pathlib.Path(out_dir) / f"fuzz-{failure.kind}-{failure.case_seed}"
+    )
+    directory.mkdir(parents=True, exist_ok=True)
+
+    spec = failure.spec
+    meta = {
+        "format": 1,
+        "kind": failure.kind,
+        "master_seed": master_seed,
+        "case_seed": failure.case_seed,
+        "iteration": failure.iteration,
+        "stage": failure.stage,
+        "error": {
+            "type": failure.error_type,
+            "message": failure.message,
+        },
+        "original_size": failure.original_size,
+        "shrunk_size": failure.shrunk_size,
+    }
+
+    if failure.kind == "graph":
+        meta["graph"] = spec.as_dict()
+        (directory / "graph.json").write_text(
+            json.dumps(spec.as_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        try:
+            from repro.robustness.fuzz import build_graph
+
+            graph, _ = build_graph(spec)
+            (directory / "interference.dot").write_text(
+                to_dot(graph, name=f"fuzz_{failure.case_seed}")
+            )
+        except Exception as render_error:
+            (directory / "interference-error.txt").write_text(
+                f"{type(render_error).__name__}: {render_error}\n"
+            )
+    else:
+        meta["registers"] = {
+            "int": spec.k_int,
+            "float": spec.k_float,
+        }
+        (directory / "program.f").write_text(spec.source)
+
     (directory / "meta.json").write_text(
         json.dumps(meta, indent=2, sort_keys=True, default=str) + "\n"
     )

@@ -6,9 +6,12 @@ register allocator, spiller, or parallel driver could have — a missed
 interference edge, a reload from the wrong frame slot, a worker process
 that dies or wedges — and declares what the defense stack owes us for it:
 
-* ``expect="detected"`` — some layer must trip: the static coloring check
-  (``check_allocation``), the IR verifier, or the dynamic differential
-  run (layer 1, :mod:`repro.robustness.validate`);
+* ``expect="detected"`` — some layer must trip: the phase-boundary
+  invariant layer (:func:`repro.regalloc.invariants.recheck_assignment`
+  over the retained final-pass graphs — the cheapest line of defense),
+  the static coloring check (``check_allocation``), the IR verifier, or
+  the dynamic differential run (layer 1,
+  :mod:`repro.robustness.validate`);
 * ``expect="degraded"`` — the system must absorb the fault and still
   produce a *correct* result, with the degradation recorded (perturbed
   spill costs change quality, never correctness; a crashed or hung worker
@@ -31,7 +34,12 @@ import time
 
 from repro.analysis.cfg import CFG
 from repro.analysis.liveness import Liveness
-from repro.errors import AllocationError, SimulationError, VerificationError
+from repro.errors import (
+    AllocationError,
+    InvariantError,
+    SimulationError,
+    VerificationError,
+)
 from repro.frontend import compile_source
 from repro.ir.values import RClass
 from repro.ir.verifier import verify_function
@@ -39,6 +47,7 @@ from repro.machine.simulator import run_module
 from repro.machine.target import rt_pc
 from repro.regalloc.briggs import BriggsAllocator
 from repro.regalloc.driver import allocate_module, check_allocation
+from repro.regalloc.invariants import recheck_assignment
 from repro.regalloc.interference import build_interference_graph
 from repro.regalloc.spill_costs import INFINITE_COST, SpillCosts
 
@@ -379,7 +388,8 @@ class FaultProbe:
         self.seed = seed
         #: injector's description of the corruption; None = inapplicable.
         self.injected = injected
-        #: layers that tripped: "static", "verifier", "dynamic", "driver".
+        #: layers that tripped: "invariants", "static", "verifier",
+        #: "dynamic", "driver".
         self.detected_by = tuple(detected_by)
         #: True when the system absorbed the fault and still ran correctly,
         #: with the degradation on record.
@@ -481,7 +491,10 @@ def probe_fault(
         )
 
     # kind == "allocation": corrupt a finished, correct allocation.
-    allocation = allocate_module(module, target, method, validate=True)
+    # paranoia="cheap" keeps the final-pass interference graphs on each
+    # result, arming the post-hoc invariant layer below.
+    allocation = allocate_module(module, target, method, validate=True,
+                                 paranoia="cheap")
     injected = fault.inject(module, allocation, rng)
     if injected is None:
         return FaultProbe(fault, seed, None,
@@ -489,6 +502,12 @@ def probe_fault(
 
     detected = []
     detail = []
+    try:
+        for result in allocation.results.values():
+            recheck_assignment(result)
+    except InvariantError as error:
+        detected.append("invariants")
+        detail.append(f"invariants: {error.message}")
     try:
         for result in allocation.results.values():
             check_allocation(result)

@@ -1,0 +1,580 @@
+"""Layer 4 of the defense stack: closed-loop correctness fuzzing.
+
+Every other layer checks inputs somebody thought to write down.  This
+module generates inputs nobody wrote down — seeded random interference
+graphs and seeded random whole programs (:mod:`repro.workloads.synth`) —
+and drives both allocators through *every* existing validator on each
+one:
+
+* **graph cases** — Briggs and Chaitin ``allocate_class`` under the full
+  paranoia layer (:mod:`repro.regalloc.invariants`), the §2.3 subset
+  guarantee (:mod:`repro.robustness.oracle`), and — for graphs small
+  enough — the exact backtracking oracle, which turns "spilled a
+  colorable graph" and "claimed an impossible coloring" into decided
+  facts;
+* **IR cases** — a generated program compiled twice and run end-to-end:
+  allocation with ``validate=True`` and ``paranoia="full"``, translation
+  validation against the pristine pre-allocation module
+  (:mod:`repro.robustness.validate`), and the paper's per-function
+  "Briggs never spills more than Chaitin" claim.
+
+When a case fails, the loop does not stop at "seed 12345 crashed": a
+deterministic delta-debugging **shrinker** (ddmin over graph nodes,
+edges, costs and k; ddmin over program source lines) minimizes the case
+while preserving the exact failure signature ``(stage, error type)``,
+then writes a crash bundle through :mod:`repro.robustness.bundles` so
+the witness is a few nodes or a few lines, not a haystack.
+
+Everything stochastic flows from ONE :class:`random.Random` seeded by
+the caller — the generator, the case parameters, the program synthesizer
+— so ``repro fuzz --seed N`` is bit-reproducible: same seed, same cases,
+same report, byte-identical bundles.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import ReproError
+from repro.frontend import compile_source
+from repro.ir.function import Function
+from repro.ir.values import RClass
+from repro.machine.simulator import run_module
+from repro.machine.target import rt_pc
+from repro.regalloc.briggs import BriggsAllocator
+from repro.regalloc.chaitin import ChaitinAllocator
+from repro.regalloc.driver import allocate_module
+from repro.regalloc.interference import InterferenceGraph
+from repro.regalloc.invariants import check_class_invariants, coerce_paranoia
+from repro.regalloc.spill_costs import SpillCosts
+from repro.robustness.oracle import (
+    MAX_ORACLE_NODES,
+    check_subset_guarantee,
+    oracle_verdict,
+)
+from repro.robustness.validate import verify_allocation
+from repro.workloads.synth import ProgramGenerator
+
+#: Simulator budget for fuzzed programs (they terminate by construction;
+#: the bound only catches injected non-termination).
+_MAX_INSTRUCTIONS = 2_000_000
+
+
+# ----------------------------------------------------------------------
+# Case specifications (plain data, so the shrinker can transform them).
+# ----------------------------------------------------------------------
+
+
+class GraphSpec:
+    """One random interference graph: ``n`` virtual nodes 0..n-1, ``k``
+    registers, undirected ``edges`` over node indices, one spill cost per
+    node.  Deliberately duplicated costs exercise the lowest-index
+    tie-breaking both allocators must share."""
+
+    __slots__ = ("n", "k", "edges", "costs")
+
+    def __init__(self, n, k, edges, costs):
+        self.n = n
+        self.k = k
+        self.edges = tuple(sorted(set(map(tuple, edges))))
+        self.costs = tuple(costs)
+
+    def key(self):
+        return (self.n, self.k, self.edges, self.costs)
+
+    def size(self) -> int:
+        return self.n + len(self.edges)
+
+    def as_dict(self) -> dict:
+        return {
+            "n": self.n,
+            "k": self.k,
+            "edges": [list(edge) for edge in self.edges],
+            "costs": list(self.costs),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphSpec(n={self.n}, k={self.k}, "
+            f"{len(self.edges)} edges)"
+        )
+
+
+class IRSpec:
+    """One random whole-program case: source text plus the register-file
+    sizes it is allocated against."""
+
+    __slots__ = ("source", "k_int", "k_float")
+
+    def __init__(self, source, k_int, k_float):
+        self.source = source
+        self.k_int = k_int
+        self.k_float = k_float
+
+    def key(self):
+        return (self.source, self.k_int, self.k_float)
+
+    def size(self) -> int:
+        return len(self.source.splitlines())
+
+    def __repr__(self) -> str:
+        return (
+            f"IRSpec({self.size()} lines, k_int={self.k_int}, "
+            f"k_float={self.k_float})"
+        )
+
+
+def generate_graph_spec(rng: random.Random, max_nodes: int = 16) -> GraphSpec:
+    """Draw one random graph case from ``rng``."""
+    n = rng.randint(2, max(2, max_nodes))
+    k = rng.randint(2, 8)
+    density = rng.uniform(0.1, 0.9)
+    edges = [
+        (a, b)
+        for a in range(n)
+        for b in range(a + 1, n)
+        if rng.random() < density
+    ]
+    costs = [float(rng.randint(1, 8)) for _ in range(n)]
+    return GraphSpec(n, k, edges, costs)
+
+
+def generate_ir_spec(rng: random.Random) -> IRSpec:
+    """Draw one random whole-program case from ``rng``."""
+    statements = rng.randint(5, 12)
+    calls = rng.random() < 0.7
+    source = ProgramGenerator(
+        statements=statements, calls=calls, rng=rng
+    ).generate()
+    k_int = rng.choice([4, 5, 6, 8, 12])
+    k_float = rng.choice([3, 4, 6, 8])
+    return IRSpec(source, k_int, k_float)
+
+
+def build_graph(spec: GraphSpec):
+    """Materialise a :class:`GraphSpec` into an
+    :class:`InterferenceGraph` plus its :class:`SpillCosts`."""
+    function = Function("fuzz")
+    vregs = [
+        function.new_vreg(RClass.INT, f"v{index}") for index in range(spec.n)
+    ]
+    graph = InterferenceGraph(RClass.INT, spec.k)
+    for vreg in vregs:
+        graph.ensure_node(vreg)
+    for a, b in spec.edges:
+        graph.add_edge(graph.node_of[vregs[a]], graph.node_of[vregs[b]])
+    graph.freeze()
+    costs = SpillCosts({
+        vreg: spec.costs[index] for index, vreg in enumerate(vregs)
+    })
+    return graph, costs
+
+
+# ----------------------------------------------------------------------
+# Case checkers.  Each returns None on success or ``(stage, error)`` —
+# the failure signature the shrinker must preserve.
+# ----------------------------------------------------------------------
+
+
+def check_graph_case(
+    spec: GraphSpec,
+    briggs_factory=BriggsAllocator,
+    chaitin_factory=ChaitinAllocator,
+    oracle_max_nodes: int = 14,
+    stats: dict | None = None,
+):
+    """Run one graph case through allocators, invariants, the subset
+    guarantee and (small graphs) the exact oracle."""
+    graph, costs = build_graph(spec)
+
+    stage = "briggs-invariants"
+    try:
+        briggs = briggs_factory().allocate_class(graph, costs)
+        check_class_invariants(graph, briggs, level="full")
+        stage = "chaitin-invariants"
+        chaitin = chaitin_factory().allocate_class(graph, costs)
+        check_class_invariants(graph, chaitin, level="full")
+
+        stage = "subset-guarantee"
+        briggs_spilled = set(briggs.spilled_vregs)
+        chaitin_spilled = set(chaitin.spilled_vregs)
+        extra = briggs_spilled - chaitin_spilled
+        if extra:
+            names = sorted(vreg.pretty() for vreg in extra)
+            raise AssertionError(
+                f"Briggs spilled {names} which Chaitin kept in registers"
+            )
+        if not chaitin_spilled and briggs.colors != chaitin.colors:
+            raise AssertionError(
+                "Chaitin colors completely but Briggs disagrees"
+            )
+        # Cross-check against the reference implementation of the theorem
+        # (runs pristine allocators even when factories are injected).
+        check_subset_guarantee(graph, costs)
+
+        stage = "oracle"
+        if spec.n <= oracle_max_nodes:
+            verdict = oracle_verdict(graph, briggs,
+                                     max_nodes=MAX_ORACLE_NODES)
+            if stats is not None:
+                stats["oracle_checked"] = stats.get("oracle_checked", 0) + 1
+                if verdict.heuristic_gap:
+                    stats["oracle_gaps"] = stats.get("oracle_gaps", 0) + 1
+    except Exception as error:  # noqa: BLE001 - the signature IS the data
+        return stage, error
+    return None
+
+
+def check_ir_case(
+    spec: IRSpec,
+    methods=("briggs", "chaitin"),
+    paranoia: str = "full",
+    max_instructions: int = _MAX_INSTRUCTIONS,
+):
+    """Run one program case end-to-end under every validator."""
+    stage = "compile"
+    try:
+        baseline = compile_source(spec.source, "fuzz")
+        stage = "baseline-run"
+        run_module(baseline, max_instructions=max_instructions)
+
+        target = rt_pc().with_int_regs(spec.k_int).with_float_regs(
+            spec.k_float
+        )
+        allocations = {}
+        for method in methods:
+            name = method if isinstance(method, str) else method.name
+            stage = f"allocate[{name}]"
+            module = compile_source(spec.source, "fuzz")
+            allocation = allocate_module(
+                module, target, method, validate=True, paranoia=paranoia
+            )
+            stage = f"differential[{name}]"
+            verify_allocation(
+                module, allocation, baseline=baseline, static=False,
+                max_instructions=max_instructions,
+            )
+            allocations[name] = allocation
+
+        if "briggs" in allocations and "chaitin" in allocations:
+            stage = "briggs-not-worse"
+            briggs, chaitin = allocations["briggs"], allocations["chaitin"]
+            for name in chaitin.results:
+                briggs_spills = briggs.result(name).stats.registers_spilled
+                chaitin_spills = chaitin.result(name).stats.registers_spilled
+                if briggs_spills > chaitin_spills:
+                    raise AssertionError(
+                        f"{name}: Briggs spilled {briggs_spills} ranges, "
+                        f"Chaitin only {chaitin_spills}"
+                    )
+    except Exception as error:  # noqa: BLE001
+        return stage, error
+    return None
+
+
+def _failure_key(failure):
+    stage, error = failure
+    return (stage, type(error).__name__)
+
+
+# ----------------------------------------------------------------------
+# The minimizing shrinker: deterministic delta debugging.
+# ----------------------------------------------------------------------
+
+
+def ddmin(items: list, still_fails, budget: list) -> list:
+    """Zeller's ddmin: the smallest sublist of ``items`` (w.r.t. the
+    chunk-removal neighborhood) on which ``still_fails`` holds.
+
+    ``budget`` is a one-element mutable list of remaining predicate
+    evaluations; exhausting it returns the best reduction so far, so a
+    pathological case cannot wedge the fuzz loop.  Deterministic: no
+    randomness, first shrinking chunk wins.
+    """
+    items = list(items)
+    granularity = 2
+    while len(items) >= 2 and budget[0] > 0:
+        chunk = max(1, len(items) // granularity)
+        reduced = False
+        for start in range(0, len(items), chunk):
+            if budget[0] <= 0:
+                break
+            candidate = items[:start] + items[start + chunk:]
+            if not candidate:
+                continue
+            budget[0] -= 1
+            if still_fails(candidate):
+                items = candidate
+                granularity = max(2, granularity - 1)
+                reduced = True
+                break
+        if not reduced:
+            if chunk == 1:
+                break
+            granularity = min(len(items), granularity * 2)
+    return items
+
+
+def shrink_graph_spec(spec: GraphSpec, failure, check, budget: int = 2000):
+    """Minimize a failing :class:`GraphSpec` while preserving the failure
+    signature: ddmin over nodes (induced subgraph), then edges, then a
+    greedy cost-normalization and k-reduction pass."""
+    key = _failure_key(failure)
+    remaining = [budget]
+
+    def fails(candidate: GraphSpec) -> bool:
+        result = check(candidate)
+        return result is not None and _failure_key(result) == key
+
+    def induced(keep: list) -> GraphSpec:
+        index_of = {node: i for i, node in enumerate(keep)}
+        edges = [
+            (index_of[a], index_of[b])
+            for a, b in spec.edges
+            if a in index_of and b in index_of
+        ]
+        return GraphSpec(
+            len(keep), spec.k, edges, [spec.costs[node] for node in keep]
+        )
+
+    keep = ddmin(
+        list(range(spec.n)),
+        lambda nodes: fails(induced(sorted(nodes))),
+        remaining,
+    )
+    spec = induced(sorted(keep))
+
+    edges = ddmin(
+        list(spec.edges),
+        lambda kept: fails(GraphSpec(spec.n, spec.k, kept, spec.costs)),
+        remaining,
+    )
+    spec = GraphSpec(spec.n, spec.k, edges, spec.costs)
+
+    for index in range(spec.n):
+        if remaining[0] <= 0:
+            break
+        if spec.costs[index] == 1.0:
+            continue
+        flattened = list(spec.costs)
+        flattened[index] = 1.0
+        candidate = GraphSpec(spec.n, spec.k, spec.edges, flattened)
+        remaining[0] -= 1
+        if fails(candidate):
+            spec = candidate
+
+    while spec.k > 1 and remaining[0] > 0:
+        candidate = GraphSpec(spec.n, spec.k - 1, spec.edges, spec.costs)
+        remaining[0] -= 1
+        if not fails(candidate):
+            break
+        spec = candidate
+
+    return spec
+
+
+def shrink_ir_spec(spec: IRSpec, failure, check, budget: int = 400):
+    """Minimize a failing program by ddmin over its source lines (a
+    candidate that no longer compiles simply fails the signature match
+    and is rejected).  Register-file sizes are pinned — they are part of
+    the failure, not of the haystack."""
+    key = _failure_key(failure)
+    remaining = [budget]
+
+    def fails(lines: list) -> bool:
+        candidate = IRSpec("\n".join(lines) + "\n", spec.k_int, spec.k_float)
+        result = check(candidate)
+        return result is not None and _failure_key(result) == key
+
+    lines = ddmin(spec.source.splitlines(), fails, remaining)
+    return IRSpec("\n".join(lines) + "\n", spec.k_int, spec.k_float)
+
+
+# ----------------------------------------------------------------------
+# The loop.
+# ----------------------------------------------------------------------
+
+
+class FuzzFailure:
+    """One fuzz failure: the shrunken witness plus its provenance."""
+
+    __slots__ = ("kind", "iteration", "case_seed", "stage", "error_type",
+                 "message", "original_size", "shrunk_size", "spec", "bundle")
+
+    def __init__(self, kind, iteration, case_seed, stage, error,
+                 original_size, spec, bundle=None):
+        self.kind = kind  # "graph" | "ir"
+        self.iteration = iteration
+        self.case_seed = case_seed
+        self.stage = stage
+        self.error_type = type(error).__name__
+        self.message = str(error)
+        self.original_size = original_size
+        self.shrunk_size = spec.size()
+        #: the *minimized* failing GraphSpec / IRSpec.
+        self.spec = spec
+        #: crash-bundle directory, when one was written.
+        self.bundle = bundle
+
+    def __repr__(self) -> str:
+        return (
+            f"FuzzFailure({self.kind} seed={self.case_seed}: "
+            f"{self.error_type} in {self.stage}, "
+            f"{self.original_size}->{self.shrunk_size})"
+        )
+
+
+class FuzzReport:
+    """Outcome of one :func:`run_fuzz` campaign."""
+
+    __slots__ = ("seed", "iterations", "graph_cases", "ir_cases",
+                 "failures", "oracle_checked", "oracle_gaps",
+                 "subset_checked")
+
+    def __init__(self, seed):
+        self.seed = seed
+        self.iterations = 0
+        self.graph_cases = 0
+        self.ir_cases = 0
+        self.failures: list = []
+        self.oracle_checked = 0
+        self.oracle_gaps = 0
+        self.subset_checked = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        lines = [
+            f"fuzz seed={self.seed}: {self.iterations} iterations "
+            f"({self.graph_cases} graph, {self.ir_cases} ir), "
+            f"{len(self.failures)} failure(s)",
+            f"  subset guarantee held on {self.subset_checked} graphs; "
+            f"exact oracle agreed on {self.oracle_checked} "
+            f"({self.oracle_gaps} heuristic gaps: Briggs spilled a "
+            f"colorable graph)",
+        ]
+        for failure in self.failures:
+            lines.append(
+                f"  FAILURE [{failure.kind}] case_seed={failure.case_seed} "
+                f"{failure.error_type} in {failure.stage}: "
+                f"{failure.message}"
+            )
+            lines.append(
+                f"    shrunk {failure.original_size} -> "
+                f"{failure.shrunk_size}"
+                + (f"; bundle: {failure.bundle}" if failure.bundle else "")
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"FuzzReport(seed={self.seed}, {self.iterations} iterations, "
+            f"{len(self.failures)} failures)"
+        )
+
+
+def run_fuzz(
+    seed: int = 0,
+    iters: int = 100,
+    max_nodes: int = 16,
+    bundle_dir=None,
+    modes=("graph", "ir"),
+    paranoia: str = "full",
+    briggs_factory=BriggsAllocator,
+    chaitin_factory=ChaitinAllocator,
+    ir_methods=("briggs", "chaitin"),
+    oracle_max_nodes: int = 14,
+    shrink_budget: int | None = None,
+    log=None,
+) -> FuzzReport:
+    """Run the closed loop: generate, check, shrink, bundle.
+
+    One seeded :class:`random.Random` drives every draw, so the whole
+    campaign — cases, failures, shrunken witnesses, bundles — replays
+    bit-identically from ``seed``.  ``modes`` picks the case mix
+    (alternating deterministically); ``briggs_factory``/
+    ``chaitin_factory``/``ir_methods`` exist so tests can inject known-bad
+    allocators and watch the loop catch and shrink them.  Returns a
+    :class:`FuzzReport`; failures carry minimized specs and (with
+    ``bundle_dir``) crash-bundle paths.
+    """
+    paranoia = coerce_paranoia(paranoia)
+    if paranoia == "off":
+        paranoia = "cheap"  # the fuzz loop never runs unchecked
+    rng = random.Random(seed)
+    report = FuzzReport(seed)
+    stats: dict = {}
+
+    for iteration in range(iters):
+        mode = modes[iteration % len(modes)]
+        case_seed = rng.getrandbits(32)
+        case_rng = random.Random(case_seed)
+        report.iterations += 1
+
+        if mode == "graph":
+            report.graph_cases += 1
+            spec = generate_graph_spec(case_rng, max_nodes)
+
+            def check(candidate, _stats=None):
+                return check_graph_case(
+                    candidate,
+                    briggs_factory=briggs_factory,
+                    chaitin_factory=chaitin_factory,
+                    oracle_max_nodes=oracle_max_nodes,
+                    stats=_stats,
+                )
+
+            failure = check(spec, stats)
+            report.subset_checked += failure is None
+            if failure is not None:
+                shrunk = shrink_graph_spec(
+                    spec, failure, check,
+                    budget=shrink_budget or 2000,
+                )
+                failure = check(shrunk) or failure
+                record = FuzzFailure(
+                    "graph", iteration, case_seed, failure[0], failure[1],
+                    original_size=spec.size(), spec=shrunk,
+                )
+        else:
+            report.ir_cases += 1
+            spec = generate_ir_spec(case_rng)
+
+            def check(candidate, _stats=None):
+                return check_ir_case(
+                    candidate, methods=ir_methods, paranoia=paranoia
+                )
+
+            failure = check(spec)
+            if failure is not None:
+                shrunk = shrink_ir_spec(
+                    spec, failure, check,
+                    budget=shrink_budget or 400,
+                )
+                failure = check(shrunk) or failure
+                record = FuzzFailure(
+                    "ir", iteration, case_seed, failure[0], failure[1],
+                    original_size=spec.size(), spec=shrunk,
+                )
+
+        if failure is not None:
+            if bundle_dir is not None:
+                from repro.robustness.bundles import write_fuzz_bundle
+
+                record.bundle = str(write_fuzz_bundle(
+                    record, master_seed=seed, out_dir=bundle_dir,
+                ))
+            report.failures.append(record)
+            if log is not None:
+                log(f"  {record!r}")
+        if log is not None and (iteration + 1) % 50 == 0:
+            log(
+                f"  {iteration + 1}/{iters} iterations, "
+                f"{len(report.failures)} failure(s)"
+            )
+
+    report.oracle_checked = stats.get("oracle_checked", 0)
+    report.oracle_gaps = stats.get("oracle_gaps", 0)
+    return report

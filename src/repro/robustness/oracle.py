@@ -1,0 +1,270 @@
+"""Exact small-graph oracles for the coloring heuristics.
+
+Both allocators are *heuristics*: they may spill on a graph that is in
+fact k-colorable, and nothing inside the heuristic itself can tell a
+legitimate heuristic miss from a genuine bug.  Bouchez, Darte & Rastello
+(RR2007-42) locate the hard cases of spill minimization exactly where
+heuristics and optima diverge, so this module supplies the ground truth
+for graphs small enough to decide exactly:
+
+* :func:`exact_color` — backtracking k-colorability with forward
+  checking, honoring the precolored physical clique.  Returns a proper
+  coloring or ``None``; with it, "claimed coloring invalid" and "spilled
+  although the oracle colors it" are both decidable, not just plausible;
+* :func:`oracle_verdict` — cross-examines one :class:`ClassAllocation`
+  against the exact answer: an allocator claiming a complete coloring of
+  a graph the oracle proves *un*colorable is a contradiction (one of the
+  two is broken — either way a bug), and an allocator spilling on a graph
+  the oracle colors is recorded as a **heuristic gap** (expected for both
+  heuristics, never an error, but worth measuring);
+* :func:`check_subset_guarantee` — the paper's §2.3 theorem as an
+  executable assertion: on the *same* graph with the *same* costs and
+  tie-breaking, Briggs's uncolored set must be a subset of Chaitin's
+  spill set, and when Chaitin colors everything the two allocators must
+  agree exactly.  :func:`check_function_subset_guarantee` and
+  :func:`check_workload_subset_guarantee` lift the assertion to whole
+  functions and registry workloads at chosen register-file sizes.
+
+The fuzz loop (:mod:`repro.robustness.fuzz`) runs all three on every
+generated graph.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.bitset import iter_bits, popcount
+from repro.errors import AllocationError, InvariantError
+from repro.ir.values import RClass
+from repro.machine.target import Target
+from repro.regalloc.briggs import BriggsAllocator
+from repro.regalloc.chaitin import ChaitinAllocator
+from repro.regalloc.interference import build_interference_graphs
+from repro.regalloc.invariants import check_class_invariants
+from repro.regalloc.spill_costs import compute_spill_costs
+
+#: Default ceiling on virtual nodes for the exact search.  Backtracking
+#: is exponential in the worst case; below this bound the forward-checked
+#: search decides any graph in well under a second.
+MAX_ORACLE_NODES = 24
+
+
+def exact_color(graph, max_nodes: int = MAX_ORACLE_NODES):
+    """Decide k-colorability of ``graph`` exactly.
+
+    Returns ``{vreg: color}`` — a proper coloring of every virtual node
+    with the precolored clique fixed — or ``None`` when no such coloring
+    exists.  Uses most-constrained-first backtracking with forward
+    checking.  Raises :class:`AllocationError` when the graph exceeds
+    ``max_nodes`` virtual nodes (the caller should not trust exponential
+    search on big graphs).
+    """
+    k = graph.k
+    nodes = list(range(k, graph.num_nodes))
+    if len(nodes) > max_nodes:
+        raise AllocationError(
+            f"exact oracle refused: {len(nodes)} virtual nodes exceeds the "
+            f"{max_nodes}-node bound for backtracking search"
+        )
+    full = (1 << k) - 1
+    allowed = {}
+    for node in nodes:
+        mask = full
+        for neighbor in graph.neighbors(node):
+            if neighbor < k:
+                mask &= ~(1 << neighbor)
+        allowed[node] = mask
+    assignment: dict = {}
+
+    def pick():
+        """Unassigned node with the fewest remaining colors (ties break
+        toward higher degree, then lower index — determinism matters for
+        replayable fuzz runs)."""
+        best_key = None
+        best_node = None
+        for node in nodes:
+            if node in assignment:
+                continue
+            key = (popcount(allowed[node]), -graph.degree(node), node)
+            if best_key is None or key < best_key:
+                best_key, best_node = key, node
+        return best_node
+
+    def search() -> bool:
+        node = pick()
+        if node is None:
+            return True
+        for color in iter_bits(allowed[node]):
+            assignment[node] = color
+            pruned = []
+            dead = False
+            for neighbor in graph.neighbors(node):
+                if (
+                    neighbor >= k
+                    and neighbor not in assignment
+                    and (allowed[neighbor] >> color) & 1
+                ):
+                    allowed[neighbor] &= ~(1 << color)
+                    pruned.append(neighbor)
+                    if allowed[neighbor] == 0:
+                        dead = True
+            if not dead and search():
+                return True
+            for neighbor in pruned:
+                allowed[neighbor] |= 1 << color
+            del assignment[node]
+        return False
+
+    if not search():
+        return None
+    return {graph.vreg_for(node): color for node, color in assignment.items()}
+
+
+class OracleVerdict:
+    """One allocation outcome judged against the exact answer."""
+
+    __slots__ = ("colorable", "spilled", "heuristic_gap")
+
+    def __init__(self, colorable, spilled, heuristic_gap):
+        #: the exact answer: is the graph k-colorable at all?
+        self.colorable = colorable
+        #: how many ranges the heuristic spilled/left uncolored.
+        self.spilled = spilled
+        #: True when the heuristic spilled although the oracle colors the
+        #: graph — a quality miss, not a correctness bug.
+        self.heuristic_gap = heuristic_gap
+
+    def __repr__(self) -> str:
+        judged = "gap" if self.heuristic_gap else "exact"
+        return (
+            f"OracleVerdict(colorable={self.colorable}, "
+            f"spilled={self.spilled}, {judged})"
+        )
+
+
+def oracle_verdict(graph, outcome, max_nodes: int = MAX_ORACLE_NODES):
+    """Cross-examine ``outcome`` (a :class:`ClassAllocation`) against the
+    exact oracle.
+
+    Raises :class:`InvariantError` when the claimed coloring is invalid
+    (delegated to the paranoia layer's proper-coloring check) or when the
+    allocator claims a complete coloring of a graph the oracle proves
+    uncolorable — each a hard contradiction.  Returns an
+    :class:`OracleVerdict` otherwise.
+    """
+    check_class_invariants(graph, outcome, level="cheap")
+    coloring = exact_color(graph, max_nodes=max_nodes)
+    colorable = coloring is not None
+    spilled = len(outcome.spilled_vregs)
+    if not colorable and spilled == 0 and graph.num_vreg_nodes > 0:
+        raise InvariantError(
+            f"{graph!r}: allocator claims a complete {graph.k}-coloring "
+            f"but the exact oracle proves the graph uncolorable"
+        )
+    return OracleVerdict(
+        colorable=colorable,
+        spilled=spilled,
+        heuristic_gap=colorable and spilled > 0,
+    )
+
+
+class SubsetGuaranteeReport:
+    """Evidence from one §2.3 subset-guarantee check (construction
+    implies the guarantee held)."""
+
+    __slots__ = ("briggs", "chaitin", "briggs_spilled", "chaitin_spilled")
+
+    def __init__(self, briggs, chaitin):
+        #: the two raw :class:`ClassAllocation` outcomes, for reuse.
+        self.briggs = briggs
+        self.chaitin = chaitin
+        self.briggs_spilled = set(briggs.spilled_vregs)
+        self.chaitin_spilled = set(chaitin.spilled_vregs)
+
+    def __repr__(self) -> str:
+        return (
+            f"SubsetGuaranteeReport(briggs spills "
+            f"{len(self.briggs_spilled)} ⊆ chaitin "
+            f"{len(self.chaitin_spilled)})"
+        )
+
+
+def check_subset_guarantee(graph, costs, color_order=None):
+    """Assert the paper's §2.3 theorem on one graph.
+
+    Runs Chaitin and Briggs simplification over ``graph`` with the same
+    ``costs`` (hence the same cost/degree victim rule and the same
+    lowest-index tie-breaking) and asserts:
+
+    * Briggs's uncolored set ⊆ Chaitin's spill set;
+    * when Chaitin spills nothing, Briggs spills nothing *and* produces
+      the identical coloring.
+
+    Raises :class:`InvariantError` with the offending live ranges on any
+    violation; returns a :class:`SubsetGuaranteeReport` otherwise.
+    """
+    chaitin = ChaitinAllocator().allocate_class(graph, costs, color_order)
+    briggs = BriggsAllocator().allocate_class(graph, costs, color_order)
+    briggs_spilled = set(briggs.spilled_vregs)
+    chaitin_spilled = set(chaitin.spilled_vregs)
+    extra = briggs_spilled - chaitin_spilled
+    if extra:
+        names = sorted(vreg.pretty() for vreg in extra)
+        raise InvariantError(
+            f"§2.3 subset guarantee violated on {graph!r}: Briggs spilled "
+            f"{names} which Chaitin kept in registers"
+        )
+    if not chaitin_spilled:
+        if briggs_spilled:  # already covered by `extra`, kept for clarity
+            names = sorted(vreg.pretty() for vreg in briggs_spilled)
+            raise InvariantError(
+                f"{graph!r}: Briggs spilled {names} on a graph Chaitin "
+                f"colors completely"
+            )
+        if briggs.colors != chaitin.colors:
+            raise InvariantError(
+                f"{graph!r}: Chaitin colors the graph completely but "
+                f"Briggs produced a different coloring — the two must "
+                f"agree exactly when no spilling happens (§2.2)"
+            )
+    return SubsetGuaranteeReport(briggs, chaitin)
+
+
+def _oracle_target(k: int) -> Target:
+    """A synthetic two-file target with ``k`` registers per class; like
+    the RT/PC, the upper half of each file is caller-saved."""
+    caller = range((k + 1) // 2, k)
+    return Target(f"oracle-k{k}", k, k, caller, caller)
+
+
+def check_function_subset_guarantee(function, k: int):
+    """Assert the subset guarantee on ``function``'s interference graphs
+    (both register classes) at ``k`` registers per file.  Returns the
+    per-class reports."""
+    target = _oracle_target(k)
+    graphs = build_interference_graphs(function, target)
+    costs = compute_spill_costs(function)
+    reports = {}
+    for rclass in (RClass.INT, RClass.FLOAT):
+        graph = graphs[rclass]
+        if graph.num_vreg_nodes == 0:
+            continue
+        try:
+            reports[rclass] = check_subset_guarantee(
+                graph, costs, target.color_order(rclass)
+            )
+        except InvariantError as error:
+            raise error.with_context(
+                function=function.name, rclass=str(rclass), k=k
+            )
+    return reports
+
+
+def check_workload_subset_guarantee(workload, ks=(4, 8, 16)) -> int:
+    """Assert the subset guarantee over every function of a registry
+    workload at each register count in ``ks``.  Returns the number of
+    (function, class, k) graphs checked."""
+    checked = 0
+    for k in ks:
+        module = workload.compile()
+        for function in module:
+            checked += len(check_function_subset_guarantee(function, k))
+    return checked

@@ -34,11 +34,18 @@ _IARRAY = ("iarr", 10)  # one integer array, extent 10
 
 
 class ProgramGenerator:
-    """Generates one random program per (seed)."""
+    """Generates one random program per (seed).
 
-    def __init__(self, seed: int, max_depth: int = 3, statements: int = 14,
-                 calls: bool = True):
-        self.rng = random.Random(seed)
+    All randomness flows through one :class:`random.Random` — pass
+    ``rng`` to chain the generator into a caller's seeded stream (the
+    fuzz loop does this so ``repro fuzz --seed N`` is bit-reproducible);
+    otherwise a private ``Random(seed)`` is used.
+    """
+
+    def __init__(self, seed: int = 0, max_depth: int = 3,
+                 statements: int = 14, calls: bool = True,
+                 rng: random.Random | None = None):
+        self.rng = rng if rng is not None else random.Random(seed)
         self.max_depth = max_depth
         self.statements = statements
         self.calls = calls
@@ -314,11 +321,16 @@ class ProgramGenerator:
         return helpers + "\n".join(self.lines) + "\n"
 
 
-def generate_program(seed: int, statements: int = 14, calls: bool = True) -> str:
+def generate_program(seed: int = 0, statements: int = 14,
+                     calls: bool = True,
+                     rng: random.Random | None = None) -> str:
     """One random, valid, terminating mini-FORTRAN program.
 
     ``calls=True`` (default) includes helper routines and call sites, so
     differential tests also exercise argument passing and the
-    caller/callee-saved convention.
+    caller/callee-saved convention.  ``rng`` overrides ``seed`` with a
+    caller-owned random stream.
     """
-    return ProgramGenerator(seed, statements=statements, calls=calls).generate()
+    return ProgramGenerator(
+        seed, statements=statements, calls=calls, rng=rng
+    ).generate()

@@ -53,26 +53,32 @@ ACROSS_CALL = (
 
 
 class TestColoringFaults:
-    """Graph-level bugs: the static checker re-derives interference on
-    the final code and must refuse the corrupted coloring."""
+    """Graph-level bugs: the invariant layer replays the assignment on
+    the retained final-pass graphs, and the static checker independently
+    re-derives interference on the final code — both must refuse the
+    corrupted coloring."""
 
     def test_missed_edge_caught_statically(self):
         probe = probe_fault("drop_edge", seed=0, source=PRESSURE,
                             target=rt_pc())
         assert probe.injected is not None
+        assert "invariants" in probe.detected_by
         assert "static" in probe.detected_by
 
     def test_merged_register_files_caught_statically(self):
         probe = probe_fault("merge_colors", seed=0, source=PRESSURE,
                             target=rt_pc())
         assert probe.injected is not None
+        assert "invariants" in probe.detected_by
         assert "static" in probe.detected_by
 
     def test_out_of_file_color_caught_statically_and_dynamically(self):
-        # The static check sees the bad color; even if it were skipped,
-        # the simulator's register-file bounds check faults the run.
+        # The invariant replay and the static check both see the bad
+        # color; even if both were skipped, the simulator's register-file
+        # bounds check faults the run.
         probe = probe_fault("out_of_file_color", seed=0)
         assert probe.injected is not None
+        assert "invariants" in probe.detected_by
         assert "static" in probe.detected_by
         assert "dynamic" in probe.detected_by
 

@@ -1,0 +1,274 @@
+"""The paranoia layer: phase-boundary invariants and the post-hoc replay.
+
+Each checker is exercised twice — on honest allocator output (must stay
+silent at every level) and on hand-corrupted state (must raise
+:class:`InvariantError` naming the violation).  The driver integration
+tests prove ``paranoia`` threads through ``allocate_function`` /
+``allocate_module`` and that the final-pass graphs are retained exactly
+when paranoia is on.
+"""
+
+import pytest
+
+from repro.errors import InvariantError
+from repro.frontend import compile_source
+from repro.machine.simulator import run_module
+from repro.machine.target import rt_pc
+from repro.regalloc import (
+    PARANOIA_LEVELS,
+    BriggsAllocator,
+    ChaitinAllocator,
+    SpillAllAllocator,
+    SpillCosts,
+    allocate_module,
+    check_class_invariants,
+    check_cost_invariants,
+    check_graph_invariants,
+    coerce_paranoia,
+    recheck_assignment,
+)
+from repro.regalloc.invariants import _check_stack_completeness
+
+from tests.regalloc.conftest import make_graph
+
+PRESSURE = (
+    "program p\n"
+    "integer a, b, c, d, e, total\n"
+    "a = 1\n"
+    "b = 2\n"
+    "c = 3\n"
+    "d = 4\n"
+    "e = 5\n"
+    "total = a + b + c + d + e\n"
+    "print total\n"
+    "end\n"
+)
+
+
+class TestCoercion:
+    def test_levels_are_ordered_off_cheap_full(self):
+        assert PARANOIA_LEVELS == ("off", "cheap", "full")
+
+    @pytest.mark.parametrize("level", PARANOIA_LEVELS)
+    def test_valid_levels_pass_through(self, level):
+        assert coerce_paranoia(level) == level
+
+    def test_none_means_off_and_true_means_full(self):
+        assert coerce_paranoia(None) == "off"
+        assert coerce_paranoia(False) == "off"
+        assert coerce_paranoia(True) == "full"
+
+    def test_unknown_level_is_an_error(self):
+        with pytest.raises(InvariantError, match="unknown paranoia level"):
+            coerce_paranoia("paranoid")
+
+
+class TestGraphInvariants:
+    def test_honest_graph_passes_at_full(self):
+        graph, _, _ = make_graph(
+            ["a", "b", "c"], [("a", "b"), ("b", "c")], k=2
+        )
+        check_graph_invariants(graph, "full")
+
+    def test_unfrozen_graph_is_refused(self, graph_factory):
+        graph, _, _ = graph_factory(["a"], [], k=2)
+        graph.adj_list = None
+        with pytest.raises(InvariantError, match="unfrozen"):
+            check_graph_invariants(graph)
+
+    def test_degree_list_matrix_disagreement_is_caught(self):
+        graph, vregs, _ = make_graph(["a", "b"], [("a", "b")], k=2)
+        graph.adj_list[graph.node_of[vregs["a"]]].append(
+            graph.node_of[vregs["b"]]
+        )
+        with pytest.raises(InvariantError, match="disagree"):
+            check_graph_invariants(graph, "cheap")
+
+    def test_self_loop_is_caught(self):
+        graph, vregs, _ = make_graph(["a"], [], k=2)
+        node = graph.node_of[vregs["a"]]
+        graph.adj_mask[node] |= 1 << node
+        graph.adj_list[node].append(node)
+        with pytest.raises(InvariantError, match="itself"):
+            check_graph_invariants(graph, "cheap")
+
+    def test_asymmetric_edge_needs_full(self):
+        graph, vregs, _ = make_graph(["a", "b"], [], k=2)
+        a = graph.node_of[vregs["a"]]
+        b = graph.node_of[vregs["b"]]
+        graph.adj_mask[a] |= 1 << b
+        graph.adj_list[a].append(b)
+        check_graph_invariants(graph, "cheap")  # per-row counts still agree
+        with pytest.raises(InvariantError, match="directed"):
+            check_graph_invariants(graph, "full")
+
+    def test_broken_precolored_clique_is_caught_at_full(self):
+        graph, _, _ = make_graph(["a"], [], k=3)
+        graph.adj_mask[0] &= ~(1 << 1)
+        graph.adj_mask[1] &= ~(1 << 0)
+        graph.adj_list[0].remove(1)
+        graph.adj_list[1].remove(0)
+        with pytest.raises(InvariantError, match="clique"):
+            check_graph_invariants(graph, "full")
+
+
+class TestCostInvariants:
+    def test_honest_costs_pass(self):
+        graph, _, costs = make_graph(["a", "b"], [("a", "b")], k=2)
+        check_cost_invariants(graph, costs)
+
+    @pytest.mark.parametrize("bad", [-1.0, float("nan")])
+    def test_negative_and_nan_costs_are_caught(self, bad):
+        graph, vregs, _ = make_graph(["a"], [], k=2)
+        with pytest.raises(InvariantError, match="non-negative"):
+            check_cost_invariants(graph, SpillCosts({vregs["a"]: bad}))
+
+
+class TestClassInvariants:
+    def _allocate(self, strategy, names, edges, k, costs=None):
+        graph, vregs, spill_costs = make_graph(names, edges, k, costs)
+        outcome = strategy.allocate_class(graph, spill_costs)
+        return graph, vregs, outcome
+
+    @pytest.mark.parametrize(
+        "strategy", [BriggsAllocator(), ChaitinAllocator()]
+    )
+    def test_honest_outcome_passes_at_full(self, strategy):
+        graph, _, outcome = self._allocate(
+            strategy, ["a", "b", "c", "d"],
+            [("a", "b"), ("b", "c"), ("c", "d"), ("d", "a"), ("a", "c")],
+            k=2,
+        )
+        check_class_invariants(graph, outcome, level="full")
+
+    def test_spill_all_passes_without_evidence(self):
+        """Strategies that record no stack/selection skip the full-level
+        replay transparently instead of crashing."""
+        graph, _, outcome = self._allocate(
+            SpillAllAllocator(), ["a", "b"], [("a", "b")], k=2
+        )
+        assert outcome.stack is None
+        check_class_invariants(graph, outcome, level="full")
+
+    def test_out_of_file_color_is_caught(self):
+        graph, vregs, outcome = self._allocate(
+            BriggsAllocator(), ["a", "b"], [("a", "b")], k=2
+        )
+        outcome.colors[vregs["a"]] = 7
+        with pytest.raises(InvariantError, match="outside"):
+            check_class_invariants(graph, outcome)
+
+    def test_improper_coloring_is_caught(self):
+        graph, vregs, outcome = self._allocate(
+            BriggsAllocator(), ["a", "b"], [("a", "b")], k=2
+        )
+        outcome.colors[vregs["a"]] = outcome.colors[vregs["b"]]
+        with pytest.raises(InvariantError, match="share color"):
+            check_class_invariants(graph, outcome)
+
+    def test_colored_and_spilled_overlap_is_caught(self):
+        graph, vregs, outcome = self._allocate(
+            BriggsAllocator(), ["a", "b"], [("a", "b")], k=2
+        )
+        outcome.spilled_vregs = list(outcome.colors)[:1]
+        with pytest.raises(InvariantError, match="both colored and marked"):
+            check_class_invariants(graph, outcome)
+
+    def test_dropped_decision_is_caught(self):
+        graph, vregs, outcome = self._allocate(
+            BriggsAllocator(), ["a", "b"], [("a", "b")], k=2
+        )
+        assert outcome.ran_select
+        del outcome.colors[vregs["a"]]
+        outcome.stack = None  # isolate the coverage check
+        with pytest.raises(InvariantError, match="decided nothing"):
+            check_class_invariants(graph, outcome, level="full")
+
+    def test_incomplete_stack_is_caught_at_full(self):
+        graph, _, outcome = self._allocate(
+            BriggsAllocator(), ["a", "b", "c"], [("a", "b")], k=2
+        )
+        stack = list(outcome.stack)
+        stack.pop()
+        outcome.stack = stack
+        check_class_invariants(graph, outcome, level="cheap")
+        with pytest.raises(InvariantError, match="dropped node"):
+            _check_stack_completeness(graph, outcome)
+
+    def test_duplicated_stack_entry_is_caught(self):
+        graph, _, outcome = self._allocate(
+            BriggsAllocator(), ["a", "b"], [], k=2
+        )
+        outcome.stack = list(outcome.stack) + [outcome.stack[0]]
+        with pytest.raises(InvariantError, match="more than once"):
+            _check_stack_completeness(graph, outcome)
+
+    def test_wrong_select_order_color_is_caught_at_full(self):
+        """Both colors are legal for the second node of an empty conflict
+        — but select must take the *first free* one, and the replay
+        rejects a merely-proper choice that disobeys the color order."""
+        graph, vregs, outcome = self._allocate(
+            BriggsAllocator(), ["a", "b"], [], k=2
+        )
+        node = graph.node_of[vregs["a"]]
+        taken = outcome.selection.colors[node]
+        other = 1 - taken
+        outcome.selection.colors[node] = other
+        outcome.colors[vregs["a"]] = other
+        check_class_invariants(graph, outcome, level="cheap")
+        with pytest.raises(InvariantError, match="color order dictates"):
+            check_class_invariants(graph, outcome, level="full")
+
+
+class TestDriverIntegration:
+    @pytest.mark.parametrize("level", PARANOIA_LEVELS)
+    @pytest.mark.parametrize("method", ["briggs", "chaitin", "spill-all"])
+    def test_paranoia_does_not_change_the_answer(self, level, method):
+        target = rt_pc().with_int_regs(4)
+        baseline_module = compile_source(PRESSURE)
+        baseline = allocate_module(baseline_module, target, method)
+        module = compile_source(PRESSURE)
+        checked = allocate_module(module, target, method, paranoia=level)
+        # The two modules carry distinct VReg objects; compare by name.
+        def by_name(allocation):
+            return {
+                vreg.pretty(): color
+                for vreg, color in allocation.result("p").assignment.items()
+            }
+
+        assert by_name(baseline) == by_name(checked)
+        outputs = run_module(
+            module, target=target, assignment=checked.assignment
+        ).outputs
+        assert outputs == run_module(compile_source(PRESSURE)).outputs
+
+    def test_graphs_are_retained_exactly_when_paranoid(self):
+        target = rt_pc().with_int_regs(4)
+        off = allocate_module(compile_source(PRESSURE), target, "briggs")
+        assert off.result("p").graphs is None
+        on = allocate_module(
+            compile_source(PRESSURE), target, "briggs", paranoia="cheap"
+        )
+        assert on.result("p").graphs
+
+    def test_recheck_assignment_catches_post_hoc_corruption(self):
+        target = rt_pc().with_int_regs(4)
+        allocation = allocate_module(
+            compile_source(PRESSURE), target, "briggs", paranoia="cheap"
+        )
+        result = allocation.result("p")
+        recheck_assignment(result)  # honest assignment: silent
+        victim = next(iter(result.assignment))
+        result.assignment[victim] = target.int_regs + 3
+        with pytest.raises(InvariantError, match="outside"):
+            recheck_assignment(result)
+
+    def test_recheck_is_a_no_op_without_retained_graphs(self):
+        target = rt_pc().with_int_regs(4)
+        allocation = allocate_module(
+            compile_source(PRESSURE), target, "briggs"
+        )
+        result = allocation.result("p")
+        victim = next(iter(result.assignment))
+        result.assignment[victim] = target.int_regs + 3
+        recheck_assignment(result)  # nothing stored, nothing to replay

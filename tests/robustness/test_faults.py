@@ -98,6 +98,40 @@ class TestNoSilentPassThrough:
         assert probe.ok, f"{probe!r} — {probe.detail}"
 
 
+GRAPH_FAULTS = ("drop_edge", "merge_colors", "out_of_file_color")
+
+
+class TestInvariantLayerAttribution:
+    """Graph-level corruptions must be caught at the cheapest layer — the
+    phase-boundary invariant replay over the retained final-pass graphs —
+    not merely downstream by the static checker or the simulator.  A
+    probe that only trips later layers means the invariant layer has a
+    hole, and fails here even though the fault was 'detected'."""
+
+    @pytest.mark.parametrize("name", GRAPH_FAULTS)
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_graph_faults_trip_the_invariant_layer(self, name, seed):
+        probe = probe_fault(name, seed=seed)
+        assert probe.injected is not None
+        assert "invariants" in probe.detected_by, (
+            f"{name} (seed {seed}) slipped past the invariant layer and "
+            f"was only caught by {probe.detected_by}: {probe.detail}"
+        )
+
+    @pytest.mark.parametrize("name", GRAPH_FAULTS)
+    def test_invariant_layer_fires_first(self, name):
+        """detected_by is ordered by layer; the invariant replay runs (and
+        trips) before static/verifier/dynamic ever see the corruption."""
+        probe = probe_fault(name, seed=0)
+        assert probe.detected_by[0] == "invariants"
+
+    def test_downstream_layers_still_corroborate(self):
+        """Defense in depth, not defense hand-off: the static checker
+        still sees what the invariant layer saw."""
+        probe = probe_fault("drop_edge", seed=0)
+        assert {"invariants", "static"} <= set(probe.detected_by)
+
+
 class TestWorkerFaultProbes:
     def test_worker_crash_is_recorded_per_function(self):
         with pytest.warns(RuntimeWarning):
