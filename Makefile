@@ -9,13 +9,20 @@
 #   make fuzz          — bounded smoke-fuzz campaign: fixed seed, both
 #                        allocators under full paranoia, exact oracles,
 #                        minimizing shrinker; bundles in results/fuzz/
-#   make bench         — time the allocator hot path, write BENCH_PR1.json
+#   make bench         — time the allocator hot path, write BENCH_PR5.json
+#   make trace         — allocate $(TRACE_WORKLOAD) with tracing on; the
+#                        Chrome trace + metrics land in results/
+#   make bench-diff    — compare $(BENCH_NEW) against $(BENCH_BASE) with
+#                        the default regression threshold
 
 PYTHON ?= python
 FUZZ_SEED ?= 0
 FUZZ_ITERS ?= 150
+TRACE_WORKLOAD ?= quicksort
+BENCH_BASE ?= BENCH_PR1.json
+BENCH_NEW ?= BENCH_PR5.json
 
-.PHONY: test test-fast verify-faults fuzz bench
+.PHONY: test test-fast verify-faults fuzz bench trace bench-diff
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -34,3 +41,11 @@ fuzz:
 
 bench:
 	PYTHONPATH=src $(PYTHON) benchmarks/run_bench.py --jobs 2
+
+trace:
+	PYTHONPATH=src $(PYTHON) -m repro trace $(TRACE_WORKLOAD) \
+		--out results/trace-$(TRACE_WORKLOAD).json \
+		--metrics results/metrics-$(TRACE_WORKLOAD).json
+
+bench-diff:
+	PYTHONPATH=src $(PYTHON) -m repro bench-diff $(BENCH_BASE) $(BENCH_NEW)

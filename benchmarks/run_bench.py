@@ -7,10 +7,13 @@ routine (the long-live-range stress case) and SVD (the motivating
 example) — and writes the results to a ``BENCH_*.json`` file so future
 PRs can track the perf trajectory::
 
-    PYTHONPATH=src python benchmarks/run_bench.py            # -> BENCH_PR1.json
-    PYTHONPATH=src python benchmarks/run_bench.py --runs 9 --out BENCH_PR2.json
+    PYTHONPATH=src python benchmarks/run_bench.py            # -> BENCH_PR5.json
+    PYTHONPATH=src python benchmarks/run_bench.py --runs 9 --out BENCH_PR6.json
 
-Schema: ``{phase: {"median_s": float, "runs": int}}``.
+Schema: ``repro-bench/1`` — ``{"schema": ..., "phases": {phase:
+{"median_s": float, "runs": int}}}``, written through
+:mod:`repro.observability.export` so ``repro bench-diff`` reads it
+natively (it also still reads the PR-1-era flat files).
 
 Phases
 ------
@@ -34,7 +37,6 @@ Phases
 from __future__ import annotations
 
 import argparse
-import json
 import pathlib
 import statistics
 import sys
@@ -56,6 +58,7 @@ from repro.regalloc.select import select_colors  # noqa: E402
 from repro.regalloc.spill_costs import compute_spill_costs  # noqa: E402
 from repro.ir.values import RClass  # noqa: E402
 from repro.machine.target import rt_pc  # noqa: E402
+from repro.observability.export import BENCH_SCHEMA, write_metrics_json  # noqa: E402
 
 #: (workload module, routine used for the phase benchmarks)
 WORKLOADS = (
@@ -251,8 +254,8 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--out",
         default=str(pathlib.Path(__file__).resolve().parent.parent
-                    / "BENCH_PR1.json"),
-        help="output JSON path (default BENCH_PR1.json at the repo root)",
+                    / "BENCH_PR5.json"),
+        help="output JSON path (default BENCH_PR5.json at the repo root)",
     )
     parser.add_argument("--runs", type=int, default=5,
                         help="samples per phase; the median is reported")
@@ -265,8 +268,9 @@ def main(argv=None) -> int:
     for workload_name, routine in WORKLOADS:
         bench_workload(workload_name, routine, args.runs, args.jobs, results)
 
-    out = pathlib.Path(args.out)
-    out.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    out = write_metrics_json(
+        {"schema": BENCH_SCHEMA, "phases": results}, args.out
+    )
 
     width = max(len(name) for name in results)
     for name in sorted(results):

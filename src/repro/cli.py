@@ -23,6 +23,13 @@ Commands
     allocators under full paranoia, the exact small-graph oracle, the
     §2.3 subset guarantee, and differential execution; failures are
     minimized by a deterministic shrinker and written as crash bundles.
+``trace WORKLOAD``
+    Allocate one registry workload with tracing on and write a Chrome
+    trace-event file (loadable in Perfetto or ``chrome://tracing``);
+    ``--metrics`` additionally writes the metrics document.
+``bench-diff BASELINE CURRENT``
+    Compare two metrics/benchmark JSON files and report per-metric
+    deltas; exits 1 on regression unless ``--report-only``.
 ``figures [NAMES...]``
     Regenerate the paper's tables (figure5 figure6 figure7 ablations
     intstudy, or ``all``) into ``--out`` (default ``results/``).
@@ -106,28 +113,109 @@ def cmd_run(args) -> int:
 
 def cmd_allocate(args) -> int:
     from repro.experiments.tables import Table
+    from repro.observability import Tracer, metrics_document
 
     module = _compile_file(args)
     target = _target_from(args)
+    tracer = Tracer() if args.json else None
     allocation = allocate_module(
-        module, target, args.method, validate=True, **_alloc_kwargs(args)
+        module, target, args.method, validate=True, tracer=tracer,
+        **_alloc_kwargs(args)
     )
-    table = Table(
-        f"register allocation ({args.method}, target {target.name})",
-        ["Routine", "Live Ranges", "Spilled", "Spill Cost", "Passes",
-         "Object Size"],
-    )
-    for name, result in allocation.results.items():
-        table.add_row(
-            name,
-            result.stats.live_ranges,
-            result.stats.registers_spilled,
-            result.stats.spill_cost,
-            result.stats.pass_count,
-            object_size(result.function, target, result.assignment),
+    if args.json:
+        document = metrics_document(
+            allocation, tracer=tracer,
+            meta={"file": args.file, "method": args.method,
+                  "target": target.name, "jobs": args.jobs},
         )
-    print(table.render())
+        _emit_json(document, args.json)
+    if args.json != "-":
+        table = Table(
+            f"register allocation ({args.method}, target {target.name})",
+            ["Routine", "Live Ranges", "Spilled", "Spill Cost", "Passes",
+             "Object Size"],
+        )
+        for name, result in allocation.results.items():
+            table.add_row(
+                name,
+                result.stats.live_ranges,
+                result.stats.registers_spilled,
+                result.stats.spill_cost,
+                result.stats.pass_count,
+                object_size(result.function, target, result.assignment),
+            )
+        print(table.render())
     return 0
+
+
+def _emit_json(document: dict, path: str) -> None:
+    """Write ``document`` to ``path``, or to stdout when path is ``-``."""
+    import json
+
+    if path == "-":
+        json.dump(document, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+        return
+    from repro.observability import write_metrics_json
+
+    write_metrics_json(document, path)
+    print(f"wrote {path}", file=sys.stderr)
+
+
+def cmd_trace(args) -> int:
+    from repro.experiments.runner import allocate_workload
+    from repro.observability import (
+        Tracer,
+        metrics_document,
+        write_chrome_trace,
+    )
+    from repro.workloads import all_workloads
+
+    workloads = all_workloads()
+    if args.workload not in workloads:
+        print(
+            f"unknown workload {args.workload!r} "
+            f"(known: {', '.join(sorted(workloads))})",
+            file=sys.stderr,
+        )
+        return 2
+    workload = workloads[args.workload]
+    target = _target_from(args)
+    tracer = Tracer()
+    _module, allocation = allocate_workload(
+        workload, target, args.method, validate=args.validate,
+        tracer=tracer, jobs=args.jobs,
+    )
+    out = args.out or f"results/trace-{args.workload}.json"
+    pathlib.Path(out).parent.mkdir(parents=True, exist_ok=True)
+    write_chrome_trace(tracer, out)
+    spans = sum(1 for e in tracer.events if e["ph"] == "B")
+    print(
+        f"{args.workload}/{args.method}: {spans} spans, "
+        f"{len(tracer.counters)} counters -> {out}",
+        file=sys.stderr,
+    )
+    if args.metrics:
+        document = metrics_document(
+            allocation, tracer=tracer,
+            meta={"workload": args.workload, "method": args.method,
+                  "target": target.name, "jobs": args.jobs},
+        )
+        _emit_json(document, args.metrics)
+    return 0
+
+
+def cmd_bench_diff(args) -> int:
+    from repro.observability import compare_files
+
+    report = compare_files(
+        args.baseline, args.current,
+        threshold=args.threshold, min_time=args.min_time,
+    )
+    print(report.render())
+    if args.report_only:
+        return 0
+    return 0 if report.ok else 1
 
 
 def cmd_verify(args) -> int:
@@ -403,9 +491,64 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--method", default="briggs",
                    choices=["chaitin", "briggs", "briggs-degree", "spill-all"])
     p.add_argument("--optimize", action="store_true")
+    p.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help=(
+            "also write the full metrics document (schema repro-metrics/1, "
+            "see docs/OBSERVABILITY.md) to PATH; '-' writes it to stdout "
+            "instead of the table"
+        ),
+    )
     add_target_flags(p)
     add_alloc_flags(p)
     p.set_defaults(func=cmd_allocate)
+
+    p = sub.add_parser(
+        "trace",
+        help="allocate a registry workload and write a Perfetto-loadable "
+        "Chrome trace-event file",
+    )
+    p.add_argument("workload", help="registry workload name (see "
+                   "'repro workloads')")
+    p.add_argument("--method", default="briggs",
+                   choices=["chaitin", "briggs", "briggs-degree",
+                            "spill-all"])
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="trace file (default results/trace-<workload>.json)")
+    p.add_argument("--metrics", default=None, metavar="PATH",
+                   help="also write the metrics document ('-' for stdout)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="parallel workers; each worker gets its own trace "
+                   "lane (default 1)")
+    p.add_argument("--validate", action="store_true",
+                   help="run the post-allocation validator (its time shows "
+                   "up in the trace)")
+    p.add_argument("--int-regs", type=int, default=12,
+                   help="GPRs (default 12: the pressured experiment target, "
+                   "so spill passes appear in the trace)")
+    p.add_argument("--float-regs", type=int, default=6,
+                   help="FPRs (default 6)")
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "bench-diff",
+        help="compare two metrics/benchmark JSON files for regressions",
+    )
+    p.add_argument("baseline", help="baseline metrics JSON "
+                   "(e.g. benchmarks/BENCH_PR1.json)")
+    p.add_argument("current", help="candidate metrics JSON")
+    p.add_argument("--threshold", type=float, default=0.25,
+                   help="relative regression threshold (default 0.25 = "
+                   "+25%%)")
+    p.add_argument("--min-time", type=float, default=0.0005,
+                   help="absolute noise floor in seconds for timing "
+                   "metrics (default 0.0005)")
+    p.add_argument("--report-only", action="store_true",
+                   help="always exit 0; print the comparison without "
+                   "gating")
+    p.set_defaults(func=cmd_bench_diff)
 
     p = sub.add_parser(
         "verify",

@@ -79,17 +79,15 @@ class Figure7Result:
                         if pass_index >= stats.pass_count:
                             cells.append("")
                             continue
-                        p = stats.passes[pass_index]
-                        value = {
-                            "build": p.build_time,
-                            "simplify": p.simplify_time,
-                            "color": p.select_time if p.ran_select else None,
-                            "spill": p.spill_time if p.spilled_count else None,
-                        }[phase]
+                        # One schema for the phase cells: the same
+                        # AllocationStats.phase_rows() the metrics
+                        # exporters read, not a private field mapping.
+                        row = stats.phase_rows()[pass_index]
+                        value = row[phase]
                         if value is None:
                             cells.append("")
                         elif phase == "spill":
-                            cells.append(f"({p.spilled_count}) {value:.3f}")
+                            cells.append(f"({row['spilled']}) {value:.3f}")
                             any_value = True
                         else:
                             cells.append(f"{value:.3f}")

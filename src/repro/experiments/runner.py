@@ -96,12 +96,15 @@ class WorkloadComparison:
 
 
 def allocate_workload(
-    workload: Workload, target: Target, method: str, validate: bool = False
+    workload: Workload, target: Target, method: str, validate: bool = False,
+    tracer=None, jobs: int = 1,
 ):
     """Fresh compile + allocation of one workload; returns
-    (module, ModuleAllocation)."""
+    (module, ModuleAllocation).  ``tracer`` and ``jobs`` pass straight
+    through to :func:`repro.regalloc.driver.allocate_module`."""
     module = workload.compile()
-    allocation = allocate_module(module, target, method, validate=validate)
+    allocation = allocate_module(module, target, method, validate=validate,
+                                 tracer=tracer, jobs=jobs)
     return module, allocation
 
 

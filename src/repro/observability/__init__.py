@@ -1,0 +1,54 @@
+"""Structured observability for the Build–Simplify–Select pipeline.
+
+Zero-dependency tracing and metrics, threaded through the allocator:
+
+* :mod:`trace` — :class:`Tracer` records hierarchical spans (module →
+  function → pass → phase) on an explicit monotonic clock, plus counters
+  and gauges; :data:`NULL_TRACER` is the no-op used on the production hot
+  path so instrumentation costs nothing measurable when disabled;
+* :mod:`export` — writers for Chrome trace-event JSON (loadable in
+  Perfetto / ``chrome://tracing``) and for the flat metrics document
+  (JSON/CSV) built from :class:`repro.regalloc.stats.AllocationStats`;
+* :mod:`regress` — loads two metrics/bench files and reports per-phase
+  deltas against a regression threshold (``repro bench-diff``).
+
+See ``docs/OBSERVABILITY.md`` for the span taxonomy and file formats.
+"""
+
+from repro.observability.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    coerce_tracer,
+)
+from repro.observability.export import (
+    metrics_document,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_metrics_csv,
+    write_metrics_json,
+)
+from repro.observability.regress import (
+    RegressionReport,
+    compare_files,
+    compare_metrics,
+    flatten_metrics,
+    load_metrics,
+)
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "coerce_tracer",
+    "metrics_document",
+    "write_chrome_trace",
+    "write_metrics_csv",
+    "write_metrics_json",
+    "validate_chrome_trace",
+    "RegressionReport",
+    "compare_files",
+    "compare_metrics",
+    "flatten_metrics",
+    "load_metrics",
+]

@@ -1,0 +1,232 @@
+"""Perf-regression comparison over metrics/bench files.
+
+``repro bench-diff BASELINE CURRENT`` loads two files — any mix of
+
+* ``repro-metrics/1`` documents (:func:`repro.observability.export
+  .metrics_document`),
+* ``repro-bench/1`` files (``benchmarks/run_bench.py``), or
+* the PR-1-era flat ``BENCH_*.json`` (``{phase: {"median_s": ...}}``) —
+
+flattens each to ``metric -> value``, and compares every key present in
+both.  A **timing** metric regresses when it grew by more than
+``threshold`` (relative) *and* both sides are above ``min_time`` — the
+noise floor that keeps micro-phases (a 0.2 ms select) from tripping the
+gate on scheduler jitter.  Count metrics (spills, passes) use the same
+relative threshold with no floor, so a genuine spill regression in a
+committed baseline fails CI just like a time regression.
+
+The report never hides coverage gaps: keys present on only one side are
+listed, because "the phase disappeared from the file" must read as a
+schema change, not as "no regression".
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+#: Default relative growth that counts as a regression (25%).
+DEFAULT_THRESHOLD = 0.25
+
+#: Default timing noise floor, seconds: both sides must exceed it.
+DEFAULT_MIN_TIME = 0.0005
+
+
+def _is_timing(key: str) -> bool:
+    """Bench-file keys (no dots, all medians) and ``*_time`` metrics are
+    wall-clock seconds; everything else is a count."""
+    return key.endswith("_time") or "." not in key
+
+
+def flatten_metrics(document: dict) -> dict:
+    """Normalize any supported file shape to flat ``metric -> value``."""
+    schema = document.get("schema") if isinstance(document, dict) else None
+    if schema == "repro-metrics/1":
+        flat = {}
+        for name, value in document.get("totals", {}).items():
+            if name == "functions":
+                continue
+            flat[f"total.{name}"] = value
+        for name, entry in document.get("functions", {}).items():
+            totals = entry["stats"]["totals"]
+            flat[f"fn.{name}.total_time"] = totals["total_time"]
+            flat[f"fn.{name}.registers_spilled"] = (
+                totals["registers_spilled"]
+            )
+            flat[f"fn.{name}.pass_count"] = totals["pass_count"]
+            for phase in ("build", "simplify", "select", "spill"):
+                flat[f"fn.{name}.{phase}_time"] = sum(
+                    p[f"{phase}_time"] for p in entry["stats"]["passes"]
+                )
+        for name, value in document.get("counters", {}).items():
+            flat[f"counter.{name}"] = value
+        return flat
+    if schema == "repro-bench/1":
+        phases = document.get("phases", {})
+        return {key: entry["median_s"] for key, entry in phases.items()}
+    # Legacy flat BENCH_*.json: {phase: {"median_s": ..., "runs": ...}}.
+    flat = {}
+    for key, entry in document.items():
+        if isinstance(entry, dict) and "median_s" in entry:
+            flat[key] = entry["median_s"]
+    if not flat:
+        raise ValueError(
+            "unrecognized metrics file: expected a repro-metrics/1 or "
+            "repro-bench/1 document, or a flat BENCH_*.json"
+        )
+    return flat
+
+
+def load_metrics(path) -> dict:
+    """Read ``path`` and flatten it (see :func:`flatten_metrics`)."""
+    return flatten_metrics(json.loads(pathlib.Path(path).read_text()))
+
+
+class Delta:
+    """One shared metric's baseline/current pair."""
+
+    __slots__ = ("key", "base", "new", "timing", "regressed", "improved")
+
+    def __init__(self, key, base, new, threshold, min_time):
+        self.key = key
+        self.base = base
+        self.new = new
+        self.timing = _is_timing(key)
+        above_floor = (
+            not self.timing or max(base, new) >= min_time
+        )
+        self.regressed = (
+            above_floor and base >= 0 and new > base * (1.0 + threshold)
+            and new - base > (min_time if self.timing else 0)
+        )
+        self.improved = above_floor and new < base * (1.0 - threshold)
+
+    @property
+    def ratio(self) -> float:
+        return self.new / self.base if self.base else float("inf")
+
+    def pct(self) -> str:
+        if not self.base:
+            return "n/a"
+        return f"{100.0 * (self.new - self.base) / self.base:+.1f}%"
+
+    def __repr__(self) -> str:
+        flag = " REGRESSED" if self.regressed else ""
+        return f"Delta({self.key}: {self.base:g} -> {self.new:g}{flag})"
+
+
+class RegressionReport:
+    """All deltas plus the regression verdict for one comparison."""
+
+    __slots__ = (
+        "deltas",
+        "threshold",
+        "min_time",
+        "missing_in_current",
+        "missing_in_baseline",
+    )
+
+    def __init__(self, deltas, threshold, min_time,
+                 missing_in_current, missing_in_baseline):
+        self.deltas = deltas
+        self.threshold = threshold
+        self.min_time = min_time
+        self.missing_in_current = missing_in_current
+        self.missing_in_baseline = missing_in_baseline
+
+    @property
+    def regressions(self) -> list:
+        return [d for d in self.deltas if d.regressed]
+
+    @property
+    def improvements(self) -> list:
+        return [d for d in self.deltas if d.improved]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def render(self) -> str:
+        if not self.deltas and not self.missing_in_current:
+            return "bench-diff: no shared metrics to compare"
+        width = max((len(d.key) for d in self.deltas), default=6)
+        lines = [
+            f"bench-diff: {len(self.deltas)} shared metrics, threshold "
+            f"{self.threshold:.0%}, timing floor {self.min_time * 1e3:g} ms",
+        ]
+        for delta in sorted(
+            self.deltas, key=lambda d: (not d.regressed, d.key)
+        ):
+            if delta.timing:
+                values = (
+                    f"{delta.base * 1e3:10.3f} ms -> "
+                    f"{delta.new * 1e3:10.3f} ms"
+                )
+            else:
+                values = f"{delta.base:10g}    -> {delta.new:10g}   "
+            marker = (
+                "  REGRESSED" if delta.regressed
+                else "  improved" if delta.improved
+                else ""
+            )
+            lines.append(
+                f"  {delta.key:<{width}}  {values}  {delta.pct():>8}"
+                f"{marker}"
+            )
+        if self.missing_in_current:
+            lines.append(
+                "  only in baseline: "
+                + ", ".join(sorted(self.missing_in_current))
+            )
+        if self.missing_in_baseline:
+            lines.append(
+                "  only in current:  "
+                + ", ".join(sorted(self.missing_in_baseline))
+            )
+        lines.append(
+            f"  verdict: {len(self.regressions)} regression(s), "
+            f"{len(self.improvements)} improvement(s)"
+        )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"RegressionReport({len(self.deltas)} metrics, "
+            f"{len(self.regressions)} regressions)"
+        )
+
+
+def compare_metrics(
+    baseline: dict,
+    current: dict,
+    threshold: float = DEFAULT_THRESHOLD,
+    min_time: float = DEFAULT_MIN_TIME,
+) -> RegressionReport:
+    """Compare two flattened metric dicts (see :func:`flatten_metrics`)."""
+    shared = sorted(set(baseline) & set(current))
+    deltas = [
+        Delta(key, baseline[key], current[key], threshold, min_time)
+        for key in shared
+    ]
+    return RegressionReport(
+        deltas,
+        threshold,
+        min_time,
+        missing_in_current=sorted(set(baseline) - set(current)),
+        missing_in_baseline=sorted(set(current) - set(baseline)),
+    )
+
+
+def compare_files(
+    baseline_path,
+    current_path,
+    threshold: float = DEFAULT_THRESHOLD,
+    min_time: float = DEFAULT_MIN_TIME,
+) -> RegressionReport:
+    """File-level convenience used by ``repro bench-diff``."""
+    return compare_metrics(
+        load_metrics(baseline_path),
+        load_metrics(current_path),
+        threshold=threshold,
+        min_time=min_time,
+    )

@@ -1,0 +1,269 @@
+"""Hierarchical span tracing and counters for the allocator.
+
+A :class:`Tracer` records three kinds of events, all stamped with an
+explicit monotonic clock (``time.perf_counter``):
+
+* **spans** — ``with tracer.span("build", cat="phase"): ...`` records a
+  begin/end pair.  Spans nest: the driver opens ``module:<name>`` →
+  ``function:<name>`` → ``pass:<i>`` → the Figure-4 phases
+  (``build``/``simplify``/``select``/``spill``) with finer sub-spans
+  (``coalesce``, ``liveness``, ``interference``, ``invariants``) inside
+  build.
+* **counters** — ``tracer.counter("edges", n)`` records an instantaneous
+  sample on the trace timeline (a Chrome ``C`` event) *and* accumulates
+  into :attr:`Tracer.counters`.
+* **gauges/adds** — ``tracer.add("spilled_count", n)`` only accumulates
+  (no timeline event); for quantities whose running total is the story.
+
+Events live in :attr:`Tracer.events` as plain dicts shaped one-to-one
+with the Chrome trace-event format (``ph``/``name``/``cat``/``ts``/
+``pid``/``tid``/``args``), with ``ts`` kept in perf-counter *seconds*
+until export converts to microseconds.  Everything is picklable, so a
+process-pool worker can run with its own fresh tracer and ship
+``tracer.snapshot()`` back for the parent to :meth:`Tracer.absorb` —
+each worker keeps its own ``pid`` lane, exactly how Perfetto renders
+parallel allocation.
+
+The production hot path takes ``tracer=None``, coerced to
+:data:`NULL_TRACER` — a singleton whose ``span`` hands back one shared
+no-op context manager and whose counter methods do nothing, so the
+instrumented driver stays within noise of the uninstrumented one
+(asserted by ``tests/observability/test_trace.py``).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+
+class _NullSpan:
+    """Shared no-op context manager handed out by :class:`NullTracer`."""
+
+    __slots__ = ()
+
+    #: seconds spent inside the span; always 0.0 for the null span.
+    elapsed = 0.0
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+    def annotate(self, **args) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a no-op.
+
+    ``allocate_function(tracer=None)`` runs against this singleton; the
+    per-span cost is one attribute lookup and two empty method calls,
+    and the driver only opens a handful of spans per pass.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+    events: tuple = ()
+    counters: dict = {}
+
+    def span(self, name, cat="phase", **args):
+        return _NULL_SPAN
+
+    def counter(self, name, value, **args) -> None:
+        pass
+
+    def add(self, name, value=1) -> None:
+        pass
+
+    def absorb(self, snapshot) -> None:
+        pass
+
+    def snapshot(self) -> dict:
+        return {"events": [], "counters": {}}
+
+
+#: The process-wide disabled tracer (``coerce_tracer(None)``).
+NULL_TRACER = NullTracer()
+
+
+def coerce_tracer(tracer) -> "Tracer | NullTracer":
+    """``None``/``False`` → :data:`NULL_TRACER`; a tracer passes through."""
+    if tracer is None or tracer is False:
+        return NULL_TRACER
+    return tracer
+
+
+class _Span:
+    """Live handle for one open span (the ``with`` target).
+
+    ``elapsed`` is valid after exit; ``annotate`` attaches args to the
+    span's *end* event (Perfetto unions begin/end args), which is how the
+    driver tags a span with facts only known once it finishes.
+    """
+
+    __slots__ = ("_tracer", "name", "cat", "args", "start", "elapsed")
+
+    def __init__(self, tracer, name, cat, args):
+        self._tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.args = args
+        self.start = 0.0
+        self.elapsed = 0.0
+
+    def __enter__(self):
+        tracer = self._tracer
+        self.start = tracer._clock()
+        tracer._emit("B", self.name, self.cat, self.start, self.args)
+        tracer._depth += 1
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        tracer = self._tracer
+        end = tracer._clock()
+        self.elapsed = end - self.start
+        tracer._depth -= 1
+        end_args = self.args if self.args else None
+        if exc_type is not None:
+            end_args = dict(end_args or {})
+            end_args["error"] = exc_type.__name__
+        tracer._emit("E", self.name, self.cat, end, end_args)
+        return False
+
+    def annotate(self, **args) -> None:
+        self.args = dict(self.args or {}, **args)
+
+
+class Tracer:
+    """Collects spans and counters on one monotonic clock.
+
+    ``clock`` is injectable for tests that need deterministic timestamps;
+    production uses ``time.perf_counter`` (monotonic, sub-microsecond,
+    and — on Linux — comparable across the processes of one pool run).
+    """
+
+    __slots__ = ("events", "counters", "_clock", "_pid", "_tid", "_depth")
+
+    enabled = True
+
+    def __init__(self, clock=time.perf_counter, tid: int = 0):
+        #: chrome-shaped event dicts, in emission order (``ts`` in
+        #: perf-counter seconds; export converts to microseconds).
+        self.events: list = []
+        #: accumulated name -> total from :meth:`add` and :meth:`counter`.
+        self.counters: dict = {}
+        self._clock = clock
+        self._pid = os.getpid()
+        self._tid = tid
+        self._depth = 0
+
+    # -- recording ------------------------------------------------------
+
+    def _emit(self, ph, name, cat, ts, args) -> None:
+        event = {
+            "ph": ph,
+            "name": name,
+            "cat": cat,
+            "ts": ts,
+            "pid": self._pid,
+            "tid": self._tid,
+        }
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    def span(self, name, cat="phase", **args) -> _Span:
+        """A context manager recording one begin/end span."""
+        return _Span(self, name, cat, args or None)
+
+    def counter(self, name, value, **args) -> None:
+        """Record an instantaneous counter sample on the timeline and
+        accumulate it into :attr:`counters`."""
+        payload = {name: value}
+        if args:
+            payload.update(args)
+        self._emit("C", name, "counter", self._clock(), payload)
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def add(self, name, value=1) -> None:
+        """Accumulate into :attr:`counters` without a timeline event."""
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def instant(self, name, cat="mark", **args) -> None:
+        """A zero-duration marker (Chrome ``i`` event)."""
+        event_args = dict(args) if args else None
+        event = {
+            "ph": "i",
+            "name": name,
+            "cat": cat,
+            "ts": self._clock(),
+            "pid": self._pid,
+            "tid": self._tid,
+            "s": "t",
+        }
+        if event_args:
+            event["args"] = event_args
+        self.events.append(event)
+
+    # -- merging (parallel workers) -------------------------------------
+
+    def snapshot(self) -> dict:
+        """A picklable copy of everything recorded so far — what a
+        process-pool worker ships back to the parent."""
+        return {
+            "events": list(self.events),
+            "counters": dict(self.counters),
+        }
+
+    def absorb(self, snapshot: dict) -> None:
+        """Merge a worker's :meth:`snapshot` into this tracer.
+
+        Worker events already carry the worker's ``pid``, so the merged
+        trace renders each worker as its own process lane; counters sum.
+        """
+        self.events.extend(snapshot.get("events", ()))
+        for name, value in snapshot.get("counters", {}).items():
+            self.counters[name] = self.counters.get(name, 0) + value
+
+    # -- inspection (tests, summaries) ----------------------------------
+
+    def span_sequence(self, cats=None) -> list:
+        """``(name, depth)`` for every completed span of this tracer's
+        own lane, in begin order — the deterministic shape tests compare
+        (timestamps vary run to run; nesting must not)."""
+        sequence = []
+        depth = 0
+        for event in self.events:
+            if cats is not None and event.get("cat") not in cats:
+                continue
+            if event["ph"] == "B":
+                sequence.append((event["name"], depth))
+                depth += 1
+            elif event["ph"] == "E":
+                depth -= 1
+        return sequence
+
+    def span_names(self, cats=None) -> list:
+        """Sorted multiset of completed span names across *all* absorbed
+        lanes — the parallel-merge invariant: a ``jobs=N`` run's spans
+        are the union of the serial run's, whatever the interleaving."""
+        names = [
+            event["name"]
+            for event in self.events
+            if event["ph"] == "B"
+            and (cats is None or event.get("cat") in cats)
+        ]
+        return sorted(names)
+
+    def __repr__(self) -> str:
+        spans = sum(1 for e in self.events if e["ph"] == "B")
+        return (
+            f"Tracer({spans} spans, {len(self.counters)} counters, "
+            f"pid {self._pid})"
+        )

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import time
 
+from repro.observability.trace import coerce_tracer
 from repro.regalloc.chaitin import ClassAllocation
 from repro.regalloc.interference import InterferenceGraph
 from repro.regalloc.select import select_colors
@@ -52,16 +53,23 @@ class BriggsAllocator:
         graph: InterferenceGraph,
         costs: SpillCosts,
         color_order: list | None = None,
+        tracer=None,
     ) -> ClassAllocation:
+        tracer = coerce_tracer(tracer)
+        rclass = graph.rclass.name
         started = time.perf_counter()
-        if self.order == "cost":
-            outcome = simplify(graph, costs, optimistic=True)
-            stack = outcome.stack
-        else:
-            stack = _smallest_last_stack(graph)
+        with tracer.span("simplify", cat="phase", rclass=rclass):
+            if self.order == "cost":
+                outcome = simplify(graph, costs, optimistic=True,
+                                   tracer=tracer)
+                stack = outcome.stack
+            else:
+                stack = _smallest_last_stack(graph)
         simplify_time = time.perf_counter() - started
         started = time.perf_counter()
-        selection = select_colors(graph, stack, color_order)
+        with tracer.span("select", cat="phase", rclass=rclass):
+            selection = select_colors(graph, stack, color_order,
+                                      tracer=tracer)
         select_time = time.perf_counter() - started
         colors = {
             graph.vreg_for(node): color

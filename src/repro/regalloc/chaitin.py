@@ -13,6 +13,7 @@ from __future__ import annotations
 import time
 
 from repro.errors import AllocationError
+from repro.observability.trace import coerce_tracer
 from repro.regalloc.interference import InterferenceGraph
 from repro.regalloc.select import select_colors
 from repro.regalloc.simplify import simplify
@@ -65,9 +66,14 @@ class ChaitinAllocator:
         graph: InterferenceGraph,
         costs: SpillCosts,
         color_order: list | None = None,
+        tracer=None,
     ) -> ClassAllocation:
+        tracer = coerce_tracer(tracer)
+        rclass = graph.rclass.name
         started = time.perf_counter()
-        outcome = simplify(graph, costs, optimistic=False)
+        with tracer.span("simplify", cat="phase", rclass=rclass):
+            outcome = simplify(graph, costs, optimistic=False,
+                               tracer=tracer)
         simplify_time = time.perf_counter() - started
         if outcome.marked_for_spill:
             spilled = [graph.vreg_for(n) for n in outcome.marked_for_spill]
@@ -76,7 +82,9 @@ class ChaitinAllocator:
                 stack=outcome.stack, marked=outcome.marked_for_spill,
             )
         started = time.perf_counter()
-        selection = select_colors(graph, outcome.stack, color_order)
+        with tracer.span("select", cat="phase", rclass=rclass):
+            selection = select_colors(graph, outcome.stack, color_order,
+                                      tracer=tracer)
         select_time = time.perf_counter() - started
         if not selection.succeeded:  # pragma: no cover - guaranteed by phase 2
             raise AllocationError(

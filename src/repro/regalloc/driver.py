@@ -53,6 +53,7 @@ from repro.ir.function import Function
 from repro.ir.module import Module
 from repro.ir.values import RClass
 from repro.machine.target import Target
+from repro.observability.trace import NULL_TRACER, Tracer, coerce_tracer
 from repro.regalloc.briggs import BriggsAllocator
 from repro.regalloc.chaitin import ChaitinAllocator
 from repro.regalloc.coalesce import coalesce_copies
@@ -204,6 +205,7 @@ def allocate_function(
     max_passes: int = 30,
     validate: bool = False,
     paranoia: str = "off",
+    tracer=None,
 ) -> AllocationResult:
     """Allocate registers for ``function`` in place (spill code may be
     inserted).  ``method`` is ``"chaitin"``, ``"briggs"``,
@@ -215,12 +217,45 @@ def allocate_function(
     checking inside the cycle; any violation raises
     :class:`repro.errors.InvariantError` in the phase that committed it.
 
+    ``tracer`` (a :class:`repro.observability.trace.Tracer`, default
+    disabled) records hierarchical spans — ``function`` → ``pass`` →
+    ``build``/``color``/``spill`` with the build steps and the
+    strategies' ``simplify``/``select`` nested inside — plus counters
+    (live ranges, edges, max degree, spills, coalesces, reuse hits,
+    invariant-check time).  Tracing never changes the allocation.
+
     Any :class:`AllocationError` escaping the cycle carries structured
     ``context``: the function name, the allocation method, the pass index
     and the phase ("build", "color", "spill", "validate") it tripped in.
     """
     strategy = _method_for(method)
     paranoia = coerce_paranoia(paranoia)
+    tracer = coerce_tracer(tracer)
+    state = {"phase": "setup", "pass_index": 0}
+    try:
+        with tracer.span(f"function:{function.name}", cat="function",
+                         method=strategy.name):
+            return _run_cycle(
+                function, target, strategy, coalesce, renumber,
+                rematerialize, split_ranges, max_passes, validate,
+                paranoia, tracer, state,
+            )
+    except AllocationError as error:
+        raise error.with_context(
+            function=function.name,
+            method=strategy.name,
+            phase=state["phase"],
+            pass_index=state["pass_index"],
+        )
+
+
+def _run_cycle(function, target, strategy, coalesce, renumber,
+               rematerialize, split_ranges, max_passes, validate,
+               paranoia, tracer, state) -> AllocationResult:
+    """The Figure-4 cycle itself — the body of :func:`allocate_function`,
+    split out so the tracer's span hierarchy nests at plain indentation.
+    ``state`` carries the phase/pass a failure happened in back to the
+    caller's error-context handler."""
     stats = AllocationStats(strategy.name, function.name)
     assignment: dict = {}
 
@@ -231,7 +266,8 @@ def allocate_function(
             from repro.regalloc.splitting import split_live_ranges
 
             phase = "split"
-            split_live_ranges(function, target)
+            with tracer.span("split", cat="phase"):
+                split_live_ranges(function, target)
 
         coalesce_strategy = coalesce if isinstance(coalesce, str) else "aggressive"
         # Cross-pass caches.  Spill code never adds or removes blocks and
@@ -249,93 +285,132 @@ def allocate_function(
         build_settled = False
 
         for pass_index in range(1, max_passes + 1):
-            pass_stats = PassStats(pass_index)
-            stats.passes.append(pass_stats)
-            reused: list = []
+            with tracer.span(f"pass:{pass_index}", cat="pass"):
+                pass_stats = PassStats(pass_index)
+                stats.passes.append(pass_stats)
+                reused: list = []
 
-            # ---- build ---------------------------------------------------
-            phase = "build"
-            started = time.perf_counter()
-            if renumber:
-                if build_settled:
-                    reused.append("renumber")
-                else:
-                    pass_stats.webs_split = split_webs(function)
-            if coalesce:
-                if build_settled:
-                    reused.append("coalesce")
-                else:
-                    pass_stats.coalesced = coalesce_copies(
-                        function, target, strategy=coalesce_strategy
+                # ---- build -----------------------------------------------
+                phase = "build"
+                started = time.perf_counter()
+                with tracer.span("build", cat="phase"):
+                    if renumber:
+                        if build_settled:
+                            reused.append("renumber")
+                        else:
+                            with tracer.span("renumber", cat="step"):
+                                pass_stats.webs_split = split_webs(function)
+                    if coalesce:
+                        if build_settled:
+                            reused.append("coalesce")
+                        else:
+                            with tracer.span("coalesce", cat="step"):
+                                pass_stats.coalesced = coalesce_copies(
+                                    function, target,
+                                    strategy=coalesce_strategy,
+                                )
+                    if not build_settled:
+                        coalesce_quiet = not coalesce or (
+                            pass_stats.coalesced == 0
+                            and coalesce_strategy == "aggressive"
+                        )
+                        if pass_stats.webs_split == 0 and coalesce_quiet:
+                            build_settled = True
+                    if cfg is None:
+                        cfg = CFG(function)
+                    else:
+                        reused.append("cfg")
+                    with tracer.span("liveness", cat="step"):
+                        liveness = Liveness(function, cfg)
+                    if loop_info is None:
+                        loop_info = annotate_loop_depths(function, cfg)
+                    else:
+                        reused.append("loops")
+                    pass_stats.reused = tuple(reused)
+                    with tracer.span("interference", cat="step"):
+                        graphs = build_interference_graphs(
+                            function, target, liveness, rclasses=_CLASSES
+                        )
+                    with tracer.span("spill_costs", cat="step"):
+                        costs = compute_spill_costs(function, loop_info)
+                    pass_stats.live_ranges = sum(
+                        g.num_vreg_nodes for g in graphs.values()
                     )
-            if not build_settled:
-                coalesce_quiet = not coalesce or (
-                    pass_stats.coalesced == 0
-                    and coalesce_strategy == "aggressive"
-                )
-                if pass_stats.webs_split == 0 and coalesce_quiet:
-                    build_settled = True
-            if cfg is None:
-                cfg = CFG(function)
-            else:
-                reused.append("cfg")
-            liveness = Liveness(function, cfg)
-            if loop_info is None:
-                loop_info = annotate_loop_depths(function, cfg)
-            else:
-                reused.append("loops")
-            pass_stats.reused = tuple(reused)
-            graphs = build_interference_graphs(
-                function, target, liveness, rclasses=_CLASSES
-            )
-            costs = compute_spill_costs(function, loop_info)
-            pass_stats.live_ranges = sum(
-                g.num_vreg_nodes for g in graphs.values()
-            )
-            pass_stats.edges = sum(g.edge_count() for g in graphs.values())
-            pass_stats.build_time = time.perf_counter() - started
-            if paranoia != "off":
-                for graph in graphs.values():
-                    check_graph_invariants(graph, paranoia)
-                    check_cost_invariants(graph, costs)
-
-            # ---- simplify + select ----------------------------------------
-            phase = "color"
-            spilled_vregs: list = []
-            class_colors: dict = {}
-            for rclass in _CLASSES:
-                graph = graphs[rclass]
-                if graph.num_vreg_nodes == 0:
-                    continue  # nothing of this class occurs in the function
-                outcome = strategy.allocate_class(
-                    graph, costs, target.color_order(rclass)
-                )
+                    pass_stats.edges = sum(
+                        g.edge_count() for g in graphs.values()
+                    )
+                pass_stats.build_time = time.perf_counter() - started
+                if tracer.enabled:
+                    tracer.counter("live_ranges", pass_stats.live_ranges)
+                    tracer.counter("edges", pass_stats.edges)
+                    tracer.counter("max_degree", max(
+                        (
+                            g.degree(node)
+                            for g in graphs.values()
+                            for node in range(g.k, g.num_nodes)
+                        ),
+                        default=0,
+                    ))
+                    tracer.add("coalesced", pass_stats.coalesced)
+                    tracer.add("webs_split", pass_stats.webs_split)
+                    tracer.add("reuse_hits", len(reused))
                 if paranoia != "off":
-                    check_class_invariants(
-                        graph, outcome, target.color_order(rclass), paranoia
+                    with tracer.span("invariants", cat="step",
+                                     level=paranoia) as inv_span:
+                        for graph in graphs.values():
+                            check_graph_invariants(graph, paranoia)
+                            check_cost_invariants(graph, costs)
+                    tracer.add("invariant_check_time", inv_span.elapsed)
+
+                # ---- simplify + select -----------------------------------
+                phase = "color"
+                spilled_vregs: list = []
+                class_colors: dict = {}
+                with tracer.span("color", cat="phase"):
+                    for rclass in _CLASSES:
+                        graph = graphs[rclass]
+                        if graph.num_vreg_nodes == 0:
+                            continue  # this class is absent here
+                        outcome = strategy.allocate_class(
+                            graph, costs, target.color_order(rclass),
+                            tracer=tracer,
+                        )
+                        if paranoia != "off":
+                            with tracer.span("invariants", cat="step",
+                                             level=paranoia) as inv_span:
+                                check_class_invariants(
+                                    graph, outcome,
+                                    target.color_order(rclass), paranoia,
+                                )
+                            tracer.add("invariant_check_time",
+                                       inv_span.elapsed)
+                        pass_stats.simplify_time += outcome.simplify_time
+                        pass_stats.select_time += outcome.select_time
+                        if outcome.ran_select:
+                            pass_stats.ran_select = True
+                        spilled_vregs.extend(outcome.spilled_vregs)
+                        class_colors.update(outcome.colors)
+
+                if not spilled_vregs:
+                    assignment = class_colors
+                    break
+
+                # ---- spill -----------------------------------------------
+                phase = "spill"
+                pass_stats.spilled_count = len(spilled_vregs)
+                pass_stats.spilled_cost = sum(
+                    costs.cost(v) for v in spilled_vregs
+                )
+                if tracer.enabled:
+                    tracer.counter("spilled", pass_stats.spilled_count)
+                    tracer.add("spill_cost", pass_stats.spilled_cost)
+                started = time.perf_counter()
+                with tracer.span("spill", cat="phase",
+                                 spilled=pass_stats.spilled_count):
+                    insert_spill_code(
+                        function, spilled_vregs, rematerialize=rematerialize
                     )
-                pass_stats.simplify_time += outcome.simplify_time
-                pass_stats.select_time += outcome.select_time
-                if outcome.ran_select:
-                    pass_stats.ran_select = True
-                spilled_vregs.extend(outcome.spilled_vregs)
-                class_colors.update(outcome.colors)
-
-            if not spilled_vregs:
-                assignment = class_colors
-                break
-
-            # ---- spill ----------------------------------------------------
-            phase = "spill"
-            pass_stats.spilled_count = len(spilled_vregs)
-            pass_stats.spilled_cost = sum(
-                costs.cost(v) for v in spilled_vregs
-            )
-            started = time.perf_counter()
-            insert_spill_code(
-                function, spilled_vregs, rematerialize=rematerialize
-            )
-            pass_stats.spill_time = time.perf_counter() - started
+                pass_stats.spill_time = time.perf_counter() - started
         else:
             raise AllocationError(
                 f"{function.name}: no coloring after {max_passes} passes "
@@ -349,15 +424,13 @@ def allocate_function(
         )
         if validate:
             phase = "validate"
-            check_allocation(result)
-    except AllocationError as error:
-        raise error.with_context(
-            function=function.name,
-            method=strategy.name,
-            phase=phase,
-            pass_index=pass_index,
-        )
-    return result
+            with tracer.span("validate", cat="phase"):
+                check_allocation(result)
+        return result
+    except AllocationError:
+        state["phase"] = phase
+        state["pass_index"] = pass_index
+        raise
 
 
 def check_allocation(result: AllocationResult) -> None:
@@ -464,9 +537,20 @@ class ModuleAllocation:
         )
 
 
-def _allocate_worker(function, target, method, kwargs):
-    """Process-pool entry point: allocate one pickled function copy."""
-    return allocate_function(function, target, method, **kwargs)
+def _allocate_worker(function, target, method, kwargs, trace=False):
+    """Process-pool entry point: allocate one pickled function copy.
+
+    Returns ``(result, trace_snapshot)``.  When the parent requested
+    tracing, the worker runs with its own fresh :class:`Tracer` — events
+    stamped with the *worker's* pid — and ships the picklable snapshot
+    back for the parent to merge, giving the combined trace one process
+    lane per worker.
+    """
+    tracer = Tracer() if trace else None
+    result = allocate_function(
+        function, target, method, tracer=tracer, **kwargs
+    )
+    return result, (tracer.snapshot() if trace else None)
 
 
 def _fresh_copy(function: Function) -> Function:
@@ -592,7 +676,8 @@ def _serial_retry(function, target, method, kwargs, retries):
 
 
 def _parallel_results(module, functions, target, method, kwargs, jobs,
-                      timeout, retries, policy, bundle_dir, failures):
+                      timeout, retries, policy, bundle_dir, failures,
+                      tracer=NULL_TRACER):
     """Allocate ``functions`` over a process pool.
 
     Each worker receives a pickled copy of its function and returns the
@@ -631,13 +716,16 @@ def _parallel_results(module, functions, target, method, kwargs, jobs,
         pending = [
             (function,
              pool.apply_async(_allocate_worker,
-                              (function, target, method, kwargs)))
+                              (function, target, method, kwargs,
+                               tracer.enabled)))
             for function in functions
         ]
         for function, async_result in pending:
             started = time.perf_counter()
             try:
-                result = async_result.get(timeout)
+                result, trace_snapshot = async_result.get(timeout)
+                if trace_snapshot is not None:
+                    tracer.absorb(trace_snapshot)
             except KeyboardInterrupt:
                 terminate = True
                 raise
@@ -698,6 +786,7 @@ def allocate_module(
     timeout: float | None = None,
     retries: int = 1,
     bundle_dir=None,
+    tracer=None,
 ) -> ModuleAllocation:
     """Allocate every function of a module (in place).
 
@@ -717,8 +806,14 @@ def allocate_module(
     ``retries`` bounds in-process re-attempts after a worker crash.
     ``bundle_dir`` enables deterministic crash bundles
     (``<bundle_dir>/crash-<function>/``) for every recorded failure.
+
+    ``tracer`` records a ``module:<name>`` span enclosing every
+    function's span tree; under ``jobs > 1`` each worker traces into its
+    own buffer and the parent merges them, one trace lane per worker
+    process (see :mod:`repro.observability.trace`).
     """
     policy = FailurePolicy.coerce(policy)
+    tracer = coerce_tracer(tracer)
     kwargs = {
         "coalesce": coalesce,
         "renumber": renumber,
@@ -736,26 +831,32 @@ def allocate_module(
     failures: list = []
     results = None
     fallback_reason = None
-    if jobs > 1 and len(functions) > 1:
-        results, fallback_reason = _parallel_results(
-            module, functions, target, method, kwargs, jobs,
-            timeout, retries, policy, bundle_dir, failures,
-        )
-    if results is None:
-        results = {}
-        for function in functions:
-            started = time.perf_counter()
-            try:
-                result = allocate_function(function, target, method, **kwargs)
-            except AllocationError as error:
-                result = _handle_failure(
-                    function, target, method_name, error, policy, failures,
-                    bundle_dir, elapsed=time.perf_counter() - started,
-                    retries=0,
-                    phase=error.context.get("phase", "allocate"),
-                )
-            if result is not None:
-                results[function.name] = result
+    with tracer.span(f"module:{module.name}", cat="module",
+                     method=method_name, jobs=jobs):
+        if jobs > 1 and len(functions) > 1:
+            results, fallback_reason = _parallel_results(
+                module, functions, target, method, kwargs, jobs,
+                timeout, retries, policy, bundle_dir, failures,
+                tracer=tracer,
+            )
+        if results is None:
+            results = {}
+            for function in functions:
+                started = time.perf_counter()
+                try:
+                    result = allocate_function(
+                        function, target, method, tracer=tracer, **kwargs
+                    )
+                except AllocationError as error:
+                    result = _handle_failure(
+                        function, target, method_name, error, policy,
+                        failures, bundle_dir,
+                        elapsed=time.perf_counter() - started,
+                        retries=0,
+                        phase=error.context.get("phase", "allocate"),
+                    )
+                if result is not None:
+                    results[function.name] = result
     return ModuleAllocation(
         module, target, method_name, results,
         failures=failures, parallel_fallback=fallback_reason,

@@ -1,15 +1,39 @@
-"""Graphviz export of interference graphs (a debugging/teaching aid).
+"""Exports of allocation artifacts: DOT graphs and structured dicts.
 
 ``to_dot`` renders an :class:`~repro.regalloc.interference.InterferenceGraph`
 as an undirected DOT graph: precolored nodes are boxes, live ranges are
 ellipses labelled with their name/degree/spill cost, and — when a coloring
 is supplied — nodes are filled from a qualitative palette so a proper
 coloring is visible at a glance.
+
+``allocation_to_dict`` dumps one :class:`~repro.regalloc.driver
+.AllocationResult` for machine consumers (``repro allocate --json``, the
+metrics documents of :mod:`repro.observability.export`).  The statistics
+come from :meth:`repro.regalloc.stats.AllocationStats.to_dict` — the
+single schema definition — so every ``PassStats`` field (``reused``,
+``webs_split``, ...) appears in exported reports without a second,
+drift-prone field list here.
 """
 
 from __future__ import annotations
 
 from repro.regalloc.interference import InterferenceGraph
+
+
+def allocation_to_dict(result) -> dict:
+    """Structured dump of one function's allocation outcome."""
+    return {
+        "function": result.function.name,
+        "method": result.method,
+        "target": result.target.name,
+        "assignment": {
+            vreg.pretty(): color
+            for vreg, color in sorted(
+                result.assignment.items(), key=lambda item: item[0].id
+            )
+        },
+        "stats": result.stats.to_dict(),
+    }
 
 #: A small qualitative palette, cycled when k exceeds its size.
 _PALETTE = [

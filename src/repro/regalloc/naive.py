@@ -31,6 +31,7 @@ class SpillAllAllocator:
         graph: InterferenceGraph,
         costs: SpillCosts,
         color_order: list | None = None,
+        tracer=None,
     ) -> ClassAllocation:
         spillable = [
             graph.vreg_for(node)

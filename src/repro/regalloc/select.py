@@ -37,11 +37,13 @@ def select_colors(
     graph: InterferenceGraph,
     stack: list,
     color_order: list | None = None,
+    tracer=None,
 ) -> SelectOutcome:
     """Rebuild the graph from ``stack``, assigning colors optimistically.
 
     ``color_order`` defaults to ``0..k-1``; targets pass caller-saved
     registers first so call-free values prefer scratch registers.
+    ``tracer`` (optional) receives summary counters after the phase.
     """
     k = graph.k
     order = list(color_order) if color_order is not None else list(range(k))
@@ -64,4 +66,7 @@ def select_colors(
         else:
             colors[node] = chosen
 
+    if tracer is not None and tracer.enabled:
+        tracer.add("select_colored", len(stack) - len(uncolored))
+        tracer.add("select_uncolored", len(uncolored))
     return SelectOutcome(colors, uncolored)

@@ -47,12 +47,15 @@ def simplify(
     graph: InterferenceGraph,
     costs: SpillCosts,
     optimistic: bool,
+    tracer=None,
 ) -> SimplifyOutcome:
     """Run the simplification phase over ``graph``.
 
     Returns the stack (node indices, removal order; color in reverse) and
     the spill marks.  ``costs`` provides the numerator of Chaitin's
-    cost/degree victim metric.
+    cost/degree victim metric.  ``tracer`` (optional) receives summary
+    counters after the phase — never per-node work, so the hot loop is
+    untouched.
     """
     k = graph.k
     n = graph.num_nodes
@@ -89,6 +92,10 @@ def simplify(
             marked.append(victim)
         remove_node(victim)
 
+    if tracer is not None and tracer.enabled:
+        tracer.counter("stack_depth", len(stack))
+        tracer.add("constrained_choices", len(constrained))
+        tracer.add("marked_for_spill", len(marked))
     return SimplifyOutcome(stack, marked, constrained)
 
 

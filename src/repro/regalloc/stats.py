@@ -47,6 +47,22 @@ class PassStats:
         #: recomputed — e.g. ``("loops", "renumber", "coalesce")``.
         self.reused: tuple = ()
 
+    def to_dict(self) -> dict:
+        """Every field, keyed by slot name — the one place the pass
+        schema is defined, so exporters cannot silently drop fields."""
+        data = {slot: getattr(self, slot) for slot in self.__slots__}
+        data["reused"] = list(self.reused)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PassStats":
+        stats = cls(data["index"])
+        for slot in cls.__slots__:
+            if slot in data:
+                setattr(stats, slot, data[slot])
+        stats.reused = tuple(data.get("reused", ()))
+        return stats
+
     def __repr__(self) -> str:
         return (
             f"PassStats(#{self.index}, spilled={self.spilled_count}, "
@@ -120,6 +136,35 @@ class AllocationStats:
                 }
             )
         return rows
+
+    # ------------------------------------------------------------------
+    # Structured export (the metrics layer's source of truth)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Full structured dump: every pass via
+        :meth:`PassStats.to_dict` plus the derived whole-allocation
+        totals.  Consumed by :mod:`repro.observability.export` and the
+        ``repro allocate --json`` document."""
+        return {
+            "method": self.method,
+            "function": self.function_name,
+            "passes": [p.to_dict() for p in self.passes],
+            "totals": {
+                "live_ranges": self.live_ranges,
+                "registers_spilled": self.registers_spilled,
+                "total_registers_spilled": self.total_registers_spilled,
+                "spill_cost": self.spill_cost,
+                "pass_count": self.pass_count,
+                "total_time": self.total_time,
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AllocationStats":
+        stats = cls(data["method"], data["function"])
+        stats.passes = [PassStats.from_dict(p) for p in data["passes"]]
+        return stats
 
     def __repr__(self) -> str:
         return (

@@ -45,6 +45,7 @@ from repro.ir.values import RClass
 from repro.ir.verifier import verify_function
 from repro.machine.simulator import run_module
 from repro.machine.target import rt_pc
+from repro.observability.trace import coerce_tracer
 from repro.regalloc.briggs import BriggsAllocator
 from repro.regalloc.driver import allocate_module, check_allocation
 from repro.regalloc.invariants import recheck_assignment
@@ -325,7 +326,7 @@ class CrashingAllocator(BriggsAllocator):
         super().__init__(order)
         self.name = "crashing-briggs"
 
-    def allocate_class(self, graph, costs, color_order=None):
+    def allocate_class(self, graph, costs, color_order=None, tracer=None):
         raise RuntimeError("injected fault: worker crash in allocate_class")
 
 
@@ -338,10 +339,10 @@ class FlakyAllocator(BriggsAllocator):
         self.name = "flaky-briggs"
         self.spawn_pid = os.getpid()
 
-    def allocate_class(self, graph, costs, color_order=None):
+    def allocate_class(self, graph, costs, color_order=None, tracer=None):
         if os.getpid() != self.spawn_pid:
             raise RuntimeError("injected fault: crash outside spawn process")
-        return super().allocate_class(graph, costs, color_order)
+        return super().allocate_class(graph, costs, color_order, tracer=tracer)
 
 
 class HangingAllocator(BriggsAllocator):
@@ -352,9 +353,9 @@ class HangingAllocator(BriggsAllocator):
         self.name = "hanging-briggs"
         self.delay = delay
 
-    def allocate_class(self, graph, costs, color_order=None):
+    def allocate_class(self, graph, costs, color_order=None, tracer=None):
         time.sleep(self.delay)
-        return super().allocate_class(graph, costs, color_order)
+        return super().allocate_class(graph, costs, color_order, tracer=tracer)
 
 
 @register_fault("worker_crash", kind="worker", expect="degraded")
@@ -440,15 +441,27 @@ def probe_fault(
     method: str = "briggs",
     target=None,
     max_instructions: int = 10_000_000,
+    tracer=None,
 ) -> FaultProbe:
     """Inject fault ``name`` (seeded with ``seed``) into a correct
     compile/allocate/run pipeline over ``source`` and report which defense
-    layers tripped.  Deterministic: same arguments, same probe.
+    layers tripped.  Deterministic: same arguments, same probe.  With a
+    ``tracer`` the probe (and the allocations under it) records spans
+    tagged with the fault name and seed.
     """
     fault = FAULTS.get(name)
     if fault is None:
         known = ", ".join(sorted(FAULTS))
         raise AllocationError(f"unknown fault {name!r} (known: {known})")
+    tracer = coerce_tracer(tracer)
+    with tracer.span(f"fault:{name}", cat="fault", seed=seed,
+                     kind=fault.kind, method=method):
+        return _run_probe(fault, seed, source, method, target,
+                          max_instructions, tracer)
+
+
+def _run_probe(fault, seed, source, method, target, max_instructions,
+               tracer) -> FaultProbe:
     rng = random.Random(seed)
     source = source if source is not None else DEFAULT_FAULT_SOURCE
     target = target or default_fault_target()
@@ -460,7 +473,7 @@ def probe_fault(
     if fault.kind == "costs":
         with fault.inject(rng):
             allocation = allocate_module(module, target, method,
-                                         validate=True)
+                                         validate=True, tracer=tracer)
         tripped, detail = _dynamic_layer(
             module, target, allocation.assignment, baseline, max_instructions
         )
@@ -472,7 +485,8 @@ def probe_fault(
     if fault.kind == "worker":
         strategy, extra = fault.inject(rng)
         allocation = allocate_module(
-            module, target, strategy, policy="degrade-to-naive", **extra
+            module, target, strategy, policy="degrade-to-naive",
+            tracer=tracer, **extra
         )
         detected = ["driver"] if allocation.failures else []
         complete = set(allocation.results) == {f.name for f in module}
@@ -494,7 +508,7 @@ def probe_fault(
     # paranoia="cheap" keeps the final-pass interference graphs on each
     # result, arming the post-hoc invariant layer below.
     allocation = allocate_module(module, target, method, validate=True,
-                                 paranoia="cheap")
+                                 paranoia="cheap", tracer=tracer)
     injected = fault.inject(module, allocation, rng)
     if injected is None:
         return FaultProbe(fault, seed, None,

@@ -41,6 +41,7 @@ from repro.ir.function import Function
 from repro.ir.values import RClass
 from repro.machine.simulator import run_module
 from repro.machine.target import rt_pc
+from repro.observability.trace import coerce_tracer
 from repro.regalloc.briggs import BriggsAllocator
 from repro.regalloc.chaitin import ChaitinAllocator
 from repro.regalloc.driver import allocate_module
@@ -488,6 +489,7 @@ def run_fuzz(
     oracle_max_nodes: int = 14,
     shrink_budget: int | None = None,
     log=None,
+    tracer=None,
 ) -> FuzzReport:
     """Run the closed loop: generate, check, shrink, bundle.
 
@@ -498,11 +500,13 @@ def run_fuzz(
     ``chaitin_factory``/``ir_methods`` exist so tests can inject known-bad
     allocators and watch the loop catch and shrink them.  Returns a
     :class:`FuzzReport`; failures carry minimized specs and (with
-    ``bundle_dir``) crash-bundle paths.
+    ``bundle_dir``) crash-bundle paths.  With a ``tracer`` each case gets
+    a span tagged with the campaign seed and its own case seed.
     """
     paranoia = coerce_paranoia(paranoia)
     if paranoia == "off":
         paranoia = "cheap"  # the fuzz loop never runs unchecked
+    tracer = coerce_tracer(tracer)
     rng = random.Random(seed)
     report = FuzzReport(seed)
     stats: dict = {}
@@ -526,13 +530,18 @@ def run_fuzz(
                     stats=_stats,
                 )
 
-            failure = check(spec, stats)
+            with tracer.span("fuzz:graph", cat="fuzz",
+                             campaign_seed=seed, case_seed=case_seed,
+                             iteration=iteration):
+                failure = check(spec, stats)
             report.subset_checked += failure is None
             if failure is not None:
-                shrunk = shrink_graph_spec(
-                    spec, failure, check,
-                    budget=shrink_budget or 2000,
-                )
+                with tracer.span("fuzz:shrink", cat="fuzz",
+                                 case_seed=case_seed):
+                    shrunk = shrink_graph_spec(
+                        spec, failure, check,
+                        budget=shrink_budget or 2000,
+                    )
                 failure = check(shrunk) or failure
                 record = FuzzFailure(
                     "graph", iteration, case_seed, failure[0], failure[1],
@@ -547,12 +556,17 @@ def run_fuzz(
                     candidate, methods=ir_methods, paranoia=paranoia
                 )
 
-            failure = check(spec)
+            with tracer.span("fuzz:ir", cat="fuzz",
+                             campaign_seed=seed, case_seed=case_seed,
+                             iteration=iteration):
+                failure = check(spec)
             if failure is not None:
-                shrunk = shrink_ir_spec(
-                    spec, failure, check,
-                    budget=shrink_budget or 400,
-                )
+                with tracer.span("fuzz:shrink", cat="fuzz",
+                                 case_seed=case_seed):
+                    shrunk = shrink_ir_spec(
+                        spec, failure, check,
+                        budget=shrink_budget or 400,
+                    )
                 failure = check(shrunk) or failure
                 record = FuzzFailure(
                     "ir", iteration, case_seed, failure[0], failure[1],
@@ -567,6 +581,7 @@ def run_fuzz(
                     record, master_seed=seed, out_dir=bundle_dir,
                 ))
             report.failures.append(record)
+            tracer.add("fuzz_failures")
             if log is not None:
                 log(f"  {record!r}")
         if log is not None and (iteration + 1) % 50 == 0:

@@ -25,6 +25,7 @@ from __future__ import annotations
 from repro.errors import SimulationError, TranslationValidationError
 from repro.machine.simulator import run_module
 from repro.machine.target import rt_pc
+from repro.observability.trace import coerce_tracer
 from repro.regalloc.driver import ModuleAllocation, allocate_module, check_allocation
 
 #: Default workload-validation target: the experiment harness's trimmed
@@ -91,6 +92,7 @@ def verify_allocation(
     baseline=None,
     max_instructions: int = 200_000_000,
     static: bool = True,
+    tracer=None,
 ) -> ValidationReport:
     """Differentially validate ``allocation`` over ``module``.
 
@@ -105,17 +107,22 @@ def verify_allocation(
     structured context — on any mismatch; returns a
     :class:`ValidationReport` when every check passes.
     """
+    tracer = coerce_tracer(tracer)
     if static:
-        for result in allocation.results.values():
-            check_allocation(result)
+        with tracer.span("validate:static", cat="validate",
+                         functions=len(allocation.results)):
+            for result in allocation.results.values():
+                check_allocation(result)
 
     reference_module = module if baseline is None else baseline
     args = list(inputs) if inputs else None
     try:
-        reference = run_module(
-            reference_module, entry=entry,
-            max_instructions=max_instructions, args=args,
-        )
+        with tracer.span("validate:reference", cat="validate",
+                         module=module.name):
+            reference = run_module(
+                reference_module, entry=entry,
+                max_instructions=max_instructions, args=args,
+            )
     except SimulationError as error:
         raise TranslationValidationError(
             f"reference (virtual-register) run failed: {error}",
@@ -123,11 +130,13 @@ def verify_allocation(
         ) from error
 
     try:
-        candidate = run_module(
-            module, entry=entry, target=allocation.target,
-            assignment=allocation.assignment,
-            max_instructions=max_instructions, args=args,
-        )
+        with tracer.span("validate:candidate", cat="validate",
+                         module=module.name, method=allocation.method):
+            candidate = run_module(
+                module, entry=entry, target=allocation.target,
+                assignment=allocation.assignment,
+                max_instructions=max_instructions, args=args,
+            )
     except SimulationError as error:
         raise TranslationValidationError(
             f"allocated code faulted where the reference ran: {error}",
@@ -165,6 +174,7 @@ def validate_workload(
     workload,
     method: str = "briggs",
     target=None,
+    tracer=None,
     **alloc_kwargs,
 ) -> ValidationReport:
     """End-to-end translation validation of one registry workload.
@@ -172,14 +182,17 @@ def validate_workload(
     Compiles the workload twice — a pristine reference and a candidate
     that gets allocated — so spill rewrites in the candidate are validated
     against genuinely pre-allocation code; also runs the workload's own
-    output oracle against the reference stream.
+    output oracle against the reference stream.  ``tracer`` covers both
+    the allocation and the differential runs.
     """
     target = target or default_validation_target()
     baseline = workload.compile()
     module = workload.compile()
-    allocation = allocate_module(module, target, method, **alloc_kwargs)
+    allocation = allocate_module(module, target, method, tracer=tracer,
+                                 **alloc_kwargs)
     report = verify_allocation(
         module, allocation, entry=workload.entry, baseline=baseline,
+        tracer=tracer,
     )
     workload.verify_outputs(report.baseline_outputs)
     return report

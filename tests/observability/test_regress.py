@@ -1,0 +1,176 @@
+"""Tests for bench-diff: schema normalization, regression gating, and
+the CLI exit codes."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.observability import compare_metrics, flatten_metrics
+from repro.observability.regress import compare_files
+
+
+def legacy_bench(**phases):
+    """PR-1-era flat file: {phase: {"median_s": x, "runs": n}}."""
+    return {
+        name: {"median_s": value, "runs": 5}
+        for name, value in phases.items()
+    }
+
+
+def metrics_doc(total_time=0.01, spilled=2, edges=100):
+    return {
+        "schema": "repro-metrics/1",
+        "totals": {
+            "functions": 1,
+            "total_time": total_time,
+            "registers_spilled": spilled,
+        },
+        "functions": {
+            "f": {
+                "stats": {
+                    "totals": {
+                        "total_time": total_time,
+                        "registers_spilled": spilled,
+                        "pass_count": 1,
+                    },
+                    "passes": [{
+                        "build_time": total_time / 2,
+                        "simplify_time": total_time / 4,
+                        "select_time": total_time / 8,
+                        "spill_time": total_time / 8,
+                    }],
+                }
+            }
+        },
+        "counters": {"edges": edges},
+    }
+
+
+class TestFlatten:
+    def test_legacy_flat_file(self):
+        flat = flatten_metrics(legacy_bench(alloc_svd=0.5, build_svd=0.1))
+        assert flat == {"alloc_svd": 0.5, "build_svd": 0.1}
+
+    def test_bench_schema(self):
+        flat = flatten_metrics({
+            "schema": "repro-bench/1",
+            "phases": {"alloc_svd": {"median_s": 0.5, "runs": 5}},
+        })
+        assert flat == {"alloc_svd": 0.5}
+
+    def test_metrics_schema(self):
+        flat = flatten_metrics(metrics_doc(total_time=0.08, spilled=3))
+        assert flat["total.total_time"] == 0.08
+        assert flat["total.registers_spilled"] == 3
+        assert flat["fn.f.build_time"] == 0.04
+        assert flat["counter.edges"] == 100
+        assert "total.functions" not in flat  # structural, not a metric
+
+    def test_unrecognized_file_raises(self):
+        with pytest.raises(ValueError, match="unrecognized"):
+            flatten_metrics({"what": "is this"})
+
+
+class TestGating:
+    def test_timing_regression_above_floor_flags(self):
+        report = compare_metrics({"alloc": 0.010}, {"alloc": 0.020})
+        assert not report.ok
+        assert [d.key for d in report.regressions] == ["alloc"]
+
+    def test_timing_jitter_below_floor_is_ignored(self):
+        """A 0.1 ms phase doubling is scheduler noise, not a regression."""
+        report = compare_metrics({"select": 0.0001}, {"select": 0.0002})
+        assert report.ok
+
+    def test_growth_within_threshold_passes(self):
+        report = compare_metrics({"alloc": 0.010}, {"alloc": 0.011})
+        assert report.ok
+
+    def test_count_regression_has_no_noise_floor(self):
+        """Spill counts are exact; +50% spills must gate even though the
+        'values' are tiny."""
+        base = flatten_metrics(metrics_doc(spilled=2))
+        new = flatten_metrics(metrics_doc(spilled=4))
+        report = compare_metrics(base, new)
+        assert not report.ok
+        keys = [d.key for d in report.regressions]
+        assert "total.registers_spilled" in keys
+
+    def test_improvements_reported(self):
+        report = compare_metrics({"alloc": 0.020}, {"alloc": 0.010})
+        assert report.ok
+        assert [d.key for d in report.improvements] == ["alloc"]
+
+    def test_missing_keys_are_surfaced_not_ignored(self):
+        report = compare_metrics({"gone": 1.0}, {"added": 2.0})
+        assert report.missing_in_current == ["gone"]
+        assert report.missing_in_baseline == ["added"]
+        rendered = report.render()
+        assert "only in baseline: gone" in rendered
+        assert "only in current:  added" in rendered
+
+    def test_render_marks_regressions_first(self):
+        report = compare_metrics(
+            {"a_fine": 0.010, "z_bad": 0.010},
+            {"a_fine": 0.010, "z_bad": 0.030},
+        )
+        rendered = report.render()
+        lines = rendered.splitlines()
+        assert "z_bad" in lines[1]
+        assert "REGRESSED" in lines[1]
+        assert rendered.endswith("1 regression(s), 0 improvement(s)")
+
+    def test_custom_threshold(self):
+        report = compare_metrics(
+            {"alloc": 0.010}, {"alloc": 0.012}, threshold=0.1
+        )
+        assert not report.ok
+
+
+class TestCompareFiles:
+    def write(self, tmp_path, name, document):
+        path = tmp_path / name
+        path.write_text(json.dumps(document))
+        return str(path)
+
+    def test_mixed_schemas_compare_on_shared_keys(self, tmp_path):
+        """A legacy baseline against a bench-schema candidate still
+        compares — key namespaces match by design."""
+        base = self.write(tmp_path, "base.json",
+                          legacy_bench(alloc_svd=0.010))
+        new = self.write(tmp_path, "new.json", {
+            "schema": "repro-bench/1",
+            "phases": {"alloc_svd": {"median_s": 0.030, "runs": 5}},
+        })
+        report = compare_files(base, new)
+        assert not report.ok
+
+    def test_cli_exit_one_on_regression(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", legacy_bench(alloc=0.010))
+        new = self.write(tmp_path, "new.json", legacy_bench(alloc=0.030))
+        assert main(["bench-diff", base, new]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_cli_report_only_always_exits_zero(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", legacy_bench(alloc=0.010))
+        new = self.write(tmp_path, "new.json", legacy_bench(alloc=0.030))
+        assert main(["bench-diff", base, new, "--report-only"]) == 0
+        assert "1 regression(s)" in capsys.readouterr().out
+
+    def test_cli_exit_zero_when_clean(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", legacy_bench(alloc=0.010))
+        new = self.write(tmp_path, "new.json", legacy_bench(alloc=0.010))
+        assert main(["bench-diff", base, new]) == 0
+        assert "0 regression(s)" in capsys.readouterr().out
+
+    def test_cli_threshold_flag(self, tmp_path):
+        base = self.write(tmp_path, "base.json", legacy_bench(alloc=0.010))
+        new = self.write(tmp_path, "new.json", legacy_bench(alloc=0.012))
+        assert main(["bench-diff", base, new]) == 0
+        assert main(["bench-diff", base, new, "--threshold", "0.1"]) == 1
+
+    def test_cli_missing_file(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", legacy_bench(alloc=0.010))
+        assert main(["bench-diff", base, str(tmp_path / "nope.json")]) == 1
+        assert "error:" in capsys.readouterr().err

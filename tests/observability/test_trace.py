@@ -1,0 +1,224 @@
+"""Tests for the tracing layer: span determinism, the null tracer's
+result parity and overhead bound, and the parallel trace merge."""
+
+import time
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.machine.target import rt_pc
+from repro.observability import NULL_TRACER, NullTracer, Tracer, coerce_tracer
+from repro.regalloc import allocate_module
+
+slow = pytest.mark.slow
+
+#: Enough integer pressure to spill on the small target below, plus a
+#: call, so the trace exercises build, spill and caller-save handling.
+SOURCE = """
+subroutine leaf(n)
+end
+program p
+integer a1, a2, a3, a4, a5, a6, a7, a8, m, total
+a1 = 1
+a2 = 2
+a3 = 3
+a4 = 4
+a5 = 5
+a6 = 6
+a7 = 7
+a8 = 8
+m = 41
+call leaf(m)
+total = a1 + a2 + a3 + a4 + a5 + a6 + a7 + a8 + m
+print total
+print a1
+end
+"""
+
+
+def small_target():
+    return rt_pc().with_int_regs(6).with_float_regs(4)
+
+
+def named_assignments(allocation) -> dict:
+    """Per-function vreg-name -> color maps, comparable across separate
+    compiles (VRegs are identity objects)."""
+    return {
+        name: {
+            vreg.pretty(): color
+            for vreg, color in result.assignment.items()
+        }
+        for name, result in allocation.results.items()
+    }
+
+
+def traced_allocation(jobs=1, tracer=None):
+    module = compile_source(SOURCE, "probe")
+    if tracer is None:
+        tracer = Tracer()
+    allocation = allocate_module(
+        module, small_target(), "briggs", jobs=jobs, tracer=tracer
+    )
+    return allocation, tracer
+
+
+class TestSpanDeterminism:
+    def test_sequence_identical_across_fresh_compiles(self):
+        """Two independent compile+allocate runs of the same program must
+        record the same span names, nesting depths, and order — only the
+        timestamps may differ."""
+        _, first = traced_allocation()
+        _, second = traced_allocation()
+        assert first.span_sequence() == second.span_sequence()
+        assert first.span_sequence()  # non-trivial
+
+    def test_counters_identical_across_fresh_compiles(self):
+        _, first = traced_allocation()
+        _, second = traced_allocation()
+        assert first.counters == second.counters
+
+    def test_taxonomy_module_function_pass_phase(self):
+        """The documented hierarchy: module -> function -> pass ->
+        build/color, with build's sub-steps one level deeper."""
+        _, tracer = traced_allocation()
+        sequence = tracer.span_sequence()
+        depths = {}
+        for name, depth in sequence:
+            depths.setdefault(name.split(":")[0], set()).add(depth)
+        assert depths["module"] == {0}
+        assert depths["function"] == {1}
+        assert depths["pass"] == {2}
+        assert depths["build"] == {3}
+        assert depths["color"] == {3}
+        assert depths["interference"] == {4}
+        assert depths["simplify"] == {4}
+        assert depths["select"] == {4}
+
+    def test_spill_pass_appears_under_pressure(self):
+        allocation, tracer = traced_allocation()
+        names = [name for name, _ in tracer.span_sequence()]
+        result = next(iter(allocation.results.values()))
+        if result.stats.total_registers_spilled:
+            assert "spill" in names
+            assert tracer.counters["spilled"] > 0
+
+    def test_pipeline_counters_recorded(self):
+        _, tracer = traced_allocation()
+        for key in ("live_ranges", "edges", "max_degree", "stack_depth"):
+            assert tracer.counters[key] > 0, key
+
+    def test_span_error_is_annotated(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("doomed", cat="phase"):
+                raise ValueError("boom")
+        end = tracer.events[-1]
+        assert end["ph"] == "E"
+        assert end["args"]["error"] == "ValueError"
+
+
+class TestNullTracer:
+    def test_coerce(self):
+        assert coerce_tracer(None) is NULL_TRACER
+        assert coerce_tracer(False) is NULL_TRACER
+        tracer = Tracer()
+        assert coerce_tracer(tracer) is tracer
+        assert isinstance(NULL_TRACER, NullTracer)
+        assert not NULL_TRACER.enabled
+
+    def test_null_span_is_inert(self):
+        span = NULL_TRACER.span("anything", cat="phase", extra=1)
+        with span as handle:
+            handle.annotate(ignored=True)
+        assert span.elapsed == 0.0
+        NULL_TRACER.counter("x", 3)
+        NULL_TRACER.add("y")
+        assert NULL_TRACER.counters == {}
+        assert NULL_TRACER.events == ()
+
+    def test_allocation_results_identical_with_and_without_tracer(self):
+        """Tracing must be purely observational: same assignment, same
+        stats, span by span."""
+        traced, _ = traced_allocation()
+        module = compile_source(SOURCE, "probe")
+        untraced = allocate_module(module, small_target(), "briggs")
+        assert named_assignments(traced) == named_assignments(untraced)
+        for name, result in traced.results.items():
+            other = untraced.results[name]
+            assert result.stats.to_dict()["totals"]["pass_count"] == \
+                other.stats.to_dict()["totals"]["pass_count"]
+            assert result.stats.spill_cost == other.stats.spill_cost
+
+
+class TestMerge:
+    def test_snapshot_absorb_sums_counters_and_extends_events(self):
+        first = Tracer()
+        with first.span("a"):
+            pass
+        first.add("hits", 2)
+        second = Tracer()
+        with second.span("b"):
+            pass
+        second.add("hits", 3)
+        second.counter("edges", 7)
+        first.absorb(second.snapshot())
+        assert first.counters == {"hits": 5, "edges": 7}
+        assert first.span_names() == ["a", "b"]
+
+    def test_jobs2_trace_is_union_of_serial_spans(self):
+        """The parallel driver's merged trace must contain exactly the
+        serial run's spans (interleaving aside), with the same counter
+        totals and the same final assignment."""
+        serial_alloc, serial = traced_allocation(jobs=1)
+        parallel_alloc, parallel = traced_allocation(jobs=2)
+        assert parallel.span_names() == serial.span_names()
+        assert parallel.counters == serial.counters
+        assert named_assignments(parallel_alloc) == \
+            named_assignments(serial_alloc)
+
+    def test_jobs2_workers_keep_their_own_lanes(self):
+        _, parallel = traced_allocation(jobs=2)
+        pids = {event["pid"] for event in parallel.events}
+        assert len(pids) >= 2  # parent lane + worker lane(s)
+
+
+class TestOverhead:
+    @slow
+    def test_null_tracer_costs_under_two_percent_of_quicksort(self):
+        """The disabled-path budget from the design: the per-span cost of
+        the null tracer, times the number of tracer touchpoints a fully
+        traced quicksort allocation makes, must be under 2% of the
+        allocation's own runtime."""
+        from repro.workloads import get_workload
+
+        workload = get_workload("quicksort")
+        target = rt_pc().with_int_regs(12).with_float_regs(6)
+
+        samples = []
+        for _ in range(3):
+            module = workload.compile()
+            started = time.perf_counter()
+            allocate_module(module, target, "briggs")
+            samples.append(time.perf_counter() - started)
+        alloc_time = sorted(samples)[1]
+
+        tracer = Tracer()
+        allocate_module(workload.compile(), target, "briggs", tracer=tracer)
+        spans = sum(1 for e in tracer.events if e["ph"] == "B")
+        samples_c = sum(1 for e in tracer.events if e["ph"] == "C")
+        touchpoints = spans + samples_c + len(tracer.counters)
+
+        iterations = 50_000
+        started = time.perf_counter()
+        for _ in range(iterations):
+            with NULL_TRACER.span("x", cat="phase"):
+                pass
+            NULL_TRACER.add("y")
+        per_touch = (time.perf_counter() - started) / (2 * iterations)
+
+        overhead = per_touch * touchpoints
+        assert overhead < 0.02 * alloc_time, (
+            f"null-tracer overhead {overhead * 1e6:.1f}us exceeds 2% of "
+            f"allocation time {alloc_time * 1e3:.2f}ms "
+            f"({touchpoints} touchpoints)"
+        )

@@ -37,10 +37,11 @@ class PressureCrasher(BriggsAllocator):
     per-function — not whole-module — fallback is observable: ``leaf``
     must still get its normal briggs allocation."""
 
-    def allocate_class(self, graph, costs, color_order=None):
+    def allocate_class(self, graph, costs, color_order=None, tracer=None):
         if graph.num_vreg_nodes >= 4:
             raise AllocationError("injected: refusing the large function")
-        return super().allocate_class(graph, costs, color_order)
+        return super().allocate_class(graph, costs, color_order,
+                                      tracer=tracer)
 
 
 def compiled():

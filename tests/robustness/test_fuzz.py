@@ -34,8 +34,9 @@ class BrokenBriggs(BriggsAllocator):
 
     THRESHOLD = 4
 
-    def allocate_class(self, graph, costs, color_order=None):
-        outcome = super().allocate_class(graph, costs, color_order)
+    def allocate_class(self, graph, costs, color_order=None, tracer=None):
+        outcome = super().allocate_class(graph, costs, color_order,
+                                         tracer=tracer)
         if graph.num_vreg_nodes >= self.THRESHOLD:
             for vreg in list(outcome.colors):
                 outcome.colors[vreg] = 0

@@ -157,8 +157,10 @@ class TestSubsetGuarantee:
         import repro.robustness.oracle as oracle_module
 
         class SpillyBriggs(BriggsAllocator):
-            def allocate_class(self, graph, costs, color_order=None):
-                outcome = super().allocate_class(graph, costs, color_order)
+            def allocate_class(self, graph, costs, color_order=None,
+                               tracer=None):
+                outcome = super().allocate_class(graph, costs, color_order,
+                                                 tracer=tracer)
                 if outcome.colors:
                     victim = sorted(
                         outcome.colors, key=lambda v: v.id

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -109,3 +111,51 @@ class TestWorkloads:
         out = capsys.readouterr().out
         for name in ("svd", "linpack", "quicksort"):
             assert name in out
+
+
+class TestAllocateJson:
+    def test_json_file_alongside_table(self, source_file, tmp_path, capsys):
+        out = tmp_path / "metrics.json"
+        assert main(["allocate", source_file, "--json", str(out)]) == 0
+        assert "Routine" in capsys.readouterr().out
+        document = json.loads(out.read_text())
+        assert document["schema"] == "repro-metrics/1"
+        assert document["meta"]["method"] == "briggs"
+        assert "p" in document["functions"]
+        for pass_dict in document["functions"]["p"]["stats"]["passes"]:
+            assert "reused" in pass_dict
+            assert "webs_split" in pass_dict
+
+    def test_json_dash_replaces_table_on_stdout(self, source_file, capsys):
+        assert main(["allocate", source_file, "--json", "-"]) == 0
+        out = capsys.readouterr().out
+        document = json.loads(out)  # pure JSON — no table mixed in
+        assert document["schema"] == "repro-metrics/1"
+
+
+class TestTrace:
+    def test_writes_valid_chrome_trace(self, tmp_path, capsys):
+        from repro.observability import validate_chrome_trace
+
+        out = tmp_path / "trace.json"
+        assert main(["trace", "quicksort", "--out", str(out)]) == 0
+        summary = validate_chrome_trace(out)
+        assert summary["spans"] > 0
+        assert summary["counters"] > 0
+        assert "spans" in capsys.readouterr().err
+
+    def test_metrics_sidecar(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.json"
+        assert main([
+            "trace", "quicksort", "--out", str(out),
+            "--metrics", str(metrics),
+        ]) == 0
+        document = json.loads(metrics.read_text())
+        assert document["schema"] == "repro-metrics/1"
+        assert document["meta"]["workload"] == "quicksort"
+        assert document["counters"]["live_ranges"] > 0
+
+    def test_unknown_workload(self, capsys):
+        assert main(["trace", "nonesuch"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
