@@ -9,7 +9,7 @@
 #   make fuzz          — bounded smoke-fuzz campaign: fixed seed, both
 #                        allocators under full paranoia, exact oracles,
 #                        minimizing shrinker; bundles in results/fuzz/
-#   make bench         — time the allocator hot path, write BENCH_PR5.json
+#   make bench         — time the allocator hot path, write BENCH_PR6.json
 #   make trace         — allocate $(TRACE_WORKLOAD) with tracing on; the
 #                        Chrome trace + metrics land in results/
 #   make bench-diff    — compare $(BENCH_NEW) against $(BENCH_BASE) with
@@ -19,8 +19,8 @@ PYTHON ?= python
 FUZZ_SEED ?= 0
 FUZZ_ITERS ?= 150
 TRACE_WORKLOAD ?= quicksort
-BENCH_BASE ?= BENCH_PR1.json
-BENCH_NEW ?= BENCH_PR5.json
+BENCH_BASE ?= BENCH_PR5.json
+BENCH_NEW ?= BENCH_PR6.json
 
 .PHONY: test test-fast verify-faults fuzz bench trace bench-diff
 

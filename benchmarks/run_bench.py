@@ -4,11 +4,12 @@
 Times the Build–Simplify–Select phases and full module allocation on the
 two workloads the paper leans on hardest — CEDETA's generated GRADNT
 routine (the long-live-range stress case) and SVD (the motivating
-example) — and writes the results to a ``BENCH_*.json`` file so future
+example) — plus a whole-registry sweep and the wire-vs-pickle transport
+comparison, and writes the results to a ``BENCH_*.json`` file so future
 PRs can track the perf trajectory::
 
-    PYTHONPATH=src python benchmarks/run_bench.py            # -> BENCH_PR5.json
-    PYTHONPATH=src python benchmarks/run_bench.py --runs 9 --out BENCH_PR6.json
+    PYTHONPATH=src python benchmarks/run_bench.py            # -> BENCH_PR6.json
+    PYTHONPATH=src python benchmarks/run_bench.py --runs 9 --out BENCH_PR7.json
 
 Schema: ``repro-bench/1`` — ``{"schema": ..., "phases": {phase:
 {"median_s": float, "runs": int}}}``, written through
@@ -31,7 +32,20 @@ Phases
 ``alloc_<wl>``
     Full serial ``allocate_module`` (fresh compile each run).
 ``alloc_<wl>_jobs<N>``
-    Same, fanned out over a process pool (only emitted with ``--jobs``).
+    Same, through the persistent warm worker pool (``--jobs``, default 2;
+    0 skips).  The first sample pays the pool warm-up; later samples hit
+    the warm pool and the content-addressed response cache, which is the
+    point — the median reports the steady state a compile server sees.
+``alloc_registry_all`` / ``alloc_registry_all_jobs<N>``
+    Every registry workload allocated back-to-back, serial vs pooled.
+    ``alloc_registry_all_jobs1`` is the serial path under its pool-era
+    label (``jobs=1`` never leaves the process).
+    ``alloc_registry_all_jobs<N>_nocache`` repeats the pooled sweep with
+    the response cache disabled — warm-pool dispatch cost, honestly.
+``wire_encode_registry`` / ``wire_decode_registry`` /
+``pickle_encode_registry`` / ``pickle_decode_registry``
+    The transport codecs over every registry function; payload sizes land
+    in the document's top-level ``wire`` section.
 """
 
 from __future__ import annotations
@@ -249,27 +263,114 @@ def bench_workload(workload_name: str, routine: str, runs: int, jobs: int,
         }
 
 
+def bench_registry(runs: int, jobs: int, results: dict) -> None:
+    """Whole-registry sweep: serial, pooled, and pooled-without-cache."""
+    from repro.regalloc.pool import RESPONSE_CACHE, shutdown_pools
+    from repro.workloads import all_workloads
+
+    target = rt_pc()
+    workloads = [all_workloads()[name] for name in sorted(all_workloads())]
+
+    def sweep(sweep_jobs: int, cache: bool = True):
+        for workload in workloads:
+            allocate_module(
+                workload.compile(), target, "briggs",
+                jobs=sweep_jobs, cache=cache,
+            )
+
+    results["alloc_registry_all"] = {
+        "median_s": _median_time(lambda: sweep(1), runs),
+        "runs": runs,
+    }
+    results["alloc_registry_all_jobs1"] = {
+        "median_s": _median_time(lambda: sweep(1), runs),
+        "runs": runs,
+    }
+    if jobs > 1:
+        shutdown_pools()
+        RESPONSE_CACHE.clear()
+        results[f"alloc_registry_all_jobs{jobs}"] = {
+            "median_s": _median_time(lambda: sweep(jobs), runs),
+            "runs": runs,
+        }
+        RESPONSE_CACHE.clear()
+        results[f"alloc_registry_all_jobs{jobs}_nocache"] = {
+            "median_s": _median_time(lambda: sweep(jobs, cache=False), runs),
+            "runs": runs,
+        }
+
+
+def bench_wire(runs: int, results: dict) -> dict:
+    """Wire codec vs pickle over every registry function: encode/decode
+    medians as phases, payload sizes returned for the ``wire`` section."""
+    import pickle
+
+    from repro.ir.wire import decode_function, encode_function
+    from repro.workloads import all_workloads
+
+    functions = [
+        function
+        for name in sorted(all_workloads())
+        for function in all_workloads()[name].compile()
+    ]
+    wire_texts = [encode_function(f) for f in functions]
+    pickles = [pickle.dumps(f) for f in functions]
+
+    results["wire_encode_registry"] = {
+        "median_s": _median_time(
+            lambda: [encode_function(f) for f in functions], runs),
+        "runs": runs,
+    }
+    results["pickle_encode_registry"] = {
+        "median_s": _median_time(
+            lambda: [pickle.dumps(f) for f in functions], runs),
+        "runs": runs,
+    }
+    results["wire_decode_registry"] = {
+        "median_s": _median_time(
+            lambda: [decode_function(t) for t in wire_texts], runs),
+        "runs": runs,
+    }
+    results["pickle_decode_registry"] = {
+        "median_s": _median_time(
+            lambda: [pickle.loads(b) for b in pickles], runs),
+        "runs": runs,
+    }
+
+    wire_bytes = sum(len(t.encode()) for t in wire_texts)
+    pickle_bytes = sum(len(b) for b in pickles)
+    return {
+        "functions": len(functions),
+        "wire_bytes": wire_bytes,
+        "pickle_bytes": pickle_bytes,
+        "pickle_to_wire_ratio": round(pickle_bytes / wire_bytes, 2),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--out",
         default=str(pathlib.Path(__file__).resolve().parent.parent
-                    / "BENCH_PR5.json"),
-        help="output JSON path (default BENCH_PR5.json at the repo root)",
+                    / "BENCH_PR6.json"),
+        help="output JSON path (default BENCH_PR6.json at the repo root)",
     )
     parser.add_argument("--runs", type=int, default=5,
                         help="samples per phase; the median is reported")
-    parser.add_argument("--jobs", type=int, default=0,
-                        help="also time allocate_module with this many "
-                             "processes (0 = skip)")
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="also time allocate_module through the worker "
+                             "pool with this many processes (0 = skip)")
     args = parser.parse_args(argv)
 
     results: dict = {}
     for workload_name, routine in WORKLOADS:
         bench_workload(workload_name, routine, args.runs, args.jobs, results)
+    bench_registry(args.runs, args.jobs, results)
+    wire_sizes = bench_wire(args.runs, results)
 
     out = write_metrics_json(
-        {"schema": BENCH_SCHEMA, "phases": results}, args.out
+        {"schema": BENCH_SCHEMA, "phases": results, "wire": wire_sizes},
+        args.out,
     )
 
     width = max(len(name) for name in results)
@@ -279,6 +380,14 @@ def main(argv=None) -> int:
         seed = results[f"build_seed_{workload_name}"]["median_s"]
         new = results[f"build_{workload_name}"]["median_s"]
         print(f"build speedup vs seed ({workload_name}): {seed / new:.2f}x")
+    if args.jobs > 1:
+        serial = results["alloc_registry_all_jobs1"]["median_s"]
+        pooled = results[f"alloc_registry_all_jobs{args.jobs}"]["median_s"]
+        print(f"registry pool speedup (jobs={args.jobs}): "
+              f"{serial / pooled:.2f}x")
+    print(f"wire payload: {wire_sizes['wire_bytes']} B vs pickle "
+          f"{wire_sizes['pickle_bytes']} B "
+          f"({wire_sizes['pickle_to_wire_ratio']}x smaller)")
     print(f"wrote {out}")
     return 0
 

@@ -85,6 +85,7 @@ def _alloc_kwargs(args) -> dict:
         "retries": args.retries,
         "bundle_dir": args.bundle_dir,
         "paranoia": args.paranoia,
+        "cache": not args.no_cache,
     }
 
 
@@ -280,7 +281,7 @@ def cmd_verify(args) -> int:
                 module, target, method,
                 jobs=args.jobs, policy=args.policy, timeout=args.timeout,
                 retries=args.retries, bundle_dir=args.bundle_dir,
-                paranoia=args.paranoia,
+                paranoia=args.paranoia, cache=not args.no_cache,
             )
             report = verify_allocation(
                 module, allocation, entry=args.entry, baseline=baseline
@@ -423,8 +424,17 @@ def build_parser() -> argparse.ArgumentParser:
             type=int,
             default=1,
             help=(
-                "allocate functions in parallel over N processes "
-                "(0 = one per CPU; default 1 = serial)"
+                "allocate functions over the persistent worker pool with "
+                "N processes (0 = one per CPU, clamped to the function "
+                "count; default 1 = serial)"
+            ),
+        )
+        p.add_argument(
+            "--no-cache",
+            action="store_true",
+            help=(
+                "disable the pool's content-addressed response cache "
+                "(identical parallel requests then always re-dispatch)"
             ),
         )
         p.add_argument(
@@ -577,6 +587,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--float-regs", type=int, default=6,
                    help="validation target FPRs (default 6)")
     p.add_argument("--jobs", type=int, default=1)
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the worker pool's response cache")
     p.add_argument("--policy",
                    choices=["raise", "degrade-to-naive", "skip"],
                    default="raise")

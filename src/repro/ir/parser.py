@@ -3,6 +3,13 @@
 Used by tests (round-trip property) and handy for writing IR fixtures by
 hand.  The parser is line-oriented and regex-based; it reconstructs virtual
 registers with their printed ids so a parse→print cycle is the identity.
+
+Understands the printer's post-allocation annotations: ``!`` spill-temp
+suffixes on operands and the optional ``spills=N`` / ``labels=M`` header
+fields, so spilled functions (crash bundles, fixtures) reparse with the
+spiller's bookkeeping intact.  The wire codec (:mod:`repro.ir.wire`) is
+the terse machine sibling of this grammar; its round-trip property tests
+cover both.
 """
 
 from __future__ import annotations
@@ -19,10 +26,15 @@ from repro.ir.values import RClass, VReg
 _FUNC_RE = re.compile(
     r"^func @(?P<name>\w+)\((?P<params>[^)]*)\)"
     r"(?:\s*->\s*(?P<result>[if]))?"
-    r"\s*frame=\[(?P<frame>.*)\]\s*\{$"
+    r"\s*frame=\[(?P<frame>.*)\]"
+    r"(?:\s+spills=(?P<spills>\d+))?"
+    r"(?:\s+labels=(?P<labels>\d+))?"
+    r"\s*\{$"
 )
 _LABEL_RE = re.compile(r"^(?P<label>\w+):$")
-_VREG_RE = re.compile(r"^%(?P<cls>[if])(?P<id>\d+)(?::(?P<name>\w+))?$")
+_VREG_RE = re.compile(
+    r"^%(?P<cls>[if])(?P<id>\d+)(?::(?P<name>\w+))?(?P<spill>!)?$"
+)
 _CALL_RE = re.compile(
     r"^(?:(?P<def>%\S+)\s*=\s*)?call @(?P<callee>\w+)\((?P<args>[^)]*)\)$"
 )
@@ -46,7 +58,8 @@ class _FunctionParser:
         rclass = RClass.INT if match.group("cls") == "i" else RClass.FLOAT
         vreg = self.vregs.get(vid)
         if vreg is None:
-            vreg = VReg(vid, rclass, match.group("name") or "t")
+            vreg = VReg(vid, rclass, match.group("name") or "t",
+                        is_spill_temp=match.group("spill") is not None)
             self.vregs[vid] = vreg
         elif vreg.rclass != rclass:
             raise IRError(f"vreg %{vid} used with two classes")
@@ -145,6 +158,10 @@ def parse_module(text: str, name: str = "module") -> Module:
                 else (RClass.INT if result == "i" else RClass.FLOAT)
             )
             parser = _FunctionParser(header.group("name"), result_class)
+            if header.group("spills"):
+                parser.function.spill_slots = int(header.group("spills"))
+            if header.group("labels"):
+                parser.function._next_label = int(header.group("labels"))
             for text_param in _split_operands(header.group("params")):
                 vreg = parser.intern(text_param)
                 parser.function.params.append(vreg)

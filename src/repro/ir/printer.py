@@ -11,7 +11,16 @@ Format example::
     }
 
 The grammar is intentionally regular so :mod:`repro.ir.parser` can read it
-back; the round trip is covered by the test suite.
+back; the round trip is covered by the test suite.  For machine-to-machine
+transport (the persistent worker pool) there is a terse sibling encoding in
+:mod:`repro.ir.wire`; this printer stays the human format.
+
+Post-allocation state is carried so crash bundles and fixtures survive a
+round trip without losing the spiller's bookkeeping: spill temporaries
+print with a ``!`` suffix (``%i12:n!``), and the header records the spill
+slot count and the label counter when they are non-zero (``func @p()
+frame=[] spills=3 labels=7 {``) — a reparsed function can then keep
+generating fresh, collision-free block labels.
 """
 
 from __future__ import annotations
@@ -22,6 +31,8 @@ from repro.ir.module import Module
 
 
 def format_operand(vreg) -> str:
+    if vreg.is_spill_temp:
+        return vreg.pretty() + "!"
     return vreg.pretty()
 
 
@@ -57,12 +68,19 @@ def format_instr(instr: Instr) -> str:
 
 def print_function(function: Function) -> str:
     """Render a whole function."""
-    params = ", ".join(p.pretty() for p in function.params)
+    params = ", ".join(format_operand(p) for p in function.params)
     frame = ", ".join(
         f"{a.name}[{a.size}]" for a in function.frame_arrays.values()
     )
     result = f" -> {function.result_class}" if function.result_class else ""
-    lines = [f"func @{function.name}({params}){result} frame=[{frame}] {{"]
+    extra = ""
+    if function.spill_slots:
+        extra += f" spills={function.spill_slots}"
+    if function._next_label:
+        extra += f" labels={function._next_label}"
+    lines = [
+        f"func @{function.name}({params}){result} frame=[{frame}]{extra} {{"
+    ]
     for block in function.blocks:
         lines.append(f"{block.label}:")
         for instr in block.instrs:

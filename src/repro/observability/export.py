@@ -142,13 +142,33 @@ def validate_chrome_trace(path) -> dict:
 # ----------------------------------------------------------------------
 
 
+def pool_diagnostics() -> dict | None:
+    """Worker-pool and response-cache counters for the current process,
+    or ``None`` when no persistent pool was ever used.
+
+    The pool (:mod:`repro.regalloc.pool`) is process-global state, so
+    these numbers cover every ``allocate_module(jobs>1)`` call so far —
+    dispatch/batch counts, warm starts and restarts per pool, and the
+    content-addressed cache's hit/miss tallies.
+    """
+    from repro.regalloc.pool import RESPONSE_CACHE, active_pools
+
+    pools = [pool.stats() for pool in active_pools()]
+    cache = RESPONSE_CACHE.stats()
+    if not pools and not (cache["hits"] or cache["misses"]):
+        return None
+    return {"pools": pools, "response_cache": cache}
+
+
 def metrics_document(allocation, tracer=None, meta=None) -> dict:
     """The full ``repro-metrics/1`` document for one module allocation.
 
     ``allocation`` is a :class:`repro.regalloc.driver.ModuleAllocation`;
     ``tracer`` (optional) contributes its accumulated counters; ``meta``
     (optional dict) is carried through verbatim (workload name, seed,
-    command line, ...).
+    command line, ...).  When the allocation used the persistent worker
+    pool, a ``pool`` section (:func:`pool_diagnostics`) records dispatch,
+    warm-start, restart, and cache-hit counters.
     """
     from repro.regalloc.export import allocation_to_dict
 
@@ -197,6 +217,9 @@ def metrics_document(allocation, tracer=None, meta=None) -> dict:
     }
     if allocation.parallel_fallback:
         document["parallel_fallback"] = allocation.parallel_fallback
+    diagnostics = pool_diagnostics()
+    if diagnostics is not None:
+        document["pool"] = diagnostics
     if tracer is not None and getattr(tracer, "counters", None):
         document["counters"] = dict(sorted(tracer.counters.items()))
     if meta:

@@ -538,13 +538,15 @@ class ModuleAllocation:
 
 
 def _allocate_worker(function, target, method, kwargs, trace=False):
-    """Process-pool entry point: allocate one pickled function copy.
+    """Pre-pool process-pool entry point, kept as the transport-free
+    reference: allocate one pickled function copy in-process.
 
-    Returns ``(result, trace_snapshot)``.  When the parent requested
-    tracing, the worker runs with its own fresh :class:`Tracer` — events
-    stamped with the *worker's* pid — and ships the picklable snapshot
-    back for the parent to merge, giving the combined trace one process
-    lane per worker.
+    Returns ``(result, trace_snapshot)``.  The persistent-pool path
+    (:mod:`repro.regalloc.pool`) supersedes this for dispatch — workers
+    there receive wire text, not pickled functions — but the semantics
+    (fresh tracer stamped with the worker's pid, snapshot shipped back)
+    are identical, and the wire round-trip property tests pin the two
+    transports to the same results.
     """
     tracer = Tracer() if trace else None
     result = allocate_function(
@@ -677,25 +679,30 @@ def _serial_retry(function, target, method, kwargs, retries):
 
 def _parallel_results(module, functions, target, method, kwargs, jobs,
                       timeout, retries, policy, bundle_dir, failures,
-                      tracer=NULL_TRACER):
-    """Allocate ``functions`` over a process pool.
+                      tracer=NULL_TRACER, cache=True):
+    """Allocate ``functions`` over the persistent worker pool.
 
-    Each worker receives a pickled copy of its function and returns the
-    allocated copy (spill code inserted) together with the assignment over
-    that copy's registers; the parent swaps the copies into the module so
+    Functions travel to the warm pool (:mod:`repro.regalloc.pool`) as
+    compact wire text, batched largest-first; responses carry the
+    allocated function's wire text plus the assignment and stats, and
+    the parent decodes and swaps the allocated copies into the module so
     every downstream consumer (simulator, encoder) sees one consistent
-    object graph.
+    object graph.  With ``cache`` (and a string method name, tracing
+    off), finished responses are stored content-addressed and replayed
+    on identical requests without dispatching at all.
 
     Failure handling is *per function*: a crashed worker is retried
-    in-process up to ``retries`` times; a worker exceeding ``timeout``
-    seconds is abandoned (the pool is terminated once all collectable
-    results are in, so a wedged process cannot outlive the call); whatever
+    in-process up to ``retries`` times; a batch exceeding its share of
+    ``timeout`` is abandoned and the wedged pool restarted (terminated,
+    respawned lazily — a hung process cannot outlive the call); whatever
     still fails goes through ``policy``.  Returns ``(results, reason)``
-    where ``results`` is ``None`` only when the pool cannot be used at all
-    (non-picklable strategy or target) — that reason is recorded, warned
-    about, and the caller runs the whole module serially.
+    where ``results`` is ``None`` only when the pool cannot be used at
+    all (non-picklable strategy or target) — that reason is recorded,
+    warned about, and the caller runs the whole module serially.
     """
     import multiprocessing
+
+    from repro.regalloc import pool as pool_mod
 
     try:
         pickle.dumps((method, target))
@@ -709,66 +716,112 @@ def _parallel_results(module, functions, target, method, kwargs, jobs,
 
     method_name = _method_for(method).name
     results: dict = {}
-    workers = max(1, min(jobs, len(functions)))
-    pool = multiprocessing.get_context().Pool(processes=workers)
-    terminate = False
+    cacheable = cache and isinstance(method, str) and not tracer.enabled
+    workers = pool_mod.resolve_jobs(jobs, len(functions))
+
+    def collect(function, response, started):
+        """Materialize one response into ``results``, or run it through
+        retry + policy; mirrors the per-function semantics of the
+        pre-pool driver."""
+        if response[0] == "error":
+            result, attempts, retry_error = _serial_retry(
+                function, target, method, kwargs, retries
+            )
+            if result is None:
+                result = _handle_failure(
+                    function, target, method_name,
+                    retry_error or response[1], policy, failures,
+                    bundle_dir, elapsed=time.perf_counter() - started,
+                    retries=attempts, phase="worker-crash",
+                )
+        else:
+            result, snapshot = pool_mod.materialize_response(
+                response, target, method_name
+            )
+            if snapshot is not None:
+                tracer.absorb(snapshot)
+        if result is not None:
+            module.functions[result.function.name] = result.function
+            results[result.function.name] = result
+
+    # Requests: (function, wire text, cache key or None).  Cache hits
+    # are materialized immediately; only misses reach the pool.
+    dispatch = []
+    for function in functions:
+        wire_text = pool_mod.encode_request(function)
+        key = (
+            pool_mod.cache_key(wire_text, target, method, kwargs)
+            if cacheable else None
+        )
+        hit = pool_mod.RESPONSE_CACHE.get(key)
+        if hit is not None:
+            collect(function, hit, time.perf_counter())
+        else:
+            dispatch.append((function, wire_text, key))
+
+    pool = pool_mod.get_pool(workers)
+    batches = pool_mod.plan_batches(
+        dispatch, workers, weight=lambda item: len(item[1])
+    )
+    pending = [
+        (batch,
+         pool.submit([text for _f, text, _k in batch], target, method,
+                     kwargs, tracer.enabled))
+        for batch in batches
+    ]
+    wedged = False
     try:
-        pending = [
-            (function,
-             pool.apply_async(_allocate_worker,
-                              (function, target, method, kwargs,
-                               tracer.enabled)))
-            for function in functions
-        ]
-        for function, async_result in pending:
+        for batch, async_result in pending:
             started = time.perf_counter()
+            budget = None if timeout is None else timeout * len(batch)
             try:
-                result, trace_snapshot = async_result.get(timeout)
-                if trace_snapshot is not None:
-                    tracer.absorb(trace_snapshot)
+                responses = async_result.get(budget)
             except KeyboardInterrupt:
-                terminate = True
+                wedged = True
                 raise
             except multiprocessing.TimeoutError:
-                # The worker may be wedged in a non-terminating allocation;
-                # do not retry in-process (it would wedge the parent) and
-                # make sure the pool is killed, not joined, on the way out.
-                terminate = True
-                error = DriverTimeoutError(
-                    f"allocation of {function.name} exceeded "
-                    f"{timeout:g}s in a worker",
-                    context={"function": function.name, "timeout": timeout},
-                )
-                result = _handle_failure(
-                    function, target, method_name, error, policy, failures,
-                    bundle_dir, elapsed=time.perf_counter() - started,
-                    retries=0, phase="worker-timeout",
-                )
-            except Exception as error:
-                # The worker crashed (or raised a clean AllocationError).
-                # Transient failures heal on an in-process retry;
-                # deterministic ones fail identically and reach the policy
-                # with the retry error's full context.
-                result, attempts, retry_error = _serial_retry(
-                    function, target, method, kwargs, retries
-                )
-                if result is None:
-                    result = _handle_failure(
-                        function, target, method_name, retry_error or error,
-                        policy, failures, bundle_dir,
-                        elapsed=time.perf_counter() - started,
-                        retries=attempts, phase="worker-crash",
+                # Some worker is wedged in a non-terminating allocation;
+                # do not retry in-process (it would wedge the parent).
+                # Every function in the lost batch is charged the
+                # timeout; the pool is restarted on the way out.
+                wedged = True
+                elapsed = time.perf_counter() - started
+                for function, _text, _key in batch:
+                    error = DriverTimeoutError(
+                        f"allocation of {function.name} exceeded "
+                        f"{timeout:g}s in a worker",
+                        context={"function": function.name,
+                                 "timeout": timeout},
                     )
-            if result is not None:
-                module.functions[result.function.name] = result.function
-                results[result.function.name] = result
+                    result = _handle_failure(
+                        function, target, method_name, error, policy,
+                        failures, bundle_dir, elapsed=elapsed,
+                        retries=0, phase="worker-timeout",
+                    )
+                    if result is not None:
+                        module.functions[function.name] = result.function
+                        results[function.name] = result
+                continue
+            except Exception as error:
+                # Transport-level batch loss (worker killed hard, or its
+                # response did not unpickle): per-function retry + policy,
+                # exactly as a per-function crash.
+                for function, _text, _key in batch:
+                    collect(function, ("error", error), started)
+                continue
+            for (function, _text, key), response in zip(batch, responses):
+                if response[0] != "error":
+                    pool_mod.RESPONSE_CACHE.put(key, response)
+                collect(function, response, started)
     finally:
-        if terminate:
-            pool.terminate()
-        else:
-            pool.close()
-        pool.join()
-    return results, None
+        if wedged:
+            pool.restart()
+    # Module order, independent of batch schedule.
+    ordered = {
+        function.name: results[function.name]
+        for function in functions if function.name in results
+    }
+    return ordered, None
 
 
 def allocate_module(
@@ -787,14 +840,19 @@ def allocate_module(
     retries: int = 1,
     bundle_dir=None,
     tracer=None,
+    cache: bool = True,
 ) -> ModuleAllocation:
     """Allocate every function of a module (in place).
 
-    ``jobs`` > 1 allocates functions concurrently in a process pool —
-    functions are independent, so the outcome is identical to the serial
-    path (``jobs=1``), just faster on multi-function modules.  ``jobs=0``
-    uses one worker per CPU.  Non-picklable strategy objects fall back to
-    serial allocation, with the reason recorded on
+    ``jobs`` > 1 allocates functions concurrently over the persistent
+    worker pool (:mod:`repro.regalloc.pool`) — functions are
+    independent, so the outcome is identical to the serial path
+    (``jobs=1``), just cheaper to repeat: the pool is warmed once per
+    process, requests travel as compact wire text, and with ``cache``
+    (the default) finished responses are replayed content-addressed on
+    identical requests.  ``jobs=0`` auto-detects one worker per CPU,
+    clamped to the number of functions.  Non-picklable strategy objects
+    fall back to serial allocation, with the reason recorded on
     :attr:`ModuleAllocation.parallel_fallback`.
 
     ``paranoia`` enables phase-boundary invariant checking in every
@@ -822,12 +880,12 @@ def allocate_module(
         "validate": validate,
         "paranoia": coerce_paranoia(paranoia),
     }
-    if jobs == 0:
-        import os
-
-        jobs = os.cpu_count() or 1
     method_name = _method_for(method).name
     functions = list(module)
+    if jobs != 1:
+        from repro.regalloc.pool import resolve_jobs
+
+        jobs = resolve_jobs(jobs, max(1, len(functions)))
     failures: list = []
     results = None
     fallback_reason = None
@@ -837,7 +895,7 @@ def allocate_module(
             results, fallback_reason = _parallel_results(
                 module, functions, target, method, kwargs, jobs,
                 timeout, retries, policy, bundle_dir, failures,
-                tracer=tracer,
+                tracer=tracer, cache=cache,
             )
         if results is None:
             results = {}

@@ -1,0 +1,452 @@
+"""Persistent warm worker pool: the parallel driver's transport layer.
+
+PR 1's parallel driver created a process pool inside every
+``allocate_module`` call and pickled whole :class:`~repro.ir.function
+.Function` objects both ways.  On the benchmark workloads the spawn plus
+the pickling cost more than the coloring itself — BENCH_PR1/PR5 both
+show ``jobs=2`` ~1.7x *slower* than serial.  This module replaces that
+per-call machinery with three pieces:
+
+* **a persistent pool** (:class:`WorkerPool`, obtained via
+  :func:`get_pool`) that is created lazily on first use, warms its
+  workers by importing the allocator stack once
+  (:func:`_warm_worker`), and is reused by every subsequent
+  ``allocate_module`` call in the process.  Pools are torn down at
+  interpreter exit (``atexit``), explicitly via :func:`shutdown_pools`,
+  or per-instance via the context-manager protocol.  A pool whose worker
+  wedged past its timeout is **restarted** (terminated and lazily
+  respawned), never joined — a hung allocation cannot outlive the call
+  that abandoned it.
+
+* **a compact wire transport** — requests carry functions as
+  :mod:`repro.ir.wire` text (~4.3x smaller than pickle on the registry
+  suite, and faster to encode) and responses carry only what the parent
+  needs to rebuild an :class:`~repro.regalloc.driver.AllocationResult`:
+  the allocated function's wire text, the assignment keyed by stable
+  vreg ids, the stats object, and the worker's tracer snapshot.  Whole
+  ``Function`` objects never cross the boundary.  The one exception is
+  ``paranoia != "off"``, where the result must keep its final-pass
+  interference graphs for :func:`repro.regalloc.invariants
+  .recheck_assignment`; graphs reference the worker's vreg objects, and
+  vreg equality is identity, so the function, assignment, graphs, and
+  stats ship as one pickle blob whose internal identities stay
+  consistent.
+
+* **size-aware batching** (:func:`plan_batches`) — functions are sorted
+  largest-first (by wire size, a faithful proxy for allocation work)
+  and distributed over batches with a greedy longest-processing-time
+  schedule, so one straggler cannot serialize the tail and small
+  functions amortize dispatch overhead by travelling together.  The
+  plan always produces at least ``min(workers, len(items))`` batches,
+  so per-function timeout and crash attribution stay sharp on the
+  fault-injection programs.
+
+On top of the transport sits a **content-addressed response cache**
+(:class:`ResponseCache`): the request wire text *is* a canonical digest
+of the function, so ``(wire text, target, method, kwargs)`` keys a
+finished allocation response.  A hit replays the worker's response
+without dispatching — decoding materializes a fresh object graph each
+time, so replays are indistinguishable from a live worker round trip
+and remain bit-identical to serial allocation.  The cache is the first
+concrete step toward the ROADMAP's allocation-as-a-service direction,
+and it only ever sees hashable, deterministic inputs: string method
+names (never stateful strategy objects) with tracing disabled.  The
+serial path is deliberately left uncached — it is the reference
+implementation every parallel result is compared against.
+
+Fault semantics from PR 2 are preserved end to end: workers contain
+per-function exceptions inside a batch (one crash cannot poison its
+batch-mates or the pool), timeouts are charged per function and
+terminate the wedged pool, and the driver's in-process retry and
+:class:`~repro.regalloc.driver.FailurePolicy` handling sit unchanged
+above this layer.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import pickle
+from collections import OrderedDict
+
+from repro.ir.wire import decode_function, encode_function
+
+__all__ = [
+    "WorkerPool",
+    "ResponseCache",
+    "RESPONSE_CACHE",
+    "get_pool",
+    "shutdown_pools",
+    "active_pools",
+    "resolve_jobs",
+    "plan_batches",
+    "encode_request",
+    "cache_key",
+    "materialize_response",
+]
+
+
+# ----------------------------------------------------------------------
+# Job-count resolution
+# ----------------------------------------------------------------------
+
+
+def resolve_jobs(jobs: int, eligible: int) -> int:
+    """The worker count for ``jobs`` over ``eligible`` functions.
+
+    ``jobs == 0`` auto-detects one worker per CPU; either way the count
+    is clamped to the number of eligible functions — a module with two
+    functions never spawns eight workers that would sit idle (the
+    pre-PR-6 auto-detect path skipped the clamp).
+    """
+    if jobs < 0:
+        from repro.errors import AllocationError
+
+        raise AllocationError(f"jobs must be >= 0, got {jobs}")
+    if jobs == 0:
+        jobs = os.cpu_count() or 1
+    return max(1, min(jobs, eligible))
+
+
+# ----------------------------------------------------------------------
+# Request encoding and batching
+# ----------------------------------------------------------------------
+
+
+def encode_request(function) -> str:
+    """The wire text shipped to a worker for one function."""
+    return encode_function(function)
+
+
+def plan_batches(items: list, workers: int, weight=len) -> list:
+    """Partition ``items`` into dispatch batches, largest first.
+
+    Greedy LPT schedule: sort by descending ``weight`` (ties broken by
+    original order, so the plan is deterministic), then place each item
+    into the currently lightest batch.  At least ``min(workers,
+    len(items))`` batches come back — never fewer, so every worker gets
+    work and single-function batches keep timeout attribution exact on
+    small modules — and batches are returned heaviest first, matching
+    the order they should be dispatched in.
+    """
+    if not items:
+        return []
+    count = min(len(items), max(1, workers))
+    batches = [[] for _ in range(count)]
+    loads = [0] * count
+    decorated = sorted(
+        enumerate(items), key=lambda pair: (-weight(pair[1]), pair[0])
+    )
+    for _original_index, item in decorated:
+        lightest = loads.index(min(loads))
+        batches[lightest].append(item)
+        loads[lightest] += weight(item)
+    order = sorted(range(count), key=lambda b: -loads[b])
+    return [batches[b] for b in order if batches[b]]
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+
+def _warm_worker() -> None:
+    """Pool initializer: pay every allocator import once, at warm-up,
+    instead of on the first dispatched function."""
+    import repro.regalloc.driver  # noqa: F401
+    import repro.regalloc.briggs  # noqa: F401
+    import repro.regalloc.chaitin  # noqa: F401
+    import repro.analysis.liveness  # noqa: F401
+
+
+def _allocate_one(wire_text, target, method, kwargs, trace):
+    """Allocate one wire-encoded function; returns a response tuple.
+
+    * ``("wire", text, {vreg_id: color}, stats, snapshot)`` — the normal
+      transport: the allocated function re-encoded, the assignment keyed
+      by stable vreg ids.
+    * ``("pickle", blob, snapshot)`` — the ``paranoia`` transport: the
+      retained interference graphs share vreg identities with the
+      function and assignment, so all four travel in one blob.
+    """
+    from repro.observability.trace import Tracer
+    from repro.regalloc.driver import allocate_function
+
+    function = decode_function(wire_text)
+    tracer = Tracer() if trace else None
+    result = allocate_function(function, target, method, tracer=tracer,
+                               **kwargs)
+    snapshot = tracer.snapshot() if trace else None
+    if result.graphs is not None:
+        blob = pickle.dumps(
+            (result.function, result.assignment, result.stats, result.graphs)
+        )
+        return ("pickle", blob, snapshot)
+    colors = {vreg.id: color for vreg, color in result.assignment.items()}
+    return ("wire", encode_function(result.function), colors, result.stats,
+            snapshot)
+
+
+def _allocate_batch(wire_texts, target, method, kwargs, trace):
+    """Pool entry point: allocate a batch, containing failures per
+    function — one crash yields an ``("error", exc)`` entry instead of
+    poisoning its batch-mates or killing the worker."""
+    responses = []
+    for wire_text in wire_texts:
+        try:
+            responses.append(
+                _allocate_one(wire_text, target, method, kwargs, trace)
+            )
+        except Exception as error:  # noqa: BLE001 — shipped to the parent
+            try:
+                pickle.dumps(error)
+            except Exception:
+                error = RuntimeError(repr(error))
+            responses.append(("error", error))
+    return responses
+
+
+# ----------------------------------------------------------------------
+# Parent side: response materialization
+# ----------------------------------------------------------------------
+
+
+def materialize_response(response, target, method_name):
+    """Rebuild ``(AllocationResult, trace_snapshot)`` from a worker
+    response.  Decoding creates a fresh object graph every call, so the
+    same (possibly cached) response can be materialized repeatedly."""
+    from repro.regalloc.driver import AllocationResult
+
+    kind = response[0]
+    if kind == "pickle":
+        _kind, blob, snapshot = response
+        function, assignment, stats, graphs = pickle.loads(blob)
+        return (
+            AllocationResult(function, target, method_name, assignment,
+                             stats, graphs=graphs),
+            snapshot,
+        )
+    _kind, wire_text, colors, stats, snapshot = response
+    function = decode_function(wire_text)
+    by_id = {vreg.id: vreg for vreg in function.vregs}
+    assignment = {by_id[vid]: color for vid, color in colors.items()}
+    return (
+        AllocationResult(function, target, method_name, assignment, stats),
+        snapshot,
+    )
+
+
+# ----------------------------------------------------------------------
+# Content-addressed response cache
+# ----------------------------------------------------------------------
+
+
+def _target_key(target) -> tuple:
+    return (
+        target.name,
+        target.int_regs,
+        target.float_regs,
+        tuple(sorted(target.int_caller_saved)),
+        tuple(sorted(target.float_caller_saved)),
+    )
+
+
+def cache_key(wire_text, target, method, kwargs):
+    """The content address of one allocation request, or ``None`` when
+    the request is not cacheable (a strategy *object* may be stateful —
+    fault injectors deliberately are — so only string method names
+    qualify)."""
+    if not isinstance(method, str):
+        return None
+    return (
+        wire_text,
+        _target_key(target),
+        method,
+        tuple(sorted(kwargs.items())),
+    )
+
+
+class ResponseCache:
+    """A bounded LRU over worker responses, keyed by content address.
+
+    Responses are stored as the re-pickled tuple, not live objects:
+    replaying a hit unpickles a fresh stats object (and the wire text
+    decodes to a fresh function), so no two
+    :class:`~repro.regalloc.driver.AllocationResult` instances ever
+    share mutable state through the cache.
+    """
+
+    def __init__(self, limit: int = 256):
+        self.limit = limit
+        self.hits = 0
+        self.misses = 0
+        self._entries: OrderedDict = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key):
+        if key is None:
+            return None
+        blob = self._entries.get(key)
+        if blob is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return pickle.loads(blob)
+
+    def put(self, key, response) -> None:
+        if key is None:
+            return
+        self._entries[key] = pickle.dumps(response)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.limit:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self._entries),
+            "limit": self.limit,
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+
+#: The process-wide response cache shared by every pool dispatch.
+RESPONSE_CACHE = ResponseCache()
+
+
+# ----------------------------------------------------------------------
+# The persistent pool
+# ----------------------------------------------------------------------
+
+
+class WorkerPool:
+    """A lazily-created, warm-once ``multiprocessing.Pool`` wrapper.
+
+    The underlying pool is spawned on the first :meth:`submit` and then
+    reused for every later dispatch — including across separate
+    ``allocate_module`` calls.  :meth:`restart` terminates a pool whose
+    worker wedged (the replacement is spawned lazily on next use);
+    :meth:`shutdown` ends its life for good.  Usable as a context
+    manager for scoped teardown in tests.
+    """
+
+    def __init__(self, processes: int):
+        self.processes = processes
+        self._pool = None
+        self.dispatches = 0
+        self.batches = 0
+        self.warm_starts = 0
+        self.restarts = 0
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def warm(self) -> bool:
+        """True once the underlying process pool exists."""
+        return self._pool is not None
+
+    def _ensure(self):
+        if self._pool is None:
+            import multiprocessing
+
+            self._pool = multiprocessing.get_context().Pool(
+                processes=self.processes, initializer=_warm_worker
+            )
+            self.warm_starts += 1
+        return self._pool
+
+    def worker_pids(self) -> list:
+        """Pids of the live worker processes (empty when cold)."""
+        if self._pool is None:
+            return []
+        return [proc.pid for proc in self._pool._pool]
+
+    def restart(self) -> None:
+        """Terminate the pool (killing any wedged worker); the next
+        submit spawns a fresh one."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+            self.restarts += 1
+
+    def shutdown(self) -> None:
+        """Graceful teardown: drain, close, join."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+    # -- dispatch ------------------------------------------------------
+
+    def submit(self, wire_texts, target, method, kwargs, trace):
+        """Dispatch one batch; returns the ``AsyncResult`` whose value
+        is the worker's list of response tuples."""
+        pool = self._ensure()
+        self.batches += 1
+        self.dispatches += len(wire_texts)
+        return pool.apply_async(
+            _allocate_batch, (wire_texts, target, method, kwargs, trace)
+        )
+
+    def stats(self) -> dict:
+        return {
+            "processes": self.processes,
+            "warm": self.warm,
+            "dispatches": self.dispatches,
+            "batches": self.batches,
+            "warm_starts": self.warm_starts,
+            "restarts": self.restarts,
+        }
+
+    def __repr__(self) -> str:
+        state = "warm" if self.warm else "cold"
+        return f"WorkerPool({self.processes} processes, {state})"
+
+
+_POOLS: dict = {}
+_ATEXIT_REGISTERED = False
+
+
+def get_pool(processes: int) -> WorkerPool:
+    """The shared persistent pool with ``processes`` workers.
+
+    One pool per worker count, created on first request and reused by
+    every later ``allocate_module`` call; all registered pools are torn
+    down at interpreter exit.
+    """
+    global _ATEXIT_REGISTERED
+    pool = _POOLS.get(processes)
+    if pool is None:
+        pool = _POOLS[processes] = WorkerPool(processes)
+        if not _ATEXIT_REGISTERED:
+            atexit.register(shutdown_pools)
+            _ATEXIT_REGISTERED = True
+    return pool
+
+
+def active_pools() -> list:
+    """Registered pools, warm or cold (introspection for tests/stats)."""
+    return list(_POOLS.values())
+
+
+def shutdown_pools() -> None:
+    """Shut down and forget every registered pool (atexit hook; also
+    callable explicitly, e.g. between test groups)."""
+    while _POOLS:
+        _processes, pool = _POOLS.popitem()
+        pool.shutdown()

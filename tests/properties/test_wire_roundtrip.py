@@ -1,0 +1,171 @@
+"""Round-trip properties of the two IR serializations.
+
+PR 6's worker pool ships functions as :mod:`repro.ir.wire` text, so the
+wire codec must be *exactly* lossless — every fact the allocator,
+simulator, or encoder can observe survives ``decode(encode(f))``,
+including the post-spill state (spill-temp flags, spill-slot counts, the
+label counter) and the full vreg table with its order.  The pretty
+printer/parser pair is the human channel; it interns only the registers
+that actually appear in the text, so its contract is *observable*
+equality — everything except dead vreg-table entries — plus textual
+fixpoint (``print(parse(print(f))) == print(f)``).
+
+Both properties run over every registry workload pre- and
+post-allocation, a hypothesis sweep of synthesized programs, and a
+seeded corpus drawn from the fuzzer's program generator
+(:func:`repro.robustness.fuzz.generate_ir_spec`), partially-spilled
+wreckage included.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AllocationError, IRError
+from repro.frontend import compile_source
+from repro.ir import parse_module, print_function, print_module
+from repro.ir.wire import (
+    decode_function,
+    decode_module,
+    encode_function,
+    encode_module,
+    function_fingerprint,
+    module_fingerprint,
+)
+from repro.machine.target import rt_pc
+from repro.regalloc import allocate_module
+from repro.robustness.fuzz import generate_ir_spec
+from repro.workloads import all_workloads
+from repro.workloads.synth import generate_program
+
+PRESSURED = rt_pc().with_int_regs(12).with_float_regs(6)
+
+
+def _observable_fingerprint(function):
+    """A :func:`function_fingerprint` restricted to what the textual
+    printer can carry: the vreg table is narrowed to registers that occur
+    in the code (params included) — dead table entries are the one thing
+    the human format deliberately drops."""
+    occurring = {p.id for p in function.params}
+    for _block, _index, instr in function.instructions():
+        occurring.update(v.id for v in instr.defs)
+        occurring.update(v.id for v in instr.uses)
+    full = list(function_fingerprint(function))
+    full[6] = tuple(row for row in full[6] if row[0] in occurring)
+    return tuple(full)
+
+
+def _assert_both_roundtrips(module):
+    for function in module:
+        # Wire: exact.
+        decoded = decode_function(encode_function(function))
+        assert function_fingerprint(decoded) == function_fingerprint(
+            function
+        )
+        # Pretty: observable state plus textual fixpoint.
+        text = print_function(function)
+        reparsed = parse_module(text).function(function.name)
+        assert _observable_fingerprint(reparsed) == _observable_fingerprint(
+            function
+        )
+        assert print_function(reparsed) == text
+    assert module_fingerprint(decode_module(encode_module(module))) == (
+        module_fingerprint(module)
+    )
+    assert print_module(parse_module(print_module(module))) == print_module(
+        module
+    )
+
+
+class TestRegistryRoundTrip:
+    @pytest.mark.parametrize("name", sorted(all_workloads()))
+    def test_pre_allocation(self, name):
+        _assert_both_roundtrips(all_workloads()[name].compile())
+
+    @pytest.mark.parametrize("name", sorted(all_workloads()))
+    def test_post_allocation(self, name):
+        """The allocated module carries the interesting state: spill
+        temporaries, spill slots, labels minted for spill code."""
+        module = all_workloads()[name].compile()
+        allocate_module(module, PRESSURED, "briggs")
+        assert any(f.spill_slots for f in module) or all(
+            not f.spill_slots for f in module
+        )
+        _assert_both_roundtrips(module)
+
+    def test_registry_wire_is_smaller_than_pickle(self):
+        import pickle
+
+        wire = total = 0
+        for name in sorted(all_workloads()):
+            for function in all_workloads()[name].compile():
+                wire += len(encode_function(function).encode())
+                total += len(pickle.dumps(function))
+        assert wire * 2 < total  # the measured ratio is ~4.3x
+
+
+class TestSynthesizedRoundTrip:
+    @given(seed=st.integers(min_value=0, max_value=100_000))
+    @settings(max_examples=25, deadline=None)
+    def test_synth_programs(self, seed):
+        module = compile_source(generate_program(seed))
+        _assert_both_roundtrips(module)
+        try:
+            allocate_module(module, PRESSURED, "briggs")
+        except AllocationError:
+            pass  # partially spill-rewritten IR must still round-trip
+        _assert_both_roundtrips(module)
+
+
+class TestFuzzCorpusRoundTrip:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_fuzz_corpus(self, seed):
+        """The fuzzer's program generator plus its drawn register-file
+        sizes: allocation against small files forces heavy spilling, the
+        worst case for serialization fidelity."""
+        spec = generate_ir_spec(random.Random(seed))
+        module = compile_source(spec.source)
+        _assert_both_roundtrips(module)
+        target = rt_pc().with_int_regs(spec.k_int).with_float_regs(
+            spec.k_float
+        )
+        try:
+            allocate_module(module, target, "briggs")
+        except AllocationError:
+            pass
+        _assert_both_roundtrips(module)
+
+
+class TestWireRejectsMalformedText:
+    def test_missing_header(self):
+        with pytest.raises(IRError, match="start with 'F'"):
+            decode_function(":entry\n.\n")
+
+    def test_missing_terminator(self):
+        with pytest.raises(IRError, match="unterminated"):
+            decode_function("F f - 0 0\n:entry0\n")
+
+    def test_unknown_opcode(self):
+        with pytest.raises(IRError, match="unknown wire opcode"):
+            decode_function("F f - 0 0\n:entry0\nzork 0\n.\n")
+
+    def test_unknown_vreg_id(self):
+        with pytest.raises(IRError, match="malformed wire instruction"):
+            decode_function("F f - 0 0\n:entry0\nli 7 1\n.\n")
+
+    def test_duplicate_vreg_id(self):
+        with pytest.raises(IRError, match="duplicate"):
+            decode_function("F f - 0 0\nV i0 i0\n.\n")
+
+    def test_instruction_before_block(self):
+        with pytest.raises(IRError, match="before first block"):
+            decode_function("F f - 0 0\nV i0\nli 0 1\n.\n")
+
+    def test_module_version_gate(self):
+        with pytest.raises(IRError, match="unsupported wire version"):
+            decode_module("M 99 m -\n")
+
+    def test_module_header_required(self):
+        with pytest.raises(IRError, match="module header"):
+            decode_module("F f - 0 0\n.\n")

@@ -1,0 +1,269 @@
+"""Lifecycle and caching behavior of the persistent worker pool.
+
+The pool's contract: warmed once and reused across ``allocate_module``
+calls, shut down cleanly (no leaked worker processes — context manager,
+explicit shutdown, and the ``atexit`` registration all tear it down),
+restarted (never joined) after a hung worker, and its content-addressed
+response cache replays *bit-identical* results without dispatching.
+Worker fault injection (``worker_crash`` / ``worker_hang``) must keep
+tripping at the driver layer on this transport.
+"""
+
+import os
+import pathlib
+import time
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.machine.target import rt_pc
+from repro.regalloc import allocate_module
+from repro.regalloc import pool as pool_mod
+from repro.regalloc.pool import (
+    RESPONSE_CACHE,
+    WorkerPool,
+    active_pools,
+    cache_key,
+    get_pool,
+    plan_batches,
+    resolve_jobs,
+    shutdown_pools,
+)
+from repro.robustness.faults import (
+    DEFAULT_FAULT_SOURCE,
+    default_fault_target,
+    probe_fault,
+)
+
+slow = pytest.mark.slow
+
+
+@pytest.fixture(autouse=True)
+def fresh_pool_state():
+    """Each test sees (and leaves behind) a cold registry and an empty
+    cache, so warm-start/hit counters are attributable."""
+    shutdown_pools()
+    RESPONSE_CACHE.clear()
+    yield
+    shutdown_pools()
+    RESPONSE_CACHE.clear()
+
+
+def _gone(pid: int, deadline: float = 5.0) -> bool:
+    """True once ``pid`` no longer exists (reaped or never started)."""
+    end = time.monotonic() + deadline
+    while time.monotonic() < end:
+        if not pathlib.Path(f"/proc/{pid}").exists():
+            return True
+        try:  # reap a zombie child if it is ours
+            os.waitpid(pid, os.WNOHANG)
+        except ChildProcessError:
+            pass
+        time.sleep(0.02)
+    return not pathlib.Path(f"/proc/{pid}").exists()
+
+
+def _module():
+    return compile_source(DEFAULT_FAULT_SOURCE)
+
+
+class TestResolveJobs:
+    def test_explicit_jobs_clamped_to_eligible_functions(self):
+        assert resolve_jobs(8, 2) == 2
+        assert resolve_jobs(2, 8) == 2
+        assert resolve_jobs(1, 5) == 1
+
+    def test_auto_detect_clamps_to_eligible_functions(self):
+        cpus = os.cpu_count() or 1
+        assert resolve_jobs(0, 1) == 1
+        assert resolve_jobs(0, 10_000) == cpus
+        assert resolve_jobs(0, 2) == min(cpus, 2)
+
+    def test_negative_jobs_rejected(self):
+        from repro.errors import AllocationError
+
+        with pytest.raises(AllocationError, match="jobs"):
+            resolve_jobs(-1, 4)
+
+    def test_jobs_zero_allocates_like_serial(self):
+        target = default_fault_target()
+        serial = allocate_module(_module(), target, "briggs")
+        auto = allocate_module(_module(), target, "briggs", jobs=0)
+        assert auto.parallel_fallback is None
+        assert set(auto.results) == set(serial.results)
+        assert auto.total_spilled() == serial.total_spilled()
+
+
+class TestPlanBatches:
+    def test_every_item_scheduled_exactly_once(self):
+        items = list(range(17))
+        batches = plan_batches(items, 4, weight=lambda i: i + 1)
+        flat = sorted(i for batch in batches for i in batch)
+        assert flat == items
+        assert len(batches) >= 4
+
+    def test_at_least_one_batch_per_worker(self):
+        # Two functions over two workers must not share a batch —
+        # per-function timeout attribution depends on it.
+        assert len(plan_batches(["a", "bb"], 2)) == 2
+        assert len(plan_batches(["a"], 4)) == 1
+        assert plan_batches([], 3) == []
+
+    def test_largest_first_and_deterministic(self):
+        items = ["aaaa", "b", "cc", "ddd", "e"]
+        batches = plan_batches(items, 2)
+        assert batches == plan_batches(list(items), 2)
+        # The heaviest batch is dispatched first, led by the largest item.
+        assert batches[0][0] == "aaaa"
+        loads = [sum(len(i) for i in b) for b in batches]
+        assert loads == sorted(loads, reverse=True)
+
+
+class TestPoolLifecycle:
+    def test_warm_once_across_two_allocate_module_calls(self):
+        target = default_fault_target()
+        allocate_module(_module(), target, "briggs", jobs=2, cache=False)
+        (pool,) = active_pools()
+        assert pool.warm and pool.warm_starts == 1
+        pids = pool.worker_pids()
+        assert pids
+        allocate_module(_module(), target, "briggs", jobs=2, cache=False)
+        assert active_pools() == [pool]
+        assert pool.worker_pids() == pids  # same processes, not respawned
+        assert pool.warm_starts == 1
+        assert pool.batches >= 2
+
+    def test_shutdown_reaps_every_worker(self):
+        allocate_module(
+            _module(), default_fault_target(), "briggs", jobs=2, cache=False
+        )
+        (pool,) = active_pools()
+        pids = pool.worker_pids()
+        shutdown_pools()
+        assert active_pools() == []
+        assert not pool.warm
+        for pid in pids:
+            assert _gone(pid), f"worker {pid} leaked past shutdown"
+
+    def test_context_manager_teardown(self):
+        with WorkerPool(2) as pool:
+            async_result = pool.submit(
+                [pool_mod.encode_request(next(iter(_module())))],
+                default_fault_target(), "briggs",
+                {"paranoia": "off"}, False,
+            )
+            responses = async_result.get(30)
+            assert responses[0][0] == "wire"
+            pids = pool.worker_pids()
+        assert not pool.warm
+        for pid in pids:
+            assert _gone(pid)
+
+    def test_atexit_hook_registered_on_first_pool(self):
+        assert not pool_mod._POOLS
+        get_pool(2)
+        assert pool_mod._ATEXIT_REGISTERED
+
+    def test_lazy_pools_spawn_no_processes(self):
+        pool = get_pool(3)
+        assert not pool.warm
+        assert pool.worker_pids() == []
+        shutdown_pools()  # shutting down a cold pool is a no-op
+        assert not pool.warm
+
+
+class TestResponseCache:
+    def test_second_call_is_served_from_cache_bit_identically(self):
+        target = default_fault_target()
+        serial = allocate_module(_module(), target, "briggs")
+        first = allocate_module(_module(), target, "briggs", jobs=2)
+        assert RESPONSE_CACHE.hits == 0
+        (pool,) = active_pools()
+        dispatched = pool.dispatches
+        second = allocate_module(_module(), target, "briggs", jobs=2)
+        assert RESPONSE_CACHE.hits == len(serial.results)
+        assert pool.dispatches == dispatched  # nothing re-dispatched
+        for allocation in (first, second):
+            for name, reference in serial.results.items():
+                result = allocation.results[name]
+                flat = {
+                    (v.id, v.rclass.value): c
+                    for v, c in result.assignment.items()
+                }
+                assert flat == {
+                    (v.id, v.rclass.value): c
+                    for v, c in reference.assignment.items()
+                }
+                assert (
+                    result.stats.registers_spilled
+                    == reference.stats.registers_spilled
+                )
+                assert result.stats.pass_count == reference.stats.pass_count
+
+    def test_cache_hit_still_swaps_fresh_functions_into_module(self):
+        target = default_fault_target()
+        allocate_module(_module(), target, "briggs", jobs=2)
+        module = _module()
+        allocation = allocate_module(module, target, "briggs", jobs=2)
+        assert RESPONSE_CACHE.hits > 0
+        for name, result in allocation.results.items():
+            assert module.functions[name] is result.function
+            for vreg in result.assignment:
+                assert vreg in allocation.assignment
+
+    def test_cache_disabled_always_dispatches(self):
+        target = default_fault_target()
+        allocate_module(_module(), target, "briggs", jobs=2, cache=False)
+        allocate_module(_module(), target, "briggs", jobs=2, cache=False)
+        assert RESPONSE_CACHE.hits == 0
+        assert len(RESPONSE_CACHE) == 0
+        (pool,) = active_pools()
+        assert pool.dispatches == 4  # 2 functions x 2 calls
+
+    def test_strategy_objects_are_never_cached(self):
+        from repro.regalloc.briggs import BriggsAllocator
+
+        assert cache_key("F f - 0 0\n.", rt_pc(), BriggsAllocator(),
+                         {}) is None
+        target = default_fault_target()
+        allocate_module(_module(), target, BriggsAllocator(), jobs=2)
+        assert len(RESPONSE_CACHE) == 0
+
+    def test_distinct_targets_miss(self):
+        kwargs = {"paranoia": "off"}
+        a = cache_key("F f - 0 0\n.", rt_pc(), "briggs", kwargs)
+        b = cache_key("F f - 0 0\n.", rt_pc().with_int_regs(4), "briggs",
+                      kwargs)
+        assert a != b
+
+    def test_lru_eviction_is_bounded(self):
+        from repro.regalloc.pool import ResponseCache
+
+        cache = ResponseCache(limit=2)
+        for index in range(4):
+            cache.put(("k", index), ("wire", str(index), {}, None, None))
+        assert len(cache) == 2
+        assert cache.get(("k", 0)) is None
+        assert cache.get(("k", 3))[1] == "3"
+
+
+class TestWorkerFaultsOnPoolPath:
+    def test_worker_crash_still_trips_at_driver_layer(self):
+        probe = probe_fault("worker_crash", seed=0)
+        assert probe.ok
+        assert probe.detected_by == ("driver",)
+        assert probe.failures == 2
+
+    @slow
+    def test_worker_hang_trips_and_restarts_the_pool(self):
+        probe = probe_fault("worker_hang", seed=0)
+        assert probe.ok
+        assert probe.degraded
+        (pool,) = active_pools()
+        assert pool.restarts >= 1  # the wedged pool was terminated
+        # ... and the restarted pool is immediately usable.
+        allocation = allocate_module(
+            _module(), default_fault_target(), "briggs", jobs=2
+        )
+        assert allocation.failures == []
+        assert len(allocation.results) == 2
