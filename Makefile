@@ -14,6 +14,11 @@
 #                        Chrome trace + metrics land in results/
 #   make bench-diff    — compare $(BENCH_NEW) against $(BENCH_BASE) with
 #                        the default regression threshold
+#   make serve         — run the hardened allocation daemon (NDJSON +
+#                        HTTP probes) with the disk cache in results/rc
+#   make chaos         — seeded fault storm against a live in-process
+#                        server: no wrong answers, no leaked workers,
+#                        bounded p99; crash bundles in results/chaos
 
 PYTHON ?= python
 FUZZ_SEED ?= 0
@@ -21,8 +26,10 @@ FUZZ_ITERS ?= 150
 TRACE_WORKLOAD ?= quicksort
 BENCH_BASE ?= BENCH_PR5.json
 BENCH_NEW ?= BENCH_PR6.json
+CHAOS_REQUESTS ?= 24
+CHAOS_SEED ?= 0
 
-.PHONY: test test-fast verify-faults fuzz bench trace bench-diff
+.PHONY: test test-fast verify-faults fuzz bench trace bench-diff serve chaos
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -49,3 +56,10 @@ trace:
 
 bench-diff:
 	PYTHONPATH=src $(PYTHON) -m repro bench-diff $(BENCH_BASE) $(BENCH_NEW)
+
+serve:
+	PYTHONPATH=src $(PYTHON) -m repro serve --cache-dir results/rc
+
+chaos:
+	PYTHONPATH=src $(PYTHON) -m repro chaos --requests $(CHAOS_REQUESTS) \
+		--seed $(CHAOS_SEED) --bundle-dir results/chaos

@@ -386,6 +386,69 @@ def cmd_workloads(_args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from repro.service import ServiceConfig, run_server
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        concurrency=args.concurrency,
+        queue_limit=args.queue_limit,
+        default_deadline=args.deadline,
+        max_deadline=args.max_deadline,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
+        jobs=args.jobs,
+        policy=args.policy,
+        bundle_dir=args.bundle_dir,
+        cache_dir=args.cache_dir,
+    )
+
+    def announce(service):
+        print(
+            f"repro serve: listening on {config.host}:{service.port} "
+            f"(concurrency {config.concurrency}, queue "
+            f"{config.queue_limit}, deadline {config.default_deadline}s, "
+            f"breaker {config.breaker_threshold}x/"
+            f"{config.breaker_cooldown}s)",
+            flush=True,
+        )
+
+    return run_server(config, announce=announce)
+
+
+def cmd_chaos(args) -> int:
+    from repro.service.chaos import DEFAULT_FAULT_RATES, run_chaos
+
+    rates = None
+    if args.fault:
+        rates = {name: 0.0 for name in DEFAULT_FAULT_RATES}
+        for spec in args.fault:
+            name, _, rate_text = spec.partition("=")
+            if name not in DEFAULT_FAULT_RATES:
+                known = ", ".join(sorted(DEFAULT_FAULT_RATES))
+                print(f"error: unknown chaos fault {name!r} "
+                      f"(known: {known})", file=sys.stderr)
+                return 2
+            rates[name] = (
+                float(rate_text) if rate_text
+                else max(DEFAULT_FAULT_RATES[name], 0.1)
+            )
+    report = run_chaos(
+        requests=args.requests,
+        seed=args.seed,
+        fault_rates=rates,
+        concurrency=args.concurrency,
+        deadline=args.deadline,
+        bundle_dir=args.bundle_dir,
+    )
+    if args.json:
+        _emit_json(report.as_dict(), args.json)
+    if args.json != "-":
+        print(report.summary())
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -640,6 +703,75 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("workloads", help="list bundled benchmarks")
     p.set_defaults(func=cmd_workloads)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the hardened allocation daemon (NDJSON over TCP, "
+        "HTTP probes on the same port; see docs/SERVICE.md)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7632,
+                   help="TCP port (default 7632; 0 picks an ephemeral "
+                   "port and prints it)")
+    p.add_argument("--concurrency", type=int, default=2,
+                   help="requests allocating at once (default 2)")
+    p.add_argument("--queue-limit", type=int, default=8,
+                   help="admitted-but-waiting requests beyond "
+                   "--concurrency before shedding with 429 (default 8)")
+    p.add_argument("--deadline", type=float, default=30.0,
+                   help="default per-request deadline in seconds "
+                   "(default 30)")
+    p.add_argument("--max-deadline", type=float, default=120.0,
+                   help="hard ceiling a request may ask for (default 120)")
+    p.add_argument("--breaker-threshold", type=int, default=5,
+                   help="consecutive backend failures that open the "
+                   "circuit breaker (default 5)")
+    p.add_argument("--breaker-cooldown", type=float, default=5.0,
+                   help="seconds the breaker stays open before one "
+                   "half-open trial (default 5)")
+    p.add_argument("--jobs", type=int, default=2,
+                   help="worker-pool size per request (default 2)")
+    p.add_argument("--policy",
+                   choices=["raise", "degrade-to-naive", "skip"],
+                   default="degrade-to-naive",
+                   help="per-function failure policy (default "
+                   "degrade-to-naive: answer spill-all rather than 500)")
+    p.add_argument("--bundle-dir", default=None,
+                   help="write per-request crash bundles under "
+                   "<dir>/request-<n>/")
+    p.add_argument("--cache-dir", default=None,
+                   help="attach the checksummed disk tier of the "
+                   "response cache at this directory")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "chaos",
+        help="replay a seeded fault storm against a live in-process "
+        "server and assert no wrong answers, no leaked workers, "
+        "bounded p99",
+    )
+    p.add_argument("--requests", type=int, default=40,
+                   help="request-stream length (default 40)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="stream seed; the whole storm replays from it "
+                   "(default 0)")
+    p.add_argument("--concurrency", type=int, default=4,
+                   help="concurrent chaos clients (default 4)")
+    p.add_argument("--deadline", type=float, default=10.0,
+                   help="per-request deadline in seconds (default 10)")
+    p.add_argument("--fault", action="append", default=None,
+                   metavar="NAME[=RATE]",
+                   help="enable one injected fault at RATE (default "
+                   "rate if omitted; repeatable; default: the standard "
+                   "mix — worker_crash, slow_request, cache_corrupt, "
+                   "client_disconnect)")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="write the chaos report as JSON ('-' for "
+                   "stdout)")
+    p.add_argument("--bundle-dir", default=None,
+                   help="write per-request crash bundles for degraded "
+                   "allocations under <dir>/request-<n>/")
+    p.set_defaults(func=cmd_chaos)
 
     return parser
 

@@ -160,7 +160,8 @@ def pool_diagnostics() -> dict | None:
     return {"pools": pools, "response_cache": cache}
 
 
-def metrics_document(allocation, tracer=None, meta=None) -> dict:
+def metrics_document(allocation, tracer=None, meta=None,
+                     service=None) -> dict:
     """The full ``repro-metrics/1`` document for one module allocation.
 
     ``allocation`` is a :class:`repro.regalloc.driver.ModuleAllocation`;
@@ -168,7 +169,11 @@ def metrics_document(allocation, tracer=None, meta=None) -> dict:
     (optional dict) is carried through verbatim (workload name, seed,
     command line, ...).  When the allocation used the persistent worker
     pool, a ``pool`` section (:func:`pool_diagnostics`) records dispatch,
-    warm-start, restart, and cache-hit counters.
+    warm-start, restart, and cache-hit counters.  ``service`` (optional
+    dict, :meth:`repro.service.AllocationService.service_section`)
+    carries the daemon's admission/deadline/breaker counters; like
+    ``pool`` it is ignored by ``repro bench-diff``'s flattening, so
+    serving metrics never gate perf comparisons.
     """
     from repro.regalloc.export import allocation_to_dict
 
@@ -220,6 +225,8 @@ def metrics_document(allocation, tracer=None, meta=None) -> dict:
     diagnostics = pool_diagnostics()
     if diagnostics is not None:
         document["pool"] = diagnostics
+    if service:
+        document["service"] = dict(service)
     if tracer is not None and getattr(tracer, "counters", None):
         document["counters"] = dict(sorted(tracer.counters.items()))
     if meta:

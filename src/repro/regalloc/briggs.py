@@ -47,6 +47,16 @@ class BriggsAllocator:
             raise ValueError(f"unknown simplification order {order!r}")
         self.order = order
         self.name = "briggs" if order == "cost" else "briggs-degree"
+        # §2.3's theorem holds only for the cost-ordered refinement: the
+        # smallest-last ablation visits victims in a different order, so
+        # its spill set has no containment relation to Chaitin's.  The
+        # oracle layer (repro.robustness.oracle) reads this declaration
+        # instead of assuming the theorem of every strategy.
+        if order == "cost":
+            self.guarantees = ("spills-subset-of-chaitin",
+                               "matches-chaitin-when-colorable")
+        else:
+            self.guarantees = ()
 
     def allocate_class(
         self,

@@ -60,6 +60,10 @@ class ChaitinAllocator:
 
     name = "chaitin"
     optimistic = False
+    #: This allocator IS the baseline the §2.3 subset guarantee is
+    #: stated against; comparison checks require this token of whatever
+    #: they are handed as the reference side.
+    guarantees = ("chaitin-reference",)
 
     def allocate_class(
         self,

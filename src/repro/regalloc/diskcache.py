@@ -1,0 +1,207 @@
+"""Checksummed disk tier for the response cache.
+
+The in-memory :class:`~repro.regalloc.pool.ResponseCache` dies with the
+process; this tier persists finished worker responses so warm starts
+survive restarts — the ROADMAP's allocation-as-a-service direction needs
+exactly that.  Robustness is the design center, not an afterthought: a
+disk cache that trusts its own files turns one torn write into silently
+wrong allocations forever after, so every entry is **verified on read
+and quarantined on the first sign of damage**:
+
+* an entry file is ``<header line>\\n<payload>`` where the header is
+  ``repro-diskcache/1 <sha256(payload)> <len(payload)>`` — version,
+  checksum, and exact length all declared up front;
+* :meth:`DiskCache.get` re-derives all three before returning a byte of
+  payload.  A wrong magic (format drift), a short or long payload
+  (truncation, concatenation), or a checksum mismatch (bit rot, a
+  flipped byte) **quarantines** the file — moved aside under
+  ``quarantine/`` with a ``.reason`` note, counted, and reported as a
+  miss so the caller recomputes from scratch;
+* writes are atomic: payloads land in a per-pid temp file first and are
+  ``os.replace``\\d into place, so a concurrent reader sees either the
+  old complete entry or the new complete entry, never a torn hybrid.
+  A *writer* that dies mid-write leaves only a ``.tmp`` turd that no
+  reader ever opens.
+
+Keys are the pool's content addresses (wire text + target + method +
+kwargs, see :func:`repro.regalloc.pool.cache_key`); the file name is the
+SHA-256 of the key's canonical ``repr``, which is stable across
+processes for the str/int/float/tuple values those keys contain.
+Payloads are opaque bytes to this module — the
+:class:`~repro.regalloc.pool.ResponseCache` stores its pickled response
+tuples and owns (de)serialization on both sides.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import os
+import pathlib
+
+__all__ = ["DiskCache", "DISK_CACHE_MAGIC"]
+
+#: First token of every entry header; bump on any format change so old
+#: processes quarantine (never misread) new files and vice versa.
+DISK_CACHE_MAGIC = "repro-diskcache/1"
+
+_TMP_COUNTER = itertools.count()
+
+
+def key_digest(key) -> str:
+    """Stable file-name digest of one cache key."""
+    return hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
+
+
+class DiskCache:
+    """A directory of checksummed, atomically-written cache entries."""
+
+    def __init__(self, root, quarantine: bool = True):
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        #: move damaged entries aside (False deletes them outright).
+        self.keep_quarantined = quarantine
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.quarantined = 0
+        #: (digest, reason) per quarantined entry, newest last.
+        self.quarantine_log: list = []
+
+    # -- paths ---------------------------------------------------------
+
+    def _path(self, key) -> pathlib.Path:
+        return self.root / f"{key_digest(key)}.entry"
+
+    def entry_paths(self) -> list:
+        """Live entry files (sorted; excludes temp and quarantined)."""
+        return sorted(self.root.glob("*.entry"))
+
+    def __len__(self) -> int:
+        return len(self.entry_paths())
+
+    # -- read side -----------------------------------------------------
+
+    def get(self, key) -> bytes | None:
+        """The verified payload for ``key``, or ``None`` on a miss.
+
+        Any structural damage — unreadable file, bad header, wrong
+        version, truncated or oversized payload, checksum mismatch —
+        quarantines the entry and falls through to a miss, so a damaged
+        cache can only ever cost a recompute, never a wrong answer.
+        """
+        path = self._path(key)
+        try:
+            raw = path.read_bytes()
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except OSError as error:
+            self._quarantine(path, f"unreadable: {error!r}")
+            self.misses += 1
+            return None
+        payload = self._verify(path, raw)
+        if payload is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def _verify(self, path, raw: bytes) -> bytes | None:
+        newline = raw.find(b"\n")
+        if newline < 0:
+            self._quarantine(path, "no header line (truncated write)")
+            return None
+        try:
+            header = raw[:newline].decode("ascii")
+        except UnicodeDecodeError:
+            self._quarantine(path, "undecodable header")
+            return None
+        fields = header.split()
+        if len(fields) != 3:
+            self._quarantine(path, f"malformed header {header!r}")
+            return None
+        magic, digest, length_text = fields
+        if magic != DISK_CACHE_MAGIC:
+            self._quarantine(path, f"wrong version {magic!r} "
+                                   f"(expected {DISK_CACHE_MAGIC})")
+            return None
+        try:
+            length = int(length_text)
+        except ValueError:
+            self._quarantine(path, f"non-integer length {length_text!r}")
+            return None
+        payload = raw[newline + 1:]
+        if len(payload) != length:
+            self._quarantine(
+                path,
+                f"payload is {len(payload)} bytes, header declares "
+                f"{length} (truncated or torn write)",
+            )
+            return None
+        actual = hashlib.sha256(payload).hexdigest()
+        if actual != digest:
+            self._quarantine(path, "checksum mismatch (corrupt payload)")
+            return None
+        return payload
+
+    def _quarantine(self, path: pathlib.Path, reason: str) -> None:
+        """Move a damaged entry out of the lookup path, on record."""
+        self.quarantined += 1
+        self.quarantine_log.append((path.name, reason))
+        try:
+            if self.keep_quarantined:
+                qdir = self.root / "quarantine"
+                qdir.mkdir(exist_ok=True)
+                os.replace(path, qdir / path.name)
+                (qdir / f"{path.name}.reason").write_text(reason + "\n")
+            else:
+                path.unlink()
+        except OSError:
+            # A concurrent reader may have quarantined it first; either
+            # way the entry is no longer served, which is what matters.
+            pass
+
+    # -- write side ----------------------------------------------------
+
+    def put(self, key, payload: bytes) -> None:
+        """Atomically persist ``payload`` under ``key``.
+
+        Best-effort: a full disk or unwritable directory degrades to a
+        cold cache, never to an error on the allocation path.
+        """
+        path = self._path(key)
+        header = (
+            f"{DISK_CACHE_MAGIC} {hashlib.sha256(payload).hexdigest()} "
+            f"{len(payload)}\n"
+        ).encode("ascii")
+        tmp = path.with_name(
+            f"{path.name}.{os.getpid()}.{next(_TMP_COUNTER)}.tmp"
+        )
+        try:
+            tmp.write_bytes(header + payload)
+            os.replace(tmp, path)
+            self.stores += 1
+        except OSError:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+
+    # -- introspection -------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "root": str(self.root),
+            "entries": len(self),
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "quarantined": self.quarantined,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"DiskCache({self.root}, {len(self)} entries, "
+            f"{self.quarantined} quarantined)"
+        )

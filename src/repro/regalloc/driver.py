@@ -905,13 +905,22 @@ def allocate_module(
                     result = allocate_function(
                         function, target, method, tracer=tracer, **kwargs
                     )
-                except AllocationError as error:
+                except Exception as error:
+                    # Not just AllocationError: a crashing *strategy*
+                    # (injected faults, third-party heuristics) raises
+                    # whatever it likes, and the policy must absorb it on
+                    # the serial path exactly as the pool does for worker
+                    # crashes — same program, same strategy, same outcome
+                    # regardless of ``jobs``.
+                    phase = "allocate"
+                    if isinstance(error, ReproError):
+                        phase = error.context.get("phase", "allocate")
                     result = _handle_failure(
                         function, target, method_name, error, policy,
                         failures, bundle_dir,
                         elapsed=time.perf_counter() - started,
                         retries=0,
-                        phase=error.context.get("phase", "allocate"),
+                        phase=phase,
                     )
                 if result is not None:
                     results[function.name] = result

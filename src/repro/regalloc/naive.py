@@ -25,6 +25,9 @@ class SpillAllAllocator:
 
     name = "spill-all"
     optimistic = False
+    #: No coloring-quality relation to Chaitin holds (it spills every
+    #: range by design), so no §2.3 comparison applies.
+    guarantees = ()
 
     def allocate_class(
         self,

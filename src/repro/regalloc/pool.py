@@ -67,6 +67,7 @@ from __future__ import annotations
 import atexit
 import os
 import pickle
+import threading
 from collections import OrderedDict
 
 from repro.ir.wire import decode_function, encode_function
@@ -83,6 +84,8 @@ __all__ = [
     "encode_request",
     "cache_key",
     "materialize_response",
+    "restart_pools",
+    "install_signal_teardown",
 ]
 
 
@@ -267,55 +270,115 @@ def cache_key(wire_text, target, method, kwargs):
 
 
 class ResponseCache:
-    """A bounded LRU over worker responses, keyed by content address.
+    """A bounded LRU over worker responses, keyed by content address,
+    with an optional checksummed disk tier behind it.
 
     Responses are stored as the re-pickled tuple, not live objects:
     replaying a hit unpickles a fresh stats object (and the wire text
     decodes to a fresh function), so no two
     :class:`~repro.regalloc.driver.AllocationResult` instances ever
     share mutable state through the cache.
+
+    With a disk tier attached (:meth:`attach_disk`, a
+    :class:`repro.regalloc.diskcache.DiskCache`), memory misses fall
+    through to disk and every store writes through — warm starts then
+    survive process restarts.  The disk tier verifies a checksum on
+    every read and quarantines damaged entries, so a corrupt or torn
+    file costs a recompute, never a wrong replay.  All tiers are
+    lock-protected: the allocation service dispatches from multiple
+    threads onto one process-global cache.
     """
 
-    def __init__(self, limit: int = 256):
+    def __init__(self, limit: int = 256, disk=None):
         self.limit = limit
         self.hits = 0
         self.misses = 0
+        self.disk_hits = 0
+        self.disk = disk
         self._entries: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._entries)
 
+    def attach_disk(self, root, **kwargs):
+        """Attach (and return) a disk tier rooted at ``root``."""
+        from repro.regalloc.diskcache import DiskCache
+
+        with self._lock:
+            self.disk = DiskCache(root, **kwargs)
+            return self.disk
+
+    def detach_disk(self) -> None:
+        with self._lock:
+            self.disk = None
+
     def get(self, key):
         if key is None:
             return None
-        blob = self._entries.get(key)
-        if blob is None:
+        with self._lock:
+            blob = self._entries.get(key)
+            if blob is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return pickle.loads(blob)
             self.misses += 1
+            disk = self.disk
+        if disk is None:
             return None
-        self._entries.move_to_end(key)
-        self.hits += 1
+        blob = disk.get(key)
+        if blob is None:
+            return None
+        self.disk_hits += 1
+        with self._lock:
+            self._store(key, blob)
         return pickle.loads(blob)
 
     def put(self, key, response) -> None:
         if key is None:
             return
-        self._entries[key] = pickle.dumps(response)
+        blob = pickle.dumps(response)
+        with self._lock:
+            self._store(key, blob)
+            disk = self.disk
+        if disk is not None:
+            disk.put(key, blob)
+
+    def _store(self, key, blob) -> None:
+        self._entries[key] = blob
         self._entries.move_to_end(key)
         while len(self._entries) > self.limit:
             self._entries.popitem(last=False)
 
+    def drop_memory(self) -> None:
+        """Empty only the memory tier, keeping counters and any disk
+        tier — the next lookup replays the warm-start path through the
+        verified disk read.  The chaos harness uses this to simulate a
+        restarted process facing a damaged cache directory."""
+        with self._lock:
+            self._entries.clear()
+
     def clear(self) -> None:
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        """Empty the memory tier, reset counters, and detach any disk
+        tier (files on disk are left alone — reattach to reuse them)."""
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+            self.disk_hits = 0
+            self.disk = None
 
     def stats(self) -> dict:
-        return {
+        stats = {
             "entries": len(self._entries),
             "limit": self.limit,
             "hits": self.hits,
             "misses": self.misses,
         }
+        if self.disk is not None:
+            stats["disk_hits"] = self.disk_hits
+            stats["disk"] = self.disk.stats()
+        return stats
 
 
 #: The process-wide response cache shared by every pool dispatch.
@@ -450,3 +513,53 @@ def shutdown_pools() -> None:
     while _POOLS:
         _processes, pool = _POOLS.popitem()
         pool.shutdown()
+
+
+def restart_pools() -> None:
+    """Terminate every warm pool's workers; replacements spawn lazily on
+    next use.  The circuit breaker's half-open hook — a trial request
+    after repeated failures should run on fresh processes, not on
+    whatever state just failed."""
+    for pool in _POOLS.values():
+        pool.restart()
+
+
+def install_signal_teardown(signals=None) -> dict:
+    """Make SIGTERM/SIGINT tear the pools down before the process dies.
+
+    ``atexit`` covers normal interpreter exit, but a process killed by a
+    signal whose default disposition is "terminate" (SIGTERM above all —
+    what every supervisor sends first) never reaches ``atexit``, and its
+    pool workers are orphaned.  This installs handlers that run
+    :func:`shutdown_pools` and then **re-deliver the signal with its
+    previous disposition**: a previously-installed handler is chained, a
+    default disposition is restored and re-raised (so the exit status
+    still says "killed by SIGTERM"), and SIGINT keeps raising
+    ``KeyboardInterrupt`` through Python's default handler.
+
+    Long-lived entry points (``repro serve`` / ``repro chaos``) prefer
+    their event loop's graceful drain handlers; this is the
+    belt-and-suspenders floor for every other caller.  Returns the
+    previous handlers ``{signum: handler}`` so a test can restore them.
+    """
+    import signal as signal_mod
+
+    if signals is None:
+        signals = (signal_mod.SIGTERM, signal_mod.SIGINT)
+    previous: dict = {}
+
+    def teardown_handler(signum, frame):
+        shutdown_pools()
+        prior = previous.get(signum)
+        if callable(prior):
+            prior(signum, frame)
+        else:
+            # SIG_DFL (or SIG_IGN treated the same): restore and
+            # re-deliver so the kernel applies the real disposition and
+            # the exit status is the conventional 128+signum.
+            signal_mod.signal(signum, signal_mod.SIG_DFL)
+            os.kill(os.getpid(), signum)
+
+    for signum in signals:
+        previous[signum] = signal_mod.signal(signum, teardown_handler)
+    return previous

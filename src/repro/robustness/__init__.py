@@ -61,6 +61,7 @@ from repro.robustness.oracle import (
     check_function_subset_guarantee,
     check_subset_guarantee,
     check_workload_subset_guarantee,
+    declared_guarantees,
     exact_color,
     oracle_verdict,
 )
@@ -102,6 +103,7 @@ __all__ = [
     "check_function_subset_guarantee",
     "check_subset_guarantee",
     "check_workload_subset_guarantee",
+    "declared_guarantees",
     "exact_color",
     "oracle_verdict",
     "ValidationReport",

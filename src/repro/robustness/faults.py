@@ -94,7 +94,8 @@ class Fault:
         self.name = name
         #: "allocation" — corrupt a finished allocation/module;
         #: "costs" — perturb the allocator's input (a context manager);
-        #: "worker" — break the parallel driver's workers.
+        #: "worker" — break the parallel driver's workers;
+        #: "service" — break a request against the live daemon.
         self.kind = kind
         self.expect = expect  # "detected" | "degraded"
         self.description = description
@@ -379,6 +380,35 @@ def inject_worker_hang(rng):
 
 
 # ----------------------------------------------------------------------
+# Service faults: request-level failure modes of the allocation daemon
+# (PR 7, :mod:`repro.service`).  Injectors return a spec dict the
+# server's (or the chaos client's) fault hook interprets; probing spins
+# an in-process server and replays the fault against it live.
+# ----------------------------------------------------------------------
+
+
+@register_fault("slow_request", kind="service", expect="degraded")
+def inject_slow_request(rng):
+    """A request stalls past its deadline budget: the service must answer
+    504 inside bounded time, never hold the queue slot indefinitely."""
+    return {"delay": rng.uniform(0.8, 1.5)}
+
+
+@register_fault("cache_corrupt", kind="service", expect="degraded")
+def inject_cache_corrupt(rng):
+    """Disk-cache entries are corrupted under a live server: the verified
+    read path must quarantine them and recompute identical answers."""
+    return {"offset": rng.randrange(0, 64)}
+
+
+@register_fault("client_disconnect", kind="service", expect="degraded")
+def inject_client_disconnect(rng):
+    """The client hangs up mid-request: the server must absorb the broken
+    pipe and keep serving everyone else."""
+    return {"after": rng.uniform(0.0, 0.05)}
+
+
+# ----------------------------------------------------------------------
 # The probe: inject one fault into a correct pipeline, report what fired.
 # ----------------------------------------------------------------------
 
@@ -508,6 +538,19 @@ def _run_probe(fault, seed, source, method, target, max_instructions,
                 f"{f.function}: {f.error_type} in {f.phase} -> {f.action}"
                 for f in allocation.failures
             ),
+        )
+
+    if fault.kind == "service":
+        # Service faults need a live daemon: delegate to the chaos
+        # harness's single-fault probe (in-process server, one seeded
+        # faulted request, contract checks per fault).
+        from repro.service.chaos import probe_service_fault
+
+        injected, detected, degraded, failures, detail = \
+            probe_service_fault(fault, seed)
+        return FaultProbe(
+            fault, seed, injected, detected_by=detected,
+            degraded=degraded, failures=failures, detail=detail,
         )
 
     # kind == "allocation": corrupt a finished, correct allocation.

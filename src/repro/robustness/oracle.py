@@ -187,45 +187,82 @@ class SubsetGuaranteeReport:
         )
 
 
-def check_subset_guarantee(graph, costs, color_order=None):
-    """Assert the paper's §2.3 theorem on one graph.
+def declared_guarantees(strategy) -> frozenset:
+    """The comparison guarantees ``strategy`` declares about itself.
 
-    Runs Chaitin and Briggs simplification over ``graph`` with the same
-    ``costs`` (hence the same cost/degree victim rule and the same
-    lowest-index tie-breaking) and asserts:
-
-    * Briggs's uncolored set ⊆ Chaitin's spill set;
-    * when Chaitin spills nothing, Briggs spills nothing *and* produces
-      the identical coloring.
-
-    Raises :class:`InvariantError` with the offending live ranges on any
-    violation; returns a :class:`SubsetGuaranteeReport` otherwise.
+    Strategies opt into §2.3 assertions by carrying a ``guarantees``
+    tuple (see :class:`~repro.regalloc.briggs.BriggsAllocator`); a
+    strategy without the attribute declares nothing and is never held to
+    a theorem that was proved for a different algorithm.
     """
-    chaitin = ChaitinAllocator().allocate_class(graph, costs, color_order)
-    briggs = BriggsAllocator().allocate_class(graph, costs, color_order)
-    briggs_spilled = set(briggs.spilled_vregs)
-    chaitin_spilled = set(chaitin.spilled_vregs)
-    extra = briggs_spilled - chaitin_spilled
-    if extra:
-        names = sorted(vreg.pretty() for vreg in extra)
-        raise InvariantError(
-            f"§2.3 subset guarantee violated on {graph!r}: Briggs spilled "
-            f"{names} which Chaitin kept in registers"
-        )
-    if not chaitin_spilled:
-        if briggs_spilled:  # already covered by `extra`, kept for clarity
+    return frozenset(getattr(strategy, "guarantees", ()))
+
+
+def check_subset_guarantee(graph, costs, color_order=None, briggs=None,
+                           chaitin=None):
+    """Assert the paper's §2.3 theorem on one graph — **scoped to the
+    guarantees the candidate strategy declares**.
+
+    Runs ``chaitin`` (default :class:`ChaitinAllocator`) and ``briggs``
+    (default cost-ordered :class:`BriggsAllocator`) over ``graph`` with
+    the same ``costs`` (hence the same cost/degree victim rule and the
+    same lowest-index tie-breaking) and asserts whichever of these the
+    candidate's ``guarantees`` tuple declares:
+
+    * ``"spills-subset-of-chaitin"`` — the candidate's uncolored set
+      ⊆ Chaitin's spill set;
+    * ``"matches-chaitin-when-colorable"`` — when Chaitin spills
+      nothing, the candidate spills nothing *and* produces the identical
+      coloring.
+
+    Returns ``None`` without running anything when the candidate
+    declares neither (e.g. ``BriggsAllocator(order="degree")``, the §2.2
+    smallest-last strawman, whose spill set provably has no containment
+    relation to Chaitin's) or when the reference side does not declare
+    ``"chaitin-reference"``.  Raises :class:`InvariantError` with the
+    offending live ranges on any violation; returns a
+    :class:`SubsetGuaranteeReport` otherwise.
+    """
+    briggs_strategy = briggs if briggs is not None else BriggsAllocator()
+    chaitin_strategy = chaitin if chaitin is not None else ChaitinAllocator()
+    declared = declared_guarantees(briggs_strategy)
+    applicable = declared & {"spills-subset-of-chaitin",
+                             "matches-chaitin-when-colorable"}
+    if not applicable:
+        return None
+    if "chaitin-reference" not in declared_guarantees(chaitin_strategy):
+        return None
+    chaitin_outcome = chaitin_strategy.allocate_class(
+        graph, costs, color_order)
+    briggs_outcome = briggs_strategy.allocate_class(
+        graph, costs, color_order)
+    briggs_spilled = set(briggs_outcome.spilled_vregs)
+    chaitin_spilled = set(chaitin_outcome.spilled_vregs)
+    if "spills-subset-of-chaitin" in applicable:
+        extra = briggs_spilled - chaitin_spilled
+        if extra:
+            names = sorted(vreg.pretty() for vreg in extra)
+            raise InvariantError(
+                f"§2.3 subset guarantee violated on {graph!r}: "
+                f"{briggs_strategy.name} spilled {names} which Chaitin "
+                f"kept in registers"
+            )
+    if "matches-chaitin-when-colorable" in applicable and \
+            not chaitin_spilled:
+        if briggs_spilled:
             names = sorted(vreg.pretty() for vreg in briggs_spilled)
             raise InvariantError(
-                f"{graph!r}: Briggs spilled {names} on a graph Chaitin "
-                f"colors completely"
+                f"{graph!r}: {briggs_strategy.name} spilled {names} on a "
+                f"graph Chaitin colors completely"
             )
-        if briggs.colors != chaitin.colors:
+        if briggs_outcome.colors != chaitin_outcome.colors:
             raise InvariantError(
                 f"{graph!r}: Chaitin colors the graph completely but "
-                f"Briggs produced a different coloring — the two must "
-                f"agree exactly when no spilling happens (§2.2)"
+                f"{briggs_strategy.name} produced a different coloring — "
+                f"the two must agree exactly when no spilling happens "
+                f"(§2.2)"
             )
-    return SubsetGuaranteeReport(briggs, chaitin)
+    return SubsetGuaranteeReport(briggs_outcome, chaitin_outcome)
 
 
 def _oracle_target(k: int) -> Target:
@@ -248,13 +285,15 @@ def check_function_subset_guarantee(function, k: int):
         if graph.num_vreg_nodes == 0:
             continue
         try:
-            reports[rclass] = check_subset_guarantee(
+            report = check_subset_guarantee(
                 graph, costs, target.color_order(rclass)
             )
         except InvariantError as error:
             raise error.with_context(
                 function=function.name, rclass=str(rclass), k=k
             )
+        if report is not None:
+            reports[rclass] = report
     return reports
 
 

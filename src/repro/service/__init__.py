@@ -1,0 +1,31 @@
+"""Hardened allocation-as-a-service (PR 7).
+
+``repro serve`` exposes Build–Simplify–Select over a line-delimited
+socket protocol with admission control, deadline budgets, a circuit
+breaker over the warm worker pool, graceful degradation, and HTTP
+probes; ``repro chaos`` replays a seeded fault storm against a live
+server and asserts no wrong answers, no leaked workers, and bounded
+tail latency.  See ``docs/SERVICE.md``.
+"""
+
+from repro.service.breaker import CircuitBreaker
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    RequestError,
+    decode_message,
+    encode_message,
+    flat_assignment,
+)
+from repro.service.server import AllocationService, ServiceConfig, run_server
+
+__all__ = [
+    "AllocationService",
+    "ServiceConfig",
+    "CircuitBreaker",
+    "RequestError",
+    "PROTOCOL_VERSION",
+    "decode_message",
+    "encode_message",
+    "flat_assignment",
+    "run_server",
+]

@@ -1,0 +1,119 @@
+"""Circuit breaker for the allocation service.
+
+The worker pool fails in bursts: a poisoned input, a wedged worker, or a
+dying machine takes out request after request, and every one of those
+requests pays the full timeout before its failure is even visible.  A
+circuit breaker converts that slow bleed into a fast, explicit rejection:
+
+* **closed** — normal operation; failures are counted, successes reset
+  the count;
+* **open** — ``threshold`` *consecutive* failures tripped the breaker;
+  every request is rejected immediately (the service answers 503
+  ``breaker_open``) until ``cooldown`` seconds have passed;
+* **half-open** — the cooldown expired; exactly **one** trial request is
+  admitted.  Success closes the breaker, failure re-opens it for another
+  cooldown.  The transition fires ``on_half_open`` once — the service
+  uses it to :meth:`~repro.regalloc.pool.WorkerPool.restart` the worker
+  pool, so the trial runs on fresh processes rather than whatever state
+  just failed five times in a row.
+
+The clock is injectable so tests drive the state machine
+deterministically; nothing here sleeps or spawns.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["CircuitBreaker"]
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with half-open probing."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(self, threshold: int = 5, cooldown: float = 5.0,
+                 clock=time.monotonic, on_half_open=None):
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self._on_half_open = on_half_open
+        self.state = self.CLOSED
+        self.consecutive_failures = 0
+        #: times the breaker transitioned closed/half-open -> open.
+        self.trips = 0
+        #: requests rejected because the breaker was open.
+        self.rejections = 0
+        self._opened_at = 0.0
+        self._trial_in_flight = False
+
+    # -- state transitions ---------------------------------------------
+
+    def _open(self) -> None:
+        self.state = self.OPEN
+        self.trips += 1
+        self._opened_at = self._clock()
+        self._trial_in_flight = False
+
+    def allow(self) -> bool:
+        """May a request proceed right now?
+
+        In the open state the first call after the cooldown flips to
+        half-open (firing ``on_half_open``) and admits one trial; every
+        other rejected call is counted on :attr:`rejections`.
+        """
+        if self.state == self.CLOSED:
+            return True
+        if self.state == self.OPEN:
+            if self._clock() - self._opened_at >= self.cooldown:
+                self.state = self.HALF_OPEN
+                self._trial_in_flight = True
+                if self._on_half_open is not None:
+                    self._on_half_open()
+                return True
+            self.rejections += 1
+            return False
+        # HALF_OPEN: exactly one trial at a time.
+        if self._trial_in_flight:
+            self.rejections += 1
+            return False
+        self._trial_in_flight = True
+        return True
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        if self.state != self.CLOSED:
+            self.state = self.CLOSED
+        self._trial_in_flight = False
+
+    def record_failure(self) -> None:
+        self.consecutive_failures += 1
+        if self.state == self.HALF_OPEN:
+            self._open()
+        elif self.state == self.CLOSED and \
+                self.consecutive_failures >= self.threshold:
+            self._open()
+
+    # -- introspection -------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "state": self.state,
+            "threshold": self.threshold,
+            "cooldown": self.cooldown,
+            "consecutive_failures": self.consecutive_failures,
+            "trips": self.trips,
+            "rejections": self.rejections,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker({self.state}, "
+            f"{self.consecutive_failures}/{self.threshold} failures, "
+            f"{self.trips} trips)"
+        )

@@ -1,0 +1,260 @@
+"""The allocation service's wire protocol.
+
+One TCP port, two dialects, chosen per connection by the first bytes:
+
+* **NDJSON requests** — each line is one JSON object with an ``op``
+  (``allocate``, ``stats``, ``ping``, ``shutdown``); each reply is one
+  JSON line carrying the request's ``id``, an HTTP-style ``status``
+  code, and the payload.  Line-delimited framing keeps the protocol
+  streamable: a client may pipeline requests and read replies in order.
+* **HTTP/1.0 probes** — a line starting with ``GET `` is treated as a
+  minimal HTTP request for the operational endpoints ``/healthz``
+  (liveness), ``/readyz`` (readiness: accepting, breaker not open,
+  queue not full), and ``/metrics`` (the repro-metrics/1 document with
+  the ``service`` section).  The response is a complete HTTP/1.0
+  message and the connection closes — enough for curl, a load balancer,
+  or a Kubernetes probe, with zero dependencies.
+
+Status codes follow HTTP semantics so rejection classes are explicit
+and machine-readable:
+
+====  =======================================================
+ 200  allocated (possibly ``degraded: true`` under policy)
+ 400  malformed request (bad JSON, unknown op/method, bad field)
+ 429  shed — the admission queue is full
+ 500  internal failure (allocation raised and policy re-raised)
+ 503  not ready — circuit breaker open, or shutting down
+ 504  deadline exceeded before or during allocation
+====  =======================================================
+
+This module is pure data plumbing — parsing, validation, encoding — so
+both the server and the chaos client speak exactly the same language
+and the tests can exercise it without sockets.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import ReproError
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "RequestError",
+    "AllocateRequest",
+    "encode_message",
+    "decode_message",
+    "response",
+    "error_response",
+    "flat_assignment",
+    "http_response",
+]
+
+#: Bumped on any incompatible message-shape change; echoed by ``ping``.
+PROTOCOL_VERSION = 1
+
+#: Allocation methods a request may name.  Strategy *objects* (including
+#: the chaos faults' crashing/hanging allocators) are server-internal
+#: and never travel over the wire.
+KNOWN_METHODS = ("briggs", "chaitin", "briggs-degree", "spill-all")
+
+KNOWN_OPS = ("allocate", "stats", "ping", "shutdown")
+
+
+class RequestError(ReproError):
+    """A malformed or inadmissible request; carries the status to answer
+    with (400 unless the constructor says otherwise)."""
+
+    def __init__(self, message, status: int = 400, **context):
+        super().__init__(message, context=context or None)
+        self.status = status
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+
+
+def encode_message(message: dict) -> bytes:
+    """One message as one compact JSON line."""
+    return (json.dumps(message, sort_keys=True,
+                       separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_message(line) -> dict:
+    """Parse one request line; raises :class:`RequestError` (400) on
+    anything that is not a JSON object with a known ``op``."""
+    if isinstance(line, bytes):
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError:
+            raise RequestError("request line is not valid UTF-8") from None
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise RequestError(f"request is not valid JSON: {error}") from None
+    if not isinstance(message, dict):
+        raise RequestError("request must be a JSON object")
+    op = message.get("op", "allocate")
+    if op not in KNOWN_OPS:
+        known = ", ".join(KNOWN_OPS)
+        raise RequestError(f"unknown op {op!r} (known: {known})")
+    message["op"] = op
+    return message
+
+
+# ----------------------------------------------------------------------
+# Allocate-request validation
+# ----------------------------------------------------------------------
+
+
+class AllocateRequest:
+    """One validated ``allocate`` request, ready for the server."""
+
+    __slots__ = ("id", "source", "wire", "name", "method", "int_regs",
+                 "float_regs", "deadline", "validate", "fault",
+                 "fault_args")
+
+    def __init__(self, id, source, wire, name, method, int_regs,
+                 float_regs, deadline, validate, fault, fault_args):
+        self.id = id
+        self.source = source
+        self.wire = wire
+        self.name = name
+        self.method = method
+        self.int_regs = int_regs
+        self.float_regs = float_regs
+        self.deadline = deadline
+        self.validate = validate
+        #: chaos-only: a registered service/worker fault to inject.
+        self.fault = fault
+        self.fault_args = fault_args
+
+
+def _positive_number(message, field, default, maximum=None):
+    value = message.get(field, default)
+    if value is None:
+        return None
+    if not isinstance(value, (int, float)) or isinstance(value, bool) \
+            or value <= 0:
+        raise RequestError(f"{field!r} must be a positive number, "
+                           f"got {value!r}")
+    if maximum is not None:
+        value = min(float(value), maximum)
+    return float(value)
+
+
+def _positive_int(message, field, default):
+    value = message.get(field, default)
+    if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+        raise RequestError(f"{field!r} must be a positive integer, "
+                           f"got {value!r}")
+    return value
+
+
+def parse_allocate_request(message: dict, default_deadline: float,
+                           max_deadline: float) -> AllocateRequest:
+    """Validate one decoded ``allocate`` message.  Raises
+    :class:`RequestError` (400) on any bad field; deadlines are clamped
+    to ``max_deadline`` rather than rejected."""
+    source = message.get("source")
+    wire = message.get("wire")
+    if (source is None) == (wire is None):
+        raise RequestError(
+            "exactly one of 'source' (mini-FORTRAN text) or 'wire' "
+            "(repro.ir.wire module text) is required"
+        )
+    body = source if source is not None else wire
+    if not isinstance(body, str) or not body.strip():
+        raise RequestError("'source'/'wire' must be a non-empty string")
+    method = message.get("method", "briggs")
+    if method not in KNOWN_METHODS:
+        known = ", ".join(KNOWN_METHODS)
+        raise RequestError(f"unknown method {method!r} (known: {known})")
+    name = message.get("name", "request")
+    if not isinstance(name, str) or not name.isidentifier():
+        raise RequestError(f"'name' must be an identifier, got {name!r}")
+    fault = message.get("fault")
+    if fault is not None and not isinstance(fault, str):
+        raise RequestError(f"'fault' must be a fault name, got {fault!r}")
+    fault_args = message.get("fault_args", {})
+    if not isinstance(fault_args, dict):
+        raise RequestError("'fault_args' must be an object")
+    return AllocateRequest(
+        id=message.get("id"),
+        source=source,
+        wire=wire,
+        name=name,
+        method=method,
+        int_regs=_positive_int(message, "int_regs", 16),
+        float_regs=_positive_int(message, "float_regs", 8),
+        deadline=_positive_number(message, "deadline", default_deadline,
+                                  maximum=max_deadline),
+        validate=bool(message.get("validate", False)),
+        fault=fault,
+        fault_args=fault_args,
+    )
+
+
+# ----------------------------------------------------------------------
+# Responses
+# ----------------------------------------------------------------------
+
+
+def response(request_id, status: int = 200, **payload) -> dict:
+    message = {"id": request_id, "status": status}
+    message.update(payload)
+    return message
+
+
+def error_response(request_id, status: int, error: str, **payload) -> dict:
+    return response(request_id, status, error=error, **payload)
+
+
+def flat_assignment(allocation) -> dict:
+    """A module allocation's assignments as JSON-stable nested maps:
+    ``{function: {"i4": 2, "f1": 0, ...}}`` with wire-style vreg tokens.
+    The exact shape the chaos verifier diffs against serial references.
+    """
+    return {
+        name: {
+            f"{vreg.rclass.value}{vreg.id}": color
+            for vreg, color in sorted(
+                result.assignment.items(),
+                key=lambda item: (item[0].rclass.value, item[0].id),
+            )
+        }
+        for name, result in sorted(allocation.results.items())
+    }
+
+
+_HTTP_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+def http_response(status: int, body, content_type: str = None) -> bytes:
+    """A complete minimal HTTP/1.0 response.  ``body`` may be a dict
+    (sent as JSON) or a string (sent as text)."""
+    if isinstance(body, (dict, list)):
+        encoded = (json.dumps(body, indent=2, sort_keys=True) + "\n")\
+            .encode("utf-8")
+        content_type = content_type or "application/json"
+    else:
+        encoded = str(body).encode("utf-8")
+        content_type = content_type or "text/plain"
+    reason = _HTTP_REASONS.get(status, "Unknown")
+    head = (
+        f"HTTP/1.0 {status} {reason}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(encoded)}\r\n"
+        f"Connection: close\r\n"
+        f"\r\n"
+    ).encode("ascii")
+    return head + encoded

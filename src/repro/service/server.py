@@ -1,0 +1,573 @@
+"""The hardened allocation service: ``repro serve``.
+
+A zero-dependency stdlib-asyncio daemon that accepts mini-FORTRAN source
+or :mod:`repro.ir.wire` module text over the NDJSON protocol
+(:mod:`repro.service.protocol`), runs Build–Simplify–Select on the
+persistent :class:`~repro.regalloc.pool.WorkerPool`, and answers with
+register assignments plus a ``repro-metrics/1`` document on request.
+
+The interesting part is what happens when things go wrong.  Five
+hardening layers, outermost first:
+
+1. **Admission control** — at most ``queue_limit`` requests may be
+   admitted beyond the ``concurrency`` actually executing; request
+   ``queue_limit + concurrency + 1`` is shed immediately with a 429
+   instead of growing an unbounded backlog.  Load shedding is counted
+   (``shed``) and flips ``/readyz`` to 503 while saturated.
+2. **Deadline budgets** — every request carries a deadline (defaulted
+   and clamped by the server).  Queue wait burns the budget; what is
+   left when execution starts is divided across the module's functions
+   and handed to the pool as its per-function timeout, so the driver's
+   own watchdog (hang detection, pool restart) enforces the deadline
+   from the inside.  An asyncio backstop at 1.5× budget catches
+   anything the inner timeout misses.  Either way: 504.
+3. **Circuit breaker** — ``breaker_threshold`` *consecutive* backend
+   failures (crashes, hangs, deadline blowouts) open the breaker; while
+   open every request is a fast 503 rather than another slow failure.
+   After ``breaker_cooldown`` seconds one trial request is admitted and
+   the transition *restarts the worker pools* so the trial runs on
+   fresh processes.  A degraded-but-answered request counts as a
+   failure for the breaker (the backend is sick) while still returning
+   its 200.
+4. **Graceful degradation** — the per-request allocation runs under the
+   PR-2 :class:`~repro.regalloc.driver.FailurePolicy` (default
+   ``degrade-to-naive``): a function whose allocation dies comes back
+   spill-everything-correct rather than not at all, with the failure on
+   record in the response and a crash bundle under
+   ``bundle_dir/request-<n>/`` for offline repro.
+5. **Teardown discipline** — SIGTERM/SIGINT stop accepting, drain
+   in-flight requests, then run
+   :func:`repro.regalloc.pool.shutdown_pools` *before* interpreter
+   teardown, so no warm worker outlives the daemon.
+
+Operational surface: ``GET /healthz`` (liveness), ``GET /readyz``
+(readiness: accepting ∧ breaker not open ∧ queue not full), and
+``GET /metrics`` (cumulative ``service`` counters plus pool/cache
+diagnostics) answer plain HTTP on the same port.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import contextlib
+import pathlib
+import random
+import time
+
+from repro.errors import ReproError
+from repro.frontend import compile_source
+from repro.ir.wire import decode_module
+from repro.machine import rt_pc
+from repro.observability import Tracer
+from repro.regalloc import allocate_module
+from repro.regalloc.pool import (
+    RESPONSE_CACHE,
+    install_signal_teardown,
+    restart_pools,
+    shutdown_pools,
+)
+from repro.service.breaker import CircuitBreaker
+from repro.service import protocol
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    RequestError,
+    decode_message,
+    encode_message,
+    error_response,
+    flat_assignment,
+    http_response,
+    parse_allocate_request,
+    response,
+)
+
+__all__ = ["ServiceConfig", "AllocationService", "run_server"]
+
+#: NDJSON line-length ceiling (16 MiB) — a runaway client cannot balloon
+#: the reader buffer.
+_LINE_LIMIT = 16 * 1024 * 1024
+
+
+class ServiceConfig:
+    """Knobs for one :class:`AllocationService`; all have serving
+    defaults, the chaos harness and tests tighten them."""
+
+    __slots__ = (
+        "host", "port", "concurrency", "queue_limit", "default_deadline",
+        "max_deadline", "breaker_threshold", "breaker_cooldown", "jobs",
+        "policy", "retries", "bundle_dir", "cache_dir", "optimize",
+    )
+
+    def __init__(self, host="127.0.0.1", port=0, concurrency=2,
+                 queue_limit=8, default_deadline=30.0, max_deadline=120.0,
+                 breaker_threshold=5, breaker_cooldown=2.0, jobs=2,
+                 policy="degrade-to-naive", retries=1, bundle_dir=None,
+                 cache_dir=None, optimize=False):
+        self.host = host
+        #: 0 asks the OS for an ephemeral port; the bound port is on
+        #: :attr:`AllocationService.port` after :meth:`~AllocationService.start`.
+        self.port = port
+        self.concurrency = max(1, concurrency)
+        self.queue_limit = max(0, queue_limit)
+        self.default_deadline = default_deadline
+        self.max_deadline = max_deadline
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown = breaker_cooldown
+        self.jobs = jobs
+        self.policy = policy
+        self.retries = retries
+        self.bundle_dir = bundle_dir
+        #: attach the checksummed disk tier of the response cache here.
+        self.cache_dir = cache_dir
+        self.optimize = optimize
+
+
+class AllocationService:
+    """One serving instance; create, ``await start()``, ``await stop()``."""
+
+    def __init__(self, config: ServiceConfig = None, tracer=None):
+        self.config = config or ServiceConfig()
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.breaker = CircuitBreaker(
+            threshold=self.config.breaker_threshold,
+            cooldown=self.config.breaker_cooldown,
+            on_half_open=restart_pools,
+        )
+        self.accepting = False
+        self.port = None
+        self._server = None
+        self._executor = None
+        self._semaphore = None
+        self._admitted = 0           # requests admitted, not yet answered
+        self._request_seq = 0
+        self._started_at = None
+        self._rng = random.Random()
+        self.counters = {
+            "requests": 0,            # allocate requests received
+            "served": 0,              # 200s, degraded or not
+            "degraded": 0,            # 200s with at least one failure
+            "shed": 0,                # 429: admission queue full
+            "breaker_rejected": 0,    # 503: breaker open
+            "deadline_exceeded": 0,   # 504
+            "failed": 0,              # 500: policy re-raised
+            "bad_requests": 0,        # 400
+            "connections": 0,
+        }
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> None:
+        if self.config.cache_dir is not None:
+            RESPONSE_CACHE.attach_disk(self.config.cache_dir)
+        self._executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=self.config.concurrency,
+            thread_name_prefix="repro-serve",
+        )
+        self._semaphore = asyncio.Semaphore(self.config.concurrency)
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port,
+            limit=_LINE_LIMIT,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.accepting = True
+        self._started_at = time.monotonic()
+
+    async def stop(self) -> None:
+        """Stop accepting, drain in-flight work, tear down the pools."""
+        self.accepting = False
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        deadline = time.monotonic() + self.config.max_deadline
+        while self._admitted > 0 and time.monotonic() < deadline:
+            await asyncio.sleep(0.02)
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+        shutdown_pools()
+        if self.config.cache_dir is not None:
+            RESPONSE_CACHE.detach_disk()
+
+    async def serve_until(self, stop_event: asyncio.Event) -> None:
+        await stop_event.wait()
+        await self.stop()
+
+    # -- connection handling -------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        self.counters["connections"] += 1
+        try:
+            await self._serve_connection(reader, writer)
+        except asyncio.CancelledError:
+            # Loop teardown cancelled an idle keep-alive connection; the
+            # drain in stop() already guaranteed no reply is in flight.
+            pass
+        finally:
+            with contextlib.suppress(Exception, asyncio.CancelledError):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _serve_connection(self, reader, writer) -> None:
+        while True:
+            try:
+                line = await reader.readline()
+            except (asyncio.LimitOverrunError, ValueError):
+                writer.write(encode_message(error_response(
+                    None, 400, "request line too long")))
+                break
+            except (ConnectionResetError, BrokenPipeError):
+                break
+            if not line:
+                break
+            if line[:4] in (b"GET ", b"HEAD"):
+                await self._handle_http(line, reader, writer)
+                break
+            stop_after = await self._handle_line(line, writer)
+            try:
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError):
+                break
+            if stop_after:
+                break
+
+    async def _handle_line(self, line: bytes, writer) -> bool:
+        """Answer one NDJSON request; True when the connection (or the
+        whole server, for ``shutdown``) should wind down."""
+        received = time.monotonic()
+        try:
+            message = decode_message(line)
+        except RequestError as error:
+            self.counters["bad_requests"] += 1
+            writer.write(encode_message(error_response(
+                None, error.status, str(error))))
+            return False
+        op = message["op"]
+        request_id = message.get("id")
+        if op == "ping":
+            writer.write(encode_message(response(
+                request_id, ok=True, protocol=PROTOCOL_VERSION)))
+            return False
+        if op == "stats":
+            writer.write(encode_message(response(
+                request_id, service=self.service_section())))
+            return False
+        if op == "shutdown":
+            writer.write(encode_message(response(request_id, ok=True)))
+            with contextlib.suppress(Exception):
+                await writer.drain()
+            asyncio.get_running_loop().call_soon(
+                asyncio.ensure_future, self.stop())
+            return True
+        reply = await self._handle_allocate(message, received)
+        writer.write(encode_message(reply))
+        return False
+
+    async def _handle_allocate(self, message: dict, received: float) -> dict:
+        self.counters["requests"] += 1
+        request_id = message.get("id")
+        try:
+            request = parse_allocate_request(
+                message, self.config.default_deadline,
+                self.config.max_deadline)
+        except RequestError as error:
+            self.counters["bad_requests"] += 1
+            return error_response(request_id, error.status, str(error))
+        # Layer 1: admission control.  Everything admitted beyond the
+        # executing `concurrency` is queue; bound it.
+        if not self.accepting:
+            return error_response(request_id, 503, "shutting down",
+                                  reason="shutdown")
+        if self._admitted >= self.config.concurrency + self.config.queue_limit:
+            self.counters["shed"] += 1
+            return error_response(
+                request_id, 429, "queue full, request shed",
+                reason="shed", queue_limit=self.config.queue_limit)
+        # Layer 3: circuit breaker.
+        if not self.breaker.allow():
+            self.counters["breaker_rejected"] += 1
+            return error_response(
+                request_id, 503, "circuit breaker open",
+                reason="breaker_open",
+                retry_after=self.config.breaker_cooldown)
+        self._admitted += 1
+        try:
+            return await self._execute(request, received)
+        finally:
+            self._admitted -= 1
+
+    async def _execute(self, request, received: float) -> dict:
+        """Layers 2 and 4: deadline budget and degrading execution."""
+        fault_spec = None
+        if request.fault is not None:
+            try:
+                fault_spec = self._resolve_fault(request)
+            except RequestError as error:
+                self.counters["bad_requests"] += 1
+                return error_response(request.id, error.status, str(error))
+        async with self._semaphore:
+            if fault_spec is not None and \
+                    fault_spec.get("behavior") == "slow_request":
+                # The injected stall burns this request's own deadline
+                # budget, exactly like a slow parse or a cold pool would.
+                await asyncio.sleep(fault_spec["delay"])
+            remaining = request.deadline - (time.monotonic() - received)
+            if remaining <= 0:
+                self.counters["deadline_exceeded"] += 1
+                self.breaker.record_failure()
+                return error_response(
+                    request.id, 504, "deadline exhausted while queued",
+                    reason="deadline", deadline=request.deadline)
+            loop = asyncio.get_running_loop()
+            try:
+                payload = await asyncio.wait_for(
+                    loop.run_in_executor(
+                        self._executor, self._allocate_blocking,
+                        request, remaining, fault_spec),
+                    timeout=remaining * 1.5,
+                )
+            except asyncio.TimeoutError:
+                self.counters["deadline_exceeded"] += 1
+                self.breaker.record_failure()
+                return error_response(
+                    request.id, 504,
+                    "deadline exceeded (backstop)", reason="deadline",
+                    deadline=request.deadline)
+            except RequestError as error:
+                self.counters["bad_requests"] += 1
+                return error_response(request.id, error.status, str(error))
+            except ReproError as error:
+                self.counters["failed"] += 1
+                self.breaker.record_failure()
+                return error_response(
+                    request.id, 500, f"allocation failed: {error}",
+                    reason="allocation", error_type=type(error).__name__)
+            except Exception as error:  # noqa: BLE001 — server must answer
+                self.counters["failed"] += 1
+                self.breaker.record_failure()
+                return error_response(
+                    request.id, 500, f"internal error: {error!r}",
+                    reason="internal", error_type=type(error).__name__)
+        if payload.get("degraded"):
+            self.counters["degraded"] += 1
+            # The answer is correct (spill-everything) but the backend
+            # failed to produce the real one: that is a breaker failure.
+            self.breaker.record_failure()
+        else:
+            self.breaker.record_success()
+        self.counters["served"] += 1
+        return response(request.id, **payload)
+
+    # -- the blocking allocation (executor thread) ---------------------
+
+    def _allocate_blocking(self, request, budget: float,
+                           fault_spec) -> dict:
+        started = time.monotonic()
+        module = self._build_module(request)
+        target = rt_pc()
+        if request.int_regs != 16:
+            target = target.with_int_regs(request.int_regs)
+        if request.float_regs != 8:
+            target = target.with_float_regs(request.float_regs)
+        method = request.method
+        kwargs = {
+            "jobs": self.config.jobs,
+            "policy": self.config.policy,
+            "retries": self.config.retries,
+        }
+        if fault_spec is not None and "strategy" in fault_spec:
+            method = fault_spec["strategy"]
+            kwargs.update(fault_spec.get("extra", {}))
+        if fault_spec is not None and \
+                fault_spec.get("behavior") == "cache_corrupt":
+            self._corrupt_disk_cache(fault_spec)
+        self._request_seq += 1
+        if self.config.bundle_dir is not None:
+            kwargs["bundle_dir"] = (
+                pathlib.Path(self.config.bundle_dir)
+                / f"request-{self._request_seq}"
+            )
+        n_functions = max(1, len(module.functions))
+        remaining = budget - (time.monotonic() - started)
+        if remaining <= 0:
+            raise RequestError("deadline exhausted during parse",
+                               status=504)
+        # An injected hang must not stall the request for the whole
+        # budget: keep the pool's per-function watchdog tighter than the
+        # request deadline so restarts happen *inside* the budget.
+        kwargs.setdefault("timeout", max(0.05, remaining / n_functions))
+        # No per-request tracer: a live tracer disables the response
+        # cache (replays would drop worker spans), and the service wants
+        # the cache — its own counters cover the observability story.
+        allocation = allocate_module(
+            module, target, method, validate=request.validate, **kwargs,
+        )
+        degraded = [
+            failure.as_dict() for failure in allocation.failures
+        ]
+        payload = {
+            "name": module.name,
+            "method": allocation.method,
+            "assignment": flat_assignment(allocation),
+            "stats": {
+                name: {
+                    "passes": result.stats.pass_count,
+                    "registers_spilled": result.stats.registers_spilled,
+                    "spill_cost": result.stats.spill_cost,
+                }
+                for name, result in sorted(allocation.results.items())
+            },
+            "elapsed": round(time.monotonic() - started, 6),
+        }
+        if degraded:
+            payload["degraded"] = True
+            payload["failures"] = degraded
+        if allocation.parallel_fallback:
+            payload["parallel_fallback"] = allocation.parallel_fallback
+        return payload
+
+    def _build_module(self, request):
+        try:
+            if request.source is not None:
+                return compile_source(request.source, request.name,
+                                      optimize=self.config.optimize)
+            return decode_module(request.wire)
+        except ReproError as error:
+            raise RequestError(
+                f"cannot build module: {error}") from error
+
+    # -- fault injection (chaos harness) -------------------------------
+
+    def _resolve_fault(self, request):
+        """A chaos request named a registered fault: resolve it into a
+        spec the execution path interprets.  Unknown names are 400s."""
+        from repro.robustness.faults import FAULTS
+
+        fault = FAULTS.get(request.fault)
+        if fault is None or fault.kind not in ("service", "worker"):
+            raise RequestError(
+                f"unknown injectable fault {request.fault!r}")
+        if fault.kind == "worker":
+            strategy, extra = fault.inject(self._rng)
+            return {"behavior": request.fault, "strategy": strategy,
+                    "extra": dict(extra)}
+        spec = dict(fault.inject(self._rng))
+        spec.update(request.fault_args)
+        spec["behavior"] = request.fault
+        return spec
+
+    def _corrupt_disk_cache(self, spec) -> None:
+        """``cache_corrupt``: flip one byte in every live disk-cache
+        entry and drop the memory tier, so this request replays the
+        warm-start path against damaged files.  The verified read must
+        quarantine them all and recompute — never serve the damage."""
+        disk = RESPONSE_CACHE.disk
+        if disk is None:
+            return
+        RESPONSE_CACHE.drop_memory()
+        offset = int(spec.get("offset", 7))
+        for path in disk.entry_paths():
+            try:
+                raw = bytearray(path.read_bytes())
+            except OSError:
+                continue
+            if not raw:
+                continue
+            position = min(offset, len(raw) - 1)
+            raw[position] ^= 0xFF
+            with contextlib.suppress(OSError):
+                path.write_bytes(bytes(raw))
+
+    # -- observability -------------------------------------------------
+
+    def service_section(self) -> dict:
+        """The ``service`` section of the metrics document."""
+        section = dict(self.counters)
+        section["breaker"] = self.breaker.stats()
+        section["accepting"] = self.accepting
+        section["in_flight"] = self._admitted
+        section["concurrency"] = self.config.concurrency
+        section["queue_limit"] = self.config.queue_limit
+        if self._started_at is not None:
+            section["uptime"] = round(
+                time.monotonic() - self._started_at, 3)
+        cache = RESPONSE_CACHE.stats()
+        section["response_cache"] = cache
+        return section
+
+    def ready(self) -> bool:
+        return (
+            self.accepting
+            and self.breaker.state != CircuitBreaker.OPEN
+            and self._admitted
+            < self.config.concurrency + self.config.queue_limit
+        )
+
+    # -- HTTP probes ---------------------------------------------------
+
+    async def _handle_http(self, first_line: bytes, reader, writer) -> None:
+        try:
+            target = first_line.split()[1].decode("ascii", "replace")
+        except IndexError:
+            target = "/"
+        # Drain the (tiny) header block so the client's write succeeds.
+        with contextlib.suppress(Exception):
+            while True:
+                header = await asyncio.wait_for(reader.readline(), 1.0)
+                if header in (b"", b"\r\n", b"\n"):
+                    break
+        if target == "/healthz":
+            writer.write(http_response(200, "ok\n"))
+        elif target == "/readyz":
+            if self.ready():
+                writer.write(http_response(200, "ready\n"))
+            else:
+                writer.write(http_response(
+                    503, {"ready": False,
+                          "breaker": self.breaker.state,
+                          "accepting": self.accepting,
+                          "in_flight": self._admitted}))
+        elif target == "/metrics":
+            writer.write(http_response(
+                200, {"schema": "repro-metrics/1",
+                      "service": self.service_section()}))
+        else:
+            writer.write(http_response(404, f"no route {target}\n"))
+        with contextlib.suppress(Exception):
+            await writer.drain()
+
+
+def run_server(config: ServiceConfig, announce=None) -> int:
+    """Blocking entry point for ``repro serve``: run until SIGTERM or
+    SIGINT, drain, tear down pools, exit 0."""
+
+    async def main() -> int:
+        service = AllocationService(config)
+        await service.start()
+        if announce is not None:
+            announce(service)
+        stop_event = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        import signal as signal_mod
+
+        for signum in (signal_mod.SIGTERM, signal_mod.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop_event.set)
+            except (NotImplementedError, RuntimeError):
+                pass
+        try:
+            await service.serve_until(stop_event)
+        finally:
+            if service.accepting:
+                await service.stop()
+        return 0
+
+    # Belt and braces: the asyncio handlers drain gracefully, and the
+    # process-level teardown guarantees no warm worker survives even if
+    # the loop never gets to run them.
+    install_signal_teardown()
+    try:
+        return asyncio.run(main())
+    except KeyboardInterrupt:
+        shutdown_pools()
+        return 0

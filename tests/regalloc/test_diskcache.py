@@ -1,0 +1,236 @@
+"""Corruption tolerance of the response cache's disk tier.
+
+The contract under test (ISSUE 7 satellite): for every damage class a
+real filesystem can produce — truncation, bit flips, foreign/stale
+format versions, torn concurrent writes — the checksummed read path must
+**quarantine** the damaged entry and fall through to a recompute whose
+answer is bit-identical to a cold run.  A damaged cache may cost time;
+it may never change an assignment.
+"""
+
+import pickle
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.regalloc import allocate_module
+from repro.regalloc.diskcache import DISK_CACHE_MAGIC, DiskCache, key_digest
+from repro.regalloc.pool import RESPONSE_CACHE, shutdown_pools
+from repro.robustness.faults import DEFAULT_FAULT_SOURCE, default_fault_target
+
+
+@pytest.fixture(autouse=True)
+def fresh_pool_state():
+    shutdown_pools()
+    RESPONSE_CACHE.clear()
+    yield
+    shutdown_pools()
+    RESPONSE_CACHE.clear()
+
+
+KEY = ("wire-text", "target", "briggs", ())
+PAYLOAD = pickle.dumps({"answer": 42, "colors": [1, 2, 3]})
+
+
+class TestRoundTrip:
+    def test_put_then_get_returns_payload(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.put(KEY, PAYLOAD)
+        assert cache.get(KEY) == PAYLOAD
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["quarantined"] == 0
+
+    def test_missing_entry_is_a_plain_miss(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        assert cache.get(KEY) is None
+        assert cache.stats()["misses"] == 1
+        assert cache.stats()["quarantined"] == 0
+
+    def test_entries_survive_a_new_cache_instance(self, tmp_path):
+        DiskCache(tmp_path).put(KEY, PAYLOAD)
+        reopened = DiskCache(tmp_path)
+        assert reopened.get(KEY) == PAYLOAD
+
+    def test_key_digest_is_stable_and_filename_safe(self):
+        digest = key_digest(KEY)
+        assert digest == key_digest(("wire-text", "target", "briggs", ()))
+        assert len(digest) == 64
+        assert digest.isalnum()
+
+
+def _entry_path(cache, key=KEY):
+    (path,) = [p for p in cache.entry_paths()
+               if p.name.startswith(key_digest(key))]
+    return path
+
+
+class TestEveryDamageClassQuarantines:
+    """One test per damage class; each must quarantine + miss, and the
+    quarantined file must be preserved with its reason on record."""
+
+    def _assert_quarantined(self, cache, reason_fragment):
+        assert cache.get(KEY) is None, "damaged entry must read as a miss"
+        assert cache.quarantined == 1
+        assert len(cache) == 0, "damaged entry must leave the lookup path"
+        (name, reason) = cache.quarantine_log[-1]
+        assert reason_fragment in reason
+        qdir = cache.root / "quarantine"
+        assert (qdir / name).exists()
+        assert reason_fragment in (qdir / f"{name}.reason").read_text()
+
+    def test_truncated_file(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.put(KEY, PAYLOAD)
+        path = _entry_path(cache)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) - 7])
+        self._assert_quarantined(cache, "truncated")
+
+    def test_truncated_to_no_header(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.put(KEY, PAYLOAD)
+        path = _entry_path(cache)
+        path.write_bytes(b"repro-diskcache/1 deadbeef")  # no newline
+        self._assert_quarantined(cache, "no header")
+
+    def test_flipped_payload_byte(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.put(KEY, PAYLOAD)
+        path = _entry_path(cache)
+        raw = bytearray(path.read_bytes())
+        raw[-3] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        self._assert_quarantined(cache, "checksum mismatch")
+
+    def test_wrong_version_header(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.put(KEY, PAYLOAD)
+        path = _entry_path(cache)
+        raw = path.read_bytes()
+        newline = raw.find(b"\n")
+        header = raw[:newline].decode("ascii").split()
+        header[0] = "repro-diskcache/999"
+        path.write_bytes(" ".join(header).encode() + raw[newline:])
+        self._assert_quarantined(cache, "wrong version")
+
+    def test_concurrent_writer_torn_write(self, tmp_path):
+        """A non-atomic writer died mid-write: header promises more
+        payload than the file holds (the torn tail), and a *different*
+        payload's bytes follow a stale header (the interleaved case)."""
+        cache = DiskCache(tmp_path)
+        cache.put(KEY, PAYLOAD)
+        path = _entry_path(cache)
+        raw = path.read_bytes()
+        newline = raw.find(b"\n")
+        # Simulate two writers interleaved: keep this entry's header,
+        # splice in half of another payload's bytes.
+        other = pickle.dumps({"other": "writer"})
+        path.write_bytes(raw[: newline + 1] + other)
+        self._assert_quarantined(cache, "")
+        # Either the length check or the checksum caught it.
+        (_, reason) = cache.quarantine_log[-1]
+        assert ("torn" in reason) or ("checksum" in reason)
+
+    def test_garbage_header_line(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.put(KEY, PAYLOAD)
+        path = _entry_path(cache)
+        path.write_bytes(b"\xff\xfe\x00garbage\nmore bytes")
+        self._assert_quarantined(cache, "header")
+
+    def test_quarantine_false_deletes_instead(self, tmp_path):
+        cache = DiskCache(tmp_path, quarantine=False)
+        cache.put(KEY, PAYLOAD)
+        path = _entry_path(cache)
+        path.write_bytes(b"junk\n")
+        assert cache.get(KEY) is None
+        assert cache.quarantined == 1
+        assert not path.exists()
+        assert not (cache.root / "quarantine").exists()
+
+    def test_store_after_quarantine_serves_again(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.put(KEY, PAYLOAD)
+        _entry_path(cache).write_bytes(b"junk\n")
+        assert cache.get(KEY) is None
+        cache.put(KEY, PAYLOAD)
+        assert cache.get(KEY) == PAYLOAD
+
+
+class TestWriteAtomicity:
+    def test_no_tmp_turds_after_put(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        for index in range(8):
+            cache.put((KEY, index), PAYLOAD + bytes([index]))
+        assert list(tmp_path.glob("*.tmp")) == []
+        assert len(cache) == 8
+
+    def test_failed_write_degrades_to_cold(self, tmp_path, monkeypatch):
+        """A full disk (or unwritable directory) must degrade to a cold
+        cache, never raise into the allocation path.  chmod can't model
+        this under root, so fail the atomic rename itself."""
+        cache = DiskCache(tmp_path)
+        monkeypatch.setattr(
+            "repro.regalloc.diskcache.os.replace",
+            lambda *a, **kw: (_ for _ in ()).throw(OSError("disk full")),
+        )
+        cache.put(KEY, PAYLOAD)  # must not raise
+        assert cache.stores == 0
+        assert list(tmp_path.glob("*.tmp")) == [], "tmp turd left behind"
+        monkeypatch.undo()
+        assert cache.get(KEY) is None
+
+
+def _allocate(cache_enabled=True):
+    module = compile_source(DEFAULT_FAULT_SOURCE)
+    allocation = allocate_module(
+        module, default_fault_target(), "briggs", jobs=2,
+        cache=cache_enabled,
+    )
+    # VReg equality is identity, so compare wire-style tokens — stable
+    # across independent compiles of the same source.
+    return {
+        name: {
+            f"{vreg.rclass.value}{vreg.id}": color
+            for vreg, color in result.assignment.items()
+        }
+        for name, result in allocation.results.items()
+    }
+
+
+class TestRecomputeIsBitIdentical:
+    """The end-to-end property: damage every disk entry between two
+    warm-start allocations; the second answer must equal a cold run's."""
+
+    @pytest.mark.parametrize("damage", ["truncate", "flip", "version"])
+    def test_damaged_disk_tier_recomputes_cold_answer(self, tmp_path,
+                                                      damage):
+        cold = _allocate(cache_enabled=False)
+        disk = RESPONSE_CACHE.attach_disk(tmp_path)
+        first = _allocate()
+        assert first == cold
+        assert disk.stores > 0
+        # Simulate a restart onto a damaged cache directory.
+        RESPONSE_CACHE.drop_memory()
+        for path in disk.entry_paths():
+            raw = bytearray(path.read_bytes())
+            if damage == "truncate":
+                del raw[len(raw) // 2:]
+            elif damage == "flip":
+                raw[-1] ^= 0x01
+            else:
+                raw[:raw.index(b" ")] = b"repro-diskcache/0"
+            path.write_bytes(bytes(raw))
+        again = _allocate()
+        assert again == cold, "damaged cache changed an assignment"
+        assert disk.quarantined > 0
+        assert RESPONSE_CACHE.stats()["disk"]["quarantined"] > 0
+
+    def test_undamaged_disk_tier_replays_across_restart(self, tmp_path):
+        cold = _allocate(cache_enabled=False)
+        RESPONSE_CACHE.attach_disk(tmp_path)
+        first = _allocate()
+        RESPONSE_CACHE.drop_memory()
+        again = _allocate()
+        assert first == again == cold
+        assert RESPONSE_CACHE.disk_hits > 0

@@ -247,6 +247,69 @@ class TestResponseCache:
         assert cache.get(("k", 3))[1] == "3"
 
 
+_SIGNAL_VICTIM = r"""
+import os, signal, sys, time
+
+from repro.frontend import compile_source
+from repro.machine.target import rt_pc
+from repro.regalloc import allocate_module
+from repro.regalloc.pool import active_pools, install_signal_teardown
+from repro.robustness.faults import DEFAULT_FAULT_SOURCE
+
+install_signal_teardown()
+module = compile_source(DEFAULT_FAULT_SOURCE)
+allocate_module(module, rt_pc(), "briggs", jobs=2)
+pids = [pid for pool in active_pools() for pid in pool.worker_pids()]
+print(" ".join(map(str, pids)), flush=True)
+signal.pause()
+"""
+
+
+class TestSignalTeardown:
+    """ISSUE 7 satellite: a SIGTERM'd process must run shutdown_pools()
+    before dying — ``atexit`` never fires on a fatal signal, and orphaned
+    warm workers are exactly the leak ``repro serve`` cannot afford."""
+
+    @pytest.mark.parametrize("signum", [15, 2], ids=["SIGTERM", "SIGINT"])
+    @slow
+    def test_signal_exit_leaks_no_workers(self, signum):
+        import signal
+        import subprocess
+        import sys
+
+        src_root = str(pathlib.Path(pool_mod.__file__).resolve().parents[2])
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_root + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        victim = subprocess.Popen(
+            [sys.executable, "-c", _SIGNAL_VICTIM],
+            stdout=subprocess.PIPE, env=env, text=True,
+        )
+        try:
+            pids = [int(p) for p in victim.stdout.readline().split()]
+            assert pids, "victim warmed no pool workers"
+            victim.send_signal(signum)
+            victim.wait(timeout=30)
+        finally:
+            if victim.poll() is None:
+                victim.kill()
+                victim.wait()
+            victim.stdout.close()
+        for pid in pids:
+            assert _gone(pid), (
+                f"worker {pid} outlived its SIGTERM'd parent"
+            )
+        # The teardown handler re-delivers with the default disposition,
+        # so the exit status still reports death-by-signal (SIGTERM) or
+        # the KeyboardInterrupt exit (SIGINT through Python's default
+        # handler).
+        if signum == signal.SIGTERM:
+            assert victim.returncode == -signal.SIGTERM
+        else:
+            assert victim.returncode != 0
+
+
 class TestWorkerFaultsOnPoolPath:
     def test_worker_crash_still_trips_at_driver_layer(self):
         probe = probe_fault("worker_crash", seed=0)

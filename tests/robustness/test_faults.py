@@ -23,9 +23,14 @@ slow = pytest.mark.slow
 
 def registry_params():
     """One param per registered fault; the hang probe waits out a real
-    timeout, so it rides in the slow lane."""
+    timeout and the service probes each spin a live daemon plus worker
+    pool, so those ride in the slow lane."""
     return [
-        pytest.param(name, marks=[slow] if name == "worker_hang" else [])
+        pytest.param(
+            name,
+            marks=[slow] if (name == "worker_hang"
+                             or FAULTS[name].kind == "service") else [],
+        )
         for name in sorted(FAULTS)
     ]
 
@@ -46,12 +51,15 @@ class TestRegistryContracts:
             "perturb_spill_cost",
             "worker_crash",
             "worker_hang",
+            "slow_request",
+            "cache_corrupt",
+            "client_disconnect",
         } <= set(FAULTS)
 
     @pytest.mark.parametrize("name", sorted(FAULTS))
     def test_every_fault_declares_its_contract(self, name):
         fault = FAULTS[name]
-        assert fault.kind in ("allocation", "costs", "worker")
+        assert fault.kind in ("allocation", "costs", "worker", "service")
         assert fault.expect in ("detected", "degraded")
         assert fault.description
         assert callable(fault.inject)

@@ -127,6 +127,55 @@ class TestCleanBuildSurvives:
         assert a.key() != b.key()
 
 
+class TestSubsetStageScoping:
+    """The fuzz loop's subset-guarantee stage reads the factory's
+    declared guarantees (ISSUE 7 satellite): a strategy that never
+    claimed the §2.3 theorem is not failed by it."""
+
+    #: A path Chaitin 2-colors completely, so ANY extra spill violates
+    #: the subset relation — when the relation applies at all.
+    SPEC = GraphSpec(3, 2, [(0, 1), (1, 2)], [1.0, 2.0, 3.0])
+
+    @staticmethod
+    def _spilly(order):
+        class Spilly(BriggsAllocator):
+            def __init__(self):
+                super().__init__(order=order)
+
+            def allocate_class(self, graph, costs, color_order=None,
+                               tracer=None):
+                outcome = super().allocate_class(
+                    graph, costs, color_order, tracer=tracer)
+                victim = min(outcome.colors, key=lambda v: v.id, default=None)
+                if victim is not None:
+                    del outcome.colors[victim]
+                    outcome.spilled_vregs = list(outcome.spilled_vregs) \
+                        + [victim]
+                    # Drop the select evidence so the (still-running)
+                    # invariant stages see a plain evidence-free outcome
+                    # — the point is what the *subset* stage does.
+                    outcome.stack = None
+                    outcome.marked = []
+                return outcome
+        return Spilly
+
+    def test_cost_ordered_violation_is_caught(self):
+        failure = check_graph_case(self.SPEC,
+                                   briggs_factory=self._spilly("cost"))
+        assert failure is not None
+        stage, error = failure
+        assert stage == "subset-guarantee"
+        assert "Chaitin kept in registers" in str(error)
+
+    def test_degree_ordered_strategy_is_out_of_scope(self):
+        """Same spill-too-much behavior, but order="degree" declares no
+        guarantees — the subset stage must skip, and the case passes the
+        remaining (still-applicable) stages."""
+        assert check_graph_case(
+            self.SPEC, briggs_factory=self._spilly("degree")
+        ) is None
+
+
 class TestShrinkerCatchesInjectedBugs:
     """Satellite 3: a known-bad allocator must shrink to a minimal
     witness of bounded size, deterministically for a fixed seed."""

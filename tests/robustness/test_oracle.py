@@ -11,9 +11,11 @@ import pytest
 
 from repro.errors import AllocationError, InvariantError
 from repro.regalloc import BriggsAllocator, ChaitinAllocator
+from repro.regalloc.naive import SpillAllAllocator
 from repro.robustness import (
     check_subset_guarantee,
     check_workload_subset_guarantee,
+    declared_guarantees,
     exact_color,
     oracle_verdict,
 )
@@ -178,6 +180,81 @@ class TestSubsetGuarantee:
                 check_subset_guarantee(graph, costs)
         finally:
             oracle_module.BriggsAllocator = original
+
+
+class TestGuaranteeScoping:
+    """§2.3 assertions are scoped to the guarantees a strategy declares
+    (ISSUE 7 satellite): the theorem was proved for the cost-ordered
+    Briggs refinement against Chaitin, and holding any other strategy to
+    it would be asserting someone else's theorem."""
+
+    def test_declarations_match_the_paper(self):
+        assert declared_guarantees(BriggsAllocator()) == {
+            "spills-subset-of-chaitin",
+            "matches-chaitin-when-colorable",
+        }
+        assert declared_guarantees(BriggsAllocator(order="degree")) \
+            == frozenset()
+        assert declared_guarantees(ChaitinAllocator()) == {
+            "chaitin-reference",
+        }
+        assert declared_guarantees(SpillAllAllocator()) == frozenset()
+
+    def test_strategy_without_the_attribute_declares_nothing(self):
+        assert declared_guarantees(object()) == frozenset()
+
+    def test_undeclared_candidate_is_skipped_without_running(self):
+        """A strategy that declares nothing must not even be invoked —
+        returning None is the 'not applicable' verdict, not a pass."""
+
+        class NoGuarantees:
+            name = "opaque"
+            guarantees = ()
+
+            def allocate_class(self, *args, **kwargs):
+                raise AssertionError("must not run an undeclared strategy")
+
+        graph, _, costs = cycle(["a", "b", "c", "d"], 2)
+        assert check_subset_guarantee(
+            graph, costs, briggs=NoGuarantees()
+        ) is None
+
+    def test_degree_ordered_briggs_is_out_of_scope(self):
+        graph, _, costs = cycle(["a", "b", "c", "d", "e"], 2)
+        report = check_subset_guarantee(
+            graph, costs, briggs=BriggsAllocator(order="degree")
+        )
+        assert report is None
+
+    def test_non_chaitin_reference_side_is_skipped(self):
+        graph, _, costs = cycle(["a", "b", "c", "d"], 2)
+        assert check_subset_guarantee(
+            graph, costs, chaitin=SpillAllAllocator()
+        ) is None
+
+    def test_liar_declaring_the_guarantee_is_still_refused(self):
+        """Declaring the guarantee opts a strategy *into* enforcement:
+        a spill-everything impostor carrying the Briggs tokens must be
+        caught, not trusted."""
+
+        class Liar(SpillAllAllocator):
+            name = "liar"
+            guarantees = ("spills-subset-of-chaitin",
+                          "matches-chaitin-when-colorable")
+
+        graph, _, costs = make_graph(
+            ["a", "b", "c"], [("a", "b"), ("b", "c")], 2
+        )
+        with pytest.raises(InvariantError, match="subset guarantee"):
+            check_subset_guarantee(graph, costs, briggs=Liar())
+
+    def test_default_call_still_enforces_the_theorem(self):
+        """The zero-argument form keeps its PR-3 meaning: pristine
+        cost-ordered Briggs vs Chaitin, theorem enforced."""
+        graph, _, costs = cycle(["a", "b", "c", "d", "e"], 2)
+        report = check_subset_guarantee(graph, costs)
+        assert report is not None
+        assert report.briggs_spilled <= report.chaitin_spilled
 
 
 class TestRegistryAcceptance:

@@ -1,0 +1,130 @@
+"""The circuit breaker's state machine, driven by a fake clock."""
+
+import pytest
+
+from repro.service.breaker import CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+def tripped(breaker):
+    for _ in range(breaker.threshold):
+        breaker.record_failure()
+    return breaker
+
+
+class TestClosed:
+    def test_starts_closed_and_admits(self, clock):
+        breaker = CircuitBreaker(threshold=3, cooldown=5.0, clock=clock)
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert all(breaker.allow() for _ in range(10))
+        assert breaker.rejections == 0
+
+    def test_success_resets_the_failure_streak(self, clock):
+        breaker = CircuitBreaker(threshold=3, cooldown=5.0, clock=clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED, (
+            "non-consecutive failures must not trip the breaker"
+        )
+
+    def test_threshold_validated(self, clock):
+        with pytest.raises(ValueError, match="threshold"):
+            CircuitBreaker(threshold=0, clock=clock)
+
+
+class TestOpen:
+    def test_consecutive_failures_trip_at_threshold(self, clock):
+        breaker = tripped(CircuitBreaker(threshold=3, cooldown=5.0,
+                                         clock=clock))
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.trips == 1
+
+    def test_open_rejects_and_counts(self, clock):
+        breaker = tripped(CircuitBreaker(threshold=3, cooldown=5.0,
+                                         clock=clock))
+        clock.advance(4.9)
+        assert not breaker.allow()
+        assert not breaker.allow()
+        assert breaker.rejections == 2
+
+    def test_extra_failures_while_open_do_not_retrip(self, clock):
+        breaker = tripped(CircuitBreaker(threshold=3, cooldown=5.0,
+                                         clock=clock))
+        breaker.record_failure()
+        assert breaker.trips == 1
+
+
+class TestHalfOpen:
+    def test_cooldown_admits_exactly_one_trial(self, clock):
+        breaker = tripped(CircuitBreaker(threshold=3, cooldown=5.0,
+                                         clock=clock))
+        clock.advance(5.0)
+        assert breaker.allow()
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert not breaker.allow(), "only one trial request in half-open"
+
+    def test_transition_fires_on_half_open_once(self, clock):
+        fired = []
+        breaker = tripped(CircuitBreaker(
+            threshold=3, cooldown=5.0, clock=clock,
+            on_half_open=lambda: fired.append(True),
+        ))
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.allow()
+        assert fired == [True], (
+            "on_half_open (the pool restart hook) must fire exactly once "
+            "per transition"
+        )
+
+    def test_trial_success_closes(self, clock):
+        breaker = tripped(CircuitBreaker(threshold=3, cooldown=5.0,
+                                         clock=clock))
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+
+    def test_trial_failure_reopens_for_another_cooldown(self, clock):
+        breaker = tripped(CircuitBreaker(threshold=3, cooldown=5.0,
+                                         clock=clock))
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.trips == 2
+        assert not breaker.allow()
+        clock.advance(5.0)
+        assert breaker.allow(), "second cooldown admits another trial"
+
+
+class TestStats:
+    def test_stats_reports_the_whole_story(self, clock):
+        breaker = tripped(CircuitBreaker(threshold=2, cooldown=1.0,
+                                         clock=clock))
+        breaker.allow()
+        stats = breaker.stats()
+        assert stats["state"] == CircuitBreaker.OPEN
+        assert stats["trips"] == 1
+        assert stats["rejections"] == 1
+        assert stats["threshold"] == 2
+        assert stats["consecutive_failures"] == 2

@@ -1,0 +1,136 @@
+"""The request-level chaos harness, exercised for real.
+
+These tests boot a live server and storm it — they are the executable
+form of the ISSUE's acceptance criterion: every non-rejected answer
+bit-identical to a serial reference, zero leaked workers, and the
+service counters on record.  The full four-fault storm rides in the
+slow lane; a lighter two-fault storm keeps the property in the default
+suite.
+"""
+
+import pytest
+
+from repro.regalloc.pool import RESPONSE_CACHE, shutdown_pools
+from repro.service.chaos import (
+    CHAOS_WORKLOADS,
+    ChaosReport,
+    DEFAULT_FAULT_RATES,
+    run_chaos,
+)
+
+slow = pytest.mark.slow
+
+
+@pytest.fixture(autouse=True)
+def fresh_pool_state():
+    shutdown_pools()
+    RESPONSE_CACHE.clear()
+    yield
+    shutdown_pools()
+    RESPONSE_CACHE.clear()
+
+
+def rates(**overrides):
+    """All faults off except the named ones."""
+    enabled = {name: 0.0 for name in DEFAULT_FAULT_RATES}
+    enabled.update(overrides)
+    return enabled
+
+
+class TestReport:
+    def test_empty_report_is_ok_and_serializable(self):
+        report = ChaosReport()
+        assert report.ok
+        assert report.p99 == 0.0
+        round_tripped = report.as_dict()
+        assert round_tripped["ok"] is True
+        assert "OK" in report.summary()
+
+    def test_wrong_answer_fails_the_verdict(self):
+        report = ChaosReport()
+        report.wrong_answers.append(("r1", "assignment differs"))
+        assert not report.ok
+        assert "WRONG ANSWER" in report.summary()
+
+    def test_leaked_worker_fails_the_verdict(self):
+        report = ChaosReport()
+        report.leaked_workers.append(12345)
+        assert not report.ok
+
+
+class TestCleanStream:
+    def test_faultless_replay_matches_references_exactly(self):
+        report = run_chaos(requests=8, seed=3, fault_rates=rates(),
+                           concurrency=2, deadline=15.0)
+        assert report.ok, report.summary()
+        assert report.requests == 8
+        assert report.served >= 8  # + the recovery request
+        assert report.degraded == 0
+        assert report.injected == {}
+        assert report.leaked_workers == []
+
+    def test_same_seed_draws_the_same_storm(self):
+        first = run_chaos(requests=10, seed=7,
+                          fault_rates=rates(worker_crash=0.3,
+                                            slow_request=0.3),
+                          concurrency=2, deadline=10.0)
+        second = run_chaos(requests=10, seed=7,
+                           fault_rates=rates(worker_crash=0.3,
+                                             slow_request=0.3),
+                           concurrency=2, deadline=10.0)
+        assert first.injected == second.injected
+        assert first.requests == second.requests
+
+
+class TestFaultStorm:
+    def test_crash_and_disconnect_storm_yields_no_wrong_answers(self):
+        report = run_chaos(
+            requests=12, seed=0,
+            fault_rates=rates(worker_crash=0.3, client_disconnect=0.2),
+            concurrency=3, deadline=15.0,
+        )
+        assert report.ok, report.summary()
+        assert report.injected, "the storm injected nothing"
+        assert report.served > 0
+        assert report.leaked_workers == []
+        section = report.service
+        assert section["requests"] >= report.served
+        assert {"shed", "degraded", "breaker_rejected"} <= set(section)
+
+    @slow
+    def test_acceptance_four_fault_storm(self):
+        """ISSUE 7 acceptance: worker_crash, worker_hang, slow_request,
+        and cache_corrupt enabled; every non-rejected answer must be
+        bit-identical to a serial reference (the chaos verifier's rule
+        table), zero live workers after shutdown, and the service
+        section must report the shed/degraded/breaker counters."""
+        report = run_chaos(
+            requests=24, seed=0,
+            fault_rates=rates(worker_crash=0.2, worker_hang=0.08,
+                              slow_request=0.15, cache_corrupt=0.12),
+            concurrency=4, deadline=12.0,
+        )
+        assert report.ok, report.summary()
+        assert set(report.injected) <= {"worker_crash", "worker_hang",
+                                        "slow_request", "cache_corrupt"}
+        assert len(report.injected) >= 3, (
+            f"storm too tame, injected only {report.injected}"
+        )
+        assert report.wrong_answers == []
+        assert report.leaked_workers == []
+        assert report.served > 0
+        section = report.service
+        for counter in ("shed", "degraded", "breaker_rejected",
+                        "deadline_exceeded"):
+            assert counter in section
+        assert section["breaker"]["state"]
+        # Bounded tail latency: chaos may slow requests down, never
+        # wedge them past the deadline machinery's reach.
+        assert report.p99 <= 12.0 * 3
+
+    def test_workload_subset_can_be_pinned(self):
+        report = run_chaos(requests=4, seed=1, fault_rates=rates(),
+                           concurrency=2, deadline=15.0,
+                           workloads=("straightline",))
+        assert report.ok, report.summary()
+        assert set(CHAOS_WORKLOADS) > {"straightline"}

@@ -1,0 +1,119 @@
+"""Wire-protocol framing, validation, and HTTP probe encoding."""
+
+import json
+
+import pytest
+
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    RequestError,
+    decode_message,
+    encode_message,
+    error_response,
+    http_response,
+    parse_allocate_request,
+    response,
+)
+
+
+class TestFraming:
+    def test_encode_is_one_json_line(self):
+        raw = encode_message({"op": "ping", "id": 7})
+        assert raw.endswith(b"\n")
+        assert raw.count(b"\n") == 1
+        assert json.loads(raw) == {"op": "ping", "id": 7}
+
+    def test_decode_round_trips(self):
+        message = decode_message(encode_message({"op": "stats"}))
+        assert message["op"] == "stats"
+
+    def test_decode_defaults_op_to_allocate(self):
+        assert decode_message(b'{"source": "end"}')["op"] == "allocate"
+
+    @pytest.mark.parametrize("line,fragment", [
+        (b"not json\n", "not valid JSON"),
+        (b"[1, 2, 3]\n", "must be a JSON object"),
+        (b'{"op": "frobnicate"}\n', "unknown op"),
+        (b"\xff\xfe{}\n", "not valid UTF-8"),
+    ])
+    def test_bad_lines_are_400s(self, line, fragment):
+        with pytest.raises(RequestError, match=fragment) as info:
+            decode_message(line)
+        assert info.value.status == 400
+
+    def test_protocol_version_is_declared(self):
+        assert PROTOCOL_VERSION == 1
+
+
+def parse(message, default=30.0, maximum=120.0):
+    return parse_allocate_request(message, default, maximum)
+
+
+class TestAllocateValidation:
+    def test_minimal_source_request(self):
+        request = parse({"source": "program p\nend\n"})
+        assert request.method == "briggs"
+        assert request.int_regs == 16
+        assert request.float_regs == 8
+        assert request.deadline == 30.0
+        assert request.wire is None
+
+    def test_wire_requests_are_accepted(self):
+        request = parse({"wire": "M 1 m main\n", "name": "m"})
+        assert request.wire is not None
+        assert request.source is None
+
+    @pytest.mark.parametrize("message,fragment", [
+        ({}, "exactly one of"),
+        ({"source": "end", "wire": "M"}, "exactly one of"),
+        ({"source": ""}, "non-empty"),
+        ({"source": "end", "method": "llvm-greedy"}, "unknown method"),
+        ({"source": "end", "name": "not an identifier"}, "identifier"),
+        ({"source": "end", "int_regs": 0}, "positive integer"),
+        ({"source": "end", "int_regs": True}, "positive integer"),
+        ({"source": "end", "deadline": -1}, "positive number"),
+        ({"source": "end", "fault": 7}, "fault name"),
+        ({"source": "end", "fault_args": []}, "object"),
+    ])
+    def test_bad_fields_are_400s(self, message, fragment):
+        with pytest.raises(RequestError, match=fragment) as info:
+            parse(message)
+        assert info.value.status == 400
+
+    def test_deadline_clamped_to_maximum_not_rejected(self):
+        request = parse({"source": "end", "deadline": 10_000})
+        assert request.deadline == 120.0
+
+    def test_registers_are_configurable(self):
+        request = parse({"source": "end", "int_regs": 4, "float_regs": 3,
+                         "method": "chaitin"})
+        assert (request.int_regs, request.float_regs) == (4, 3)
+        assert request.method == "chaitin"
+
+
+class TestResponses:
+    def test_response_carries_id_and_status(self):
+        assert response(9, ok=True) == {"id": 9, "status": 200, "ok": True}
+
+    def test_error_response_carries_reason(self):
+        reply = error_response(3, 429, "queue full", reason="shed")
+        assert reply["status"] == 429
+        assert reply["error"] == "queue full"
+        assert reply["reason"] == "shed"
+
+
+class TestHttpProbes:
+    def test_text_response_shape(self):
+        raw = http_response(200, "ok\n").decode()
+        head, _, body = raw.partition("\r\n\r\n")
+        assert head.startswith("HTTP/1.0 200 OK")
+        assert "Content-Type: text/plain" in head
+        assert f"Content-Length: {len(body.encode())}" in head
+        assert body == "ok\n"
+
+    def test_json_response_shape(self):
+        raw = http_response(503, {"ready": False})
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.0 503 Service Unavailable")
+        assert b"application/json" in head
+        assert json.loads(body) == {"ready": False}

@@ -1,0 +1,388 @@
+"""The allocation daemon end to end, over real localhost sockets.
+
+Each test boots an :class:`AllocationService` on an ephemeral port
+inside its own event loop, drives it with NDJSON (or raw HTTP) clients,
+and shuts it down — asserting the five hardening layers do what
+``docs/SERVICE.md`` promises: correct answers, explicit 429/503/504
+refusals, breaker trips that restart the pool, degraded-but-correct
+responses under injected worker faults, and clean teardown.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.ir.wire import encode_module
+from repro.machine.target import rt_pc
+from repro.regalloc import allocate_module
+from repro.regalloc.pool import RESPONSE_CACHE, active_pools, shutdown_pools
+from repro.service import protocol
+from repro.service.breaker import CircuitBreaker
+from repro.service.chaos import request_over_socket
+from repro.service.server import AllocationService, ServiceConfig
+
+slow = pytest.mark.slow
+
+SOURCE = (
+    "program served\n"
+    "integer a, b, c\n"
+    "a = 3\n"
+    "b = 4\n"
+    "c = a * b + a\n"
+    "print c\n"
+    "end\n"
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_pool_state():
+    shutdown_pools()
+    RESPONSE_CACHE.clear()
+    yield
+    shutdown_pools()
+    RESPONSE_CACHE.clear()
+
+
+def drive(coro_factory, config=None):
+    """Run one async test body against a started service."""
+
+    async def main():
+        service = AllocationService(config or ServiceConfig(
+            concurrency=2, queue_limit=2, jobs=2,
+            default_deadline=20.0, breaker_cooldown=0.2,
+        ))
+        await service.start()
+        try:
+            return await coro_factory(service)
+        finally:
+            await service.stop()
+
+    return asyncio.run(main())
+
+
+def ask(service, message, timeout=30.0):
+    return request_over_socket("127.0.0.1", service.port, message,
+                               timeout=timeout)
+
+
+def reference_assignment(method="briggs"):
+    module = compile_source(SOURCE, "served")
+    allocation = allocate_module(module, rt_pc(), method, jobs=1,
+                                 cache=False)
+    return protocol.flat_assignment(allocation)
+
+
+class TestRoundTrip:
+    def test_source_allocation_matches_serial_cli(self):
+        async def body(service):
+            return await ask(service, {
+                "op": "allocate", "id": 1, "source": SOURCE,
+                "name": "served", "method": "briggs",
+            })
+
+        reply = drive(body)
+        assert reply["status"] == 200
+        assert reply["id"] == 1
+        assert not reply.get("degraded")
+        assert reply["assignment"] == reference_assignment()
+        assert reply["stats"]["served"]["registers_spilled"] == 0
+
+    def test_wire_ir_requests_are_first_class(self):
+        module = compile_source(SOURCE, "served")
+        wire = encode_module(module)
+
+        async def body(service):
+            return await ask(service, {
+                "op": "allocate", "id": "w", "wire": wire,
+                "method": "chaitin",
+            })
+
+        reply = drive(body)
+        assert reply["status"] == 200
+        assert reply["assignment"] == reference_assignment("chaitin")
+
+    def test_ping_answers_with_the_protocol_version(self):
+        async def body(service):
+            return await ask(service, {"op": "ping", "id": 0})
+
+        reply = drive(body)
+        assert reply == {"id": 0, "status": 200, "ok": True,
+                         "protocol": protocol.PROTOCOL_VERSION}
+
+    def test_stats_op_reports_the_service_section(self):
+        async def body(service):
+            await ask(service, {"op": "allocate", "id": 1,
+                                "source": SOURCE, "name": "served"})
+            return await ask(service, {"op": "stats", "id": 2})
+
+        reply = drive(body)
+        section = reply["service"]
+        assert section["requests"] == 1
+        assert section["served"] == 1
+        assert section["shed"] == 0
+        assert section["breaker"]["state"] == CircuitBreaker.CLOSED
+        assert "response_cache" in section
+
+    def test_malformed_lines_and_fields_are_400s(self):
+        async def body(service):
+            bad_json = await ask(service, {"op": "allocate", "id": 3})
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", service.port)
+            writer.write(b"this is not json\n")
+            await writer.drain()
+            raw = json.loads(await reader.readline())
+            writer.close()
+            await writer.wait_closed()
+            return bad_json, raw
+
+        missing_body, not_json = drive(body)
+        assert missing_body["status"] == 400
+        assert "exactly one of" in missing_body["error"]
+        assert not_json["status"] == 400
+        assert not_json["id"] is None
+
+    def test_requests_pipeline_in_order_on_one_connection(self):
+        async def body(service):
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", service.port)
+            for index in range(3):
+                writer.write(protocol.encode_message({
+                    "op": "allocate", "id": index, "source": SOURCE,
+                    "name": "served",
+                }))
+            await writer.drain()
+            replies = [json.loads(await reader.readline())
+                       for _ in range(3)]
+            writer.close()
+            await writer.wait_closed()
+            return replies
+
+        replies = drive(body)
+        assert [reply["id"] for reply in replies] == [0, 1, 2]
+        assert all(reply["status"] == 200 for reply in replies)
+
+
+class TestAdmissionControl:
+    def test_saturated_queue_sheds_with_429(self):
+        config = ServiceConfig(concurrency=1, queue_limit=0, jobs=2,
+                               default_deadline=20.0)
+
+        async def body(service):
+            slow_task = asyncio.ensure_future(ask(service, {
+                "op": "allocate", "id": "slow", "source": SOURCE,
+                "name": "served", "fault": "slow_request",
+                "fault_args": {"delay": 1.0},
+            }))
+            # Let the slow request occupy the single admission slot.
+            await asyncio.sleep(0.2)
+            shed = await ask(service, {
+                "op": "allocate", "id": "shed", "source": SOURCE,
+                "name": "served",
+            })
+            return shed, await slow_task, service.counters["shed"]
+
+        shed, slow_reply, shed_count = drive(body, config)
+        assert shed["status"] == 429
+        assert shed["reason"] == "shed"
+        assert shed_count == 1
+        assert slow_reply["status"] == 200  # the occupant still finishes
+
+    def test_shed_requests_never_trip_the_breaker(self):
+        config = ServiceConfig(concurrency=1, queue_limit=0, jobs=2,
+                               breaker_threshold=1,
+                               default_deadline=20.0)
+
+        async def body(service):
+            slow_task = asyncio.ensure_future(ask(service, {
+                "op": "allocate", "id": "slow", "source": SOURCE,
+                "name": "served", "fault": "slow_request",
+                "fault_args": {"delay": 0.8},
+            }))
+            await asyncio.sleep(0.2)
+            await ask(service, {"op": "allocate", "id": "shed",
+                                "source": SOURCE, "name": "served"})
+            state = service.breaker.state
+            await slow_task
+            return state
+
+        assert drive(body, config) == CircuitBreaker.CLOSED
+
+
+class TestDeadlines:
+    def test_injected_stall_past_the_deadline_is_a_504(self):
+        async def body(service):
+            return await ask(service, {
+                "op": "allocate", "id": "late", "source": SOURCE,
+                "name": "served", "deadline": 0.3,
+                "fault": "slow_request", "fault_args": {"delay": 0.8},
+            })
+
+        reply = drive(body)
+        assert reply["status"] == 504
+        assert reply["reason"] == "deadline"
+
+    def test_deadline_rejections_count_and_feed_the_breaker(self):
+        async def body(service):
+            for index in range(2):
+                await ask(service, {
+                    "op": "allocate", "id": index, "source": SOURCE,
+                    "name": "served", "deadline": 0.2,
+                    "fault": "slow_request", "fault_args": {"delay": 0.5},
+                })
+            return (service.counters["deadline_exceeded"],
+                    service.breaker.consecutive_failures)
+
+        exceeded, failures = drive(body)
+        assert exceeded == 2
+        assert failures == 2
+
+
+class TestBreakerAndDegradation:
+    @slow
+    def test_crash_storm_degrades_then_opens_then_recovers(self):
+        config = ServiceConfig(concurrency=1, queue_limit=2, jobs=2,
+                               breaker_threshold=2, breaker_cooldown=0.3,
+                               default_deadline=20.0)
+
+        async def body(service):
+            degraded = []
+            for index in range(2):
+                reply = await ask(service, {
+                    "op": "allocate", "id": index, "source": SOURCE,
+                    "name": "served", "fault": "worker_crash",
+                })
+                degraded.append(reply)
+            rejected = await ask(service, {
+                "op": "allocate", "id": "rejected", "source": SOURCE,
+                "name": "served",
+            })
+            await asyncio.sleep(config.breaker_cooldown + 0.05)
+            trial = await ask(service, {
+                "op": "allocate", "id": "trial", "source": SOURCE,
+                "name": "served",
+            })
+            return degraded, rejected, trial, service.service_section()
+
+        degraded, rejected, trial, section = drive(body, config)
+        naive = reference_assignment("spill-all")
+        for reply in degraded:
+            # Degraded responses still answer 200 with the spill-all
+            # fallback — correct, just not the requested heuristic.
+            assert reply["status"] == 200
+            assert reply["degraded"] is True
+            assert reply["failures"]
+            assert reply["assignment"] == naive
+        assert rejected["status"] == 503
+        assert rejected["reason"] == "breaker_open"
+        # The cooldown's half-open trial restarted the pools and closed
+        # the breaker with a clean, undegraded answer.
+        assert trial["status"] == 200
+        assert not trial.get("degraded")
+        assert trial["assignment"] == reference_assignment()
+        assert section["degraded"] == 2
+        assert section["breaker_rejected"] == 1
+        assert section["breaker"]["state"] == CircuitBreaker.CLOSED
+        assert section["breaker"]["trips"] == 1
+
+
+class TestHttpProbes:
+    async def _http_get(self, service, target):
+        reader, writer = await asyncio.open_connection(
+            "127.0.0.1", service.port)
+        writer.write(f"GET {target} HTTP/1.0\r\n\r\n".encode())
+        await writer.drain()
+        raw = await reader.read()
+        writer.close()
+        await writer.wait_closed()
+        head, _, body = raw.partition(b"\r\n\r\n")
+        status = int(head.split()[1])
+        return status, body
+
+    def test_healthz_and_readyz_answer_200_when_serving(self):
+        async def body(service):
+            health = await self._http_get(service, "/healthz")
+            ready = await self._http_get(service, "/readyz")
+            return health, ready
+
+        (h_status, h_body), (r_status, _) = drive(body)
+        assert (h_status, h_body) == (200, b"ok\n")
+        assert r_status == 200
+
+    def test_readyz_is_503_while_the_breaker_is_open(self):
+        config = ServiceConfig(concurrency=1, queue_limit=1, jobs=2,
+                               breaker_threshold=1, breaker_cooldown=60.0,
+                               default_deadline=20.0)
+
+        async def body(service):
+            service.breaker.record_failure()  # threshold 1: opens
+            return await self._http_get(service, "/readyz")
+
+        status, body_bytes = drive(body, config)
+        assert status == 503
+        assert json.loads(body_bytes)["breaker"] == CircuitBreaker.OPEN
+
+    def test_metrics_endpoint_serves_the_service_section(self):
+        async def body(service):
+            await ask(service, {"op": "allocate", "id": 1,
+                                "source": SOURCE, "name": "served"})
+            return await self._http_get(service, "/metrics")
+
+        status, body_bytes = drive(body)
+        assert status == 200
+        document = json.loads(body_bytes)
+        assert document["schema"] == "repro-metrics/1"
+        assert document["service"]["served"] == 1
+
+    def test_unknown_route_is_a_404(self):
+        async def body(service):
+            return await self._http_get(service, "/wrong")
+
+        status, _ = drive(body)
+        assert status == 404
+
+
+class TestTeardown:
+    #: Two functions, so the driver takes the pool path (a
+    #: single-function module allocates serially in the executor thread
+    #: and never warms a worker).
+    TWO_FUNCTIONS = (
+        "subroutine helper(n)\n"
+        "end\n"
+        "program served2\n"
+        "integer a, b\n"
+        "a = 1\n"
+        "b = a + 2\n"
+        "call helper(b)\n"
+        "print b\n"
+        "end\n"
+    )
+
+    def test_stop_reaps_every_pool_worker(self):
+        async def body(service):
+            await ask(service, {"op": "allocate", "id": 1,
+                                "source": self.TWO_FUNCTIONS,
+                                "name": "served2"})
+            return [pid for pool in active_pools()
+                    for pid in pool.worker_pids()]
+
+        pids = drive(body)
+        assert pids, "allocation never warmed the pool"
+        from tests.regalloc.test_pool import _gone
+
+        for pid in pids:
+            assert _gone(pid), f"worker {pid} survived service.stop()"
+
+    def test_shutdown_op_stops_the_server(self):
+        async def body(service):
+            reply = await ask(service, {"op": "shutdown", "id": "bye"})
+            for _ in range(100):
+                if not service.accepting:
+                    break
+                await asyncio.sleep(0.02)
+            return reply, service.accepting
+
+        reply, accepting = drive(body)
+        assert reply["status"] == 200
+        assert accepting is False
