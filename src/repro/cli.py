@@ -402,6 +402,7 @@ def cmd_serve(args) -> int:
         policy=args.policy,
         bundle_dir=args.bundle_dir,
         cache_dir=args.cache_dir,
+        allow_faults=args.allow_faults,
     )
 
     def announce(service):
@@ -742,6 +743,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-dir", default=None,
                    help="attach the checksummed disk tier of the "
                    "response cache at this directory")
+    p.add_argument("--allow-faults", action="store_true",
+                   help="enable chaos fault injection (the 'fault' "
+                   "request field); off by default — a production "
+                   "server answers 403 to fault-carrying requests")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(

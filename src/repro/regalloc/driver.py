@@ -860,8 +860,12 @@ def allocate_module(
 
     ``policy`` (a :class:`FailurePolicy` or its string value) decides what
     happens when one function's allocation fails; the default ``"raise"``
-    propagates.  ``timeout`` bounds each parallel worker (seconds);
-    ``retries`` bounds in-process re-attempts after a worker crash.
+    propagates.  ``timeout`` bounds each worker (seconds); because only
+    the pool's watchdog can reclaim a non-terminating allocation, any
+    ``timeout`` routes the module through the worker pool — even a
+    single-function module, even ``jobs=1`` — so the bound is enforced
+    rather than advisory.  ``retries`` bounds in-process re-attempts
+    after a worker crash.
     ``bundle_dir`` enables deterministic crash bundles
     (``<bundle_dir>/crash-<function>/``) for every recorded failure.
 
@@ -889,9 +893,18 @@ def allocate_module(
     failures: list = []
     results = None
     fallback_reason = None
+    # A timeout can only be enforced from *outside* the allocation: the
+    # pool watchdog abandons a wedged batch and restarts the workers,
+    # while the in-process serial path has no way to interrupt a
+    # non-terminating strategy.  So a timeout forces the pool path even
+    # for one function or jobs=1 — otherwise the caller's deadline would
+    # silently not exist exactly when it matters most (a hang).
+    use_pool = bool(functions) and (
+        (jobs > 1 and len(functions) > 1) or timeout is not None
+    )
     with tracer.span(f"module:{module.name}", cat="module",
                      method=method_name, jobs=jobs):
-        if jobs > 1 and len(functions) > 1:
+        if use_pool:
             results, fallback_reason = _parallel_results(
                 module, functions, target, method, kwargs, jobs,
                 timeout, retries, policy, bundle_dir, failures,

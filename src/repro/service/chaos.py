@@ -305,6 +305,9 @@ def run_chaos(requests: int = 40, seed: int = 0, fault_rates=None,
             # A live disk tier so ``cache_corrupt`` has files to damage.
             cache_dir=tempfile.mkdtemp(prefix="repro-chaos-cache-"),
         )
+    # Fault injection is the harness's entire purpose; unconditionally
+    # opt the server in, even on a caller-supplied config.
+    config.allow_faults = True
     report = ChaosReport()
     references = _ReferenceBank(rt_pc())
     methods = ("briggs", "chaitin", "briggs-degree")

@@ -21,6 +21,7 @@ and machine-readable:
 ====  =======================================================
  200  allocated (possibly ``degraded: true`` under policy)
  400  malformed request (bad JSON, unknown op/method, bad field)
+ 403  fault injection requested but not enabled on this server
  429  shed — the admission queue is full
  500  internal failure (allocation raised and policy re-raised)
  503  not ready — circuit breaker open, or shutting down
@@ -134,7 +135,9 @@ class AllocateRequest:
 def _positive_number(message, field, default, maximum=None):
     value = message.get(field, default)
     if value is None:
-        return None
+        # An explicit JSON null means "no preference" — same as absent.
+        # Never hand None back: the server does arithmetic on this.
+        value = default
     if not isinstance(value, (int, float)) or isinstance(value, bool) \
             or value <= 0:
         raise RequestError(f"{field!r} must be a positive number, "
@@ -231,6 +234,7 @@ def flat_assignment(allocation) -> dict:
 _HTTP_REASONS = {
     200: "OK",
     400: "Bad Request",
+    403: "Forbidden",
     404: "Not Found",
     429: "Too Many Requests",
     500: "Internal Server Error",

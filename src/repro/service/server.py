@@ -44,6 +44,12 @@ Operational surface: ``GET /healthz`` (liveness), ``GET /readyz``
 (readiness: accepting ∧ breaker not open ∧ queue not full), and
 ``GET /metrics`` (cumulative ``service`` counters plus pool/cache
 diagnostics) answer plain HTTP on the same port.
+
+Chaos hooks (the ``fault`` request field) are gated behind
+``ServiceConfig(allow_faults=True)``: only the chaos harness and the
+fault tests enable them, and every other server answers 403 — a client
+must never be able to wedge a worker or corrupt the disk cache on a
+production instance.
 """
 
 from __future__ import annotations
@@ -51,6 +57,7 @@ from __future__ import annotations
 import asyncio
 import concurrent.futures
 import contextlib
+import itertools
 import pathlib
 import random
 import time
@@ -96,13 +103,14 @@ class ServiceConfig:
         "host", "port", "concurrency", "queue_limit", "default_deadline",
         "max_deadline", "breaker_threshold", "breaker_cooldown", "jobs",
         "policy", "retries", "bundle_dir", "cache_dir", "optimize",
+        "allow_faults",
     )
 
     def __init__(self, host="127.0.0.1", port=0, concurrency=2,
                  queue_limit=8, default_deadline=30.0, max_deadline=120.0,
                  breaker_threshold=5, breaker_cooldown=2.0, jobs=2,
                  policy="degrade-to-naive", retries=1, bundle_dir=None,
-                 cache_dir=None, optimize=False):
+                 cache_dir=None, optimize=False, allow_faults=False):
         self.host = host
         #: 0 asks the OS for an ephemeral port; the bound port is on
         #: :attr:`AllocationService.port` after :meth:`~AllocationService.start`.
@@ -120,6 +128,11 @@ class ServiceConfig:
         #: attach the checksummed disk tier of the response cache here.
         self.cache_dir = cache_dir
         self.optimize = optimize
+        #: chaos hooks are opt-in: only the chaos harness and the fault
+        #: tests set this.  A production server answers 403 to any
+        #: request carrying a ``fault`` field — a client must never be
+        #: able to wedge workers or damage the disk cache by policy.
+        self.allow_faults = allow_faults
 
 
 class AllocationService:
@@ -139,9 +152,18 @@ class AllocationService:
         self._executor = None
         self._semaphore = None
         self._admitted = 0           # requests admitted, not yet answered
-        self._request_seq = 0
+        #: bundle-dir sequence; drawn with ``next()`` so concurrent
+        #: executor threads can never share a ``request-<n>`` directory
+        #: (itertools.count.__next__ is atomic under the GIL).
+        self._request_seq = itertools.count(1)
         self._started_at = None
         self._rng = random.Random()
+        #: set by stop() — including the client-driven ``shutdown`` op —
+        #: so serve_until() wakes even when the caller's stop_event
+        #: never fires (the zombie-after-shutdown case).
+        self._stop_requested = asyncio.Event()
+        self._stopped = asyncio.Event()
+        self._stopping = False
         self.counters = {
             "requests": 0,            # allocate requests received
             "served": 0,              # 200s, degraded or not
@@ -173,24 +195,51 @@ class AllocationService:
         self._started_at = time.monotonic()
 
     async def stop(self) -> None:
-        """Stop accepting, drain in-flight work, tear down the pools."""
+        """Stop accepting, drain in-flight work, tear down the pools.
+
+        Idempotent and safe to race: the first caller tears down, any
+        concurrent caller waits for that teardown to finish (the
+        ``shutdown`` op and :meth:`serve_until` both call this).
+        """
         self.accepting = False
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-            self._server = None
-        deadline = time.monotonic() + self.config.max_deadline
-        while self._admitted > 0 and time.monotonic() < deadline:
-            await asyncio.sleep(0.02)
-        if self._executor is not None:
-            self._executor.shutdown(wait=True, cancel_futures=True)
-            self._executor = None
-        shutdown_pools()
-        if self.config.cache_dir is not None:
-            RESPONSE_CACHE.detach_disk()
+        self._stop_requested.set()
+        if self._stopping:
+            await self._stopped.wait()
+            return
+        self._stopping = True
+        try:
+            if self._server is not None:
+                self._server.close()
+                await self._server.wait_closed()
+                self._server = None
+            deadline = time.monotonic() + self.config.max_deadline
+            while self._admitted > 0 and time.monotonic() < deadline:
+                await asyncio.sleep(0.02)
+            if self._executor is not None:
+                self._executor.shutdown(wait=True, cancel_futures=True)
+                self._executor = None
+            shutdown_pools()
+            if self.config.cache_dir is not None:
+                RESPONSE_CACHE.detach_disk()
+        finally:
+            self._stopped.set()
 
     async def serve_until(self, stop_event: asyncio.Event) -> None:
-        await stop_event.wait()
+        """Serve until ``stop_event`` fires *or* the service is stopped
+        from the inside (a client ``shutdown`` op) — without the second
+        arm the daemon would linger as a zombie after a client shutdown,
+        listener closed, waiting on a stop_event nobody will ever set.
+        """
+        waiters = [
+            asyncio.ensure_future(stop_event.wait()),
+            asyncio.ensure_future(self._stop_requested.wait()),
+        ]
+        try:
+            await asyncio.wait(waiters,
+                               return_when=asyncio.FIRST_COMPLETED)
+        finally:
+            for waiter in waiters:
+                waiter.cancel()
         await self.stop()
 
     # -- connection handling -------------------------------------------
@@ -273,6 +322,16 @@ class AllocationService:
         except RequestError as error:
             self.counters["bad_requests"] += 1
             return error_response(request_id, error.status, str(error))
+        if request.fault is not None and not self.config.allow_faults:
+            # Chaos hooks are live only when the operator opted in; on a
+            # production server a `fault` field is a forbidden request,
+            # not an available feature (worker_hang would wedge a
+            # worker, cache_corrupt would damage every disk entry).
+            self.counters["bad_requests"] += 1
+            return error_response(
+                request_id, 403,
+                "fault injection is disabled on this server",
+                reason="faults_disabled")
         # Layer 1: admission control.  Everything admitted beyond the
         # executing `concurrency` is queue; bound it.
         if not self.accepting:
@@ -381,11 +440,10 @@ class AllocationService:
         if fault_spec is not None and \
                 fault_spec.get("behavior") == "cache_corrupt":
             self._corrupt_disk_cache(fault_spec)
-        self._request_seq += 1
         if self.config.bundle_dir is not None:
             kwargs["bundle_dir"] = (
                 pathlib.Path(self.config.bundle_dir)
-                / f"request-{self._request_seq}"
+                / f"request-{next(self._request_seq)}"
             )
         n_functions = max(1, len(module.functions))
         remaining = budget - (time.monotonic() - started)

@@ -195,6 +195,28 @@ class TestParallelHardening:
         assert outcome.outputs == baseline_outputs()
 
     @slow
+    def test_timeout_is_enforced_for_single_function_modules(self):
+        # A timeout used to apply only on the parallel path (jobs > 1
+        # *and* more than one function): a single-function hang slept
+        # its full delay in-process with nothing able to interrupt it.
+        # Any timeout now routes through the pool so the watchdog is
+        # always armed.
+        module = compile_source(
+            "program solo\ninteger a, b\na = 2\nb = a + 3\nprint b\nend\n",
+            "solo",
+        )
+        target = default_fault_target()
+        with pytest.warns(RuntimeWarning, match="worker-timeout"):
+            allocation = allocate_module(
+                module, target, HangingAllocator(delay=60.0),
+                jobs=2, timeout=1.0, retries=0, policy="degrade-to-naive",
+            )
+        assert set(allocation.results) == {"solo"}
+        assert {f.phase for f in allocation.failures} == {"worker-timeout"}
+        # The wedged worker was abandoned, not waited out.
+        assert all(f.elapsed < 30.0 for f in allocation.failures)
+
+    @slow
     def test_hung_worker_raise_policy_raises_timeout(self):
         module = compiled()
         with pytest.raises(DriverTimeoutError, match="exceeded"):

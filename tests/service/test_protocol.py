@@ -84,6 +84,12 @@ class TestAllocateValidation:
         request = parse({"source": "end", "deadline": 10_000})
         assert request.deadline == 120.0
 
+    def test_explicit_null_deadline_means_default(self):
+        # JSON `"deadline": null` must behave exactly like an absent
+        # field; a None deadline would blow up the server's arithmetic.
+        request = parse({"source": "end", "deadline": None})
+        assert request.deadline == 30.0
+
     def test_registers_are_configurable(self):
         request = parse({"source": "end", "int_regs": 4, "float_regs": 3,
                          "method": "chaitin"})

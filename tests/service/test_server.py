@@ -52,6 +52,7 @@ def drive(coro_factory, config=None):
         service = AllocationService(config or ServiceConfig(
             concurrency=2, queue_limit=2, jobs=2,
             default_deadline=20.0, breaker_cooldown=0.2,
+            allow_faults=True,
         ))
         await service.start()
         try:
@@ -167,7 +168,7 @@ class TestRoundTrip:
 class TestAdmissionControl:
     def test_saturated_queue_sheds_with_429(self):
         config = ServiceConfig(concurrency=1, queue_limit=0, jobs=2,
-                               default_deadline=20.0)
+                               default_deadline=20.0, allow_faults=True)
 
         async def body(service):
             slow_task = asyncio.ensure_future(ask(service, {
@@ -192,7 +193,7 @@ class TestAdmissionControl:
     def test_shed_requests_never_trip_the_breaker(self):
         config = ServiceConfig(concurrency=1, queue_limit=0, jobs=2,
                                breaker_threshold=1,
-                               default_deadline=20.0)
+                               default_deadline=20.0, allow_faults=True)
 
         async def body(service):
             slow_task = asyncio.ensure_future(ask(service, {
@@ -239,12 +240,72 @@ class TestDeadlines:
         assert failures == 2
 
 
+class TestDeadlinesEnforceOnSingleFunctions:
+    @slow
+    def test_hang_in_a_single_function_module_is_reclaimed(self):
+        # The regression this guards: a single-function module used to
+        # take the serial in-process path, where no watchdog exists —
+        # worker_hang wedged the executor thread for the allocator's
+        # full 60s sleep and the thread (one of `concurrency`) was lost.
+        # With timeouts routed through the pool, the watchdog reclaims
+        # the wedged worker and the policy degrades the answer instead.
+        async def body(service):
+            reply = await asyncio.wait_for(ask(service, {
+                "op": "allocate", "id": "wedge", "source": SOURCE,
+                "name": "served", "deadline": 8.0,
+                "fault": "worker_hang",
+            }), timeout=15.0)
+            return reply
+
+        reply = drive(body)
+        assert reply["status"] == 200
+        assert reply["degraded"] is True
+        assert reply["assignment"] == reference_assignment("spill-all")
+
+
+class TestFaultGating:
+    def test_fault_requests_are_403_unless_opted_in(self):
+        config = ServiceConfig(concurrency=1, queue_limit=1, jobs=2,
+                               default_deadline=20.0)  # allow_faults off
+
+        async def body(service):
+            refused = await ask(service, {
+                "op": "allocate", "id": "f", "source": SOURCE,
+                "name": "served", "fault": "slow_request",
+                "fault_args": {"delay": 0.2},
+            })
+            clean = await ask(service, {
+                "op": "allocate", "id": "ok", "source": SOURCE,
+                "name": "served",
+            })
+            return refused, clean, dict(service.counters)
+
+        refused, clean, counters = drive(body, config)
+        assert refused["status"] == 403
+        assert refused["reason"] == "faults_disabled"
+        assert counters["bad_requests"] == 1
+        assert clean["status"] == 200  # plain requests unaffected
+
+    def test_null_deadline_means_default_not_a_crash(self):
+        # An explicit JSON `"deadline": null` must parse as the default
+        # deadline, not surface as a TypeError that drops the connection.
+        async def body(service):
+            return await ask(service, {
+                "op": "allocate", "id": "n", "source": SOURCE,
+                "name": "served", "deadline": None,
+            })
+
+        reply = drive(body)
+        assert reply["status"] == 200
+        assert reply["assignment"] == reference_assignment()
+
+
 class TestBreakerAndDegradation:
     @slow
     def test_crash_storm_degrades_then_opens_then_recovers(self):
         config = ServiceConfig(concurrency=1, queue_limit=2, jobs=2,
                                breaker_threshold=2, breaker_cooldown=0.3,
-                               default_deadline=20.0)
+                               default_deadline=20.0, allow_faults=True)
 
         async def body(service):
             degraded = []
@@ -384,5 +445,24 @@ class TestTeardown:
             return reply, service.accepting
 
         reply, accepting = drive(body)
+        assert reply["status"] == 200
+        assert accepting is False
+
+    def test_shutdown_op_wakes_serve_until(self):
+        # serve_until must return after a client shutdown even though
+        # the caller's stop_event never fires — otherwise `repro serve`
+        # lingers as a zombie with the listener already closed.
+        async def main():
+            service = AllocationService(ServiceConfig(
+                concurrency=1, queue_limit=1, jobs=2,
+                default_deadline=20.0))
+            await service.start()
+            never_set = asyncio.Event()
+            waiter = asyncio.ensure_future(service.serve_until(never_set))
+            reply = await ask(service, {"op": "shutdown", "id": "bye"})
+            await asyncio.wait_for(waiter, timeout=30.0)
+            return reply, service.accepting
+
+        reply, accepting = asyncio.run(main())
         assert reply["status"] == 200
         assert accepting is False
