@@ -19,6 +19,13 @@
 #   make chaos         — seeded fault storm against a live in-process
 #                        server: no wrong answers, no leaked workers,
 #                        bounded p99; crash bundles in results/chaos
+#   make torture       — kill-torture: SIGKILL a supervised allocation at
+#                        $(TORTURE_KILLS) seeded journal appends and
+#                        require the resumed result byte-identical to an
+#                        unkilled serial reference
+#   make gc            — retention sweep of results/ debris (crash/fuzz/
+#                        request bundles, cache quarantine): keep the
+#                        newest $(GC_KEEP) artifacts per category
 
 PYTHON ?= python
 FUZZ_SEED ?= 0
@@ -28,8 +35,12 @@ BENCH_BASE ?= BENCH_PR5.json
 BENCH_NEW ?= BENCH_PR6.json
 CHAOS_REQUESTS ?= 24
 CHAOS_SEED ?= 0
+TORTURE_KILLS ?= 10
+TORTURE_SEED ?= 0
+GC_KEEP ?= 16
 
-.PHONY: test test-fast verify-faults fuzz bench trace bench-diff serve chaos
+.PHONY: test test-fast verify-faults fuzz bench trace bench-diff serve \
+	chaos torture gc
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -63,3 +74,12 @@ serve:
 chaos:
 	PYTHONPATH=src $(PYTHON) -m repro chaos --requests $(CHAOS_REQUESTS) \
 		--seed $(CHAOS_SEED) --bundle-dir results/chaos
+
+torture:
+	PYTHONPATH=src $(PYTHON) -m repro torture --workload linpack \
+		--workload svd --workload quicksort --step-max 2 \
+		--kills $(TORTURE_KILLS) --seed $(TORTURE_SEED)
+
+gc:
+	PYTHONPATH=src $(PYTHON) -m repro gc --results results \
+		--keep $(GC_KEEP)

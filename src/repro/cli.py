@@ -121,6 +121,7 @@ def cmd_allocate(args) -> int:
     tracer = Tracer() if args.json else None
     allocation = allocate_module(
         module, target, args.method, validate=True, tracer=tracer,
+        journal=args.journal, resume=not args.no_resume,
         **_alloc_kwargs(args)
     )
     if args.json:
@@ -320,6 +321,8 @@ def cmd_fuzz(args) -> int:
         modes=modes,
         paranoia=args.paranoia,
         log=print,
+        journal=args.journal,
+        resume=not args.no_resume,
     )
     print(report.summary())
     return 0 if report.ok else 1
@@ -403,6 +406,7 @@ def cmd_serve(args) -> int:
         bundle_dir=args.bundle_dir,
         cache_dir=args.cache_dir,
         allow_faults=args.allow_faults,
+        journal_path=args.journal,
     )
 
     def announce(service):
@@ -418,11 +422,106 @@ def cmd_serve(args) -> int:
     return run_server(config, announce=announce)
 
 
+def cmd_torture(args) -> int:
+    from repro.durability.torture import run_torture
+    from repro.workloads import all_workloads
+
+    workloads = list(args.workload or [])
+    known = all_workloads()
+    for name in workloads:
+        if name not in known:
+            print(f"error: unknown workload {name!r} "
+                  f"(known: {', '.join(sorted(known))})", file=sys.stderr)
+            return 2
+    sources = []
+    if args.file:
+        sources.append(pathlib.Path(args.file).read_text())
+    if not workloads and not sources:
+        workloads = ["quicksort"]
+    report = run_torture(
+        workloads=workloads, sources=sources, target=_target_from(args),
+        method=args.method, kills=args.kills, seed=args.seed,
+        step_max=args.step_max, torn_rate=args.torn_rate, jobs=args.jobs,
+        journal_path=args.journal, max_restarts=args.max_restarts,
+        bundle_dir=args.bundle_dir,
+    )
+    if args.json:
+        _emit_json(report.as_dict(), args.json)
+    if args.json != "-":
+        verdict = "ok" if report.ok else "FAILED"
+        print(
+            f"torture {verdict}: {report.kills_delivered}/"
+            f"{report.kills_requested} kills delivered "
+            f"({report.torn_delivered} torn), {report.functions} "
+            f"functions, {report.re_executed} re-executed "
+            f"(bound {report.re_executed_bound}), "
+            f"identical={report.identical}, "
+            f"leaked workers={len(report.leaked_workers)}, "
+            f"{report.elapsed:.2f}s"
+        )
+        print(f"lives: {' -> '.join(report.reasons)}")
+        if report.mismatched:
+            print("mismatched modules: " + ", ".join(report.mismatched))
+        replay = (
+            f"repro torture --seed {args.seed} --kills {args.kills} "
+            f"--step-max {args.step_max} --torn-rate {args.torn_rate}"
+        )
+        for name in workloads:
+            replay += f" --workload {name}"
+        if args.file:
+            replay += f" {args.file}"
+        print(f"replay: {replay}")
+    return 0 if report.ok else 1
+
+
+def cmd_gc(args) -> int:
+    from repro.durability.gc import collect_debris
+
+    max_age = (None if args.max_age_days is None
+               else args.max_age_days * 86400.0)
+    report = collect_debris(
+        results_dir=args.results, cache_dir=args.cache_dir,
+        keep=args.keep, max_age=max_age, dry_run=args.dry_run,
+    )
+    if args.json:
+        _emit_json(report.as_dict(), args.json)
+    if args.json != "-":
+        verb = "would remove" if report.dry_run else "removed"
+        print(
+            f"gc: {report.scanned} artifacts scanned, {report.kept} "
+            f"kept, {verb} {len(report.removed)} "
+            f"({report.freed_bytes} bytes)"
+        )
+        for name, stats in sorted(report.categories.items()):
+            print(f"  {name}: {stats['scanned']} scanned, "
+                  f"{stats['kept']} kept, {stats['removed']} removed")
+    return 0
+
+
 def cmd_chaos(args) -> int:
-    from repro.service.chaos import DEFAULT_FAULT_RATES, run_chaos
+    from repro.service.chaos import (
+        DEFAULT_FAULT_RATES,
+        load_storm_manifest,
+        replay_command,
+        run_chaos,
+    )
 
     rates = None
-    if args.fault:
+    requests, seed = args.requests, args.seed
+    concurrency, deadline = args.concurrency, args.deadline
+    workloads = None
+    if args.replay:
+        # One-command reproduction of a recorded storm: every parameter
+        # comes from the bundle's manifest; command-line tuning flags
+        # are ignored in favor of what actually ran.
+        manifest = load_storm_manifest(args.replay)
+        requests = manifest.get("requests", requests)
+        seed = manifest.get("seed", seed)
+        concurrency = manifest.get("concurrency", concurrency)
+        deadline = manifest.get("deadline", deadline)
+        workloads = manifest.get("workloads")
+        rates = manifest.get("fault_rates")
+    elif args.fault:
         rates = {name: 0.0 for name in DEFAULT_FAULT_RATES}
         for spec in args.fault:
             name, _, rate_text = spec.partition("=")
@@ -436,17 +535,20 @@ def cmd_chaos(args) -> int:
                 else max(DEFAULT_FAULT_RATES[name], 0.1)
             )
     report = run_chaos(
-        requests=args.requests,
-        seed=args.seed,
+        requests=requests,
+        seed=seed,
         fault_rates=rates,
-        concurrency=args.concurrency,
-        deadline=args.deadline,
+        concurrency=concurrency,
+        deadline=deadline,
+        workloads=workloads,
         bundle_dir=args.bundle_dir,
     )
     if args.json:
         _emit_json(report.as_dict(), args.json)
     if args.json != "-":
         print(report.summary())
+        if not report.ok:
+            print(f"replay: {replay_command(report.storm)}")
     return 0 if report.ok else 1
 
 
@@ -575,6 +677,21 @@ def build_parser() -> argparse.ArgumentParser:
             "instead of the table"
         ),
     )
+    p.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help=(
+            "journal allocation progress to PATH (crash-safe WAL, see "
+            "docs/DURABILITY.md); re-running with the same journal "
+            "replays completed functions bit-identically"
+        ),
+    )
+    p.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="reset the journal instead of resuming from it",
+    )
     add_target_flags(p)
     add_alloc_flags(p)
     p.set_defaults(func=cmd_allocate)
@@ -687,6 +804,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bundle-dir", default="results/fuzz",
                    help="directory for shrunken crash bundles "
                    "(<dir>/fuzz-<kind>-<case_seed>/; default results/fuzz)")
+    p.add_argument("--journal", default=None, metavar="PATH",
+                   help="journal completed iterations to PATH (crash-safe "
+                   "WAL); rerunning with the same journal resumes the "
+                   "campaign instead of restarting it")
+    p.add_argument("--no-resume", action="store_true",
+                   help="reset the journal instead of resuming from it")
     p.set_defaults(func=cmd_fuzz)
 
     p = sub.add_parser("figures", help="regenerate the paper's tables")
@@ -747,6 +870,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="enable chaos fault injection (the 'fault' "
                    "request field); off by default — a production "
                    "server answers 403 to fault-carrying requests")
+    p.add_argument("--journal", default=None, metavar="PATH",
+                   help="journal admitted requests to a crash-safe WAL; "
+                   "a restarted server replays the unanswered ones and "
+                   "holds /readyz at 503 until the backlog drains")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -775,8 +902,78 @@ def build_parser() -> argparse.ArgumentParser:
                    "stdout)")
     p.add_argument("--bundle-dir", default=None,
                    help="write per-request crash bundles for degraded "
-                   "allocations under <dir>/request-<n>/")
+                   "allocations under <dir>/request-<n>/, plus the "
+                   "storm.json manifest --replay consumes")
+    p.add_argument("--replay", default=None, metavar="BUNDLE",
+                   help="re-run the exact storm recorded in BUNDLE's "
+                   "storm.json (a chaos --bundle-dir artifact); "
+                   "overrides the tuning flags")
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser(
+        "torture",
+        help="SIGKILL a supervised allocation at seeded journal appends "
+        "and prove it resumes to a bit-identical result",
+    )
+    p.add_argument("file", nargs="?", default=None,
+                   help="mini-FORTRAN file to torture (default: the "
+                   "quicksort workload)")
+    p.add_argument("--workload", action="append", default=None,
+                   metavar="NAME",
+                   help="torture a registry workload (repeatable; see "
+                   "'repro workloads')")
+    p.add_argument("--method", default="briggs",
+                   choices=["chaitin", "briggs", "briggs-degree",
+                            "spill-all"])
+    p.add_argument("--kills", type=int, default=10,
+                   help="seeded SIGKILL points to schedule (default 10)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="schedule seed; same seed replays the exact "
+                   "same storm (default 0)")
+    p.add_argument("--step-max", type=int, default=4, dest="step_max",
+                   help="max journal appends between kill points "
+                   "(min 2; default 4)")
+    p.add_argument("--torn-rate", type=float, default=0.34,
+                   dest="torn_rate",
+                   help="fraction of deaths that land mid-record, "
+                   "leaving a torn tail (default 0.34)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="parallel workers inside the tortured child "
+                   "(default 1)")
+    p.add_argument("--journal", default=None, metavar="PATH",
+                   help="journal file (default: a temp file, removed "
+                   "afterwards)")
+    p.add_argument("--max-restarts", type=int, default=None,
+                   help="supervisor restart budget (default kills + 2)")
+    p.add_argument("--bundle-dir", default=None,
+                   help="crash-bundle directory for degraded "
+                   "allocations")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="write the torture report as JSON ('-' for "
+                   "stdout)")
+    add_target_flags(p)
+    p.set_defaults(func=cmd_torture)
+
+    p = sub.add_parser(
+        "gc",
+        help="sweep crash/fuzz/request bundles and cache quarantine",
+    )
+    p.add_argument("--results", default="results", metavar="DIR",
+                   help="bundle tree to sweep (default results/)")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="disk-cache root whose quarantine/ to cap")
+    p.add_argument("--keep", type=int, default=16,
+                   help="newest artifacts retained per category "
+                   "(default 16)")
+    p.add_argument("--max-age-days", type=float, default=None,
+                   dest="max_age_days",
+                   help="also remove artifacts older than this many "
+                   "days, even within the keep window")
+    p.add_argument("--dry-run", action="store_true",
+                   help="report what would be removed; delete nothing")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="write the GC report as JSON ('-' for stdout)")
+    p.set_defaults(func=cmd_gc)
 
     return parser
 

@@ -1,0 +1,63 @@
+"""Process-level durability: crash-safe journaling, checkpoint/resume,
+and a kill-torture supervisor.
+
+PR 7 hardened the allocation service against *request-level* faults;
+this package closes the remaining gap — *process-level* death.  Any
+long-running entry point (a registry allocation sweep, a 500-iteration
+fuzz campaign, the serving daemon) can be SIGKILLed, OOM-killed, or
+power-cycled at any byte boundary and resume to the same final answer:
+
+* :mod:`repro.durability.journal` — an append-only, per-record-
+  checksummed write-ahead journal (``repro-journal/1``) with torn-tail
+  truncation recovery on open;
+* :mod:`repro.durability.checkpoint` — module-level allocation progress
+  keyed by the function's wire encoding, replayed bit-identically by
+  ``allocate_module(..., journal=...)``;
+* :mod:`repro.durability.supervisor` — runs a task in a child process
+  under a restart budget with exit-reason classification (crash / OOM /
+  hang) and an RSS soft-limit watchdog;
+* :mod:`repro.durability.torture` — seeded SIGKILL injection proving
+  the supervised result is byte-identical to an unkilled reference;
+* :mod:`repro.durability.gc` — retention GC for on-disk debris (crash
+  bundles, fuzz bundles, disk-cache quarantine).
+"""
+
+from repro.durability.journal import (
+    JOURNAL_MAGIC,
+    Journal,
+    JournalRecovery,
+    journal_counters,
+    read_journal,
+)
+from repro.durability.checkpoint import Checkpoint, function_key
+from repro.durability.supervisor import (
+    AllocationTask,
+    FuzzTask,
+    Supervisor,
+    SupervisorReport,
+)
+from repro.durability.torture import (
+    TortureReport,
+    allocation_signature,
+    run_torture,
+)
+from repro.durability.gc import GCReport, collect_debris
+
+__all__ = [
+    "JOURNAL_MAGIC",
+    "Journal",
+    "JournalRecovery",
+    "journal_counters",
+    "read_journal",
+    "Checkpoint",
+    "function_key",
+    "AllocationTask",
+    "FuzzTask",
+    "Supervisor",
+    "SupervisorReport",
+    "TortureReport",
+    "allocation_signature",
+    "run_torture",
+    "GCReport",
+    "collect_debris",
+]

@@ -1,0 +1,266 @@
+"""Module-level allocation checkpoints over the write-ahead journal.
+
+One :class:`Checkpoint` tracks the progress of one
+``allocate_module`` configuration through a :class:`repro.durability.
+journal.Journal`.  Every function's outcome — success, journaled
+failure, poison verdict — is appended as it happens, so a process killed
+mid-module resumes by *replaying* the journaled outcomes and only
+re-executing the functions that were in flight when it died.
+
+Keys and bit-identity
+---------------------
+
+Functions are keyed by :func:`function_key` — a digest over the
+function's name and :func:`repro.ir.wire.function_fingerprint` of its
+*pre-allocation* IR — and the whole journal is guarded by a config
+digest over the target, the method name, and the allocation kwargs.  A
+journal whose config digest does not match the current call is stale
+(different target, different flags): it is reset, never partially
+reused.  A matching function key, by contrast, survives edits elsewhere
+in the module — untouched functions replay even after a neighbor
+changed.
+
+Successes are journaled as the worker-pool *response tuples*
+(:func:`repro.regalloc.pool.encode_result_response` /
+``_allocate_one``), base64-zlib-pickled into the JSON record, and
+replayed through :func:`repro.regalloc.pool.materialize_response` — the
+exact transport the parallel driver already trusts — so a resumed run's
+results are bit-identical to an uninterrupted one by construction.
+Failures journal the :class:`repro.regalloc.driver.AllocationFailure`
+dict (plus the degraded substitute result, when the policy produced
+one), so resumed runs repeat the *decision*, not the crash.
+
+``poison`` records are written by the supervisor
+(:mod:`repro.durability.supervisor`) for a function that repeatedly blew
+the child's RSS budget; the driver converts them into contained
+:class:`repro.errors.MemoryBudgetError` failures instead of letting the
+function OOM-kill every future incarnation.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import pickle
+import zlib
+
+from repro.durability.journal import coerce_journal, mark_replay  # noqa: F401
+from repro.ir.wire import function_fingerprint
+from repro.observability.trace import NULL_TRACER, coerce_tracer
+
+__all__ = ["Checkpoint", "function_key", "config_digest"]
+
+
+def _digest(value) -> str:
+    return hashlib.sha256(repr(value).encode("utf-8")).hexdigest()
+
+
+def function_key(function) -> str:
+    """Content address of one function's pre-allocation IR: any edit to
+    the function changes the key; edits to its neighbors do not."""
+    return _digest((function.name, function_fingerprint(function)))
+
+
+def config_digest(target, method_name: str, kwargs: dict) -> str:
+    """Digest over everything *besides* the IR that shapes an
+    allocation's outcome.  A journal written under a different config
+    must never be replayed into this one."""
+    from repro.regalloc.pool import _target_key
+
+    return _digest(
+        (_target_key(target), method_name, tuple(sorted(kwargs.items())))
+    )
+
+
+def _pack(response) -> str:
+    return base64.b64encode(
+        zlib.compress(pickle.dumps(response))
+    ).decode("ascii")
+
+
+def _unpack(text: str):
+    return pickle.loads(zlib.decompress(base64.b64decode(text)))
+
+
+class Checkpoint:
+    """Journaled progress of one ``allocate_module`` configuration.
+
+    Opening a checkpoint validates the journal's config record: with
+    ``resume=True`` (the default) a matching journal's outcomes become
+    replayable; a mismatched or ``resume=False`` journal is reset to a
+    fresh config record.  The driver then consults :meth:`replay` /
+    :meth:`poison_reason` per function and appends outcomes through the
+    ``mark_*`` methods.
+    """
+
+    def __init__(self, journal, target, method_name: str, kwargs: dict,
+                 resume: bool = True, tracer=None):
+        self.journal = coerce_journal(journal)
+        self.target = target
+        self.method_name = method_name
+        self.tracer = coerce_tracer(tracer) if tracer is not None \
+            else NULL_TRACER
+        self.digest = config_digest(target, method_name, kwargs)
+        #: functions replayed from the journal instead of re-executed.
+        self.replayed = 0
+        #: ``start`` records found on open (prior incarnations' work,
+        #: including in-flight functions that never finished).
+        self.prior_starts = 0
+        self.reset_reason = None
+        self._done: dict = {}
+        self._failures: dict = {}
+        self._poisoned: dict = {}
+        self._load(resume)
+
+    # -- journal scan --------------------------------------------------
+
+    def _load(self, resume: bool) -> None:
+        records = self.journal.records()
+        compatible = bool(records) and records[0].get("type") == "config" \
+            and records[0].get("digest") == self.digest
+        if records and (not resume or not compatible):
+            self.reset_reason = "resume disabled" if not resume else \
+                "config mismatch"
+            self.journal.reset()
+            records = []
+        if not records:
+            self.journal.append({
+                "type": "config",
+                "digest": self.digest,
+                "method": self.method_name,
+                "target": self.target.name,
+            })
+            return
+        for record in records[1:]:
+            kind = record.get("type")
+            key = record.get("key")
+            if kind == "start":
+                self.prior_starts += 1
+            elif kind == "done" and key:
+                self._done[key] = record
+            elif kind == "failure" and key:
+                self._failures.setdefault(key, []).append(record)
+            elif kind == "poison" and key:
+                self._poisoned[key] = record
+
+    # -- replay side ---------------------------------------------------
+
+    def replay(self, function, module, results, failures) -> bool:
+        """Replay ``function``'s journaled outcome, if one exists:
+        failures are re-recorded on ``failures``, the (possibly
+        degraded) result is materialized into ``results`` and swapped
+        into ``module``.  Returns ``True`` when the function is fully
+        handled and must not be re-executed."""
+        key = function_key(function)
+        recorded_failures = self._failures.get(key)
+        done = self._done.get(key)
+        if not recorded_failures and done is None:
+            return False
+        if recorded_failures:
+            from repro.regalloc.driver import AllocationFailure
+
+            for record in recorded_failures:
+                failures.append(AllocationFailure.from_dict(
+                    record["failure"]
+                ))
+        if done is not None:
+            from repro.regalloc import pool as pool_mod
+
+            with self.tracer.span("checkpoint:replay", cat="step",
+                                  function=function.name):
+                result, _snapshot = pool_mod.materialize_response(
+                    _unpack(done["response"]), self.target,
+                    done.get("method", self.method_name),
+                )
+            module.functions[result.function.name] = result.function
+            results[result.function.name] = result
+        mark_replay()
+        self.replayed += 1
+        return True
+
+    def poison_reason(self, function):
+        """The supervisor's poison verdict for ``function`` (a reason
+        string), or ``None``.  A journaled *failure* takes precedence —
+        once the driver has converted the poison into a policy outcome,
+        that outcome replays instead."""
+        record = self._poisoned.get(function_key(function))
+        if record is None:
+            return None
+        return record.get("reason", "memory budget exceeded")
+
+    # -- write side ----------------------------------------------------
+
+    def mark_start(self, function) -> str:
+        """Journal that ``function`` is about to execute; returns its
+        key for the matching ``mark_done``/``mark_failures``."""
+        key = function_key(function)
+        self.journal.append({
+            "type": "start", "key": key, "function": function.name,
+        })
+        return key
+
+    def mark_response(self, key: str, name: str, response,
+                      method: str = None) -> None:
+        """Journal a completed allocation as its pool response tuple."""
+        with self.tracer.span("checkpoint:write", cat="step",
+                              function=name):
+            self.journal.append({
+                "type": "done",
+                "key": key,
+                "function": name,
+                "method": method or self.method_name,
+                "response": _pack(response),
+            })
+
+    def mark_result(self, key: str, result) -> None:
+        """Journal a completed allocation from its in-process
+        :class:`~repro.regalloc.driver.AllocationResult`."""
+        from repro.regalloc import pool as pool_mod
+
+        self.mark_response(
+            key, result.function.name,
+            pool_mod.encode_result_response(result),
+            method=result.method,
+        )
+
+    def mark_failures(self, key: str, name: str, new_failures,
+                      substitute=None) -> None:
+        """Journal policy-absorbed failures (and the degraded substitute
+        result, when the policy produced one) so a resume repeats the
+        decision instead of re-crashing."""
+        for failure in new_failures:
+            self.journal.append({
+                "type": "failure",
+                "key": key,
+                "function": name,
+                "failure": failure.as_dict(),
+            })
+        if substitute is not None:
+            self.mark_result(key, substitute)
+
+    def mark_workers(self, pids) -> None:
+        """Journal the pool worker pids of this incarnation — the
+        torture harness asserts every journaled worker is dead after
+        each kill (no worker outlives any parent)."""
+        if pids:
+            self.journal.append({
+                "type": "workers", "pids": sorted(pids),
+            })
+
+    # -- diagnostics ---------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "replayed": self.replayed,
+            "prior_starts": self.prior_starts,
+            "done": len(self._done),
+            "failed": len(self._failures),
+            "poisoned": len(self._poisoned),
+            "reset_reason": self.reset_reason,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Checkpoint({self.journal.path}, method={self.method_name}, "
+            f"{len(self._done)} done, {len(self._failures)} failed)"
+        )

@@ -1,0 +1,191 @@
+"""Retention GC for on-disk debris the toolchain accumulates.
+
+Every hardening layer in this repo deliberately *keeps* evidence when
+something goes wrong: the driver writes ``crash-<function>/`` bundles,
+the fuzzer writes minimized ``fuzz-<kind>-<seed>/`` witnesses, the
+service dumps ``request-<n>/`` repro bundles, and the disk cache moves
+damaged entries into ``quarantine/`` with a ``.reason`` note instead of
+deleting them.  That is the right call at failure time — and an
+unbounded disk leak over weeks of soak runs.  This module is the
+matching retention policy: keep the newest N artifacts per category
+(plus everything younger than an optional age floor has no say — age
+only ever *widens* deletion, never protects an over-quota artifact),
+sweep the rest.
+
+Deletion order is deterministic: candidates are ranked newest-first by
+mtime with the path name as tiebreak, so two sweeps over the same tree
+remove the same files.  ``dry_run`` reports what *would* go without
+touching anything — ``repro gc`` defaults to the real sweep, but the
+report always lists every removal so the operation is auditable.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import shutil
+import time
+
+__all__ = ["GCReport", "collect_debris"]
+
+
+def _tree_bytes(path: pathlib.Path) -> int:
+    """Total payload bytes under ``path`` (itself, if a plain file)."""
+    if path.is_file():
+        try:
+            return path.stat().st_size
+        except OSError:
+            return 0
+    total = 0
+    for child in path.rglob("*"):
+        if child.is_file():
+            try:
+                total += child.stat().st_size
+            except OSError:
+                pass
+    return total
+
+
+def _mtime(path: pathlib.Path) -> float:
+    try:
+        return path.stat().st_mtime
+    except OSError:
+        return 0.0
+
+
+def _remove(path: pathlib.Path) -> None:
+    if path.is_dir():
+        shutil.rmtree(path, ignore_errors=True)
+    else:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+
+class GCReport:
+    """What one sweep scanned, kept, and removed."""
+
+    __slots__ = ("dry_run", "scanned", "kept", "removed", "freed_bytes",
+                 "categories")
+
+    def __init__(self, dry_run: bool = False):
+        self.dry_run = dry_run
+        self.scanned = 0
+        self.kept = 0
+        #: removed artifact paths (str), in deletion order.
+        self.removed: list = []
+        self.freed_bytes = 0
+        #: per-category ``{"scanned": n, "kept": n, "removed": n}``.
+        self.categories: dict = {}
+
+    def as_dict(self) -> dict:
+        return {
+            "dry_run": self.dry_run,
+            "scanned": self.scanned,
+            "kept": self.kept,
+            "removed": list(self.removed),
+            "freed_bytes": self.freed_bytes,
+            "categories": {name: dict(stats)
+                           for name, stats in self.categories.items()},
+        }
+
+    def __repr__(self) -> str:
+        verb = "would remove" if self.dry_run else "removed"
+        return (
+            f"GCReport({self.scanned} scanned, {self.kept} kept, "
+            f"{verb} {len(self.removed)} freeing {self.freed_bytes} bytes)"
+        )
+
+
+def _quarantine_items(quarantine_dir: pathlib.Path) -> list:
+    """Quarantined entries as ``(anchor, [files])`` groups.
+
+    A quarantined cache entry is an ``<name>.entry`` file plus its
+    ``<name>.entry.reason`` note; they live and die together.  A
+    ``.reason`` whose entry is already gone is its own (orphan) item.
+    """
+    items = []
+    seen = set()
+    for path in sorted(quarantine_dir.iterdir()):
+        if path.name.endswith(".reason"):
+            continue
+        reason = path.with_name(path.name + ".reason")
+        group = [path] + ([reason] if reason.exists() else [])
+        items.append((path, group))
+        seen.update(p.name for p in group)
+    for path in sorted(quarantine_dir.glob("*.reason")):
+        if path.name not in seen:
+            items.append((path, [path]))
+    return items
+
+
+def _sweep_category(report: GCReport, name: str, items: list,
+                    keep: int, max_age, now: float) -> None:
+    """Apply the retention policy to one category of ``(anchor, files)``.
+
+    Rank newest-first; everything past the ``keep`` newest goes, and an
+    over-age artifact goes even inside the keep window.
+    """
+    items = sorted(items, key=lambda item: (-_mtime(item[0]),
+                                            str(item[0])))
+    stats = {"scanned": len(items), "kept": 0, "removed": 0}
+    for rank, (anchor, files) in enumerate(items):
+        expired = (max_age is not None
+                   and now - _mtime(anchor) > max_age)
+        if rank < keep and not expired:
+            stats["kept"] += 1
+            continue
+        for path in files:
+            report.freed_bytes += _tree_bytes(path)
+            report.removed.append(str(path))
+            if not report.dry_run:
+                _remove(path)
+        stats["removed"] += 1
+    report.scanned += stats["scanned"]
+    report.kept += stats["kept"]
+    report.categories[name] = stats
+
+
+def collect_debris(results_dir="results", cache_dir=None, keep: int = 16,
+                   max_age: float = None, dry_run: bool = False,
+                   now: float = None) -> GCReport:
+    """Sweep crash/fuzz/request bundles and cache quarantine debris.
+
+    * ``results_dir`` — where the driver, fuzzer, and service drop their
+      bundles (``crash-*/``, ``fuzz/fuzz-*/``, ``request-*/``);
+    * ``cache_dir`` — a :class:`~repro.regalloc.diskcache.DiskCache`
+      root whose ``quarantine/`` should be capped (optional);
+    * ``keep`` — newest artifacts retained *per category*;
+    * ``max_age`` — seconds; older artifacts are removed even when they
+      are within the ``keep`` newest (``None`` disables the age test);
+    * ``dry_run`` — report, don't delete;
+    * ``now`` — reference time for the age test (defaults to wall
+      clock; injectable so retention tests are deterministic).
+
+    Missing directories are simply empty categories — GC on a clean
+    tree is a no-op report, never an error.
+    """
+    if keep < 0:
+        raise ValueError(f"keep must be >= 0, got {keep}")
+    if now is None:
+        now = time.time()
+    report = GCReport(dry_run=dry_run)
+
+    results = pathlib.Path(results_dir)
+    crash = [(p, [p]) for p in results.glob("crash-*") if p.is_dir()]
+    fuzz = [(p, [p]) for p in (results / "fuzz").glob("fuzz-*")
+            if p.is_dir()]
+    requests = [(p, [p]) for p in results.glob("request-*") if p.is_dir()]
+    _sweep_category(report, "crash-bundles", crash, keep, max_age, now)
+    _sweep_category(report, "fuzz-bundles", fuzz, keep, max_age, now)
+    _sweep_category(report, "request-bundles", requests, keep, max_age,
+                    now)
+
+    if cache_dir is not None:
+        quarantine_dir = pathlib.Path(cache_dir) / "quarantine"
+        items = (_quarantine_items(quarantine_dir)
+                 if quarantine_dir.is_dir() else [])
+        _sweep_category(report, "cache-quarantine", items, keep, max_age,
+                        now)
+
+    return report

@@ -1,0 +1,435 @@
+"""Restart supervision for journaled tasks.
+
+A :class:`Supervisor` runs a task — an allocation sweep
+(:class:`AllocationTask`) or a fuzz campaign (:class:`FuzzTask`) — in a
+**child process** and keeps it alive through process death: every time
+the child dies (crash, SIGKILL, OOM, hang) the supervisor classifies the
+exit, waits out an exponential backoff, and respawns the child, which
+resumes from the journal instead of starting over.  A **restart budget**
+(``max_restarts``) bounds how many deaths are absorbed before the
+supervisor gives up with :class:`repro.errors.SupervisorError`.
+
+Watchdogs
+---------
+
+* **RSS soft limit** (``rss_limit_mb``): the parent polls the child's
+  ``/proc/<pid>/status`` VmRSS; a child over budget is SIGKILLed and the
+  death classified ``oom``.  The functions that were *in flight* (a
+  journaled ``start`` with no outcome) are charged with the blow-up;
+  a function charged ``poison_after`` times gets a ``poison`` record
+  appended to the journal, which the driver converts into a contained
+  per-function :class:`repro.errors.MemoryBudgetError` failure under its
+  :class:`~repro.regalloc.driver.FailurePolicy` — one pathological
+  function cannot OOM-kill every future incarnation.
+* **Heartbeat** (``hang_timeout``): every journal append touches the
+  file, so a journal whose mtime goes stale while the child lives means
+  the child is wedged; it is SIGKILLed and the death classified
+  ``hang``.
+
+Because children are forked, tasks carry live objects (no pickling) and
+the torture harness's ``child_setup`` hook runs *inside* the child
+before the task — that is where seeded kill switches are armed.
+
+After the task completes, :meth:`Supervisor.run` materializes the final
+result **from the journal** (``task.collect``) in the parent: every
+function replays bit-identically, so the supervised result is the same
+object graph an unkilled run would have produced.
+
+The supervisor also enforces the durability contract that **no worker
+outlives any parent**: after every child death it asserts the pool
+worker pids the child journaled are gone (pool workers bind to parent
+death with ``PR_SET_PDEATHSIG``), recording stragglers on
+:attr:`SupervisorReport.leaked_workers`.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import signal
+import time
+
+from repro.durability.journal import Journal, read_journal
+from repro.errors import SupervisorError
+
+__all__ = [
+    "AllocationTask",
+    "FuzzTask",
+    "Supervisor",
+    "SupervisorReport",
+]
+
+
+def rss_mb(pid: int):
+    """Resident set size of ``pid`` in MiB via ``/proc``, or ``None``
+    when the process is gone (or the platform has no procfs)."""
+    try:
+        with open(f"/proc/{pid}/status", "r") as status:
+            for line in status:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) / 1024.0
+    except (OSError, ValueError, IndexError):
+        return None
+    return None
+
+
+def process_gone(pid: int, deadline: float = 5.0) -> bool:
+    """True once ``pid`` no longer exists (reaping zombies on the way)."""
+    end = time.monotonic() + deadline
+    while time.monotonic() < end:
+        if not pathlib.Path(f"/proc/{pid}").exists():
+            return True
+        try:
+            os.waitpid(pid, os.WNOHANG)
+        except (ChildProcessError, PermissionError):
+            pass
+        time.sleep(0.02)
+    return not pathlib.Path(f"/proc/{pid}").exists()
+
+
+class AllocationTask:
+    """A journaled allocation sweep: compile each workload fresh (the
+    journal keys functions by pre-allocation IR, so compilation must be
+    deterministic — it is) and allocate under one shared journal.
+
+    ``workloads`` are registry names; ``sources`` are raw program texts.
+    All other knobs mirror :func:`repro.regalloc.driver.allocate_module`.
+    The response cache is bypassed (``cache=False``) so the journal is
+    the single source of resumed truth.
+    """
+
+    def __init__(self, workloads=(), sources=(), target=None,
+                 method="briggs", jobs=1, policy="degrade-to-naive",
+                 retries=1, bundle_dir=None, alloc_kwargs=None):
+        self.workloads = list(workloads)
+        self.sources = list(sources)
+        self.target = target
+        self.method = method
+        self.jobs = jobs
+        self.policy = policy
+        self.retries = retries
+        self.bundle_dir = bundle_dir
+        self.alloc_kwargs = dict(alloc_kwargs or {})
+
+    def modules(self):
+        from repro.frontend import compile_source
+        from repro.workloads import get_workload
+
+        for name in self.workloads:
+            yield get_workload(name).compile()
+        for index, source in enumerate(self.sources):
+            yield compile_source(source, f"source{index}")
+
+    def _target(self):
+        if self.target is not None:
+            return self.target
+        from repro.machine.target import rt_pc
+
+        return rt_pc()
+
+    def run(self, journal_path, jobs=None):
+        """Allocate every workload, journaling progress; returns
+        ``{module name: ModuleAllocation}``."""
+        from repro.regalloc.driver import allocate_module
+
+        target = self._target()
+        allocations = {}
+        with Journal(journal_path) as journal:
+            for module in self.modules():
+                allocations[module.name] = allocate_module(
+                    module, target, self.method,
+                    jobs=self.jobs if jobs is None else jobs,
+                    policy=self.policy, retries=self.retries,
+                    bundle_dir=self.bundle_dir, cache=False,
+                    journal=journal, resume=True, **self.alloc_kwargs,
+                )
+        return allocations
+
+    def collect(self, journal_path):
+        """Materialize the completed sweep from the journal — pure
+        replay, zero recompute, no worker pool."""
+        return self.run(journal_path, jobs=1)
+
+
+class FuzzTask:
+    """A journaled fuzz campaign (see ``run_fuzz(journal=, resume=)``)."""
+
+    def __init__(self, seed=0, iters=100, max_nodes=16,
+                 modes=("graph", "ir"), paranoia="full", bundle_dir=None):
+        self.seed = seed
+        self.iters = iters
+        self.max_nodes = max_nodes
+        self.modes = tuple(modes)
+        self.paranoia = paranoia
+        self.bundle_dir = bundle_dir
+
+    def run(self, journal_path):
+        from repro.robustness.fuzz import run_fuzz
+
+        return run_fuzz(
+            seed=self.seed, iters=self.iters, max_nodes=self.max_nodes,
+            modes=self.modes, paranoia=self.paranoia,
+            bundle_dir=self.bundle_dir, journal=journal_path,
+            resume=True,
+        )
+
+    collect = run
+
+
+class SupervisorReport:
+    """What happened across every incarnation of a supervised task."""
+
+    __slots__ = ("completed", "incarnations", "deaths", "poisoned",
+                 "leaked_workers", "result", "elapsed")
+
+    def __init__(self):
+        self.completed = False
+        #: one dict per child life: reason, exitcode, runtime, appends.
+        self.incarnations = []
+        self.deaths = 0
+        #: function keys poisoned for blowing the RSS budget.
+        self.poisoned = []
+        #: journaled worker pids still alive after a child death
+        #: (always empty unless the PDEATHSIG floor failed).
+        self.leaked_workers = []
+        self.result = None
+        self.elapsed = 0.0
+
+    def reasons(self) -> list:
+        return [entry["reason"] for entry in self.incarnations]
+
+    def as_dict(self) -> dict:
+        return {
+            "completed": self.completed,
+            "deaths": self.deaths,
+            "incarnations": list(self.incarnations),
+            "poisoned": list(self.poisoned),
+            "leaked_workers": list(self.leaked_workers),
+            "elapsed": self.elapsed,
+        }
+
+    def __repr__(self) -> str:
+        state = "completed" if self.completed else "failed"
+        return (
+            f"SupervisorReport({state} after {self.deaths} deaths, "
+            f"{len(self.incarnations)} incarnations)"
+        )
+
+
+def _child_main(task, journal_path, incarnation, setup):
+    if setup is not None:
+        setup(incarnation)
+    task.run(journal_path)
+
+
+class Supervisor:
+    """Run ``task`` under a restart budget, resuming from the journal
+    after every death.
+
+    * ``max_restarts`` — deaths absorbed before giving up (the task gets
+      ``max_restarts + 1`` lives).
+    * ``backoff`` / ``backoff_factor`` / ``max_backoff`` — exponential
+      delay between respawns (first death waits ``backoff`` seconds).
+    * ``rss_limit_mb`` — RSS soft-limit watchdog (see module docs).
+    * ``poison_after`` — OOM blow-ups charged to one function before it
+      is poisoned.
+    * ``hang_timeout`` — heartbeat watchdog: seconds of journal silence
+      from a live child before it is declared wedged.
+    * ``child_setup`` — callable run inside the forked child (with the
+      incarnation index) before the task; the torture harness arms its
+      kill switch here.
+    """
+
+    def __init__(self, task, journal_path, max_restarts=5, backoff=0.05,
+                 backoff_factor=2.0, max_backoff=2.0, rss_limit_mb=None,
+                 poison_after=2, hang_timeout=None, child_setup=None,
+                 poll_interval=0.05, collect=True):
+        self.task = task
+        self.journal_path = pathlib.Path(journal_path)
+        self.max_restarts = max_restarts
+        self.backoff = backoff
+        self.backoff_factor = backoff_factor
+        self.max_backoff = max_backoff
+        self.rss_limit_mb = rss_limit_mb
+        self.poison_after = poison_after
+        self.hang_timeout = hang_timeout
+        self.child_setup = child_setup
+        self.poll_interval = poll_interval
+        self.collect = collect
+        self._oom_charges: dict = {}
+
+    # -- one child life ------------------------------------------------
+
+    def _spawn(self, incarnation):
+        import multiprocessing
+
+        context = multiprocessing.get_context("fork")
+        child = context.Process(
+            target=_child_main,
+            args=(self.task, self.journal_path, incarnation,
+                  self.child_setup),
+            daemon=False,
+        )
+        child.start()
+        return child
+
+    def _watch(self, child):
+        """Poll the child until it exits; returns the watchdog's kill
+        reason (``"oom"``/``"hang"``) or ``None`` for a natural exit."""
+        last_heartbeat = time.monotonic()
+        last_mtime = self._journal_mtime()
+        while True:
+            child.join(self.poll_interval)
+            if child.exitcode is not None:
+                return None
+            if self.rss_limit_mb is not None:
+                rss = rss_mb(child.pid)
+                if rss is not None and rss > self.rss_limit_mb:
+                    self._kill(child)
+                    return "oom"
+            if self.hang_timeout is not None:
+                mtime = self._journal_mtime()
+                if mtime != last_mtime:
+                    last_mtime = mtime
+                    last_heartbeat = time.monotonic()
+                elif time.monotonic() - last_heartbeat > self.hang_timeout:
+                    self._kill(child)
+                    return "hang"
+
+    def _journal_mtime(self):
+        try:
+            return self.journal_path.stat().st_mtime_ns
+        except OSError:
+            return None
+
+    @staticmethod
+    def _kill(child):
+        try:
+            os.kill(child.pid, signal.SIGKILL)
+        except (ProcessLookupError, TypeError):
+            pass
+        child.join()
+
+    @staticmethod
+    def _classify(exitcode, kill_reason):
+        if kill_reason is not None:
+            return kill_reason
+        if exitcode == 0:
+            return "completed"
+        if exitcode == -signal.SIGKILL:
+            # Killed from outside the supervisor (the torture harness,
+            # the kernel's OOM killer, an operator).
+            return "kill"
+        if exitcode is not None and exitcode < 0:
+            return f"crash:signal-{-exitcode}"
+        return "crash"
+
+    # -- post-mortem ---------------------------------------------------
+
+    def _in_flight_keys(self, records) -> list:
+        """Keys journaled as started but with no outcome — the work the
+        dead child was executing."""
+        finished = set()
+        started: dict = {}
+        for record in records:
+            kind = record.get("type")
+            key = record.get("key")
+            if kind == "start" and key:
+                started.setdefault(key, record.get("function"))
+            elif kind in ("done", "failure", "poison") and key:
+                finished.add(key)
+        return [
+            (key, name) for key, name in started.items()
+            if key not in finished
+        ]
+
+    def _charge_oom(self, report) -> None:
+        """Blame an OOM death on the in-flight functions; poison any
+        charged ``poison_after`` times."""
+        records, _recovery = read_journal(self.journal_path)
+        to_poison = []
+        for key, name in self._in_flight_keys(records):
+            count = self._oom_charges.get(key, 0) + 1
+            self._oom_charges[key] = count
+            if count >= self.poison_after:
+                to_poison.append((key, name, count))
+        if not to_poison:
+            return
+        with Journal(self.journal_path) as journal:
+            for key, name, count in to_poison:
+                journal.append({
+                    "type": "poison",
+                    "key": key,
+                    "function": name,
+                    "reason": (
+                        f"blew the {self.rss_limit_mb:g}MB RSS budget "
+                        f"in {count} incarnations"
+                    ),
+                })
+                report.poisoned.append(key)
+
+    def _check_workers(self, report) -> None:
+        """Every worker pid the dead child journaled must be gone."""
+        records, _recovery = read_journal(self.journal_path)
+        pids = set()
+        for record in records:
+            if record.get("type") == "workers":
+                pids.update(record.get("pids", ()))
+        for pid in sorted(pids):
+            if not process_gone(pid):
+                report.leaked_workers.append(pid)
+
+    # -- the restart loop ----------------------------------------------
+
+    def run(self) -> SupervisorReport:
+        """Supervise the task to completion (or budget exhaustion).
+
+        Returns a :class:`SupervisorReport` with ``result`` set to the
+        journal-materialized final result; raises
+        :class:`repro.errors.SupervisorError` once the task has died
+        more than ``max_restarts`` times."""
+        report = SupervisorReport()
+        started_at = time.monotonic()
+        try:
+            while True:
+                incarnation = len(report.incarnations)
+                child = self._spawn(incarnation)
+                life_started = time.monotonic()
+                kill_reason = self._watch(child)
+                reason = self._classify(child.exitcode, kill_reason)
+                child.join()
+                report.incarnations.append({
+                    "incarnation": incarnation,
+                    "reason": reason,
+                    "exitcode": child.exitcode,
+                    "runtime": time.monotonic() - life_started,
+                })
+                if reason == "completed":
+                    report.completed = True
+                    if self.collect:
+                        report.result = self.task.collect(
+                            self.journal_path
+                        )
+                    return report
+                report.deaths += 1
+                self._check_workers(report)
+                if reason == "oom":
+                    self._charge_oom(report)
+                if report.deaths > self.max_restarts:
+                    raise SupervisorError(
+                        f"task died {report.deaths} times (last: "
+                        f"{reason}), restart budget of "
+                        f"{self.max_restarts} exhausted",
+                        context={
+                            "reasons": report.reasons(),
+                            "journal": str(self.journal_path),
+                        },
+                    )
+                delay = min(
+                    self.backoff
+                    * self.backoff_factor ** (report.deaths - 1),
+                    self.max_backoff,
+                )
+                time.sleep(delay)
+        finally:
+            report.elapsed = time.monotonic() - started_at

@@ -146,3 +146,22 @@ class SimulationBudgetError(SimulationError):
     """Raised when a run exhausts its instruction budget — distinguishes a
     (possibly injected) non-terminating program from a genuine machine
     fault, so validators can report hangs separately."""
+
+
+class JournalError(ReproError):
+    """Raised by the durability journal on unrecoverable misuse (writing
+    to a closed journal, a record that cannot be serialized).  Damage
+    *on disk* is never an error — torn or corrupt tails are truncated on
+    open and reported on :class:`repro.durability.JournalRecovery`."""
+
+
+class SupervisorError(ReproError):
+    """Raised when a supervised child exhausts its restart budget (the
+    task died more times than the supervisor is allowed to respawn it)."""
+
+
+class MemoryBudgetError(ReproError):
+    """Recorded (per :class:`repro.regalloc.FailurePolicy`) for a
+    function whose allocation repeatedly blew the supervisor's RSS soft
+    limit — the poisoned function is contained instead of being allowed
+    to OOM-kill every future incarnation."""

@@ -151,13 +151,19 @@ def pool_diagnostics() -> dict | None:
     dispatch/batch counts, warm starts and restarts per pool, and the
     content-addressed cache's hit/miss tallies.
     """
+    from repro.durability.journal import journal_counters
     from repro.regalloc.pool import RESPONSE_CACHE, active_pools
 
     pools = [pool.stats() for pool in active_pools()]
     cache = RESPONSE_CACHE.stats()
-    if not pools and not (cache["hits"] or cache["misses"]):
+    journal = journal_counters()
+    if not pools and not (cache["hits"] or cache["misses"]) \
+            and not any(journal.values()):
         return None
-    return {"pools": pools, "response_cache": cache}
+    diagnostics = {"pools": pools, "response_cache": cache}
+    if any(journal.values()):
+        diagnostics["journal"] = journal
+    return diagnostics
 
 
 def metrics_document(allocation, tracer=None, meta=None,

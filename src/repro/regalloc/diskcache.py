@@ -56,11 +56,18 @@ def key_digest(key) -> str:
 class DiskCache:
     """A directory of checksummed, atomically-written cache entries."""
 
-    def __init__(self, root, quarantine: bool = True):
+    def __init__(self, root, quarantine: bool = True,
+                 max_quarantine: int = 64):
         self.root = pathlib.Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         #: move damaged entries aside (False deletes them outright).
         self.keep_quarantined = quarantine
+        #: newest quarantined entries retained on disk; older ones are
+        #: pruned at quarantine time so a bit-rot storm (or a chaos
+        #: soak) cannot leak unbounded ``quarantine/`` debris.  The
+        #: in-memory counters and ``quarantine_log`` still see every
+        #: event.  ``None`` disables the cap.
+        self.max_quarantine = max_quarantine
         self.hits = 0
         self.misses = 0
         self.stores = 0
@@ -155,12 +162,31 @@ class DiskCache:
                 qdir.mkdir(exist_ok=True)
                 os.replace(path, qdir / path.name)
                 (qdir / f"{path.name}.reason").write_text(reason + "\n")
+                self._prune_quarantine(qdir)
             else:
                 path.unlink()
         except OSError:
             # A concurrent reader may have quarantined it first; either
             # way the entry is no longer served, which is what matters.
             pass
+
+    def _prune_quarantine(self, qdir: pathlib.Path) -> None:
+        """Drop the oldest quarantined entries beyond ``max_quarantine``."""
+        if self.max_quarantine is None:
+            return
+        entries = sorted(
+            qdir.glob("*.entry"),
+            key=lambda p: (p.stat().st_mtime, p.name),
+        )
+        excess = len(entries) - self.max_quarantine
+        if excess <= 0:
+            return
+        for stale in entries[:excess]:
+            for victim in (stale, qdir / f"{stale.name}.reason"):
+                try:
+                    victim.unlink()
+                except OSError:
+                    pass
 
     # -- write side ----------------------------------------------------
 

@@ -159,6 +159,15 @@ class AllocationFailure:
     def as_dict(self) -> dict:
         return {slot: getattr(self, slot) for slot in self.__slots__}
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "AllocationFailure":
+        """Rebuild a failure from :meth:`as_dict` output (the durability
+        journal replays absorbed failures across process restarts)."""
+        failure = cls.__new__(cls)
+        for slot in cls.__slots__:
+            setattr(failure, slot, data.get(slot))
+        return failure
+
     def __repr__(self) -> str:
         return (
             f"AllocationFailure({self.function}: {self.error_type} in "
@@ -660,6 +669,38 @@ def _handle_failure(function, target, method_name, error, policy, failures,
     return None
 
 
+def _apply_poison(checkpoint, function, module, target, method_name,
+                  policy, failures, bundle_dir, results):
+    """Convert a supervisor ``poison`` verdict (the function repeatedly
+    blew the child's memory budget) into a contained per-function
+    failure under ``policy``, journaling the outcome so later resumes
+    replay the decision.  Returns ``True`` when the function was
+    poisoned and is now fully handled."""
+    reason = checkpoint.poison_reason(function)
+    if reason is None:
+        return False
+    from repro.durability.checkpoint import function_key
+    from repro.errors import MemoryBudgetError
+
+    error = MemoryBudgetError(
+        f"allocation of {function.name} repeatedly exceeded the "
+        f"supervisor's memory budget ({reason})",
+        context={"function": function.name},
+    )
+    key = function_key(function)
+    before = len(failures)
+    result = _handle_failure(
+        function, target, method_name, error, policy, failures,
+        bundle_dir, elapsed=0.0, retries=0, phase="memory-budget",
+    )
+    checkpoint.mark_failures(key, function.name, failures[before:],
+                             substitute=result)
+    if result is not None:
+        module.functions[function.name] = result.function
+        results[function.name] = result
+    return True
+
+
 def _serial_retry(function, target, method, kwargs, retries):
     """Re-attempt a crashed worker's function in-process, each time on a
     fresh copy so earlier partial spill rewrites cannot compound.
@@ -679,7 +720,7 @@ def _serial_retry(function, target, method, kwargs, retries):
 
 def _parallel_results(module, functions, target, method, kwargs, jobs,
                       timeout, retries, policy, bundle_dir, failures,
-                      tracer=NULL_TRACER, cache=True):
+                      tracer=NULL_TRACER, cache=True, checkpoint=None):
     """Allocate ``functions`` over the persistent worker pool.
 
     Functions travel to the warm pool (:mod:`repro.regalloc.pool`) as
@@ -719,10 +760,14 @@ def _parallel_results(module, functions, target, method, kwargs, jobs,
     cacheable = cache and isinstance(method, str) and not tracer.enabled
     workers = pool_mod.resolve_jobs(jobs, len(functions))
 
-    def collect(function, response, started):
+    def collect(function, response, started, ckpt_key=None):
         """Materialize one response into ``results``, or run it through
         retry + policy; mirrors the per-function semantics of the
-        pre-pool driver."""
+        pre-pool driver.  With a checkpoint attached, the outcome —
+        success, absorbed failure, degraded substitute — is journaled
+        so a killed process resumes from it."""
+        before = len(failures)
+        journaled_response = None
         if response[0] == "error":
             result, attempts, retry_error = _serial_retry(
                 function, target, method, kwargs, retries
@@ -738,37 +783,90 @@ def _parallel_results(module, functions, target, method, kwargs, jobs,
             result, snapshot = pool_mod.materialize_response(
                 response, target, method_name
             )
+            journaled_response = response
             if snapshot is not None:
                 tracer.absorb(snapshot)
         if result is not None:
             module.functions[result.function.name] = result.function
             results[result.function.name] = result
+        if checkpoint is not None and ckpt_key is not None:
+            new_failures = failures[before:]
+            if new_failures:
+                checkpoint.mark_failures(
+                    ckpt_key, function.name, new_failures,
+                    substitute=result,
+                )
+            elif result is not None:
+                if journaled_response is not None:
+                    checkpoint.mark_response(
+                        ckpt_key, function.name, journaled_response
+                    )
+                else:
+                    checkpoint.mark_result(ckpt_key, result)
 
-    # Requests: (function, wire text, cache key or None).  Cache hits
-    # are materialized immediately; only misses reach the pool.
+    # Requests: (function, wire text, cache key or None, checkpoint
+    # key or None).  Journal replays and cache hits are materialized
+    # immediately; only misses reach the pool.
     dispatch = []
     for function in functions:
+        if checkpoint is not None:
+            if checkpoint.replay(function, module, results, failures):
+                continue
+            if _apply_poison(checkpoint, function, module, target,
+                             method_name, policy, failures, bundle_dir,
+                             results):
+                continue
         wire_text = pool_mod.encode_request(function)
         key = (
             pool_mod.cache_key(wire_text, target, method, kwargs)
             if cacheable else None
         )
+        ckpt_key = None
         hit = pool_mod.RESPONSE_CACHE.get(key)
         if hit is not None:
-            collect(function, hit, time.perf_counter())
+            if checkpoint is not None:
+                ckpt_key = checkpoint.mark_start(function)
+            collect(function, hit, time.perf_counter(), ckpt_key)
         else:
             dispatch.append((function, wire_text, key))
+
+    if not dispatch:
+        # Everything replayed (journal) or hit the cache — do not spin
+        # up (or warm) a pool just to dispatch nothing.
+        ordered = {
+            function.name: results[function.name]
+            for function in functions if function.name in results
+        }
+        return ordered, None
 
     pool = pool_mod.get_pool(workers)
     batches = pool_mod.plan_batches(
         dispatch, workers, weight=lambda item: len(item[1])
     )
+    if checkpoint is not None:
+        # Start records go down *before* dispatch — a kill between here
+        # and collection re-executes exactly the in-flight functions —
+        # and the worker pids are journaled so the torture harness can
+        # prove no worker outlives a killed parent.
+        batches = [
+            [(function, text, key, checkpoint.mark_start(function))
+             for function, text, key in batch]
+            for batch in batches
+        ]
+    else:
+        batches = [
+            [(function, text, key, None)
+             for function, text, key in batch]
+            for batch in batches
+        ]
     pending = [
         (batch,
-         pool.submit([text for _f, text, _k in batch], target, method,
+         pool.submit([text for _f, text, _k, _c in batch], target, method,
                      kwargs, tracer.enabled))
         for batch in batches
     ]
+    if checkpoint is not None and pending:
+        checkpoint.mark_workers(pool.worker_pids())
     wedged = False
     try:
         for batch, async_result in pending:
@@ -786,13 +884,14 @@ def _parallel_results(module, functions, target, method, kwargs, jobs,
                 # timeout; the pool is restarted on the way out.
                 wedged = True
                 elapsed = time.perf_counter() - started
-                for function, _text, _key in batch:
+                for function, _text, _key, ckpt_key in batch:
                     error = DriverTimeoutError(
                         f"allocation of {function.name} exceeded "
                         f"{timeout:g}s in a worker",
                         context={"function": function.name,
                                  "timeout": timeout},
                     )
+                    before = len(failures)
                     result = _handle_failure(
                         function, target, method_name, error, policy,
                         failures, bundle_dir, elapsed=elapsed,
@@ -801,18 +900,24 @@ def _parallel_results(module, functions, target, method, kwargs, jobs,
                     if result is not None:
                         module.functions[function.name] = result.function
                         results[function.name] = result
+                    if checkpoint is not None and ckpt_key is not None:
+                        checkpoint.mark_failures(
+                            ckpt_key, function.name, failures[before:],
+                            substitute=result,
+                        )
                 continue
             except Exception as error:
                 # Transport-level batch loss (worker killed hard, or its
                 # response did not unpickle): per-function retry + policy,
                 # exactly as a per-function crash.
-                for function, _text, _key in batch:
-                    collect(function, ("error", error), started)
+                for function, _text, _key, ckpt_key in batch:
+                    collect(function, ("error", error), started, ckpt_key)
                 continue
-            for (function, _text, key), response in zip(batch, responses):
+            for (function, _text, key, ckpt_key), response in zip(
+                    batch, responses):
                 if response[0] != "error":
                     pool_mod.RESPONSE_CACHE.put(key, response)
-                collect(function, response, started)
+                collect(function, response, started, ckpt_key)
     finally:
         if wedged:
             pool.restart()
@@ -841,6 +946,8 @@ def allocate_module(
     bundle_dir=None,
     tracer=None,
     cache: bool = True,
+    journal=None,
+    resume: bool = True,
 ) -> ModuleAllocation:
     """Allocate every function of a module (in place).
 
@@ -873,6 +980,17 @@ def allocate_module(
     function's span tree; under ``jobs > 1`` each worker traces into its
     own buffer and the parent merges them, one trace lane per worker
     process (see :mod:`repro.observability.trace`).
+
+    ``journal`` (a path or :class:`repro.durability.Journal`) makes the
+    allocation **durable**: every function's outcome is appended to a
+    crash-safe write-ahead journal as it completes, and with ``resume``
+    (the default) a journal left behind by a killed process replays its
+    completed functions bit-identically instead of re-executing them —
+    see :mod:`repro.durability.checkpoint`.  A journal written under a
+    different configuration (target, method, flags) is reset, not
+    reused.  Journaling requires a string method name (strategy objects
+    may be stateful, so their outcomes must not be replayed); passing
+    one disables the journal with a warning.
     """
     policy = FailurePolicy.coerce(policy)
     tracer = coerce_tracer(tracer)
@@ -893,6 +1011,26 @@ def allocate_module(
     failures: list = []
     results = None
     fallback_reason = None
+    checkpoint = None
+    owned_journal = None
+    if journal is not None:
+        if not isinstance(method, str):
+            warnings.warn(
+                "journaling disabled: method is a strategy object, and "
+                "a stateful strategy's outcomes must not be replayed",
+                RuntimeWarning,
+            )
+        else:
+            from repro.durability.checkpoint import Checkpoint
+            from repro.durability.journal import coerce_journal
+
+            journal_obj = coerce_journal(journal)
+            if journal_obj is not journal:
+                owned_journal = journal_obj
+            checkpoint = Checkpoint(
+                journal_obj, target, method_name, kwargs,
+                resume=resume, tracer=tracer,
+            )
     # A timeout can only be enforced from *outside* the allocation: the
     # pool watchdog abandons a wedged batch and restarts the workers,
     # while the in-process serial path has no way to interrupt a
@@ -902,41 +1040,66 @@ def allocate_module(
     use_pool = bool(functions) and (
         (jobs > 1 and len(functions) > 1) or timeout is not None
     )
-    with tracer.span(f"module:{module.name}", cat="module",
-                     method=method_name, jobs=jobs):
-        if use_pool:
-            results, fallback_reason = _parallel_results(
-                module, functions, target, method, kwargs, jobs,
-                timeout, retries, policy, bundle_dir, failures,
-                tracer=tracer, cache=cache,
-            )
-        if results is None:
-            results = {}
-            for function in functions:
-                started = time.perf_counter()
-                try:
-                    result = allocate_function(
-                        function, target, method, tracer=tracer, **kwargs
-                    )
-                except Exception as error:
-                    # Not just AllocationError: a crashing *strategy*
-                    # (injected faults, third-party heuristics) raises
-                    # whatever it likes, and the policy must absorb it on
-                    # the serial path exactly as the pool does for worker
-                    # crashes — same program, same strategy, same outcome
-                    # regardless of ``jobs``.
-                    phase = "allocate"
-                    if isinstance(error, ReproError):
-                        phase = error.context.get("phase", "allocate")
-                    result = _handle_failure(
-                        function, target, method_name, error, policy,
-                        failures, bundle_dir,
-                        elapsed=time.perf_counter() - started,
-                        retries=0,
-                        phase=phase,
-                    )
-                if result is not None:
-                    results[function.name] = result
+    try:
+        with tracer.span(f"module:{module.name}", cat="module",
+                         method=method_name, jobs=jobs):
+            if use_pool:
+                results, fallback_reason = _parallel_results(
+                    module, functions, target, method, kwargs, jobs,
+                    timeout, retries, policy, bundle_dir, failures,
+                    tracer=tracer, cache=cache, checkpoint=checkpoint,
+                )
+            if results is None:
+                results = {}
+                for function in functions:
+                    ckpt_key = None
+                    if checkpoint is not None:
+                        if checkpoint.replay(function, module, results,
+                                             failures):
+                            continue
+                        if _apply_poison(checkpoint, function, module,
+                                         target, method_name, policy,
+                                         failures, bundle_dir, results):
+                            continue
+                        ckpt_key = checkpoint.mark_start(function)
+                    started = time.perf_counter()
+                    before = len(failures)
+                    try:
+                        result = allocate_function(
+                            function, target, method, tracer=tracer,
+                            **kwargs
+                        )
+                    except Exception as error:
+                        # Not just AllocationError: a crashing *strategy*
+                        # (injected faults, third-party heuristics) raises
+                        # whatever it likes, and the policy must absorb it
+                        # on the serial path exactly as the pool does for
+                        # worker crashes — same program, same strategy,
+                        # same outcome regardless of ``jobs``.
+                        phase = "allocate"
+                        if isinstance(error, ReproError):
+                            phase = error.context.get("phase", "allocate")
+                        result = _handle_failure(
+                            function, target, method_name, error, policy,
+                            failures, bundle_dir,
+                            elapsed=time.perf_counter() - started,
+                            retries=0,
+                            phase=phase,
+                        )
+                    if result is not None:
+                        results[function.name] = result
+                    if checkpoint is not None:
+                        new_failures = failures[before:]
+                        if new_failures:
+                            checkpoint.mark_failures(
+                                ckpt_key, function.name, new_failures,
+                                substitute=results.get(function.name),
+                            )
+                        elif result is not None:
+                            checkpoint.mark_result(ckpt_key, result)
+    finally:
+        if owned_journal is not None:
+            owned_journal.close()
     return ModuleAllocation(
         module, target, method_name, results,
         failures=failures, parallel_fallback=fallback_reason,

@@ -67,6 +67,7 @@ from __future__ import annotations
 import atexit
 import os
 import pickle
+import signal
 import threading
 from collections import OrderedDict
 
@@ -153,9 +154,38 @@ def plan_batches(items: list, workers: int, weight=len) -> list:
 # ----------------------------------------------------------------------
 
 
+def _bind_to_parent_death(poll_interval: float = 0.5) -> None:
+    """SIGKILL this worker once its parent *process* dies.  The normal
+    teardown paths — atexit, ``install_signal_teardown`` — cannot run
+    when the parent is SIGKILLed; this is the floor under the
+    durability contract that no worker outlives its parent.
+
+    Deliberately NOT ``PR_SET_PDEATHSIG``: that fires when the parent
+    *thread* that forked the worker exits, so a pool created from an
+    executor thread (the allocation service does exactly this) would
+    have its idle workers SIGKILLed at executor shutdown while they
+    hold the task-queue lock — deadlocking the pool's own terminate.
+    A ppid watch only trips on real parent death (re-parenting)."""
+    parent = os.getppid()
+    if parent <= 1:  # already orphaned before we could watch
+        os.kill(os.getpid(), signal.SIGKILL)
+
+    def watch() -> None:
+        import time
+
+        while True:
+            if os.getppid() != parent:
+                os.kill(os.getpid(), signal.SIGKILL)
+            time.sleep(poll_interval)
+
+    threading.Thread(target=watch, daemon=True,
+                     name="parent-death-watch").start()
+
+
 def _warm_worker() -> None:
     """Pool initializer: pay every allocator import once, at warm-up,
     instead of on the first dispatched function."""
+    _bind_to_parent_death()
     import repro.regalloc.driver  # noqa: F401
     import repro.regalloc.briggs  # noqa: F401
     import repro.regalloc.chaitin  # noqa: F401
@@ -237,6 +267,22 @@ def materialize_response(response, target, method_name):
         AllocationResult(function, target, method_name, assignment, stats),
         snapshot,
     )
+
+
+def encode_result_response(result):
+    """The response tuple an in-process :class:`AllocationResult` would
+    have produced had it come from a worker — the same transport
+    ``_allocate_one`` emits, so the durability journal can record
+    serial-path completions and replay them through
+    :func:`materialize_response` bit-identically."""
+    if result.graphs is not None:
+        blob = pickle.dumps(
+            (result.function, result.assignment, result.stats, result.graphs)
+        )
+        return ("pickle", blob, None)
+    colors = {vreg.id: color for vreg, color in result.assignment.items()}
+    return ("wire", encode_function(result.function), colors, result.stats,
+            None)
 
 
 # ----------------------------------------------------------------------

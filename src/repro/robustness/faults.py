@@ -95,7 +95,8 @@ class Fault:
         #: "allocation" — corrupt a finished allocation/module;
         #: "costs" — perturb the allocator's input (a context manager);
         #: "worker" — break the parallel driver's workers;
-        #: "service" — break a request against the live daemon.
+        #: "service" — break a request against the live daemon;
+        #: "process" — SIGKILL the allocating process itself.
         self.kind = kind
         self.expect = expect  # "detected" | "degraded"
         self.description = description
@@ -409,6 +410,24 @@ def inject_client_disconnect(rng):
 
 
 # ----------------------------------------------------------------------
+# Process faults: the allocating process itself dies (PR 8,
+# :mod:`repro.durability`).  The injector returns kill-torture knobs;
+# probing delegates to the torture harness, which SIGKILLs a supervised
+# child at seeded journal appends and compares the resumed result
+# against an unkilled reference, byte for byte.
+# ----------------------------------------------------------------------
+
+
+@register_fault("process_kill", kind="process", expect="degraded")
+def inject_process_kill(rng):
+    """The allocating process is SIGKILLed mid-run (possibly mid-write):
+    the supervisor must resume from the journal to a result byte-identical
+    to an unkilled run, leaking no workers."""
+    return {"kills": 2, "seed": rng.randrange(1 << 16), "step_max": 3,
+            "torn_rate": 0.5}
+
+
+# ----------------------------------------------------------------------
 # The probe: inject one fault into a correct pipeline, report what fired.
 # ----------------------------------------------------------------------
 
@@ -538,6 +557,31 @@ def _run_probe(fault, seed, source, method, target, max_instructions,
                 f"{f.function}: {f.error_type} in {f.phase} -> {f.action}"
                 for f in allocation.failures
             ),
+        )
+
+    if fault.kind == "process":
+        # Process death needs a supervised child: delegate to the
+        # kill-torture harness, which runs the allocation in a child,
+        # SIGKILLs it at the injector's seeded journal appends, and
+        # diffs the resumed result against an unkilled reference.
+        import tempfile
+
+        from repro.durability.torture import run_torture
+
+        spec = fault.inject(rng)
+        with tempfile.TemporaryDirectory(prefix="repro-torture-") as tmp:
+            report = run_torture(
+                sources=[source], target=target, method=method,
+                journal_path=f"{tmp}/torture.journal", **spec,
+            )
+        detected = ["supervisor"] if report.kills_delivered else []
+        points = [point for point, _torn in report.schedule]
+        return FaultProbe(
+            fault, seed,
+            f"SIGKILL at journal appends {points} "
+            f"({report.torn_delivered} torn)",
+            detected_by=detected, degraded=report.ok,
+            failures=report.deaths, detail=repr(report),
         )
 
     if fault.kind == "service":

@@ -119,6 +119,13 @@ class IRSpec:
     def size(self) -> int:
         return len(self.source.splitlines())
 
+    def as_dict(self) -> dict:
+        return {
+            "source": self.source,
+            "k_int": self.k_int,
+            "k_float": self.k_float,
+        }
+
     def __repr__(self) -> str:
         return (
             f"IRSpec({self.size()} lines, k_int={self.k_int}, "
@@ -426,6 +433,44 @@ class FuzzFailure:
         #: crash-bundle directory, when one was written.
         self.bundle = bundle
 
+    def as_dict(self) -> dict:
+        """JSON-serializable form; :meth:`from_dict` round-trips it (the
+        fuzz journal stores failures this way)."""
+        return {
+            "kind": self.kind,
+            "iteration": self.iteration,
+            "case_seed": self.case_seed,
+            "stage": self.stage,
+            "error_type": self.error_type,
+            "message": self.message,
+            "original_size": self.original_size,
+            "shrunk_size": self.shrunk_size,
+            "spec": self.spec.as_dict(),
+            "bundle": self.bundle,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FuzzFailure":
+        failure = cls.__new__(cls)
+        spec_data = data["spec"]
+        if data["kind"] == "graph":
+            spec = GraphSpec(
+                spec_data["n"], spec_data["k"],
+                [tuple(edge) for edge in spec_data["edges"]],
+                spec_data["costs"],
+            )
+        else:
+            spec = IRSpec(
+                spec_data["source"], spec_data["k_int"],
+                spec_data["k_float"],
+            )
+        for name in ("kind", "iteration", "case_seed", "stage",
+                     "error_type", "message", "original_size",
+                     "shrunk_size", "bundle"):
+            setattr(failure, name, data.get(name))
+        failure.spec = spec
+        return failure
+
     def __repr__(self) -> str:
         return (
             f"FuzzFailure({self.kind} seed={self.case_seed}: "
@@ -499,6 +544,8 @@ def run_fuzz(
     shrink_budget: int | None = None,
     log=None,
     tracer=None,
+    journal=None,
+    resume: bool = True,
 ) -> FuzzReport:
     """Run the closed loop: generate, check, shrink, bundle.
 
@@ -511,6 +558,15 @@ def run_fuzz(
     :class:`FuzzReport`; failures carry minimized specs and (with
     ``bundle_dir``) crash-bundle paths.  With a ``tracer`` each case gets
     a span tagged with the campaign seed and its own case seed.
+
+    With a ``journal`` (path or open :class:`~repro.durability.journal.
+    Journal`) every completed iteration is appended to a crash-safe WAL;
+    a killed campaign rerun with the same journal **replays** the
+    finished iterations — counters, failures, bundle paths — and only
+    executes the remainder.  The master RNG still draws every case seed
+    in order, so resumed and unkilled campaigns are bit-identical.  A
+    journal whose config (seed, generators, checkers) does not match is
+    reset, as is any journal under ``resume=False``.
     """
     paranoia = coerce_paranoia(paranoia)
     if paranoia == "off":
@@ -520,11 +576,86 @@ def run_fuzz(
     report = FuzzReport(seed)
     stats: dict = {}
 
+    from repro.durability.journal import (
+        Journal,
+        coerce_journal,
+        mark_replay,
+    )
+
+    owned_journal = journal is not None and not isinstance(journal, Journal)
+    journal_obj = coerce_journal(journal)
+    completed: dict = {}
+    if journal_obj is not None:
+        import hashlib
+
+        digest = hashlib.sha256(repr((
+            "fuzz", seed, max_nodes, tuple(modes), paranoia,
+            briggs_factory.__qualname__, chaitin_factory.__qualname__,
+            tuple(ir_methods), oracle_max_nodes,
+        )).encode("utf-8")).hexdigest()
+        records = journal_obj.records()
+        if (not resume or not records
+                or records[0].get("type") != "fuzz-config"
+                or records[0].get("digest") != digest):
+            journal_obj.reset()
+            journal_obj.append({"type": "fuzz-config", "digest": digest})
+        else:
+            for record in records[1:]:
+                if record.get("type") == "iter":
+                    completed[record["iteration"]] = record
+
+    try:
+        _run_fuzz_loop(
+            rng, report, stats, completed, journal_obj, mark_replay,
+            iters, modes, max_nodes, bundle_dir, paranoia,
+            briggs_factory, chaitin_factory, ir_methods,
+            oracle_max_nodes, shrink_budget, log, tracer, seed,
+        )
+    finally:
+        if owned_journal and journal_obj is not None:
+            journal_obj.close()
+
+    report.oracle_checked = stats.get("oracle_checked", 0)
+    report.oracle_gaps = stats.get("oracle_gaps", 0)
+    return report
+
+
+def _run_fuzz_loop(rng, report, stats, completed, journal_obj, mark_replay,
+                   iters, modes, max_nodes, bundle_dir, paranoia,
+                   briggs_factory, chaitin_factory, ir_methods,
+                   oracle_max_nodes, shrink_budget, log, tracer, seed):
     for iteration in range(iters):
         mode = modes[iteration % len(modes)]
         case_seed = rng.getrandbits(32)
         case_rng = random.Random(case_seed)
         report.iterations += 1
+
+        prior = completed.get(iteration)
+        if prior is not None and prior.get("case_seed") == case_seed:
+            # Journaled outcome: count it without re-running the case.
+            # The master RNG already drew this iteration's case seed, so
+            # the remaining (executed) iterations see the exact draws an
+            # unkilled campaign would have.
+            if prior.get("mode") == "graph":
+                report.graph_cases += 1
+                report.subset_checked += bool(prior.get("subset_ok"))
+                stats["oracle_checked"] = stats.get("oracle_checked", 0) \
+                    + prior.get("oracle_checked", 0)
+                stats["oracle_gaps"] = stats.get("oracle_gaps", 0) \
+                    + prior.get("oracle_gaps", 0)
+            else:
+                report.ir_cases += 1
+            if prior.get("failure"):
+                report.failures.append(
+                    FuzzFailure.from_dict(prior["failure"])
+                )
+                tracer.add("fuzz_failures")
+            mark_replay()
+            continue
+
+        oracle_before = (stats.get("oracle_checked", 0),
+                         stats.get("oracle_gaps", 0))
+        subset_ok = False
 
         if mode == "graph":
             report.graph_cases += 1
@@ -543,7 +674,8 @@ def run_fuzz(
                              campaign_seed=seed, case_seed=case_seed,
                              iteration=iteration):
                 failure = check(spec, stats)
-            report.subset_checked += failure is None
+            subset_ok = failure is None
+            report.subset_checked += subset_ok
             if failure is not None:
                 with tracer.span("fuzz:shrink", cat="fuzz",
                                  case_seed=case_seed):
@@ -593,12 +725,24 @@ def run_fuzz(
             tracer.add("fuzz_failures")
             if log is not None:
                 log(f"  {record!r}")
+        if journal_obj is not None:
+            entry = {
+                "type": "iter",
+                "iteration": iteration,
+                "case_seed": case_seed,
+                "mode": mode,
+            }
+            if mode == "graph":
+                entry["subset_ok"] = subset_ok
+                entry["oracle_checked"] = \
+                    stats.get("oracle_checked", 0) - oracle_before[0]
+                entry["oracle_gaps"] = \
+                    stats.get("oracle_gaps", 0) - oracle_before[1]
+            if failure is not None:
+                entry["failure"] = record.as_dict()
+            journal_obj.append(entry)
         if log is not None and (iteration + 1) % 50 == 0:
             log(
                 f"  {iteration + 1}/{iters} iterations, "
                 f"{len(report.failures)} failure(s)"
             )
-
-    report.oracle_checked = stats.get("oracle_checked", 0)
-    report.oracle_gaps = stats.get("oracle_gaps", 0)
-    return report

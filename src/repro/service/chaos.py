@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import asyncio
 import os
+import pathlib
 import random
 import time
 
@@ -123,6 +124,9 @@ class ChaosReport:
         self.leaked_workers = []
         self.service = {}          # final service metrics section
         self.duration = 0.0
+        #: the exact storm parameters (requests, seed, fault rates, …)
+        #: — enough to replay this run bit-for-bit.
+        self.storm = {}
 
     @property
     def p99(self) -> float:
@@ -151,6 +155,7 @@ class ChaosReport:
             "duration": round(self.duration, 3),
             "leaked_workers": self.leaked_workers,
             "service": self.service,
+            "storm": self.storm,
             "ok": self.ok,
         }
 
@@ -191,7 +196,10 @@ async def request_over_socket(host, port, message: dict,
     that many seconds and ``None`` is returned — the *server's* health
     afterwards is the property under test.
     """
-    reader, writer = await asyncio.open_connection(host, port)
+    from repro.service.server import _LINE_LIMIT
+
+    reader, writer = await asyncio.open_connection(host, port,
+                                                   limit=_LINE_LIMIT)
     try:
         writer.write(encode_message(message))
         await writer.drain()
@@ -313,6 +321,24 @@ def run_chaos(requests: int = 40, seed: int = 0, fault_rates=None,
     methods = ("briggs", "chaitin", "briggs-degree")
     pool = sorted(workloads) if workloads else sorted(CHAOS_WORKLOADS)
 
+    report.storm = {
+        "format": 1,
+        "requests": requests,
+        "seed": seed,
+        "fault_rates": dict(sorted(rates.items())),
+        "concurrency": concurrency,
+        "deadline": deadline,
+        "workloads": pool if workloads else None,
+    }
+    if bundle_dir is not None:
+        # The storm manifest rides along with the crash bundles, so a
+        # CI artifact is replayable with `repro chaos --replay <dir>`.
+        directory = pathlib.Path(bundle_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / "storm.json").write_text(
+            json.dumps(report.storm, indent=2, sort_keys=True) + "\n"
+        )
+
     # The whole stream is drawn up front from the seed so scheduling
     # nondeterminism cannot change *what* is injected, only when.
     plan = []
@@ -424,6 +450,49 @@ def run_chaos(requests: int = 40, seed: int = 0, fault_rates=None,
         pid for pid in worker_pids if not _process_gone(pid)
     ]
     return report
+
+
+def replay_command(storm: dict) -> str:
+    """The exact ``repro chaos`` invocation that reproduces ``storm``.
+
+    Every effective parameter is spelled out — including each nonzero
+    fault rate — so the command is self-contained and does not depend
+    on the default mix staying what it is today.
+    """
+    parts = [
+        "repro chaos",
+        f"--requests {storm['requests']}",
+        f"--seed {storm['seed']}",
+        f"--concurrency {storm['concurrency']}",
+        f"--deadline {storm['deadline']:g}",
+    ]
+    for name, rate in sorted(storm.get("fault_rates", {}).items()):
+        if rate > 0:
+            parts.append(f"--fault {name}={rate:g}")
+    return " ".join(parts)
+
+
+def load_storm_manifest(bundle) -> dict:
+    """The storm manifest from a chaos bundle directory (or the
+    ``storm.json`` file itself); raises ``ReproError`` when the bundle
+    has none or it is unreadable."""
+    from repro.errors import ReproError
+
+    path = pathlib.Path(bundle)
+    if path.is_dir():
+        path = path / "storm.json"
+    try:
+        manifest = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise ReproError(
+            f"no storm manifest at {path} — was the original run given "
+            "--bundle-dir?"
+        )
+    except (OSError, ValueError) as error:
+        raise ReproError(f"unreadable storm manifest {path}: {error}")
+    if not isinstance(manifest, dict) or "seed" not in manifest:
+        raise ReproError(f"malformed storm manifest {path}")
+    return manifest
 
 
 def _process_gone(pid: int, deadline: float = 5.0) -> bool:

@@ -103,14 +103,15 @@ class ServiceConfig:
         "host", "port", "concurrency", "queue_limit", "default_deadline",
         "max_deadline", "breaker_threshold", "breaker_cooldown", "jobs",
         "policy", "retries", "bundle_dir", "cache_dir", "optimize",
-        "allow_faults",
+        "allow_faults", "journal_path",
     )
 
     def __init__(self, host="127.0.0.1", port=0, concurrency=2,
                  queue_limit=8, default_deadline=30.0, max_deadline=120.0,
                  breaker_threshold=5, breaker_cooldown=2.0, jobs=2,
                  policy="degrade-to-naive", retries=1, bundle_dir=None,
-                 cache_dir=None, optimize=False, allow_faults=False):
+                 cache_dir=None, optimize=False, allow_faults=False,
+                 journal_path=None):
         self.host = host
         #: 0 asks the OS for an ephemeral port; the bound port is on
         #: :attr:`AllocationService.port` after :meth:`~AllocationService.start`.
@@ -133,6 +134,11 @@ class ServiceConfig:
         #: request carrying a ``fault`` field — a client must never be
         #: able to wedge workers or damage the disk cache by policy.
         self.allow_faults = allow_faults
+        #: crash-safe request journal (see :mod:`repro.durability`):
+        #: admitted requests are journaled before execution and marked
+        #: answered after; a restarted server replays the unfinished
+        #: ones before reporting ready.
+        self.journal_path = journal_path
 
 
 class AllocationService:
@@ -164,6 +170,13 @@ class AllocationService:
         self._stop_requested = asyncio.Event()
         self._stopped = asyncio.Event()
         self._stopping = False
+        #: request journal (durability): None unless configured.
+        self._journal = None
+        self._journal_seq = itertools.count(1)
+        self._recovery_done = True
+        self._recovery_task = None
+        self._recovery = {"pending_at_start": 0, "recovered": 0,
+                          "recovery_failed": 0}
         self.counters = {
             "requests": 0,            # allocate requests received
             "served": 0,              # 200s, degraded or not
@@ -193,6 +206,33 @@ class AllocationService:
         self.port = self._server.sockets[0].getsockname()[1]
         self.accepting = True
         self._started_at = time.monotonic()
+        if self.config.journal_path is not None:
+            from repro.durability.journal import Journal
+
+            self._journal = Journal(self.config.journal_path)
+            records = self._journal.records()
+            answered = {
+                record.get("jid") for record in records
+                if record.get("type") == "response"
+            }
+            backlog = [
+                record for record in records
+                if record.get("type") == "request"
+                and record.get("jid") not in answered
+            ]
+            jids = [record.get("jid", 0) for record in records
+                    if record.get("type") == "request"]
+            self._journal_seq = itertools.count(max(jids, default=0) + 1)
+            self._recovery["pending_at_start"] = len(backlog)
+            if backlog:
+                # A previous life accepted these and died before
+                # answering: replay them (the disk cache makes the redo
+                # cheap and the answers land back in it), and stay
+                # not-ready until the backlog is drained.
+                self._recovery_done = False
+                self._recovery_task = asyncio.ensure_future(
+                    self._replay_backlog(backlog)
+                )
 
     async def stop(self) -> None:
         """Stop accepting, drain in-flight work, tear down the pools.
@@ -215,9 +255,18 @@ class AllocationService:
             deadline = time.monotonic() + self.config.max_deadline
             while self._admitted > 0 and time.monotonic() < deadline:
                 await asyncio.sleep(0.02)
+            if self._recovery_task is not None:
+                self._recovery_task.cancel()
+                with contextlib.suppress(Exception,
+                                         asyncio.CancelledError):
+                    await self._recovery_task
+                self._recovery_task = None
             if self._executor is not None:
                 self._executor.shutdown(wait=True, cancel_futures=True)
                 self._executor = None
+            if self._journal is not None:
+                self._journal.close()
+                self._journal = None
             shutdown_pools()
             if self.config.cache_dir is not None:
                 RESPONSE_CACHE.detach_disk()
@@ -350,10 +399,78 @@ class AllocationService:
                 reason="breaker_open",
                 retry_after=self.config.breaker_cooldown)
         self._admitted += 1
+        jid = self._journal_request(message, request)
         try:
-            return await self._execute(request, received)
+            result = await self._execute(request, received)
+            self._journal_outcome(jid, result)
+            return result
         finally:
             self._admitted -= 1
+
+    # -- request journal (durability) ----------------------------------
+
+    def _journal_request(self, message: dict, request):
+        """Journal one admitted request; returns its journal id (or
+        ``None`` when journaling is off).  Chaos requests are never
+        journaled — replaying an injected fault at startup would be a
+        self-inflicted wound."""
+        if self._journal is None or request.fault is not None:
+            return None
+        jid = next(self._journal_seq)
+        record = {"type": "request", "jid": jid}
+        for key in ("id", "name", "source", "wire", "method",
+                    "int_regs", "float_regs", "validate"):
+            value = message.get(key)
+            if value is not None:
+                record[key] = value
+        try:
+            self._journal.append(record)
+        except (ReproError, OSError):
+            return None
+        return jid
+
+    def _journal_outcome(self, jid, result) -> None:
+        if jid is None or self._journal is None:
+            return
+        status = result.get("status") if isinstance(result, dict) else None
+        with contextlib.suppress(ReproError, OSError):
+            self._journal.append({
+                "type": "response", "jid": jid,
+                "status": 200 if status is None else status,
+            })
+
+    async def _replay_backlog(self, backlog) -> None:
+        """Re-execute every accepted-but-unanswered request from the
+        journal; the service reports ready only once this drains.  A
+        request that fails to replay is marked so it is never retried
+        again — recovery must converge, not loop."""
+        loop = asyncio.get_running_loop()
+        try:
+            for record in backlog:
+                try:
+                    request = parse_allocate_request(
+                        dict(record, fault=None, fault_args={}),
+                        self.config.default_deadline,
+                        self.config.max_deadline,
+                    )
+                    await loop.run_in_executor(
+                        self._executor, self._allocate_blocking,
+                        request, self.config.max_deadline, None,
+                    )
+                    self._recovery["recovered"] += 1
+                    outcome = "recovered"
+                except asyncio.CancelledError:
+                    raise
+                except Exception:  # noqa: BLE001 — recovery must converge
+                    self._recovery["recovery_failed"] += 1
+                    outcome = "recovery-failed"
+                with contextlib.suppress(ReproError, OSError):
+                    self._journal.append({
+                        "type": "response", "jid": record.get("jid"),
+                        "status": outcome,
+                    })
+        finally:
+            self._recovery_done = True
 
     async def _execute(self, request, received: float) -> dict:
         """Layers 2 and 4: deadline budget and degrading execution."""
@@ -551,11 +668,18 @@ class AllocationService:
                 time.monotonic() - self._started_at, 3)
         cache = RESPONSE_CACHE.stats()
         section["response_cache"] = cache
+        if self.config.journal_path is not None:
+            section["journal"] = dict(
+                self._recovery,
+                records=len(self._journal) if self._journal else 0,
+                recovery_done=self._recovery_done,
+            )
         return section
 
     def ready(self) -> bool:
         return (
             self.accepting
+            and self._recovery_done
             and self.breaker.state != CircuitBreaker.OPEN
             and self._admitted
             < self.config.concurrency + self.config.queue_limit
@@ -584,6 +708,7 @@ class AllocationService:
                     503, {"ready": False,
                           "breaker": self.breaker.state,
                           "accepting": self.accepting,
+                          "recovering": not self._recovery_done,
                           "in_flight": self._admitted}))
         elif target == "/metrics":
             writer.write(http_response(

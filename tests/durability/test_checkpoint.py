@@ -1,0 +1,283 @@
+"""Checkpoint/resume semantics of allocate_module(journal=...)."""
+
+import pytest
+
+from repro.durability.checkpoint import Checkpoint, function_key
+from repro.durability.journal import Journal, read_journal
+from repro.durability.torture import allocation_signature as result_signature
+from repro.frontend import compile_source
+from repro.machine.target import rt_pc
+from repro.regalloc.driver import allocate_module
+from repro.workloads import get_workload
+
+
+SOURCE = """subroutine three(a, b)
+integer c, d, e
+c = a + b
+d = c * a
+e = d - b
+end
+
+subroutine pair(x)
+integer y, z
+y = x * x
+z = y + x
+end
+
+subroutine lone(n)
+integer m
+m = n + n
+end
+"""
+
+ALLOC_KWARGS = dict(
+    coalesce=True, renumber=True, rematerialize=False,
+    split_ranges=False, validate=False, paranoia="off",
+)
+
+
+def compile_module():
+    return compile_source(SOURCE, "ckpt")
+
+
+@pytest.fixture
+def target():
+    return rt_pc().with_int_regs(4).with_float_regs(4)
+
+
+class TestFunctionKey:
+    def test_key_tracks_content(self, target):
+        module = compile_module()
+        keys = {function_key(f) for f in module}
+        assert len(keys) == 3  # distinct functions, distinct keys
+        again = compile_module()
+        assert {function_key(f) for f in again} == keys
+
+    def test_key_changes_after_allocation(self):
+        from repro.robustness.faults import (
+            DEFAULT_FAULT_SOURCE,
+            default_fault_target,
+        )
+
+        # The fault-probe program must spill on its 4-register target,
+        # so allocation rewrites the IR and the pre-allocation key no
+        # longer matches the post-allocation body.
+        module = compile_source(DEFAULT_FAULT_SOURCE)
+        function = module.functions["p"]
+        before = function_key(function)
+        allocation = allocate_module(module, default_fault_target())
+        assert allocation.total_spilled() > 0
+        assert function_key(function) != before
+
+
+class TestSerialResume:
+    def test_full_replay_is_bit_identical(self, tmp_path, target):
+        journal = tmp_path / "alloc.journal"
+        reference = allocate_module(compile_module(), target)
+        first = allocate_module(compile_module(), target, journal=journal)
+        assert result_signature(first) == result_signature(reference)
+        # Second run replays everything — zero new executions.
+        records_before = len(read_journal(journal)[0])
+        second = allocate_module(compile_module(), target, journal=journal)
+        assert result_signature(second) == result_signature(reference)
+        records = read_journal(journal)[0]
+        assert len(records) == records_before  # no new start/done records
+        starts = [r for r in records if r["type"] == "start"]
+        assert len(starts) == 3
+
+    def test_partial_journal_resumes_remaining(self, tmp_path, target):
+        journal_path = tmp_path / "alloc.journal"
+        reference = allocate_module(compile_module(), target)
+        allocate_module(compile_module(), target, journal=journal_path)
+        # Drop the last done record: simulate dying before the last
+        # function finished (its start stays — it was in flight).
+        records, _ = read_journal(journal_path)
+        done = [r for r in records if r["type"] == "done"]
+        with Journal(journal_path) as journal:
+            journal.reset()
+            for record in records:
+                if record is done[-1]:
+                    continue
+                journal.append(record)
+        resumed = allocate_module(
+            compile_module(), target, journal=journal_path
+        )
+        assert result_signature(resumed) == result_signature(reference)
+        records, _ = read_journal(journal_path)
+        # Exactly one function re-executed.
+        starts = [r for r in records if r["type"] == "start"]
+        assert len(starts) == 4
+
+    def test_resume_false_reexecutes(self, tmp_path, target):
+        journal = tmp_path / "alloc.journal"
+        allocate_module(compile_module(), target, journal=journal)
+        allocate_module(compile_module(), target, journal=journal,
+                        resume=False)
+        records, _ = read_journal(journal)
+        starts = [r for r in records if r["type"] == "start"]
+        assert len(starts) == 3  # journal was reset, all re-run
+
+    def test_config_mismatch_resets(self, tmp_path, target):
+        journal = tmp_path / "alloc.journal"
+        allocate_module(compile_module(), target, journal=journal)
+        other = rt_pc().with_int_regs(8).with_float_regs(8)
+        allocation = allocate_module(compile_module(), other,
+                                     journal=journal)
+        assert len(allocation.results) == 3
+        records, _ = read_journal(journal)
+        assert records[0]["type"] == "config"
+        starts = [r for r in records if r["type"] == "start"]
+        assert len(starts) == 3  # nothing replayed across configs
+
+    def test_neighbor_edit_keeps_untouched_functions(self, tmp_path,
+                                                     target):
+        journal = tmp_path / "alloc.journal"
+        allocate_module(compile_module(), target, journal=journal)
+        edited = compile_source(
+            SOURCE.replace("m = n + n", "m = n * n + n"), "ckpt"
+        )
+        allocate_module(edited, target, journal=journal)
+        records, _ = read_journal(journal)
+        starts = [r for r in records if r["type"] == "start"]
+        # Only the edited function ('lone') re-ran.
+        assert len(starts) == 4
+        assert starts[-1]["function"] == "lone"
+
+    def test_strategy_object_disables_journal(self, tmp_path, target):
+        from repro.regalloc.briggs import BriggsAllocator
+
+        journal = tmp_path / "alloc.journal"
+        with pytest.warns(RuntimeWarning, match="journaling disabled"):
+            allocate_module(compile_module(), target,
+                            method=BriggsAllocator(), journal=journal)
+        assert not journal.exists()
+
+
+class TestPoolResume:
+    def test_pool_journal_matches_serial(self, tmp_path, target):
+        from repro.regalloc.pool import RESPONSE_CACHE, shutdown_pools
+
+        shutdown_pools()
+        RESPONSE_CACHE.clear()
+        try:
+            journal = tmp_path / "alloc.journal"
+            reference = allocate_module(compile_module(), target)
+            pooled = allocate_module(compile_module(), target, jobs=2,
+                                     cache=False, journal=journal)
+            assert result_signature(pooled) == result_signature(reference)
+            records, _ = read_journal(journal)
+            assert records[0]["type"] == "config"
+            assert sum(r["type"] == "done" for r in records) == 3
+            assert any(r["type"] == "workers" for r in records)
+            # Resume replays without dispatching anything new.
+            resumed = allocate_module(compile_module(), target, jobs=2,
+                                      cache=False, journal=journal)
+            assert result_signature(resumed) == result_signature(reference)
+            after, _ = read_journal(journal)
+            assert len(after) == len(records)
+        finally:
+            shutdown_pools()
+            RESPONSE_CACHE.clear()
+
+    def test_registry_workload_journal_round_trip(self, tmp_path, target):
+        reference = allocate_module(
+            get_workload("quicksort").compile(), target
+        )
+        journal = tmp_path / "qs.journal"
+        first = allocate_module(get_workload("quicksort").compile(),
+                                target, journal=journal)
+        resumed = allocate_module(get_workload("quicksort").compile(),
+                                  target, journal=journal)
+        assert result_signature(first) == result_signature(reference)
+        assert result_signature(resumed) == result_signature(reference)
+
+
+class TestFailureReplay:
+    def test_degraded_failure_replays(self, tmp_path, target):
+        from repro.errors import MemoryBudgetError
+        from repro.regalloc.driver import (
+            AllocationFailure,
+            FailurePolicy,
+            _handle_failure,
+        )
+
+        module = compile_module()
+        journal = Journal(tmp_path / "f.journal")
+        checkpoint = Checkpoint(journal, target, "briggs", ALLOC_KWARGS)
+        function = next(iter(module))
+        key = checkpoint.mark_start(function)
+        failures = []
+        error = MemoryBudgetError("rss budget blown")
+        with pytest.warns(RuntimeWarning):
+            result = _handle_failure(
+                function, target, "briggs", error,
+                FailurePolicy.DEGRADE, failures, None, elapsed=0.1,
+                retries=0, phase="memory-budget",
+            )
+        assert result is not None and result.method == "spill-all"
+        checkpoint.mark_failures(key, function.name, failures,
+                                 substitute=result)
+        journal.close()
+
+        # A fresh process replays the decision, not the crash.
+        module2 = compile_module()
+        function2 = next(iter(module2))
+        journal2 = Journal(tmp_path / "f.journal")
+        checkpoint2 = Checkpoint(journal2, target, "briggs", ALLOC_KWARGS)
+        results2: dict = {}
+        failures2: list = []
+        # The journaled key is for the *pre-allocation* function, but
+        # _handle_failure degraded it in place — so replay must key on
+        # the fresh (pristine) copy.
+        assert checkpoint2.replay(function2, module2, results2, failures2)
+        journal2.close()
+        assert len(failures2) == 1
+        replayed = failures2[0]
+        assert isinstance(replayed, AllocationFailure)
+        assert replayed.error_type == "MemoryBudgetError"
+        assert replayed.phase == "memory-budget"
+        assert results2[function2.name].method == "spill-all"
+
+    def test_poison_degrades_and_raises_per_policy(self, tmp_path, target):
+        from repro.errors import MemoryBudgetError
+
+        module = compile_module()
+        poisoned_fn = next(iter(module))
+        # Key of the *pristine* function — allocation mutates IR in
+        # place, so it must be captured before any run.
+        poison_key = function_key(poisoned_fn)
+        poisoned_name = poisoned_fn.name
+
+        def poisoned_journal(path):
+            with Journal(path) as journal:
+                Checkpoint(journal, target, "briggs", ALLOC_KWARGS)
+            with Journal(path) as journal:
+                journal.append({
+                    "type": "poison",
+                    "key": poison_key,
+                    "function": poisoned_name,
+                    "reason": "rss over 64MB twice",
+                })
+            return path
+
+        # Degrade policy: contained per-function failure + spill-all.
+        degrade_path = poisoned_journal(tmp_path / "degrade.journal")
+        with pytest.warns(RuntimeWarning):
+            allocation = allocate_module(
+                module, target, journal=degrade_path,
+                policy="degrade-to-naive",
+            )
+        assert len(allocation.results) == 3
+        failure = next(
+            f for f in allocation.failures
+            if f.function == poisoned_fn.name
+        )
+        assert failure.error_type == "MemoryBudgetError"
+        assert failure.phase == "memory-budget"
+        assert allocation.results[poisoned_fn.name].method == "spill-all"
+
+        # Raise policy propagates the budget error.
+        raise_path = poisoned_journal(tmp_path / "raise.journal")
+        with pytest.raises(MemoryBudgetError):
+            allocate_module(compile_module(), target, journal=raise_path,
+                            policy="raise")

@@ -1,0 +1,113 @@
+"""Journaled fuzz campaigns resume without re-running finished work."""
+
+import pytest
+
+from repro.durability.journal import (
+    arm_kill_switch,
+    read_journal,
+)
+from repro.durability.supervisor import FuzzTask, Supervisor
+from repro.robustness.fuzz import run_fuzz
+
+from tests.robustness.test_fuzz import BrokenBriggs
+
+slow = pytest.mark.slow
+
+FAST = dict(max_nodes=10, modes=("graph",), paranoia="cheap")
+
+
+def campaign_fields(report):
+    """Everything a resumed campaign must reproduce exactly."""
+    return (
+        report.iterations, report.graph_cases, report.ir_cases,
+        report.subset_checked, report.oracle_checked, report.oracle_gaps,
+        [(f.kind, f.iteration, f.case_seed, f.stage, f.error_type,
+          f.spec.key(), f.original_size, f.shrunk_size)
+         for f in report.failures],
+        report.summary(),
+    )
+
+
+class TestResume:
+    def test_full_replay_matches_and_appends_nothing(self, tmp_path):
+        journal = tmp_path / "fuzz.journal"
+        reference = run_fuzz(seed=4, iters=6, **FAST)
+        first = run_fuzz(seed=4, iters=6, journal=journal, **FAST)
+        assert campaign_fields(first) == campaign_fields(reference)
+        records_before = len(read_journal(journal)[0])
+        resumed = run_fuzz(seed=4, iters=6, journal=journal, **FAST)
+        assert campaign_fields(resumed) == campaign_fields(reference)
+        assert len(read_journal(journal)[0]) == records_before
+
+    def test_extending_iters_continues_campaign(self, tmp_path):
+        journal = tmp_path / "fuzz.journal"
+        run_fuzz(seed=4, iters=3, journal=journal, **FAST)
+        extended = run_fuzz(seed=4, iters=6, journal=journal, **FAST)
+        reference = run_fuzz(seed=4, iters=6, **FAST)
+        assert campaign_fields(extended) == campaign_fields(reference)
+        records, _ = read_journal(journal)
+        iters = [r for r in records if r["type"] == "iter"]
+        assert [r["iteration"] for r in iters] == list(range(6))
+
+    def test_failures_replay_with_specs_and_signatures(self, tmp_path):
+        journal = tmp_path / "fuzz.journal"
+        reference = run_fuzz(seed=3, iters=4, modes=("graph",),
+                             briggs_factory=BrokenBriggs)
+        assert reference.failures  # the bad allocator must be caught
+        first = run_fuzz(seed=3, iters=4, modes=("graph",),
+                         briggs_factory=BrokenBriggs, journal=journal)
+        resumed = run_fuzz(seed=3, iters=4, modes=("graph",),
+                           briggs_factory=BrokenBriggs, journal=journal)
+        assert campaign_fields(first) == campaign_fields(reference)
+        assert campaign_fields(resumed) == campaign_fields(reference)
+
+    def test_resume_false_restarts(self, tmp_path):
+        journal = tmp_path / "fuzz.journal"
+        run_fuzz(seed=4, iters=3, journal=journal, **FAST)
+        run_fuzz(seed=4, iters=3, journal=journal, resume=False, **FAST)
+        records, _ = read_journal(journal)
+        iters = [r for r in records if r["type"] == "iter"]
+        assert len(iters) == 3  # reset, then re-journaled from scratch
+
+    def test_config_mismatch_resets(self, tmp_path):
+        journal = tmp_path / "fuzz.journal"
+        run_fuzz(seed=4, iters=3, journal=journal, **FAST)
+        # A different generator config must not replay stale outcomes.
+        run_fuzz(seed=4, iters=3, journal=journal, max_nodes=8,
+                 modes=("graph",), paranoia="cheap")
+        records, _ = read_journal(journal)
+        assert records[0]["type"] == "fuzz-config"
+        iters = [r for r in records if r["type"] == "iter"]
+        assert len(iters) == 3
+
+    def test_ir_mode_round_trips(self, tmp_path):
+        journal = tmp_path / "fuzz.journal"
+        reference = run_fuzz(seed=2, iters=4, paranoia="cheap")
+        first = run_fuzz(seed=2, iters=4, paranoia="cheap",
+                         journal=journal)
+        resumed = run_fuzz(seed=2, iters=4, paranoia="cheap",
+                           journal=journal)
+        assert campaign_fields(first) == campaign_fields(reference)
+        assert campaign_fields(resumed) == campaign_fields(reference)
+
+
+class TestSupervisedFuzz:
+    @slow
+    def test_sigkilled_campaign_resumes_identically(self, tmp_path):
+        reference = run_fuzz(seed=6, iters=8, **FAST)
+
+        task = FuzzTask(seed=6, iters=8, max_nodes=10, modes=("graph",),
+                        paranoia="cheap")
+
+        def arm_first_life(incarnation):
+            if incarnation == 0:
+                arm_kill_switch(4)
+
+        supervisor = Supervisor(
+            task, tmp_path / "fuzz.journal", max_restarts=2,
+            child_setup=arm_first_life, hang_timeout=None,
+        )
+        report = supervisor.run()
+        assert report.completed
+        assert report.reasons() == ["kill", "completed"]
+        assert campaign_fields(report.result) == campaign_fields(reference)

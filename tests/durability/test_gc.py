@@ -1,0 +1,166 @@
+"""Retention GC: bounded crash-bundle and quarantine debris."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.durability.gc import GCReport, collect_debris
+from repro.regalloc.diskcache import DiskCache
+
+NOW = 1_000_000.0
+
+
+def make_bundle(root, name, age, payload=b"x" * 10):
+    """A fake bundle directory ``age`` seconds old."""
+    directory = root / name
+    directory.mkdir(parents=True)
+    (directory / "meta.json").write_text("{}")
+    (directory / "payload.bin").write_bytes(payload)
+    stamp = NOW - age
+    os.utime(directory / "meta.json", (stamp, stamp))
+    os.utime(directory / "payload.bin", (stamp, stamp))
+    os.utime(directory, (stamp, stamp))
+    return directory
+
+
+class TestCollectDebris:
+    def test_keeps_newest_per_category(self, tmp_path):
+        for age in range(6):
+            make_bundle(tmp_path, f"crash-f{age}", age=age * 100)
+        report = collect_debris(results_dir=tmp_path, keep=2, now=NOW)
+        survivors = sorted(p.name for p in tmp_path.glob("crash-*"))
+        assert survivors == ["crash-f0", "crash-f1"]
+        assert report.categories["crash-bundles"] == {
+            "scanned": 6, "kept": 2, "removed": 4,
+        }
+        assert report.freed_bytes > 0
+        assert len(report.removed) == 4
+
+    def test_categories_are_independent(self, tmp_path):
+        make_bundle(tmp_path, "crash-old", age=500)
+        make_bundle(tmp_path / "fuzz", "fuzz-graph-1", age=500)
+        make_bundle(tmp_path, "request-3", age=500)
+        report = collect_debris(results_dir=tmp_path, keep=1, now=NOW)
+        # Each category keeps its own newest artifact.
+        assert report.kept == 3
+        assert not report.removed
+        assert set(report.categories) == {
+            "crash-bundles", "fuzz-bundles", "request-bundles",
+        }
+
+    def test_age_limit_overrides_keep_window(self, tmp_path):
+        make_bundle(tmp_path, "crash-young", age=100)
+        make_bundle(tmp_path, "crash-ancient", age=100_000)
+        report = collect_debris(results_dir=tmp_path, keep=10,
+                                max_age=50_000, now=NOW)
+        assert [p.name for p in tmp_path.glob("crash-*")] == [
+            "crash-young"
+        ]
+        assert report.categories["crash-bundles"]["removed"] == 1
+
+    def test_dry_run_deletes_nothing(self, tmp_path):
+        for age in range(4):
+            make_bundle(tmp_path, f"crash-f{age}", age=age * 100)
+        report = collect_debris(results_dir=tmp_path, keep=1,
+                                dry_run=True, now=NOW)
+        assert len(report.removed) == 3
+        assert len(list(tmp_path.glob("crash-*"))) == 4
+
+    def test_quarantine_entry_and_reason_go_together(self, tmp_path):
+        qdir = tmp_path / "cache" / "quarantine"
+        qdir.mkdir(parents=True)
+        for index in range(3):
+            entry = qdir / f"e{index}.entry"
+            entry.write_bytes(b"damaged")
+            (qdir / f"e{index}.entry.reason").write_text("bit rot\n")
+            stamp = NOW - index * 100
+            os.utime(entry, (stamp, stamp))
+        (qdir / "orphan.entry.reason").write_text("entry gone\n")
+        os.utime(qdir / "orphan.entry.reason", (NOW - 999, NOW - 999))
+        report = collect_debris(results_dir=tmp_path / "none",
+                                cache_dir=tmp_path / "cache", keep=1,
+                                now=NOW)
+        assert sorted(p.name for p in qdir.iterdir()) == [
+            "e0.entry", "e0.entry.reason",
+        ]
+        assert report.categories["cache-quarantine"] == {
+            "scanned": 4, "kept": 1, "removed": 3,
+        }
+
+    def test_clean_tree_is_a_noop(self, tmp_path):
+        report = collect_debris(results_dir=tmp_path / "missing",
+                                cache_dir=tmp_path / "also-missing",
+                                now=NOW)
+        assert report.scanned == 0
+        assert not report.removed
+        assert report.freed_bytes == 0
+
+    def test_negative_keep_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            collect_debris(results_dir=tmp_path, keep=-1)
+
+    def test_report_round_trips_to_json(self, tmp_path):
+        make_bundle(tmp_path, "crash-a", age=0)
+        report = collect_debris(results_dir=tmp_path, keep=0, now=NOW)
+        document = json.loads(json.dumps(report.as_dict()))
+        assert document["scanned"] == 1
+        assert document["categories"]["crash-bundles"]["removed"] == 1
+        assert "GCReport" in repr(report)
+        assert isinstance(report, GCReport)
+
+
+class TestDiskCacheQuarantineCap:
+    def test_quarantine_storm_is_bounded(self, tmp_path):
+        cache = DiskCache(tmp_path, max_quarantine=3)
+        for index in range(8):
+            key = ("k", index)
+            cache.put(key, b"payload")
+            # Flip a payload byte so the next read quarantines it.
+            path = cache._path(key)
+            raw = bytearray(path.read_bytes())
+            raw[-1] ^= 0xFF
+            path.write_bytes(bytes(raw))
+            assert cache.get(key) is None
+        assert cache.quarantined == 8
+        qdir = tmp_path / "quarantine"
+        entries = list(qdir.glob("*.entry"))
+        reasons = list(qdir.glob("*.reason"))
+        assert len(entries) == 3
+        assert len(reasons) == 3
+        assert {p.name + ".reason" for p in entries} == \
+            {p.name for p in reasons}
+
+    def test_cap_disabled_keeps_everything(self, tmp_path):
+        cache = DiskCache(tmp_path, max_quarantine=None)
+        for index in range(5):
+            key = ("k", index)
+            cache.put(key, b"payload")
+            cache._path(key).write_bytes(b"garbage, no header newline")
+            assert cache.get(key) is None
+        assert len(list((tmp_path / "quarantine").glob("*.entry"))) == 5
+
+
+class TestGcCli:
+    def test_gc_sweeps_and_reports(self, tmp_path, capsys):
+        for age in range(4):
+            make_bundle(tmp_path / "results", f"crash-f{age}",
+                        age=age * 100)
+        code = main(["gc", "--results", str(tmp_path / "results"),
+                     "--keep", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "removed 3" in out
+        assert len(list((tmp_path / "results").glob("crash-*"))) == 1
+
+    def test_gc_json_dry_run(self, tmp_path, capsys):
+        make_bundle(tmp_path / "results", "crash-a", age=0)
+        make_bundle(tmp_path / "results", "crash-b", age=100)
+        code = main(["gc", "--results", str(tmp_path / "results"),
+                     "--keep", "0", "--dry-run", "--json", "-"])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["dry_run"] is True
+        assert len(document["removed"]) == 2
+        assert len(list((tmp_path / "results").glob("crash-*"))) == 2

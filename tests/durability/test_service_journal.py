@@ -1,0 +1,354 @@
+"""Service request journaling and crash recovery (`repro serve --journal`)."""
+
+import asyncio
+import os
+import pathlib
+import re
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.durability.journal import Journal, read_journal
+from repro.durability.supervisor import process_gone
+from repro.frontend import compile_source
+from repro.machine.target import rt_pc
+from repro.regalloc import allocate_module
+from repro.regalloc.pool import RESPONSE_CACHE, shutdown_pools
+from repro.service import protocol
+from repro.service.chaos import request_over_socket
+from repro.service.server import AllocationService, ServiceConfig
+
+slow = pytest.mark.slow
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+SOURCE = (
+    "program served\n"
+    "integer a, b, c\n"
+    "a = 3\n"
+    "b = 4\n"
+    "c = a * b + a\n"
+    "print c\n"
+    "end\n"
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_pool_state():
+    shutdown_pools()
+    RESPONSE_CACHE.clear()
+    yield
+    shutdown_pools()
+    RESPONSE_CACHE.clear()
+
+
+def drive(coro_factory, config):
+    async def main():
+        service = AllocationService(config)
+        await service.start()
+        try:
+            return await coro_factory(service)
+        finally:
+            await service.stop()
+
+    return asyncio.run(main())
+
+
+def ask(service, message, timeout=30.0):
+    return request_over_socket("127.0.0.1", service.port, message,
+                               timeout=timeout)
+
+
+def reference_assignment(source=SOURCE, name="served"):
+    module = compile_source(source, name)
+    allocation = allocate_module(module, rt_pc(), "briggs", jobs=1,
+                                 cache=False)
+    return protocol.flat_assignment(allocation)
+
+
+class TestRequestJournal:
+    def test_requests_and_outcomes_journaled(self, tmp_path):
+        journal = tmp_path / "serve.journal"
+        config = ServiceConfig(concurrency=2, queue_limit=2, jobs=1,
+                               journal_path=journal)
+
+        async def body(service):
+            reply = await ask(service, {"op": "allocate", "id": "r1",
+                                        "source": SOURCE})
+            assert reply["status"] == 200
+            section = service.service_section()
+            assert section["journal"]["records"] == 2
+            assert section["journal"]["recovery_done"] is True
+
+        drive(body, config)
+        records, recovery = read_journal(journal)
+        assert not recovery.torn
+        assert [r["type"] for r in records] == ["request", "response"]
+        assert records[0]["jid"] == records[1]["jid"] == 1
+        assert records[0]["source"] == SOURCE
+        assert records[1]["status"] == 200
+
+    def test_rejected_requests_not_journaled(self, tmp_path):
+        journal = tmp_path / "serve.journal"
+        config = ServiceConfig(concurrency=2, queue_limit=2, jobs=1,
+                               journal_path=journal)
+
+        async def body(service):
+            reply = await ask(service, {"op": "allocate", "id": "bad"})
+            assert reply["status"] == 400
+
+        drive(body, config)
+        assert read_journal(journal)[0] == []
+
+    def test_fault_requests_not_journaled(self, tmp_path):
+        journal = tmp_path / "serve.journal"
+        config = ServiceConfig(concurrency=2, queue_limit=2, jobs=1,
+                               journal_path=journal, allow_faults=True)
+
+        async def body(service):
+            reply = await ask(service, {
+                "op": "allocate", "id": "c1", "source": SOURCE,
+                "fault": "cache_corrupt",
+            })
+            assert reply["status"] == 200
+
+        drive(body, config)
+        assert read_journal(journal)[0] == []
+
+
+def dangling_request_journal(path, source=SOURCE, name="served"):
+    """A journal a crashed server would leave behind: one admitted
+    request, no response."""
+    with Journal(path) as journal:
+        journal.append({
+            "type": "request", "jid": 1, "id": "lost", "name": name,
+            "source": source, "method": "briggs",
+        })
+    return path
+
+
+class TestRecoveryReplay:
+    def test_not_ready_until_backlog_drains(self, tmp_path):
+        journal = dangling_request_journal(tmp_path / "serve.journal")
+        config = ServiceConfig(concurrency=2, queue_limit=2, jobs=1,
+                               journal_path=journal)
+
+        async def body(service):
+            # The replay task was scheduled but has not run yet: the
+            # server is live but must not report ready.
+            assert service._recovery["pending_at_start"] == 1
+            assert not service.ready()
+            await service._recovery_task
+            assert service.ready()
+            assert service._recovery["recovered"] == 1
+            # The recovered answer is served bit-identically.
+            reply = await ask(service, {"op": "allocate", "id": "again",
+                                        "source": SOURCE})
+            assert reply["status"] == 200
+            assert reply["assignment"] == reference_assignment()
+
+        drive(body, config)
+        records, _ = read_journal(journal)
+        outcomes = [r for r in records if r["type"] == "response"]
+        assert outcomes[0]["jid"] == 1
+        assert outcomes[0]["status"] == "recovered"
+        # The post-recovery request continued the jid sequence.
+        assert any(r["type"] == "request" and r["jid"] == 2
+                   for r in records)
+
+    def test_unreplayable_backlog_marked_failed_and_converges(
+            self, tmp_path):
+        journal = dangling_request_journal(
+            tmp_path / "serve.journal", source="this is not a program {",
+        )
+        config = ServiceConfig(concurrency=2, queue_limit=2, jobs=1,
+                               journal_path=journal)
+
+        async def body(service):
+            await service._recovery_task
+            assert service.ready()
+            assert service._recovery["recovery_failed"] == 1
+
+        drive(body, config)
+        records, _ = read_journal(journal)
+        outcomes = [r for r in records if r["type"] == "response"]
+        assert outcomes[0]["status"] == "recovery-failed"
+
+    def test_clean_journal_starts_ready(self, tmp_path):
+        config = ServiceConfig(concurrency=2, queue_limit=2, jobs=1,
+                               journal_path=tmp_path / "serve.journal")
+
+        async def body(service):
+            assert service._recovery["pending_at_start"] == 0
+            assert service.ready()
+
+        drive(body, config)
+
+
+# ----------------------------------------------------------------------
+# The full-fidelity crash drill: a real `repro serve` process SIGKILLed
+# mid-request.  The client gets a clean connection-closed error (never a
+# hang), no pool worker survives the server, and a restarted server
+# replays the journaled backlog before reporting ready — then serves the
+# same request bit-identically.
+# ----------------------------------------------------------------------
+
+
+def big_source(functions=30, width=24, rounds=6):
+    """A module that takes whole seconds to allocate (dense, wide
+    interference) so SIGKILL reliably lands mid-request."""
+    parts = []
+    for index in range(functions):
+        names = [f"v{j}" for j in range(width)]
+        body = [f"subroutine f{index}(a, b)",
+                "integer " + ", ".join(names)]
+        for j in range(width):
+            body.append(f"{names[j]} = a + b")
+        for r in range(rounds):
+            for j in range(width):
+                src1 = names[(j + r) % width]
+                src2 = names[(j + 3 * r + 1) % width]
+                body.append(f"{names[j]} = {src1} + {src2} + a")
+        body.append("b = " + " + ".join(names[:8]))
+        body.append("end")
+        parts.append("\n".join(body) + "\n")
+    return "".join(parts)
+
+
+def spawn_server(journal):
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+         "--journal", str(journal), "--concurrency", "1", "--jobs", "2"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")},
+        cwd=REPO_ROOT,
+    )
+    line = proc.stdout.readline()
+    match = re.search(r":(\d+) \(", line)
+    assert match, f"no port in announce line: {line!r}"
+    return proc, int(match.group(1))
+
+
+def descendants_of(pid):
+    """All live descendant pids of ``pid`` via /proc."""
+    children = {}
+    for entry in pathlib.Path("/proc").iterdir():
+        if not entry.name.isdigit():
+            continue
+        try:
+            stat = (entry / "stat").read_text()
+        except OSError:
+            continue
+        fields = stat.rsplit(")", 1)[-1].split()
+        children.setdefault(int(fields[1]), []).append(int(entry.name))
+    found, frontier = [], [pid]
+    while frontier:
+        current = frontier.pop()
+        for child in children.get(current, []):
+            found.append(child)
+            frontier.append(child)
+    return found
+
+
+async def http_get(port, target, timeout=5.0):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        writer.write(f"GET {target} HTTP/1.0\r\n\r\n".encode("ascii"))
+        await writer.drain()
+        raw = await asyncio.wait_for(reader.read(65536), timeout)
+        return raw.decode("utf-8", "replace")
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except OSError:
+            pass
+
+
+@slow
+class TestServeKilledMidRequest:
+    def test_kill_recover_serve_identically(self, tmp_path):
+        journal = tmp_path / "serve.journal"
+        source = big_source()
+        message = {"op": "allocate", "id": "doomed", "name": "big",
+                   "source": source, "deadline": 60.0}
+        proc, port = spawn_server(journal)
+        try:
+            async def kill_mid_request():
+                pending = asyncio.ensure_future(
+                    request_over_socket("127.0.0.1", port, message,
+                                        timeout=30.0)
+                )
+                deadline = time.monotonic() + 20.0
+                while time.monotonic() < deadline:
+                    records, _ = read_journal(journal)
+                    answered = {r.get("jid") for r in records
+                                if r.get("type") == "response"}
+                    if any(r.get("type") == "request"
+                           and r.get("jid") not in answered
+                           for r in records):
+                        break
+                    await asyncio.sleep(0.002)
+                else:
+                    pytest.fail("request never reached the journal")
+                # Give the worker pool a beat to spin up, then murder
+                # the server with the request in flight.
+                await asyncio.sleep(0.15)
+                workers = descendants_of(proc.pid)
+                os.kill(proc.pid, signal.SIGKILL)
+                reply = await pending  # clean close -> None, never a hang
+                return reply, workers
+
+            reply, workers = asyncio.run(kill_mid_request())
+            assert reply is None
+            proc.wait(timeout=10)
+            # No pool worker outlives the dead server (PDEATHSIG floor).
+            for pid in workers:
+                assert process_gone(pid), f"worker {pid} survived"
+
+            records, _ = read_journal(journal)
+            assert any(r.get("type") == "request" for r in records)
+            assert not any(r.get("type") == "response" for r in records)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+
+        # The restarted server must replay the backlog, only then go
+        # ready, and serve the same program bit-identically.
+        proc, port = spawn_server(journal)
+        try:
+            async def recover_and_ask():
+                deadline = time.monotonic() + 60.0
+                while time.monotonic() < deadline:
+                    answer = await http_get(port, "/readyz")
+                    if answer.startswith("HTTP/1.0 200"):
+                        break
+                    await asyncio.sleep(0.05)
+                else:
+                    pytest.fail("server never became ready")
+                return await request_over_socket(
+                    "127.0.0.1", port, dict(message, id="retry"),
+                    timeout=60.0,
+                )
+
+            reply = asyncio.run(recover_and_ask())
+            assert reply["status"] == 200
+            assert reply["assignment"] == \
+                reference_assignment(source, "big")
+            records, _ = read_journal(journal)
+            recovered = [r for r in records
+                         if r.get("type") == "response"
+                         and r.get("status") == "recovered"]
+            assert len(recovered) == 1
+        finally:
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGTERM)
+                try:
+                    proc.wait(timeout=15)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    proc.wait(timeout=10)

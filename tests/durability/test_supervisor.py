@@ -1,0 +1,221 @@
+"""Supervisor restart budget, watchdogs, and journal-resumed results."""
+
+import time
+
+import pytest
+
+from repro.durability.supervisor import (
+    AllocationTask,
+    Supervisor,
+    SupervisorReport,
+)
+from repro.errors import SupervisorError
+from repro.machine.target import rt_pc
+
+from tests.durability.test_checkpoint import (
+    SOURCE,
+    result_signature,
+)
+
+slow = pytest.mark.slow
+
+
+def small_target():
+    return rt_pc().with_int_regs(4).with_float_regs(4)
+
+
+def make_task(**overrides):
+    options = dict(sources=[SOURCE], target=small_target(), jobs=1,
+                   policy="degrade-to-naive")
+    options.update(overrides)
+    return AllocationTask(**options)
+
+
+def reference_signature():
+    task = make_task()
+    module = next(task.modules())
+    from repro.regalloc.driver import allocate_module
+
+    return result_signature(allocate_module(module, small_target()))
+
+
+class TestHappyPath:
+    def test_completes_first_life(self, tmp_path):
+        supervisor = Supervisor(make_task(), tmp_path / "s.journal")
+        report = supervisor.run()
+        assert report.completed
+        assert report.deaths == 0
+        assert report.reasons() == ["completed"]
+        assert report.leaked_workers == []
+        allocation = report.result["source0"]
+        assert result_signature(allocation) == reference_signature()
+
+    def test_report_shape(self, tmp_path):
+        report = Supervisor(make_task(), tmp_path / "s.journal").run()
+        data = report.as_dict()
+        assert data["completed"] is True
+        assert data["incarnations"][0]["exitcode"] == 0
+        assert "runtime" in data["incarnations"][0]
+
+
+def _crash_for_incarnations(count):
+    """A child_setup that dies (clean non-zero exit path: raise) for the
+    first ``count`` incarnations."""
+    def setup(incarnation):
+        if incarnation < count:
+            raise RuntimeError(f"injected crash in life {incarnation}")
+    return setup
+
+
+class TestRestartBudget:
+    def test_crashes_absorbed_within_budget(self, tmp_path):
+        supervisor = Supervisor(
+            make_task(), tmp_path / "s.journal", max_restarts=3,
+            child_setup=_crash_for_incarnations(2),
+        )
+        report = supervisor.run()
+        assert report.completed
+        assert report.deaths == 2
+        assert report.reasons() == ["crash", "crash", "completed"]
+        allocation = report.result["source0"]
+        assert result_signature(allocation) == reference_signature()
+
+    def test_budget_exhaustion_raises(self, tmp_path):
+        supervisor = Supervisor(
+            make_task(), tmp_path / "s.journal", max_restarts=2,
+            child_setup=_crash_for_incarnations(99),
+        )
+        with pytest.raises(SupervisorError, match="restart budget"):
+            supervisor.run()
+
+    def test_backoff_grows_and_caps(self, tmp_path):
+        supervisor = Supervisor(
+            make_task(), tmp_path / "s.journal", backoff=0.2,
+            backoff_factor=10.0, max_backoff=0.3,
+        )
+        # deaths=1 -> 0.2, deaths=2 -> 2.0 capped to 0.3
+        assert min(0.2 * 10.0 ** 0, 0.3) == pytest.approx(0.2)
+        assert min(0.2 * 10.0 ** 1, 0.3) == pytest.approx(0.3)
+
+
+def _arm_kill(after, torn=False):
+    def setup(incarnation):
+        if incarnation == 0:
+            from repro.durability.journal import arm_kill_switch
+
+            arm_kill_switch(after, torn=torn)
+    return setup
+
+
+class TestKillRecovery:
+    def test_sigkill_classified_and_resumed(self, tmp_path):
+        supervisor = Supervisor(
+            make_task(), tmp_path / "s.journal", max_restarts=2,
+            child_setup=_arm_kill(after=3),
+        )
+        report = supervisor.run()
+        assert report.completed
+        assert report.reasons() == ["kill", "completed"]
+        allocation = report.result["source0"]
+        assert result_signature(allocation) == reference_signature()
+
+    def test_torn_write_at_death_recovered(self, tmp_path):
+        supervisor = Supervisor(
+            make_task(), tmp_path / "s.journal", max_restarts=2,
+            child_setup=_arm_kill(after=4, torn=True),
+        )
+        report = supervisor.run()
+        assert report.completed
+        allocation = report.result["source0"]
+        assert result_signature(allocation) == reference_signature()
+
+
+def _bloat_function(name, megabytes=400):
+    """Patch allocate_function (inside the forked child only) so one
+    function balloons its RSS and lingers — OOM-watchdog bait."""
+    def setup(incarnation):
+        if incarnation > 1:
+            return
+        import repro.regalloc.driver as driver_mod
+
+        real = driver_mod.allocate_function
+        hog = []
+
+        def bloated(function, target, method="briggs", **kwargs):
+            if function.name == name:
+                hog.append(bytearray(megabytes * 1024 * 1024))
+                time.sleep(60)
+            return real(function, target, method, **kwargs)
+
+        driver_mod.allocate_function = bloated
+    return setup
+
+
+class TestWatchdogs:
+    @slow
+    def test_rss_watchdog_poisons_repeat_offender(self, tmp_path):
+        supervisor = Supervisor(
+            make_task(), tmp_path / "s.journal", max_restarts=4,
+            rss_limit_mb=200, poison_after=2,
+            child_setup=_bloat_function("pair"),
+        )
+        report = supervisor.run()
+        assert report.completed
+        assert report.reasons()[:2] == ["oom", "oom"]
+        assert len(report.poisoned) == 1
+        allocation = report.result["source0"]
+        # The poisoned function was contained per policy, not raised.
+        failure = next(
+            f for f in allocation.failures if f.function == "pair"
+        )
+        assert failure.error_type == "MemoryBudgetError"
+        assert allocation.results["pair"].method == "spill-all"
+        # The other functions allocated normally.
+        reference = reference_signature()
+        for name in ("three", "lone"):
+            assert result_signature(allocation)[name] == reference[name]
+
+    @slow
+    def test_hang_watchdog_kills_wedged_child(self, tmp_path):
+        def wedge_first_life(incarnation):
+            if incarnation == 0:
+                import repro.regalloc.driver as driver_mod
+
+                real = driver_mod.allocate_function
+
+                def wedged(function, target, method="briggs", **kwargs):
+                    if function.name == "lone":
+                        time.sleep(600)
+                    return real(function, target, method, **kwargs)
+
+                driver_mod.allocate_function = wedged
+
+        supervisor = Supervisor(
+            make_task(), tmp_path / "s.journal", max_restarts=2,
+            hang_timeout=1.0, child_setup=wedge_first_life,
+        )
+        report = supervisor.run()
+        assert report.completed
+        assert report.reasons() == ["hang", "completed"]
+        assert result_signature(report.result["source0"]) == \
+            reference_signature()
+
+
+class TestInFlightAccounting:
+    def test_in_flight_keys_are_starts_without_outcomes(self):
+        supervisor = Supervisor.__new__(Supervisor)
+        records = [
+            {"type": "config", "digest": "d"},
+            {"type": "start", "key": "a", "function": "fa"},
+            {"type": "done", "key": "a"},
+            {"type": "start", "key": "b", "function": "fb"},
+            {"type": "start", "key": "c", "function": "fc"},
+            {"type": "failure", "key": "c"},
+        ]
+        assert supervisor._in_flight_keys(records) == [("b", "fb")]
+
+    def test_report_repr(self):
+        report = SupervisorReport()
+        assert "failed" in repr(report)
+        report.completed = True
+        assert "completed" in repr(report)

@@ -59,7 +59,8 @@ class TestRegistryContracts:
     @pytest.mark.parametrize("name", sorted(FAULTS))
     def test_every_fault_declares_its_contract(self, name):
         fault = FAULTS[name]
-        assert fault.kind in ("allocation", "costs", "worker", "service")
+        assert fault.kind in ("allocation", "costs", "worker", "service",
+                              "process")
         assert fault.expect in ("detected", "degraded")
         assert fault.description
         assert callable(fault.inject)

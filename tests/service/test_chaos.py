@@ -8,13 +8,19 @@ slow lane; a lighter two-fault storm keeps the property in the default
 suite.
 """
 
+import json
+
 import pytest
 
+from repro.cli import main
+from repro.errors import ReproError
 from repro.regalloc.pool import RESPONSE_CACHE, shutdown_pools
 from repro.service.chaos import (
     CHAOS_WORKLOADS,
     ChaosReport,
     DEFAULT_FAULT_RATES,
+    load_storm_manifest,
+    replay_command,
     run_chaos,
 )
 
@@ -134,3 +140,75 @@ class TestFaultStorm:
                            workloads=("straightline",))
         assert report.ok, report.summary()
         assert set(CHAOS_WORKLOADS) > {"straightline"}
+
+
+class TestReplay:
+    def test_replay_command_spells_out_every_parameter(self):
+        storm = {
+            "requests": 40, "seed": 7, "concurrency": 4,
+            "deadline": 10.0,
+            "fault_rates": {"worker_crash": 0.15, "slow_request": 0.0,
+                            "cache_corrupt": 0.1},
+        }
+        command = replay_command(storm)
+        assert command == (
+            "repro chaos --requests 40 --seed 7 --concurrency 4 "
+            "--deadline 10 --fault cache_corrupt=0.1 "
+            "--fault worker_crash=0.15"
+        )
+
+    def test_manifest_written_and_loaded(self, tmp_path):
+        report = run_chaos(requests=2, seed=3, fault_rates=rates(),
+                           concurrency=1, deadline=15.0,
+                           workloads=("straightline",),
+                           bundle_dir=tmp_path)
+        assert report.ok, report.summary()
+        manifest = load_storm_manifest(tmp_path)
+        assert manifest == report.storm
+        assert manifest["workloads"] == ["straightline"]
+        # The file itself is an equally valid --replay argument.
+        assert load_storm_manifest(tmp_path / "storm.json") == manifest
+        assert report.as_dict()["storm"] == manifest
+
+    def test_missing_or_malformed_manifest_raises(self, tmp_path):
+        with pytest.raises(ReproError):
+            load_storm_manifest(tmp_path)
+        (tmp_path / "storm.json").write_text("{not json")
+        with pytest.raises(ReproError):
+            load_storm_manifest(tmp_path)
+        (tmp_path / "storm.json").write_text("[1, 2]")
+        with pytest.raises(ReproError):
+            load_storm_manifest(tmp_path)
+
+    def test_cli_replays_recorded_storm(self, tmp_path, capsys):
+        code = main(["chaos", "--requests", "2", "--seed", "3",
+                     "--fault", "worker_crash=0",
+                     "--bundle-dir", str(tmp_path), "--json", "-"])
+        assert code == 0
+        recorded = json.loads(capsys.readouterr().out)["storm"]
+        code = main(["chaos", "--replay", str(tmp_path), "--json", "-"])
+        assert code == 0
+        replayed = json.loads(capsys.readouterr().out)["storm"]
+        assert replayed == recorded
+
+    def test_red_storm_prints_replay_command(self, capsys, monkeypatch):
+        import repro.service.chaos as chaos_module
+
+        def fake_run_chaos(**kwargs):
+            report = ChaosReport()
+            report.wrong_answers.append(("r1", "assignment differs"))
+            report.storm = {
+                "requests": kwargs["requests"], "seed": kwargs["seed"],
+                "concurrency": kwargs["concurrency"],
+                "deadline": kwargs["deadline"],
+                "fault_rates": {"worker_crash": 0.2},
+            }
+            return report
+
+        monkeypatch.setattr(chaos_module, "run_chaos", fake_run_chaos)
+        code = main(["chaos", "--requests", "6", "--seed", "9"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert ("replay: repro chaos --requests 6 --seed 9 "
+                "--concurrency 4 --deadline 10 "
+                "--fault worker_crash=0.2") in out

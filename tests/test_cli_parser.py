@@ -61,6 +61,33 @@ class TestParser:
         args = parser.parse_args(["figures", "figure6", "intstudy"])
         assert args.names == ["figure6", "intstudy"]
 
+    def test_allocate_journal_flags(self, parser):
+        args = parser.parse_args(
+            ["allocate", "x.f", "--journal", "a.journal", "--no-resume"]
+        )
+        assert args.journal == "a.journal"
+        assert args.no_resume
+
+    def test_torture_defaults(self, parser):
+        args = parser.parse_args(["torture"])
+        assert args.command == "torture"
+        assert args.kills == 10
+        assert args.seed == 0
+        assert args.step_max == 4
+        assert args.torn_rate == pytest.approx(0.34)
+        assert args.journal is None
+
+    def test_torture_flags(self, parser):
+        args = parser.parse_args(
+            ["torture", "--workload", "quicksort", "--kills", "25",
+             "--seed", "7", "--torn-rate", "0.5", "--jobs", "2",
+             "--journal", "t.journal", "--json", "-"]
+        )
+        assert args.workload == ["quicksort"]
+        assert args.kills == 25
+        assert args.torn_rate == pytest.approx(0.5)
+        assert args.journal == "t.journal"
+
     def test_missing_command_exits(self, parser):
         with pytest.raises(SystemExit):
             parser.parse_args([])
