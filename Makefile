@@ -9,7 +9,9 @@
 #   make fuzz          — bounded smoke-fuzz campaign: fixed seed, both
 #                        allocators under full paranoia, exact oracles,
 #                        minimizing shrinker; bundles in results/fuzz/
-#   make bench         — time the allocator hot path, write BENCH_PR6.json
+#   make bench         — time the allocator hot path plus the graph-scale
+#                        coloring tiers (up to $(BENCH_SYNTH) nodes),
+#                        write BENCH_PR9.json
 #   make trace         — allocate $(TRACE_WORKLOAD) with tracing on; the
 #                        Chrome trace + metrics land in results/
 #   make bench-diff    — compare $(BENCH_NEW) against $(BENCH_BASE) with
@@ -31,8 +33,9 @@ PYTHON ?= python
 FUZZ_SEED ?= 0
 FUZZ_ITERS ?= 150
 TRACE_WORKLOAD ?= quicksort
-BENCH_BASE ?= BENCH_PR5.json
-BENCH_NEW ?= BENCH_PR6.json
+BENCH_BASE ?= BENCH_PR6.json
+BENCH_NEW ?= BENCH_PR9.json
+BENCH_SYNTH ?= 1000000
 CHAOS_REQUESTS ?= 24
 CHAOS_SEED ?= 0
 TORTURE_KILLS ?= 10
@@ -58,7 +61,8 @@ fuzz:
 		--iters $(FUZZ_ITERS) --bundle-dir results/fuzz
 
 bench:
-	PYTHONPATH=src $(PYTHON) benchmarks/run_bench.py --jobs 2
+	PYTHONPATH=src $(PYTHON) benchmarks/run_bench.py --jobs 2 \
+		--synth-max-nodes $(BENCH_SYNTH)
 
 trace:
 	PYTHONPATH=src $(PYTHON) -m repro trace $(TRACE_WORKLOAD) \

@@ -46,6 +46,19 @@ Phases
 ``pickle_encode_registry`` / ``pickle_decode_registry``
     The transport codecs over every registry function; payload sizes land
     in the document's top-level ``wire`` section.
+``repair_synth_<size>`` / ``seqcolor_synth_<size>`` /
+``greedy_synth_<size>`` / ``briggs_synth_1e4``
+    Coloring at graph scale on seeded ``generate_graph`` instances
+    (density 8, k=16) at 10^4/10^5/10^6 nodes: the PR-9 conflict-repair
+    engine, the sequential single-chunk baseline (plain-graph
+    briggs-degree semantics: one first-fit sweep in reversed
+    smallest-last order), and unbounded Matula–Beck greedy.  Full
+    bit-matrix Briggs additionally runs at 10^4 — its O(n^2)-bit graphs
+    stop being representable much past that, which is the point of the
+    plain-graph engine.  ``--synth-max-nodes`` caps the tier (default
+    10^5 so CI stays fast; the committed BENCH_PR9.json was produced
+    with 10^6).  Per-size structural facts (edges, rounds, conflicts,
+    spills, greedy color count) land in the top-level ``synth`` section.
 """
 
 from __future__ import annotations
@@ -347,19 +360,115 @@ def bench_wire(runs: int, results: dict) -> dict:
     }
 
 
+SYNTH_SIZES = (10_000, 100_000, 1_000_000)
+SYNTH_LABELS = {10_000: "1e4", 100_000: "1e5", 1_000_000: "1e6"}
+SYNTH_DENSITY = 8.0
+SYNTH_K = 16
+SYNTH_SEED = 9
+
+
+def bench_synth(runs: int, max_nodes: int, results: dict) -> dict:
+    """Graph-scale coloring phases; returns the ``synth`` info section."""
+    from repro.regalloc.matula import greedy_color  # noqa: E402
+    from repro.regalloc.repair import (  # noqa: E402
+        repair_color,
+        verify_coloring,
+    )
+    from repro.workloads.synth import generate_graph  # noqa: E402
+
+    info: dict = {"density": SYNTH_DENSITY, "k": SYNTH_K,
+                  "seed": SYNTH_SEED, "sizes": {}}
+    for n in SYNTH_SIZES:
+        if n > max_nodes:
+            continue
+        label = SYNTH_LABELS[n]
+        graph = generate_graph(n, SYNTH_DENSITY, seed=SYNTH_SEED)
+        n_runs = max(1, min(runs, 3)) if n <= 10_000 else 1
+        latest: dict = {}
+
+        def run_repair():
+            latest["repair"] = repair_color(graph.adjacency, SYNTH_K)
+
+        results[f"repair_synth_{label}"] = {
+            "median_s": _median_time(run_repair, n_runs),
+            "runs": n_runs,
+        }
+        repair = latest["repair"]
+        verify_coloring(graph.adjacency, repair.colors, SYNTH_K,
+                        repair.spilled)
+
+        def run_seq():
+            latest["seq"] = repair_color(
+                graph.adjacency, SYNTH_K, chunk_size=max(1, n),
+                max_rounds=1,
+            )
+
+        results[f"seqcolor_synth_{label}"] = {
+            "median_s": _median_time(run_seq, n_runs),
+            "runs": n_runs,
+        }
+
+        def run_greedy():
+            latest["greedy"] = greedy_color(graph.adjacency)
+
+        results[f"greedy_synth_{label}"] = {
+            "median_s": _median_time(run_greedy, n_runs),
+            "runs": n_runs,
+        }
+
+        size_info = {
+            "n": n,
+            "edges": graph.edges,
+            "repair_rounds": repair.rounds,
+            "repair_conflicts": repair.conflicts,
+            "repair_spilled": len(repair.spilled),
+            "seqcolor_spilled": len(latest["seq"].spilled),
+            "greedy_colors": max(latest["greedy"], default=-1) + 1,
+        }
+
+        if n <= 10_000:
+            from repro.regalloc import BriggsAllocator  # noqa: E402
+            from repro.robustness.fuzz import (  # noqa: E402
+                GraphSpec,
+                build_graph,
+            )
+
+            edges = [(a, b) for a in range(n)
+                     for b in graph.adjacency[a] if a < b]
+            spec = GraphSpec(n, SYNTH_K, edges, [1.0] * n)
+            igraph, costs = build_graph(spec)
+
+            def run_briggs():
+                latest["briggs"] = BriggsAllocator().allocate_class(
+                    igraph, costs)
+
+            results[f"briggs_synth_{label}"] = {
+                "median_s": _median_time(run_briggs, n_runs),
+                "runs": n_runs,
+            }
+            size_info["briggs_spilled"] = len(
+                latest["briggs"].spilled_vregs)
+        info["sizes"][label] = size_info
+    return info
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--out",
         default=str(pathlib.Path(__file__).resolve().parent.parent
-                    / "BENCH_PR6.json"),
-        help="output JSON path (default BENCH_PR6.json at the repo root)",
+                    / "BENCH_PR9.json"),
+        help="output JSON path (default BENCH_PR9.json at the repo root)",
     )
     parser.add_argument("--runs", type=int, default=5,
                         help="samples per phase; the median is reported")
     parser.add_argument("--jobs", type=int, default=2,
                         help="also time allocate_module through the worker "
                              "pool with this many processes (0 = skip)")
+    parser.add_argument("--synth-max-nodes", type=int, default=100_000,
+                        help="largest graph-scale coloring tier to run "
+                             "(0 skips the synth phases entirely; "
+                             "1000000 reproduces BENCH_PR9.json)")
     args = parser.parse_args(argv)
 
     results: dict = {}
@@ -367,9 +476,11 @@ def main(argv=None) -> int:
         bench_workload(workload_name, routine, args.runs, args.jobs, results)
     bench_registry(args.runs, args.jobs, results)
     wire_sizes = bench_wire(args.runs, results)
+    synth_info = bench_synth(args.runs, args.synth_max_nodes, results)
 
     out = write_metrics_json(
-        {"schema": BENCH_SCHEMA, "phases": results, "wire": wire_sizes},
+        {"schema": BENCH_SCHEMA, "phases": results, "wire": wire_sizes,
+         "synth": synth_info},
         args.out,
     )
 
@@ -388,6 +499,12 @@ def main(argv=None) -> int:
     print(f"wire payload: {wire_sizes['wire_bytes']} B vs pickle "
           f"{wire_sizes['pickle_bytes']} B "
           f"({wire_sizes['pickle_to_wire_ratio']}x smaller)")
+    for label, size_info in sorted(synth_info["sizes"].items()):
+        print(f"synth {label}: {size_info['edges']} edges, repair "
+              f"{size_info['repair_rounds']} rounds / "
+              f"{size_info['repair_conflicts']} conflicts / "
+              f"{size_info['repair_spilled']} spilled, greedy used "
+              f"{size_info['greedy_colors']} colors")
     print(f"wrote {out}")
     return 0
 

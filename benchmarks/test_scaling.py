@@ -32,38 +32,39 @@ def _program(n_vars: int) -> str:
     )
 
 
+def _fresh_copy_setup(n_vars: int, target):
+    """A ``benchmark.pedantic(setup=...)`` hook compiling a fresh copy
+    per round: allocation mutates the function, and compiling inside the
+    timed closure would swamp the measurement with frontend work."""
+
+    def setup():
+        fresh = compile_source(_program(n_vars)).function("hssian")
+        return (fresh, target, "briggs"), {}
+
+    return setup
+
+
 @pytest.mark.parametrize("n_vars", [6, 10, 14])
 def test_bench_allocation_scaling(benchmark, n_vars):
-    module = compile_source(_program(n_vars))
-    function = module.function("hssian")
     target = rt_pc()
-
-    def run():
-        # Allocation mutates; operate on a fresh copy each round.
-        fresh = compile_source(_program(n_vars)).function("hssian")
-        return allocate_function(fresh, target, "briggs")
-
-    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    result = benchmark.pedantic(
+        allocate_function, setup=_fresh_copy_setup(n_vars, target),
+        rounds=2, iterations=1,
+    )
     assert result.stats.live_ranges > 0
-    del function
 
 
 def test_simplify_scaling_subquadratic(benchmark):
     """Simplify+select on the largest graph must stay a small fraction of
     build — the linearity claim in practice."""
-    module = compile_source(_program(14))
-    function = module.function("hssian")
     target = rt_pc()
-
-    def run():
-        fresh = compile_source(_program(14)).function("hssian")
-        return allocate_function(fresh, target, "briggs")
-
-    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    result = benchmark.pedantic(
+        allocate_function, setup=_fresh_copy_setup(14, target),
+        rounds=1, iterations=1,
+    )
     stats = result.stats
     build = sum(p.build_time for p in stats.passes)
     simplify_select = sum(
         p.simplify_time + p.select_time for p in stats.passes
     )
     assert simplify_select < build
-    del function, module

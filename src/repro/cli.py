@@ -654,7 +654,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--optimize", action="store_true")
     p.add_argument(
         "--allocate",
-        choices=["chaitin", "briggs", "briggs-degree", "spill-all"],
+        choices=["chaitin", "briggs", "briggs-degree", "spill-all",
+                 "repair"],
         default=None,
         help="allocate registers and run on the physical machine",
     )
@@ -665,7 +666,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("allocate", help="report allocation statistics")
     p.add_argument("file")
     p.add_argument("--method", default="briggs",
-                   choices=["chaitin", "briggs", "briggs-degree", "spill-all"])
+                   choices=["chaitin", "briggs", "briggs-degree", "spill-all",
+                            "repair"])
     p.add_argument("--optimize", action="store_true")
     p.add_argument(
         "--json",
@@ -705,7 +707,7 @@ def build_parser() -> argparse.ArgumentParser:
                    "'repro workloads')")
     p.add_argument("--method", default="briggs",
                    choices=["chaitin", "briggs", "briggs-degree",
-                            "spill-all"])
+                            "spill-all", "repair"])
     p.add_argument("--out", default=None, metavar="PATH",
                    help="trace file (default results/trace-<workload>.json)")
     p.add_argument("--metrics", default=None, metavar="PATH",
@@ -752,7 +754,7 @@ def build_parser() -> argparse.ArgumentParser:
                    "(repeatable; default all)")
     p.add_argument("--method", default="all",
                    choices=["briggs", "chaitin", "briggs-degree",
-                            "spill-all", "all"],
+                            "spill-all", "repair", "all"],
                    help="allocator(s) to validate (default: briggs+chaitin)")
     p.add_argument("--inject", default=None, metavar="FAULT",
                    help="inject one registered fault ('all' sweeps the "
@@ -924,7 +926,7 @@ def build_parser() -> argparse.ArgumentParser:
                    "'repro workloads')")
     p.add_argument("--method", default="briggs",
                    choices=["chaitin", "briggs", "briggs-degree",
-                            "spill-all"])
+                            "spill-all", "repair"])
     p.add_argument("--kills", type=int, default=10,
                    help="seeded SIGKILL points to schedule (default 10)")
     p.add_argument("--seed", type=int, default=0,

@@ -17,7 +17,10 @@ The package decomposes the allocator the way the paper does (Figure 4):
   and validation).
 
 :mod:`matula` additionally provides the standalone Matula–Beck
-smallest-last ordering the paper credits as the inspiration (§2.2).
+smallest-last ordering the paper credits as the inspiration (§2.2), and
+:mod:`repair` the parallel conflict-repair strategy (speculate / detect /
+re-color, after Rokos–Gorman–Kelly) that scales coloring to million-node
+graphs — see docs/ALGORITHMS.md.
 """
 
 from repro.regalloc.interference import (
@@ -34,6 +37,7 @@ from repro.regalloc.chaitin import ChaitinAllocator
 from repro.regalloc.briggs import BriggsAllocator
 from repro.regalloc.naive import SpillAllAllocator
 from repro.regalloc.matula import smallest_last_order, greedy_color
+from repro.regalloc.repair import RepairAllocator, repair_color, verify_coloring
 from repro.regalloc.spill import insert_spill_code
 from repro.regalloc.driver import (
     AllocationFailure,
@@ -68,6 +72,9 @@ __all__ = [
     "ChaitinAllocator",
     "BriggsAllocator",
     "SpillAllAllocator",
+    "RepairAllocator",
+    "repair_color",
+    "verify_coloring",
     "smallest_last_order",
     "greedy_color",
     "insert_spill_code",

@@ -86,6 +86,10 @@ def _method_for(name_or_method):
             from repro.regalloc.naive import SpillAllAllocator
 
             return SpillAllAllocator()
+        if name_or_method == "repair":
+            from repro.regalloc.repair import RepairAllocator
+
+            return RepairAllocator()
         raise AllocationError(f"unknown allocation method {name_or_method!r}")
     return name_or_method
 

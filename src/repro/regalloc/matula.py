@@ -48,6 +48,8 @@ def greedy_color(adjacency: list, order: list | None = None) -> list:
     n = len(adjacency)
     if order is None:
         order = smallest_last_order(adjacency)
+    else:
+        _validate_order(order, n)
     colors = [-1] * n
     for node in reversed(order):
         taken = 0
@@ -60,6 +62,25 @@ def greedy_color(adjacency: list, order: list | None = None) -> list:
             color += 1
         colors[node] = color
     return colors
+
+
+def _validate_order(order: list, n: int) -> None:
+    """A caller-supplied order must be a permutation of range(n).
+
+    Without this, a short order silently leaves vertices uncolored at -1
+    and a duplicated vertex is recolored against a half-built taken mask
+    — both produce a wrong coloring with no error.
+    """
+    if len(order) != n:
+        raise ValueError(
+            f"order has {len(order)} entries for a {n}-vertex graph")
+    seen = [False] * n
+    for vertex in order:
+        if not 0 <= vertex < n:
+            raise ValueError(f"order contains out-of-range vertex {vertex!r}")
+        if seen[vertex]:
+            raise ValueError(f"order lists vertex {vertex} more than once")
+        seen[vertex] = True
 
 
 def degeneracy(adjacency: list) -> int:

@@ -98,17 +98,25 @@ __all__ = [
 def resolve_jobs(jobs: int, eligible: int) -> int:
     """The worker count for ``jobs`` over ``eligible`` functions.
 
-    ``jobs == 0`` auto-detects one worker per CPU; either way the count
-    is clamped to the number of eligible functions — a module with two
-    functions never spawns eight workers that would sit idle (the
-    pre-PR-6 auto-detect path skipped the clamp).
+    ``jobs == 0`` auto-detects one worker per CPU — except on a 1-core
+    box, where it answers 1 (serial): BENCH_PR6's honest
+    ``alloc_registry_all_jobs2_nocache`` row shows pooled dispatch
+    without real cores ~1.25x *slower* than serial, so auto-detect must
+    never pick the pool there.  An explicit ``jobs >= 2`` still forces
+    pooled dispatch (parity tests and timeout enforcement rely on it).
+    Either way the count is clamped to the number of eligible functions
+    — a module with two functions never spawns eight workers that would
+    sit idle (the pre-PR-6 auto-detect path skipped the clamp).
     """
     if jobs < 0:
         from repro.errors import AllocationError
 
         raise AllocationError(f"jobs must be >= 0, got {jobs}")
     if jobs == 0:
-        jobs = os.cpu_count() or 1
+        cpus = os.cpu_count() or 1
+        if cpus <= 1:
+            return 1
+        jobs = cpus
     return max(1, min(jobs, eligible))
 
 
@@ -511,6 +519,17 @@ class WorkerPool:
         return pool.apply_async(
             _allocate_batch, (wire_texts, target, method, kwargs, trace)
         )
+
+    def submit_call(self, func, args):
+        """Dispatch one plain ``func(*args)`` call; returns the
+        ``AsyncResult``.  The generic sibling of :meth:`submit` for work
+        that is not a function-allocation batch — the conflict-repair
+        engine ships coloring chunks through this (``func`` must be a
+        picklable module-level callable)."""
+        pool = self._ensure()
+        self.batches += 1
+        self.dispatches += 1
+        return pool.apply_async(func, args)
 
     def stats(self) -> dict:
         return {

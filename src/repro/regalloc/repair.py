@@ -1,0 +1,444 @@
+"""Parallel conflict-repair coloring — the third allocation strategy.
+
+Chaitin and Briggs both serialize coloring behind a global simplify
+stack, which is fine at function scale but leaves nothing to parallelize
+when the graph itself is huge.  Rokos, Gorman & Kelly (arXiv:1505.04086)
+color million-node graphs the other way around: *speculatively* first-fit
+color every uncolored vertex as if its neighbors were frozen, then detect
+the (empirically tiny) set of edges where two endpoints raced to the same
+color and re-color only that conflict set.  Abu-Khzam & Chahine
+(arXiv:1812.11254) apply the same repair step to a coloring invalidated
+by incremental edits — which is exactly the shape of our spill-rebuild
+loop, where each pass perturbs the previous pass's graph.
+
+The engine here (:func:`repair_color`) works on a *plain* graph given as
+adjacency lists, like :mod:`repro.regalloc.matula`, because the bit-matrix
+rows of :class:`~repro.regalloc.interference.InterferenceGraph` cost
+O(n^2) bits and stop being representable long before 10^6 nodes.  Round
+structure:
+
+1. **Speculate.**  The still-uncolored ("active") vertices are visited in
+   a fixed order — reversed Matula–Beck smallest-last by default, the
+   same order that makes Briggs' select phase strong (§2.2) — cut into
+   fixed-size *chunks*.  Within a chunk, coloring is sequential (each
+   vertex sees the tentative choices of earlier vertices in its own
+   chunk); across chunks, only colors finalized in earlier rounds are
+   visible.  Chunks are independent, so they can run on the PR-6
+   :class:`~repro.regalloc.pool.WorkerPool` — and because the chunk
+   boundaries are a function of ``chunk_size`` and the order alone
+   (never of the worker count), the serial and pooled paths are
+   bit-identical by construction.
+2. **Detect.**  A conflict is an edge whose endpoints picked the same
+   color this round.  The endpoint earlier in the coloring order keeps
+   its color; the later one re-enters the active set.
+3. **Repair.**  Winners are finalized; losers and vertices that found no
+   free color among ``color_order`` stay active for the next round.
+
+After ``max_rounds`` rounds (or a round that finalizes nothing), one
+final *sequential* sweep over the remaining active set settles every
+vertex that still has a free color; the rest are genuinely saturated by
+finalized neighbors and become spill candidates, ranked by the caller
+(the strategy object ranks them with the existing Chaitin cost/degree
+estimate).  The driver's spill-code/rebuild cycle then plays the role of
+Abu-Khzam & Chahine's edit-repair loop: the next pass re-colors the
+perturbed graph from scratch, minus the spilled ranges.
+
+``jobs=0`` auto-detects like :func:`repro.regalloc.pool.resolve_jobs`:
+on a box with one CPU (or inside a daemonized pool worker, which cannot
+have children) the engine stays serial; an explicit ``jobs >= 2`` forces
+the pool.  Either way the result is identical.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.errors import InvariantError
+from repro.observability.trace import coerce_tracer
+from repro.regalloc.chaitin import ClassAllocation
+from repro.regalloc.matula import smallest_last_order
+
+__all__ = [
+    "DEFAULT_CHUNK_SIZE",
+    "DEFAULT_MAX_ROUNDS",
+    "PARALLEL_THRESHOLD",
+    "RepairOutcome",
+    "RepairAllocator",
+    "repair_color",
+    "verify_coloring",
+]
+
+#: Vertices speculated per chunk.  Part of the algorithm (chunk
+#: boundaries decide which tentative choices are mutually visible), NOT
+#: a tuning knob the worker count may bend — that is what keeps serial
+#: and pooled runs bit-identical.
+DEFAULT_CHUNK_SIZE = 4096
+
+#: Parallel speculation rounds before the sequential settling sweep.
+#: Rokos et al. observe convergence in a handful of rounds on random
+#: graphs; the budget only bounds the tail.
+DEFAULT_MAX_ROUNDS = 32
+
+#: Below this many active vertices a round is colored serially even when
+#: a pool is available — dispatch would cost more than the coloring.
+PARALLEL_THRESHOLD = 100_000
+
+
+class RepairOutcome:
+    """Result of :func:`repair_color` over a plain graph."""
+
+    __slots__ = ("colors", "spilled", "rounds", "conflicts",
+                 "parallel_rounds", "sweep_settled")
+
+    def __init__(self, colors, spilled, rounds, conflicts,
+                 parallel_rounds, sweep_settled):
+        #: color per vertex (-1 = uncolored, i.e. in ``spilled``).
+        self.colors = colors
+        #: vertices left uncolorable at k colors, in coloring order —
+        #: the caller ranks them for spilling.
+        self.spilled = spilled
+        #: speculation rounds executed (the settling sweep excluded).
+        self.rounds = rounds
+        #: total conflict-edge losers re-colored across all rounds.
+        self.conflicts = conflicts
+        #: rounds whose speculation ran on the worker pool.
+        self.parallel_rounds = parallel_rounds
+        #: vertices finalized by the sequential settling sweep.
+        self.sweep_settled = sweep_settled
+
+
+def _speculate_chunk(pairs, colors, k, color_order):
+    """First-fit color one chunk given frozen ``colors``.
+
+    ``pairs`` is the chunk's ``(vertex, adjacency_row)`` sequence, in
+    coloring order.  Vertices earlier in the *same* chunk are visible
+    through ``local``; everything else sees only finalized colors.
+    Returns one tentative color per vertex, -1 when every color in
+    ``color_order`` is taken.  Must stay a pure function of its
+    arguments: it is the unit of work shipped to pool workers, and the
+    serial path calls the very same code.
+    """
+    local: dict = {}
+    out = []
+    for vertex, row in pairs:
+        taken = 0
+        for neighbor in row:
+            color = colors[neighbor]
+            if color < 0:
+                color = local.get(neighbor, -1)
+            if color >= 0:
+                taken |= 1 << color
+        choice = -1
+        for color in color_order:
+            if not (taken >> color) & 1:
+                choice = color
+                break
+        local[vertex] = choice
+        out.append(choice)
+    return out
+
+
+def _speculate_groups(groups, colors, k, color_order):
+    """Pool entry point: speculate several chunks in one dispatch, so a
+    round ships the (large) ``colors`` snapshot once per worker task
+    instead of once per chunk."""
+    return [_speculate_chunk(chunk, colors, k, color_order)
+            for chunk in groups]
+
+
+def _auto_jobs() -> int:
+    """The engine's jobs=0 policy: one worker per CPU, but serial on a
+    1-core box (same rationale as :func:`repro.regalloc.pool
+    .resolve_jobs` — pooled dispatch without real cores is pure
+    overhead)."""
+    cpus = os.cpu_count() or 1
+    return 1 if cpus <= 1 else cpus
+
+
+def _in_daemon() -> bool:
+    """True inside a daemonized pool worker, which may not spawn child
+    processes — the strategy must fall back to serial speculation when
+    ``allocate_module(jobs=N)`` runs it inside the function-level pool."""
+    import multiprocessing
+
+    return multiprocessing.current_process().daemon
+
+
+def repair_color(adjacency, k, *, precolored=0, order=None,
+                 color_order=None, seed=None,
+                 chunk_size=DEFAULT_CHUNK_SIZE,
+                 max_rounds=DEFAULT_MAX_ROUNDS, jobs=0,
+                 parallel_threshold=PARALLEL_THRESHOLD,
+                 tracer=None) -> RepairOutcome:
+    """Conflict-repair color a plain adjacency-list graph with ``k``
+    colors.
+
+    ``precolored`` marks nodes ``0..precolored-1`` as fixed physical
+    registers with ``colors[i] == i`` (the
+    :class:`~repro.regalloc.interference.InterferenceGraph` convention);
+    they are never recolored or spilled.  ``order`` overrides the
+    coloring order (reversed smallest-last by default); ``seed`` shuffles
+    it reproducibly.  ``jobs`` follows the CLI convention: 0 auto-detects
+    (serial on a 1-core box), 1 forces serial, >= 2 forces the worker
+    pool once a round's active set reaches ``parallel_threshold``.
+
+    The result is a deterministic function of ``(adjacency, k,
+    precolored, order, color_order, seed, chunk_size, max_rounds)`` —
+    ``jobs`` and ``parallel_threshold`` only decide where chunks run,
+    never what they compute.
+    """
+    n = len(adjacency)
+    if not 0 <= precolored <= n:
+        raise ValueError(f"precolored must be in [0, {n}], got {precolored}")
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    tracer = coerce_tracer(tracer)
+    if color_order is None:
+        color_order = list(range(k))
+
+    colors = [-1] * n
+    for node in range(precolored):
+        colors[node] = node
+
+    if order is None:
+        removal = smallest_last_order(adjacency)
+        order = [node for node in reversed(removal) if node >= precolored]
+    else:
+        order = [node for node in order if node >= precolored]
+    if seed is not None:
+        import random
+
+        random.Random(seed).shuffle(order)
+
+    position = [-1] * n
+    for index, node in enumerate(order):
+        position[node] = index
+
+    if jobs == 0:
+        jobs = _auto_jobs()
+    pool = None
+    if jobs >= 2 and not _in_daemon():
+        from repro.regalloc.pool import get_pool
+
+        pool = get_pool(jobs)
+
+    active = order
+    rounds = 0
+    conflicts = 0
+    parallel_rounds = 0
+    tentative = [-1] * n
+
+    while active and rounds < max_rounds:
+        rounds += 1
+        chunks = [active[start:start + chunk_size]
+                  for start in range(0, len(active), chunk_size)]
+        use_pool = (pool is not None and len(chunks) > 1
+                    and len(active) >= parallel_threshold)
+        with tracer.span("repair-round", cat="phase", round=rounds,
+                         active=len(active), chunks=len(chunks),
+                         parallel=use_pool):
+            if use_pool:
+                parallel_rounds += 1
+                speculated = _dispatch_chunks(pool, chunks, adjacency,
+                                              colors, k, color_order, jobs)
+            else:
+                speculated = [
+                    _speculate_chunk(
+                        zip(chunk, map(adjacency.__getitem__, chunk)),
+                        colors, k, color_order)
+                    for chunk in chunks
+                ]
+            for chunk, tents in zip(chunks, speculated):
+                for node, tent in zip(chunk, tents):
+                    tentative[node] = tent
+
+            # Detect: the endpoint earlier in the coloring order keeps
+            # its color.  Only cross-chunk races can collide — within a
+            # chunk later vertices already saw earlier tentatives.
+            finalized = 0
+            losers = 0
+            next_active = []
+            for node in active:
+                tent = tentative[node]
+                if tent < 0:
+                    next_active.append(node)  # saturated this round
+                    continue
+                keeps = True
+                for neighbor in adjacency[node]:
+                    if (tentative[neighbor] == tent
+                            and position[neighbor] >= 0
+                            and position[neighbor] < position[node]):
+                        keeps = False
+                        break
+                if keeps:
+                    finalized += 1
+                else:
+                    losers += 1
+                    next_active.append(node)
+            # Finalize after detection so this round's checks all saw the
+            # same frozen tentative state.
+            survivors = set(next_active)
+            for node in active:
+                if node not in survivors:
+                    colors[node] = tentative[node]
+                tentative[node] = -1
+            conflicts += losers
+        tracer.counter("repair.finalized", finalized, round=rounds)
+        tracer.counter("repair.conflicts", losers, round=rounds)
+        active = next_active
+        if finalized == 0:
+            break
+
+    # Settling sweep: one sequential first-fit pass over whatever is
+    # left (a single chunk — no races possible).  Vertices it cannot
+    # color are saturated by *finalized* neighbors and must spill.
+    sweep_settled = 0
+    spilled = []
+    if active:
+        with tracer.span("repair-sweep", cat="phase", active=len(active)):
+            tents = _speculate_chunk(
+                zip(active, map(adjacency.__getitem__, active)),
+                colors, k, color_order)
+            for node, tent in zip(active, tents):
+                if tent >= 0:
+                    colors[node] = tent
+                    sweep_settled += 1
+                else:
+                    spilled.append(node)
+    tracer.counter("repair.spilled", len(spilled))
+
+    return RepairOutcome(colors, spilled, rounds, conflicts,
+                         parallel_rounds, sweep_settled)
+
+
+def _dispatch_chunks(pool, chunks, adjacency, colors, k, color_order,
+                     jobs):
+    """Run one round's chunks on the worker pool.
+
+    Chunks are grouped contiguously into at most ``2 * jobs`` tasks so
+    the ``colors`` snapshot (the dominant payload at graph scale) ships
+    once per task, not once per chunk.  Grouping is pure packaging —
+    each chunk is still speculated independently — so the flattened
+    result is identical to the serial path.
+    """
+    tasks = max(1, min(len(chunks), jobs * 2))
+    per_task = (len(chunks) + tasks - 1) // tasks
+    groups = [chunks[start:start + per_task]
+              for start in range(0, len(chunks), per_task)]
+    pending = []
+    for group in groups:
+        payload = [[(node, adjacency[node]) for node in chunk]
+                   for chunk in group]
+        pending.append(
+            pool.submit_call(_speculate_groups,
+                             (payload, colors, k, color_order)))
+    speculated = []
+    for handle in pending:
+        speculated.extend(handle.get())
+    return speculated
+
+
+def verify_coloring(adjacency, colors, k, spilled=(), precolored=0):
+    """The invariant layer for plain-graph colorings: every vertex is
+    colored in ``[0, k)`` or listed in ``spilled``, no edge joins two
+    equal colors, and precolored vertices kept their identity colors.
+    Raises :class:`~repro.errors.InvariantError`; returns the number of
+    colored vertices."""
+    n = len(adjacency)
+    spilled_set = set(spilled)
+    colored = 0
+    for node in range(n):
+        color = colors[node]
+        if node < precolored and color != node:
+            raise InvariantError(
+                f"precolored node {node} lost its color: {color}")
+        if color < 0:
+            if node not in spilled_set:
+                raise InvariantError(
+                    f"node {node} neither colored nor spilled")
+            continue
+        if color >= k:
+            raise InvariantError(
+                f"node {node} colored {color}, outside [0, {k})")
+        colored += 1
+        for neighbor in adjacency[node]:
+            if neighbor < node and colors[neighbor] == color:
+                raise InvariantError(
+                    f"edge ({neighbor}, {node}) monochromatic: "
+                    f"color {color}")
+    for node in spilled_set:
+        if colors[node] >= 0:
+            raise InvariantError(
+                f"node {node} both colored ({colors[node]}) and spilled")
+    return colored
+
+
+class RepairAllocator:
+    """Strategy object adapting :func:`repair_color` to the driver's
+    ``allocate_class`` contract.
+
+    Spill candidates are ranked by Chaitin's cost/degree estimate
+    (cheapest first), so the driver's rebuild loop spills the same kind
+    of victim the other strategies would.  Declares no §2.3 guarantees:
+    the repair order is not the cost order, so its spill set has no
+    containment relation to Chaitin's (same situation as
+    ``briggs-degree``).
+    """
+
+    name = "repair"
+    optimistic = True
+    guarantees = ()
+
+    def __init__(self, chunk_size: int = DEFAULT_CHUNK_SIZE,
+                 max_rounds: int = DEFAULT_MAX_ROUNDS, jobs: int = 0,
+                 parallel_threshold: int = PARALLEL_THRESHOLD,
+                 seed=None):
+        self.chunk_size = chunk_size
+        self.max_rounds = max_rounds
+        self.jobs = jobs
+        self.parallel_threshold = parallel_threshold
+        self.seed = seed
+
+    def allocate_class(self, graph, costs, color_order=None,
+                       tracer=None) -> ClassAllocation:
+        tracer = coerce_tracer(tracer)
+        rclass = graph.rclass.name
+        if graph.adj_list is None:
+            graph.freeze()
+        k = graph.k
+        started = time.perf_counter()
+        with tracer.span("repair", cat="phase", rclass=rclass):
+            outcome = repair_color(
+                graph.adj_list, k, precolored=k, color_order=color_order,
+                seed=self.seed, chunk_size=self.chunk_size,
+                max_rounds=self.max_rounds, jobs=self.jobs,
+                parallel_threshold=self.parallel_threshold, tracer=tracer,
+            )
+        elapsed = time.perf_counter() - started
+        colors = {
+            graph.vreg_for(node): color
+            for node, color in enumerate(outcome.colors)
+            if node >= k and color >= 0
+        }
+        # Cheapest-to-spill first: the driver spills the whole list, but
+        # bundles and logs read the ranking.
+        ranked = sorted(
+            outcome.spilled,
+            key=lambda node: (
+                costs.cost(graph.vreg_for(node))
+                / max(1, graph.degree(node)),
+                node,
+            ),
+        )
+        spilled = [graph.vreg_for(node) for node in ranked]
+        return ClassAllocation(
+            colors,
+            spilled,
+            ran_select=True,
+            simplify_time=0.0,
+            select_time=elapsed,
+            stack=None,
+            marked=None,
+            selection=None,
+        )

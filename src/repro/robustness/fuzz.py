@@ -204,6 +204,16 @@ def check_graph_case(
         chaitin = chaitin_factory().allocate_class(graph, costs)
         check_class_invariants(graph, chaitin, level="full")
 
+        stage = "repair-invariants"
+        # The conflict-repair strategy rides the same corpus: its
+        # assignment must satisfy every structural invariant (it
+        # declares no §2.3 guarantees, so the subset stage below does
+        # not apply to it).
+        from repro.regalloc.repair import RepairAllocator
+
+        repair = RepairAllocator().allocate_class(graph, costs)
+        check_class_invariants(graph, repair, level="full")
+
         stage = "subset-guarantee"
         # §2.3 assertions apply only to strategies that declare them
         # (the cost-ordered Briggs does; the smallest-last ablation and
@@ -233,10 +243,19 @@ def check_graph_case(
         if spec.n <= oracle_max_nodes:
             verdict = oracle_verdict(graph, briggs,
                                      max_nodes=MAX_ORACLE_NODES)
+            # A contradiction from repair (spilling a graph it claims to
+            # have colored completely, or vice versa) is just as fatal as
+            # one from briggs; a repair spill on a colorable graph is a
+            # heuristic gap, counted separately.
+            repair_verdict = oracle_verdict(graph, repair,
+                                            max_nodes=MAX_ORACLE_NODES)
             if stats is not None:
                 stats["oracle_checked"] = stats.get("oracle_checked", 0) + 1
                 if verdict.heuristic_gap:
                     stats["oracle_gaps"] = stats.get("oracle_gaps", 0) + 1
+                if repair_verdict.heuristic_gap:
+                    stats["repair_oracle_gaps"] = stats.get(
+                        "repair_oracle_gaps", 0) + 1
     except Exception as error:  # noqa: BLE001 - the signature IS the data
         return stage, error
     return None
@@ -539,7 +558,7 @@ def run_fuzz(
     paranoia: str = "full",
     briggs_factory=BriggsAllocator,
     chaitin_factory=ChaitinAllocator,
-    ir_methods=("briggs", "chaitin"),
+    ir_methods=("briggs", "chaitin", "repair"),
     oracle_max_nodes: int = 14,
     shrink_budget: int | None = None,
     log=None,

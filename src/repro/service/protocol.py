@@ -57,7 +57,8 @@ PROTOCOL_VERSION = 1
 #: Allocation methods a request may name.  Strategy *objects* (including
 #: the chaos faults' crashing/hanging allocators) are server-internal
 #: and never travel over the wire.
-KNOWN_METHODS = ("briggs", "chaitin", "briggs-degree", "spill-all")
+KNOWN_METHODS = ("briggs", "chaitin", "briggs-degree", "spill-all",
+                 "repair")
 
 KNOWN_OPS = ("allocate", "stats", "ping", "shutdown")
 

@@ -8,9 +8,13 @@ before and after allocation.
 
 :mod:`repro.workloads.synth` additionally provides a seeded random
 structured-program generator used by the property tests and to synthesise
-the CEDETA-scale routines.
+the CEDETA-scale routines, plus :func:`~repro.workloads.synth
+.generate_graph`, the seeded graph-scale generator (up to 10^6 nodes)
+that feeds the conflict-repair coloring benchmarks.
 """
 
 from repro.workloads.registry import Workload, all_workloads, get_workload
+from repro.workloads.synth import SynthGraph, generate_graph
 
-__all__ = ["Workload", "all_workloads", "get_workload"]
+__all__ = ["Workload", "all_workloads", "get_workload",
+           "SynthGraph", "generate_graph"]

@@ -1,0 +1,156 @@
+"""Property-based tests for the conflict-repair strategy (PR 9).
+
+Three families, per the PR-9 issue:
+
+1. **Conflict-freedom** — on arbitrary hypothesis graphs and on the fuzz
+   ``GraphSpec`` corpus, the final assignment passes the invariant layer
+   at every chunk size (chunk boundaries change *which* races happen,
+   never whether the result is proper).
+2. **Oracle interaction** — on oracle-verifiable small graphs: when the
+   exact backtracking oracle says k colors are insufficient, repair
+   *must* spill, and a complete claimed coloring of an uncolorable graph
+   is a hard contradiction (``oracle_verdict`` raises).  The converse —
+   "repair spills only when the oracle says it must" — is *not* a
+   theorem for any greedy first-fit heuristic (crown graphs defeat it),
+   so a spill on a colorable graph is counted as a heuristic gap, the
+   same book-keeping the fuzz loop applies to Briggs.
+3. **Seeded determinism** — same seed, same chunk size: byte-identical
+   colorings, run to run and serial vs chunked (the cross-chunk
+   conflict pattern is a function of the order alone).
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.regalloc.repair import (
+    RepairAllocator,
+    repair_color,
+    verify_coloring,
+)
+from repro.robustness.fuzz import GraphSpec, build_graph
+from repro.robustness.oracle import MAX_ORACLE_NODES, oracle_verdict
+
+
+@st.composite
+def plain_graph(draw):
+    n = draw(st.integers(min_value=0, max_value=16))
+    possible = [(a, b) for a in range(n) for b in range(a + 1, n)]
+    edges = [pair for pair in possible if draw(st.booleans())]
+    adjacency = [[] for _ in range(n)]
+    for a, b in edges:
+        adjacency[a].append(b)
+        adjacency[b].append(a)
+    k = draw(st.integers(min_value=0, max_value=6))
+    return adjacency, k
+
+
+def corpus_specs(count=60, max_nodes=12):
+    """A seeded GraphSpec corpus shaped like the fuzz loop's draws."""
+    rng = random.Random(1905)
+    specs = []
+    for _ in range(count):
+        n = rng.randint(1, max_nodes)
+        k = rng.randint(1, 4)
+        edges = [
+            (a, b)
+            for a in range(n)
+            for b in range(a + 1, n)
+            if rng.random() < 0.4
+        ]
+        costs = [float(rng.randint(1, 8)) for _ in range(n)]
+        specs.append(GraphSpec(n, k, edges, costs))
+    return specs
+
+
+class TestConflictFreedom:
+    @given(plain_graph(), st.integers(min_value=1, max_value=8))
+    @settings(max_examples=150, deadline=None)
+    def test_assignment_proper_at_every_chunk_size(self, case, chunk_size):
+        adjacency, k = case
+        outcome = repair_color(adjacency, k, chunk_size=chunk_size)
+        verify_coloring(adjacency, outcome.colors, k, outcome.spilled)
+
+    @given(plain_graph())
+    @settings(max_examples=100, deadline=None)
+    def test_colored_plus_spilled_covers_every_vertex(self, case):
+        adjacency, k = case
+        outcome = repair_color(adjacency, k)
+        colored = {v for v, c in enumerate(outcome.colors) if c >= 0}
+        assert colored | set(outcome.spilled) == set(range(len(adjacency)))
+        assert colored.isdisjoint(outcome.spilled)
+
+    def test_fuzz_corpus_passes_invariants(self):
+        from repro.regalloc.invariants import check_class_invariants
+
+        for spec in corpus_specs():
+            graph, costs = build_graph(spec)
+            outcome = RepairAllocator().allocate_class(graph, costs)
+            check_class_invariants(graph, outcome, level="full")
+
+
+class TestOracleInteraction:
+    def test_uncolorable_graphs_always_spill(self):
+        gaps = 0
+        checked = 0
+        for spec in corpus_specs(count=80):
+            if spec.n > MAX_ORACLE_NODES:
+                continue
+            graph, costs = build_graph(spec)
+            outcome = RepairAllocator().allocate_class(graph, costs)
+            # Raises InvariantError on the contradiction: a complete
+            # coloring claimed on a graph the oracle proves uncolorable.
+            verdict = oracle_verdict(graph, outcome,
+                                     max_nodes=MAX_ORACLE_NODES)
+            checked += 1
+            if not verdict.colorable:
+                assert outcome.spilled_vregs, (
+                    f"oracle says {spec} needs spills but repair claimed "
+                    f"a complete coloring")
+            if verdict.heuristic_gap:
+                gaps += 1
+        assert checked > 40  # the corpus actually exercised the oracle
+        # Greedy-first-fit gaps exist in principle; they must stay the
+        # exception, not the rule, on sparse random graphs.
+        assert gaps <= checked // 4
+
+    def test_crown_graph_documents_the_non_theorem(self):
+        # K(3,3) minus a perfect matching is 2-colorable, but first-fit
+        # in the wrong order needs 3 colors — the standard witness for
+        # why "spills only when the oracle says so" cannot be promised.
+        # Repair must stay *sound* on it (proper coloring, honest
+        # spills) for every order we throw at it.
+        n = 6
+        adjacency = [
+            [v for v in range(3, 6) if v != node + 3] if node < 3
+            else [v for v in range(3) if v != node - 3]
+            for node in range(n)
+        ]
+        for seed in range(10):
+            outcome = repair_color(adjacency, 2, seed=seed)
+            verify_coloring(adjacency, outcome.colors, 2, outcome.spilled)
+
+
+class TestSeededDeterminism:
+    @given(plain_graph(), st.integers(min_value=0, max_value=99))
+    @settings(max_examples=80, deadline=None)
+    def test_same_seed_byte_identical(self, case, seed):
+        adjacency, k = case
+        first = repair_color(adjacency, k, seed=seed, chunk_size=4)
+        second = repair_color(adjacency, k, seed=seed, chunk_size=4)
+        assert first.colors == second.colors
+        assert first.spilled == second.spilled
+
+    @given(plain_graph())
+    @settings(max_examples=60, deadline=None)
+    def test_chunked_semantics_independent_of_jobs_parameter(self, case):
+        # jobs decides where chunks *run*, never what they compute:
+        # jobs=1 and jobs=0 (auto) must agree exactly.  (True pool
+        # dispatch parity is covered by the seeded 4k-node test in
+        # tests/regalloc/test_repair.py — spawning pools per hypothesis
+        # example would be absurd.)
+        adjacency, k = case
+        serial = repair_color(adjacency, k, chunk_size=3, jobs=1)
+        auto = repair_color(adjacency, k, chunk_size=3, jobs=0)
+        assert serial.colors == auto.colors
+        assert serial.spilled == auto.spilled

@@ -2,6 +2,8 @@
 
 import random
 
+import pytest
+
 from repro.regalloc import greedy_color, smallest_last_order
 from repro.regalloc.matula import degeneracy
 
@@ -90,3 +92,40 @@ class TestDegeneracy:
 
     def test_empty(self):
         assert degeneracy([]) == 0
+
+
+class TestOrderValidation:
+    """A malformed caller-supplied order must raise, not silently
+    mis-color (short orders left vertices at -1; duplicates recolored
+    against a half-built taken mask)."""
+
+    def test_wrong_length_rejected(self):
+        adjacency = cycle(4)
+        with pytest.raises(ValueError, match="entries"):
+            greedy_color(adjacency, order=[0, 1, 2])
+        with pytest.raises(ValueError, match="entries"):
+            greedy_color(adjacency, order=[0, 1, 2, 3, 0])
+
+    def test_duplicate_vertex_rejected(self):
+        adjacency = cycle(4)
+        with pytest.raises(ValueError, match="more than once"):
+            greedy_color(adjacency, order=[0, 1, 2, 2])
+
+    def test_out_of_range_vertex_rejected(self):
+        adjacency = cycle(4)
+        with pytest.raises(ValueError, match="out-of-range"):
+            greedy_color(adjacency, order=[0, 1, 2, 7])
+        with pytest.raises(ValueError, match="out-of-range"):
+            greedy_color(adjacency, order=[0, 1, 2, -1])
+
+    def test_valid_permutation_still_accepted(self):
+        adjacency = cycle(5)
+        colors = greedy_color(adjacency, order=[4, 2, 0, 3, 1])
+        for node in range(5):
+            for neighbor in adjacency[node]:
+                assert colors[node] != colors[neighbor]
+
+    def test_default_order_path_unchanged(self):
+        adjacency = random_graph(20, 40, seed=9)
+        assert greedy_color(adjacency) == greedy_color(
+            adjacency, order=smallest_last_order(adjacency))

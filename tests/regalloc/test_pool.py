@@ -85,6 +85,32 @@ class TestResolveJobs:
         with pytest.raises(AllocationError, match="jobs"):
             resolve_jobs(-1, 4)
 
+    def test_auto_detect_serial_on_one_core_box(self, monkeypatch):
+        # BENCH_PR6's alloc_registry_all_jobs2_nocache row: pooled
+        # dispatch without real cores is ~1.25x slower than serial, so
+        # jobs=0 must never pick the pool when there is one CPU.
+        import repro.regalloc.pool as pool_mod
+
+        monkeypatch.setattr(pool_mod.os, "cpu_count", lambda: 1)
+        assert resolve_jobs(0, 10_000) == 1
+        assert resolve_jobs(0, 2) == 1
+        # cpu_count() can legitimately return None; same fallback.
+        monkeypatch.setattr(pool_mod.os, "cpu_count", lambda: None)
+        assert resolve_jobs(0, 10_000) == 1
+
+    def test_auto_detect_still_scales_on_multicore(self, monkeypatch):
+        import repro.regalloc.pool as pool_mod
+
+        monkeypatch.setattr(pool_mod.os, "cpu_count", lambda: 4)
+        assert resolve_jobs(0, 10_000) == 4
+        assert resolve_jobs(0, 2) == 2
+
+    def test_explicit_jobs_still_force_pool_on_one_core(self, monkeypatch):
+        import repro.regalloc.pool as pool_mod
+
+        monkeypatch.setattr(pool_mod.os, "cpu_count", lambda: 1)
+        assert resolve_jobs(2, 10_000) == 2
+
     def test_jobs_zero_allocates_like_serial(self):
         target = default_fault_target()
         serial = allocate_module(_module(), target, "briggs")
