@@ -16,6 +16,15 @@ Schema: ``repro-bench/1`` — ``{"schema": ..., "phases": {phase:
 :mod:`repro.observability.export` so ``repro bench-diff`` reads it
 natively (it also still reads the PR-1-era flat files).
 
+The document also carries a ``noise`` section: a pinned probe (the seed
+build over SVD — frozen code that no PR optimizes) is timed in
+interleaved A/B pairs at the start and again at the end of the bench,
+and the larger of the within-pair scatter and the start-to-end drift is
+recorded as ``noise.rel``.  ``repro bench-diff`` widens its timing gate
+by that fraction, so a comparison across machines (or a machine having
+a bad day) does not read as a code regression.  ``--noise-samples 0``
+skips the probe.
+
 Phases
 ------
 
@@ -452,6 +461,64 @@ def bench_synth(runs: int, max_nodes: int, results: dict) -> dict:
     return info
 
 
+def make_noise_probe():
+    """The machine-noise probe: one timed execution of the *seed* build
+    over SVD.  Pinned on purpose — the seed reimplementation above is
+    frozen reference code no PR optimizes, so any run-to-run variation
+    in its timing is the machine, not the patch under test."""
+    workload = _load("svd")
+    function = workload.compile().function("svd")
+    target = rt_pc()
+    liveness = Liveness(function, CFG(function))
+
+    def probe() -> float:
+        started = time.perf_counter()
+        for rclass in _CLASSES:
+            seed_build_interference_graph(function, rclass, target,
+                                          liveness)
+        return time.perf_counter() - started
+
+    return probe
+
+
+def sample_noise_block(probe, pairs: int) -> list:
+    """Back-to-back A/B samples: ``[(a_s, b_s), ...]``.  Interleaving
+    means each pair sees the same instantaneous machine state, so the
+    within-pair spread isolates scheduling jitter from slow drift."""
+    probe()  # warm-up: page cache, allocator pools, branch predictors
+    return [(probe(), probe()) for _ in range(pairs)]
+
+
+def estimate_noise(start_block, end_block) -> dict:
+    """The ``noise`` document section from the two probe blocks.
+
+    ``rel`` — the headline number bench-diff consumes — is the larger
+    of the median within-pair relative spread (fast jitter) and the
+    start-median vs end-median relative drift (thermal throttling,
+    co-tenant load arriving mid-bench).
+    """
+    def rel(a: float, b: float) -> float:
+        floor = min(a, b)
+        return abs(a - b) / floor if floor > 0 else 0.0
+
+    pairs = list(start_block) + list(end_block)
+    within = statistics.median([rel(a, b) for a, b in pairs])
+    start_median = statistics.median(
+        [sample for pair in start_block for sample in pair])
+    end_median = statistics.median(
+        [sample for pair in end_block for sample in pair])
+    drift = rel(start_median, end_median)
+    return {
+        "probe": "build_seed_svd",
+        "pairs": len(pairs),
+        "within_rel": round(within, 4),
+        "drift_rel": round(drift, 4),
+        "rel": round(max(within, drift), 4),
+        "start_median_s": round(start_median, 6),
+        "end_median_s": round(end_median, 6),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -469,7 +536,17 @@ def main(argv=None) -> int:
                         help="largest graph-scale coloring tier to run "
                              "(0 skips the synth phases entirely; "
                              "1000000 reproduces BENCH_PR9.json)")
+    parser.add_argument("--noise-samples", type=int, default=3,
+                        dest="noise_samples",
+                        help="A/B probe pairs per noise block (one block "
+                             "before the bench, one after; default 3; "
+                             "0 skips noise estimation)")
     args = parser.parse_args(argv)
+
+    probe = start_block = None
+    if args.noise_samples > 0:
+        probe = make_noise_probe()
+        start_block = sample_noise_block(probe, args.noise_samples)
 
     results: dict = {}
     for workload_name, routine in WORKLOADS:
@@ -478,11 +555,15 @@ def main(argv=None) -> int:
     wire_sizes = bench_wire(args.runs, results)
     synth_info = bench_synth(args.runs, args.synth_max_nodes, results)
 
-    out = write_metrics_json(
-        {"schema": BENCH_SCHEMA, "phases": results, "wire": wire_sizes,
-         "synth": synth_info},
-        args.out,
-    )
+    document = {"schema": BENCH_SCHEMA, "phases": results,
+                "wire": wire_sizes, "synth": synth_info}
+    noise = None
+    if probe is not None:
+        end_block = sample_noise_block(probe, args.noise_samples)
+        noise = estimate_noise(start_block, end_block)
+        document["noise"] = noise
+
+    out = write_metrics_json(document, args.out)
 
     width = max(len(name) for name in results)
     for name in sorted(results):
@@ -505,6 +586,11 @@ def main(argv=None) -> int:
               f"{size_info['repair_conflicts']} conflicts / "
               f"{size_info['repair_spilled']} spilled, greedy used "
               f"{size_info['greedy_colors']} colors")
+    if noise is not None:
+        print(f"machine noise ({noise['probe']}, {noise['pairs']} A/B "
+              f"pairs): ±{noise['rel'] * 100:.1f}% "
+              f"(within-pair {noise['within_rel'] * 100:.1f}%, "
+              f"drift {noise['drift_rel'] * 100:.1f}%)")
     print(f"wrote {out}")
     return 0
 

@@ -26,10 +26,20 @@ Commands
 ``trace WORKLOAD``
     Allocate one registry workload with tracing on and write a Chrome
     trace-event file (loadable in Perfetto or ``chrome://tracing``);
-    ``--metrics`` additionally writes the metrics document.
+    ``--metrics`` additionally writes the metrics document.  With
+    ``--serve-replay JOURNAL`` it instead re-allocates a serve
+    journal's unanswered backlog post-mortem, one trace file per
+    journaled request.
+``tail``
+    Follow a live server's structured event ring (``GET /events``):
+    admissions, sheds, breaker transitions, degrades, pool restarts,
+    repair-round summaries — formatted one event per line.
 ``bench-diff BASELINE CURRENT``
     Compare two metrics/benchmark JSON files and report per-metric
-    deltas; exits 1 on regression unless ``--report-only``.
+    deltas; exits 1 on regression unless ``--report-only``.  The
+    timing gate widens by measured machine noise (the documents'
+    ``noise.rel``, or ``--noise``), so environmental drift between
+    machines does not read as a code regression.
 ``figures [NAMES...]``
     Regenerate the paper's tables (figure5 figure6 figure7 ablations
     intstudy, or ``all``) into ``--out`` (default ``results/``).
@@ -164,6 +174,98 @@ def _emit_json(document: dict, path: str) -> None:
     print(f"wrote {path}", file=sys.stderr)
 
 
+def _serve_replay(args) -> int:
+    """Post-mortem tracing: re-allocate a serve journal's request
+    backlog under a live tracer, one Chrome trace file per request.
+
+    The journal (``repro-journal/1``, written by ``repro serve
+    --journal``) records every admitted request and its outcome; the
+    unanswered ones are exactly what the server would replay on
+    restart.  This command runs that replay *offline* with tracing on,
+    so an operator can see where a wedged backlog was spending its
+    time without touching the production process.
+    """
+    from repro.durability.journal import read_journal
+    from repro.ir.wire import decode_module
+    from repro.observability import Tracer, write_chrome_trace
+    from repro.service.protocol import parse_allocate_request
+
+    records, recovery = read_journal(args.serve_replay)
+    requests = [r for r in records if r.get("type") == "request"]
+    answered = {r.get("jid") for r in records
+                if r.get("type") == "response"}
+    backlog = [r for r in requests if r.get("jid") not in answered]
+    if args.replay_all:
+        backlog = requests
+    elif not backlog and requests:
+        print(
+            f"serve-replay: no unanswered backlog in "
+            f"{args.serve_replay}; re-tracing all {len(requests)} "
+            f"journaled requests (as --replay-all would)",
+            file=sys.stderr,
+        )
+        backlog = requests
+    if not backlog:
+        print(f"serve-replay: no journaled requests in "
+              f"{args.serve_replay}", file=sys.stderr)
+        return 1
+    if recovery.dropped_bytes:
+        print(
+            f"serve-replay: dropped {recovery.dropped_bytes} torn "
+            f"trailing bytes ({recovery.reason})", file=sys.stderr,
+        )
+    out_dir = pathlib.Path(args.out or "results/serve-replay")
+    out_dir.mkdir(parents=True, exist_ok=True)
+    failures = 0
+    for record in backlog:
+        jid = record.get("jid", "unknown")
+        trace_id = f"replay-{jid}"
+        try:
+            # Same validation the server applies on admission; the
+            # deadline fields only clamp, they do not time the replay.
+            request = parse_allocate_request(
+                dict(record, fault=None, fault_args={}), 30.0, 120.0,
+            )
+            module = (
+                compile_source(request.source, request.name)
+                if request.source is not None
+                else decode_module(request.wire)
+            )
+            target = (
+                rt_pc()
+                .with_int_regs(request.int_regs)
+                .with_float_regs(request.float_regs)
+            )
+            tracer = Tracer()
+            tracer.trace_id = trace_id
+            with tracer.span("service:request", cat="service",
+                             trace_id=trace_id, method=request.method,
+                             function=request.name):
+                allocate_module(
+                    module, target, request.method,
+                    validate=request.validate, tracer=tracer,
+                    jobs=args.jobs,
+                )
+        except ReproError as error:
+            failures += 1
+            print(f"jid {jid}: replay failed: {error}", file=sys.stderr)
+            continue
+        out = out_dir / f"trace-{trace_id}.json"
+        write_chrome_trace(tracer, out)
+        spans = sum(1 for e in tracer.events if e["ph"] == "B")
+        print(
+            f"jid {jid} ({request.name}/{request.method}): "
+            f"{spans} spans -> {out}",
+            file=sys.stderr,
+        )
+    print(
+        f"serve-replay: {len(backlog) - failures}/{len(backlog)} "
+        f"requests re-traced into {out_dir}",
+        file=sys.stderr,
+    )
+    return 0 if failures == 0 else 1
+
+
 def cmd_trace(args) -> int:
     from repro.experiments.runner import allocate_workload
     from repro.observability import (
@@ -173,6 +275,12 @@ def cmd_trace(args) -> int:
     )
     from repro.workloads import all_workloads
 
+    if args.serve_replay is not None:
+        return _serve_replay(args)
+    if args.workload is None:
+        print("error: a workload name (or --serve-replay JOURNAL) is "
+              "required", file=sys.stderr)
+        return 2
     workloads = all_workloads()
     if args.workload not in workloads:
         print(
@@ -213,6 +321,7 @@ def cmd_bench_diff(args) -> int:
     report = compare_files(
         args.baseline, args.current,
         threshold=args.threshold, min_time=args.min_time,
+        noise=args.noise,
     )
     print(report.render())
     if args.report_only:
@@ -389,6 +498,57 @@ def cmd_workloads(_args) -> int:
     return 0
 
 
+def cmd_tail(args) -> int:
+    """Stream a live server's event ring to stdout, one formatted line
+    per event.  Plain HTTP/1.0 over a raw socket — works against any
+    ``repro serve`` with zero dependencies.  ``--follow`` polls with a
+    ``since=`` cursor so each event prints exactly once even though the
+    server's ring is bounded."""
+    import socket
+    import time
+
+    from repro.observability.events import format_event, parse_ndjson
+
+    since = args.since
+    while True:
+        query = f"/events?since={since}"
+        if args.kind:
+            query += f"&kind={args.kind}"
+        if args.limit:
+            query += f"&limit={args.limit}"
+        try:
+            with socket.create_connection(
+                (args.host, args.port), timeout=5.0
+            ) as sock:
+                sock.sendall(f"GET {query} HTTP/1.0\r\n\r\n"
+                             .encode("ascii"))
+                chunks = []
+                while True:
+                    data = sock.recv(65536)
+                    if not data:
+                        break
+                    chunks.append(data)
+        except OSError as error:
+            print(f"error: cannot reach {args.host}:{args.port}: "
+                  f"{error}", file=sys.stderr)
+            return 1
+        raw = b"".join(chunks).decode("utf-8", "replace")
+        head, _, body = raw.partition("\r\n\r\n")
+        status_line = head.split("\r\n", 1)[0]
+        if " 200 " not in status_line:
+            print(f"error: server answered {status_line!r}",
+                  file=sys.stderr)
+            return 1
+        for record in parse_ndjson(body):
+            print(format_event(record), flush=True)
+            seq = record.get("seq")
+            if isinstance(seq, int):
+                since = max(since, seq)
+        if not args.follow:
+            return 0
+        time.sleep(args.interval)
+
+
 def cmd_serve(args) -> int:
     from repro.service import ServiceConfig, run_server
 
@@ -407,6 +567,7 @@ def cmd_serve(args) -> int:
         cache_dir=args.cache_dir,
         allow_faults=args.allow_faults,
         journal_path=args.journal,
+        trace_dir=args.trace_dir,
     )
 
     def announce(service):
@@ -703,13 +864,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="allocate a registry workload and write a Perfetto-loadable "
         "Chrome trace-event file",
     )
-    p.add_argument("workload", help="registry workload name (see "
-                   "'repro workloads')")
+    p.add_argument("workload", nargs="?", default=None,
+                   help="registry workload name (see 'repro workloads'; "
+                   "not needed with --serve-replay)")
     p.add_argument("--method", default="briggs",
                    choices=["chaitin", "briggs", "briggs-degree",
                             "spill-all", "repair"])
     p.add_argument("--out", default=None, metavar="PATH",
-                   help="trace file (default results/trace-<workload>.json)")
+                   help="trace file (default results/trace-<workload>"
+                   ".json); with --serve-replay, the output *directory* "
+                   "(default results/serve-replay)")
+    p.add_argument("--serve-replay", default=None, metavar="JOURNAL",
+                   dest="serve_replay",
+                   help="post-mortem mode: re-allocate the unanswered "
+                   "request backlog of a 'repro serve --journal' WAL "
+                   "with tracing on, writing one trace-replay-<jid>"
+                   ".json per request")
+    p.add_argument("--replay-all", action="store_true", dest="replay_all",
+                   help="with --serve-replay: re-trace every journaled "
+                   "request, not just the unanswered backlog")
     p.add_argument("--metrics", default=None, metavar="PATH",
                    help="also write the metrics document ('-' for stdout)")
     p.add_argument("--jobs", type=int, default=1,
@@ -741,6 +914,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--report-only", action="store_true",
                    help="always exit 0; print the comparison without "
                    "gating")
+    p.add_argument("--noise", type=float, default=None,
+                   help="measured machine-noise fraction that widens "
+                   "the timing gate multiplicatively (e.g. 0.30 for "
+                   "±30%% run-to-run noise; default: the larger "
+                   "'noise.rel' recorded in the two documents by "
+                   "run_bench's pinned probe, 0 if absent)")
     p.set_defaults(func=cmd_bench_diff)
 
     p = sub.add_parser(
@@ -876,7 +1055,38 @@ def build_parser() -> argparse.ArgumentParser:
                    help="journal admitted requests to a crash-safe WAL; "
                    "a restarted server replays the unanswered ones and "
                    "holds /readyz at 503 until the backlog drains")
+    p.add_argument("--trace-dir", default=None, metavar="DIR",
+                   dest="trace_dir",
+                   help="spool each traced request's merged Chrome "
+                   "trace to DIR/trace-<trace_id>.json (requests opt "
+                   "in with \"trace\": true)")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "tail",
+        help="follow a live server's structured event ring "
+        "(GET /events): admissions, sheds, breaker flips, degrades, "
+        "pool restarts, repair summaries",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7632,
+                   help="server port (default 7632)")
+    p.add_argument("--follow", "-f", action="store_true",
+                   help="poll forever instead of printing once; the "
+                   "since= cursor guarantees each event prints exactly "
+                   "once")
+    p.add_argument("--interval", type=float, default=1.0,
+                   help="poll interval in seconds with --follow "
+                   "(default 1.0)")
+    p.add_argument("--since", type=int, default=0,
+                   help="only events with seq > SINCE (default 0: "
+                   "everything still in the ring)")
+    p.add_argument("--kind", default=None,
+                   help="only events of this kind (e.g. breaker, "
+                   "admission, shed)")
+    p.add_argument("--limit", type=int, default=None,
+                   help="at most N events per poll")
+    p.set_defaults(func=cmd_tail)
 
     p = sub.add_parser(
         "chaos",

@@ -238,12 +238,18 @@ class Supervisor:
     * ``child_setup`` — callable run inside the forked child (with the
       incarnation index) before the task; the torture harness arms its
       kill switch here.
+    * ``events`` — an :class:`repro.observability.events.EventLog` to
+      narrate deaths, poisonings, and leaked workers as structured
+      events instead of nothing; ``None`` allocates a private log (so
+      :attr:`events` is always readable after :meth:`run`).
     """
 
     def __init__(self, task, journal_path, max_restarts=5, backoff=0.05,
                  backoff_factor=2.0, max_backoff=2.0, rss_limit_mb=None,
                  poison_after=2, hang_timeout=None, child_setup=None,
-                 poll_interval=0.05, collect=True):
+                 poll_interval=0.05, collect=True, events=None):
+        from repro.observability.events import EventLog
+
         self.task = task
         self.journal_path = pathlib.Path(journal_path)
         self.max_restarts = max_restarts
@@ -256,6 +262,7 @@ class Supervisor:
         self.child_setup = child_setup
         self.poll_interval = poll_interval
         self.collect = collect
+        self.events = events if events is not None else EventLog()
         self._oom_charges: dict = {}
 
     # -- one child life ------------------------------------------------
@@ -367,6 +374,10 @@ class Supervisor:
                     ),
                 })
                 report.poisoned.append(key)
+                self.events.emit(
+                    "supervisor-poison", function=name, charges=count,
+                    rss_limit_mb=self.rss_limit_mb,
+                )
 
     def _check_workers(self, report) -> None:
         """Every worker pid the dead child journaled must be gone."""
@@ -378,6 +389,7 @@ class Supervisor:
         for pid in sorted(pids):
             if not process_gone(pid):
                 report.leaked_workers.append(pid)
+                self.events.emit("leaked-workers", pid=pid)
 
     # -- the restart loop ----------------------------------------------
 
@@ -412,6 +424,11 @@ class Supervisor:
                         )
                     return report
                 report.deaths += 1
+                self.events.emit(
+                    "supervisor-death", incarnation=incarnation,
+                    reason=reason, exitcode=child.exitcode,
+                    restarts_left=self.max_restarts - report.deaths,
+                )
                 self._check_workers(report)
                 if reason == "oom":
                     self._charge_oom(report)

@@ -10,7 +10,12 @@ Zero-dependency tracing and metrics, threaded through the allocator:
   Perfetto / ``chrome://tracing``) and for the flat metrics document
   (JSON/CSV) built from :class:`repro.regalloc.stats.AllocationStats`;
 * :mod:`regress` — loads two metrics/bench files and reports per-phase
-  deltas against a regression threshold (``repro bench-diff``).
+  deltas against a regression threshold plus measured machine noise
+  (``repro bench-diff``);
+* :mod:`hist` — log-bucketed streaming histograms backing the service's
+  server-side p50/p95/p99 (``/metrics``, ``/metrics?format=prom``);
+* :mod:`events` — the bounded-ring structured event log behind
+  ``GET /events`` and ``repro tail``.
 
 See ``docs/OBSERVABILITY.md`` for the span taxonomy and file formats.
 """
@@ -21,6 +26,18 @@ from repro.observability.trace import (
     Tracer,
     coerce_tracer,
 )
+from repro.observability.hist import (
+    HIST_BASE,
+    LogHistogram,
+    prometheus_text,
+    validate_prometheus_text,
+)
+from repro.observability.events import (
+    EVENTS_SCHEMA,
+    EventLog,
+    format_event,
+    parse_ndjson,
+)
 from repro.observability.export import (
     metrics_document,
     validate_chrome_trace,
@@ -29,9 +46,11 @@ from repro.observability.export import (
     write_metrics_json,
 )
 from repro.observability.regress import (
+    RUNTIME_SECTIONS,
     RegressionReport,
     compare_files,
     compare_metrics,
+    document_noise,
     flatten_metrics,
     load_metrics,
 )
@@ -51,4 +70,14 @@ __all__ = [
     "compare_metrics",
     "flatten_metrics",
     "load_metrics",
+    "document_noise",
+    "RUNTIME_SECTIONS",
+    "HIST_BASE",
+    "LogHistogram",
+    "prometheus_text",
+    "validate_prometheus_text",
+    "EVENTS_SCHEMA",
+    "EventLog",
+    "format_event",
+    "parse_ndjson",
 ]

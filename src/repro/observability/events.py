@@ -1,0 +1,151 @@
+"""Bounded-ring structured event log (``repro-events/1``).
+
+The service and supervisor used to narrate notable transitions with
+ad-hoc prints; operators of a daemon need those as data.  An
+:class:`EventLog` keeps the last N events in a ring (``collections
+.deque(maxlen=...)``) so a misbehaving server cannot grow without
+bound, stamps each event with a monotonically increasing sequence
+number, and renders as NDJSON — one JSON object per line — for
+``GET /events`` and ``repro tail``.
+
+Event kinds in use (the set is open; consumers must ignore unknown
+kinds): ``admission``, ``shed``, ``breaker``, ``degrade``,
+``journal-replay``, ``pool-restart``, ``repair-rounds``,
+``supervisor-death``, ``supervisor-poison``, ``leaked-workers``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from typing import Dict, Iterable, List, Optional
+
+EVENTS_SCHEMA = "repro-events/1"
+
+#: Default ring capacity; small enough to stay resident, large enough
+#: to cover a whole chaos storm.
+DEFAULT_LIMIT = 512
+
+#: Keys every event record carries, in render order.
+_HEADER_KEYS = ("schema", "seq", "ts", "kind")
+
+
+class EventLog:
+    """A thread-safe bounded ring of structured events.
+
+    ``emit`` is cheap (a dict build plus a deque append under a lock)
+    because it runs on the service hot path for every admitted request.
+    Sequence numbers keep increasing after old events fall off the
+    ring, so ``tail(since=...)`` gives clients a resumable cursor.
+    """
+
+    def __init__(self, limit: int = DEFAULT_LIMIT, clock=time.time) -> None:
+        self._ring: deque = deque(maxlen=max(1, int(limit)))
+        self._lock = threading.Lock()
+        self._clock = clock
+        self._seq = 0
+
+    def emit(self, kind: str, **fields: object) -> Dict[str, object]:
+        """Append one event; returns the stored record."""
+        with self._lock:
+            self._seq += 1
+            record: Dict[str, object] = {
+                "schema": EVENTS_SCHEMA,
+                "seq": self._seq,
+                "ts": round(self._clock(), 6),
+                "kind": str(kind),
+            }
+            for key, value in fields.items():
+                if key not in record:
+                    record[key] = value
+            self._ring.append(record)
+        return record
+
+    @property
+    def last_seq(self) -> int:
+        return self._seq
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def tail(
+        self,
+        limit: Optional[int] = None,
+        since: Optional[int] = None,
+        kind: Optional[str] = None,
+    ) -> List[Dict[str, object]]:
+        """Events in sequence order, newest last.
+
+        ``since`` keeps only events with ``seq > since`` (a resume
+        cursor); ``kind`` filters by kind; ``limit`` keeps the newest N
+        after filtering.
+        """
+        with self._lock:
+            events = list(self._ring)
+        if since is not None:
+            events = [e for e in events if e["seq"] > since]
+        if kind is not None:
+            events = [e for e in events if e["kind"] == kind]
+        if limit is not None and limit >= 0:
+            events = events[-limit:]
+        return events
+
+    def to_ndjson(self, events: Optional[Iterable[Dict[str, object]]] = None) -> str:
+        """Render events (default: the whole ring) as NDJSON."""
+        chosen = self.tail() if events is None else list(events)
+        if not chosen:
+            return ""
+        return "\n".join(json.dumps(e, sort_keys=False) for e in chosen) + "\n"
+
+
+def format_event(record: Dict[str, object]) -> str:
+    """One human-readable line for ``repro tail``.
+
+    ``[seq] HH:MM:SS kind key=value ...`` — header keys are positional,
+    everything else renders as ``key=value`` in insertion order.
+    """
+    ts = record.get("ts", 0)
+    try:
+        clock = time.strftime("%H:%M:%S", time.localtime(float(ts)))
+    except (TypeError, ValueError, OverflowError):
+        clock = "??:??:??"
+    extras = " ".join(
+        f"{key}={_terse(value)}"
+        for key, value in record.items()
+        if key not in _HEADER_KEYS
+    )
+    line = f"[{record.get('seq', '?')}] {clock} {record.get('kind', '?')}"
+    return f"{line} {extras}" if extras else line
+
+
+def _terse(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    if isinstance(value, str):
+        return value if value and " " not in value else json.dumps(value)
+    return json.dumps(value)
+
+
+def parse_ndjson(text: str) -> List[Dict[str, object]]:
+    """Parse an NDJSON page back into event records.
+
+    Tolerates trailing partial lines (a tail scrape can race a write);
+    raises ``ValueError`` only if a complete line is not a JSON object.
+    """
+    events = []
+    lines = text.splitlines()
+    for index, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            if index == len(lines) - 1 and not text.endswith("\n"):
+                break  # torn final line from a concurrent writer
+            raise ValueError(f"events line {index + 1}: not JSON: {line!r}")
+        if not isinstance(record, dict):
+            raise ValueError(f"events line {index + 1}: not an object")
+        events.append(record)
+    return events

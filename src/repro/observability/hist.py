@@ -1,0 +1,271 @@
+"""Log-bucketed streaming histograms for always-on latency telemetry.
+
+The service records every request into a :class:`LogHistogram` so the
+``/metrics`` endpoint can report server-side p50/p95/p99 without keeping
+raw samples around.  Buckets are geometric with ratio ``HIST_BASE``
+(2^(1/4) ~= 1.19), so adjacent buckets differ by ~19% — that ratio is
+the histogram's *bucket resolution*: any quantile read off the histogram
+is within one bucket (a factor of ``HIST_BASE``) of the exact sample
+quantile.  Four buckets per octave keeps the sparse dict small (a
+microsecond-to-minute latency range spans ~100 buckets) while staying
+tight enough for regression gating.
+
+Histograms are plain-attribute objects: picklable (so pool workers can
+ship them home), mergeable (``merge`` sums bucket counts), and JSON
+round-trippable (``to_dict``/``from_dict``).  ``prometheus_text``
+renders a set of histograms plus counters in the Prometheus text
+exposition format (version 0.0.4) for ``/metrics?format=prom``.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+#: Geometric bucket ratio: 2^(1/4), four buckets per octave.
+HIST_BASE = 2.0 ** 0.25
+
+_LOG_BASE = math.log(HIST_BASE)
+
+#: Content type for the Prometheus text exposition format.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4"
+
+_QUANTILES = ((0.5, "p50"), (0.95, "p95"), (0.99, "p99"))
+
+_METRIC_NAME = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def bucket_index(value: float) -> int:
+    """Bucket index for a positive value: floor(log_base(value))."""
+    return int(math.floor(math.log(value) / _LOG_BASE))
+
+
+def bucket_bounds(index: int) -> Tuple[float, float]:
+    """The half-open value interval ``[lo, hi)`` covered by a bucket."""
+    return (HIST_BASE ** index, HIST_BASE ** (index + 1))
+
+
+class LogHistogram:
+    """A streaming histogram with geometric buckets.
+
+    Records are O(1); quantiles walk the sorted bucket set (tiny — the
+    dict is sparse).  Non-positive samples land in a dedicated zero
+    bucket so a ``0.0`` duration cannot blow up the log.  The quantile
+    estimate for a bucket is its geometric midpoint, which bounds the
+    relative error at sqrt(HIST_BASE) per sample.
+    """
+
+    def __init__(self) -> None:
+        self.buckets: Dict[int, int] = {}
+        self.zeros = 0
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def record(self, value: float) -> None:
+        """Fold one sample into the histogram."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if value <= 0.0:
+            self.zeros += 1
+            return
+        index = bucket_index(value)
+        self.buckets[index] = self.buckets.get(index, 0) + 1
+
+    def merge(self, other: "LogHistogram") -> None:
+        """Fold another histogram (e.g. shipped back from a worker) in."""
+        for index, count in other.buckets.items():
+            self.buckets[index] = self.buckets.get(index, 0) + count
+        self.zeros += other.zeros
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+
+    def quantile(self, q: float) -> float:
+        """Estimated q-quantile (0 <= q <= 1) of the recorded samples.
+
+        Exact at the bucket level: the returned value is the geometric
+        midpoint of the bucket holding the rank-``q`` sample, clamped to
+        the observed min/max so a single-sample histogram reports the
+        sample itself.
+        """
+        if self.count == 0:
+            return 0.0
+        rank = q * (self.count - 1)
+        seen = float(self.zeros)
+        if rank < seen:
+            return 0.0
+        for index in sorted(self.buckets):
+            seen += self.buckets[index]
+            if rank < seen:
+                mid = HIST_BASE ** (index + 0.5)
+                if self.min is not None:
+                    mid = max(mid, self.min)
+                if self.max is not None:
+                    mid = min(mid, self.max)
+                return mid
+        return self.max if self.max is not None else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        """The fixed summary block exported under ``/metrics``."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe encoding (bucket indices become string keys)."""
+        return {
+            "base": HIST_BASE,
+            "buckets": {str(i): c for i, c in sorted(self.buckets.items())},
+            "zeros": self.zeros,
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "LogHistogram":
+        hist = cls()
+        for key, count in dict(payload.get("buckets", {})).items():
+            hist.buckets[int(key)] = int(count)
+        hist.zeros = int(payload.get("zeros", 0))
+        hist.count = int(payload.get("count", 0))
+        hist.total = float(payload.get("sum", 0.0))
+        minimum = payload.get("min")
+        maximum = payload.get("max")
+        hist.min = None if minimum is None else float(minimum)
+        hist.max = None if maximum is None else float(maximum)
+        return hist
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LogHistogram(count={self.count}, buckets={len(self.buckets)}, "
+            f"min={self.min}, max={self.max})"
+        )
+
+
+def _prom_name(name: str, prefix: str) -> str:
+    cleaned = _METRIC_NAME.sub("_", name).strip("_")
+    return f"{prefix}_{cleaned}" if prefix else cleaned
+
+
+def _prom_number(value: float) -> str:
+    if isinstance(value, float) and value != value:  # NaN
+        return "NaN"
+    return repr(float(value)) if isinstance(value, float) else str(value)
+
+
+def prometheus_text(
+    histograms: Mapping[str, LogHistogram],
+    counters: Optional[Mapping[str, float]] = None,
+    prefix: str = "repro",
+) -> str:
+    """Render histograms + counters as Prometheus text exposition.
+
+    Histograms come out in summary style — one ``{op=...,quantile=...}``
+    sample per tracked quantile plus ``_sum``/``_count`` series — under
+    a single ``<prefix>_latency_seconds`` family, since every histogram
+    the service keeps measures a duration.  Counters become one
+    ``counter``-typed series each; nested mappings are flattened with
+    ``_`` and non-numeric values are skipped.
+    """
+    lines = []
+    if histograms:
+        family = _prom_name("latency_seconds", prefix)
+        lines.append(
+            f"# HELP {family} Request latency by operation (log-bucketed)."
+        )
+        lines.append(f"# TYPE {family} summary")
+        for op in sorted(histograms):
+            summary = histograms[op].summary()
+            for q, key in _QUANTILES:
+                lines.append(
+                    f'{family}{{op="{op}",quantile="{q}"}} '
+                    f"{_prom_number(summary[key])}"
+                )
+            lines.append(f'{family}_sum{{op="{op}"}} {_prom_number(summary["sum"])}')
+            lines.append(f'{family}_count{{op="{op}"}} {int(summary["count"])}')
+    for name, value in sorted(flatten_counters(counters or {}).items()):
+        metric = _prom_name(name, prefix)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_prom_number(value)}")
+    return "\n".join(lines) + "\n"
+
+
+def flatten_counters(
+    counters: Mapping[str, object], parent: str = ""
+) -> Dict[str, float]:
+    """Flatten nested counter mappings to dotted-name → number.
+
+    Non-numeric leaves (state strings, paths) are dropped: Prometheus
+    series carry numbers only.  Booleans export as 0/1.
+    """
+    flat: Dict[str, float] = {}
+    for key, value in counters.items():
+        name = f"{parent}_{key}" if parent else str(key)
+        if isinstance(value, Mapping):
+            flat.update(flatten_counters(value, name))
+        elif isinstance(value, bool):
+            flat[name] = 1.0 if value else 0.0
+        elif isinstance(value, (int, float)):
+            flat[name] = value
+    return flat
+
+
+def validate_prometheus_text(text: str) -> Dict[str, int]:
+    """Structural check for a Prometheus text page; returns counts.
+
+    Used by the CI smoke and tests: every non-comment line must be
+    ``name{labels} value`` or ``name value`` with a parseable float
+    value, and every series must be preceded by a ``# TYPE`` for its
+    family.  Raises ``ValueError`` on malformed pages.
+    """
+    sample_re = re.compile(
+        r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})?\s+(\S+)$"
+    )
+    typed = set()
+    samples = 0
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) < 4:
+                raise ValueError(f"line {lineno}: malformed TYPE comment")
+            typed.add(parts[2])
+            continue
+        if line.startswith("#"):
+            continue
+        match = sample_re.match(line)
+        if not match:
+            raise ValueError(f"line {lineno}: malformed sample: {line!r}")
+        name = match.group(1)
+        family = re.sub(r"(_sum|_count)$", "", name)
+        if name not in typed and family not in typed:
+            raise ValueError(f"line {lineno}: sample {name!r} missing # TYPE")
+        try:
+            float(match.group(3))
+        except ValueError:
+            raise ValueError(f"line {lineno}: non-numeric value: {line!r}")
+        samples += 1
+    return {"samples": samples, "families": len(typed)}

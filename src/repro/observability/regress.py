@@ -9,11 +9,26 @@
 
 flattens each to ``metric -> value``, and compares every key present in
 both.  A **timing** metric regresses when it grew by more than
-``threshold`` (relative) *and* both sides are above ``min_time`` — the
-noise floor that keeps micro-phases (a 0.2 ms select) from tripping the
-gate on scheduler jitter.  Count metrics (spills, passes) use the same
-relative threshold with no floor, so a genuine spill regression in a
-committed baseline fails CI just like a time regression.
+``threshold`` (relative) widened by the measured machine **noise**
+*and* both sides are above ``min_time`` — the noise floor that keeps
+micro-phases (a 0.2 ms select) from tripping the gate on scheduler
+jitter.  Count metrics (spills, passes) use the bare relative threshold
+with no floor and no noise widening — counts are exact — so a genuine
+spill regression in a committed baseline fails CI just like a time
+regression.
+
+**Noise-aware gating.**  ``run_bench.py`` interleaves A/B re-runs of a
+pinned probe phase (seed-reference graph build, code that never
+changes) at the start and end of every bench run and stores the
+relative swing as ``document["noise"]["rel"]``.  A timing metric then
+regresses only when ``new > base * (1 + threshold) * (1 + noise)`` —
+the two bench files were taken on (possibly) different machines at
+different times, and the probe swing is a direct measurement of how
+far *identical code* moved in that environment.  ``compare_files``
+takes ``noise`` from the documents (the max of both sides) unless an
+explicit value is passed (``repro bench-diff --noise``).  This is what
+keeps environmental +79% swings (observed in the PR-9 control re-run)
+from training everyone to ignore the gate.
 
 The report never hides coverage gaps: keys present on only one side are
 listed, because "the phase disappeared from the file" must read as a
@@ -31,6 +46,15 @@ DEFAULT_THRESHOLD = 0.25
 #: Default timing noise floor, seconds: both sides must exceed it.
 DEFAULT_MIN_TIME = 0.0005
 
+#: Document sections that carry runtime telemetry or environment
+#: descriptions, never benchmark results: the service/pool diagnostics
+#: that ``metrics_document(service=...)`` attaches (histogram summaries,
+#: cache hit counts, breaker state) and the bench file's noise/shape
+#: metadata.  ``flatten_metrics`` must never emit keys from these —
+#: bench-diff gating on a latency histogram would flag every config
+#: change as a perf regression.
+RUNTIME_SECTIONS = ("service", "pool", "noise", "wire", "synth", "meta")
+
 
 def _is_timing(key: str) -> bool:
     """Bench-file keys (no dots, all medians) and ``*_time`` metrics are
@@ -39,8 +63,19 @@ def _is_timing(key: str) -> bool:
 
 
 def flatten_metrics(document: dict) -> dict:
-    """Normalize any supported file shape to flat ``metric -> value``."""
+    """Normalize any supported file shape to flat ``metric -> value``.
+
+    Sections named in :data:`RUNTIME_SECTIONS` are dropped on every
+    path: they describe the run's environment (live-service telemetry,
+    measured noise, workload shapes), not the code under test.
+    """
     schema = document.get("schema") if isinstance(document, dict) else None
+    if isinstance(document, dict):
+        document = {
+            key: value
+            for key, value in document.items()
+            if key not in RUNTIME_SECTIONS
+        }
     if schema == "repro-metrics/1":
         flat = {}
         for name, value in document.get("totals", {}).items():
@@ -82,24 +117,54 @@ def load_metrics(path) -> dict:
     return flatten_metrics(json.loads(pathlib.Path(path).read_text()))
 
 
+def document_noise(document: dict) -> float:
+    """The measured relative machine noise stored in a bench document.
+
+    ``run_bench.py`` writes ``{"noise": {"rel": ...}}``; files from
+    before the probe existed (and metrics documents) report 0.0.
+    """
+    if not isinstance(document, dict):
+        return 0.0
+    noise = document.get("noise")
+    if not isinstance(noise, dict):
+        return 0.0
+    try:
+        rel = float(noise.get("rel", 0.0))
+    except (TypeError, ValueError):
+        return 0.0
+    return max(rel, 0.0)
+
+
 class Delta:
-    """One shared metric's baseline/current pair."""
+    """One shared metric's baseline/current pair.
 
-    __slots__ = ("key", "base", "new", "timing", "regressed", "improved")
+    ``noise`` widens the gate for timing metrics only: the effective
+    regression bound is ``base * (1 + threshold) * (1 + noise)`` and the
+    improvement bound shrinks symmetrically, so a noisy environment
+    mutes *both* verdicts rather than converting regressions into
+    improvements.  Counts ignore noise — they are exact.
+    """
 
-    def __init__(self, key, base, new, threshold, min_time):
+    __slots__ = (
+        "key", "base", "new", "timing", "noise", "regressed", "improved",
+    )
+
+    def __init__(self, key, base, new, threshold, min_time, noise=0.0):
         self.key = key
         self.base = base
         self.new = new
         self.timing = _is_timing(key)
+        self.noise = noise if self.timing else 0.0
         above_floor = (
             not self.timing or max(base, new) >= min_time
         )
+        widen = 1.0 + self.noise
         self.regressed = (
-            above_floor and base >= 0 and new > base * (1.0 + threshold)
+            above_floor and base >= 0
+            and new > base * (1.0 + threshold) * widen
             and new - base > (min_time if self.timing else 0)
         )
-        self.improved = above_floor and new < base * (1.0 - threshold)
+        self.improved = above_floor and new < base * (1.0 - threshold) / widen
 
     @property
     def ratio(self) -> float:
@@ -122,15 +187,17 @@ class RegressionReport:
         "deltas",
         "threshold",
         "min_time",
+        "noise",
         "missing_in_current",
         "missing_in_baseline",
     )
 
     def __init__(self, deltas, threshold, min_time,
-                 missing_in_current, missing_in_baseline):
+                 missing_in_current, missing_in_baseline, noise=0.0):
         self.deltas = deltas
         self.threshold = threshold
         self.min_time = min_time
+        self.noise = noise
         self.missing_in_current = missing_in_current
         self.missing_in_baseline = missing_in_baseline
 
@@ -150,10 +217,17 @@ class RegressionReport:
         if not self.deltas and not self.missing_in_current:
             return "bench-diff: no shared metrics to compare"
         width = max((len(d.key) for d in self.deltas), default=6)
-        lines = [
+        header = (
             f"bench-diff: {len(self.deltas)} shared metrics, threshold "
-            f"{self.threshold:.0%}, timing floor {self.min_time * 1e3:g} ms",
-        ]
+            f"{self.threshold:.0%}, timing floor {self.min_time * 1e3:g} ms"
+        )
+        if self.noise:
+            effective = (1.0 + self.threshold) * (1.0 + self.noise) - 1.0
+            header += (
+                f", measured noise {self.noise:.0%} "
+                f"(effective timing gate +{effective:.0%})"
+            )
+        lines = [header]
         for delta in sorted(
             self.deltas, key=lambda d: (not d.regressed, d.key)
         ):
@@ -201,11 +275,12 @@ def compare_metrics(
     current: dict,
     threshold: float = DEFAULT_THRESHOLD,
     min_time: float = DEFAULT_MIN_TIME,
+    noise: float = 0.0,
 ) -> RegressionReport:
     """Compare two flattened metric dicts (see :func:`flatten_metrics`)."""
     shared = sorted(set(baseline) & set(current))
     deltas = [
-        Delta(key, baseline[key], current[key], threshold, min_time)
+        Delta(key, baseline[key], current[key], threshold, min_time, noise)
         for key in shared
     ]
     return RegressionReport(
@@ -214,6 +289,7 @@ def compare_metrics(
         min_time,
         missing_in_current=sorted(set(baseline) - set(current)),
         missing_in_baseline=sorted(set(current) - set(baseline)),
+        noise=noise,
     )
 
 
@@ -222,11 +298,22 @@ def compare_files(
     current_path,
     threshold: float = DEFAULT_THRESHOLD,
     min_time: float = DEFAULT_MIN_TIME,
+    noise: "float | None" = None,
 ) -> RegressionReport:
-    """File-level convenience used by ``repro bench-diff``."""
+    """File-level convenience used by ``repro bench-diff``.
+
+    ``noise=None`` (the default) reads the measured noise out of the
+    two documents and gates on the larger of the two; pass an explicit
+    float (e.g. from ``--noise``) to override, 0.0 to disable.
+    """
+    base_doc = json.loads(pathlib.Path(baseline_path).read_text())
+    cur_doc = json.loads(pathlib.Path(current_path).read_text())
+    if noise is None:
+        noise = max(document_noise(base_doc), document_noise(cur_doc))
     return compare_metrics(
-        load_metrics(baseline_path),
-        load_metrics(current_path),
+        flatten_metrics(base_doc),
+        flatten_metrics(cur_doc),
         threshold=threshold,
         min_time=min_time,
+        noise=noise,
     )

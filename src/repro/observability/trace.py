@@ -71,6 +71,7 @@ class NullTracer:
     enabled = False
     events: tuple = ()
     counters: dict = {}
+    trace_id = None
 
     def span(self, name, cat="phase", **args):
         return _NULL_SPAN
@@ -79,6 +80,9 @@ class NullTracer:
         pass
 
     def add(self, name, value=1) -> None:
+        pass
+
+    def instant(self, name, cat="mark", **args) -> None:
         pass
 
     def absorb(self, snapshot) -> None:
@@ -148,7 +152,15 @@ class Tracer:
     and — on Linux — comparable across the processes of one pool run).
     """
 
-    __slots__ = ("events", "counters", "_clock", "_pid", "_tid", "_depth")
+    __slots__ = (
+        "events",
+        "counters",
+        "trace_id",
+        "_clock",
+        "_pid",
+        "_tid",
+        "_depth",
+    )
 
     enabled = True
 
@@ -158,6 +170,11 @@ class Tracer:
         self.events: list = []
         #: accumulated name -> total from :meth:`add` and :meth:`counter`.
         self.counters: dict = {}
+        #: request-scoped correlation id, stamped by the service and
+        #: threaded through pool dispatch so worker-side spans can be
+        #: tied back to the request that caused them.  ``None`` outside
+        #: a service request.
+        self.trace_id: "str | None" = None
         self._clock = clock
         self._pid = os.getpid()
         self._tid = tid

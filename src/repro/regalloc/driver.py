@@ -863,10 +863,16 @@ def _parallel_results(module, functions, target, method, kwargs, jobs,
              for function, text, key in batch]
             for batch in batches
         ]
+    # The trace flag doubles as correlation: a service-stamped trace id
+    # rides along so worker-lane spans carry the request that caused
+    # them (workers only truth-test it, so the bool behavior is intact).
+    trace_flag = tracer.enabled and (
+        getattr(tracer, "trace_id", None) or True
+    )
     pending = [
         (batch,
          pool.submit([text for _f, text, _k, _c in batch], target, method,
-                     kwargs, tracer.enabled))
+                     kwargs, trace_flag))
         for batch in batches
     ]
     if checkpoint is not None and pending:

@@ -209,12 +209,21 @@ def _allocate_one(wire_text, target, method, kwargs, trace):
     * ``("pickle", blob, snapshot)`` — the ``paranoia`` transport: the
       retained interference graphs share vreg identities with the
       function and assignment, so all four travel in one blob.
+
+    ``trace`` is falsy (no tracing), ``True``, or a request trace-id
+    string: the service threads its per-request id through dispatch so
+    worker-lane spans in the merged trace carry the id that caused them.
     """
     from repro.observability.trace import Tracer
     from repro.regalloc.driver import allocate_function
 
     function = decode_function(wire_text)
-    tracer = Tracer() if trace else None
+    tracer = None
+    if trace:
+        tracer = Tracer()
+        if isinstance(trace, str):
+            tracer.trace_id = trace
+            tracer.instant("trace-id", cat="meta", trace_id=trace)
     result = allocate_function(function, target, method, tracer=tracer,
                                **kwargs)
     snapshot = tracer.snapshot() if trace else None
@@ -512,7 +521,8 @@ class WorkerPool:
 
     def submit(self, wire_texts, target, method, kwargs, trace):
         """Dispatch one batch; returns the ``AsyncResult`` whose value
-        is the worker's list of response tuples."""
+        is the worker's list of response tuples.  ``trace`` may be a
+        bool or a request trace-id string (see :func:`_allocate_one`)."""
         pool = self._ensure()
         self.batches += 1
         self.dispatches += len(wire_texts)

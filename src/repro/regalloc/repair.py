@@ -139,12 +139,35 @@ def _speculate_chunk(pairs, colors, k, color_order):
     return out
 
 
-def _speculate_groups(groups, colors, k, color_order):
+def _speculate_groups(groups, colors, k, color_order, trace=None):
     """Pool entry point: speculate several chunks in one dispatch, so a
     round ships the (large) ``colors`` snapshot once per worker task
-    instead of once per chunk."""
-    return [_speculate_chunk(chunk, colors, k, color_order)
-            for chunk in groups]
+    instead of once per chunk.
+
+    Returns ``(results, snapshot)``.  ``trace`` is ``None`` on the
+    untraced hot path (snapshot ``None``, zero overhead); when the
+    parent's tracer is live it is a dict of span args (round, trace id)
+    and the worker records a ``repair-chunks`` span in its own process
+    lane, shipping ``tracer.snapshot()`` back for the parent to absorb.
+    Tracing never touches the chunk results — the speculated colors are
+    a pure function of ``(groups, colors, k, color_order)`` either way.
+    """
+    if trace is None:
+        return ([_speculate_chunk(chunk, colors, k, color_order)
+                 for chunk in groups], None)
+    from repro.observability.trace import Tracer
+
+    tracer = Tracer()
+    tracer.trace_id = trace.get("trace_id")
+    span_args = {key: value for key, value in trace.items()
+                 if value is not None}
+    with tracer.span("repair-chunks", cat="phase",
+                     chunks=len(groups),
+                     vertices=sum(len(chunk) for chunk in groups),
+                     **span_args):
+        results = [_speculate_chunk(chunk, colors, k, color_order)
+                   for chunk in groups]
+    return (results, tracer.snapshot())
 
 
 def _auto_jobs() -> int:
@@ -241,7 +264,8 @@ def repair_color(adjacency, k, *, precolored=0, order=None,
             if use_pool:
                 parallel_rounds += 1
                 speculated = _dispatch_chunks(pool, chunks, adjacency,
-                                              colors, k, color_order, jobs)
+                                              colors, k, color_order, jobs,
+                                              tracer=tracer, round_no=rounds)
             else:
                 speculated = [
                     _speculate_chunk(
@@ -313,7 +337,7 @@ def repair_color(adjacency, k, *, precolored=0, order=None,
 
 
 def _dispatch_chunks(pool, chunks, adjacency, colors, k, color_order,
-                     jobs):
+                     jobs, tracer=None, round_no=0):
     """Run one round's chunks on the worker pool.
 
     Chunks are grouped contiguously into at most ``2 * jobs`` tasks so
@@ -321,7 +345,16 @@ def _dispatch_chunks(pool, chunks, adjacency, colors, k, color_order,
     once per task, not once per chunk.  Grouping is pure packaging —
     each chunk is still speculated independently — so the flattened
     result is identical to the serial path.
+
+    With a live ``tracer``, each task carries a trace context and ships
+    its worker-lane span snapshot back, so the merged trace shows this
+    round's chunk work per worker pid next to the parent's
+    ``repair-round`` span.
     """
+    tracer = coerce_tracer(tracer)
+    trace_ctx = None
+    if tracer.enabled:
+        trace_ctx = {"round": round_no, "trace_id": tracer.trace_id}
     tasks = max(1, min(len(chunks), jobs * 2))
     per_task = (len(chunks) + tasks - 1) // tasks
     groups = [chunks[start:start + per_task]
@@ -332,10 +365,13 @@ def _dispatch_chunks(pool, chunks, adjacency, colors, k, color_order,
                    for chunk in group]
         pending.append(
             pool.submit_call(_speculate_groups,
-                             (payload, colors, k, color_order)))
+                             (payload, colors, k, color_order, trace_ctx)))
     speculated = []
     for handle in pending:
-        speculated.extend(handle.get())
+        results, snapshot = handle.get()
+        speculated.extend(results)
+        if snapshot is not None:
+            tracer.absorb(snapshot)
     return speculated
 
 

@@ -16,6 +16,11 @@ registry fire probabilistically, and three properties are asserted:
 3. **Bounded tail latency.**  With the breaker shedding fast, p99 of
    *answered* requests must stay under a budget proportional to the
    request deadline — chaos may slow the service down, not wedge it.
+4. **Honest telemetry.**  After the storm the harness scrapes the
+   server's own ``/metrics`` and cross-checks the server-side e2e
+   histogram p99 against the client-side sample; gross disagreement
+   (beyond the histogram's bucket resolution with generous slack)
+   means the production telemetry is lying and fails the run.
 
 The harness runs everything in one process (server on a real localhost
 socket, clients as asyncio tasks) so it is deterministic under a seed
@@ -32,6 +37,7 @@ import time
 
 from repro.frontend import compile_source
 from repro.machine import rt_pc
+from repro.observability.hist import HIST_BASE
 from repro.regalloc import allocate_module
 from repro.regalloc.pool import active_pools
 import json
@@ -41,7 +47,7 @@ from repro.service.protocol import encode_message
 from repro.service.server import AllocationService, ServiceConfig
 
 __all__ = ["ChaosReport", "run_chaos", "request_over_socket",
-           "CHAOS_WORKLOADS", "probe_service_fault"]
+           "scrape_metrics", "CHAOS_WORKLOADS", "probe_service_fault"]
 
 #: Small named programs the request stream draws from.  Two of them
 #: spill on the default chaos target so degraded responses actually
@@ -123,6 +129,10 @@ class ChaosReport:
         self.injected = {}         # fault name -> count
         self.leaked_workers = []
         self.service = {}          # final service metrics section
+        #: the server's own latency-histogram summaries, scraped from
+        #: ``/metrics`` right after the storm drains (before recovery
+        #: traffic) so the population matches ``latencies``.
+        self.server_latency = {}
         self.duration = 0.0
         #: the exact storm parameters (requests, seed, fault rates, …)
         #: — enough to replay this run bit-for-bit.
@@ -135,6 +145,14 @@ class ChaosReport:
         ordered = sorted(self.latencies)
         return ordered[min(len(ordered) - 1,
                            int(0.99 * len(ordered)))]
+
+    @property
+    def server_p99(self) -> float:
+        """The server's own e2e p99 as its histogram saw it (0.0 when
+        the ``/metrics`` scrape failed or recorded nothing)."""
+        summary = (self.server_latency or {}).get("e2e") or {}
+        value = summary.get("p99")
+        return float(value) if isinstance(value, (int, float)) else 0.0
 
     @property
     def ok(self) -> bool:
@@ -152,6 +170,8 @@ class ChaosReport:
             "errors": self.errors,
             "injected": dict(sorted(self.injected.items())),
             "p99": round(self.p99, 4),
+            "server_p99": round(self.server_p99, 4),
+            "server_latency": self.server_latency,
             "duration": round(self.duration, 3),
             "leaked_workers": self.leaked_workers,
             "service": self.service,
@@ -169,7 +189,8 @@ class ChaosReport:
             f"chaos {verdict}: {self.requests} requests in "
             f"{self.duration:.1f}s — {self.served} served "
             f"({self.degraded} degraded), {self.rejected} rejected, "
-            f"{self.disconnected} disconnects, p99 {self.p99 * 1000:.0f}ms",
+            f"{self.disconnected} disconnects, p99 {self.p99 * 1000:.0f}ms "
+            f"(server-side {self.server_p99 * 1000:.0f}ms)",
             f"  injected: {injected}",
         ]
         for request_id, why in self.wrong_answers:
@@ -216,6 +237,78 @@ async def request_over_socket(host, port, message: dict,
             await writer.wait_closed()
         except (ConnectionResetError, BrokenPipeError, OSError):
             pass
+
+
+async def scrape_metrics(host, port, timeout: float = 5.0) -> dict:
+    """One HTTP/1.0 ``GET /metrics`` against a live server; returns the
+    decoded repro-metrics/1 document.  Raises ``ValueError`` on a
+    non-200 answer or an unparsable body, ``OSError``/``TimeoutError``
+    on transport trouble — callers decide how loud to be."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(b"GET /metrics HTTP/1.0\r\n\r\n")
+        await writer.drain()
+        raw = await asyncio.wait_for(reader.read(), timeout)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status_line = head.split(b"\r\n", 1)[0].decode("ascii", "replace")
+    if " 200 " not in status_line:
+        raise ValueError(f"/metrics answered {status_line!r}")
+    return json.loads(body)
+
+
+#: Quantile agreement is only asserted once both sides have a
+#: statistically meaningful sample.
+_P99_MIN_SAMPLES = 8
+#: Gross-divergence gate for *every* storm: the log-histogram's bucket
+#: resolution is HIST_BASE (~1.19x); two buckets of slop either way
+#: plus fixed slack leaves room for queueing skew between the client's
+#: and the server's measurement points, while still catching a
+#: histogram that is off by an order of magnitude.
+_P99_GROSS_RATIO = HIST_BASE ** 4
+_P99_GROSS_SLACK = 0.05
+
+
+def _cross_validate_p99(report: "ChaosReport") -> None:
+    """Property 4: the p99 an operator would read off ``/metrics`` must
+    agree with the p99 the clients actually experienced."""
+    summary = (report.server_latency or {}).get("e2e") or {}
+    if not summary:
+        report.errors.append(
+            "/metrics reported no e2e latency histogram — server-side "
+            "telemetry is missing")
+        return
+    if summary.get("count", 0) < _P99_MIN_SAMPLES \
+            or len(report.latencies) < _P99_MIN_SAMPLES:
+        return
+    server_p99 = report.server_p99
+    client_p99 = report.p99
+    if report.injected:
+        # Under injected faults the client legitimately waits on
+        # requests the server never answers (hung workers, shed
+        # retries, disconnects), so client p99 may exceed server p99
+        # by any amount.  The reverse direction stays suspicious in
+        # every storm: the server claiming a worse tail than any
+        # client experienced means the histogram is lying.
+        if server_p99 > client_p99 * _P99_GROSS_RATIO + _P99_GROSS_SLACK:
+            report.errors.append(
+                f"server-side p99 {server_p99 * 1000:.0f}ms exceeds "
+                f"client-side p99 {client_p99 * 1000:.0f}ms "
+                f"(tolerance x{_P99_GROSS_RATIO:.2f} + "
+                f"{_P99_GROSS_SLACK * 1000:.0f}ms)")
+        return
+    low, high = sorted((server_p99, client_p99))
+    if high > low * _P99_GROSS_RATIO + _P99_GROSS_SLACK:
+        report.errors.append(
+            f"server-side p99 {server_p99 * 1000:.0f}ms disagrees "
+            f"grossly with client-side p99 {client_p99 * 1000:.0f}ms "
+            f"(tolerance x{_P99_GROSS_RATIO:.2f} + "
+            f"{_P99_GROSS_SLACK * 1000:.0f}ms)")
 
 
 # ----------------------------------------------------------------------
@@ -411,6 +504,19 @@ def run_chaos(requests: int = 40, seed: int = 0, fault_rates=None,
             began = time.monotonic()
             await asyncio.gather(*(gated(entry) for entry in plan))
             report.duration = time.monotonic() - began
+            # Property 4: scrape the server's own histograms *now*,
+            # before recovery traffic dilutes the e2e population, and
+            # cross-check its p99 against the client-side sample.
+            try:
+                metrics = await scrape_metrics("127.0.0.1", service.port)
+            except (OSError, ValueError, asyncio.TimeoutError) as error:
+                report.errors.append(
+                    f"/metrics scrape failed after the storm: {error!r}")
+                metrics = {}
+            report.server_latency = (
+                metrics.get("service", {}).get("latency", {}) or {}
+            )
+            _cross_validate_p99(report)
             # The server must still be *healthy* after the storm: one
             # clean request has to succeed (possibly after the breaker's
             # cooldown admits its trial).

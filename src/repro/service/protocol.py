@@ -10,10 +10,13 @@ One TCP port, two dialects, chosen per connection by the first bytes:
 * **HTTP/1.0 probes** — a line starting with ``GET `` is treated as a
   minimal HTTP request for the operational endpoints ``/healthz``
   (liveness), ``/readyz`` (readiness: accepting, breaker not open,
-  queue not full), and ``/metrics`` (the repro-metrics/1 document with
-  the ``service`` section).  The response is a complete HTTP/1.0
-  message and the connection closes — enough for curl, a load balancer,
-  or a Kubernetes probe, with zero dependencies.
+  queue not full), ``/metrics`` (the repro-metrics/1 document with the
+  ``service`` section, including latency-histogram summaries;
+  ``?format=prom`` for Prometheus text exposition), and ``/events``
+  (the bounded event ring as repro-events/1 NDJSON; ``?since=SEQ`` to
+  resume a cursor).  The response is a complete HTTP/1.0 message and
+  the connection closes — enough for curl, a load balancer, or a
+  Kubernetes probe, with zero dependencies.
 
 Status codes follow HTTP semantics so rejection classes are explicit
 and machine-readable:
@@ -114,11 +117,12 @@ class AllocateRequest:
     """One validated ``allocate`` request, ready for the server."""
 
     __slots__ = ("id", "source", "wire", "name", "method", "int_regs",
-                 "float_regs", "deadline", "validate", "fault",
+                 "float_regs", "deadline", "validate", "trace", "fault",
                  "fault_args")
 
     def __init__(self, id, source, wire, name, method, int_regs,
-                 float_regs, deadline, validate, fault, fault_args):
+                 float_regs, deadline, validate, fault, fault_args,
+                 trace=False):
         self.id = id
         self.source = source
         self.wire = wire
@@ -128,6 +132,10 @@ class AllocateRequest:
         self.float_regs = float_regs
         self.deadline = deadline
         self.validate = validate
+        #: ``"trace": true`` — allocate under a live per-request tracer
+        #: and return the merged Chrome trace in the response.  Opt-in
+        #: because a live tracer bypasses the response cache.
+        self.trace = trace
         #: chaos-only: a registered service/worker fault to inject.
         self.fault = fault
         self.fault_args = fault_args
@@ -195,6 +203,7 @@ def parse_allocate_request(message: dict, default_deadline: float,
         deadline=_positive_number(message, "deadline", default_deadline,
                                   maximum=max_deadline),
         validate=bool(message.get("validate", False)),
+        trace=bool(message.get("trace", False)),
         fault=fault,
         fault_args=fault_args,
     )

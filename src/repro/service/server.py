@@ -41,9 +41,25 @@ hardening layers, outermost first:
    teardown, so no warm worker outlives the daemon.
 
 Operational surface: ``GET /healthz`` (liveness), ``GET /readyz``
-(readiness: accepting ∧ breaker not open ∧ queue not full), and
-``GET /metrics`` (cumulative ``service`` counters plus pool/cache
-diagnostics) answer plain HTTP on the same port.
+(readiness: accepting ∧ breaker not open ∧ queue not full),
+``GET /metrics`` (cumulative ``service`` counters, pool/cache
+diagnostics, and server-side latency histograms — queue wait, pool
+dispatch, end-to-end — as p50/p95/p99 summaries; append
+``?format=prom`` for Prometheus text exposition), and ``GET /events``
+(the bounded structured event ring as ``repro-events/1`` NDJSON:
+admissions, sheds, breaker transitions, degrades, journal replays,
+pool restarts, repair-round summaries; ``?since=SEQ`` resumes a
+cursor) answer plain HTTP on the same port.
+
+Per-request tracing is opt-in: a request carrying ``"trace": true`` is
+allocated under a live :class:`~repro.observability.trace.Tracer`
+stamped with the request's trace id, and the reply carries the merged
+Chrome trace (service span → pool worker lanes → repair rounds) under
+``"trace"``.  Every reply — traced or not — carries its ``trace_id``.
+Traced requests bypass the response cache (a cached replay would drop
+worker spans), which is exactly why tracing is per-request and not a
+server mode; ``ServiceConfig(trace_dir=...)`` additionally spools each
+requested trace to ``trace-<id>.json``.
 
 Chaos hooks (the ``fault`` request field) are gated behind
 ``ServiceConfig(allow_faults=True)``: only the chaos harness and the
@@ -58,6 +74,7 @@ import asyncio
 import concurrent.futures
 import contextlib
 import itertools
+import os
 import pathlib
 import random
 import time
@@ -67,6 +84,13 @@ from repro.frontend import compile_source
 from repro.ir.wire import decode_module
 from repro.machine import rt_pc
 from repro.observability import Tracer
+from repro.observability.events import EventLog
+from repro.observability.export import chrome_trace_events, write_chrome_trace
+from repro.observability.hist import (
+    PROMETHEUS_CONTENT_TYPE,
+    LogHistogram,
+    prometheus_text,
+)
 from repro.regalloc import allocate_module
 from repro.regalloc.pool import (
     RESPONSE_CACHE,
@@ -103,7 +127,7 @@ class ServiceConfig:
         "host", "port", "concurrency", "queue_limit", "default_deadline",
         "max_deadline", "breaker_threshold", "breaker_cooldown", "jobs",
         "policy", "retries", "bundle_dir", "cache_dir", "optimize",
-        "allow_faults", "journal_path",
+        "allow_faults", "journal_path", "trace_dir",
     )
 
     def __init__(self, host="127.0.0.1", port=0, concurrency=2,
@@ -111,7 +135,7 @@ class ServiceConfig:
                  breaker_threshold=5, breaker_cooldown=2.0, jobs=2,
                  policy="degrade-to-naive", retries=1, bundle_dir=None,
                  cache_dir=None, optimize=False, allow_faults=False,
-                 journal_path=None):
+                 journal_path=None, trace_dir=None):
         self.host = host
         #: 0 asks the OS for an ephemeral port; the bound port is on
         #: :attr:`AllocationService.port` after :meth:`~AllocationService.start`.
@@ -139,6 +163,9 @@ class ServiceConfig:
         #: answered after; a restarted server replays the unfinished
         #: ones before reporting ready.
         self.journal_path = journal_path
+        #: spool every client-requested per-request trace to
+        #: ``<trace_dir>/trace-<id>.json`` (``repro serve --trace-dir``).
+        self.trace_dir = trace_dir
 
 
 class AllocationService:
@@ -147,10 +174,29 @@ class AllocationService:
     def __init__(self, config: ServiceConfig = None, tracer=None):
         self.config = config or ServiceConfig()
         self.tracer = tracer if tracer is not None else Tracer()
+        #: structured event ring behind ``GET /events`` / ``repro tail``.
+        self.events = EventLog()
+        #: always-on latency histograms behind ``/metrics``:
+        #: ``queue_wait`` (received → execution start), ``dispatch``
+        #: (blocking allocation call), ``e2e`` (received → reply, on
+        #: *every* allocate reply path — the population a client's own
+        #: tail measurement sees, which is what makes server p99 and
+        #: chaos-harness p99 comparable).
+        self.hists = {
+            "queue_wait": LogHistogram(),
+            "dispatch": LogHistogram(),
+            "e2e": LogHistogram(),
+        }
+        #: allocator counters absorbed from traced requests' tracers
+        #: (``repair.finalized``/``repair.conflicts`` per round, etc.).
+        #: Untraced requests run with no tracer, so these accumulate
+        #: only from requests that asked for tracing.
+        self.allocator_counters: dict = {}
+        self._trace_seq = itertools.count(1)
         self.breaker = CircuitBreaker(
             threshold=self.config.breaker_threshold,
             cooldown=self.config.breaker_cooldown,
-            on_half_open=restart_pools,
+            on_half_open=self._half_open_restart,
         )
         self.accepting = False
         self.port = None
@@ -229,6 +275,8 @@ class AllocationService:
                 # answering: replay them (the disk cache makes the redo
                 # cheap and the answers land back in it), and stay
                 # not-ready until the backlog is drained.
+                self.events.emit("journal-replay", phase="start",
+                                 pending=len(backlog))
                 self._recovery_done = False
                 self._recovery_task = asyncio.ensure_future(
                     self._replay_backlog(backlog)
@@ -362,7 +410,20 @@ class AllocationService:
         return False
 
     async def _handle_allocate(self, message: dict, received: float) -> dict:
+        """Answer one allocate request, stamping the trace id and
+        recording end-to-end latency on **every** reply path — rejects
+        included — so the server-side ``e2e`` histogram covers the same
+        request population a client-side tail measurement does."""
         self.counters["requests"] += 1
+        trace_id = f"{os.getpid():x}-{next(self._trace_seq)}"
+        reply = await self._allocate_reply(message, received, trace_id)
+        if isinstance(reply, dict):
+            reply.setdefault("trace_id", trace_id)
+        self.hists["e2e"].record(max(time.monotonic() - received, 0.0))
+        return reply
+
+    async def _allocate_reply(self, message: dict, received: float,
+                              trace_id: str) -> dict:
         request_id = message.get("id")
         try:
             request = parse_allocate_request(
@@ -388,24 +449,56 @@ class AllocationService:
                                   reason="shutdown")
         if self._admitted >= self.config.concurrency + self.config.queue_limit:
             self.counters["shed"] += 1
+            self.events.emit(
+                "shed", trace_id=trace_id, id=request_id,
+                in_flight=self._admitted,
+                queue_limit=self.config.queue_limit)
             return error_response(
                 request_id, 429, "queue full, request shed",
                 reason="shed", queue_limit=self.config.queue_limit)
         # Layer 3: circuit breaker.
-        if not self.breaker.allow():
+        if not self._breaker_call("allow"):
             self.counters["breaker_rejected"] += 1
             return error_response(
                 request_id, 503, "circuit breaker open",
                 reason="breaker_open",
                 retry_after=self.config.breaker_cooldown)
         self._admitted += 1
+        self.events.emit(
+            "admission", trace_id=trace_id, id=request_id,
+            method=request.method, deadline=request.deadline,
+            traced=request.trace, in_flight=self._admitted)
         jid = self._journal_request(message, request)
         try:
-            result = await self._execute(request, received)
+            result = await self._execute(request, received, trace_id)
             self._journal_outcome(jid, result)
             return result
         finally:
             self._admitted -= 1
+
+    # -- breaker transitions as events ---------------------------------
+
+    def _breaker_call(self, method_name: str):
+        """Invoke one breaker method, turning any state transition it
+        causes into a ``breaker`` event — transitions happen inside
+        ``allow``/``record_failure``/``record_success``, so this wrapper
+        is the one place they all become visible."""
+        before = self.breaker.state
+        result = getattr(self.breaker, method_name)()
+        after = self.breaker.state
+        if after != before:
+            self.events.emit(
+                "breaker", **{"from": before, "to": after,
+                              "consecutive_failures":
+                                  self.breaker.consecutive_failures,
+                              "trips": self.breaker.trips})
+        return result
+
+    def _half_open_restart(self) -> None:
+        """The breaker's open → half-open hook: restart the worker pools
+        so the trial request runs on fresh processes, and say so."""
+        self.events.emit("pool-restart", reason="breaker_half_open")
+        restart_pools()
 
     # -- request journal (durability) ----------------------------------
 
@@ -471,8 +564,13 @@ class AllocationService:
                     })
         finally:
             self._recovery_done = True
+            self.events.emit(
+                "journal-replay", phase="done",
+                recovered=self._recovery["recovered"],
+                failed=self._recovery["recovery_failed"])
 
-    async def _execute(self, request, received: float) -> dict:
+    async def _execute(self, request, received: float,
+                       trace_id: str = None) -> dict:
         """Layers 2 and 4: deadline budget and degrading execution."""
         fault_spec = None
         if request.fault is not None:
@@ -482,6 +580,8 @@ class AllocationService:
                 self.counters["bad_requests"] += 1
                 return error_response(request.id, error.status, str(error))
         async with self._semaphore:
+            self.hists["queue_wait"].record(
+                max(time.monotonic() - received, 0.0))
             if fault_spec is not None and \
                     fault_spec.get("behavior") == "slow_request":
                 # The injected stall burns this request's own deadline
@@ -490,21 +590,22 @@ class AllocationService:
             remaining = request.deadline - (time.monotonic() - received)
             if remaining <= 0:
                 self.counters["deadline_exceeded"] += 1
-                self.breaker.record_failure()
+                self._breaker_call("record_failure")
                 return error_response(
                     request.id, 504, "deadline exhausted while queued",
                     reason="deadline", deadline=request.deadline)
             loop = asyncio.get_running_loop()
+            dispatched = time.monotonic()
             try:
                 payload = await asyncio.wait_for(
                     loop.run_in_executor(
                         self._executor, self._allocate_blocking,
-                        request, remaining, fault_spec),
+                        request, remaining, fault_spec, trace_id),
                     timeout=remaining * 1.5,
                 )
             except asyncio.TimeoutError:
                 self.counters["deadline_exceeded"] += 1
-                self.breaker.record_failure()
+                self._breaker_call("record_failure")
                 return error_response(
                     request.id, 504,
                     "deadline exceeded (backstop)", reason="deadline",
@@ -514,31 +615,56 @@ class AllocationService:
                 return error_response(request.id, error.status, str(error))
             except ReproError as error:
                 self.counters["failed"] += 1
-                self.breaker.record_failure()
+                self._breaker_call("record_failure")
                 return error_response(
                     request.id, 500, f"allocation failed: {error}",
                     reason="allocation", error_type=type(error).__name__)
             except Exception as error:  # noqa: BLE001 — server must answer
                 self.counters["failed"] += 1
-                self.breaker.record_failure()
+                self._breaker_call("record_failure")
                 return error_response(
                     request.id, 500, f"internal error: {error!r}",
                     reason="internal", error_type=type(error).__name__)
+            finally:
+                self.hists["dispatch"].record(
+                    max(time.monotonic() - dispatched, 0.0))
         if payload.get("degraded"):
             self.counters["degraded"] += 1
             # The answer is correct (spill-everything) but the backend
             # failed to produce the real one: that is a breaker failure.
-            self.breaker.record_failure()
+            self._breaker_call("record_failure")
+            self.events.emit(
+                "degrade", trace_id=trace_id, id=request.id,
+                failures=len(payload.get("failures", ())))
         else:
-            self.breaker.record_success()
+            self._breaker_call("record_success")
         self.counters["served"] += 1
         return response(request.id, **payload)
 
     # -- the blocking allocation (executor thread) ---------------------
 
     def _allocate_blocking(self, request, budget: float,
-                           fault_spec) -> dict:
+                           fault_spec, trace_id: str = None) -> dict:
         started = time.monotonic()
+        tracer = None
+        span = contextlib.nullcontext()
+        if request.trace:
+            tracer = Tracer()
+            tracer.trace_id = trace_id
+            span = tracer.span("service:request", cat="service",
+                               trace_id=trace_id, method=request.method,
+                               function=request.name)
+        with span:
+            payload = self._allocate_traced(request, budget, fault_spec,
+                                            trace_id, tracer, started)
+        # The trace is exported only after the request span closes, so
+        # the spooled JSON always has balanced begin/end events.
+        if tracer is not None:
+            self._finish_trace(tracer, trace_id, payload)
+        return payload
+
+    def _allocate_traced(self, request, budget, fault_spec, trace_id,
+                         tracer, started) -> dict:
         module = self._build_module(request)
         target = rt_pc()
         if request.int_regs != 16:
@@ -571,11 +697,14 @@ class AllocationService:
         # budget: keep the pool's per-function watchdog tighter than the
         # request deadline so restarts happen *inside* the budget.
         kwargs.setdefault("timeout", max(0.05, remaining / n_functions))
-        # No per-request tracer: a live tracer disables the response
-        # cache (replays would drop worker spans), and the service wants
-        # the cache — its own counters cover the observability story.
+        # The default path runs with no per-request tracer: a live
+        # tracer disables the response cache (replays would drop worker
+        # spans), and the service wants the cache.  A request opting in
+        # with `"trace": true` pays exactly that — one cache bypass —
+        # for a merged service → worker → repair trace.
         allocation = allocate_module(
-            module, target, method, validate=request.validate, **kwargs,
+            module, target, method, validate=request.validate,
+            tracer=tracer, **kwargs,
         )
         degraded = [
             failure.as_dict() for failure in allocation.failures
@@ -600,6 +729,39 @@ class AllocationService:
         if allocation.parallel_fallback:
             payload["parallel_fallback"] = allocation.parallel_fallback
         return payload
+
+    def _finish_trace(self, tracer, trace_id, payload) -> None:
+        """Fold a traced request's tracer back into the service: absorb
+        allocator counters for ``/metrics``, summarize repair rounds as
+        an event, attach the Chrome trace to the reply, spool to
+        ``trace_dir`` when configured."""
+        for name, value in tracer.counters.items():
+            self.allocator_counters[name] = (
+                self.allocator_counters.get(name, 0) + value
+            )
+        rounds = sum(
+            1 for event in tracer.events
+            if event.get("ph") == "B" and event.get("name") == "repair-round"
+        )
+        repair = {
+            name.split(".", 1)[1]: value
+            for name, value in sorted(tracer.counters.items())
+            if name.startswith("repair.")
+        }
+        if rounds or repair:
+            self.events.emit("repair-rounds", trace_id=trace_id,
+                             rounds=rounds, **repair)
+        payload["trace"] = {
+            "traceEvents": chrome_trace_events(tracer),
+            "displayTimeUnit": "ms",
+        }
+        if self.config.trace_dir is not None:
+            with contextlib.suppress(OSError):
+                write_chrome_trace(
+                    tracer,
+                    pathlib.Path(self.config.trace_dir)
+                    / f"trace-{trace_id}.json",
+                )
 
     def _build_module(self, request):
         try:
@@ -668,6 +830,16 @@ class AllocationService:
                 time.monotonic() - self._started_at, 3)
         cache = RESPONSE_CACHE.stats()
         section["response_cache"] = cache
+        #: server-side latency summaries (p50/p95/p99, count, sum) per
+        #: operation — the live-telemetry block; bench-diff never gates
+        #: on these (the whole `service` section is a RUNTIME_SECTION).
+        section["latency"] = {
+            op: self.hists[op].summary() for op in sorted(self.hists)
+        }
+        if self.allocator_counters:
+            section["allocator"] = dict(sorted(
+                self.allocator_counters.items()))
+        section["events_seq"] = self.events.last_seq
         if self.config.journal_path is not None:
             section["journal"] = dict(
                 self._recovery,
@@ -692,15 +864,21 @@ class AllocationService:
             target = first_line.split()[1].decode("ascii", "replace")
         except IndexError:
             target = "/"
+        path, _, query = target.partition("?")
+        params = {}
+        for part in query.split("&"):
+            key, _, value = part.partition("=")
+            if key:
+                params[key] = value
         # Drain the (tiny) header block so the client's write succeeds.
         with contextlib.suppress(Exception):
             while True:
                 header = await asyncio.wait_for(reader.readline(), 1.0)
                 if header in (b"", b"\r\n", b"\n"):
                     break
-        if target == "/healthz":
+        if path == "/healthz":
             writer.write(http_response(200, "ok\n"))
-        elif target == "/readyz":
+        elif path == "/readyz":
             if self.ready():
                 writer.write(http_response(200, "ready\n"))
             else:
@@ -710,14 +888,49 @@ class AllocationService:
                           "accepting": self.accepting,
                           "recovering": not self._recovery_done,
                           "in_flight": self._admitted}))
-        elif target == "/metrics":
+        elif path == "/metrics":
+            if params.get("format") == "prom":
+                writer.write(http_response(
+                    200, self._prometheus_page(),
+                    content_type=PROMETHEUS_CONTENT_TYPE))
+            else:
+                writer.write(http_response(
+                    200, {"schema": "repro-metrics/1",
+                          "service": self.service_section()}))
+        elif path == "/events":
             writer.write(http_response(
-                200, {"schema": "repro-metrics/1",
-                      "service": self.service_section()}))
+                200, self._events_page(params),
+                content_type="application/x-ndjson"))
         else:
             writer.write(http_response(404, f"no route {target}\n"))
         with contextlib.suppress(Exception):
             await writer.drain()
+
+    def _prometheus_page(self) -> str:
+        """``/metrics?format=prom``: the latency histograms as summary
+        series plus every numeric service counter as a counter series."""
+        counters = {
+            "service": {
+                key: value
+                for key, value in self.service_section().items()
+                if key != "latency"
+            }
+        }
+        return prometheus_text(self.hists, counters, prefix="repro")
+
+    def _events_page(self, params: dict) -> str:
+        """``GET /events[?since=SEQ&limit=N&kind=K]`` as NDJSON."""
+
+        def _int(name):
+            try:
+                return int(params[name])
+            except (KeyError, ValueError):
+                return None
+
+        events = self.events.tail(
+            limit=_int("limit"), since=_int("since"),
+            kind=params.get("kind") or None)
+        return self.events.to_ndjson(events)
 
 
 def run_server(config: ServiceConfig, announce=None) -> int:

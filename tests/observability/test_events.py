@@ -1,0 +1,106 @@
+"""Tests for the bounded structured event ring: monotonic sequencing
+across eviction, cursor-based tailing, NDJSON round-trips (including a
+torn final line), and the human formatter."""
+
+import json
+
+from repro.observability.events import (
+    EVENTS_SCHEMA,
+    EventLog,
+    format_event,
+    parse_ndjson,
+)
+
+
+def ticking_clock(start=1000.0, step=0.5):
+    state = {"now": start - step}
+
+    def clock():
+        state["now"] += step
+        return state["now"]
+
+    return clock
+
+
+class TestEventLog:
+    def test_emit_stamps_schema_seq_and_fields(self):
+        log = EventLog(clock=ticking_clock())
+        record = log.emit("admission", trace_id="a-1", method="briggs")
+        assert record["schema"] == EVENTS_SCHEMA
+        assert record["seq"] == 1
+        assert record["kind"] == "admission"
+        assert record["trace_id"] == "a-1"
+        assert log.last_seq == 1
+
+    def test_ring_is_bounded_but_seq_keeps_counting(self):
+        log = EventLog(limit=4)
+        for index in range(10):
+            log.emit("tick", index=index)
+        assert len(log) == 4
+        assert log.last_seq == 10
+        seqs = [record["seq"] for record in log.tail()]
+        assert seqs == [7, 8, 9, 10]
+
+    def test_tail_since_is_an_exclusive_cursor(self):
+        """Polling with since=<last seen> must yield each event exactly
+        once — the contract `repro tail --follow` relies on."""
+        log = EventLog()
+        for index in range(6):
+            log.emit("tick", index=index)
+        first = log.tail(since=0, limit=3)
+        cursor = first[-1]["seq"]
+        second = log.tail(since=cursor)
+        seen = [record["index"] for record in first + second]
+        assert seen == sorted(set(seen))
+
+    def test_tail_filters_by_kind_and_limit(self):
+        log = EventLog()
+        log.emit("shed")
+        log.emit("breaker", to="open")
+        log.emit("shed")
+        sheds = log.tail(kind="shed")
+        assert [record["kind"] for record in sheds] == ["shed", "shed"]
+        assert len(log.tail(limit=1)) == 1
+
+    def test_fields_cannot_shadow_header_keys(self):
+        log = EventLog()
+        record = log.emit("weird", seq=999, ts=-5, schema="fake",
+                          note="kept")
+        assert record["seq"] == 1
+        assert record["schema"] == EVENTS_SCHEMA
+        assert record["ts"] != -5
+        assert record["note"] == "kept"
+
+
+class TestNdjson:
+    def test_round_trip(self):
+        log = EventLog(clock=ticking_clock())
+        log.emit("admission", trace_id="a-1")
+        log.emit("degrade", failures=2)
+        text = log.to_ndjson()
+        records = parse_ndjson(text)
+        assert [record["kind"] for record in records] == \
+            ["admission", "degrade"]
+        for line in text.strip().splitlines():
+            json.loads(line)  # every line is standalone JSON
+
+    def test_torn_final_line_is_dropped_not_fatal(self):
+        log = EventLog()
+        log.emit("one")
+        log.emit("two")
+        text = log.to_ndjson()
+        torn = text[: len(text) - 8]  # cut into the last record
+        records = parse_ndjson(torn)
+        assert [record["kind"] for record in records] == ["one"]
+
+
+class TestFormat:
+    def test_format_event_is_one_line_with_fields(self):
+        log = EventLog(clock=ticking_clock(start=3600.0))
+        record = log.emit("breaker", **{"from": "closed", "to": "open"})
+        line = format_event(record)
+        assert "\n" not in line
+        assert "breaker" in line
+        assert "from=closed" in line
+        assert "to=open" in line
+        assert line.startswith(f"[{record['seq']}]")

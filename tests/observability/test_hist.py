@@ -1,0 +1,147 @@
+"""Tests for the log-bucketed streaming histogram: quantile accuracy
+within the geometric bucket resolution, merge/pickle round-trips, and
+the Prometheus text exposition with its validator."""
+
+import math
+import pickle
+import random
+
+import pytest
+
+from repro.observability.hist import (
+    HIST_BASE,
+    LogHistogram,
+    bucket_bounds,
+    bucket_index,
+    flatten_counters,
+    prometheus_text,
+    validate_prometheus_text,
+)
+
+
+def exact_quantile(samples, q):
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(q * (len(ordered) - 1)))]
+
+
+class TestBuckets:
+    def test_index_round_trips_through_bounds(self):
+        for value in (1e-6, 0.003, 0.5, 1.0, 7.3, 1e4):
+            low, high = bucket_bounds(bucket_index(value))
+            assert low <= value < high or math.isclose(value, high)
+
+    def test_adjacent_buckets_differ_by_the_base(self):
+        low0, high0 = bucket_bounds(0)
+        low1, _high1 = bucket_bounds(1)
+        assert math.isclose(high0, low1)
+        assert math.isclose(high0 / low0, HIST_BASE)
+
+
+class TestLogHistogram:
+    def test_empty_quantiles_are_zero(self):
+        hist = LogHistogram()
+        assert len(hist) == 0
+        assert hist.quantile(0.5) == 0.0
+        assert hist.summary()["count"] == 0
+
+    def test_quantiles_within_bucket_resolution(self):
+        """The headline guarantee: any quantile estimate is within one
+        geometric bucket (a factor of HIST_BASE) of the exact sample
+        quantile."""
+        rng = random.Random(7)
+        samples = [rng.uniform(0.0005, 0.5) for _ in range(2000)]
+        hist = LogHistogram()
+        for sample in samples:
+            hist.record(sample)
+        for q in (0.5, 0.9, 0.95, 0.99):
+            estimate = hist.quantile(q)
+            exact = exact_quantile(samples, q)
+            assert exact / HIST_BASE <= estimate <= exact * HIST_BASE, (
+                f"q={q}: estimate {estimate} vs exact {exact}"
+            )
+
+    def test_quantiles_clamped_to_observed_extremes(self):
+        hist = LogHistogram()
+        hist.record(0.010)
+        assert hist.quantile(0.0) == pytest.approx(0.010)
+        assert hist.quantile(1.0) == pytest.approx(0.010)
+
+    def test_zero_and_negative_values_land_in_the_zeros_bucket(self):
+        hist = LogHistogram()
+        hist.record(0.0)
+        hist.record(-1.0)
+        hist.record(0.5)
+        assert hist.zeros == 2
+        assert hist.count == 3
+        assert hist.quantile(0.0) == 0.0  # zeros rank first
+
+    def test_merge_equals_recording_everything_in_one(self):
+        rng = random.Random(11)
+        left, right, union = LogHistogram(), LogHistogram(), LogHistogram()
+        for _ in range(500):
+            value = rng.expovariate(20.0)
+            target = left if rng.random() < 0.5 else right
+            target.record(value)
+            union.record(value)
+        left.merge(right)
+        assert left.count == union.count
+        assert left.buckets == union.buckets
+        merged, direct = left.summary(), union.summary()
+        assert merged.pop("sum") == pytest.approx(direct.pop("sum"))
+        assert merged == direct
+
+    def test_dict_round_trip(self):
+        hist = LogHistogram()
+        for value in (0.001, 0.002, 0.0, 0.5):
+            hist.record(value)
+        clone = LogHistogram.from_dict(hist.to_dict())
+        assert clone.summary() == hist.summary()
+        assert clone.buckets == hist.buckets
+        assert clone.zeros == hist.zeros
+
+    def test_picklable_across_process_boundaries(self):
+        """The pool ships histograms between processes; plain-attr
+        objects must survive pickling bit-for-bit."""
+        hist = LogHistogram()
+        for value in (0.004, 0.018, 0.3):
+            hist.record(value)
+        clone = pickle.loads(pickle.dumps(hist))
+        assert clone.summary() == hist.summary()
+
+
+class TestPrometheus:
+    def build(self):
+        hist = LogHistogram()
+        for value in (0.001, 0.004, 0.020):
+            hist.record(value)
+        return {"e2e": hist}
+
+    def test_exposition_validates_and_carries_quantiles(self):
+        text = prometheus_text(self.build(), {"service": {"served": 3}})
+        stats = validate_prometheus_text(text)
+        assert stats["samples"] >= 5
+        assert 'repro_latency_seconds{op="e2e",quantile="0.5"}' in text
+        assert "repro_latency_seconds_count" in text
+        assert "repro_service_served 3" in text
+
+    def test_every_family_has_a_type_line(self):
+        text = prometheus_text(self.build())
+        families = [line.split()[2] for line in text.splitlines()
+                    if line.startswith("# TYPE")]
+        assert families  # at least the summary family
+        validate_prometheus_text(text)
+
+    def test_validator_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            validate_prometheus_text("this is { not = prometheus\n")
+
+    def test_flatten_counters_nests_and_drops_non_numeric(self):
+        flat = flatten_counters({
+            "service": {"served": 5, "nested": {"deep": 2}},
+            "label": "ignored",
+            "ready": True,
+        })
+        assert flat["service_served"] == 5
+        assert flat["service_nested_deep"] == 2
+        assert flat["ready"] == 1
+        assert "label" not in flat

@@ -1,13 +1,19 @@
-"""Tests for bench-diff: schema normalization, regression gating, and
-the CLI exit codes."""
+"""Tests for bench-diff: schema normalization, regression gating, the
+noise-aware timing gate, and the CLI exit codes."""
 
+import copy
 import json
+import pathlib
 
 import pytest
 
 from repro.cli import main
 from repro.observability import compare_metrics, flatten_metrics
-from repro.observability.regress import compare_files
+from repro.observability.regress import (
+    RUNTIME_SECTIONS,
+    compare_files,
+    document_noise,
+)
 
 
 def legacy_bench(**phases):
@@ -128,6 +134,135 @@ class TestGating:
         assert not report.ok
 
 
+class TestNoiseGate:
+    """The PR-10 fix for PR-9's false-flag problem: the timing gate
+    widens multiplicatively by measured machine noise, counts never do."""
+
+    def test_noise_forgives_environmental_drift(self):
+        """2x on a timing row regresses on a quiet machine but is
+        forgivable when the machine itself measured ±79% noise:
+        (1 + 0.25) * (1 + 0.79) = 2.24 > 2.0."""
+        assert not compare_metrics({"alloc": 0.010}, {"alloc": 0.020}).ok
+        assert compare_metrics({"alloc": 0.010}, {"alloc": 0.020},
+                               noise=0.79).ok
+
+    def test_real_slowdown_still_caught_through_noise(self):
+        report = compare_metrics({"alloc": 0.010}, {"alloc": 0.040},
+                                 noise=0.79)
+        assert not report.ok
+        assert [d.key for d in report.regressions] == ["alloc"]
+
+    def test_counts_never_get_noise_forgiveness(self):
+        """Spill counts are exact regardless of how noisy the clock is."""
+        base = flatten_metrics(metrics_doc(spilled=2))
+        new = flatten_metrics(metrics_doc(spilled=4))
+        assert not compare_metrics(base, new, noise=5.0).ok
+
+    def test_improvements_must_clear_the_noise_too(self):
+        """A symmetric gate: a 'speedup' within the noise band is not
+        reported as an improvement."""
+        calm = compare_metrics({"alloc": 0.010}, {"alloc": 0.0050},
+                               noise=0.79)
+        assert calm.ok and not calm.improvements
+        real = compare_metrics({"alloc": 0.010}, {"alloc": 0.0040},
+                               noise=0.79)
+        assert [d.key for d in real.improvements] == ["alloc"]
+
+    def test_render_reports_the_effective_gate(self):
+        rendered = compare_metrics({"alloc": 0.010}, {"alloc": 0.010},
+                                   noise=0.30).render()
+        assert "noise" in rendered
+
+    def test_document_noise_reads_the_probe_section(self):
+        assert document_noise({"noise": {"rel": 0.3}}) == 0.3
+        assert document_noise({}) == 0.0
+        assert document_noise({"noise": {"rel": "bogus"}}) == 0.0
+        assert document_noise({"noise": {"rel": -1.0}}) == 0.0
+
+    def test_compare_files_takes_the_larger_documented_noise(self, tmp_path):
+        base = tmp_path / "base.json"
+        new = tmp_path / "new.json"
+        base.write_text(json.dumps({
+            "schema": "repro-bench/1",
+            "phases": {"alloc": {"median_s": 0.010, "runs": 5}},
+            "noise": {"probe": "p", "rel": 0.05},
+        }))
+        new.write_text(json.dumps({
+            "schema": "repro-bench/1",
+            "phases": {"alloc": {"median_s": 0.020, "runs": 5}},
+            "noise": {"probe": "p", "rel": 0.79},
+        }))
+        assert compare_files(str(base), str(new)).ok
+        # An explicit noise value overrides the documents entirely.
+        assert not compare_files(str(base), str(new), noise=0.0).ok
+
+
+class TestTelemetryNeverGates:
+    """Satellite guarantee: runtime-telemetry sections riding along in a
+    metrics document are invisible to bench-diff, so a server that got
+    busier between runs can never fail the perf gate."""
+
+    def test_runtime_sections_produce_no_comparable_keys(self):
+        document = {
+            "schema": "repro-bench/1",
+            "phases": {"alloc": {"median_s": 0.010, "runs": 5}},
+        }
+        for section in RUNTIME_SECTIONS:
+            document[section] = {"latency": {"e2e": {"p99": 123.0}},
+                                 "served": 10**9}
+        flat = flatten_metrics(document)
+        assert set(flat) == {"alloc"}
+
+    def test_histogram_laden_documents_always_compare_clean(self):
+        quiet = {
+            "schema": "repro-bench/1",
+            "phases": {"alloc": {"median_s": 0.010, "runs": 5}},
+            "service": {"latency": {"e2e": {"p99": 0.001}}},
+        }
+        busy = copy.deepcopy(quiet)
+        busy["service"] = {"latency": {"e2e": {"p99": 9999.0}},
+                           "served": 10**6}
+        report = compare_metrics(flatten_metrics(quiet),
+                                 flatten_metrics(busy))
+        assert report.ok
+        assert not report.missing_in_baseline
+        assert not report.missing_in_current
+
+
+class TestControlData:
+    """The acceptance criterion against the real committed bench files:
+    PR-6 vs PR-9 red-flagged environmental rows on a quiet gate; the
+    measured-noise gate forgives exactly those while still catching an
+    injected 2x slowdown."""
+
+    repo = pathlib.Path(__file__).resolve().parents[2]
+
+    def paths(self):
+        base = self.repo / "BENCH_PR6.json"
+        current = self.repo / "BENCH_PR9.json"
+        if not base.exists() or not current.exists():
+            pytest.skip("committed bench control data not present")
+        return str(base), str(current)
+
+    def test_environmental_rows_forgiven_with_measured_noise(self):
+        base, current = self.paths()
+        red = compare_files(base, current)
+        assert not red.ok  # the historical false flag, reproduced
+        calm = compare_files(base, current, noise=0.79)
+        assert calm.ok, [d.key for d in calm.regressions]
+
+    def test_injected_2x_slowdown_still_red(self, tmp_path):
+        base, current = self.paths()
+        document = json.loads(pathlib.Path(current).read_text())
+        for phase in document["phases"].values():
+            phase["median_s"] *= 2
+        slowed = tmp_path / "slowed.json"
+        slowed.write_text(json.dumps(document))
+        report = compare_files(base, str(slowed), noise=0.79)
+        assert not report.ok
+        assert len(report.regressions) >= 5
+
+
 class TestCompareFiles:
     def write(self, tmp_path, name, document):
         path = tmp_path / name
@@ -174,3 +309,9 @@ class TestCompareFiles:
         base = self.write(tmp_path, "base.json", legacy_bench(alloc=0.010))
         assert main(["bench-diff", base, str(tmp_path / "nope.json")]) == 1
         assert "error:" in capsys.readouterr().err
+
+    def test_cli_noise_flag_widens_the_gate(self, tmp_path):
+        base = self.write(tmp_path, "base.json", legacy_bench(alloc=0.010))
+        new = self.write(tmp_path, "new.json", legacy_bench(alloc=0.020))
+        assert main(["bench-diff", base, new]) == 1
+        assert main(["bench-diff", base, new, "--noise", "0.79"]) == 0

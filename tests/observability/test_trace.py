@@ -222,3 +222,42 @@ class TestOverhead:
             f"allocation time {alloc_time * 1e3:.2f}ms "
             f"({touchpoints} touchpoints)"
         )
+
+    @slow
+    def test_always_on_telemetry_costs_under_three_percent(self):
+        """ISSUE 10 acceptance: the always-on per-request telemetry the
+        service pays — three histogram records (queue wait, dispatch,
+        e2e), one ring event, and the trace-id stamp — must cost under
+        3% of the cheapest real allocation the service performs."""
+        from repro.observability.events import EventLog
+        from repro.observability.hist import LogHistogram
+        from repro.workloads import get_workload
+
+        workload = get_workload("quicksort")
+        target = rt_pc().with_int_regs(12).with_float_regs(6)
+
+        samples = []
+        for _ in range(3):
+            module = workload.compile()
+            started = time.perf_counter()
+            allocate_module(module, target, "briggs")
+            samples.append(time.perf_counter() - started)
+        alloc_time = sorted(samples)[1]
+
+        hists = {op: LogHistogram()
+                 for op in ("queue_wait", "dispatch", "e2e")}
+        events = EventLog(limit=1024)
+        iterations = 20_000
+        started = time.perf_counter()
+        for seq in range(iterations):
+            trace_id = f"{1234:x}-{seq}"
+            for hist in hists.values():
+                hist.record(0.0123)
+            events.emit("admission", trace_id=trace_id,
+                        method="briggs", queue_depth=0)
+        per_request = (time.perf_counter() - started) / iterations
+
+        assert per_request < 0.03 * alloc_time, (
+            f"per-request telemetry {per_request * 1e6:.1f}us exceeds "
+            f"3% of allocation time {alloc_time * 1e3:.2f}ms"
+        )

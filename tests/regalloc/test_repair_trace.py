@@ -1,0 +1,105 @@
+"""Repair-path tracing under pool dispatch: per-round spans must
+survive the trip through worker processes with correct per-worker
+lanes, the trace id must propagate into every worker, and tracing must
+never change what gets computed."""
+
+import os
+
+import pytest
+
+from repro.observability import Tracer
+from repro.observability.export import (
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.regalloc.pool import RESPONSE_CACHE, shutdown_pools
+from repro.regalloc.repair import repair_color, verify_coloring
+from repro.workloads.synth import generate_graph
+
+slow = pytest.mark.slow
+
+K = 16
+DENSITY = 8.0
+SEED = 9
+
+
+@pytest.fixture(autouse=True)
+def fresh_pool_state():
+    shutdown_pools()
+    RESPONSE_CACHE.clear()
+    yield
+    shutdown_pools()
+    RESPONSE_CACHE.clear()
+
+
+def span_names(tracer):
+    return [e["name"] for e in tracer.events if e.get("ph") == "B"]
+
+
+class TestSmallGraphTracing:
+    """Fast checks on a graph small enough for serial chunking."""
+
+    def test_round_and_sweep_spans_recorded(self):
+        # k=4 on a density-8 graph cannot converge in the rounds alone,
+        # so the settling sweep (and its span) must run.
+        graph = generate_graph(2000, DENSITY, seed=SEED)
+        tracer = Tracer()
+        outcome = repair_color(graph.adjacency, 4, jobs=1, tracer=tracer)
+        names = span_names(tracer)
+        assert "repair-round" in names
+        assert "repair-sweep" in names
+        assert tracer.counters["repair.finalized"] >= 1
+        assert tracer.counters["repair.spilled"] == len(outcome.spilled)
+        verify_coloring(graph.adjacency, outcome.colors, 4,
+                        outcome.spilled)
+
+    def test_tracing_is_purely_observational(self):
+        graph = generate_graph(2000, DENSITY, seed=SEED)
+        traced = repair_color(graph.adjacency, K, jobs=1, tracer=Tracer())
+        plain = repair_color(graph.adjacency, K, jobs=1)
+        assert traced.colors == plain.colors
+        assert traced.spilled == plain.spilled
+        assert traced.rounds == plain.rounds
+
+
+class TestPooledTracingAt1e5:
+    """The acceptance-scale case: 10^5 nodes crosses the parallel
+    threshold, so round 1's chunks run in worker processes and their
+    spans ride back via snapshots."""
+
+    @slow
+    def test_worker_lane_spans_and_valid_merged_trace(self, tmp_path):
+        graph = generate_graph(100_000, DENSITY, seed=SEED)
+        tracer = Tracer()
+        tracer.trace_id = "test-1e5"
+        pooled = repair_color(graph.adjacency, K, jobs=2, tracer=tracer)
+        serial = repair_color(graph.adjacency, K, jobs=1)
+
+        # Tracing + pooling change nothing about the result.
+        assert pooled.colors == serial.colors
+        assert pooled.spilled == serial.spilled
+        verify_coloring(graph.adjacency, pooled.colors, K, pooled.spilled)
+
+        names = span_names(tracer)
+        assert "repair-round" in names
+        assert "repair-chunks" in names  # the span workers record
+
+        # Per-worker lanes: chunk spans carry worker pids distinct from
+        # the parent, and the trace id propagated into every lane.
+        parent = os.getpid()
+        chunk_begins = [
+            e for e in tracer.events
+            if e.get("name") == "repair-chunks" and e.get("ph") == "B"
+        ]
+        assert chunk_begins, "no worker chunk spans survived the merge"
+        chunk_pids = {e["pid"] for e in chunk_begins}
+        assert parent not in chunk_pids
+        for event in chunk_begins:
+            assert event["args"]["trace_id"] == "test-1e5"
+
+        # The merged trace must be structurally valid Chrome JSON:
+        # balanced B/E per lane, metadata for every lane.
+        out = tmp_path / "repair-1e5.json"
+        write_chrome_trace(tracer, out)
+        stats = validate_chrome_trace(out)
+        assert stats["events"] > 0

@@ -14,6 +14,7 @@ import pytest
 
 from repro.cli import main
 from repro.errors import ReproError
+from repro.observability.hist import HIST_BASE
 from repro.regalloc.pool import RESPONSE_CACHE, shutdown_pools
 from repro.service.chaos import (
     CHAOS_WORKLOADS,
@@ -133,6 +134,31 @@ class TestFaultStorm:
         # Bounded tail latency: chaos may slow requests down, never
         # wedge them past the deadline machinery's reach.
         assert report.p99 <= 12.0 * 3
+
+    def test_server_and_client_p99_agree_on_a_clean_storm(self):
+        """ISSUE 10 acceptance: on a seeded faultless storm the p99 the
+        server publishes at ``/metrics`` must agree with the p99 the
+        client measured, within the histogram's bucket resolution.
+
+        Concurrency is pinned to 1 so client-side queueing cannot
+        inflate the socket-level latency above what the server sees."""
+        report = run_chaos(requests=16, seed=5, fault_rates=rates(),
+                           concurrency=1, deadline=15.0)
+        assert report.ok, report.summary()
+        e2e = report.server_latency.get("e2e", {})
+        assert e2e.get("count", 0) >= 16
+        client, server = report.p99, report.server_p99
+        assert server > 0.0
+        low, high = sorted((client, server))
+        assert high <= low * HIST_BASE ** 2 + 0.020, (
+            f"p99 disagreement: client {client * 1000:.1f}ms "
+            f"vs server {server * 1000:.1f}ms"
+        )
+        # The disagreement gate is also self-checking inside the
+        # harness: a clean storm records no cross-validation errors.
+        assert report.errors == []
+        assert report.as_dict()["server_p99"] == pytest.approx(
+            server, abs=1e-4)
 
     def test_workload_subset_can_be_pinned(self):
         report = run_chaos(requests=4, seed=1, fault_rates=rates(),

@@ -16,6 +16,8 @@ import pytest
 from repro.frontend import compile_source
 from repro.ir.wire import encode_module
 from repro.machine.target import rt_pc
+from repro.observability.events import parse_ndjson
+from repro.observability.hist import validate_prometheus_text
 from repro.regalloc import allocate_module
 from repro.regalloc.pool import RESPONSE_CACHE, active_pools, shutdown_pools
 from repro.service import protocol
@@ -402,6 +404,231 @@ class TestHttpProbes:
 
         status, _ = drive(body)
         assert status == 404
+
+
+async def http_get(service, target):
+    """Raw HTTP/1.0 GET; returns (status, content_type, body_bytes)."""
+    reader, writer = await asyncio.open_connection(
+        "127.0.0.1", service.port)
+    writer.write(f"GET {target} HTTP/1.0\r\n\r\n".encode())
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    head, _, body = raw.partition(b"\r\n\r\n")
+    lines = head.decode("ascii", "replace").split("\r\n")
+    status = int(lines[0].split()[1])
+    content_type = ""
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        if name.lower() == "content-type":
+            content_type = value.strip()
+    return status, content_type, body
+
+
+#: Two functions, so allocation takes the pool path and the merged
+#: trace gets real worker lanes.
+TWO_FUNCTIONS = (
+    "subroutine helper(n)\n"
+    "end\n"
+    "program served2\n"
+    "integer a, b\n"
+    "a = 1\n"
+    "b = a + 2\n"
+    "call helper(b)\n"
+    "print b\n"
+    "end\n"
+)
+
+
+class TestTelemetry:
+    """PR-10's always-on production telemetry: latency histograms on
+    every reply path, Prometheus exposition, the structured event ring,
+    and opt-in per-request tracing."""
+
+    def test_every_reply_carries_a_trace_id(self):
+        async def body(service):
+            ok = await ask(service, {"op": "allocate", "id": 1,
+                                     "source": SOURCE, "name": "served"})
+            bad = await ask(service, {"op": "allocate", "id": 2})
+            return ok, bad
+
+        ok, bad = drive(body)
+        assert ok["status"] == 200 and ok["trace_id"]
+        assert bad["status"] == 400 and bad["trace_id"]
+        assert ok["trace_id"] != bad["trace_id"]
+
+    def test_latency_histograms_record_every_reply_path(self):
+        async def body(service):
+            await ask(service, {"op": "allocate", "id": 1,
+                                "source": SOURCE, "name": "served"})
+            await ask(service, {"op": "allocate", "id": 2})  # a 400
+            return service.service_section()
+
+        section = drive(body)
+        latency = section["latency"]
+        # e2e sees both replies; queue_wait/dispatch only the admitted one.
+        assert latency["e2e"]["count"] == 2
+        assert latency["queue_wait"]["count"] == 1
+        assert latency["dispatch"]["count"] == 1
+        assert latency["e2e"]["p99"] > 0.0
+        assert latency["e2e"]["p50"] <= latency["e2e"]["p99"]
+
+    def test_prometheus_exposition_validates(self):
+        async def body(service):
+            await ask(service, {"op": "allocate", "id": 1,
+                                "source": SOURCE, "name": "served"})
+            return await http_get(service, "/metrics?format=prom")
+
+        status, content_type, body_bytes = drive(body)
+        assert status == 200
+        assert content_type.startswith("text/plain")
+        text = body_bytes.decode()
+        stats = validate_prometheus_text(text)
+        assert stats["samples"] > 0
+        assert 'repro_latency_seconds{op="e2e",quantile="0.99"}' in text
+        assert "repro_service_served 1" in text
+
+    def test_events_ring_admission_shed_and_cursor(self):
+        config = ServiceConfig(concurrency=1, queue_limit=0, jobs=2,
+                               default_deadline=20.0, allow_faults=True)
+
+        async def body(service):
+            slow_task = asyncio.ensure_future(ask(service, {
+                "op": "allocate", "id": "slow", "source": SOURCE,
+                "name": "served", "fault": "slow_request",
+                "fault_args": {"delay": 0.8},
+            }))
+            await asyncio.sleep(0.2)
+            await ask(service, {"op": "allocate", "id": "shed",
+                                "source": SOURCE, "name": "served"})
+            everything = await http_get(service, "/events")
+            sheds_only = await http_get(service, "/events?kind=shed")
+            await slow_task
+            last = service.events.last_seq
+            after = await http_get(service, f"/events?since={last}")
+            return everything, sheds_only, after
+
+        everything, sheds_only, after = drive(body, config)
+        status, content_type, body_bytes = everything
+        assert status == 200
+        assert content_type == "application/x-ndjson"
+        records = parse_ndjson(body_bytes.decode())
+        kinds = [record["kind"] for record in records]
+        assert "admission" in kinds
+        assert "shed" in kinds
+        seqs = [record["seq"] for record in records]
+        assert seqs == sorted(seqs)
+        shed_records = parse_ndjson(sheds_only[2].decode())
+        assert shed_records
+        assert all(r["kind"] == "shed" for r in shed_records)
+        assert parse_ndjson(after[2].decode()) == []
+
+    def test_breaker_transition_and_degrade_events(self):
+        config = ServiceConfig(concurrency=1, queue_limit=2, jobs=2,
+                               breaker_threshold=2, breaker_cooldown=60.0,
+                               default_deadline=20.0, allow_faults=True)
+
+        async def body(service):
+            for index in range(2):
+                await ask(service, {
+                    "op": "allocate", "id": index, "source": SOURCE,
+                    "name": "served", "fault": "worker_crash",
+                })
+            return service.events.tail()
+
+        records = drive(body, config)
+        kinds = [record["kind"] for record in records]
+        assert "degrade" in kinds
+        transitions = [record for record in records
+                       if record["kind"] == "breaker"]
+        assert any(record["to"] == CircuitBreaker.OPEN
+                   for record in transitions)
+
+    def test_trace_opt_in_returns_valid_merged_trace(self, tmp_path):
+        from repro.observability.export import validate_chrome_trace
+
+        config = ServiceConfig(concurrency=2, queue_limit=2, jobs=2,
+                               default_deadline=20.0,
+                               trace_dir=str(tmp_path))
+
+        async def body(service):
+            traced = await ask(service, {
+                "op": "allocate", "id": "t", "source": TWO_FUNCTIONS,
+                "name": "served2", "trace": True,
+            })
+            plain = await ask(service, {
+                "op": "allocate", "id": "p", "source": TWO_FUNCTIONS,
+                "name": "served2",
+            })
+            return traced, plain
+
+        traced, plain = drive(body, config)
+        assert traced["status"] == 200
+        assert "trace" not in plain  # strictly opt-in
+        events = traced["trace"]["traceEvents"]
+        names = {event.get("name") for event in events}
+        assert "service:request" in names     # the service's own span
+        assert "function:served2" in names    # the allocator below it
+        assert "function:helper" in names     # ... for every function
+        # Worker lanes survived the merge: more than one pid appears.
+        pids = {event["pid"] for event in events
+                if event.get("ph") in ("B", "E", "X")}
+        assert len(pids) >= 2
+        # The same merged trace was spooled to trace_dir and is
+        # structurally valid Chrome JSON.
+        spooled = tmp_path / f"trace-{traced['trace_id']}.json"
+        assert spooled.exists()
+        stats = validate_chrome_trace(spooled)
+        assert stats["events"] > 0
+        # Tracing is observational: both replies agree on the answer.
+        assert traced["assignment"] == plain["assignment"]
+
+    def test_traced_request_feeds_allocator_counters(self):
+        async def body(service):
+            await ask(service, {"op": "allocate", "id": "t",
+                                "source": SOURCE, "name": "served",
+                                "trace": True})
+            return service.service_section()
+
+        section = drive(body)
+        assert section["allocator"]
+        assert section["allocator"].get("live_ranges", 0) > 0
+
+    def test_stats_op_reports_events_cursor(self):
+        async def body(service):
+            await ask(service, {"op": "allocate", "id": 1,
+                                "source": SOURCE, "name": "served"})
+            reply = await ask(service, {"op": "stats", "id": 2})
+            return reply
+
+        reply = drive(body)
+        assert reply["service"]["events_seq"] >= 1
+        assert "latency" in reply["service"]
+
+    def test_repro_tail_prints_the_event_ring(self, capsys):
+        """``repro tail`` against a live server: one formatted line per
+        event, honoring the --kind filter."""
+        from repro.cli import main
+
+        async def body(service):
+            await ask(service, {"op": "allocate", "id": 1,
+                                "source": SOURCE, "name": "served"})
+            status = await asyncio.to_thread(
+                main, ["tail", "--port", str(service.port)])
+            filtered = await asyncio.to_thread(
+                main, ["tail", "--port", str(service.port),
+                       "--kind", "admission"])
+            return status, filtered
+
+        status, filtered = drive(body)
+        assert status == 0
+        assert filtered == 0
+        out = capsys.readouterr().out
+        lines = [line for line in out.splitlines() if line]
+        assert lines
+        assert all(line.startswith("[") for line in lines)
+        assert any("admission" in line for line in lines)
 
 
 class TestTeardown:

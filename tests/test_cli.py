@@ -159,3 +159,76 @@ class TestTrace:
     def test_unknown_workload(self, capsys):
         assert main(["trace", "nonesuch"]) == 2
         assert "unknown workload" in capsys.readouterr().err
+
+    def test_trace_without_workload_or_replay_errors(self, capsys):
+        assert main(["trace"]) == 2
+        assert "workload" in capsys.readouterr().err
+
+
+class TestServeReplay:
+    """``repro trace --serve-replay``: post-mortem tracing of a serve
+    journal's request backlog."""
+
+    def write_journal(self, path, records):
+        from repro.durability.journal import Journal
+
+        with Journal(path, sync=False) as journal:
+            for record in records:
+                journal.append(record)
+
+    def request(self, jid, rid):
+        return {"type": "request", "jid": jid, "id": rid,
+                "source": SOURCE, "name": "p", "method": "briggs"}
+
+    def test_replays_only_the_unanswered_backlog(self, tmp_path, capsys):
+        from repro.observability import validate_chrome_trace
+
+        journal = tmp_path / "serve.journal"
+        self.write_journal(journal, [
+            self.request(1, "a"),
+            {"type": "response", "jid": 1, "status": 200},
+            self.request(2, "b"),
+        ])
+        out_dir = tmp_path / "replays"
+        assert main(["trace", "--serve-replay", str(journal),
+                     "--out", str(out_dir)]) == 0
+        traces = sorted(p.name for p in out_dir.glob("*.json"))
+        assert traces == ["trace-replay-2.json"]
+        summary = validate_chrome_trace(out_dir / traces[0])
+        assert summary["spans"] > 0
+        err = capsys.readouterr().err
+        assert "jid 2" in err
+        assert "1/1 requests re-traced" in err
+
+    def test_replay_all_ignores_responses(self, tmp_path, capsys):
+        journal = tmp_path / "serve.journal"
+        self.write_journal(journal, [
+            self.request(1, "a"),
+            {"type": "response", "jid": 1, "status": 200},
+            self.request(2, "b"),
+        ])
+        out_dir = tmp_path / "replays"
+        assert main(["trace", "--serve-replay", str(journal),
+                     "--replay-all", "--out", str(out_dir)]) == 0
+        traces = sorted(p.name for p in out_dir.glob("*.json"))
+        assert traces == ["trace-replay-1.json", "trace-replay-2.json"]
+
+    def test_fully_answered_journal_falls_back_to_all(self, tmp_path,
+                                                      capsys):
+        journal = tmp_path / "serve.journal"
+        self.write_journal(journal, [
+            self.request(1, "a"),
+            {"type": "response", "jid": 1, "status": 200},
+        ])
+        out_dir = tmp_path / "replays"
+        assert main(["trace", "--serve-replay", str(journal),
+                     "--out", str(out_dir)]) == 0
+        assert (out_dir / "trace-replay-1.json").exists()
+        assert "no unanswered backlog" in capsys.readouterr().err
+
+    def test_empty_journal_is_an_error(self, tmp_path, capsys):
+        journal = tmp_path / "serve.journal"
+        self.write_journal(journal, [])
+        assert main(["trace", "--serve-replay", str(journal),
+                     "--out", str(tmp_path / "replays")]) == 1
+        assert "no journaled requests" in capsys.readouterr().err

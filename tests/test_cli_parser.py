@@ -88,6 +88,52 @@ class TestParser:
         assert args.torn_rate == pytest.approx(0.5)
         assert args.journal == "t.journal"
 
+    def test_trace_serve_replay_flags(self, parser):
+        args = parser.parse_args(
+            ["trace", "--serve-replay", "requests.journal",
+             "--replay-all", "--out", "replays/"]
+        )
+        assert args.serve_replay == "requests.journal"
+        assert args.replay_all
+        assert args.workload is None
+        assert args.out == "replays/"
+
+    def test_trace_workload_is_now_optional(self, parser):
+        args = parser.parse_args(["trace"])
+        assert args.workload is None
+        assert args.serve_replay is None
+
+    def test_tail_defaults_and_flags(self, parser):
+        args = parser.parse_args(["tail"])
+        assert args.command == "tail"
+        assert args.port == 7632
+        assert not args.follow
+        assert args.since == 0
+        assert args.kind is None
+        args = parser.parse_args(
+            ["tail", "--follow", "--interval", "0.2", "--since", "40",
+             "--kind", "breaker", "--limit", "10", "--port", "9000"]
+        )
+        assert args.follow
+        assert args.interval == pytest.approx(0.2)
+        assert args.since == 40
+        assert args.kind == "breaker"
+        assert args.limit == 10
+        assert args.port == 9000
+
+    def test_bench_diff_noise_flag(self, parser):
+        args = parser.parse_args(["bench-diff", "a.json", "b.json"])
+        assert args.noise is None
+        args = parser.parse_args(
+            ["bench-diff", "a.json", "b.json", "--noise", "0.08"]
+        )
+        assert args.noise == pytest.approx(0.08)
+
+    def test_serve_trace_dir_flag(self, parser):
+        args = parser.parse_args(["serve", "--trace-dir", "spool/"])
+        assert args.trace_dir == "spool/"
+        assert parser.parse_args(["serve"]).trace_dir is None
+
     def test_missing_command_exits(self, parser):
         with pytest.raises(SystemExit):
             parser.parse_args([])
